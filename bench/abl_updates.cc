@@ -1,0 +1,108 @@
+// Ablation for paper §4.2: "A particular deficiency of the Hexastore
+// appears when it comes to handling updates and insertions; such
+// operations affect all six indices, hence can be slow."
+//
+// Measures per-triple incremental Insert and Erase cost on Hexastore vs
+// COVP1 / COVP2 / TripleTable, and the BulkLoad alternative, over a
+// LUBM-like prefix. Expected shape: Hexastore inserts cost the most (six
+// views touched), TripleTable the least; BulkLoad amortizes far below
+// incremental insertion.
+#include "bench_common.h"
+
+#include <memory>
+
+#include "data/lubm_generator.h"
+
+namespace hexastore::bench {
+namespace {
+
+IdTripleVec EncodedPrefix(std::size_t n) {
+  static Dictionary dict;
+  static IdTripleVec cache;
+  if (cache.size() < n) {
+    auto triples = data::LubmGenerator().Generate(n);
+    cache.clear();
+    cache.reserve(n);
+    for (const auto& t : triples) {
+      cache.push_back(dict.Encode(t));
+    }
+  }
+  return IdTripleVec(cache.begin(),
+                     cache.begin() + static_cast<std::ptrdiff_t>(n));
+}
+
+template <typename StoreT, typename... Args>
+void RegisterInsertErase(const std::string& label, std::size_t n,
+                         Args... args) {
+  benchmark::RegisterBenchmark(
+      ("abl_updates/insert/" + label + "/triples:" + std::to_string(n))
+          .c_str(),
+      [n, args...](benchmark::State& state) {
+        IdTripleVec data = EncodedPrefix(n);
+        for (auto _ : state) {
+          StoreT store(args...);
+          for (const auto& t : data) {
+            store.Insert(t);
+          }
+          benchmark::DoNotOptimize(store.size());
+        }
+        state.SetItemsProcessed(
+            static_cast<std::int64_t>(state.iterations() * n));
+      })
+      ->Unit(benchmark::kMillisecond)
+      ->MinTime(0.02);
+
+  benchmark::RegisterBenchmark(
+      ("abl_updates/erase/" + label + "/triples:" + std::to_string(n))
+          .c_str(),
+      [n, args...](benchmark::State& state) {
+        IdTripleVec data = EncodedPrefix(n);
+        for (auto _ : state) {
+          state.PauseTiming();
+          StoreT store(args...);
+          store.BulkLoad(data);
+          state.ResumeTiming();
+          for (const auto& t : data) {
+            store.Erase(t);
+          }
+          benchmark::DoNotOptimize(store.size());
+        }
+        state.SetItemsProcessed(
+            static_cast<std::int64_t>(state.iterations() * n));
+      })
+      ->Unit(benchmark::kMillisecond)
+      ->MinTime(0.02);
+
+  benchmark::RegisterBenchmark(
+      ("abl_updates/bulkload/" + label + "/triples:" + std::to_string(n))
+          .c_str(),
+      [n, args...](benchmark::State& state) {
+        IdTripleVec data = EncodedPrefix(n);
+        for (auto _ : state) {
+          StoreT store(args...);
+          store.BulkLoad(data);
+          benchmark::DoNotOptimize(store.size());
+        }
+        state.SetItemsProcessed(
+            static_cast<std::int64_t>(state.iterations() * n));
+      })
+      ->Unit(benchmark::kMillisecond)
+      ->MinTime(0.02);
+}
+
+int Main(int argc, char** argv) {
+  for (std::size_t n : {std::size_t{10000}, std::size_t{50000}}) {
+    RegisterInsertErase<Hexastore>("Hexastore", n);
+    RegisterInsertErase<VerticalStore>("COVP1", n, false);
+    RegisterInsertErase<VerticalStore>("COVP2", n, true);
+    RegisterInsertErase<TripleTableStore>("TripleTable", n);
+  }
+  return BenchMain(argc, argv);
+}
+
+}  // namespace
+}  // namespace hexastore::bench
+
+int main(int argc, char** argv) {
+  return hexastore::bench::Main(argc, argv);
+}

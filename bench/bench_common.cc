@@ -1,0 +1,126 @@
+#include "bench_common.h"
+
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "data/barton_generator.h"
+#include "data/lubm_generator.h"
+
+namespace hexastore::bench {
+
+std::vector<std::size_t> SweepSizes() {
+  const char* env = std::getenv("HEXA_BENCH_SIZES");
+  std::string spec = env != nullptr
+                         ? env
+                         : "20000,50000,100000,200000,400000";
+  std::vector<std::size_t> sizes;
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    std::size_t comma = spec.find(',', start);
+    std::string tok = spec.substr(
+        start, comma == std::string::npos ? std::string::npos
+                                          : comma - start);
+    if (!tok.empty()) {
+      sizes.push_back(static_cast<std::size_t>(std::stoull(tok)));
+    }
+    if (comma == std::string::npos) {
+      break;
+    }
+    start = comma + 1;
+  }
+  return sizes;
+}
+
+namespace {
+
+// Full-size generated datasets, shared across sizes of one process.
+const std::vector<Triple>& FullDataset(Dataset dataset,
+                                       std::size_t max_size) {
+  static std::map<Dataset, std::unique_ptr<std::vector<Triple>>> cache;
+  static std::mutex mu;
+  std::lock_guard<std::mutex> lock(mu);
+  auto it = cache.find(dataset);
+  if (it == cache.end() || it->second->size() < max_size) {
+    auto triples = std::make_unique<std::vector<Triple>>(
+        dataset == Dataset::kBarton
+            ? data::BartonGenerator().Generate(max_size)
+            : data::LubmGenerator().Generate(max_size));
+    cache[dataset] = std::move(triples);
+    it = cache.find(dataset);
+  }
+  return *it->second;
+}
+
+}  // namespace
+
+const LoadedStores& GetStores(Dataset dataset, std::size_t num_triples) {
+  static std::map<std::pair<int, std::size_t>,
+                  std::unique_ptr<LoadedStores>>
+      cache;
+  static std::mutex mu;
+  std::lock_guard<std::mutex> lock(mu);
+  auto key = std::make_pair(static_cast<int>(dataset), num_triples);
+  auto it = cache.find(key);
+  if (it != cache.end()) {
+    return *it->second;
+  }
+
+  std::size_t max_size = num_triples;
+  for (std::size_t s : SweepSizes()) {
+    max_size = std::max(max_size, s);
+  }
+  const auto& full = FullDataset(dataset, max_size);
+
+  auto loaded = std::make_unique<LoadedStores>();
+  loaded->num_triples = num_triples;
+  IdTripleVec encoded;
+  encoded.reserve(num_triples);
+  for (std::size_t i = 0; i < num_triples && i < full.size(); ++i) {
+    encoded.push_back(loaded->dict.Encode(full[i]));
+  }
+  loaded->hexa.BulkLoad(encoded);
+  loaded->covp1.BulkLoad(encoded);
+  loaded->covp2.BulkLoad(encoded);
+  loaded->barton_ids = workload::BartonIds::Resolve(loaded->dict);
+  loaded->lubm_ids = workload::LubmIds::Resolve(loaded->dict);
+
+  auto [pos, ok] = cache.emplace(key, std::move(loaded));
+  (void)ok;
+  return *pos->second;
+}
+
+void RegisterFigure(const std::string& figure, Dataset dataset,
+                    const std::vector<Series>& series) {
+  for (std::size_t n : SweepSizes()) {
+    for (const Series& s : series) {
+      std::string name = figure + "/" + s.label + "/triples:" +
+                         std::to_string(n);
+      auto run = s.run;
+      benchmark::RegisterBenchmark(
+          name.c_str(),
+          [dataset, n, run](benchmark::State& state) {
+            const LoadedStores& stores = GetStores(dataset, n);
+            for (auto _ : state) {
+              run(stores);
+            }
+            state.counters["triples"] = static_cast<double>(n);
+          })
+          ->Unit(benchmark::kMicrosecond)
+          ->MinTime(0.02);
+    }
+  }
+}
+
+int BenchMain(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace hexastore::bench

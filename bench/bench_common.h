@@ -1,0 +1,71 @@
+// Shared infrastructure for the figure-reproduction benchmarks.
+//
+// Every fig* binary sweeps progressively larger prefixes of one data set
+// (the paper's x axis) and times one query per store (the paper's
+// series: Hexastore, COVP1, COVP2, and the `_28` variants where
+// applicable). Stores are built once per (dataset, size) and cached for
+// the lifetime of the process.
+//
+// Environment knobs:
+//   HEXA_BENCH_SIZES   comma-separated triple counts
+//                      (default "20000,50000,100000,200000,400000")
+#ifndef HEXASTORE_BENCH_BENCH_COMMON_H_
+#define HEXASTORE_BENCH_BENCH_COMMON_H_
+
+#include <benchmark/benchmark.h>
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "baseline/triple_table.h"
+#include "baseline/vertical_store.h"
+#include "core/hexastore.h"
+#include "dict/dictionary.h"
+#include "workload/barton_queries.h"
+#include "workload/lubm_queries.h"
+
+namespace hexastore::bench {
+
+/// Which synthetic data set a benchmark runs on.
+enum class Dataset {
+  kBarton,
+  kLubm,
+};
+
+/// One fully loaded benchmark fixture: all three stores over a shared
+/// dictionary, plus the resolved query vocabularies.
+struct LoadedStores {
+  Dictionary dict;
+  Hexastore hexa;
+  VerticalStore covp1{false};
+  VerticalStore covp2{true};
+  workload::BartonIds barton_ids;
+  workload::LubmIds lubm_ids;
+  std::size_t num_triples = 0;
+};
+
+/// The sweep of triple counts (x axis of every figure).
+std::vector<std::size_t> SweepSizes();
+
+/// Cached accessor: builds the stores for (dataset, size) on first use.
+const LoadedStores& GetStores(Dataset dataset, std::size_t num_triples);
+
+/// One timed series in a figure: a store label plus the query runner.
+struct Series {
+  std::string label;
+  std::function<void(const LoadedStores&)> run;
+};
+
+/// Registers `figure/label/triples:N` benchmarks for every series over
+/// the full size sweep.
+void RegisterFigure(const std::string& figure, Dataset dataset,
+                    const std::vector<Series>& series);
+
+/// Standard main body: register + run.
+int BenchMain(int argc, char** argv);
+
+}  // namespace hexastore::bench
+
+#endif  // HEXASTORE_BENCH_BENCH_COMMON_H_

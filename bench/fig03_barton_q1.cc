@@ -1,0 +1,40 @@
+// Figure 3 reproduction: Barton Query 1 (counts of each Type object)
+// over growing triple-count prefixes, for Hexastore / COVP1 / COVP2.
+//
+// Expected shape (paper §5.3.1): Hexastore ~= COVP2 (both use the pos
+// index of Type and stay ~flat in store size); COVP1 must self-join over
+// its pso index and grows with the number of triples.
+#include "bench_common.h"
+
+namespace hexastore::bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  RegisterFigure(
+      "fig03_barton_q1", Dataset::kBarton,
+      {
+          {"Hexastore",
+           [](const LoadedStores& s) {
+             benchmark::DoNotOptimize(
+                 workload::BartonQ1Hexa(s.hexa, s.barton_ids));
+           }},
+          {"COVP1",
+           [](const LoadedStores& s) {
+             benchmark::DoNotOptimize(
+                 workload::BartonQ1Covp(s.covp1, s.barton_ids));
+           }},
+          {"COVP2",
+           [](const LoadedStores& s) {
+             benchmark::DoNotOptimize(
+                 workload::BartonQ1Covp(s.covp2, s.barton_ids));
+           }},
+      });
+  return BenchMain(argc, argv);
+}
+
+}  // namespace
+}  // namespace hexastore::bench
+
+int main(int argc, char** argv) {
+  return hexastore::bench::Main(argc, argv);
+}

@@ -1,0 +1,58 @@
+// Figure 4 reproduction: Barton Query 2 (property frequencies over
+// Type:Text subjects), unrestricted and with the 28-property
+// pre-selection (`_28` series).
+//
+// Expected shape: Hexastore about an order of magnitude below both COVP
+// variants (it merges only the spo property vectors of the qualifying
+// subjects); COVP2 below COVP1 (pos-based pre-selection).
+#include "bench_common.h"
+
+namespace hexastore::bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  using workload::BartonQ2Covp;
+  using workload::BartonQ2Hexa;
+  RegisterFigure(
+      "fig04_barton_q2", Dataset::kBarton,
+      {
+          {"Hexastore",
+           [](const LoadedStores& s) {
+             benchmark::DoNotOptimize(
+                 BartonQ2Hexa(s.hexa, s.barton_ids, nullptr));
+           }},
+          {"COVP1",
+           [](const LoadedStores& s) {
+             benchmark::DoNotOptimize(
+                 BartonQ2Covp(s.covp1, s.barton_ids, nullptr));
+           }},
+          {"COVP2",
+           [](const LoadedStores& s) {
+             benchmark::DoNotOptimize(
+                 BartonQ2Covp(s.covp2, s.barton_ids, nullptr));
+           }},
+          {"Hexastore_28",
+           [](const LoadedStores& s) {
+             benchmark::DoNotOptimize(BartonQ2Hexa(
+                 s.hexa, s.barton_ids, &s.barton_ids.preselected));
+           }},
+          {"COVP1_28",
+           [](const LoadedStores& s) {
+             benchmark::DoNotOptimize(BartonQ2Covp(
+                 s.covp1, s.barton_ids, &s.barton_ids.preselected));
+           }},
+          {"COVP2_28",
+           [](const LoadedStores& s) {
+             benchmark::DoNotOptimize(BartonQ2Covp(
+                 s.covp2, s.barton_ids, &s.barton_ids.preselected));
+           }},
+      });
+  return BenchMain(argc, argv);
+}
+
+}  // namespace
+}  // namespace hexastore::bench
+
+int main(int argc, char** argv) {
+  return hexastore::bench::Main(argc, argv);
+}

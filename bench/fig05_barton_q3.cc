@@ -1,0 +1,57 @@
+// Figure 5 reproduction: Barton Query 3 (per-property counts of
+// 'popular' object values among Type:Text subjects), unrestricted and
+// `_28`.
+//
+// Expected shape: the Hexastore advantage narrows relative to BQ2 —
+// every method pays the property-indexed final aggregation step.
+#include "bench_common.h"
+
+namespace hexastore::bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  using workload::BartonQ3Covp;
+  using workload::BartonQ3Hexa;
+  RegisterFigure(
+      "fig05_barton_q3", Dataset::kBarton,
+      {
+          {"Hexastore",
+           [](const LoadedStores& s) {
+             benchmark::DoNotOptimize(
+                 BartonQ3Hexa(s.hexa, s.barton_ids, nullptr));
+           }},
+          {"COVP1",
+           [](const LoadedStores& s) {
+             benchmark::DoNotOptimize(
+                 BartonQ3Covp(s.covp1, s.barton_ids, nullptr));
+           }},
+          {"COVP2",
+           [](const LoadedStores& s) {
+             benchmark::DoNotOptimize(
+                 BartonQ3Covp(s.covp2, s.barton_ids, nullptr));
+           }},
+          {"Hexastore_28",
+           [](const LoadedStores& s) {
+             benchmark::DoNotOptimize(BartonQ3Hexa(
+                 s.hexa, s.barton_ids, &s.barton_ids.preselected));
+           }},
+          {"COVP1_28",
+           [](const LoadedStores& s) {
+             benchmark::DoNotOptimize(BartonQ3Covp(
+                 s.covp1, s.barton_ids, &s.barton_ids.preselected));
+           }},
+          {"COVP2_28",
+           [](const LoadedStores& s) {
+             benchmark::DoNotOptimize(BartonQ3Covp(
+                 s.covp2, s.barton_ids, &s.barton_ids.preselected));
+           }},
+      });
+  return BenchMain(argc, argv);
+}
+
+}  // namespace
+}  // namespace hexastore::bench
+
+int main(int argc, char** argv) {
+  return hexastore::bench::Main(argc, argv);
+}

@@ -1,0 +1,57 @@
+// Figure 6 reproduction: Barton Query 4 (BQ3 restricted to subjects of
+// Type:Text AND Language:French), unrestricted and `_28`.
+//
+// Expected shape: Hexastore advantage more distinct than Figure 5 — the
+// extra language selection shrinks the subject set, so the shared
+// aggregation tail is smaller and the selection strategy dominates.
+#include "bench_common.h"
+
+namespace hexastore::bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  using workload::BartonQ4Covp;
+  using workload::BartonQ4Hexa;
+  RegisterFigure(
+      "fig06_barton_q4", Dataset::kBarton,
+      {
+          {"Hexastore",
+           [](const LoadedStores& s) {
+             benchmark::DoNotOptimize(
+                 BartonQ4Hexa(s.hexa, s.barton_ids, nullptr));
+           }},
+          {"COVP1",
+           [](const LoadedStores& s) {
+             benchmark::DoNotOptimize(
+                 BartonQ4Covp(s.covp1, s.barton_ids, nullptr));
+           }},
+          {"COVP2",
+           [](const LoadedStores& s) {
+             benchmark::DoNotOptimize(
+                 BartonQ4Covp(s.covp2, s.barton_ids, nullptr));
+           }},
+          {"Hexastore_28",
+           [](const LoadedStores& s) {
+             benchmark::DoNotOptimize(BartonQ4Hexa(
+                 s.hexa, s.barton_ids, &s.barton_ids.preselected));
+           }},
+          {"COVP1_28",
+           [](const LoadedStores& s) {
+             benchmark::DoNotOptimize(BartonQ4Covp(
+                 s.covp1, s.barton_ids, &s.barton_ids.preselected));
+           }},
+          {"COVP2_28",
+           [](const LoadedStores& s) {
+             benchmark::DoNotOptimize(BartonQ4Covp(
+                 s.covp2, s.barton_ids, &s.barton_ids.preselected));
+           }},
+      });
+  return BenchMain(argc, argv);
+}
+
+}  // namespace
+}  // namespace hexastore::bench
+
+int main(int argc, char** argv) {
+  return hexastore::bench::Main(argc, argv);
+}

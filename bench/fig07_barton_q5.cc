@@ -1,0 +1,39 @@
+// Figure 7 reproduction: Barton Query 5 (type inference through the
+// Records property for DLC-origin subjects).
+//
+// Expected shape: COVP2 ~= Hexastore, well below COVP1 — the pos index
+// turns the expensive unsorted subject-object join into merge joins.
+#include "bench_common.h"
+
+namespace hexastore::bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  RegisterFigure(
+      "fig07_barton_q5", Dataset::kBarton,
+      {
+          {"Hexastore",
+           [](const LoadedStores& s) {
+             benchmark::DoNotOptimize(
+                 workload::BartonQ5Hexa(s.hexa, s.barton_ids));
+           }},
+          {"COVP1",
+           [](const LoadedStores& s) {
+             benchmark::DoNotOptimize(
+                 workload::BartonQ5Covp(s.covp1, s.barton_ids));
+           }},
+          {"COVP2",
+           [](const LoadedStores& s) {
+             benchmark::DoNotOptimize(
+                 workload::BartonQ5Covp(s.covp2, s.barton_ids));
+           }},
+      });
+  return BenchMain(argc, argv);
+}
+
+}  // namespace
+}  // namespace hexastore::bench
+
+int main(int argc, char** argv) {
+  return hexastore::bench::Main(argc, argv);
+}

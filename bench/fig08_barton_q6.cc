@@ -1,0 +1,57 @@
+// Figure 8 reproduction: Barton Query 6 (BQ2-style aggregation over
+// known-or-inferred Text resources, combining BQ2 and BQ5), unrestricted
+// and `_28`.
+//
+// Expected shape: Hexastore keeps its advantages but they are partially
+// obscured by the shared final aggregation step.
+#include "bench_common.h"
+
+namespace hexastore::bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  using workload::BartonQ6Covp;
+  using workload::BartonQ6Hexa;
+  RegisterFigure(
+      "fig08_barton_q6", Dataset::kBarton,
+      {
+          {"Hexastore",
+           [](const LoadedStores& s) {
+             benchmark::DoNotOptimize(
+                 BartonQ6Hexa(s.hexa, s.barton_ids, nullptr));
+           }},
+          {"COVP1",
+           [](const LoadedStores& s) {
+             benchmark::DoNotOptimize(
+                 BartonQ6Covp(s.covp1, s.barton_ids, nullptr));
+           }},
+          {"COVP2",
+           [](const LoadedStores& s) {
+             benchmark::DoNotOptimize(
+                 BartonQ6Covp(s.covp2, s.barton_ids, nullptr));
+           }},
+          {"Hexastore_28",
+           [](const LoadedStores& s) {
+             benchmark::DoNotOptimize(BartonQ6Hexa(
+                 s.hexa, s.barton_ids, &s.barton_ids.preselected));
+           }},
+          {"COVP1_28",
+           [](const LoadedStores& s) {
+             benchmark::DoNotOptimize(BartonQ6Covp(
+                 s.covp1, s.barton_ids, &s.barton_ids.preselected));
+           }},
+          {"COVP2_28",
+           [](const LoadedStores& s) {
+             benchmark::DoNotOptimize(BartonQ6Covp(
+                 s.covp2, s.barton_ids, &s.barton_ids.preselected));
+           }},
+      });
+  return BenchMain(argc, argv);
+}
+
+}  // namespace
+}  // namespace hexastore::bench
+
+int main(int argc, char** argv) {
+  return hexastore::bench::Main(argc, argv);
+}

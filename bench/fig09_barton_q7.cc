@@ -1,0 +1,39 @@
+// Figure 9 reproduction: Barton Query 7 (simple triple selection —
+// Encoding and Type of resources whose Point value is "end").
+//
+// Expected shape: COVP2 ~= Hexastore clearly below COVP1, thanks to the
+// pos-index retrieval of the Point:"end" selection.
+#include "bench_common.h"
+
+namespace hexastore::bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  RegisterFigure(
+      "fig09_barton_q7", Dataset::kBarton,
+      {
+          {"Hexastore",
+           [](const LoadedStores& s) {
+             benchmark::DoNotOptimize(
+                 workload::BartonQ7Hexa(s.hexa, s.barton_ids));
+           }},
+          {"COVP1",
+           [](const LoadedStores& s) {
+             benchmark::DoNotOptimize(
+                 workload::BartonQ7Covp(s.covp1, s.barton_ids));
+           }},
+          {"COVP2",
+           [](const LoadedStores& s) {
+             benchmark::DoNotOptimize(
+                 workload::BartonQ7Covp(s.covp2, s.barton_ids));
+           }},
+      });
+  return BenchMain(argc, argv);
+}
+
+}  // namespace
+}  // namespace hexastore::bench
+
+int main(int argc, char** argv) {
+  return hexastore::bench::Main(argc, argv);
+}

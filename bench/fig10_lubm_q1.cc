@@ -1,0 +1,42 @@
+// Figure 10 reproduction: LUBM Query 1 (everyone related to Course10 of
+// Department0.University0, via any property).
+//
+// Expected shape: Hexastore retrieves the answer directly from its osp
+// index and sits orders of magnitude below COVP1 (which probes every
+// property table by walking subject vectors); COVP2 in between.
+#include "bench_common.h"
+
+namespace hexastore::bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  RegisterFigure(
+      "fig10_lubm_q1", Dataset::kLubm,
+      {
+          {"Hexastore",
+           [](const LoadedStores& s) {
+             benchmark::DoNotOptimize(
+                 workload::LubmRelatedToHexa(s.hexa, s.lubm_ids.course10));
+           }},
+          {"COVP1",
+           [](const LoadedStores& s) {
+             benchmark::DoNotOptimize(
+                 workload::LubmRelatedToCovp(s.covp1,
+                                             s.lubm_ids.course10));
+           }},
+          {"COVP2",
+           [](const LoadedStores& s) {
+             benchmark::DoNotOptimize(
+                 workload::LubmRelatedToCovp(s.covp2,
+                                             s.lubm_ids.course10));
+           }},
+      });
+  return BenchMain(argc, argv);
+}
+
+}  // namespace
+}  // namespace hexastore::bench
+
+int main(int argc, char** argv) {
+  return hexastore::bench::Main(argc, argv);
+}

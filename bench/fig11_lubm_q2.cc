@@ -1,0 +1,39 @@
+// Figure 11 reproduction: LUBM Query 2 (everyone related to University0
+// via any property).
+//
+// Expected shape: as Figure 10, with a visible growth trend for all
+// stores — more triples reference the university as the data set grows.
+#include "bench_common.h"
+
+namespace hexastore::bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  RegisterFigure(
+      "fig11_lubm_q2", Dataset::kLubm,
+      {
+          {"Hexastore",
+           [](const LoadedStores& s) {
+             benchmark::DoNotOptimize(workload::LubmRelatedToHexa(
+                 s.hexa, s.lubm_ids.university0));
+           }},
+          {"COVP1",
+           [](const LoadedStores& s) {
+             benchmark::DoNotOptimize(workload::LubmRelatedToCovp(
+                 s.covp1, s.lubm_ids.university0));
+           }},
+          {"COVP2",
+           [](const LoadedStores& s) {
+             benchmark::DoNotOptimize(workload::LubmRelatedToCovp(
+                 s.covp2, s.lubm_ids.university0));
+           }},
+      });
+  return BenchMain(argc, argv);
+}
+
+}  // namespace
+}  // namespace hexastore::bench
+
+int main(int argc, char** argv) {
+  return hexastore::bench::Main(argc, argv);
+}

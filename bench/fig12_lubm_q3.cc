@@ -1,0 +1,40 @@
+// Figure 12 reproduction: LUBM Query 3 (all immediate information about
+// AssociateProfessor10 — as subject and as object).
+//
+// Expected shape: Hexastore needs just two lookups (spo + ops) and is
+// ~3 orders of magnitude below COVP1; COVP2 is better than COVP1 thanks
+// to its pos index but still must visit every property table.
+#include "bench_common.h"
+
+namespace hexastore::bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  RegisterFigure(
+      "fig12_lubm_q3", Dataset::kLubm,
+      {
+          {"Hexastore",
+           [](const LoadedStores& s) {
+             benchmark::DoNotOptimize(
+                 workload::LubmQ3Hexa(s.hexa, s.lubm_ids.assoc_prof10));
+           }},
+          {"COVP1",
+           [](const LoadedStores& s) {
+             benchmark::DoNotOptimize(
+                 workload::LubmQ3Covp(s.covp1, s.lubm_ids.assoc_prof10));
+           }},
+          {"COVP2",
+           [](const LoadedStores& s) {
+             benchmark::DoNotOptimize(
+                 workload::LubmQ3Covp(s.covp2, s.lubm_ids.assoc_prof10));
+           }},
+      });
+  return BenchMain(argc, argv);
+}
+
+}  // namespace
+}  // namespace hexastore::bench
+
+int main(int argc, char** argv) {
+  return hexastore::bench::Main(argc, argv);
+}

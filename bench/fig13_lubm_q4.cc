@@ -1,0 +1,40 @@
+// Figure 13 reproduction: LUBM Query 4 (people related to the courses
+// AssociateProfessor10 teaches, grouped by course).
+//
+// Expected shape: the paper's biggest gap — four to five orders of
+// magnitude between Hexastore (osp lookups per course) and COVP1
+// (complex joins across all property tables).
+#include "bench_common.h"
+
+namespace hexastore::bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  RegisterFigure(
+      "fig13_lubm_q4", Dataset::kLubm,
+      {
+          {"Hexastore",
+           [](const LoadedStores& s) {
+             benchmark::DoNotOptimize(
+                 workload::LubmQ4Hexa(s.hexa, s.lubm_ids));
+           }},
+          {"COVP1",
+           [](const LoadedStores& s) {
+             benchmark::DoNotOptimize(
+                 workload::LubmQ4Covp(s.covp1, s.lubm_ids));
+           }},
+          {"COVP2",
+           [](const LoadedStores& s) {
+             benchmark::DoNotOptimize(
+                 workload::LubmQ4Covp(s.covp2, s.lubm_ids));
+           }},
+      });
+  return BenchMain(argc, argv);
+}
+
+}  // namespace
+}  // namespace hexastore::bench
+
+int main(int argc, char** argv) {
+  return hexastore::bench::Main(argc, argv);
+}

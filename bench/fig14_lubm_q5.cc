@@ -1,0 +1,40 @@
+// Figure 14 reproduction: LUBM Query 5 (people with any degree from a
+// university AssociateProfessor10 is related to, grouped by university).
+//
+// Expected shape: Hexastore two to three orders of magnitude below both
+// COVP variants — its sop index hands over AP10's object vector directly,
+// where the COVP stores must scan all property tables.
+#include "bench_common.h"
+
+namespace hexastore::bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  RegisterFigure(
+      "fig14_lubm_q5", Dataset::kLubm,
+      {
+          {"Hexastore",
+           [](const LoadedStores& s) {
+             benchmark::DoNotOptimize(
+                 workload::LubmQ5Hexa(s.hexa, s.lubm_ids));
+           }},
+          {"COVP1",
+           [](const LoadedStores& s) {
+             benchmark::DoNotOptimize(
+                 workload::LubmQ5Covp(s.covp1, s.lubm_ids));
+           }},
+          {"COVP2",
+           [](const LoadedStores& s) {
+             benchmark::DoNotOptimize(
+                 workload::LubmQ5Covp(s.covp2, s.lubm_ids));
+           }},
+      });
+  return BenchMain(argc, argv);
+}
+
+}  // namespace
+}  // namespace hexastore::bench
+
+int main(int argc, char** argv) {
+  return hexastore::bench::Main(argc, argv);
+}

@@ -1,0 +1,68 @@
+// Figure 15 reproduction: memory consumption of Hexastore / COVP1 /
+// COVP2 on both data sets across the triple-count sweep. Memory is
+// reported via the `bytes` and `mb` counters (the benchmark's timing
+// column is irrelevant here).
+//
+// Expected shape: Hexastore roughly 4x COVP1 (paper: "in practice,
+// Hexastore requires a four-fold increase in memory in comparison to
+// COVP1"); COVP2 between the two.
+#include "bench_common.h"
+
+namespace hexastore::bench {
+namespace {
+
+void ReportMemory(benchmark::State& state, const TripleStore& store,
+                  std::size_t triples) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.MemoryBytes());
+  }
+  const double bytes = static_cast<double>(store.MemoryBytes());
+  state.counters["bytes"] = bytes;
+  state.counters["mb"] = bytes / (1024.0 * 1024.0);
+  state.counters["triples"] = static_cast<double>(triples);
+}
+
+int Main(int argc, char** argv) {
+  struct DatasetEntry {
+    const char* name;
+    Dataset dataset;
+  };
+  const DatasetEntry datasets[] = {
+      {"barton", Dataset::kBarton},
+      {"lubm", Dataset::kLubm},
+  };
+  for (const auto& entry : datasets) {
+    for (std::size_t n : SweepSizes()) {
+      for (const char* store_label :
+           {"Hexastore", "COVP1", "COVP2"}) {
+        std::string name = std::string("fig15_memory/") + entry.name +
+                           "/" + store_label +
+                           "/triples:" + std::to_string(n);
+        Dataset dataset = entry.dataset;
+        std::string label = store_label;
+        benchmark::RegisterBenchmark(
+            name.c_str(),
+            [dataset, n, label](benchmark::State& state) {
+              const LoadedStores& stores = GetStores(dataset, n);
+              const TripleStore* store =
+                  label == "Hexastore"
+                      ? static_cast<const TripleStore*>(&stores.hexa)
+                      : label == "COVP1"
+                            ? static_cast<const TripleStore*>(
+                                  &stores.covp1)
+                            : static_cast<const TripleStore*>(
+                                  &stores.covp2);
+              ReportMemory(state, *store, n);
+            });
+      }
+    }
+  }
+  return BenchMain(argc, argv);
+}
+
+}  // namespace
+}  // namespace hexastore::bench
+
+int main(int argc, char** argv) {
+  return hexastore::bench::Main(argc, argv);
+}

@@ -1,0 +1,132 @@
+// Command-line front end: load RDF data (N-Triples or a binary
+// snapshot), optionally save a snapshot, and run SPARQL queries.
+//
+// Usage:
+//   hexastore_cli --load-nt FILE [--save-snapshot FILE] [QUERY]
+//   hexastore_cli --load-snapshot FILE [QUERY]
+//   hexastore_cli --demo [QUERY]          (generated LUBM data)
+//
+// With no QUERY argument, queries are read from stdin (one per line or
+// separated by blank lines). `--stats` prints index statistics instead.
+#include <algorithm>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/graph.h"
+#include "data/lubm_generator.h"
+#include "io/snapshot.h"
+#include "query/operators.h"
+#include "query/sparql_engine.h"
+
+namespace {
+
+int Fail(const std::string& message) {
+  std::cerr << "error: " << message << "\n";
+  return 1;
+}
+
+void RunQuery(const hexastore::Graph& graph, const std::string& query) {
+  auto result =
+      hexastore::RunSparql(graph.store(), graph.dict(), query);
+  if (!result.ok()) {
+    std::cout << "error: " << result.status().ToString() << "\n";
+    return;
+  }
+  std::cout << hexastore::FormatResultSet(result.value(), graph.dict(),
+                                          /*max_rows=*/50);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace hexastore;  // NOLINT
+
+  Graph graph;
+  bool loaded = false;
+  bool show_stats = false;
+  std::string query;
+
+  std::vector<std::string> args(argv + 1, argv + argc);
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg == "--load-nt" && i + 1 < args.size()) {
+      std::ifstream in(args[++i]);
+      if (!in) {
+        return Fail("cannot open " + args[i]);
+      }
+      std::stringstream buffer;
+      buffer << in.rdbuf();
+      auto r = graph.LoadNTriples(buffer.str());
+      if (!r.ok()) {
+        return Fail(r.status().ToString());
+      }
+      std::cerr << "loaded " << r.value() << " triples from " << args[i]
+                << "\n";
+      loaded = true;
+    } else if (arg == "--load-snapshot" && i + 1 < args.size()) {
+      Status s = LoadSnapshotFile(args[++i], &graph);
+      if (!s.ok()) {
+        return Fail(s.ToString());
+      }
+      std::cerr << "loaded " << graph.size() << " triples from snapshot\n";
+      loaded = true;
+    } else if (arg == "--save-snapshot" && i + 1 < args.size()) {
+      Status s = SaveSnapshotFile(graph, args[++i]);
+      if (!s.ok()) {
+        return Fail(s.ToString());
+      }
+      std::cerr << "snapshot written to " << args[i] << "\n";
+    } else if (arg == "--demo") {
+      graph.BulkLoad(data::LubmGenerator().Generate(20000));
+      std::cerr << "loaded " << graph.size() << " generated triples\n";
+      loaded = true;
+    } else if (arg == "--stats") {
+      show_stats = true;
+    } else if (arg == "--help") {
+      std::cout << "usage: hexastore_cli (--load-nt FILE | "
+                   "--load-snapshot FILE | --demo) [--save-snapshot FILE] "
+                   "[--stats] [QUERY]\n";
+      return 0;
+    } else {
+      query = arg;
+    }
+  }
+
+  if (!loaded) {
+    return Fail("no data source; use --load-nt, --load-snapshot or --demo");
+  }
+  if (show_stats) {
+    std::cout << graph.store().Stats().ToString();
+    std::cout << "distinct subjects:   "
+              << graph.store().DistinctSubjects() << "\n"
+              << "distinct predicates: "
+              << graph.store().DistinctPredicates() << "\n"
+              << "distinct objects:    "
+              << graph.store().DistinctObjects() << "\n";
+    return 0;
+  }
+  if (!query.empty()) {
+    RunQuery(graph, query);
+    return 0;
+  }
+  // Interactive: blank line or balanced braces execute the buffer.
+  std::string line;
+  std::string buffer;
+  while (std::getline(std::cin, line)) {
+    if (line == "quit" || line == "exit") {
+      break;
+    }
+    buffer += line + "\n";
+    auto opens = std::count(buffer.begin(), buffer.end(), '{');
+    auto closes = std::count(buffer.begin(), buffer.end(), '}');
+    if ((line.empty() || (opens > 0 && opens == closes)) &&
+        buffer.find_first_not_of(" \t\n") != std::string::npos) {
+      RunQuery(graph, buffer);
+      buffer.clear();
+    }
+  }
+  return 0;
+}

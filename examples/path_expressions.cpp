@@ -1,0 +1,90 @@
+// Path-expression example (paper §4.3): evaluates multi-hop predicate
+// paths over a LUBM-like graph with the Hexastore merge-join strategy and
+// cross-checks against the generic hash-join evaluation.
+//
+// Usage: path_expressions [num_triples]   (default 80000)
+#include <chrono>
+#include <iostream>
+#include <string>
+
+#include "core/hexastore.h"
+#include "data/lubm_generator.h"
+#include "dict/dictionary.h"
+#include "query/path.h"
+
+int main(int argc, char** argv) {
+  using namespace hexastore;  // NOLINT
+  using data::LubmGenerator;
+
+  std::size_t num_triples = 80000;
+  if (argc > 1) {
+    num_triples = std::stoull(argv[1]);
+  }
+
+  auto triples = LubmGenerator().Generate(num_triples);
+  Dictionary dict;
+  IdTripleVec encoded;
+  for (const auto& t : triples) {
+    encoded.push_back(dict.Encode(t));
+  }
+  Hexastore store;
+  store.BulkLoad(encoded);
+  std::cout << "Loaded " << store.size() << " triples.\n\n";
+
+  struct NamedPath {
+    std::string description;
+    std::vector<Term> predicates;
+  };
+  const NamedPath paths[] = {
+      {"student -advisor-> faculty -worksFor-> department",
+       {LubmGenerator::PropAdvisor(), LubmGenerator::PropWorksFor()}},
+      {"student -advisor-> faculty -worksFor-> dept -subOrgOf-> university",
+       {LubmGenerator::PropAdvisor(), LubmGenerator::PropWorksFor(),
+        LubmGenerator::PropSubOrganizationOf()}},
+      {"publication -author-> person -memberOf-> department",
+       {LubmGenerator::PropPublicationAuthor(),
+        LubmGenerator::PropMemberOf()}},
+  };
+
+  for (const auto& path : paths) {
+    std::vector<Id> ids;
+    bool resolvable = true;
+    for (const auto& p : path.predicates) {
+      Id id = dict.Lookup(p);
+      if (id == kInvalidId) {
+        resolvable = false;
+      }
+      ids.push_back(id);
+    }
+    if (!resolvable) {
+      std::cout << path.description << ": predicates absent, skipping\n";
+      continue;
+    }
+
+    auto t0 = std::chrono::steady_clock::now();
+    PathPairs merge_pairs = EvalPathHexastore(store, ids);
+    auto t1 = std::chrono::steady_clock::now();
+    PathPairs hash_pairs = EvalPathGeneric(store, ids);
+    auto t2 = std::chrono::steady_clock::now();
+
+    auto ms = [](auto a, auto b) {
+      return std::chrono::duration<double, std::milli>(b - a).count();
+    };
+    std::cout << path.description << "\n  endpoint pairs: "
+              << merge_pairs.size() << " | merge-join strategy "
+              << ms(t0, t1) << " ms, hash-join fallback " << ms(t1, t2)
+              << " ms, results "
+              << (merge_pairs == hash_pairs ? "AGREE" : "DISAGREE")
+              << "\n";
+    if (merge_pairs != hash_pairs) {
+      return 1;
+    }
+    if (!merge_pairs.empty()) {
+      auto s = dict.TryTerm(merge_pairs[0].first);
+      auto e = dict.TryTerm(merge_pairs[0].second);
+      std::cout << "  e.g. " << (s ? s->ToNTriples() : "?") << "  ~~>  "
+                << (e ? e->ToNTriples() : "?") << "\n";
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,44 @@
+#include "baseline/triple_table.h"
+
+namespace hexastore {
+
+bool TripleTableStore::Insert(const IdTriple& t) {
+  return table_.insert(t).second;
+}
+
+bool TripleTableStore::Erase(const IdTriple& t) {
+  return table_.erase(t) > 0;
+}
+
+bool TripleTableStore::Contains(const IdTriple& t) const {
+  return table_.count(t) > 0;
+}
+
+void TripleTableStore::Scan(const IdPattern& q,
+                            const TripleSink& sink) const {
+  // The (s, p, o) sort order supports prefix ranges for patterns binding a
+  // leading prefix; anything else is a filtered scan of the range.
+  if (q.has_s()) {
+    auto begin = table_.lower_bound(IdTriple{q.s, 0, 0});
+    auto end = table_.lower_bound(IdTriple{q.s + 1, 0, 0});
+    for (auto it = begin; it != end; ++it) {
+      if (q.Matches(*it)) {
+        sink(*it);
+      }
+    }
+    return;
+  }
+  for (const auto& t : table_) {
+    if (q.Matches(t)) {
+      sink(t);
+    }
+  }
+}
+
+std::size_t TripleTableStore::MemoryBytes() const {
+  // std::set node: 3 pointers + color + payload, padded.
+  constexpr std::size_t kNodeOverhead = 4 * sizeof(void*);
+  return table_.size() * (sizeof(IdTriple) + kNodeOverhead);
+}
+
+}  // namespace hexastore

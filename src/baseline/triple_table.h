@@ -1,0 +1,41 @@
+// Conventional "giant triples table" store (paper §1, §2.1).
+//
+// Keeps all triples in one ordered set. Pattern scans that are not a full
+// (s,p,o) lookup degrade to range or full scans — exactly the scalability
+// defect the paper ascribes to conventional schemes. This store doubles
+// as the correctness oracle for the integration tests: every other store
+// must return the same answers.
+#ifndef HEXASTORE_BASELINE_TRIPLE_TABLE_H_
+#define HEXASTORE_BASELINE_TRIPLE_TABLE_H_
+
+#include <cstddef>
+#include <set>
+#include <string>
+
+#include "core/store_interface.h"
+
+namespace hexastore {
+
+/// Single ordered triples table, sorted in (s, p, o) order.
+class TripleTableStore : public TripleStore {
+ public:
+  TripleTableStore() = default;
+
+  bool Insert(const IdTriple& t) override;
+  bool Erase(const IdTriple& t) override;
+  bool Contains(const IdTriple& t) const override;
+  std::size_t size() const override { return table_.size(); }
+  void Scan(const IdPattern& pattern, const TripleSink& sink) const override;
+  std::size_t MemoryBytes() const override;
+  std::string name() const override { return "TripleTable"; }
+
+  /// Removes all triples.
+  void Clear() { table_.clear(); }
+
+ private:
+  std::set<IdTriple> table_;
+};
+
+}  // namespace hexastore
+
+#endif  // HEXASTORE_BASELINE_TRIPLE_TABLE_H_

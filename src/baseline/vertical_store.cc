@@ -1,0 +1,238 @@
+#include "baseline/vertical_store.h"
+
+#include <algorithm>
+
+#include "util/memory_tracker.h"
+
+namespace hexastore {
+
+bool VerticalStore::Insert(const IdTriple& t) {
+  PropertyTable& pt = tables_[t.p];
+  IdVec& olist = pt.objects_by_subject[t.s];
+  if (!SortedInsert(&olist, t.o)) {
+    return false;
+  }
+  if (olist.size() == 1) {
+    SortedInsert(&pt.subjects, t.s);
+  }
+  if (with_object_index_) {
+    IdVec& slist = pt.subjects_by_object[t.o];
+    SortedInsert(&slist, t.s);
+    if (slist.size() == 1) {
+      SortedInsert(&pt.objects, t.o);
+    }
+  }
+  ++pt.row_count;
+  ++size_;
+  return true;
+}
+
+bool VerticalStore::Erase(const IdTriple& t) {
+  auto table_it = tables_.find(t.p);
+  if (table_it == tables_.end()) {
+    return false;
+  }
+  PropertyTable& pt = table_it->second;
+  auto olist_it = pt.objects_by_subject.find(t.s);
+  if (olist_it == pt.objects_by_subject.end() ||
+      !SortedErase(&olist_it->second, t.o)) {
+    return false;
+  }
+  if (olist_it->second.empty()) {
+    pt.objects_by_subject.erase(olist_it);
+    SortedErase(&pt.subjects, t.s);
+  }
+  if (with_object_index_) {
+    auto slist_it = pt.subjects_by_object.find(t.o);
+    if (slist_it != pt.subjects_by_object.end()) {
+      SortedErase(&slist_it->second, t.s);
+      if (slist_it->second.empty()) {
+        pt.subjects_by_object.erase(slist_it);
+        SortedErase(&pt.objects, t.o);
+      }
+    }
+  }
+  --pt.row_count;
+  if (pt.row_count == 0) {
+    tables_.erase(table_it);
+  }
+  --size_;
+  return true;
+}
+
+bool VerticalStore::Contains(const IdTriple& t) const {
+  const IdVec* olist = object_list(t.p, t.s);
+  return olist != nullptr && SortedContains(*olist, t.o);
+}
+
+void VerticalStore::Scan(const IdPattern& q, const TripleSink& sink) const {
+  // Helper scanning a single property table under the pattern.
+  auto scan_table = [&](Id p, const PropertyTable& pt) {
+    if (q.has_s()) {
+      auto it = pt.objects_by_subject.find(q.s);
+      if (it == pt.objects_by_subject.end()) {
+        return;
+      }
+      if (q.has_o()) {
+        if (SortedContains(it->second, q.o)) {
+          sink(IdTriple{q.s, p, q.o});
+        }
+      } else {
+        for (Id o : it->second) {
+          sink(IdTriple{q.s, p, o});
+        }
+      }
+      return;
+    }
+    if (q.has_o()) {
+      if (with_object_index_) {
+        auto it = pt.subjects_by_object.find(q.o);
+        if (it != pt.subjects_by_object.end()) {
+          for (Id s : it->second) {
+            sink(IdTriple{s, p, q.o});
+          }
+        }
+      } else {
+        // COVP1: tables are subject-sorted only; object-bound access walks
+        // the whole table.
+        for (Id s : pt.subjects) {
+          const IdVec& olist = pt.objects_by_subject.at(s);
+          if (SortedContains(olist, q.o)) {
+            sink(IdTriple{s, p, q.o});
+          }
+        }
+      }
+      return;
+    }
+    // Property-only (or unconstrained within this table): emit all rows.
+    for (Id s : pt.subjects) {
+      for (Id o : pt.objects_by_subject.at(s)) {
+        sink(IdTriple{s, p, o});
+      }
+    }
+  };
+
+  if (q.has_p()) {
+    auto it = tables_.find(q.p);
+    if (it != tables_.end()) {
+      scan_table(q.p, it->second);
+    }
+    return;
+  }
+  // Not property-bound: every property table must be consulted (the
+  // paper's central criticism of vertical partitioning).
+  for (const auto& [p, pt] : tables_) {
+    scan_table(p, pt);
+  }
+}
+
+std::size_t VerticalStore::MemoryBytes() const {
+  std::size_t bytes = HashMapHeapBytes(tables_);
+  for (const auto& [p, pt] : tables_) {
+    (void)p;
+    bytes += VectorHeapBytes(pt.subjects) +
+             HashMapHeapBytes(pt.objects_by_subject);
+    for (const auto& [s, olist] : pt.objects_by_subject) {
+      (void)s;
+      bytes += VectorHeapBytes(olist);
+    }
+    if (with_object_index_) {
+      bytes += VectorHeapBytes(pt.objects) +
+               HashMapHeapBytes(pt.subjects_by_object);
+      for (const auto& [o, slist] : pt.subjects_by_object) {
+        (void)o;
+        bytes += VectorHeapBytes(slist);
+      }
+    }
+  }
+  return bytes;
+}
+
+void VerticalStore::BulkLoad(const IdTripleVec& triples) {
+  for (const auto& t : triples) {
+    tables_[t.p].objects_by_subject[t.s].push_back(t.o);
+    if (with_object_index_) {
+      tables_[t.p].subjects_by_object[t.o].push_back(t.s);
+    }
+  }
+  size_ = 0;
+  for (auto& [p, pt] : tables_) {
+    (void)p;
+    pt.subjects.clear();
+    pt.subjects.reserve(pt.objects_by_subject.size());
+    pt.row_count = 0;
+    for (auto& [s, olist] : pt.objects_by_subject) {
+      SortUnique(&olist);
+      pt.subjects.push_back(s);
+      pt.row_count += olist.size();
+    }
+    std::sort(pt.subjects.begin(), pt.subjects.end());
+    if (with_object_index_) {
+      pt.objects.clear();
+      pt.objects.reserve(pt.subjects_by_object.size());
+      for (auto& [o, slist] : pt.subjects_by_object) {
+        SortUnique(&slist);
+        pt.objects.push_back(o);
+      }
+      std::sort(pt.objects.begin(), pt.objects.end());
+    }
+    size_ += pt.row_count;
+  }
+}
+
+std::vector<Id> VerticalStore::Properties() const {
+  std::vector<Id> props;
+  props.reserve(tables_.size());
+  for (const auto& [p, pt] : tables_) {
+    (void)pt;
+    props.push_back(p);
+  }
+  std::sort(props.begin(), props.end());
+  return props;
+}
+
+const PropertyTable* VerticalStore::table(Id p) const {
+  auto it = tables_.find(p);
+  return it == tables_.end() ? nullptr : &it->second;
+}
+
+const IdVec* VerticalStore::subject_vector(Id p) const {
+  const PropertyTable* pt = table(p);
+  return pt == nullptr ? nullptr : &pt->subjects;
+}
+
+const IdVec* VerticalStore::object_list(Id p, Id s) const {
+  const PropertyTable* pt = table(p);
+  if (pt == nullptr) {
+    return nullptr;
+  }
+  auto it = pt->objects_by_subject.find(s);
+  return it == pt->objects_by_subject.end() ? nullptr : &it->second;
+}
+
+const IdVec* VerticalStore::object_vector(Id p) const {
+  if (!with_object_index_) {
+    return nullptr;
+  }
+  const PropertyTable* pt = table(p);
+  return pt == nullptr ? nullptr : &pt->objects;
+}
+
+const IdVec* VerticalStore::subject_list(Id p, Id o) const {
+  if (!with_object_index_) {
+    return nullptr;
+  }
+  const PropertyTable* pt = table(p);
+  if (pt == nullptr) {
+    return nullptr;
+  }
+  auto it = pt->subjects_by_object.find(o);
+  return it == pt->subjects_by_object.end() ? nullptr : &it->second;
+}
+
+void VerticalStore::Clear() {
+  tables_.clear();
+  size_ = 0;
+}
+
+}  // namespace hexastore

@@ -1,0 +1,94 @@
+// Column-oriented vertical-partitioning baseline (Abadi et al., VLDB'07),
+// represented as in the paper's §5: COVP1 is the pso indexing alone (one
+// two-column table per property, sorted by subject, objects grouped per
+// subject); COVP2 additionally keeps a second copy of each table sorted by
+// object (the pos indexing).
+//
+// The deliberate limitation: COVP1 has no object-order access, so
+// object-bound lookups must walk a property's subject vector; queries not
+// bound by property must touch every property table. Those asymptotics are
+// the phenomenon Figures 3-14 measure.
+#ifndef HEXASTORE_BASELINE_VERTICAL_STORE_H_
+#define HEXASTORE_BASELINE_VERTICAL_STORE_H_
+
+#include <cstddef>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/store_interface.h"
+#include "index/sorted_vec.h"
+
+namespace hexastore {
+
+/// One vertically-partitioned two-column property table.
+struct PropertyTable {
+  /// Sorted subject vector s(p).
+  IdVec subjects;
+  /// Object lists o(s, p), one per subject entry.
+  std::unordered_map<Id, IdVec> objects_by_subject;
+
+  /// COVP2 only: sorted object vector o(p).
+  IdVec objects;
+  /// COVP2 only: subject lists s(p, o), one per object entry.
+  std::unordered_map<Id, IdVec> subjects_by_object;
+
+  /// Number of (subject, object) pairs in the table.
+  std::size_t row_count = 0;
+};
+
+/// Vertically partitioned store; COVP1 when `with_object_index` is false,
+/// COVP2 when true.
+class VerticalStore : public TripleStore {
+ public:
+  /// Creates a COVP1 (`with_object_index == false`) or COVP2 store.
+  explicit VerticalStore(bool with_object_index)
+      : with_object_index_(with_object_index) {}
+
+  VerticalStore(const VerticalStore&) = delete;
+  VerticalStore& operator=(const VerticalStore&) = delete;
+
+  bool Insert(const IdTriple& t) override;
+  bool Erase(const IdTriple& t) override;
+  bool Contains(const IdTriple& t) const override;
+  std::size_t size() const override { return size_; }
+  void Scan(const IdPattern& pattern, const TripleSink& sink) const override;
+  std::size_t MemoryBytes() const override;
+  std::string name() const override {
+    return with_object_index_ ? "COVP2" : "COVP1";
+  }
+  void BulkLoad(const IdTripleVec& triples) override;
+
+  /// True for COVP2.
+  bool with_object_index() const { return with_object_index_; }
+
+  /// All property ids with a table, sorted ascending.
+  std::vector<Id> Properties() const;
+
+  /// The table for property `p`, or nullptr.
+  const PropertyTable* table(Id p) const;
+
+  /// Sorted subject vector of property `p`, or nullptr.
+  const IdVec* subject_vector(Id p) const;
+
+  /// Object list o(s, p), or nullptr.
+  const IdVec* object_list(Id p, Id s) const;
+
+  /// Sorted object vector of `p` (COVP2 only; nullptr on COVP1).
+  const IdVec* object_vector(Id p) const;
+
+  /// Subject list s(p, o) (COVP2 only; nullptr on COVP1).
+  const IdVec* subject_list(Id p, Id o) const;
+
+  /// Removes all triples.
+  void Clear();
+
+ private:
+  bool with_object_index_;
+  std::unordered_map<Id, PropertyTable> tables_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace hexastore
+
+#endif  // HEXASTORE_BASELINE_VERTICAL_STORE_H_

@@ -1,0 +1,53 @@
+#include "core/advisor.h"
+
+#include <iomanip>
+#include <sstream>
+
+namespace hexastore {
+
+IndexAdvice AdviseIndexes(const Hexastore& store, double drop_threshold) {
+  IndexAdvice advice;
+  std::uint64_t total = 0;
+  for (int i = 0; i < 6; ++i) {
+    advice.counts[i] = store.access_count(static_cast<Permutation>(i));
+    total += advice.counts[i];
+    advice.private_bytes[i] =
+        store.index(static_cast<Permutation>(i)).MemoryBytes();
+  }
+  if (total == 0) {
+    return advice;  // no evidence, no recommendation
+  }
+  for (int i = 0; i < 6; ++i) {
+    advice.share[i] =
+        static_cast<double>(advice.counts[i]) / static_cast<double>(total);
+    if (advice.share[i] < drop_threshold) {
+      advice.droppable.push_back(static_cast<Permutation>(i));
+      advice.reclaimable_bytes += advice.private_bytes[i];
+    }
+  }
+  return advice;
+}
+
+std::string IndexAdvice::ToString() const {
+  std::ostringstream os;
+  os << "Index usage report:\n";
+  for (int i = 0; i < 6; ++i) {
+    os << "  " << PermutationName(static_cast<Permutation>(i)) << ": "
+       << counts[i] << " accesses (" << std::fixed << std::setprecision(1)
+       << share[i] * 100.0 << "%), " << private_bytes[i]
+       << " private bytes\n";
+  }
+  os << "Droppable under current workload:";
+  if (droppable.empty()) {
+    os << " none";
+  } else {
+    for (Permutation p : droppable) {
+      os << ' ' << PermutationName(p);
+    }
+    os << " (would reclaim " << reclaimable_bytes << " bytes)";
+  }
+  os << "\n";
+  return os.str();
+}
+
+}  // namespace hexastore

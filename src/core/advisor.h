@@ -1,0 +1,51 @@
+// Workload-based index advisor (paper §6).
+//
+// The paper observes that "some indices may not contribute to query
+// efficiency based on a given workload. For example, the ops index has
+// been seldom used in our experiments. A subject for future research
+// concerns the selection of the most suitable indices for a given RDF
+// data set based on the query workload at hand." This module implements
+// that analysis over the Hexastore's access counters: it reports per-index
+// usage shares, the memory each index would release if dropped, and a
+// recommendation of droppable indexes under a usage threshold.
+#ifndef HEXASTORE_CORE_ADVISOR_H_
+#define HEXASTORE_CORE_ADVISOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/hexastore.h"
+#include "index/perm_index.h"
+
+namespace hexastore {
+
+/// Advice derived from a Hexastore's observed access pattern.
+struct IndexAdvice {
+  /// Raw access counts per permutation.
+  std::uint64_t counts[6] = {0, 0, 0, 0, 0, 0};
+  /// Fraction of all accesses served per permutation (0 when no accesses
+  /// were recorded at all).
+  double share[6] = {0, 0, 0, 0, 0, 0};
+  /// Header/vector bytes each index holds privately (shared terminal
+  /// lists are not attributed: they are kept alive by the sibling index).
+  std::size_t private_bytes[6] = {0, 0, 0, 0, 0, 0};
+  /// Permutations whose usage share falls below the advisor threshold,
+  /// i.e. candidates for dropping in a workload-tuned deployment.
+  std::vector<Permutation> droppable;
+  /// Total bytes the droppable indexes would release.
+  std::size_t reclaimable_bytes = 0;
+
+  /// Multi-line human-readable report.
+  std::string ToString() const;
+};
+
+/// Analyzes `store`'s access counters; an index is droppable when its
+/// share of all recorded accesses is strictly below `drop_threshold`.
+/// With no recorded accesses, nothing is droppable (no evidence).
+IndexAdvice AdviseIndexes(const Hexastore& store,
+                          double drop_threshold = 0.01);
+
+}  // namespace hexastore
+
+#endif  // HEXASTORE_CORE_ADVISOR_H_

@@ -1,0 +1,76 @@
+#include "core/graph.h"
+
+#include "rdf/ntriples.h"
+
+namespace hexastore {
+
+bool Graph::Insert(const Triple& triple) {
+  return store_.Insert(dict_.Encode(triple));
+}
+
+bool Graph::Erase(const Triple& triple) {
+  auto encoded = dict_.TryEncode(triple);
+  if (!encoded.has_value()) {
+    return false;
+  }
+  return store_.Erase(*encoded);
+}
+
+bool Graph::Contains(const Triple& triple) const {
+  auto encoded = dict_.TryEncode(triple);
+  return encoded.has_value() && store_.Contains(*encoded);
+}
+
+Result<std::size_t> Graph::LoadNTriples(std::string_view text) {
+  auto triples = ParseNTriplesDocument(text);
+  if (!triples.ok()) {
+    return triples.status();
+  }
+  std::size_t added = 0;
+  for (const auto& t : triples.value()) {
+    if (Insert(t)) {
+      ++added;
+    }
+  }
+  return added;
+}
+
+void Graph::BulkLoad(const std::vector<Triple>& triples) {
+  IdTripleVec encoded;
+  encoded.reserve(triples.size());
+  for (const auto& t : triples) {
+    encoded.push_back(dict_.Encode(t));
+  }
+  store_.BulkLoad(encoded);
+}
+
+std::vector<Triple> Graph::Match(const std::optional<Term>& s,
+                                 const std::optional<Term>& p,
+                                 const std::optional<Term>& o) const {
+  IdPattern pattern;
+  if (s.has_value()) {
+    pattern.s = dict_.Lookup(*s);
+    if (pattern.s == kInvalidId) {
+      return {};
+    }
+  }
+  if (p.has_value()) {
+    pattern.p = dict_.Lookup(*p);
+    if (pattern.p == kInvalidId) {
+      return {};
+    }
+  }
+  if (o.has_value()) {
+    pattern.o = dict_.Lookup(*o);
+    if (pattern.o == kInvalidId) {
+      return {};
+    }
+  }
+  std::vector<Triple> out;
+  for (const IdTriple& t : store_.Match(pattern)) {
+    out.push_back(dict_.Decode(t));
+  }
+  return out;
+}
+
+}  // namespace hexastore

@@ -1,0 +1,73 @@
+// Term-level convenience facade: a Dictionary plus a Hexastore behind one
+// API that speaks RDF Terms. This is the type most applications use; the
+// id-level Hexastore / TripleStore interfaces below it are for engines
+// and benchmarks that manage their own dictionary.
+#ifndef HEXASTORE_CORE_GRAPH_H_
+#define HEXASTORE_CORE_GRAPH_H_
+
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "core/hexastore.h"
+#include "dict/dictionary.h"
+#include "rdf/triple.h"
+#include "util/status.h"
+
+namespace hexastore {
+
+/// An RDF graph: dictionary-encoded terms over a Hexastore.
+class Graph {
+ public:
+  Graph() = default;
+
+  Graph(const Graph&) = delete;
+  Graph& operator=(const Graph&) = delete;
+
+  /// Adds a term-level triple (interning unseen terms). Returns false if
+  /// the triple was already present.
+  bool Insert(const Triple& triple);
+
+  /// Removes a triple. Returns false if absent (also when any term is
+  /// unknown).
+  bool Erase(const Triple& triple);
+
+  /// Membership test.
+  bool Contains(const Triple& triple) const;
+
+  /// Loads an N-Triples document; returns the number of triples added.
+  Result<std::size_t> LoadNTriples(std::string_view text);
+
+  /// Bulk-inserts term triples (faster than repeated Insert).
+  void BulkLoad(const std::vector<Triple>& triples);
+
+  /// Bulk-inserts already-encoded id triples; every id must be valid in
+  /// dict() (used by snapshot loading).
+  void BulkLoadEncoded(const IdTripleVec& triples) {
+    store_.BulkLoad(triples);
+  }
+
+  /// All triples matching a pattern where empty optionals are wildcards,
+  /// decoded back to terms and sorted in (s, p, o) id order.
+  std::vector<Triple> Match(const std::optional<Term>& s,
+                            const std::optional<Term>& p,
+                            const std::optional<Term>& o) const;
+
+  /// Number of triples.
+  std::size_t size() const { return store_.size(); }
+
+  /// The underlying id-level store.
+  const Hexastore& store() const { return store_; }
+  /// The dictionary.
+  const Dictionary& dict() const { return dict_; }
+  /// Mutable dictionary access (for engines layering on top).
+  Dictionary& mutable_dict() { return dict_; }
+
+ private:
+  Dictionary dict_;
+  Hexastore store_;
+};
+
+}  // namespace hexastore
+
+#endif  // HEXASTORE_CORE_GRAPH_H_

@@ -1,0 +1,298 @@
+#include "core/hexastore.h"
+
+#include <sstream>
+
+namespace hexastore {
+
+bool Hexastore::Insert(const IdTriple& t) {
+  // The o(s,p) insertion doubles as the duplicate check: a triple is
+  // present iff its object is in the shared object list.
+  if (!pool_.Insert(ListFamily::kObjects, t.s, t.p, t.o)) {
+    return false;
+  }
+  pool_.Insert(ListFamily::kPredicates, t.s, t.o, t.p);
+  pool_.Insert(ListFamily::kSubjects, t.p, t.o, t.s);
+
+  index(Permutation::kSpo).Insert(t.s, t.p);
+  index(Permutation::kSop).Insert(t.s, t.o);
+  index(Permutation::kPso).Insert(t.p, t.s);
+  index(Permutation::kPos).Insert(t.p, t.o);
+  index(Permutation::kOsp).Insert(t.o, t.s);
+  index(Permutation::kOps).Insert(t.o, t.p);
+
+  ++size_;
+  return true;
+}
+
+bool Hexastore::Erase(const IdTriple& t) {
+  if (!pool_.Erase(ListFamily::kObjects, t.s, t.p, t.o)) {
+    return false;
+  }
+  pool_.Erase(ListFamily::kPredicates, t.s, t.o, t.p);
+  pool_.Erase(ListFamily::kSubjects, t.p, t.o, t.s);
+
+  // A second-level pair leaves an index only when its terminal list is
+  // gone; e.g. (s, p) leaves spo when o(s,p) no longer exists.
+  if (objects(t.s, t.p) == nullptr) {
+    index(Permutation::kSpo).Erase(t.s, t.p);
+    index(Permutation::kPso).Erase(t.p, t.s);
+  }
+  if (predicates(t.s, t.o) == nullptr) {
+    index(Permutation::kSop).Erase(t.s, t.o);
+    index(Permutation::kOsp).Erase(t.o, t.s);
+  }
+  if (subjects(t.p, t.o) == nullptr) {
+    index(Permutation::kPos).Erase(t.p, t.o);
+    index(Permutation::kOps).Erase(t.o, t.p);
+  }
+
+  --size_;
+  return true;
+}
+
+bool Hexastore::Contains(const IdTriple& t) const {
+  return pool_.Contains(ListFamily::kObjects, t.s, t.p, t.o);
+}
+
+void Hexastore::Scan(const IdPattern& q, const TripleSink& sink) const {
+  const bool bs = q.has_s();
+  const bool bp = q.has_p();
+  const bool bo = q.has_o();
+
+  if (bs && bp && bo) {
+    if (Contains(IdTriple{q.s, q.p, q.o})) {
+      sink(IdTriple{q.s, q.p, q.o});
+    }
+    return;
+  }
+  if (bs && bp) {  // (s, p, ?) via o(s,p)
+    if (const IdVec* os = objects(q.s, q.p)) {
+      for (Id o : *os) {
+        sink(IdTriple{q.s, q.p, o});
+      }
+    }
+    return;
+  }
+  if (bs && bo) {  // (s, ?, o) via p(s,o)
+    if (const IdVec* ps = predicates(q.s, q.o)) {
+      for (Id p : *ps) {
+        sink(IdTriple{q.s, p, q.o});
+      }
+    }
+    return;
+  }
+  if (bp && bo) {  // (?, p, o) via s(p,o)
+    if (const IdVec* ss = subjects(q.p, q.o)) {
+      for (Id s : *ss) {
+        sink(IdTriple{s, q.p, q.o});
+      }
+    }
+    return;
+  }
+  if (bs) {  // (s, ?, ?) via spo
+    if (const IdVec* ps = predicates_of_subject(q.s)) {
+      for (Id p : *ps) {
+        const IdVec* os = objects(q.s, p);
+        for (Id o : *os) {
+          sink(IdTriple{q.s, p, o});
+        }
+      }
+    }
+    return;
+  }
+  if (bp) {  // (?, p, ?) via pso
+    if (const IdVec* ss = subjects_of_predicate(q.p)) {
+      for (Id s : *ss) {
+        const IdVec* os = objects(s, q.p);
+        for (Id o : *os) {
+          sink(IdTriple{s, q.p, o});
+        }
+      }
+    }
+    return;
+  }
+  if (bo) {  // (?, ?, o) via osp
+    if (const IdVec* ss = subjects_of_object(q.o)) {
+      for (Id s : *ss) {
+        const IdVec* ps = predicates(s, q.o);
+        for (Id p : *ps) {
+          sink(IdTriple{s, p, q.o});
+        }
+      }
+    }
+    return;
+  }
+  // Full scan via spo.
+  index(Permutation::kSpo).ForEachHeader([&](Id s, const IdVec& ps) {
+    for (Id p : ps) {
+      const IdVec* os = objects(s, p);
+      for (Id o : *os) {
+        sink(IdTriple{s, p, o});
+      }
+    }
+  });
+}
+
+std::size_t Hexastore::MemoryBytes() const {
+  std::size_t bytes = pool_.MemoryBytes();
+  for (const auto& idx : indexes_) {
+    bytes += idx.MemoryBytes();
+  }
+  return bytes;
+}
+
+void Hexastore::BulkLoad(const IdTripleVec& triples) {
+  for (const auto& t : triples) {
+    pool_.GetOrCreate(ListFamily::kObjects, t.s, t.p)->push_back(t.o);
+    pool_.GetOrCreate(ListFamily::kPredicates, t.s, t.o)->push_back(t.p);
+    pool_.GetOrCreate(ListFamily::kSubjects, t.p, t.o)->push_back(t.s);
+    index(Permutation::kSpo).GetOrCreate(t.s)->push_back(t.p);
+    index(Permutation::kSop).GetOrCreate(t.s)->push_back(t.o);
+    index(Permutation::kPso).GetOrCreate(t.p)->push_back(t.s);
+    index(Permutation::kPos).GetOrCreate(t.p)->push_back(t.o);
+    index(Permutation::kOsp).GetOrCreate(t.o)->push_back(t.s);
+    index(Permutation::kOps).GetOrCreate(t.o)->push_back(t.p);
+  }
+  pool_.SortUniqueAll();
+  for (auto& idx : indexes_) {
+    idx.SortUniqueAll();
+  }
+  // Distinct triple count == total entries in any one terminal family.
+  size_ = pool_.EntryCount(ListFamily::kObjects);
+}
+
+void Hexastore::Clear() {
+  for (auto& idx : indexes_) {
+    idx.Clear();
+  }
+  pool_.Clear();
+  size_ = 0;
+}
+
+MemoryStats Hexastore::Stats() const {
+  MemoryStats stats;
+  for (int i = 0; i < 6; ++i) {
+    stats.perm_index_bytes[i] = indexes_[i].MemoryBytes();
+  }
+  for (int f = 0; f < 3; ++f) {
+    stats.terminal_bytes[f] =
+        pool_.MemoryBytes(static_cast<ListFamily>(f));
+  }
+  // Key entries: each header counts 1, each vector entry 1, each terminal
+  // entry 1. This is the quantity the paper's 5x bound speaks about.
+  for (const auto& idx : indexes_) {
+    stats.key_entries += idx.HeaderCount() + idx.EntryCount();
+  }
+  for (int f = 0; f < 3; ++f) {
+    stats.key_entries += pool_.EntryCount(static_cast<ListFamily>(f));
+  }
+  return stats;
+}
+
+bool Hexastore::CheckInvariants(std::string* error) const {
+  auto fail = [error](const std::string& msg) {
+    if (error != nullptr) {
+      *error = msg;
+    }
+    return false;
+  };
+
+  // 1. Every vector and list is strictly sorted; headers never map to
+  //    empty vectors.
+  for (Permutation perm : kAllPermutations) {
+    bool ok = true;
+    std::string msg;
+    index(perm).ForEachHeader([&](Id first, const IdVec& vec) {
+      if (vec.empty()) {
+        ok = false;
+        msg = std::string("empty vector in ") + PermutationName(perm) +
+              " under header " + std::to_string(first);
+      } else if (!IsStrictlySorted(vec)) {
+        ok = false;
+        msg = std::string("unsorted vector in ") + PermutationName(perm);
+      }
+    });
+    if (!ok) {
+      return fail(msg);
+    }
+  }
+
+  // 2. Each pair of same-first-role indexes has identical header sets.
+  auto same_headers = [&](Permutation a, Permutation b) {
+    return index(a).SortedHeaders() == index(b).SortedHeaders();
+  };
+  if (!same_headers(Permutation::kSpo, Permutation::kSop)) {
+    return fail("spo and sop disagree on subject headers");
+  }
+  if (!same_headers(Permutation::kPso, Permutation::kPos)) {
+    return fail("pso and pos disagree on predicate headers");
+  }
+  if (!same_headers(Permutation::kOsp, Permutation::kOps)) {
+    return fail("osp and ops disagree on object headers");
+  }
+
+  // 3. Second-level pairs exist iff their terminal list exists, and the
+  //    transposed index contains the mirrored pair. Checked from spo/sop/
+  //    pos which covers all three families.
+  std::size_t spo_triples = 0;
+  {
+    bool ok = true;
+    std::string msg;
+    index(Permutation::kSpo).ForEachHeader([&](Id s, const IdVec& ps) {
+      for (Id p : ps) {
+        const IdVec* os = objects(s, p);
+        if (os == nullptr || os->empty()) {
+          ok = false;
+          msg = "spo pair without o(s,p) list";
+          return;
+        }
+        if (!index(Permutation::kPso).Contains(p, s)) {
+          ok = false;
+          msg = "spo pair missing from pso";
+          return;
+        }
+        spo_triples += os->size();
+        for (Id o : *os) {
+          if (!pool_.Contains(ListFamily::kPredicates, s, o, p)) {
+            ok = false;
+            msg = "triple missing from p(s,o)";
+            return;
+          }
+          if (!pool_.Contains(ListFamily::kSubjects, p, o, s)) {
+            ok = false;
+            msg = "triple missing from s(p,o)";
+            return;
+          }
+          if (!index(Permutation::kSop).Contains(s, o) ||
+              !index(Permutation::kOsp).Contains(o, s) ||
+              !index(Permutation::kPos).Contains(p, o) ||
+              !index(Permutation::kOps).Contains(o, p)) {
+            ok = false;
+            msg = "second-level pair missing from a sibling index";
+            return;
+          }
+        }
+      }
+    });
+    if (!ok) {
+      return fail(msg);
+    }
+  }
+
+  // 4. All three families carry exactly `size_` entries.
+  for (int f = 0; f < 3; ++f) {
+    if (pool_.EntryCount(static_cast<ListFamily>(f)) != size_) {
+      std::ostringstream os;
+      os << "terminal family " << f << " entry count "
+         << pool_.EntryCount(static_cast<ListFamily>(f))
+         << " != size " << size_;
+      return fail(os.str());
+    }
+  }
+  if (spo_triples != size_) {
+    return fail("spo triple walk disagrees with size");
+  }
+  return true;
+}
+
+}  // namespace hexastore

@@ -1,0 +1,37 @@
+#include "core/stats.h"
+
+#include <sstream>
+
+#include "index/perm_index.h"
+
+namespace hexastore {
+
+std::size_t MemoryStats::Total() const {
+  std::size_t total = 0;
+  for (std::size_t b : perm_index_bytes) {
+    total += b;
+  }
+  for (std::size_t b : terminal_bytes) {
+    total += b;
+  }
+  return total;
+}
+
+std::string MemoryStats::ToString() const {
+  std::ostringstream os;
+  os << "Hexastore memory breakdown:\n";
+  for (int i = 0; i < 6; ++i) {
+    os << "  index " << PermutationName(static_cast<Permutation>(i))
+       << ": " << perm_index_bytes[i] << " bytes\n";
+  }
+  static const char* kFamilyNames[3] = {"o(s,p)", "p(s,o)", "s(p,o)"};
+  for (int i = 0; i < 3; ++i) {
+    os << "  terminal " << kFamilyNames[i] << ": " << terminal_bytes[i]
+       << " bytes\n";
+  }
+  os << "  total: " << Total() << " bytes, key entries: " << key_entries
+     << "\n";
+  return os.str();
+}
+
+}  // namespace hexastore

@@ -1,0 +1,33 @@
+// Per-structure memory statistics of a Hexastore, used by the Figure 15
+// reproduction and by the worst-case-5x space-bound ablation.
+#ifndef HEXASTORE_CORE_STATS_H_
+#define HEXASTORE_CORE_STATS_H_
+
+#include <cstddef>
+#include <string>
+
+namespace hexastore {
+
+/// Byte-level breakdown of a Hexastore's index structures.
+struct MemoryStats {
+  /// Header maps + second-level sorted vectors, per permutation
+  /// (indexed by static_cast<int>(Permutation)).
+  std::size_t perm_index_bytes[6] = {0, 0, 0, 0, 0, 0};
+  /// Shared terminal lists, per family (objects, predicates, subjects).
+  std::size_t terminal_bytes[3] = {0, 0, 0};
+
+  /// Sum of all components.
+  std::size_t Total() const;
+
+  /// Number of id *entries* (not bytes) across headers, vectors and lists;
+  /// used to verify the paper's worst-case 5x bound, which is stated in
+  /// key-entry counts relative to the 3n entries of a triples table.
+  std::size_t key_entries = 0;
+
+  /// Multi-line human-readable report.
+  std::string ToString() const;
+};
+
+}  // namespace hexastore
+
+#endif  // HEXASTORE_CORE_STATS_H_

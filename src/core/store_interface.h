@@ -1,0 +1,76 @@
+// Abstract id-level triple store interface.
+//
+// The Hexastore and both baselines (triples table, COVP1/COVP2) implement
+// this interface, so workload queries, integration tests and benchmarks
+// can be written once and cross-checked for identical answers.
+//
+// Stores operate purely on dictionary-encoded ids; the Dictionary is owned
+// by the caller (benchmarks share one dictionary across all stores so ids
+// are comparable).
+#ifndef HEXASTORE_CORE_STORE_INTERFACE_H_
+#define HEXASTORE_CORE_STORE_INTERFACE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "rdf/triple.h"
+#include "util/common.h"
+
+namespace hexastore {
+
+/// Callback receiving one matching triple during a scan. Returning is
+/// unconditional (no early termination); use CountMatches/Exists for
+/// cheaper predicates.
+using TripleSink = std::function<void(const IdTriple&)>;
+
+/// Common interface of all triple stores in this library.
+class TripleStore {
+ public:
+  virtual ~TripleStore();
+
+  /// Adds a triple. Returns false if it was already present.
+  virtual bool Insert(const IdTriple& t) = 0;
+
+  /// Removes a triple. Returns false if it was absent.
+  virtual bool Erase(const IdTriple& t) = 0;
+
+  /// Membership test.
+  virtual bool Contains(const IdTriple& t) const = 0;
+
+  /// Number of distinct triples stored.
+  virtual std::size_t size() const = 0;
+
+  /// Emits every triple matching `pattern` to `sink`. Triples are emitted
+  /// in the natural order of the index the store chooses; callers that
+  /// need a specific order must sort.
+  virtual void Scan(const IdPattern& pattern, const TripleSink& sink)
+      const = 0;
+
+  /// Approximate heap bytes held by the store's index structures
+  /// (excludes the shared dictionary).
+  virtual std::size_t MemoryBytes() const = 0;
+
+  /// Store name for reports ("Hexastore", "COVP1", ...).
+  virtual std::string name() const = 0;
+
+  // -- Convenience helpers built on the virtual core ----------------------
+
+  /// Materializes all matches of `pattern`, sorted in (s, p, o) order.
+  IdTripleVec Match(const IdPattern& pattern) const;
+
+  /// Number of matches of `pattern`.
+  std::uint64_t CountMatches(const IdPattern& pattern) const;
+
+  /// True iff at least one triple matches.
+  bool MatchesAny(const IdPattern& pattern) const;
+
+  /// Bulk-insert; default loops over Insert, stores may override with a
+  /// faster path.
+  virtual void BulkLoad(const IdTripleVec& triples);
+};
+
+}  // namespace hexastore
+
+#endif  // HEXASTORE_CORE_STORE_INTERFACE_H_

@@ -1,0 +1,211 @@
+#include "data/barton_generator.h"
+
+#include <string>
+
+#include "util/rng.h"
+#include "util/zipf.h"
+
+namespace hexastore::data {
+
+namespace {
+
+constexpr const char* kNs = "http://example.org/barton/";
+
+Term NsIri(const std::string& local) { return Term::Iri(kNs + local); }
+
+}  // namespace
+
+BartonGenerator::BartonGenerator(BartonOptions options)
+    : options_(options) {}
+
+Term BartonGenerator::PropType() { return NsIri("type"); }
+Term BartonGenerator::PropLanguage() { return NsIri("language"); }
+Term BartonGenerator::PropOrigin() { return NsIri("origin"); }
+Term BartonGenerator::PropRecords() { return NsIri("records"); }
+Term BartonGenerator::PropPoint() { return NsIri("point"); }
+Term BartonGenerator::PropEncoding() { return NsIri("encoding"); }
+Term BartonGenerator::PropTitle() { return NsIri("title"); }
+Term BartonGenerator::PropCreator() { return NsIri("creator"); }
+Term BartonGenerator::PropSubject() { return NsIri("subject"); }
+Term BartonGenerator::PropPublisher() { return NsIri("publisher"); }
+Term BartonGenerator::PropDateValue() { return NsIri("dateValue"); }
+Term BartonGenerator::PropFormat() { return NsIri("format"); }
+Term BartonGenerator::PropDescription() { return NsIri("description"); }
+Term BartonGenerator::PropIdentifier() { return NsIri("identifier"); }
+Term BartonGenerator::PropRelated() { return NsIri("related"); }
+
+Term BartonGenerator::GenericProperty(std::size_t k) {
+  return NsIri("prop" + std::to_string(k));
+}
+
+Term BartonGenerator::TypeText() { return NsIri("Text"); }
+Term BartonGenerator::TypeNotatedMusic() { return NsIri("NotatedMusic"); }
+Term BartonGenerator::TypeSoundRecording() {
+  return NsIri("SoundRecording");
+}
+Term BartonGenerator::TypeMap() { return NsIri("Map"); }
+Term BartonGenerator::TypeManuscript() { return NsIri("Manuscript"); }
+Term BartonGenerator::TypePeriodical() { return NsIri("Periodical"); }
+Term BartonGenerator::TypeDate() { return NsIri("Date"); }
+Term BartonGenerator::TypeOrganization() { return NsIri("Organization"); }
+Term BartonGenerator::TypePerson() { return NsIri("Person"); }
+
+Term BartonGenerator::LangFrench() { return Term::Literal("French"); }
+Term BartonGenerator::LangEnglish() { return Term::Literal("English"); }
+Term BartonGenerator::LangGerman() { return Term::Literal("German"); }
+Term BartonGenerator::LangSpanish() { return Term::Literal("Spanish"); }
+
+Term BartonGenerator::OriginDlc() { return Term::Literal("DLC"); }
+Term BartonGenerator::PointEnd() { return Term::Literal("end"); }
+Term BartonGenerator::PointStart() { return Term::Literal("start"); }
+
+Term BartonGenerator::RecordUri(std::size_t i) {
+  return NsIri("record" + std::to_string(i));
+}
+
+std::vector<Term> BartonGenerator::PreselectedProperties() {
+  std::vector<Term> props = {
+      PropType(),        PropLanguage(),   PropOrigin(),
+      PropRecords(),     PropPoint(),      PropEncoding(),
+      PropTitle(),       PropCreator(),    PropSubject(),
+      PropPublisher(),   PropDateValue(),  PropFormat(),
+      PropDescription(), PropIdentifier(), PropRelated(),
+  };
+  // Plus the 13 most frequent tail properties (lowest Zipf ranks), making
+  // 28 in total, mirroring the 28-of-221 preselection in Abadi et al.
+  for (std::size_t k = 0; k < 13; ++k) {
+    props.push_back(GenericProperty(k));
+  }
+  return props;
+}
+
+std::vector<Triple> BartonGenerator::Generate(
+    std::size_t num_triples) const {
+  std::vector<Triple> out;
+  out.reserve(num_triples);
+  Rng rng(options_.seed);
+  ZipfDistribution prop_zipf(options_.num_generic_properties,
+                             options_.zipf_exponent);
+  ZipfDistribution value_zipf(options_.num_generic_values, 1.05);
+
+  const Term types_catalog[6] = {TypeText(),       TypeNotatedMusic(),
+                                 TypeSoundRecording(), TypeMap(),
+                                 TypeManuscript(), TypePeriodical()};
+  // Cumulative probabilities: Text dominates the catalog.
+  const double type_cdf[6] = {0.55, 0.65, 0.75, 0.80, 0.90, 1.0};
+
+  const Term langs[4] = {LangEnglish(), LangFrench(), LangGerman(),
+                         LangSpanish()};
+  const double lang_cdf[4] = {0.55, 0.75, 0.90, 1.0};
+
+  const Term encodings[3] = {Term::Literal("marc"),
+                             Term::Literal("w3cdtf"),
+                             Term::Literal("iso8601")};
+
+  std::size_t record_idx = 0;
+  std::vector<std::size_t> catalog_indices;  // targets for Records refs
+  auto emit = [&out, num_triples](Triple t) {
+    if (out.size() < num_triples) {
+      out.push_back(std::move(t));
+    }
+  };
+
+  while (out.size() < num_triples) {
+    const Term rec = RecordUri(record_idx);
+    const double kind = rng.NextDouble();
+    if (kind < 0.60) {
+      // Catalog item.
+      catalog_indices.push_back(record_idx);
+      double t = rng.NextDouble();
+      std::size_t ti = 0;
+      while (ti < 5 && t >= type_cdf[ti]) {
+        ++ti;
+      }
+      emit({rec, PropType(), types_catalog[ti]});
+      if (rng.Bernoulli(0.85)) {
+        double l = rng.NextDouble();
+        std::size_t li = 0;
+        while (li < 3 && l >= lang_cdf[li]) {
+          ++li;
+        }
+        emit({rec, PropLanguage(), langs[li]});
+      }
+      emit({rec, PropTitle(),
+            Term::Literal("title" + std::to_string(rng.Uniform(200000)))});
+      if (rng.Bernoulli(0.7)) {
+        emit({rec, PropCreator(),
+              Term::Literal("creator" + std::to_string(rng.Uniform(30000)))});
+      }
+      // Subject is multi-valued: 0-3 subjects per record from a small,
+      // heavily reused vocabulary (drives BQ3's popular-object counts).
+      const std::uint64_t num_subjects = rng.Uniform(4);
+      for (std::uint64_t k = 0; k < num_subjects; ++k) {
+        emit({rec, PropSubject(),
+              Term::Literal("subject" + std::to_string(rng.Uniform(500)))});
+      }
+      if (rng.Bernoulli(0.5)) {
+        emit({rec, PropPublisher(),
+              Term::Literal("publisher" +
+                            std::to_string(rng.Uniform(2000)))});
+      }
+      // Zipf tail properties: 0-5 of them, values heavily reused.
+      const std::uint64_t num_tail = rng.Uniform(6);
+      for (std::uint64_t k = 0; k < num_tail; ++k) {
+        const std::size_t prop_rank = prop_zipf.Sample(&rng);
+        const std::size_t value_rank = value_zipf.Sample(&rng);
+        emit({rec, GenericProperty(prop_rank),
+              Term::Literal("val" + std::to_string(value_rank))});
+      }
+    } else if (kind < 0.75) {
+      // Date authority record (BQ7: Point "end" resources are Dates with
+      // an Encoding). "end" is deliberately a minority value so that
+      // subject-sorted stores cannot answer the Point:"end" selection by
+      // walking a result-sized prefix.
+      emit({rec, PropType(), TypeDate()});
+      const double point = rng.NextDouble();
+      if (point < 0.10) {
+        emit({rec, PropPoint(), PointEnd()});
+      } else if (point < 0.55) {
+        emit({rec, PropPoint(), PointStart()});
+      } else if (point < 0.80) {
+        emit({rec, PropPoint(), Term::Literal("mid")});
+      } else {
+        emit({rec, PropPoint(), Term::Literal("open")});
+      }
+      emit({rec, PropEncoding(), encodings[rng.Uniform(3)]});
+      emit({rec, PropDateValue(),
+            Term::Literal("date" + std::to_string(rng.Uniform(100000)))});
+    } else {
+      // Provenance record (BQ5: DLC-origin subjects that `Records`
+      // catalog entries, whose Type is then the inferred type). DLC
+      // dominates (as in the real Library-of-Congress-derived data) but
+      // coexists with hundreds of other origins.
+      if (rng.Bernoulli(0.6)) {
+        emit({rec, PropOrigin(), OriginDlc()});
+      } else {
+        emit({rec, PropOrigin(),
+              Term::Literal("origin" + std::to_string(rng.Uniform(300)))});
+      }
+      if (!catalog_indices.empty()) {
+        const std::size_t targets = 1 + rng.Uniform(2);
+        for (std::size_t k = 0; k < targets; ++k) {
+          const std::size_t target =
+              catalog_indices[rng.Uniform(catalog_indices.size())];
+          emit({rec, PropRecords(), RecordUri(target)});
+        }
+      }
+      if (rng.Bernoulli(0.3)) {
+        emit({rec, PropType(),
+              rng.Bernoulli(0.5) ? TypeOrganization() : TypePerson()});
+      }
+      if (rng.Bernoulli(0.4)) {
+        emit({rec, PropIdentifier(),
+              Term::Literal("id" + std::to_string(record_idx))});
+      }
+    }
+    ++record_idx;
+  }
+  return out;
+}
+
+}  // namespace hexastore::data

@@ -1,0 +1,108 @@
+// Synthetic Barton-like library-catalog dataset (paper §5.1.1).
+//
+// The real MIT Barton Libraries dump (61M triples, 285 unique properties,
+// highly irregular) is not redistributable here, so we generate a
+// deterministic synthetic catalog with the same *shape*:
+//
+//  * ~285 properties whose frequencies follow a Zipf law ("the vast
+//    majority of properties appear infrequently");
+//  * record types (Text, NotatedMusic, SoundRecording, Date, ...), with
+//    Text dominating, as queries BQ1-BQ4 require;
+//  * Language / Origin / Records / Point / Encoding properties wired the
+//    way queries BQ4, BQ5 and BQ7 need them (DLC-origin records that
+//    `Records` other catalog entries; Date records carrying Point "end"
+//    and an Encoding);
+//  * multi-valued properties (Subject, generic tail properties) so BQ3's
+//    "popular object values" aggregation has work to do.
+//
+// Generation is streaming and deterministic: Generate(n) always returns
+// the same n triples for the same options, and Generate(m) for m < n is a
+// strict prefix of Generate(n) — exactly what the paper's progressively-
+// larger-prefix experiments need.
+#ifndef HEXASTORE_DATA_BARTON_GENERATOR_H_
+#define HEXASTORE_DATA_BARTON_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "rdf/term.h"
+#include "rdf/triple.h"
+
+namespace hexastore::data {
+
+/// Options for the Barton-like generator.
+struct BartonOptions {
+  /// PRNG seed; same seed => identical dataset.
+  std::uint64_t seed = 20080824;
+  /// Number of generic tail properties (plus 15 named head properties
+  /// gives the paper's ~285 unique properties).
+  std::size_t num_generic_properties = 270;
+  /// Zipf exponent of the tail-property frequency law.
+  double zipf_exponent = 1.1;
+  /// Distinct generic object values shared across tail properties.
+  std::size_t num_generic_values = 4000;
+};
+
+/// Deterministic generator for the Barton-like catalog.
+class BartonGenerator {
+ public:
+  explicit BartonGenerator(BartonOptions options = BartonOptions());
+
+  /// Exactly `num_triples` triples; Generate(m) is a prefix of
+  /// Generate(n) for m <= n.
+  std::vector<Triple> Generate(std::size_t num_triples) const;
+
+  // -- Vocabulary (namespaced under http://example.org/barton/) ----------
+
+  static Term PropType();
+  static Term PropLanguage();
+  static Term PropOrigin();
+  static Term PropRecords();
+  static Term PropPoint();
+  static Term PropEncoding();
+  static Term PropTitle();
+  static Term PropCreator();
+  static Term PropSubject();
+  static Term PropPublisher();
+  static Term PropDateValue();
+  static Term PropFormat();
+  static Term PropDescription();
+  static Term PropIdentifier();
+  static Term PropRelated();
+  /// Generic tail property #k (k < num_generic_properties).
+  static Term GenericProperty(std::size_t k);
+
+  static Term TypeText();
+  static Term TypeNotatedMusic();
+  static Term TypeSoundRecording();
+  static Term TypeMap();
+  static Term TypeManuscript();
+  static Term TypePeriodical();
+  static Term TypeDate();
+  static Term TypeOrganization();
+  static Term TypePerson();
+
+  static Term LangFrench();
+  static Term LangEnglish();
+  static Term LangGerman();
+  static Term LangSpanish();
+
+  static Term OriginDlc();
+  static Term PointEnd();
+  static Term PointStart();
+
+  /// URI of catalog record `i`.
+  static Term RecordUri(std::size_t i);
+
+  /// The 28 preselected properties used by the paper's `_28` query
+  /// variants (the named head properties plus the most frequent tail
+  /// properties).
+  static std::vector<Term> PreselectedProperties();
+
+ private:
+  BartonOptions options_;
+};
+
+}  // namespace hexastore::data
+
+#endif  // HEXASTORE_DATA_BARTON_GENERATOR_H_

@@ -1,0 +1,333 @@
+#include "data/lubm_generator.h"
+
+#include <string>
+
+#include "util/rng.h"
+
+namespace hexastore::data {
+
+namespace {
+
+constexpr const char* kUb =
+    "http://swat.cse.lehigh.edu/onto/univ-bench.owl#";
+constexpr const char* kData = "http://www.university.example.org/";
+
+Term UbIri(const std::string& local) { return Term::Iri(kUb + local); }
+
+std::string DeptPrefix(std::size_t u, std::size_t d) {
+  return std::string(kData) + "Department" + std::to_string(d) +
+         ".University" + std::to_string(u) + "/";
+}
+
+}  // namespace
+
+LubmGenerator::LubmGenerator(LubmOptions options) : options_(options) {}
+
+Term LubmGenerator::PropType() { return UbIri("type"); }
+Term LubmGenerator::PropName() { return UbIri("name"); }
+Term LubmGenerator::PropEmail() { return UbIri("emailAddress"); }
+Term LubmGenerator::PropTelephone() { return UbIri("telephone"); }
+Term LubmGenerator::PropResearchInterest() {
+  return UbIri("researchInterest");
+}
+Term LubmGenerator::PropTeacherOf() { return UbIri("teacherOf"); }
+Term LubmGenerator::PropWorksFor() { return UbIri("worksFor"); }
+Term LubmGenerator::PropHeadOf() { return UbIri("headOf"); }
+Term LubmGenerator::PropUndergraduateDegreeFrom() {
+  return UbIri("undergraduateDegreeFrom");
+}
+Term LubmGenerator::PropMastersDegreeFrom() {
+  return UbIri("mastersDegreeFrom");
+}
+Term LubmGenerator::PropDoctoralDegreeFrom() {
+  return UbIri("doctoralDegreeFrom");
+}
+Term LubmGenerator::PropAdvisor() { return UbIri("advisor"); }
+Term LubmGenerator::PropTakesCourse() { return UbIri("takesCourse"); }
+Term LubmGenerator::PropTeachingAssistantOf() {
+  return UbIri("teachingAssistantOf");
+}
+Term LubmGenerator::PropMemberOf() { return UbIri("memberOf"); }
+Term LubmGenerator::PropSubOrganizationOf() {
+  return UbIri("subOrganizationOf");
+}
+Term LubmGenerator::PropPublicationAuthor() {
+  return UbIri("publicationAuthor");
+}
+Term LubmGenerator::PropTitle() { return UbIri("title"); }
+
+std::vector<Term> LubmGenerator::AllPredicates() {
+  return {PropType(),
+          PropName(),
+          PropEmail(),
+          PropTelephone(),
+          PropResearchInterest(),
+          PropTeacherOf(),
+          PropWorksFor(),
+          PropHeadOf(),
+          PropUndergraduateDegreeFrom(),
+          PropMastersDegreeFrom(),
+          PropDoctoralDegreeFrom(),
+          PropAdvisor(),
+          PropTakesCourse(),
+          PropTeachingAssistantOf(),
+          PropMemberOf(),
+          PropSubOrganizationOf(),
+          PropPublicationAuthor(),
+          PropTitle()};
+}
+
+Term LubmGenerator::ClassUniversity() { return UbIri("University"); }
+Term LubmGenerator::ClassDepartment() { return UbIri("Department"); }
+Term LubmGenerator::ClassFullProfessor() { return UbIri("FullProfessor"); }
+Term LubmGenerator::ClassAssociateProfessor() {
+  return UbIri("AssociateProfessor");
+}
+Term LubmGenerator::ClassAssistantProfessor() {
+  return UbIri("AssistantProfessor");
+}
+Term LubmGenerator::ClassLecturer() { return UbIri("Lecturer"); }
+Term LubmGenerator::ClassGraduateStudent() {
+  return UbIri("GraduateStudent");
+}
+Term LubmGenerator::ClassUndergraduateStudent() {
+  return UbIri("UndergraduateStudent");
+}
+Term LubmGenerator::ClassCourse() { return UbIri("Course"); }
+Term LubmGenerator::ClassGraduateCourse() { return UbIri("GraduateCourse"); }
+Term LubmGenerator::ClassPublication() { return UbIri("Publication"); }
+
+Term LubmGenerator::UniversityUri(std::size_t u) {
+  return Term::Iri(std::string(kData) + "University" + std::to_string(u));
+}
+Term LubmGenerator::DepartmentUri(std::size_t u, std::size_t d) {
+  return Term::Iri(DeptPrefix(u, d));
+}
+Term LubmGenerator::FullProfessorUri(std::size_t u, std::size_t d,
+                                     std::size_t i) {
+  return Term::Iri(DeptPrefix(u, d) + "FullProfessor" + std::to_string(i));
+}
+Term LubmGenerator::AssociateProfessorUri(std::size_t u, std::size_t d,
+                                          std::size_t i) {
+  return Term::Iri(DeptPrefix(u, d) + "AssociateProfessor" +
+                   std::to_string(i));
+}
+Term LubmGenerator::AssistantProfessorUri(std::size_t u, std::size_t d,
+                                          std::size_t i) {
+  return Term::Iri(DeptPrefix(u, d) + "AssistantProfessor" +
+                   std::to_string(i));
+}
+Term LubmGenerator::LecturerUri(std::size_t u, std::size_t d,
+                                std::size_t i) {
+  return Term::Iri(DeptPrefix(u, d) + "Lecturer" + std::to_string(i));
+}
+Term LubmGenerator::GraduateStudentUri(std::size_t u, std::size_t d,
+                                       std::size_t i) {
+  return Term::Iri(DeptPrefix(u, d) + "GraduateStudent" +
+                   std::to_string(i));
+}
+Term LubmGenerator::UndergraduateStudentUri(std::size_t u, std::size_t d,
+                                            std::size_t i) {
+  return Term::Iri(DeptPrefix(u, d) + "UndergraduateStudent" +
+                   std::to_string(i));
+}
+Term LubmGenerator::CourseUri(std::size_t u, std::size_t d,
+                              std::size_t i) {
+  return Term::Iri(DeptPrefix(u, d) + "Course" + std::to_string(i));
+}
+Term LubmGenerator::GraduateCourseUri(std::size_t u, std::size_t d,
+                                      std::size_t i) {
+  return Term::Iri(DeptPrefix(u, d) + "GraduateCourse" +
+                   std::to_string(i));
+}
+Term LubmGenerator::PublicationUri(std::size_t u, std::size_t d,
+                                   std::size_t i) {
+  return Term::Iri(DeptPrefix(u, d) + "Publication" + std::to_string(i));
+}
+
+std::vector<Triple> LubmGenerator::Generate(
+    std::size_t num_triples) const {
+  std::vector<Triple> out;
+  out.reserve(num_triples);
+  Rng rng(options_.seed);
+
+  auto emit = [&out, num_triples](Triple t) {
+    if (out.size() < num_triples) {
+      out.push_back(std::move(t));
+    }
+  };
+  auto full = [&out, num_triples]() { return out.size() >= num_triples; };
+
+  const std::size_t num_univ = options_.num_universities;
+
+  for (std::size_t u = 0; u < num_univ && !full(); ++u) {
+    const Term univ = UniversityUri(u);
+    emit({univ, PropType(), ClassUniversity()});
+    emit({univ, PropName(),
+          Term::Literal("University" + std::to_string(u))});
+
+    const std::size_t num_depts = 15 + rng.Uniform(11);  // 15-25
+    for (std::size_t d = 0; d < num_depts && !full(); ++d) {
+      const Term dept = DepartmentUri(u, d);
+      emit({dept, PropType(), ClassDepartment()});
+      emit({dept, PropSubOrganizationOf(), univ});
+      emit({dept, PropName(),
+            Term::Literal("Department" + std::to_string(d))});
+
+      struct Faculty {
+        Term uri;
+        Term rank;
+      };
+      std::vector<Faculty> faculty;
+      const std::size_t num_full = 7 + rng.Uniform(4);    // 7-10
+      const std::size_t num_assoc = 10 + rng.Uniform(5);  // 10-14
+      const std::size_t num_assist = 8 + rng.Uniform(4);  // 8-11
+      const std::size_t num_lect = 5 + rng.Uniform(3);    // 5-7
+      for (std::size_t i = 0; i < num_full; ++i) {
+        faculty.push_back({FullProfessorUri(u, d, i),
+                           ClassFullProfessor()});
+      }
+      for (std::size_t i = 0; i < num_assoc; ++i) {
+        faculty.push_back({AssociateProfessorUri(u, d, i),
+                           ClassAssociateProfessor()});
+      }
+      for (std::size_t i = 0; i < num_assist; ++i) {
+        faculty.push_back({AssistantProfessorUri(u, d, i),
+                           ClassAssistantProfessor()});
+      }
+      for (std::size_t i = 0; i < num_lect; ++i) {
+        faculty.push_back({LecturerUri(u, d, i), ClassLecturer()});
+      }
+
+      // Courses: every faculty member teaches 1-2 undergraduate courses
+      // and possibly one graduate course; course indices are global per
+      // department.
+      std::size_t next_course = 0;
+      std::size_t next_grad_course = 0;
+      std::vector<Term> courses;
+      std::vector<Term> grad_courses;
+
+      for (std::size_t f = 0; f < faculty.size() && !full(); ++f) {
+        const Term& person = faculty[f].uri;
+        emit({person, PropType(), faculty[f].rank});
+        emit({person, PropWorksFor(), dept});
+        emit({person, PropName(),
+              Term::Literal("Faculty" + std::to_string(f))});
+        emit({person, PropEmail(),
+              Term::Literal("faculty" + std::to_string(f) + "@u" +
+                            std::to_string(u) + ".edu")});
+        emit({person, PropTelephone(),
+              Term::Literal("555-" + std::to_string(rng.Uniform(10000)))});
+        emit({person, PropResearchInterest(),
+              Term::Literal("Research" + std::to_string(rng.Uniform(30)))});
+        // Degrees from random universities (subject-object links across
+        // universities drive LQ5).
+        emit({person, PropUndergraduateDegreeFrom(),
+              UniversityUri(rng.Uniform(num_univ))});
+        emit({person, PropMastersDegreeFrom(),
+              UniversityUri(rng.Uniform(num_univ))});
+        emit({person, PropDoctoralDegreeFrom(),
+              UniversityUri(rng.Uniform(num_univ))});
+
+        const std::size_t num_courses = 1 + rng.Uniform(2);
+        for (std::size_t c = 0; c < num_courses; ++c) {
+          const Term course = CourseUri(u, d, next_course++);
+          courses.push_back(course);
+          emit({course, PropType(), ClassCourse()});
+          emit({course, PropName(),
+                Term::Literal("Course" + std::to_string(next_course - 1))});
+          emit({person, PropTeacherOf(), course});
+        }
+        if (rng.Bernoulli(0.6)) {
+          const Term gcourse = GraduateCourseUri(u, d, next_grad_course++);
+          grad_courses.push_back(gcourse);
+          emit({gcourse, PropType(), ClassGraduateCourse()});
+          emit({gcourse, PropName(),
+                Term::Literal("GraduateCourse" +
+                              std::to_string(next_grad_course - 1))});
+          emit({person, PropTeacherOf(), gcourse});
+        }
+      }
+      // Head of department: FullProfessor0.
+      if (!faculty.empty()) {
+        emit({faculty[0].uri, PropHeadOf(), dept});
+      }
+
+      // Graduate students: ~3 per faculty member.
+      const std::size_t num_grad = faculty.size() * 3 + rng.Uniform(10);
+      for (std::size_t g = 0; g < num_grad && !full(); ++g) {
+        const Term student = GraduateStudentUri(u, d, g);
+        emit({student, PropType(), ClassGraduateStudent()});
+        emit({student, PropMemberOf(), dept});
+        emit({student, PropName(),
+              Term::Literal("GradStudent" + std::to_string(g))});
+        emit({student, PropEmail(),
+              Term::Literal("grad" + std::to_string(g) + "@u" +
+                            std::to_string(u) + ".edu")});
+        emit({student, PropUndergraduateDegreeFrom(),
+              UniversityUri(rng.Uniform(num_univ))});
+        emit({student, PropAdvisor(),
+              faculty[rng.Uniform(faculty.size())].uri});
+        const std::size_t takes = 1 + rng.Uniform(3);
+        for (std::size_t c = 0; c < takes && !grad_courses.empty(); ++c) {
+          emit({student, PropTakesCourse(),
+                grad_courses[rng.Uniform(grad_courses.size())]});
+        }
+        if (rng.Bernoulli(0.2) && !courses.empty()) {
+          emit({student, PropTeachingAssistantOf(),
+                courses[rng.Uniform(courses.size())]});
+        }
+      }
+
+      // Undergraduate students: ~8 per faculty member.
+      const std::size_t num_ugrad = faculty.size() * 8 + rng.Uniform(20);
+      for (std::size_t s = 0; s < num_ugrad && !full(); ++s) {
+        const Term student = UndergraduateStudentUri(u, d, s);
+        emit({student, PropType(), ClassUndergraduateStudent()});
+        emit({student, PropMemberOf(), dept});
+        emit({student, PropName(),
+              Term::Literal("UndergradStudent" + std::to_string(s))});
+        const std::size_t takes = 2 + rng.Uniform(3);
+        for (std::size_t c = 0; c < takes && !courses.empty(); ++c) {
+          emit({student, PropTakesCourse(),
+                courses[rng.Uniform(courses.size())]});
+        }
+        if (rng.Bernoulli(0.15)) {
+          emit({student, PropAdvisor(),
+                faculty[rng.Uniform(faculty.size())].uri});
+        }
+      }
+
+      // Publications: 0-5 per faculty member, authored by the faculty
+      // member and possibly a graduate student.
+      std::size_t next_pub = 0;
+      for (std::size_t f = 0; f < faculty.size() && !full(); ++f) {
+        const std::size_t num_pubs = rng.Uniform(6);
+        for (std::size_t k = 0; k < num_pubs; ++k) {
+          const Term pub = PublicationUri(u, d, next_pub++);
+          emit({pub, PropType(), ClassPublication()});
+          emit({pub, PropTitle(),
+                Term::Literal("Publication" +
+                              std::to_string(next_pub - 1))});
+          emit({pub, PropPublicationAuthor(), faculty[f].uri});
+          if (rng.Bernoulli(0.5) && num_grad > 0) {
+            emit({pub, PropPublicationAuthor(),
+                  GraduateStudentUri(u, d, rng.Uniform(num_grad))});
+          }
+        }
+      }
+    }
+  }
+  // If the requested size exceeds what num_universities yields, retry with
+  // twice as many universities. Note: prefix stability is guaranteed only
+  // among sizes served by the same university count (per-person RNG draws
+  // depend on num_universities via the degree-target sampling).
+  if (!full()) {
+    LubmOptions bigger = options_;
+    bigger.num_universities *= 2;
+    return LubmGenerator(bigger).Generate(num_triples);
+  }
+  return out;
+}
+
+}  // namespace hexastore::data

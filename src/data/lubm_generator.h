@@ -1,0 +1,101 @@
+// Synthetic LUBM-like academic dataset (paper §5.1.2).
+//
+// Re-implements the Lehigh University Benchmark generation process (Guo,
+// Heflin, Pan) from scratch: universities contain departments; departments
+// contain faculty (full/associate/assistant professors, lecturers),
+// students (graduate and undergraduate) and courses. The 18 predicates
+// match the count the paper reports for its LUBM data set.
+//
+// Generation is deterministic and prefix-stable: Generate(m) is a prefix
+// of Generate(n) for m <= n, enabling the paper's growing-prefix sweeps.
+#ifndef HEXASTORE_DATA_LUBM_GENERATOR_H_
+#define HEXASTORE_DATA_LUBM_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "rdf/term.h"
+#include "rdf/triple.h"
+
+namespace hexastore::data {
+
+/// Options for the LUBM-like generator.
+struct LubmOptions {
+  /// PRNG seed; same seed => identical dataset.
+  std::uint64_t seed = 19981015;  // LUBM univ-bench ontology date
+  /// Number of universities available to Generate (the paper used 10).
+  std::size_t num_universities = 10;
+};
+
+/// Deterministic generator for the LUBM-like academic dataset.
+class LubmGenerator {
+ public:
+  explicit LubmGenerator(LubmOptions options = LubmOptions());
+
+  /// Exactly `num_triples` triples; prefix-stable across calls.
+  std::vector<Triple> Generate(std::size_t num_triples) const;
+
+  // -- Predicates (exactly 18, namespaced under univ-bench) --------------
+
+  static Term PropType();
+  static Term PropName();
+  static Term PropEmail();
+  static Term PropTelephone();
+  static Term PropResearchInterest();
+  static Term PropTeacherOf();
+  static Term PropWorksFor();
+  static Term PropHeadOf();
+  static Term PropUndergraduateDegreeFrom();
+  static Term PropMastersDegreeFrom();
+  static Term PropDoctoralDegreeFrom();
+  static Term PropAdvisor();
+  static Term PropTakesCourse();
+  static Term PropTeachingAssistantOf();
+  static Term PropMemberOf();
+  static Term PropSubOrganizationOf();
+  static Term PropPublicationAuthor();
+  static Term PropTitle();
+
+  /// All 18 predicates.
+  static std::vector<Term> AllPredicates();
+
+  // -- Classes ------------------------------------------------------------
+
+  static Term ClassUniversity();
+  static Term ClassDepartment();
+  static Term ClassFullProfessor();
+  static Term ClassAssociateProfessor();
+  static Term ClassAssistantProfessor();
+  static Term ClassLecturer();
+  static Term ClassGraduateStudent();
+  static Term ClassUndergraduateStudent();
+  static Term ClassCourse();
+  static Term ClassGraduateCourse();
+  static Term ClassPublication();
+
+  // -- Entity URIs (mirror the LUBM URI scheme) ---------------------------
+
+  static Term UniversityUri(std::size_t u);
+  static Term DepartmentUri(std::size_t u, std::size_t d);
+  static Term FullProfessorUri(std::size_t u, std::size_t d, std::size_t i);
+  static Term AssociateProfessorUri(std::size_t u, std::size_t d,
+                                    std::size_t i);
+  static Term AssistantProfessorUri(std::size_t u, std::size_t d,
+                                    std::size_t i);
+  static Term LecturerUri(std::size_t u, std::size_t d, std::size_t i);
+  static Term GraduateStudentUri(std::size_t u, std::size_t d,
+                                 std::size_t i);
+  static Term UndergraduateStudentUri(std::size_t u, std::size_t d,
+                                      std::size_t i);
+  static Term CourseUri(std::size_t u, std::size_t d, std::size_t i);
+  static Term GraduateCourseUri(std::size_t u, std::size_t d,
+                                std::size_t i);
+  static Term PublicationUri(std::size_t u, std::size_t d, std::size_t i);
+
+ private:
+  LubmOptions options_;
+};
+
+}  // namespace hexastore::data
+
+#endif  // HEXASTORE_DATA_LUBM_GENERATOR_H_

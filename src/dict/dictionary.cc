@@ -1,0 +1,63 @@
+#include "dict/dictionary.h"
+
+#include "util/memory_tracker.h"
+
+namespace hexastore {
+
+Id Dictionary::Intern(const Term& term) {
+  std::string key = term.ToNTriples();
+  auto it = ids_.find(key);
+  if (it != ids_.end()) {
+    return it->second;
+  }
+  terms_.push_back(term);
+  Id id = static_cast<Id>(terms_.size());
+  ids_.emplace(std::move(key), id);
+  return id;
+}
+
+Id Dictionary::Lookup(const Term& term) const {
+  auto it = ids_.find(term.ToNTriples());
+  return it == ids_.end() ? kInvalidId : it->second;
+}
+
+std::optional<Term> Dictionary::TryTerm(Id id) const {
+  if (id == kInvalidId || id > terms_.size()) {
+    return std::nullopt;
+  }
+  return terms_[id - 1];
+}
+
+IdTriple Dictionary::Encode(const Triple& triple) {
+  return IdTriple{Intern(triple.subject), Intern(triple.predicate),
+                  Intern(triple.object)};
+}
+
+std::optional<IdTriple> Dictionary::TryEncode(const Triple& triple) const {
+  Id s = Lookup(triple.subject);
+  Id p = Lookup(triple.predicate);
+  Id o = Lookup(triple.object);
+  if (s == kInvalidId || p == kInvalidId || o == kInvalidId) {
+    return std::nullopt;
+  }
+  return IdTriple{s, p, o};
+}
+
+Triple Dictionary::Decode(const IdTriple& t) const {
+  return Triple{term(t.s), term(t.p), term(t.o)};
+}
+
+std::size_t Dictionary::MemoryBytes() const {
+  std::size_t bytes = HashMapHeapBytes(ids_) + VectorHeapBytes(terms_);
+  for (const auto& [key, id] : ids_) {
+    (void)id;
+    bytes += StringHeapBytes(key);
+  }
+  for (const auto& t : terms_) {
+    bytes += StringHeapBytes(t.value()) + StringHeapBytes(t.language()) +
+             StringHeapBytes(t.datatype());
+  }
+  return bytes;
+}
+
+}  // namespace hexastore

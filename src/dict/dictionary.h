@@ -1,0 +1,70 @@
+// Dictionary encoding of RDF terms (paper §4.1): URIs/literals are mapped
+// to dense integer keys; the six indexes store only keys, and a mapping
+// table translates keys back to terms.
+#ifndef HEXASTORE_DICT_DICTIONARY_H_
+#define HEXASTORE_DICT_DICTIONARY_H_
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "rdf/term.h"
+#include "rdf/triple.h"
+#include "util/common.h"
+
+namespace hexastore {
+
+/// Bidirectional term ↔ id mapping.
+///
+/// Ids are dense and assigned in first-insertion order starting at 1; id 0
+/// is reserved (kInvalidId). Lookup keys are the canonical N-Triples
+/// spellings of terms, so `<a>` (IRI) and `"a"` (literal) get distinct ids.
+class Dictionary {
+ public:
+  Dictionary() = default;
+
+  // The reverse map stores stable indices into terms_; copying is fine but
+  // would be an accident at this size, so force explicit Clone-like usage.
+  Dictionary(const Dictionary&) = delete;
+  Dictionary& operator=(const Dictionary&) = delete;
+  Dictionary(Dictionary&&) = default;
+  Dictionary& operator=(Dictionary&&) = default;
+
+  /// Returns the id for `term`, inserting it if not present.
+  Id Intern(const Term& term);
+
+  /// Returns the id for `term`, or kInvalidId if absent. Never inserts.
+  Id Lookup(const Term& term) const;
+
+  /// Returns the term for `id`; requires 1 <= id <= size().
+  const Term& term(Id id) const { return terms_[id - 1]; }
+
+  /// Returns the term for `id` or nullopt if out of range.
+  std::optional<Term> TryTerm(Id id) const;
+
+  /// Encodes a term triple; interns unseen terms.
+  IdTriple Encode(const Triple& triple);
+
+  /// Encodes without interning; any unseen term yields nullopt.
+  std::optional<IdTriple> TryEncode(const Triple& triple) const;
+
+  /// Decodes an id triple; requires all ids valid.
+  Triple Decode(const IdTriple& t) const;
+
+  /// Number of distinct terms.
+  std::size_t size() const { return terms_.size(); }
+
+  /// Approximate heap bytes used by the dictionary (both directions).
+  std::size_t MemoryBytes() const;
+
+ private:
+  std::unordered_map<std::string, Id> ids_;  // N-Triples spelling -> id
+  std::vector<Term> terms_;                  // id - 1 -> term
+};
+
+}  // namespace hexastore
+
+#endif  // HEXASTORE_DICT_DICTIONARY_H_

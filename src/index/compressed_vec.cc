@@ -1,0 +1,93 @@
+#include "index/compressed_vec.h"
+
+#include <algorithm>
+
+#include "io/binary_format.h"
+#include "util/memory_tracker.h"
+
+namespace hexastore {
+
+CompressedIdVec::CompressedIdVec(const IdVec& vec,
+                                 std::size_t skip_interval)
+    : size_(vec.size()),
+      skip_interval_(skip_interval == 0 ? 1 : skip_interval) {
+  Id prev = 0;
+  for (std::size_t i = 0; i < vec.size(); ++i) {
+    if (i % skip_interval_ == 0) {
+      skips_.push_back(
+          Skip{vec[i], static_cast<std::uint32_t>(payload_.size())});
+      // Block-initial entries store the full id so a block can be decoded
+      // without context.
+      AppendVarint(&payload_, vec[i]);
+    } else {
+      AppendVarint(&payload_, vec[i] - prev);
+    }
+    prev = vec[i];
+  }
+}
+
+void CompressedIdVec::ReadDelta(std::size_t* pos,
+                                std::uint64_t* delta) const {
+  ReadVarint(payload_, pos, delta);
+}
+
+IdVec CompressedIdVec::Decode() const {
+  IdVec out;
+  out.reserve(size_);
+  std::size_t pos = 0;
+  Id current = 0;
+  for (std::size_t i = 0; i < size_; ++i) {
+    std::uint64_t v = 0;
+    ReadVarint(payload_, &pos, &v);
+    current = (i % skip_interval_ == 0) ? v : current + v;
+    out.push_back(current);
+  }
+  return out;
+}
+
+bool CompressedIdVec::Contains(Id id) const {
+  if (skips_.empty()) {
+    return false;
+  }
+  // Find the last block whose first id is <= id.
+  auto it = std::upper_bound(
+      skips_.begin(), skips_.end(), id,
+      [](Id value, const Skip& s) { return value < s.first_id; });
+  if (it == skips_.begin()) {
+    return false;
+  }
+  --it;
+  const std::size_t block = static_cast<std::size_t>(it - skips_.begin());
+  std::size_t pos = it->offset;
+  std::size_t index = block * skip_interval_;
+  Id current = 0;
+  std::uint64_t v = 0;
+  if (!ReadVarint(payload_, &pos, &v)) {
+    return false;
+  }
+  current = v;
+  if (current == id) {
+    return true;
+  }
+  const std::size_t block_end =
+      std::min(size_, (block + 1) * skip_interval_);
+  for (std::size_t i = index + 1; i < block_end; ++i) {
+    if (!ReadVarint(payload_, &pos, &v)) {
+      return false;
+    }
+    current += v;
+    if (current == id) {
+      return true;
+    }
+    if (current > id) {
+      return false;
+    }
+  }
+  return false;
+}
+
+std::size_t CompressedIdVec::MemoryBytes() const {
+  return payload_.capacity() + skips_.capacity() * sizeof(Skip);
+}
+
+}  // namespace hexastore

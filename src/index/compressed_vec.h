@@ -1,0 +1,79 @@
+// Delta/varint-compressed sorted id vectors.
+//
+// The vertical-partitioning work the paper builds on leans on
+// column-store compression (Abadi et al., SIGMOD'06); a Hexastore's
+// sorted vectors and terminal lists are equally compressible because
+// they are strictly ascending id sequences. CompressedIdVec stores gaps
+// as LEB128 varints with periodic skip entries, trading pointer-chasing
+// decode work for a several-fold space reduction (quantified by
+// bench/abl_compression).
+#ifndef HEXASTORE_INDEX_COMPRESSED_VEC_H_
+#define HEXASTORE_INDEX_COMPRESSED_VEC_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "index/sorted_vec.h"
+#include "util/common.h"
+
+namespace hexastore {
+
+/// Immutable compressed form of a sorted, duplicate-free id vector.
+class CompressedIdVec {
+ public:
+  /// Compresses `vec` (must be strictly ascending). Skip entries are
+  /// placed every `skip_interval` elements to support binary probing.
+  explicit CompressedIdVec(const IdVec& vec,
+                           std::size_t skip_interval = 32);
+
+  /// Number of ids.
+  std::size_t size() const { return size_; }
+  /// True iff empty.
+  bool empty() const { return size_ == 0; }
+
+  /// Decompresses back to a plain vector.
+  IdVec Decode() const;
+
+  /// Membership test: binary search over skips, linear varint scan
+  /// within one skip block.
+  bool Contains(Id id) const;
+
+  /// Calls `fn(id)` for every id in ascending order. Block-initial
+  /// entries are absolute ids; the rest are deltas.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    std::size_t pos = 0;
+    Id current = 0;
+    for (std::size_t i = 0; i < size_; ++i) {
+      std::uint64_t v = 0;
+      ReadDelta(&pos, &v);
+      current = (i % skip_interval_ == 0) ? v : current + v;
+      fn(current);
+    }
+  }
+
+  /// Compressed payload bytes (excluding the skip table).
+  std::size_t PayloadBytes() const { return payload_.size(); }
+
+  /// Total heap bytes (payload + skip table).
+  std::size_t MemoryBytes() const;
+
+ private:
+  struct Skip {
+    Id first_id;        // id at the start of the block
+    std::uint32_t offset;  // byte offset of the block in payload_
+  };
+
+  void ReadDelta(std::size_t* pos, std::uint64_t* delta) const;
+
+  std::string payload_;
+  std::vector<Skip> skips_;
+  std::size_t size_ = 0;
+  std::size_t skip_interval_;
+};
+
+}  // namespace hexastore
+
+#endif  // HEXASTORE_INDEX_COMPRESSED_VEC_H_

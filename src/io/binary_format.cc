@@ -1,0 +1,78 @@
+#include "io/binary_format.h"
+
+#include <istream>
+#include <ostream>
+
+namespace hexastore {
+
+void PutVarint(std::ostream& out, std::uint64_t value) {
+  while (value >= 0x80) {
+    out.put(static_cast<char>((value & 0x7f) | 0x80));
+    value >>= 7;
+  }
+  out.put(static_cast<char>(value));
+}
+
+Result<std::uint64_t> GetVarint(std::istream& in) {
+  std::uint64_t value = 0;
+  int shift = 0;
+  for (int i = 0; i < 10; ++i) {
+    int c = in.get();
+    if (c == std::char_traits<char>::eof()) {
+      return Status::ParseError("varint truncated");
+    }
+    value |= static_cast<std::uint64_t>(c & 0x7f) << shift;
+    if ((c & 0x80) == 0) {
+      return value;
+    }
+    shift += 7;
+  }
+  return Status::ParseError("varint too long");
+}
+
+void PutString(std::ostream& out, const std::string& value) {
+  PutVarint(out, value.size());
+  out.write(value.data(), static_cast<std::streamsize>(value.size()));
+}
+
+Result<std::string> GetString(std::istream& in, std::uint64_t max_len) {
+  auto len = GetVarint(in);
+  if (!len.ok()) {
+    return len.status();
+  }
+  if (len.value() > max_len) {
+    return Status::ParseError("string length exceeds limit");
+  }
+  std::string out(static_cast<std::size_t>(len.value()), '\0');
+  in.read(out.data(), static_cast<std::streamsize>(out.size()));
+  if (static_cast<std::uint64_t>(in.gcount()) != len.value()) {
+    return Status::ParseError("string truncated");
+  }
+  return out;
+}
+
+void AppendVarint(std::string* buf, std::uint64_t value) {
+  while (value >= 0x80) {
+    buf->push_back(static_cast<char>((value & 0x7f) | 0x80));
+    value >>= 7;
+  }
+  buf->push_back(static_cast<char>(value));
+}
+
+bool ReadVarint(const std::string& buf, std::size_t* pos,
+                std::uint64_t* value) {
+  std::uint64_t out = 0;
+  int shift = 0;
+  for (int i = 0; i < 10 && *pos < buf.size(); ++i) {
+    unsigned char c = static_cast<unsigned char>(buf[(*pos)++]);
+    out |= static_cast<std::uint64_t>(c & 0x7f) << shift;
+    if ((c & 0x80) == 0) {
+      *value = out;
+      return true;
+    }
+    shift += 7;
+  }
+  return false;
+}
+
+}  // namespace hexastore

@@ -1,0 +1,38 @@
+// Low-level binary encoding primitives for the snapshot format:
+// LEB128-style varints and length-prefixed strings over iostreams.
+#ifndef HEXASTORE_IO_BINARY_FORMAT_H_
+#define HEXASTORE_IO_BINARY_FORMAT_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "util/status.h"
+
+namespace hexastore {
+
+/// Appends a varint-encoded u64 to `out`.
+void PutVarint(std::ostream& out, std::uint64_t value);
+
+/// Reads a varint-encoded u64; fails on EOF or >10-byte encodings.
+Result<std::uint64_t> GetVarint(std::istream& in);
+
+/// Appends a length-prefixed string.
+void PutString(std::ostream& out, const std::string& value);
+
+/// Reads a length-prefixed string; `max_len` guards against corrupted
+/// lengths allocating unbounded memory.
+Result<std::string> GetString(std::istream& in,
+                              std::uint64_t max_len = 1ull << 30);
+
+/// Varint-encodes into an in-memory byte buffer (used by CompressedIdVec).
+void AppendVarint(std::string* buf, std::uint64_t value);
+
+/// Decodes a varint from `buf` starting at `*pos`, advancing `*pos`.
+/// Returns false on truncation.
+bool ReadVarint(const std::string& buf, std::size_t* pos,
+                std::uint64_t* value);
+
+}  // namespace hexastore
+
+#endif  // HEXASTORE_IO_BINARY_FORMAT_H_

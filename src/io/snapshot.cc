@@ -1,0 +1,217 @@
+#include "io/snapshot.h"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "io/binary_format.h"
+
+namespace hexastore {
+
+namespace {
+
+constexpr char kMagic[4] = {'H', 'X', 'S', '1'};
+
+enum class TermTag : std::uint8_t {
+  kIri = 0,
+  kLiteral = 1,
+  kLangLiteral = 2,
+  kTypedLiteral = 3,
+  kBlank = 4,
+};
+
+TermTag TagOf(const Term& term) {
+  switch (term.kind()) {
+    case TermKind::kIri:
+      return TermTag::kIri;
+    case TermKind::kBlank:
+      return TermTag::kBlank;
+    case TermKind::kLiteral:
+      if (!term.language().empty()) {
+        return TermTag::kLangLiteral;
+      }
+      if (!term.datatype().empty()) {
+        return TermTag::kTypedLiteral;
+      }
+      return TermTag::kLiteral;
+  }
+  return TermTag::kIri;
+}
+
+}  // namespace
+
+Status SaveSnapshot(const Graph& graph, std::ostream& out) {
+  out.write(kMagic, sizeof(kMagic));
+  const Dictionary& dict = graph.dict();
+  PutVarint(out, dict.size());
+  for (Id id = 1; id <= dict.size(); ++id) {
+    const Term& term = dict.term(id);
+    const TermTag tag = TagOf(term);
+    out.put(static_cast<char>(tag));
+    PutString(out, term.value());
+    if (tag == TermTag::kLangLiteral) {
+      PutString(out, term.language());
+    } else if (tag == TermTag::kTypedLiteral) {
+      PutString(out, term.datatype());
+    }
+  }
+
+  IdTripleVec triples = graph.store().Match(IdPattern{});  // (s,p,o) order
+  PutVarint(out, triples.size());
+  Id prev_s = 0;
+  Id prev_p = 0;
+  Id prev_o = 0;
+  for (const IdTriple& t : triples) {
+    const Id delta_s = t.s - prev_s;
+    PutVarint(out, delta_s);
+    if (delta_s > 0) {
+      PutVarint(out, t.p);
+      PutVarint(out, t.o);
+    } else {
+      const Id delta_p = t.p - prev_p;
+      PutVarint(out, delta_p);
+      if (delta_p > 0) {
+        PutVarint(out, t.o);
+      } else {
+        PutVarint(out, t.o - prev_o);
+      }
+    }
+    prev_s = t.s;
+    prev_p = t.p;
+    prev_o = t.o;
+  }
+  if (!out.good()) {
+    return Status::Internal("write failure while saving snapshot");
+  }
+  return Status::OK();
+}
+
+Status LoadSnapshot(std::istream& in, Graph* graph) {
+  if (graph->size() != 0) {
+    return Status::InvalidArgument("target graph must be empty");
+  }
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (in.gcount() != sizeof(magic) ||
+      !std::equal(magic, magic + 4, kMagic)) {
+    return Status::ParseError("bad snapshot magic");
+  }
+
+  auto term_count = GetVarint(in);
+  if (!term_count.ok()) {
+    return term_count.status();
+  }
+  Dictionary& dict = graph->mutable_dict();
+  for (std::uint64_t i = 0; i < term_count.value(); ++i) {
+    const int tag_byte = in.get();
+    if (tag_byte == std::char_traits<char>::eof() || tag_byte > 4) {
+      return Status::ParseError("bad term tag");
+    }
+    auto value = GetString(in);
+    if (!value.ok()) {
+      return value.status();
+    }
+    Term term;
+    switch (static_cast<TermTag>(tag_byte)) {
+      case TermTag::kIri:
+        term = Term::Iri(std::move(value).value());
+        break;
+      case TermTag::kLiteral:
+        term = Term::Literal(std::move(value).value());
+        break;
+      case TermTag::kLangLiteral: {
+        auto lang = GetString(in);
+        if (!lang.ok()) {
+          return lang.status();
+        }
+        term = Term::LangLiteral(std::move(value).value(),
+                                 std::move(lang).value());
+        break;
+      }
+      case TermTag::kTypedLiteral: {
+        auto dt = GetString(in);
+        if (!dt.ok()) {
+          return dt.status();
+        }
+        term = Term::TypedLiteral(std::move(value).value(),
+                                  std::move(dt).value());
+        break;
+      }
+      case TermTag::kBlank:
+        term = Term::Blank(std::move(value).value());
+        break;
+    }
+    const Id assigned = dict.Intern(term);
+    if (assigned != i + 1) {
+      return Status::ParseError("duplicate term in snapshot dictionary");
+    }
+  }
+
+  auto triple_count = GetVarint(in);
+  if (!triple_count.ok()) {
+    return triple_count.status();
+  }
+  IdTripleVec triples;
+  triples.reserve(static_cast<std::size_t>(triple_count.value()));
+  Id prev_s = 0;
+  Id prev_p = 0;
+  Id prev_o = 0;
+  const std::uint64_t max_id = dict.size();
+  for (std::uint64_t i = 0; i < triple_count.value(); ++i) {
+    auto delta_s = GetVarint(in);
+    if (!delta_s.ok()) {
+      return delta_s.status();
+    }
+    Id s = prev_s + delta_s.value();
+    Id p = 0;
+    Id o = 0;
+    if (delta_s.value() > 0) {
+      auto pv = GetVarint(in);
+      auto ov = pv.ok() ? GetVarint(in) : pv;
+      if (!pv.ok() || !ov.ok()) {
+        return Status::ParseError("triple section truncated");
+      }
+      p = pv.value();
+      o = ov.value();
+    } else {
+      auto delta_p = GetVarint(in);
+      if (!delta_p.ok()) {
+        return delta_p.status();
+      }
+      p = prev_p + delta_p.value();
+      auto ov = GetVarint(in);
+      if (!ov.ok()) {
+        return ov.status();
+      }
+      o = (delta_p.value() > 0) ? ov.value() : prev_o + ov.value();
+    }
+    if (s == 0 || p == 0 || o == 0 || s > max_id || p > max_id ||
+        o > max_id) {
+      return Status::ParseError("triple id out of dictionary range");
+    }
+    triples.push_back(IdTriple{s, p, o});
+    prev_s = s;
+    prev_p = p;
+    prev_o = o;
+  }
+  graph->BulkLoadEncoded(triples);
+  return Status::OK();
+}
+
+Status SaveSnapshotFile(const Graph& graph, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    return Status::InvalidArgument("cannot open for writing: " + path);
+  }
+  return SaveSnapshot(graph, out);
+}
+
+Status LoadSnapshotFile(const std::string& path, Graph* graph) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::InvalidArgument("cannot open for reading: " + path);
+  }
+  return LoadSnapshot(in, graph);
+}
+
+}  // namespace hexastore

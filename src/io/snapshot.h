@@ -1,0 +1,44 @@
+// Binary snapshot persistence for Graph (paper §7 future work: "a fully
+// operational disk-based Hexastore").
+//
+// A snapshot stores the dictionary (terms in id order) followed by all
+// triples, delta/varint-encoded in (s, p, o) order, so the on-disk size
+// is close to a compressed triples table; the six indexes are rebuilt on
+// load via BulkLoad. Format:
+//
+//   magic "HXS1"
+//   varint term_count
+//     per term: kind byte (0 iri, 1 literal, 2 lang literal,
+//               3 typed literal, 4 blank), value string,
+//               [qualifier string for kinds 2 and 3]
+//   varint triple_count
+//     per triple (sorted (s,p,o)): varint delta_s, then
+//       if delta_s > 0: varint p, varint o   (new subject group)
+//       else: varint delta_p, then
+//         if delta_p > 0: varint o           (new predicate group)
+//         else: varint delta_o
+#ifndef HEXASTORE_IO_SNAPSHOT_H_
+#define HEXASTORE_IO_SNAPSHOT_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "core/graph.h"
+#include "util/status.h"
+
+namespace hexastore {
+
+/// Writes a snapshot of `graph` to `out`.
+Status SaveSnapshot(const Graph& graph, std::ostream& out);
+
+/// Reads a snapshot into `graph` (which must be empty) and rebuilds all
+/// six indexes.
+Status LoadSnapshot(std::istream& in, Graph* graph);
+
+/// File convenience wrappers.
+Status SaveSnapshotFile(const Graph& graph, const std::string& path);
+Status LoadSnapshotFile(const std::string& path, Graph* graph);
+
+}  // namespace hexastore
+
+#endif  // HEXASTORE_IO_SNAPSHOT_H_

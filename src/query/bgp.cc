@@ -1,0 +1,89 @@
+#include "query/bgp.h"
+
+#include "query/planner.h"
+
+namespace hexastore {
+
+namespace {
+
+// Recursive index-nested-loop evaluation step.
+void EvalStep(const TripleStore& store, const CompiledBgp& bgp,
+              const std::vector<std::size_t>& order, std::size_t depth,
+              Binding* binding, const BindingSink& sink) {
+  if (depth == order.size()) {
+    sink(*binding);
+    return;
+  }
+  const CompiledPattern& p = bgp.patterns[order[depth]];
+
+  // Substitute constants and bound variables into the probe pattern.
+  auto resolve = [&](const Slot& slot) -> Id {
+    if (!slot.is_var()) {
+      return slot.id;
+    }
+    return binding->Get(slot.var);  // kInvalidId when still unbound
+  };
+  IdPattern probe{resolve(p.s), resolve(p.p), resolve(p.o)};
+
+  // Variables that this step newly binds (must be reset on backtrack).
+  const bool bind_s = p.s.is_var() && !binding->IsBound(p.s.var);
+  const bool bind_p = p.p.is_var() && !binding->IsBound(p.p.var);
+  const bool bind_o = p.o.is_var() && !binding->IsBound(p.o.var);
+
+  // Repeated-variable patterns like (?x, p, ?x) need an extra filter
+  // because IdPattern cannot express equality between wildcards.
+  auto consistent = [&](const IdTriple& t) {
+    if (p.s.is_var() && p.o.is_var() && p.s.var == p.o.var && t.s != t.o) {
+      return false;
+    }
+    if (p.s.is_var() && p.p.is_var() && p.s.var == p.p.var && t.s != t.p) {
+      return false;
+    }
+    if (p.p.is_var() && p.o.is_var() && p.p.var == p.o.var && t.p != t.o) {
+      return false;
+    }
+    return true;
+  };
+
+  store.Scan(probe, [&](const IdTriple& t) {
+    if (!consistent(t)) {
+      return;
+    }
+    if (bind_s) binding->Set(p.s.var, t.s);
+    if (bind_p) binding->Set(p.p.var, t.p);
+    if (bind_o) binding->Set(p.o.var, t.o);
+    EvalStep(store, bgp, order, depth + 1, binding, sink);
+    if (bind_s) binding->Unset(p.s.var);
+    if (bind_p) binding->Unset(p.p.var);
+    if (bind_o) binding->Unset(p.o.var);
+  });
+}
+
+}  // namespace
+
+void EvalBgp(const TripleStore& store, const CompiledBgp& bgp,
+             const std::vector<std::size_t>& order,
+             const BindingSink& sink) {
+  if (bgp.trivially_empty) {
+    return;
+  }
+  Binding binding(bgp.vars.size());
+  EvalStep(store, bgp, order, 0, &binding, sink);
+}
+
+ResultSet EvalBgp(const TripleStore& store, const Dictionary& dict,
+                  const std::vector<TriplePattern>& patterns) {
+  CompiledBgp bgp = CompileBgp(patterns, dict);
+  ResultSet result;
+  result.vars = bgp.vars;
+  if (bgp.trivially_empty) {
+    return result;
+  }
+  std::vector<std::size_t> order = PlanBgp(store, bgp);
+  EvalBgp(store, bgp, order, [&result](const Binding& b) {
+    result.rows.push_back(b.values());
+  });
+  return result;
+}
+
+}  // namespace hexastore

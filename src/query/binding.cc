@@ -1,0 +1,7 @@
+#include "query/binding.h"
+
+// Binding and ResultSet are header-only; this translation unit exists so
+// the module has a home for future out-of-line helpers and to keep the
+// build graph uniform.
+
+namespace hexastore {}  // namespace hexastore

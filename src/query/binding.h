@@ -1,0 +1,66 @@
+// Variable bindings and materialized result sets for the query engine.
+#ifndef HEXASTORE_QUERY_BINDING_H_
+#define HEXASTORE_QUERY_BINDING_H_
+
+#include <string>
+#include <vector>
+
+#include "query/pattern.h"
+#include "util/common.h"
+
+namespace hexastore {
+
+/// A (partial) assignment of ids to variables, indexed by VarId;
+/// kInvalidId means unbound.
+class Binding {
+ public:
+  /// Creates a binding with `var_count` unbound slots.
+  explicit Binding(std::size_t var_count)
+      : values_(var_count, kInvalidId) {}
+
+  /// Value of variable `v` (kInvalidId if unbound).
+  Id Get(VarId v) const { return values_[static_cast<std::size_t>(v)]; }
+
+  /// True iff `v` has a value.
+  bool IsBound(VarId v) const { return Get(v) != kInvalidId; }
+
+  /// Assigns `id` to `v`.
+  void Set(VarId v, Id id) { values_[static_cast<std::size_t>(v)] = id; }
+
+  /// Unbinds `v`.
+  void Unset(VarId v) { Set(v, kInvalidId); }
+
+  /// Raw row (useful for materializing).
+  const std::vector<Id>& values() const { return values_; }
+
+ private:
+  std::vector<Id> values_;
+};
+
+/// One materialized result row: variable values indexed by VarId.
+using Row = std::vector<Id>;
+
+/// Materialized result of a query: a variable table plus rows.
+///
+/// Cells normally hold dictionary ids; aggregate queries produce columns
+/// holding raw numbers instead, marked in `numeric` so that formatting
+/// and ordering treat them as integers rather than term ids.
+struct ResultSet {
+  VarTable vars;
+  std::vector<Row> rows;
+  /// Per-column numeric flags; empty means "all columns are term ids".
+  std::vector<bool> numeric;
+
+  /// Column index of a named variable, or kNoVar.
+  VarId Column(const std::string& name) const { return vars.Lookup(name); }
+
+  /// True iff column `v` holds raw numbers instead of term ids.
+  bool IsNumeric(VarId v) const {
+    auto i = static_cast<std::size_t>(v);
+    return i < numeric.size() && numeric[i];
+  }
+};
+
+}  // namespace hexastore
+
+#endif  // HEXASTORE_QUERY_BINDING_H_

@@ -1,0 +1,57 @@
+#include "query/merge_join.h"
+
+#include <algorithm>
+
+namespace hexastore {
+
+namespace {
+
+const IdVec kEmpty;
+
+const IdVec& OrEmpty(const IdVec* v) { return v == nullptr ? kEmpty : *v; }
+
+}  // namespace
+
+IdVec JoinSubjectsByObjects(const Hexastore& store, Id p1, Id o1, Id p2,
+                            Id o2) {
+  return Intersect(OrEmpty(store.subjects(p1, o1)),
+                   OrEmpty(store.subjects(p2, o2)));
+}
+
+IdVec JoinObjectsBySubjects(const Hexastore& store, Id s1, Id p1, Id s2,
+                            Id p2) {
+  return Intersect(OrEmpty(store.objects(s1, p1)),
+                   OrEmpty(store.objects(s2, p2)));
+}
+
+IdVec JoinSubjectsOfObjects(const Hexastore& store, Id o1, Id o2) {
+  return Intersect(OrEmpty(store.subjects_of_object(o1)),
+                   OrEmpty(store.subjects_of_object(o2)));
+}
+
+IdVec JoinPredicatesByPairs(const Hexastore& store, Id s1, Id o1, Id s2,
+                            Id o2) {
+  return Intersect(OrEmpty(store.predicates(s1, o1)),
+                   OrEmpty(store.predicates(s2, o2)));
+}
+
+std::vector<std::pair<Id, Id>> JoinChain(const Hexastore& store, Id p1,
+                                         Id p2) {
+  std::vector<std::pair<Id, Id>> out;
+  const IdVec& mids_from_p1 = OrEmpty(store.objects_of_predicate(p1));
+  const IdVec& mids_to_p2 = OrEmpty(store.subjects_of_predicate(p2));
+  MergeJoin(mids_from_p1, mids_to_p2, [&](Id mid) {
+    const IdVec& starts = OrEmpty(store.subjects(p1, mid));
+    const IdVec& ends = OrEmpty(store.objects(mid, p2));
+    for (Id s : starts) {
+      for (Id e : ends) {
+        out.emplace_back(s, e);
+      }
+    }
+  });
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace hexastore

@@ -1,0 +1,100 @@
+#include "query/operators.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+namespace hexastore {
+
+ResultSet Project(const ResultSet& in, const std::vector<VarId>& columns) {
+  ResultSet out;
+  for (VarId c : columns) {
+    out.vars.Intern(in.vars.name(c));
+  }
+  out.rows.reserve(in.rows.size());
+  for (const Row& row : in.rows) {
+    Row projected;
+    projected.reserve(columns.size());
+    for (VarId c : columns) {
+      projected.push_back(row[static_cast<std::size_t>(c)]);
+    }
+    out.rows.push_back(std::move(projected));
+  }
+  return out;
+}
+
+ResultSet Distinct(ResultSet in) {
+  std::sort(in.rows.begin(), in.rows.end());
+  in.rows.erase(std::unique(in.rows.begin(), in.rows.end()),
+                in.rows.end());
+  return in;
+}
+
+ResultSet OrderBy(ResultSet in, const std::vector<VarId>& columns) {
+  std::stable_sort(in.rows.begin(), in.rows.end(),
+                   [&columns](const Row& a, const Row& b) {
+                     for (VarId c : columns) {
+                       auto i = static_cast<std::size_t>(c);
+                       if (a[i] != b[i]) {
+                         return a[i] < b[i];
+                       }
+                     }
+                     return false;
+                   });
+  return in;
+}
+
+ResultSet Limit(ResultSet in, std::size_t limit) {
+  if (in.rows.size() > limit) {
+    in.rows.resize(limit);
+  }
+  return in;
+}
+
+GroupCounts GroupCount(const ResultSet& in, VarId column) {
+  std::map<Id, std::uint64_t> counts;
+  for (const Row& row : in.rows) {
+    ++counts[row[static_cast<std::size_t>(column)]];
+  }
+  return GroupCounts(counts.begin(), counts.end());
+}
+
+PairCounts GroupCountPairs(const ResultSet& in, VarId column_a,
+                           VarId column_b) {
+  std::map<std::pair<Id, Id>, std::uint64_t> counts;
+  for (const Row& row : in.rows) {
+    ++counts[{row[static_cast<std::size_t>(column_a)],
+              row[static_cast<std::size_t>(column_b)]}];
+  }
+  return PairCounts(counts.begin(), counts.end());
+}
+
+std::string FormatResultSet(const ResultSet& in, const Dictionary& dict,
+                            std::size_t max_rows) {
+  std::ostringstream os;
+  for (std::size_t c = 0; c < in.vars.size(); ++c) {
+    os << (c == 0 ? "" : "\t") << '?' << in.vars.name(static_cast<VarId>(c));
+  }
+  os << '\n';
+  std::size_t shown = 0;
+  for (const Row& row : in.rows) {
+    if (shown++ >= max_rows) {
+      os << "... (" << in.rows.size() - max_rows << " more rows)\n";
+      break;
+    }
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c == 0 ? "" : "\t");
+      if (in.IsNumeric(static_cast<VarId>(c))) {
+        os << row[c];
+        continue;
+      }
+      auto term = dict.TryTerm(row[c]);
+      os << (term.has_value() ? term->ToNTriples() : std::string("?"));
+    }
+    os << '\n';
+  }
+  os << "(" << in.rows.size() << " rows)\n";
+  return os.str();
+}
+
+}  // namespace hexastore

@@ -1,0 +1,50 @@
+// Result-set operators: projection, distinct, sort, limit, and the
+// group-count aggregation the Barton queries rely on.
+#ifndef HEXASTORE_QUERY_OPERATORS_H_
+#define HEXASTORE_QUERY_OPERATORS_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "dict/dictionary.h"
+#include "query/binding.h"
+#include "util/common.h"
+
+namespace hexastore {
+
+/// Keeps only the given columns, in the given order (renames the variable
+/// table accordingly).
+ResultSet Project(const ResultSet& in, const std::vector<VarId>& columns);
+
+/// Removes duplicate rows (order not preserved; output sorted).
+ResultSet Distinct(ResultSet in);
+
+/// Sorts rows lexicographically by the given columns.
+ResultSet OrderBy(ResultSet in, const std::vector<VarId>& columns);
+
+/// Truncates to the first `limit` rows.
+ResultSet Limit(ResultSet in, std::size_t limit);
+
+/// (group id, count) aggregation result, sorted by group id.
+using GroupCounts = std::vector<std::pair<Id, std::uint64_t>>;
+
+/// Counts rows per distinct value of `column`.
+GroupCounts GroupCount(const ResultSet& in, VarId column);
+
+/// Counts per (a, b) pair; sorted by pair.
+using PairCounts = std::vector<std::pair<std::pair<Id, Id>, std::uint64_t>>;
+
+/// Counts rows per distinct (column_a, column_b) pair.
+PairCounts GroupCountPairs(const ResultSet& in, VarId column_a,
+                           VarId column_b);
+
+/// Renders a result set as a table of N-Triples term spellings (for
+/// examples and debugging).
+std::string FormatResultSet(const ResultSet& in, const Dictionary& dict,
+                            std::size_t max_rows = 20);
+
+}  // namespace hexastore
+
+#endif  // HEXASTORE_QUERY_OPERATORS_H_

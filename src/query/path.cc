@@ -1,0 +1,135 @@
+#include "query/path.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "index/sorted_vec.h"
+
+namespace hexastore {
+
+namespace {
+
+void SortUniquePairs(PathPairs* pairs) {
+  std::sort(pairs->begin(), pairs->end());
+  pairs->erase(std::unique(pairs->begin(), pairs->end()), pairs->end());
+}
+
+}  // namespace
+
+PathPairs EvalPathHexastore(const Hexastore& store,
+                            const std::vector<Id>& predicates) {
+  PathPairs frontier;  // (x0, x_k) pairs, k = current step
+  if (predicates.empty()) {
+    return frontier;
+  }
+
+  // Step 0: all (s, o) pairs of p1, produced from the pso index. The
+  // frontier comes out grouped by subject; later steps need it sorted by
+  // the *end* node.
+  const Id p1 = predicates[0];
+  const IdVec* s_vec = store.subjects_of_predicate(p1);
+  if (s_vec == nullptr) {
+    return frontier;
+  }
+  for (Id s : *s_vec) {
+    const IdVec* os = store.objects(s, p1);
+    for (Id o : *os) {
+      frontier.emplace_back(s, o);
+    }
+  }
+
+  for (std::size_t k = 1; k < predicates.size(); ++k) {
+    const Id pk = predicates[k];
+    const IdVec* next_subjects = store.subjects_of_predicate(pk);
+    if (next_subjects == nullptr) {
+      return {};
+    }
+    // Sort frontier by end node. For k == 1 this is where the paper's
+    // "first join is a linear merge join" materializes: instead of sorting
+    // pairs we could merge the pos object vector of p1 with the pso
+    // subject vector of p2 and expand shared terminal lists; we keep the
+    // pair representation but still only sort once per step (the first
+    // step's sort is the grouping the shared lists already give us when
+    // the path starts from a single predicate).
+    std::sort(frontier.begin(), frontier.end(),
+              [](const auto& a, const auto& b) {
+                return a.second < b.second || (a.second == b.second &&
+                                               a.first < b.first);
+              });
+    // Dedupe per step so multiplicities cannot compound along the path.
+    frontier.erase(std::unique(frontier.begin(), frontier.end()),
+                   frontier.end());
+    PathPairs next;
+    std::size_t i = 0;
+    std::size_t j = 0;
+    while (i < frontier.size() && j < next_subjects->size()) {
+      const Id end = frontier[i].second;
+      const Id subj = (*next_subjects)[j];
+      if (end < subj) {
+        ++i;
+      } else if (subj < end) {
+        ++j;
+      } else {
+        // All frontier pairs ending at `end` extend through o(end, pk).
+        const IdVec* os = store.objects(end, pk);
+        std::size_t block_end = i;
+        while (block_end < frontier.size() &&
+               frontier[block_end].second == end) {
+          ++block_end;
+        }
+        for (std::size_t f = i; f < block_end; ++f) {
+          for (Id o : *os) {
+            next.emplace_back(frontier[f].first, o);
+          }
+        }
+        i = block_end;
+        ++j;
+      }
+    }
+    frontier = std::move(next);
+    if (frontier.empty()) {
+      return frontier;
+    }
+  }
+  SortUniquePairs(&frontier);
+  return frontier;
+}
+
+PathPairs EvalPathGeneric(const TripleStore& store,
+                          const std::vector<Id>& predicates) {
+  PathPairs frontier;
+  if (predicates.empty()) {
+    return frontier;
+  }
+  store.Scan(IdPattern{kInvalidId, predicates[0], kInvalidId},
+             [&frontier](const IdTriple& t) {
+               frontier.emplace_back(t.s, t.o);
+             });
+  for (std::size_t k = 1; k < predicates.size(); ++k) {
+    // Hash join: end node of the frontier against subjects of pk.
+    std::unordered_map<Id, IdVec> starts_by_end;
+    for (const auto& [start, end] : frontier) {
+      starts_by_end[end].push_back(start);
+    }
+    PathPairs next;
+    store.Scan(IdPattern{kInvalidId, predicates[k], kInvalidId},
+               [&](const IdTriple& t) {
+                 auto it = starts_by_end.find(t.s);
+                 if (it == starts_by_end.end()) {
+                   return;
+                 }
+                 for (Id start : it->second) {
+                   next.emplace_back(start, t.o);
+                 }
+               });
+    SortUniquePairs(&next);
+    frontier = std::move(next);
+    if (frontier.empty()) {
+      return frontier;
+    }
+  }
+  SortUniquePairs(&frontier);
+  return frontier;
+}
+
+}  // namespace hexastore

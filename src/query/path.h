@@ -1,0 +1,40 @@
+// Path-expression evaluation (paper §4.3).
+//
+// A path expression p1/p2/.../pn asks for endpoint pairs (x0, xn) such
+// that x0 -p1-> x1 -p2-> ... -pn-> xn. Every internal node is the object
+// of one triple and the subject of the next, so evaluation is a chain of
+// subject-object joins.
+//
+// On a Hexastore the first of the n-1 joins is a *linear merge join* of
+// the sorted pos object vector of p1 against the sorted pso subject vector
+// of p2; the remaining n-2 joins each need one sort (sort-merge joins).
+// Stores without object-sorted access fall back to hash joins over scans.
+#ifndef HEXASTORE_QUERY_PATH_H_
+#define HEXASTORE_QUERY_PATH_H_
+
+#include <utility>
+#include <vector>
+
+#include "core/hexastore.h"
+#include "core/store_interface.h"
+#include "util/common.h"
+
+namespace hexastore {
+
+/// Distinct (start, end) endpoint pairs of the path, sorted ascending.
+using PathPairs = std::vector<std::pair<Id, Id>>;
+
+/// Evaluates a path expression on a Hexastore using merge joins
+/// (first join linear, later joins sort-merge). `predicates` must be
+/// non-empty.
+PathPairs EvalPathHexastore(const Hexastore& store,
+                            const std::vector<Id>& predicates);
+
+/// Evaluates the same path on any store via per-step hash joins over
+/// (?, p, ?) scans. Used as the baseline/oracle.
+PathPairs EvalPathGeneric(const TripleStore& store,
+                          const std::vector<Id>& predicates);
+
+}  // namespace hexastore
+
+#endif  // HEXASTORE_QUERY_PATH_H_

@@ -1,0 +1,49 @@
+#include "query/pattern.h"
+
+namespace hexastore {
+
+VarId VarTable::Intern(const std::string& name) {
+  VarId existing = Lookup(name);
+  if (existing != kNoVar) {
+    return existing;
+  }
+  names_.push_back(name);
+  return static_cast<VarId>(names_.size() - 1);
+}
+
+VarId VarTable::Lookup(const std::string& name) const {
+  for (std::size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) {
+      return static_cast<VarId>(i);
+    }
+  }
+  return kNoVar;
+}
+
+CompiledBgp CompileBgp(const std::vector<TriplePattern>& patterns,
+                       const Dictionary& dict) {
+  CompiledBgp out;
+  auto compile_slot = [&](const PatternTerm& pt) {
+    Slot slot;
+    if (pt.is_var()) {
+      slot.var = out.vars.Intern(pt.var());
+    } else {
+      slot.id = dict.Lookup(pt.term());
+      if (slot.id == kInvalidId) {
+        out.trivially_empty = true;
+      }
+    }
+    return slot;
+  };
+  out.patterns.reserve(patterns.size());
+  for (const auto& tp : patterns) {
+    CompiledPattern cp;
+    cp.s = compile_slot(tp.s);
+    cp.p = compile_slot(tp.p);
+    cp.o = compile_slot(tp.o);
+    out.patterns.push_back(cp);
+  }
+  return out;
+}
+
+}  // namespace hexastore

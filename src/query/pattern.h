@@ -1,0 +1,118 @@
+// Term-level triple patterns with variables, and their compiled id-level
+// form used by the BGP evaluator.
+#ifndef HEXASTORE_QUERY_PATTERN_H_
+#define HEXASTORE_QUERY_PATTERN_H_
+
+#include <string>
+#include <vector>
+
+#include "dict/dictionary.h"
+#include "rdf/term.h"
+#include "rdf/triple.h"
+#include "util/common.h"
+
+namespace hexastore {
+
+/// Index of a variable within a query's variable table.
+using VarId = int;
+
+/// Marks a pattern slot as constant (no variable).
+inline constexpr VarId kNoVar = -1;
+
+/// One position of a triple pattern: either a bound Term or a variable.
+class PatternTerm {
+ public:
+  /// Creates a bound (constant) slot.
+  static PatternTerm Bound(Term term) {
+    PatternTerm p;
+    p.term_ = std::move(term);
+    p.is_var_ = false;
+    return p;
+  }
+  /// Creates a variable slot named `name` (without the '?').
+  static PatternTerm Variable(std::string name) {
+    PatternTerm p;
+    p.var_ = std::move(name);
+    p.is_var_ = true;
+    return p;
+  }
+
+  /// True iff the slot is a variable.
+  bool is_var() const { return is_var_; }
+  /// The bound term; requires !is_var().
+  const Term& term() const { return term_; }
+  /// The variable name; requires is_var().
+  const std::string& var() const { return var_; }
+
+  friend bool operator==(const PatternTerm&, const PatternTerm&) = default;
+
+ private:
+  Term term_;
+  std::string var_;
+  bool is_var_ = false;
+};
+
+/// A term-level triple pattern (the unit of a basic graph pattern).
+struct TriplePattern {
+  PatternTerm s;
+  PatternTerm p;
+  PatternTerm o;
+
+  friend bool operator==(const TriplePattern&,
+                         const TriplePattern&) = default;
+};
+
+/// Maps variable names to dense VarIds in first-seen order.
+class VarTable {
+ public:
+  /// Returns the id for `name`, creating it if new.
+  VarId Intern(const std::string& name);
+  /// Returns the id for `name` or kNoVar if unknown.
+  VarId Lookup(const std::string& name) const;
+  /// Name of a variable id.
+  const std::string& name(VarId v) const { return names_[v]; }
+  /// Number of variables.
+  std::size_t size() const { return names_.size(); }
+
+ private:
+  std::vector<std::string> names_;
+};
+
+/// One compiled slot: either a constant id or a variable index.
+struct Slot {
+  Id id = kInvalidId;   ///< constant id; kInvalidId when variable
+  VarId var = kNoVar;   ///< variable index; kNoVar when constant
+
+  bool is_var() const { return var != kNoVar; }
+};
+
+/// Compiled triple pattern over dictionary ids.
+struct CompiledPattern {
+  Slot s;
+  Slot p;
+  Slot o;
+
+  /// Number of constant slots.
+  int bound_count() const {
+    return static_cast<int>(!s.is_var()) + static_cast<int>(!p.is_var()) +
+           static_cast<int>(!o.is_var());
+  }
+};
+
+/// Outcome of compiling a pattern set against a dictionary.
+struct CompiledBgp {
+  std::vector<CompiledPattern> patterns;
+  VarTable vars;
+  /// True when some constant term does not exist in the dictionary; the
+  /// whole BGP then has an empty result and need not be evaluated.
+  bool trivially_empty = false;
+};
+
+/// Compiles term-level patterns to id-level. Constants are looked up (not
+/// interned) in `dict`; unseen constants mark the BGP trivially empty.
+CompiledBgp CompileBgp(const std::vector<TriplePattern>& patterns,
+                       const Dictionary& dict);
+
+}  // namespace hexastore
+
+#endif  // HEXASTORE_QUERY_PATTERN_H_

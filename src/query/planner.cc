@@ -1,0 +1,116 @@
+#include "query/planner.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace hexastore {
+
+namespace {
+
+// True iff the pattern references a variable marked bound.
+bool SharesBoundVar(const CompiledPattern& p,
+                    const std::vector<bool>& bound_vars) {
+  for (const Slot* slot : {&p.s, &p.p, &p.o}) {
+    if (slot->is_var() && bound_vars[static_cast<std::size_t>(slot->var)]) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// Number of positions that will be constant at evaluation time.
+int EffectiveBound(const CompiledPattern& p,
+                   const std::vector<bool>& bound_vars) {
+  int n = 0;
+  for (const Slot* slot : {&p.s, &p.p, &p.o}) {
+    if (!slot->is_var() ||
+        bound_vars[static_cast<std::size_t>(slot->var)]) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+}  // namespace
+
+std::uint64_t EstimateCardinality(const TripleStore& store,
+                                  const CompiledPattern& pattern,
+                                  const std::vector<bool>& bound_vars) {
+  // Constant-only projection of the pattern: variables (bound or not at
+  // runtime) become wildcards for the estimate.
+  IdPattern probe;
+  if (!pattern.s.is_var()) probe.s = pattern.s.id;
+  if (!pattern.p.is_var()) probe.p = pattern.p.id;
+  if (!pattern.o.is_var()) probe.o = pattern.o.id;
+
+  // Counting is only cheap when at least one position is constant; a
+  // wildcard count is just the store size.
+  std::uint64_t base = (probe.s != kInvalidId || probe.p != kInvalidId ||
+                        probe.o != kInvalidId)
+                           ? store.CountMatches(probe)
+                           : store.size();
+
+  // Each runtime-bound variable position divides the estimate: assume a
+  // uniform 1/10 reduction per additional binding (classic heuristic).
+  for (const Slot* slot : {&pattern.s, &pattern.p, &pattern.o}) {
+    if (slot->is_var() &&
+        bound_vars[static_cast<std::size_t>(slot->var)]) {
+      base = std::max<std::uint64_t>(1, base / 10);
+    }
+  }
+  return base;
+}
+
+std::vector<std::size_t> PlanBgp(const TripleStore& store,
+                                 const CompiledBgp& bgp) {
+  const std::size_t n = bgp.patterns.size();
+  std::vector<std::size_t> order;
+  order.reserve(n);
+  std::vector<bool> used(n, false);
+  std::vector<bool> bound_vars(bgp.vars.size(), false);
+
+  for (std::size_t step = 0; step < n; ++step) {
+    std::size_t best = n;
+    std::uint64_t best_cost = std::numeric_limits<std::uint64_t>::max();
+    bool best_connected = false;
+    int best_bound = -1;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (used[i]) {
+        continue;
+      }
+      const CompiledPattern& p = bgp.patterns[i];
+      const bool connected = order.empty() || SharesBoundVar(p, bound_vars);
+      const int eff_bound = EffectiveBound(p, bound_vars);
+      const std::uint64_t cost =
+          EstimateCardinality(store, p, bound_vars);
+      // Lexicographic preference: connected > more bound positions >
+      // lower cost > lower index (determinism).
+      bool better;
+      if (connected != best_connected) {
+        better = connected;
+      } else if (eff_bound != best_bound) {
+        better = eff_bound > best_bound;
+      } else {
+        better = cost < best_cost;
+      }
+      if (best == n || better) {
+        best = i;
+        best_cost = cost;
+        best_connected = connected;
+        best_bound = eff_bound;
+      }
+    }
+    used[best] = true;
+    order.push_back(best);
+    for (const Slot* slot :
+         {&bgp.patterns[best].s, &bgp.patterns[best].p,
+          &bgp.patterns[best].o}) {
+      if (slot->is_var()) {
+        bound_vars[static_cast<std::size_t>(slot->var)] = true;
+      }
+    }
+  }
+  return order;
+}
+
+}  // namespace hexastore

@@ -1,0 +1,36 @@
+// Greedy selectivity-based join ordering for basic graph patterns.
+//
+// The planner orders patterns so that each step binds as many positions as
+// possible (constants plus already-bound variables), breaking ties with a
+// store-provided cardinality estimate. This follows the selectivity-
+// estimation line of work the paper cites (Stocker et al., WWW'08) in a
+// simplified form adequate for the evaluation workloads.
+#ifndef HEXASTORE_QUERY_PLANNER_H_
+#define HEXASTORE_QUERY_PLANNER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/store_interface.h"
+#include "query/pattern.h"
+
+namespace hexastore {
+
+/// Estimates the number of matches of `pattern` when the variables in
+/// `bound_vars` are already bound (their ids unknown at plan time, so the
+/// estimate assumes an average-case reduction). Uses CountMatches on the
+/// constant-only projection of the pattern when cheap, else store size.
+std::uint64_t EstimateCardinality(const TripleStore& store,
+                                  const CompiledPattern& pattern,
+                                  const std::vector<bool>& bound_vars);
+
+/// Returns an evaluation order (indices into `patterns`). Greedy: at each
+/// step pick the pattern with the lowest estimated cardinality given the
+/// variables bound so far; prefer connected patterns (sharing a bound
+/// variable) to avoid Cartesian products.
+std::vector<std::size_t> PlanBgp(const TripleStore& store,
+                                 const CompiledBgp& bgp);
+
+}  // namespace hexastore
+
+#endif  // HEXASTORE_QUERY_PLANNER_H_

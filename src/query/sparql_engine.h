@@ -1,0 +1,27 @@
+// Execution of parsed SPARQL-subset queries over any TripleStore.
+#ifndef HEXASTORE_QUERY_SPARQL_ENGINE_H_
+#define HEXASTORE_QUERY_SPARQL_ENGINE_H_
+
+#include <string_view>
+
+#include "core/store_interface.h"
+#include "dict/dictionary.h"
+#include "query/binding.h"
+#include "query/sparql_parser.h"
+#include "util/status.h"
+
+namespace hexastore {
+
+/// Executes an already-parsed query: BGP evaluation, filters, projection,
+/// DISTINCT, ORDER BY (by term N-Triples spelling), LIMIT.
+Result<ResultSet> ExecuteSparql(const TripleStore& store,
+                                const Dictionary& dict,
+                                const ParsedQuery& query);
+
+/// Parses and executes in one call.
+Result<ResultSet> RunSparql(const TripleStore& store, const Dictionary& dict,
+                            std::string_view text);
+
+}  // namespace hexastore
+
+#endif  // HEXASTORE_QUERY_SPARQL_ENGINE_H_

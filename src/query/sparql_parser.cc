@@ -1,0 +1,597 @@
+#include "query/sparql_parser.h"
+
+#include <cctype>
+#include <unordered_map>
+
+#include "util/string_util.h"
+
+namespace hexastore {
+
+namespace {
+
+enum class TokKind {
+  kKeyword,   // SELECT, DISTINCT, WHERE, PREFIX, FILTER, ORDER, BY, LIMIT, a
+  kVar,       // ?name
+  kIri,       // <...>
+  kPname,     // prefix:local
+  kLiteral,   // "..." with optional @lang / ^^<dt>
+  kInteger,   // bare digits
+  kPunct,     // { } ( ) . = != < <= > >= * ,
+  kEnd,
+};
+
+struct Token {
+  TokKind kind = TokKind::kEnd;
+  std::string text;        // keyword upper-cased; punct verbatim
+  Term literal;            // for kLiteral
+  std::size_t pos = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view text) : text_(text) {}
+
+  Result<std::vector<Token>> Tokenize() {
+    std::vector<Token> out;
+    while (true) {
+      SkipSpaceAndComments();
+      if (pos_ >= text_.size()) {
+        out.push_back(Token{TokKind::kEnd, "", Term(), pos_});
+        return out;
+      }
+      auto tok = Next();
+      if (!tok.ok()) {
+        return tok.status();
+      }
+      out.push_back(std::move(tok).value());
+    }
+  }
+
+ private:
+  void SkipSpaceAndComments() {
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '#') {
+        while (pos_ < text_.size() && text_[pos_] != '\n') {
+          ++pos_;
+        }
+      } else {
+        break;
+      }
+    }
+  }
+
+  Status Error(const std::string& what) const {
+    return Status::ParseError(what + " at offset " + std::to_string(pos_));
+  }
+
+  Result<Token> Next() {
+    const std::size_t start = pos_;
+    char c = text_[pos_];
+    if (c == '<') {
+      // '<' is an IRI opener only when a '>' follows before any
+      // whitespace; otherwise it is the comparison operator (as in
+      // FILTER(?x < ?y)).
+      std::size_t end = text_.find('>', pos_ + 1);
+      std::size_t space = pos_ + 1;
+      while (space < text_.size() &&
+             !std::isspace(static_cast<unsigned char>(text_[space]))) {
+        ++space;
+      }
+      if (end != std::string_view::npos && end < space) {
+        Token t{TokKind::kIri,
+                std::string(text_.substr(pos_ + 1, end - pos_ - 1)), Term(),
+                start};
+        pos_ = end + 1;
+        return t;
+      }
+      if (pos_ + 1 < text_.size() && text_[pos_ + 1] == '=') {
+        pos_ += 2;
+        return Token{TokKind::kPunct, "<=", Term(), start};
+      }
+      ++pos_;
+      return Token{TokKind::kPunct, "<", Term(), start};
+    }
+    if (c == '?' || c == '$') {
+      ++pos_;
+      std::string name;
+      while (pos_ < text_.size() && (std::isalnum(static_cast<unsigned char>(
+                                         text_[pos_])) ||
+                                     text_[pos_] == '_')) {
+        name += text_[pos_++];
+      }
+      if (name.empty()) {
+        return Error("empty variable name");
+      }
+      return Token{TokKind::kVar, std::move(name), Term(), start};
+    }
+    if (c == '"') {
+      return LexLiteral(start);
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::string digits;
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        digits += text_[pos_++];
+      }
+      return Token{TokKind::kInteger, std::move(digits), Term(), start};
+    }
+    // Multi-char punctuation first.
+    if (c == '!' && pos_ + 1 < text_.size() && text_[pos_ + 1] == '=') {
+      pos_ += 2;
+      return Token{TokKind::kPunct, "!=", Term(), start};
+    }
+    if (c == '>' && pos_ + 1 < text_.size() && text_[pos_ + 1] == '=') {
+      pos_ += 2;
+      return Token{TokKind::kPunct, ">=", Term(), start};
+    }
+    if (std::string("{}().=<>*,").find(c) != std::string::npos) {
+      ++pos_;
+      return Token{TokKind::kPunct, std::string(1, c), Term(), start};
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::string word;
+      while (pos_ < text_.size() &&
+             (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+              text_[pos_] == '_' || text_[pos_] == '-')) {
+        word += text_[pos_++];
+      }
+      // Prefixed name?
+      if (pos_ < text_.size() && text_[pos_] == ':') {
+        ++pos_;
+        std::string local;
+        while (pos_ < text_.size() &&
+               (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '_' || text_[pos_] == '-')) {
+          local += text_[pos_++];
+        }
+        return Token{TokKind::kPname, word + ":" + local, Term(), start};
+      }
+      std::string upper;
+      for (char w : word) {
+        upper += static_cast<char>(
+            std::toupper(static_cast<unsigned char>(w)));
+      }
+      if (word == "a") {
+        return Token{TokKind::kKeyword, "a", Term(), start};
+      }
+      return Token{TokKind::kKeyword, std::move(upper), Term(), start};
+    }
+    // A bare ':' starts an empty-prefix pname.
+    if (c == ':') {
+      ++pos_;
+      std::string local;
+      while (pos_ < text_.size() &&
+             (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+              text_[pos_] == '_' || text_[pos_] == '-')) {
+        local += text_[pos_++];
+      }
+      return Token{TokKind::kPname, ":" + local, Term(), start};
+    }
+    return Error(std::string("unexpected character '") + c + "'");
+  }
+
+  Result<Token> LexLiteral(std::size_t start) {
+    ++pos_;  // consume opening quote
+    std::string raw;
+    bool closed = false;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c == '\\' && pos_ + 1 < text_.size()) {
+        raw += c;
+        raw += text_[pos_ + 1];
+        pos_ += 2;
+        continue;
+      }
+      if (c == '"') {
+        closed = true;
+        ++pos_;
+        break;
+      }
+      raw += c;
+      ++pos_;
+    }
+    if (!closed) {
+      return Error("unterminated literal");
+    }
+    std::string lexical = UnescapeNTriplesLiteral(raw);
+    Token t;
+    t.kind = TokKind::kLiteral;
+    t.pos = start;
+    if (pos_ < text_.size() && text_[pos_] == '@') {
+      ++pos_;
+      std::string lang;
+      while (pos_ < text_.size() &&
+             (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+              text_[pos_] == '-')) {
+        lang += text_[pos_++];
+      }
+      t.literal = Term::LangLiteral(std::move(lexical), std::move(lang));
+      return t;
+    }
+    if (pos_ + 1 < text_.size() && text_[pos_] == '^' &&
+        text_[pos_ + 1] == '^') {
+      pos_ += 2;
+      if (pos_ >= text_.size() || text_[pos_] != '<') {
+        return Error("expected datatype IRI after ^^");
+      }
+      std::size_t end = text_.find('>', pos_);
+      if (end == std::string_view::npos) {
+        return Error("unterminated datatype IRI");
+      }
+      std::string dt(text_.substr(pos_ + 1, end - pos_ - 1));
+      pos_ = end + 1;
+      t.literal = Term::TypedLiteral(std::move(lexical), std::move(dt));
+      return t;
+    }
+    t.literal = Term::Literal(std::move(lexical));
+    return t;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<ParsedQuery> Parse() {
+    ParsedQuery q;
+    // Prologue.
+    while (IsKeyword("PREFIX")) {
+      ++i_;
+      if (Cur().kind != TokKind::kPname) {
+        return Error("expected prefix name");
+      }
+      // A prefix declaration's name token is "ns:" (empty local part).
+      std::string pname = Cur().text;
+      // Split at the colon: declaration local part must be empty.
+      auto colon = pname.find(':');
+      if (colon == std::string::npos || colon + 1 != pname.size()) {
+        return Error("malformed prefix declaration");
+      }
+      ++i_;
+      if (Cur().kind != TokKind::kIri) {
+        return Error("expected IRI in prefix declaration");
+      }
+      prefixes_[pname.substr(0, colon)] = Cur().text;
+      ++i_;
+    }
+    if (!IsKeyword("SELECT")) {
+      return Error("expected SELECT");
+    }
+    ++i_;
+    if (IsKeyword("DISTINCT")) {
+      q.distinct = true;
+      ++i_;
+    }
+    if (IsPunct("*")) {
+      ++i_;
+    } else {
+      while (Cur().kind == TokKind::kVar || IsPunct("(")) {
+        if (Cur().kind == TokKind::kVar) {
+          q.select_vars.push_back(Cur().text);
+          ++i_;
+          continue;
+        }
+        auto agg = ParseAggregate();
+        if (!agg.ok()) {
+          return agg.status();
+        }
+        q.aggregates.push_back(std::move(agg).value());
+      }
+      if (q.select_vars.empty() && q.aggregates.empty()) {
+        return Error("expected projection variables, aggregates or *");
+      }
+    }
+    if (!IsKeyword("WHERE")) {
+      return Error("expected WHERE");
+    }
+    ++i_;
+    if (!IsPunct("{")) {
+      return Error("expected '{'");
+    }
+    ++i_;
+    // Group graph pattern.
+    while (!IsPunct("}")) {
+      if (Cur().kind == TokKind::kEnd) {
+        return Error("unterminated group pattern");
+      }
+      if (IsKeyword("FILTER")) {
+        ++i_;
+        auto filter = ParseFilter();
+        if (!filter.ok()) {
+          return filter.status();
+        }
+        q.filters.push_back(std::move(filter).value());
+        if (IsPunct(".")) {
+          ++i_;
+        }
+        continue;
+      }
+      auto triple = ParseTriple();
+      if (!triple.ok()) {
+        return triple.status();
+      }
+      q.patterns.push_back(std::move(triple).value());
+      if (IsPunct(".")) {
+        ++i_;
+      }
+    }
+    ++i_;  // consume '}'
+    // Solution modifiers.
+    if (IsKeyword("GROUP")) {
+      ++i_;
+      if (!IsKeyword("BY")) {
+        return Error("expected BY after GROUP");
+      }
+      ++i_;
+      while (Cur().kind == TokKind::kVar) {
+        q.group_by.push_back(Cur().text);
+        ++i_;
+      }
+      if (q.group_by.empty()) {
+        return Error("expected variables after GROUP BY");
+      }
+    }
+    if (IsKeyword("ORDER")) {
+      ++i_;
+      if (!IsKeyword("BY")) {
+        return Error("expected BY after ORDER");
+      }
+      ++i_;
+      while (Cur().kind == TokKind::kVar) {
+        q.order_by.push_back(Cur().text);
+        ++i_;
+      }
+      if (q.order_by.empty()) {
+        return Error("expected variables after ORDER BY");
+      }
+    }
+    if (IsKeyword("LIMIT")) {
+      ++i_;
+      if (Cur().kind != TokKind::kInteger) {
+        return Error("expected integer after LIMIT");
+      }
+      q.limit = static_cast<std::size_t>(std::stoull(Cur().text));
+      ++i_;
+    }
+    if (Cur().kind != TokKind::kEnd) {
+      return Error("trailing tokens after query");
+    }
+    if (q.patterns.empty()) {
+      return Error("empty WHERE clause");
+    }
+    return q;
+  }
+
+ private:
+  const Token& Cur() const { return tokens_[i_]; }
+
+  bool IsKeyword(const std::string& kw) const {
+    return Cur().kind == TokKind::kKeyword && Cur().text == kw;
+  }
+  bool IsPunct(const std::string& p) const {
+    return Cur().kind == TokKind::kPunct && Cur().text == p;
+  }
+
+  Status Error(const std::string& what) const {
+    return Status::ParseError(what + " at offset " +
+                              std::to_string(Cur().pos));
+  }
+
+  Result<Term> ResolvePname(const std::string& pname) const {
+    auto colon = pname.find(':');
+    std::string prefix = pname.substr(0, colon);
+    std::string local = pname.substr(colon + 1);
+    auto it = prefixes_.find(prefix);
+    if (it == prefixes_.end()) {
+      return Status::ParseError("undeclared prefix '" + prefix + "'");
+    }
+    return Term::Iri(it->second + local);
+  }
+
+  Result<PatternTerm> ParseTermSlot(bool predicate_position) {
+    const Token& t = Cur();
+    switch (t.kind) {
+      case TokKind::kVar:
+        ++i_;
+        return PatternTerm::Variable(t.text);
+      case TokKind::kIri:
+        ++i_;
+        return PatternTerm::Bound(Term::Iri(t.text));
+      case TokKind::kPname: {
+        auto term = ResolvePname(t.text);
+        if (!term.ok()) {
+          return term.status();
+        }
+        ++i_;
+        return PatternTerm::Bound(std::move(term).value());
+      }
+      case TokKind::kLiteral:
+        if (predicate_position) {
+          return Error("literal cannot be a predicate");
+        }
+        ++i_;
+        return PatternTerm::Bound(t.literal);
+      case TokKind::kInteger: {
+        if (predicate_position) {
+          return Error("integer cannot be a predicate");
+        }
+        Term lit = Term::TypedLiteral(
+            t.text, "http://www.w3.org/2001/XMLSchema#integer");
+        ++i_;
+        return PatternTerm::Bound(std::move(lit));
+      }
+      case TokKind::kKeyword:
+        if (t.text == "a") {
+          ++i_;
+          return PatternTerm::Bound(Term::Iri(kRdfTypeIri));
+        }
+        return Error("unexpected keyword '" + t.text + "' in pattern");
+      default:
+        return Error("expected term");
+    }
+  }
+
+  Result<TriplePattern> ParseTriple() {
+    auto s = ParseTermSlot(false);
+    if (!s.ok()) {
+      return s.status();
+    }
+    auto p = ParseTermSlot(true);
+    if (!p.ok()) {
+      return p.status();
+    }
+    auto o = ParseTermSlot(false);
+    if (!o.ok()) {
+      return o.status();
+    }
+    return TriplePattern{std::move(s).value(), std::move(p).value(),
+                         std::move(o).value()};
+  }
+
+  Result<FilterOperand> ParseOperand() {
+    const Token& t = Cur();
+    FilterOperand op;
+    switch (t.kind) {
+      case TokKind::kVar:
+        op.is_var = true;
+        op.var = t.text;
+        ++i_;
+        return op;
+      case TokKind::kIri:
+        op.term = Term::Iri(t.text);
+        ++i_;
+        return op;
+      case TokKind::kPname: {
+        auto term = ResolvePname(t.text);
+        if (!term.ok()) {
+          return term.status();
+        }
+        op.term = std::move(term).value();
+        ++i_;
+        return op;
+      }
+      case TokKind::kLiteral:
+        op.term = t.literal;
+        ++i_;
+        return op;
+      case TokKind::kInteger:
+        op.term = Term::TypedLiteral(
+            t.text, "http://www.w3.org/2001/XMLSchema#integer");
+        ++i_;
+        return op;
+      default:
+        return Error("expected filter operand");
+    }
+  }
+
+  Result<SelectAggregate> ParseAggregate() {
+    // Cur() is '('.
+    ++i_;
+    if (!IsKeyword("COUNT")) {
+      return Error("only COUNT aggregates are supported");
+    }
+    ++i_;
+    if (!IsPunct("(")) {
+      return Error("expected '(' after COUNT");
+    }
+    ++i_;
+    SelectAggregate agg;
+    if (IsKeyword("DISTINCT")) {
+      agg.distinct = true;
+      ++i_;
+    }
+    if (IsPunct("*")) {
+      ++i_;
+    } else if (Cur().kind == TokKind::kVar) {
+      agg.var = Cur().text;
+      ++i_;
+    } else {
+      return Error("expected ?var or * inside COUNT");
+    }
+    if (!IsPunct(")")) {
+      return Error("expected ')' after COUNT argument");
+    }
+    ++i_;
+    if (!IsKeyword("AS")) {
+      return Error("expected AS after COUNT(...)");
+    }
+    ++i_;
+    if (Cur().kind != TokKind::kVar) {
+      return Error("expected alias variable after AS");
+    }
+    agg.alias = Cur().text;
+    ++i_;
+    if (!IsPunct(")")) {
+      return Error("expected ')' closing the aggregate");
+    }
+    ++i_;
+    return agg;
+  }
+
+  Result<FilterExpr> ParseFilter() {
+    if (!IsPunct("(")) {
+      return Error("expected '(' after FILTER");
+    }
+    ++i_;
+    FilterExpr expr;
+    auto lhs = ParseOperand();
+    if (!lhs.ok()) {
+      return lhs.status();
+    }
+    expr.lhs = std::move(lhs).value();
+    if (Cur().kind != TokKind::kPunct) {
+      return Error("expected comparison operator");
+    }
+    const std::string& opt = Cur().text;
+    if (opt == "=") {
+      expr.op = FilterOp::kEq;
+    } else if (opt == "!=") {
+      expr.op = FilterOp::kNe;
+    } else if (opt == "<") {
+      expr.op = FilterOp::kLt;
+    } else if (opt == "<=") {
+      expr.op = FilterOp::kLe;
+    } else if (opt == ">") {
+      expr.op = FilterOp::kGt;
+    } else if (opt == ">=") {
+      expr.op = FilterOp::kGe;
+    } else {
+      return Error("unknown comparison operator '" + opt + "'");
+    }
+    ++i_;
+    auto rhs = ParseOperand();
+    if (!rhs.ok()) {
+      return rhs.status();
+    }
+    expr.rhs = std::move(rhs).value();
+    if (!IsPunct(")")) {
+      return Error("expected ')' after filter expression");
+    }
+    ++i_;
+    return expr;
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t i_ = 0;
+  std::unordered_map<std::string, std::string> prefixes_;
+};
+
+}  // namespace
+
+Result<ParsedQuery> ParseSparql(std::string_view text) {
+  Lexer lexer(text);
+  auto tokens = lexer.Tokenize();
+  if (!tokens.ok()) {
+    return tokens.status();
+  }
+  Parser parser(std::move(tokens).value());
+  return parser.Parse();
+}
+
+}  // namespace hexastore

@@ -1,0 +1,86 @@
+// Recursive-descent parser for a SPARQL subset sufficient for the paper's
+// workloads and the examples:
+//
+//   PREFIX ns: <iri>                       (any number)
+//   SELECT [DISTINCT] (?v ... | *)
+//   WHERE { triple ('.' triple)* [FILTER(expr)]* }
+//   [ORDER BY ?v ...] [LIMIT n]
+//
+// Terms: <iri>, prefixed names (ns:local), ?vars, "literals" with optional
+// @lang / ^^<datatype>, and the keyword `a` for rdf:type. Filters compare
+// two operands (variable or constant) with = != < <= > >=; ordering
+// comparisons use the term's N-Triples spelling.
+#ifndef HEXASTORE_QUERY_SPARQL_PARSER_H_
+#define HEXASTORE_QUERY_SPARQL_PARSER_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "query/pattern.h"
+#include "util/status.h"
+
+namespace hexastore {
+
+/// IRI that `a` abbreviates.
+inline constexpr const char* kRdfTypeIri =
+    "http://www.w3.org/1999/02/22-rdf-syntax-ns#type";
+
+/// Filter comparison operators.
+enum class FilterOp {
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+};
+
+/// One side of a filter comparison.
+struct FilterOperand {
+  bool is_var = false;
+  std::string var;  ///< variable name when is_var
+  Term term;        ///< constant otherwise
+};
+
+/// A FILTER(lhs op rhs) clause.
+struct FilterExpr {
+  FilterOperand lhs;
+  FilterOp op = FilterOp::kEq;
+  FilterOperand rhs;
+};
+
+/// A `(COUNT([DISTINCT] ?var | *) AS ?alias)` item in the SELECT clause.
+struct SelectAggregate {
+  bool distinct = false;
+  /// Counted variable; empty means COUNT(*).
+  std::string var;
+  /// Output column name (without '?').
+  std::string alias;
+};
+
+/// Parsed SELECT query.
+struct ParsedQuery {
+  bool distinct = false;
+  /// Plain projection variables; empty together with empty `aggregates`
+  /// means `*` (all variables in order of first appearance).
+  std::vector<std::string> select_vars;
+  /// COUNT aggregates; when non-empty the query is an aggregation and
+  /// the output columns are `select_vars` followed by the aliases.
+  std::vector<SelectAggregate> aggregates;
+  /// GROUP BY variables; plain select_vars must be listed here when
+  /// aggregates are present.
+  std::vector<std::string> group_by;
+  std::vector<TriplePattern> patterns;
+  std::vector<FilterExpr> filters;
+  std::vector<std::string> order_by;
+  std::optional<std::size_t> limit;
+};
+
+/// Parses a query; returns ParseError with position info on failure.
+Result<ParsedQuery> ParseSparql(std::string_view text);
+
+}  // namespace hexastore
+
+#endif  // HEXASTORE_QUERY_SPARQL_PARSER_H_

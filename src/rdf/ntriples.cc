@@ -1,0 +1,220 @@
+#include "rdf/ntriples.h"
+
+#include <ostream>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace hexastore {
+
+namespace {
+
+// Cursor over one line; Parse* helpers advance it.
+struct Cursor {
+  std::string_view text;
+  std::size_t pos = 0;
+
+  bool AtEnd() const { return pos >= text.size(); }
+  char Peek() const { return text[pos]; }
+
+  void SkipSpace() {
+    while (!AtEnd() && (text[pos] == ' ' || text[pos] == '\t')) {
+      ++pos;
+    }
+  }
+};
+
+Status ErrorAt(const Cursor& cur, const std::string& what) {
+  return Status::ParseError(what + " at column " + std::to_string(cur.pos) +
+                            " in: " + std::string(cur.text));
+}
+
+Result<Term> ParseIri(Cursor* cur) {
+  // cur->Peek() == '<'
+  std::size_t end = cur->text.find('>', cur->pos + 1);
+  if (end == std::string_view::npos) {
+    return ErrorAt(*cur, "unterminated IRI");
+  }
+  std::string iri(cur->text.substr(cur->pos + 1, end - cur->pos - 1));
+  cur->pos = end + 1;
+  return Term::Iri(std::move(iri));
+}
+
+Result<Term> ParseBlank(Cursor* cur) {
+  // cur starts at '_'
+  if (cur->pos + 1 >= cur->text.size() || cur->text[cur->pos + 1] != ':') {
+    return ErrorAt(*cur, "malformed blank node");
+  }
+  std::size_t start = cur->pos + 2;
+  std::size_t end = start;
+  while (end < cur->text.size() && cur->text[end] != ' ' &&
+         cur->text[end] != '\t') {
+    ++end;
+  }
+  if (end == start) {
+    return ErrorAt(*cur, "empty blank node label");
+  }
+  std::string label(cur->text.substr(start, end - start));
+  cur->pos = end;
+  return Term::Blank(std::move(label));
+}
+
+Result<Term> ParseLiteral(Cursor* cur) {
+  // cur->Peek() == '"'. Scan for the closing quote, honoring backslash
+  // escapes.
+  std::size_t i = cur->pos + 1;
+  std::string raw;
+  bool closed = false;
+  while (i < cur->text.size()) {
+    char c = cur->text[i];
+    if (c == '\\' && i + 1 < cur->text.size()) {
+      raw += c;
+      raw += cur->text[i + 1];
+      i += 2;
+      continue;
+    }
+    if (c == '"') {
+      closed = true;
+      ++i;
+      break;
+    }
+    raw += c;
+    ++i;
+  }
+  if (!closed) {
+    return ErrorAt(*cur, "unterminated literal");
+  }
+  std::string lexical = UnescapeNTriplesLiteral(raw);
+  cur->pos = i;
+  // Optional @lang or ^^<datatype>.
+  if (!cur->AtEnd() && cur->Peek() == '@') {
+    std::size_t start = cur->pos + 1;
+    std::size_t end = start;
+    while (end < cur->text.size() && cur->text[end] != ' ' &&
+           cur->text[end] != '\t') {
+      ++end;
+    }
+    if (end == start) {
+      return ErrorAt(*cur, "empty language tag");
+    }
+    std::string lang(cur->text.substr(start, end - start));
+    cur->pos = end;
+    return Term::LangLiteral(std::move(lexical), std::move(lang));
+  }
+  if (cur->pos + 1 < cur->text.size() && cur->Peek() == '^' &&
+      cur->text[cur->pos + 1] == '^') {
+    cur->pos += 2;
+    if (cur->AtEnd() || cur->Peek() != '<') {
+      return ErrorAt(*cur, "expected datatype IRI after ^^");
+    }
+    auto dt = ParseIri(cur);
+    if (!dt.ok()) {
+      return dt.status();
+    }
+    return Term::TypedLiteral(std::move(lexical), dt.value().value());
+  }
+  return Term::Literal(std::move(lexical));
+}
+
+Result<Term> ParseTerm(Cursor* cur, bool allow_literal) {
+  cur->SkipSpace();
+  if (cur->AtEnd()) {
+    return ErrorAt(*cur, "unexpected end of line");
+  }
+  char c = cur->Peek();
+  if (c == '<') {
+    return ParseIri(cur);
+  }
+  if (c == '_') {
+    return ParseBlank(cur);
+  }
+  if (c == '"') {
+    if (!allow_literal) {
+      return ErrorAt(*cur, "literal not allowed in this position");
+    }
+    return ParseLiteral(cur);
+  }
+  return ErrorAt(*cur, "unexpected character");
+}
+
+}  // namespace
+
+Result<Triple> ParseNTriplesLine(std::string_view line) {
+  Cursor cur{TrimWhitespace(line), 0};
+  auto s = ParseTerm(&cur, /*allow_literal=*/false);
+  if (!s.ok()) {
+    return s.status();
+  }
+  auto p = ParseTerm(&cur, /*allow_literal=*/false);
+  if (!p.ok()) {
+    return p.status();
+  }
+  if (!p.value().is_iri()) {
+    return ErrorAt(cur, "predicate must be an IRI");
+  }
+  auto o = ParseTerm(&cur, /*allow_literal=*/true);
+  if (!o.ok()) {
+    return o.status();
+  }
+  cur.SkipSpace();
+  if (cur.AtEnd() || cur.Peek() != '.') {
+    return ErrorAt(cur, "expected terminating '.'");
+  }
+  ++cur.pos;
+  cur.SkipSpace();
+  if (!cur.AtEnd()) {
+    return ErrorAt(cur, "trailing characters after '.'");
+  }
+  return Triple{std::move(s).value(), std::move(p).value(),
+                std::move(o).value()};
+}
+
+Result<std::vector<Triple>> ParseNTriplesDocument(std::string_view text,
+                                                  bool strict,
+                                                  std::size_t* skipped) {
+  std::vector<Triple> triples;
+  std::size_t skipped_count = 0;
+  std::size_t line_no = 0;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    std::size_t end = text.find('\n', start);
+    std::string_view line =
+        (end == std::string_view::npos) ? text.substr(start)
+                                        : text.substr(start, end - start);
+    ++line_no;
+    std::string_view trimmed = TrimWhitespace(line);
+    if (!trimmed.empty() && trimmed[0] != '#') {
+      auto t = ParseNTriplesLine(trimmed);
+      if (t.ok()) {
+        triples.push_back(std::move(t).value());
+      } else if (strict) {
+        return Status::ParseError("line " + std::to_string(line_no) + ": " +
+                                  t.status().message());
+      } else {
+        ++skipped_count;
+      }
+    }
+    if (end == std::string_view::npos) {
+      break;
+    }
+    start = end + 1;
+  }
+  if (skipped != nullptr) {
+    *skipped = skipped_count;
+  }
+  return triples;
+}
+
+void WriteNTriples(const std::vector<Triple>& triples, std::ostream& out) {
+  for (const auto& t : triples) {
+    out << t.ToNTriples() << '\n';
+  }
+}
+
+std::string ToNTriplesString(const std::vector<Triple>& triples) {
+  std::ostringstream os;
+  WriteNTriples(triples, os);
+  return os.str();
+}
+
+}  // namespace hexastore

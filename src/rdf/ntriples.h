@@ -1,0 +1,40 @@
+// N-Triples parsing and serialization.
+//
+// Supports the line-oriented N-Triples syntax: IRIs in angle brackets,
+// quoted literals with \-escapes, optional @lang or ^^<datatype>
+// qualifiers, and _:blank labels. Comments (#...) and blank lines are
+// skipped.
+#ifndef HEXASTORE_RDF_NTRIPLES_H_
+#define HEXASTORE_RDF_NTRIPLES_H_
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "rdf/triple.h"
+#include "util/status.h"
+
+namespace hexastore {
+
+/// Parses one N-Triples line ("<s> <p> <o> ."). Returns ParseError with
+/// a position-bearing message on malformed input.
+Result<Triple> ParseNTriplesLine(std::string_view line);
+
+/// Parses a whole N-Triples document. `strict` aborts on the first bad
+/// line; otherwise bad lines are skipped and counted in `*skipped` (may be
+/// null).
+Result<std::vector<Triple>> ParseNTriplesDocument(std::string_view text,
+                                                  bool strict = true,
+                                                  std::size_t* skipped =
+                                                      nullptr);
+
+/// Serializes triples, one N-Triples line each, to `out`.
+void WriteNTriples(const std::vector<Triple>& triples, std::ostream& out);
+
+/// Serializes triples to a string.
+std::string ToNTriplesString(const std::vector<Triple>& triples);
+
+}  // namespace hexastore
+
+#endif  // HEXASTORE_RDF_NTRIPLES_H_

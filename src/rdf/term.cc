@@ -1,0 +1,58 @@
+#include "rdf/term.h"
+
+#include "util/string_util.h"
+
+namespace hexastore {
+
+const std::string Term::empty_;
+
+Term Term::Iri(std::string iri) {
+  return Term(TermKind::kIri, std::move(iri), "", false);
+}
+
+Term Term::Literal(std::string lexical) {
+  return Term(TermKind::kLiteral, std::move(lexical), "", false);
+}
+
+Term Term::LangLiteral(std::string lexical, std::string lang) {
+  return Term(TermKind::kLiteral, std::move(lexical), std::move(lang), true);
+}
+
+Term Term::TypedLiteral(std::string lexical, std::string datatype_iri) {
+  return Term(TermKind::kLiteral, std::move(lexical),
+              std::move(datatype_iri), false);
+}
+
+Term Term::Blank(std::string label) {
+  return Term(TermKind::kBlank, std::move(label), "", false);
+}
+
+std::string Term::ToNTriples() const {
+  switch (kind_) {
+    case TermKind::kIri:
+      return "<" + value_ + ">";
+    case TermKind::kBlank:
+      return "_:" + value_;
+    case TermKind::kLiteral: {
+      std::string out = "\"" + EscapeNTriplesLiteral(value_) + "\"";
+      if (!qualifier_.empty()) {
+        if (qualifier_lang_) {
+          out += "@" + qualifier_;
+        } else {
+          out += "^^<" + qualifier_ + ">";
+        }
+      }
+      return out;
+    }
+  }
+  return "";
+}
+
+std::strong_ordering operator<=>(const Term& a, const Term& b) {
+  if (auto c = a.kind_ <=> b.kind_; c != 0) return c;
+  if (auto c = a.value_ <=> b.value_; c != 0) return c;
+  if (auto c = a.qualifier_ <=> b.qualifier_; c != 0) return c;
+  return a.qualifier_lang_ <=> b.qualifier_lang_;
+}
+
+}  // namespace hexastore

@@ -1,0 +1,90 @@
+// RDF term model: IRIs, literals (with optional language tag or datatype)
+// and blank nodes.
+#ifndef HEXASTORE_RDF_TERM_H_
+#define HEXASTORE_RDF_TERM_H_
+
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace hexastore {
+
+/// The lexical kind of an RDF term.
+enum class TermKind : std::uint8_t {
+  kIri = 0,
+  kLiteral = 1,
+  kBlank = 2,
+};
+
+/// One RDF term.
+///
+/// A Term is an immutable value type. IRIs store the IRI string (without
+/// angle brackets); literals store the lexical form plus an optional
+/// language tag ("en") or datatype IRI; blank nodes store the local label
+/// (without the "_:" prefix).
+class Term {
+ public:
+  /// Creates an IRI term.
+  static Term Iri(std::string iri);
+  /// Creates a plain literal.
+  static Term Literal(std::string lexical);
+  /// Creates a language-tagged literal.
+  static Term LangLiteral(std::string lexical, std::string lang);
+  /// Creates a datatyped literal.
+  static Term TypedLiteral(std::string lexical, std::string datatype_iri);
+  /// Creates a blank node.
+  static Term Blank(std::string label);
+
+  /// Default-constructed term is the empty IRI; useful only as a
+  /// placeholder before assignment.
+  Term() : kind_(TermKind::kIri) {}
+
+  /// The kind of this term.
+  TermKind kind() const { return kind_; }
+  /// True iff this term is an IRI.
+  bool is_iri() const { return kind_ == TermKind::kIri; }
+  /// True iff this term is a literal.
+  bool is_literal() const { return kind_ == TermKind::kLiteral; }
+  /// True iff this term is a blank node.
+  bool is_blank() const { return kind_ == TermKind::kBlank; }
+
+  /// IRI string, literal lexical form, or blank label depending on kind.
+  const std::string& value() const { return value_; }
+  /// Language tag for language-tagged literals, else empty.
+  const std::string& language() const { return qualifier_lang_ ? qualifier_ : empty_; }
+  /// Datatype IRI for datatyped literals, else empty.
+  const std::string& datatype() const { return qualifier_lang_ ? empty_ : qualifier_; }
+
+  /// Canonical N-Triples spelling: `<iri>`, `"lit"`, `"lit"@en`,
+  /// `"lit"^^<dt>`, `_:label`. This is also the dictionary key: two terms
+  /// are the same resource iff their N-Triples spellings are equal.
+  std::string ToNTriples() const;
+
+  /// Terms order by (kind, value, qualifier); equality is structural.
+  friend bool operator==(const Term& a, const Term& b) {
+    return a.kind_ == b.kind_ && a.value_ == b.value_ &&
+           a.qualifier_ == b.qualifier_ &&
+           a.qualifier_lang_ == b.qualifier_lang_;
+  }
+  friend std::strong_ordering operator<=>(const Term& a, const Term& b);
+
+ private:
+  Term(TermKind kind, std::string value, std::string qualifier,
+       bool qualifier_is_lang)
+      : kind_(kind),
+        value_(std::move(value)),
+        qualifier_(std::move(qualifier)),
+        qualifier_lang_(qualifier_is_lang) {}
+
+  static const std::string empty_;
+
+  TermKind kind_;
+  std::string value_;
+  std::string qualifier_;      // language tag or datatype IRI
+  bool qualifier_lang_ = false;  // true: qualifier_ is a language tag
+};
+
+}  // namespace hexastore
+
+#endif  // HEXASTORE_RDF_TERM_H_

@@ -1,0 +1,15 @@
+#include "rdf/triple.h"
+
+namespace hexastore {
+
+std::string Triple::ToNTriples() const {
+  std::string out = subject.ToNTriples();
+  out += ' ';
+  out += predicate.ToNTriples();
+  out += ' ';
+  out += object.ToNTriples();
+  out += " .";
+  return out;
+}
+
+}  // namespace hexastore

@@ -1,0 +1,75 @@
+// Triple value types, both at the term level (strings) and at the id level
+// (dictionary-encoded), plus the id-level lookup pattern.
+#ifndef HEXASTORE_RDF_TRIPLE_H_
+#define HEXASTORE_RDF_TRIPLE_H_
+
+#include <compare>
+#include <string>
+#include <vector>
+
+#include "rdf/term.h"
+#include "util/common.h"
+
+namespace hexastore {
+
+/// A term-level RDF statement <subject, predicate, object>.
+struct Triple {
+  Term subject;
+  Term predicate;
+  Term object;
+
+  friend bool operator==(const Triple&, const Triple&) = default;
+  friend std::strong_ordering operator<=>(const Triple&,
+                                          const Triple&) = default;
+
+  /// N-Triples line (without trailing newline): "<s> <p> <o> .".
+  std::string ToNTriples() const;
+};
+
+/// A dictionary-encoded statement; all three ids are valid (non-zero).
+struct IdTriple {
+  Id s = kInvalidId;
+  Id p = kInvalidId;
+  Id o = kInvalidId;
+
+  friend bool operator==(const IdTriple&, const IdTriple&) = default;
+  friend std::strong_ordering operator<=>(const IdTriple&,
+                                          const IdTriple&) = default;
+};
+
+/// A lookup pattern over id triples: each position is either a bound id or
+/// kInvalidId meaning "any". The eight bound/unbound combinations map onto
+/// the paper's access patterns and choose among the six indexes.
+struct IdPattern {
+  Id s = kInvalidId;
+  Id p = kInvalidId;
+  Id o = kInvalidId;
+
+  /// True iff the subject position is bound.
+  bool has_s() const { return s != kInvalidId; }
+  /// True iff the predicate position is bound.
+  bool has_p() const { return p != kInvalidId; }
+  /// True iff the object position is bound.
+  bool has_o() const { return o != kInvalidId; }
+
+  /// Number of bound positions (0..3).
+  int bound_count() const {
+    return static_cast<int>(has_s()) + static_cast<int>(has_p()) +
+           static_cast<int>(has_o());
+  }
+
+  /// True iff `t` matches this pattern.
+  bool Matches(const IdTriple& t) const {
+    return (!has_s() || s == t.s) && (!has_p() || p == t.p) &&
+           (!has_o() || o == t.o);
+  }
+
+  friend bool operator==(const IdPattern&, const IdPattern&) = default;
+};
+
+/// Convenience alias: a materialized result set of id triples.
+using IdTripleVec = std::vector<IdTriple>;
+
+}  // namespace hexastore
+
+#endif  // HEXASTORE_RDF_TRIPLE_H_

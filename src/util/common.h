@@ -1,0 +1,41 @@
+// Core type aliases and constants shared across the hexastore library.
+#ifndef HEXASTORE_UTIL_COMMON_H_
+#define HEXASTORE_UTIL_COMMON_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace hexastore {
+
+/// Dense integer identifier assigned by the dictionary to every distinct
+/// RDF term. Ids start at 1; `kInvalidId` (0) is reserved and never maps
+/// to a term.
+using Id = std::uint64_t;
+
+/// Reserved id that never denotes a term. Pattern lookups use it (via
+/// TriplePattern) to mark unbound positions.
+inline constexpr Id kInvalidId = 0;
+
+/// The three roles a term can play in a triple.
+enum class Role : std::uint8_t {
+  kSubject = 0,
+  kPredicate = 1,
+  kObject = 2,
+};
+
+/// Human-readable name for a role ("subject", "predicate", "object").
+inline const char* RoleName(Role role) {
+  switch (role) {
+    case Role::kSubject:
+      return "subject";
+    case Role::kPredicate:
+      return "predicate";
+    case Role::kObject:
+      return "object";
+  }
+  return "unknown";
+}
+
+}  // namespace hexastore
+
+#endif  // HEXASTORE_UTIL_COMMON_H_

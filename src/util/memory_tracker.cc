@@ -1,0 +1,14 @@
+#include "util/memory_tracker.h"
+
+namespace hexastore {
+
+std::size_t StringHeapBytes(const std::string& s) {
+  // libstdc++ SSO buffer is 15 chars; anything longer allocates
+  // capacity()+1 bytes.
+  if (s.capacity() <= 15) {
+    return 0;
+  }
+  return s.capacity() + 1;
+}
+
+}  // namespace hexastore

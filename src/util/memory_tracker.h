@@ -1,0 +1,41 @@
+// Helpers for estimating the heap footprint of the store data structures.
+//
+// The paper's Figure 15 compares memory consumption of Hexastore vs COVP1
+// vs COVP2. We account memory analytically (capacity * element size plus
+// node overheads) rather than via the allocator, so the numbers are
+// deterministic and attributable per structure.
+#ifndef HEXASTORE_UTIL_MEMORY_TRACKER_H_
+#define HEXASTORE_UTIL_MEMORY_TRACKER_H_
+
+#include <cstddef>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace hexastore {
+
+/// Approximate per-node bookkeeping overhead of libstdc++'s
+/// unordered_map (hash node: next pointer + cached hash) plus bucket
+/// array amortization.
+inline constexpr std::size_t kHashNodeOverhead = 2 * sizeof(void*) + 16;
+
+/// Bytes held by a vector's heap buffer (capacity, not size).
+template <typename T>
+std::size_t VectorHeapBytes(const std::vector<T>& v) {
+  return v.capacity() * sizeof(T);
+}
+
+/// Bytes held by a string, counting SSO as zero heap.
+std::size_t StringHeapBytes(const std::string& s);
+
+/// Bytes held by an unordered_map's table + nodes (values accounted by
+/// the caller if they own heap memory themselves).
+template <typename K, typename V, typename H, typename E, typename A>
+std::size_t HashMapHeapBytes(const std::unordered_map<K, V, H, E, A>& m) {
+  return m.bucket_count() * sizeof(void*) +
+         m.size() * (sizeof(std::pair<const K, V>) + kHashNodeOverhead);
+}
+
+}  // namespace hexastore
+
+#endif  // HEXASTORE_UTIL_MEMORY_TRACKER_H_

@@ -1,0 +1,62 @@
+#include "util/rng.h"
+
+namespace hexastore {
+
+namespace {
+
+std::uint64_t SplitMix64(std::uint64_t* state) {
+  std::uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t Rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : state_) {
+    s = SplitMix64(&sm);
+  }
+}
+
+std::uint64_t Rng::Next() {
+  const std::uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::Uniform(std::uint64_t bound) {
+  // Lemire-style rejection-free-in-expectation bounded sampling would need
+  // 128-bit multiply; plain rejection sampling keeps exact uniformity and
+  // is fast enough for data generation.
+  const std::uint64_t threshold = -bound % bound;
+  while (true) {
+    std::uint64_t r = Next();
+    if (r >= threshold) {
+      return r % bound;
+    }
+  }
+}
+
+std::uint64_t Rng::UniformRange(std::uint64_t lo, std::uint64_t hi) {
+  return lo + Uniform(hi - lo + 1);
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::Bernoulli(double p) { return NextDouble() < p; }
+
+}  // namespace hexastore

@@ -1,0 +1,44 @@
+// Deterministic pseudo-random number generation for workload generators.
+//
+// We intentionally do not use std::mt19937 + std::*_distribution because
+// their outputs are not guaranteed identical across standard library
+// implementations; dataset generation must be bit-reproducible everywhere.
+#ifndef HEXASTORE_UTIL_RNG_H_
+#define HEXASTORE_UTIL_RNG_H_
+
+#include <cstdint>
+
+namespace hexastore {
+
+/// Deterministic 64-bit PRNG (xoshiro256** seeded via splitmix64).
+///
+/// The same seed yields the same stream on every platform, which makes the
+/// synthetic Barton/LUBM datasets reproducible byte-for-byte.
+class Rng {
+ public:
+  /// Creates a generator; all state is derived from `seed` via splitmix64.
+  explicit Rng(std::uint64_t seed);
+
+  /// Next raw 64-bit output.
+  std::uint64_t Next();
+
+  /// Uniform integer in [0, bound). `bound` must be > 0. Uses rejection
+  /// sampling, so the result is exactly uniform.
+  std::uint64_t Uniform(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::uint64_t UniformRange(std::uint64_t lo, std::uint64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Bernoulli trial with probability `p` of returning true.
+  bool Bernoulli(double p);
+
+ private:
+  std::uint64_t state_[4];
+};
+
+}  // namespace hexastore
+
+#endif  // HEXASTORE_UTIL_RNG_H_

@@ -1,0 +1,117 @@
+// Lightweight Status / Result error propagation, in the spirit of
+// arrow::Status: library code never throws across the public API; fallible
+// operations return Status or Result<T>.
+#ifndef HEXASTORE_UTIL_STATUS_H_
+#define HEXASTORE_UTIL_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace hexastore {
+
+/// Machine-readable error category for a failed operation.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kParseError,
+  kOutOfRange,
+  kInternal,
+};
+
+/// Outcome of an operation that can fail without producing a value.
+///
+/// A default-constructed Status is OK. Error statuses carry a code and a
+/// human-readable message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with the given code and message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  /// Returns an OK status.
+  static Status OK() { return Status(); }
+  /// Returns an InvalidArgument error.
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  /// Returns a NotFound error.
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  /// Returns an AlreadyExists error.
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  /// Returns a ParseError error.
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  /// Returns an OutOfRange error.
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  /// Returns an Internal error.
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  /// True iff the operation succeeded.
+  bool ok() const { return code_ == StatusCode::kOk; }
+  /// The status code.
+  StatusCode code() const { return code_; }
+  /// The error message (empty for OK).
+  const std::string& message() const { return message_; }
+
+  /// Renders "OK" or "<code>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Outcome of an operation that produces a T on success.
+///
+/// Holds either a value or an error Status. Accessing the value of an
+/// errored Result aborts (programming error), mirroring arrow::Result.
+template <typename T>
+class Result {
+ public:
+  /// Constructs a successful result holding `value`.
+  Result(T value)  // NOLINT(google-explicit-constructor)
+      : value_(std::move(value)) {}
+  /// Constructs a failed result from a non-OK status.
+  Result(Status status)  // NOLINT(google-explicit-constructor)
+      : status_(std::move(status)) {}
+
+  /// True iff a value is present.
+  bool ok() const { return value_.has_value(); }
+  /// The error status (OK if a value is present).
+  const Status& status() const { return status_; }
+
+  /// The contained value; requires ok().
+  const T& value() const& { return *value_; }
+  /// Moves the contained value out; requires ok().
+  T&& value() && { return std::move(*value_); }
+  /// Mutable access to the contained value; requires ok().
+  T& value() & { return *value_; }
+
+  /// Value or a fallback when errored.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace hexastore
+
+#endif  // HEXASTORE_UTIL_STATUS_H_

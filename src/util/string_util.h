@@ -1,0 +1,31 @@
+// Small string helpers used by parsers and generators.
+#ifndef HEXASTORE_UTIL_STRING_UTIL_H_
+#define HEXASTORE_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hexastore {
+
+/// Returns `s` with leading and trailing ASCII whitespace removed.
+std::string_view TrimWhitespace(std::string_view s);
+
+/// Splits `s` on `sep`, keeping empty fields.
+std::vector<std::string_view> SplitString(std::string_view s, char sep);
+
+/// True iff `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// True iff `s` ends with `suffix`.
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Escapes a literal per N-Triples rules (backslash, quote, \n, \r, \t).
+std::string EscapeNTriplesLiteral(std::string_view raw);
+
+/// Reverses EscapeNTriplesLiteral. Unrecognized escapes are kept verbatim.
+std::string UnescapeNTriplesLiteral(std::string_view escaped);
+
+}  // namespace hexastore
+
+#endif  // HEXASTORE_UTIL_STRING_UTIL_H_

@@ -1,0 +1,35 @@
+#include "util/zipf.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hexastore {
+
+ZipfDistribution::ZipfDistribution(std::size_t n, double s)
+    : exponent_(s) {
+  cdf_.resize(n);
+  double acc = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    acc += 1.0 / std::pow(static_cast<double>(k + 1), s);
+    cdf_[k] = acc;
+  }
+  norm_ = acc;
+  for (auto& v : cdf_) {
+    v /= norm_;
+  }
+}
+
+std::size_t ZipfDistribution::Sample(Rng* rng) const {
+  double u = rng->NextDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) {
+    return cdf_.size() - 1;
+  }
+  return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+double ZipfDistribution::Pmf(std::size_t rank) const {
+  return 1.0 / std::pow(static_cast<double>(rank + 1), exponent_) / norm_;
+}
+
+}  // namespace hexastore

@@ -1,0 +1,40 @@
+// Zipfian sampling used to reproduce the skewed property-frequency
+// distribution of the Barton library catalog ("the vast majority of
+// properties appear infrequently", paper §5.1.1).
+#ifndef HEXASTORE_UTIL_ZIPF_H_
+#define HEXASTORE_UTIL_ZIPF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace hexastore {
+
+/// Samples ranks in [0, n) following a Zipf(s) law: P(rank k) ∝ 1/(k+1)^s.
+///
+/// Uses a precomputed CDF and binary search, so sampling is O(log n) and
+/// deterministic given the Rng stream.
+class ZipfDistribution {
+ public:
+  /// Creates a distribution over `n` ranks with exponent `s` (> 0).
+  ZipfDistribution(std::size_t n, double s);
+
+  /// Draws one rank using `rng`.
+  std::size_t Sample(Rng* rng) const;
+
+  /// Probability mass of a given rank.
+  double Pmf(std::size_t rank) const;
+
+  /// Number of ranks.
+  std::size_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+  double norm_;
+  double exponent_;
+};
+
+}  // namespace hexastore
+
+#endif  // HEXASTORE_UTIL_ZIPF_H_

@@ -1,0 +1,712 @@
+#include "workload/barton_queries.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <unordered_map>
+
+#include "data/barton_generator.h"
+
+namespace hexastore::workload {
+
+namespace {
+
+const IdVec kEmpty;
+
+// Dereferences a possibly-null list pointer.
+const IdVec& OrEmpty(const IdVec* v) { return v == nullptr ? kEmpty : *v; }
+
+CountRows ToCountRows(const std::unordered_map<Id, std::uint64_t>& m) {
+  CountRows rows(m.begin(), m.end());
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+// True when `p` participates under the optional `_28` restriction.
+bool InSubset(const IdVec* subset, Id p) {
+  return subset == nullptr || SortedContains(*subset, p);
+}
+
+// Properties a COVP store iterates: the preselected subset if given, else
+// every property table in the store.
+std::vector<Id> CovpProperties(const VerticalStore& store,
+                               const IdVec* subset) {
+  if (subset != nullptr) {
+    return *subset;
+  }
+  return store.Properties();
+}
+
+// COVP1-style subject pre-selection: walk the property's subject vector
+// and keep subjects whose object list contains `value` (the pso index has
+// no object-order access).
+IdVec Covp1SelectSubjects(const VerticalStore& store, Id prop, Id value) {
+  IdVec out;
+  const IdVec& subjects = OrEmpty(store.subject_vector(prop));
+  for (Id s : subjects) {
+    if (SortedContains(OrEmpty(store.object_list(prop, s)), value)) {
+      out.push_back(s);
+    }
+  }
+  return out;  // sorted: subject vector was sorted
+}
+
+// Selection of subjects with (s, prop, value), choosing the store's best
+// strategy (pos subject list on COVP2, table walk on COVP1).
+IdVec CovpSelectSubjects(const VerticalStore& store, Id prop, Id value) {
+  if (store.with_object_index()) {
+    return OrEmpty(store.subject_list(prop, value));
+  }
+  return Covp1SelectSubjects(store, prop, value);
+}
+
+// Oracle subject selection via generic scans.
+IdVec OracleSelectSubjects(const TripleStore& store, Id prop, Id value) {
+  IdVec out;
+  store.Scan(IdPattern{kInvalidId, prop, value},
+             [&out](const IdTriple& t) { out.push_back(t.s); });
+  SortUnique(&out);
+  return out;
+}
+
+// Shared second step of BQ2/BQ6: property frequencies over subject set
+// `t` (sorted), on a Hexastore via the spo index. The `_28` restriction
+// is applied to the aggregated rows, not per lookup: the spo walk only
+// touches properties the qualifying subjects actually define, so
+// filtering afterwards is both cheaper and equivalent.
+CountRows HexaPropertyFrequencies(const Hexastore& store, const IdVec& t,
+                                  const IdVec* subset) {
+  std::unordered_map<Id, std::uint64_t> freq;
+  for (Id s : t) {
+    for (Id p : OrEmpty(store.predicates_of_subject(s))) {
+      freq[p] += store.objects(s, p)->size();
+    }
+  }
+  if (subset != nullptr) {
+    for (auto it = freq.begin(); it != freq.end();) {
+      if (!SortedContains(*subset, it->first)) {
+        it = freq.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  return ToCountRows(freq);
+}
+
+// Shared second step of BQ2/BQ6 on a COVP store: every candidate property
+// table is merge-joined with `t`.
+CountRows CovpPropertyFrequencies(const VerticalStore& store, const IdVec& t,
+                                  const IdVec* subset) {
+  std::unordered_map<Id, std::uint64_t> freq;
+  for (Id p : CovpProperties(store, subset)) {
+    const IdVec* subjects = store.subject_vector(p);
+    if (subjects == nullptr) {
+      continue;
+    }
+    std::uint64_t f = 0;
+    MergeJoin(t, *subjects, [&](Id s) {
+      f += store.object_list(p, s)->size();
+    });
+    if (f > 0) {
+      freq[p] = f;
+    }
+  }
+  return ToCountRows(freq);
+}
+
+CountRows OraclePropertyFrequencies(const TripleStore& store, const IdVec& t,
+                                    const IdVec* subset) {
+  std::unordered_map<Id, std::uint64_t> freq;
+  store.Scan(IdPattern{}, [&](const IdTriple& triple) {
+    if (!SortedContains(t, triple.s) || !InSubset(subset, triple.p)) {
+      return;
+    }
+    ++freq[triple.p];
+  });
+  return ToCountRows(freq);
+}
+
+// Shared final step of BQ3/BQ4: report, per property, the object values
+// related to the qualifying subjects `t` whose store-wide popularity
+// (number of subjects carrying that value under that property) exceeds
+// one.
+//
+// This is where the pos index pays off (paper: COVP2 "utilizes its pos
+// index in the final processing step, in order to retrieve the count of
+// each object related to subjects in t for each property"): with
+// object-sorted access the count of a value is simply the length of its
+// s(p, o) subject list, while COVP1 must re-count every property table by
+// scanning it whole.
+//
+// Hexastore additionally keeps its spo advantage: candidate (p, o) pairs
+// come from the property vectors of the subjects in t only, not from
+// every property table.
+PairCountRows HexaPopularObjects(const Hexastore& store, const IdVec& t,
+                                 const IdVec* subset) {
+  // Candidate (property, object) pairs related to t, from the spo index.
+  std::vector<std::pair<Id, Id>> candidates;
+  for (Id s : t) {
+    for (Id p : OrEmpty(store.predicates_of_subject(s))) {
+      if (!InSubset(subset, p)) {
+        continue;
+      }
+      for (Id o : *store.objects(s, p)) {
+        candidates.emplace_back(p, o);
+      }
+    }
+  }
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+  // Count retrieval: one shared s(p, o) list length per candidate.
+  PairCountRows rows;
+  for (const auto& [p, o] : candidates) {
+    const std::size_t c = store.subjects(p, o)->size();
+    if (c > 1) {
+      rows.emplace_back(std::make_pair(p, o), c);
+    }
+  }
+  return rows;  // candidates were sorted
+}
+
+PairCountRows CovpPopularObjects(const VerticalStore& store, const IdVec& t,
+                                 const IdVec* subset) {
+  PairCountRows rows;
+  for (Id p : CovpProperties(store, subset)) {
+    const IdVec* subjects = store.subject_vector(p);
+    if (subjects == nullptr) {
+      continue;
+    }
+    if (store.with_object_index()) {
+      // COVP2: candidate objects from the t-join, counts from the
+      // pos-side subject lists.
+      IdVec objects;
+      MergeJoin(t, *subjects, [&](Id s) {
+        const IdVec& os = *store.object_list(p, s);
+        objects.insert(objects.end(), os.begin(), os.end());
+      });
+      SortUnique(&objects);
+      for (Id o : objects) {
+        const std::size_t c = store.subject_list(p, o)->size();
+        if (c > 1) {
+          rows.emplace_back(std::make_pair(p, o), c);
+        }
+      }
+    } else {
+      // COVP1: no object order anywhere, so the whole table must be
+      // scanned to establish each value's popularity; the t-join then
+      // selects which values to report.
+      std::unordered_map<Id, std::uint64_t> popularity;
+      for (Id s : *subjects) {
+        for (Id o : *store.object_list(p, s)) {
+          ++popularity[o];
+        }
+      }
+      IdVec related;
+      MergeJoin(t, *subjects, [&](Id s) {
+        const IdVec& os = *store.object_list(p, s);
+        related.insert(related.end(), os.begin(), os.end());
+      });
+      SortUnique(&related);
+      for (Id o : related) {
+        const std::uint64_t c = popularity[o];
+        if (c > 1) {
+          rows.emplace_back(std::make_pair(p, o), c);
+        }
+      }
+    }
+  }
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+PairCountRows OraclePopularObjects(const TripleStore& store, const IdVec& t,
+                                   const IdVec* subset) {
+  // Pass 1: store-wide popularity of every (p, o) pair.
+  std::map<std::pair<Id, Id>, std::uint64_t> popularity;
+  store.Scan(IdPattern{}, [&](const IdTriple& triple) {
+    if (!InSubset(subset, triple.p)) {
+      return;
+    }
+    ++popularity[{triple.p, triple.o}];
+  });
+  // Pass 2: (p, o) pairs related to subjects in t.
+  std::map<std::pair<Id, Id>, bool> related;
+  store.Scan(IdPattern{}, [&](const IdTriple& triple) {
+    if (!SortedContains(t, triple.s) || !InSubset(subset, triple.p)) {
+      return;
+    }
+    related[{triple.p, triple.o}] = true;
+  });
+  PairCountRows rows;
+  for (const auto& [key, seen] : related) {
+    (void)seen;
+    const std::uint64_t c = popularity[key];
+    if (c > 1) {
+      rows.emplace_back(key, c);
+    }
+  }
+  return rows;
+}
+
+}  // namespace
+
+BartonIds BartonIds::Resolve(const Dictionary& dict) {
+  using data::BartonGenerator;
+  BartonIds ids;
+  ids.prop_type = dict.Lookup(BartonGenerator::PropType());
+  ids.prop_language = dict.Lookup(BartonGenerator::PropLanguage());
+  ids.prop_origin = dict.Lookup(BartonGenerator::PropOrigin());
+  ids.prop_records = dict.Lookup(BartonGenerator::PropRecords());
+  ids.prop_point = dict.Lookup(BartonGenerator::PropPoint());
+  ids.prop_encoding = dict.Lookup(BartonGenerator::PropEncoding());
+  ids.val_text = dict.Lookup(BartonGenerator::TypeText());
+  ids.val_french = dict.Lookup(BartonGenerator::LangFrench());
+  ids.val_dlc = dict.Lookup(BartonGenerator::OriginDlc());
+  ids.val_end = dict.Lookup(BartonGenerator::PointEnd());
+  for (const Term& prop : BartonGenerator::PreselectedProperties()) {
+    Id id = dict.Lookup(prop);
+    if (id != kInvalidId) {
+      ids.preselected.push_back(id);
+    }
+  }
+  SortUnique(&ids.preselected);
+  return ids;
+}
+
+// ---- BQ1 ----------------------------------------------------------------
+
+CountRows BartonQ1Hexa(const Hexastore& store, const BartonIds& ids) {
+  CountRows rows;
+  for (Id o : OrEmpty(store.objects_of_predicate(ids.prop_type))) {
+    rows.emplace_back(o, store.subjects(ids.prop_type, o)->size());
+  }
+  return rows;  // pos object vector is sorted
+}
+
+CountRows BartonQ1Covp(const VerticalStore& store, const BartonIds& ids) {
+  if (store.with_object_index()) {
+    CountRows rows;
+    for (Id o : OrEmpty(store.object_vector(ids.prop_type))) {
+      rows.emplace_back(o, store.subject_list(ids.prop_type, o)->size());
+    }
+    return rows;
+  }
+  // COVP1: self-join aggregation on object value over the pso index.
+  std::unordered_map<Id, std::uint64_t> counts;
+  for (Id s : OrEmpty(store.subject_vector(ids.prop_type))) {
+    for (Id o : *store.object_list(ids.prop_type, s)) {
+      ++counts[o];
+    }
+  }
+  return ToCountRows(counts);
+}
+
+CountRows BartonQ1Oracle(const TripleStore& store, const BartonIds& ids) {
+  std::unordered_map<Id, std::uint64_t> counts;
+  store.Scan(IdPattern{kInvalidId, ids.prop_type, kInvalidId},
+             [&counts](const IdTriple& t) { ++counts[t.o]; });
+  return ToCountRows(counts);
+}
+
+// ---- BQ2 ----------------------------------------------------------------
+
+CountRows BartonQ2Hexa(const Hexastore& store, const BartonIds& ids,
+                       const IdVec* subset) {
+  const IdVec& t = OrEmpty(store.subjects(ids.prop_type, ids.val_text));
+  return HexaPropertyFrequencies(store, t, subset);
+}
+
+CountRows BartonQ2Covp(const VerticalStore& store, const BartonIds& ids,
+                       const IdVec* subset) {
+  IdVec t = CovpSelectSubjects(store, ids.prop_type, ids.val_text);
+  return CovpPropertyFrequencies(store, t, subset);
+}
+
+CountRows BartonQ2Oracle(const TripleStore& store, const BartonIds& ids,
+                         const IdVec* subset) {
+  IdVec t = OracleSelectSubjects(store, ids.prop_type, ids.val_text);
+  return OraclePropertyFrequencies(store, t, subset);
+}
+
+// ---- BQ3 ----------------------------------------------------------------
+
+PairCountRows BartonQ3Hexa(const Hexastore& store, const BartonIds& ids,
+                           const IdVec* subset) {
+  const IdVec& t = OrEmpty(store.subjects(ids.prop_type, ids.val_text));
+  return HexaPopularObjects(store, t, subset);
+}
+
+PairCountRows BartonQ3Covp(const VerticalStore& store, const BartonIds& ids,
+                           const IdVec* subset) {
+  IdVec t = CovpSelectSubjects(store, ids.prop_type, ids.val_text);
+  return CovpPopularObjects(store, t, subset);
+}
+
+PairCountRows BartonQ3Oracle(const TripleStore& store, const BartonIds& ids,
+                             const IdVec* subset) {
+  IdVec t = OracleSelectSubjects(store, ids.prop_type, ids.val_text);
+  return OraclePopularObjects(store, t, subset);
+}
+
+// ---- BQ4 ----------------------------------------------------------------
+
+PairCountRows BartonQ4Hexa(const Hexastore& store, const BartonIds& ids,
+                           const IdVec* subset) {
+  // Merge-join of the two pos subject lists (Type:Text x Language:French).
+  IdVec t = Intersect(OrEmpty(store.subjects(ids.prop_type, ids.val_text)),
+                      OrEmpty(store.subjects(ids.prop_language,
+                                             ids.val_french)));
+  return HexaPopularObjects(store, t, subset);
+}
+
+PairCountRows BartonQ4Covp(const VerticalStore& store, const BartonIds& ids,
+                           const IdVec* subset) {
+  IdVec t;
+  if (store.with_object_index()) {
+    t = Intersect(OrEmpty(store.subject_list(ids.prop_type, ids.val_text)),
+                  OrEmpty(store.subject_list(ids.prop_language,
+                                             ids.val_french)));
+  } else {
+    // Joint selection from the pso indices of Type and Language.
+    const IdVec& type_subjects = OrEmpty(store.subject_vector(ids.prop_type));
+    const IdVec& lang_subjects =
+        OrEmpty(store.subject_vector(ids.prop_language));
+    MergeJoin(type_subjects, lang_subjects, [&](Id s) {
+      if (SortedContains(*store.object_list(ids.prop_type, s),
+                         ids.val_text) &&
+          SortedContains(*store.object_list(ids.prop_language, s),
+                         ids.val_french)) {
+        t.push_back(s);
+      }
+    });
+  }
+  return CovpPopularObjects(store, t, subset);
+}
+
+PairCountRows BartonQ4Oracle(const TripleStore& store, const BartonIds& ids,
+                             const IdVec* subset) {
+  IdVec t = Intersect(
+      OracleSelectSubjects(store, ids.prop_type, ids.val_text),
+      OracleSelectSubjects(store, ids.prop_language, ids.val_french));
+  return OraclePopularObjects(store, t, subset);
+}
+
+// ---- BQ5 ----------------------------------------------------------------
+
+namespace {
+
+// Inferred-type table T: (recorded object x, type) pairs for recorded
+// objects that are subjects of Type, keeping types that satisfy
+// `keep_text` (false: non-Text inference of BQ5; true: Text inference of
+// BQ6). Flat and sorted by x (then type).
+using InferredTable = std::vector<std::pair<Id, Id>>;
+
+InferredTable HexaInferredTypeTable(const Hexastore& store,
+                                    const BartonIds& ids, bool keep_text) {
+  InferredTable table;
+  const IdVec& recorded = OrEmpty(store.objects_of_predicate(
+      ids.prop_records));  // pos object vector, sorted
+  const IdVec& typed =
+      OrEmpty(store.subjects_of_predicate(ids.prop_type));  // pso, sorted
+  MergeJoin(recorded, typed, [&](Id x) {
+    for (Id ty : *store.objects(x, ids.prop_type)) {
+      if ((ty == ids.val_text) == keep_text) {
+        table.emplace_back(x, ty);
+      }
+    }
+  });
+  return table;
+}
+
+InferredTable CovpInferredTypeTable(const VerticalStore& store,
+                                    const BartonIds& ids, bool keep_text) {
+  // COVP2 path; COVP1 uses the pair-based strategy inline in its query.
+  InferredTable table;
+  const IdVec& recorded = OrEmpty(store.object_vector(ids.prop_records));
+  const IdVec& typed = OrEmpty(store.subject_vector(ids.prop_type));
+  MergeJoin(recorded, typed, [&](Id x) {
+    for (Id ty : *store.object_list(ids.prop_type, x)) {
+      if ((ty == ids.val_text) == keep_text) {
+        table.emplace_back(x, ty);
+      }
+    }
+  });
+  return table;
+}
+
+// Expands a DLC subject list against an inferred-type table: for every
+// subject s and recorded object x in T, emit (s, type) per kept type.
+IdPairRows ExpandInference(
+    const IdVec& dlc_subjects, const InferredTable& table,
+    const std::function<const IdVec*(Id)>& records_of) {
+  IdPairRows rows;
+  for (Id s : dlc_subjects) {
+    const IdVec* recs = records_of(s);
+    if (recs == nullptr) {
+      continue;
+    }
+    for (Id x : *recs) {
+      auto it = std::lower_bound(table.begin(), table.end(),
+                                 std::make_pair(x, Id(0)));
+      for (; it != table.end() && it->first == x; ++it) {
+        rows.emplace_back(s, it->second);
+      }
+    }
+  }
+  std::sort(rows.begin(), rows.end());
+  rows.erase(std::unique(rows.begin(), rows.end()), rows.end());
+  return rows;
+}
+
+}  // namespace
+
+IdPairRows BartonQ5Hexa(const Hexastore& store, const BartonIds& ids) {
+  const IdVec& s_dlc =
+      OrEmpty(store.subjects(ids.prop_origin, ids.val_dlc));
+  auto table = HexaInferredTypeTable(store, ids, /*keep_text=*/false);
+  return ExpandInference(s_dlc, table, [&](Id s) {
+    return store.objects(s, ids.prop_records);
+  });
+}
+
+IdPairRows BartonQ5Covp(const VerticalStore& store, const BartonIds& ids) {
+  if (store.with_object_index()) {
+    const IdVec& s_dlc =
+        OrEmpty(store.subject_list(ids.prop_origin, ids.val_dlc));
+    auto table = CovpInferredTypeTable(store, ids, /*keep_text=*/false);
+    return ExpandInference(s_dlc, table, [&](Id s) {
+      return store.object_list(ids.prop_records, s);
+    });
+  }
+  // COVP1: select on Origin:DLC by table walk; join with the Records
+  // subject vector; sort the recorded-object pairs; sort-merge against the
+  // Type subject vector.
+  IdVec s_dlc = Covp1SelectSubjects(store, ids.prop_origin, ids.val_dlc);
+  std::vector<std::pair<Id, Id>> pairs;  // (recorded object x, subject s)
+  MergeJoin(s_dlc, OrEmpty(store.subject_vector(ids.prop_records)),
+            [&](Id s) {
+              for (Id x : *store.object_list(ids.prop_records, s)) {
+                pairs.emplace_back(x, s);
+              }
+            });
+  std::sort(pairs.begin(), pairs.end());
+  IdPairRows rows;
+  const IdVec& typed = OrEmpty(store.subject_vector(ids.prop_type));
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < pairs.size() && j < typed.size()) {
+    if (pairs[i].first < typed[j]) {
+      ++i;
+    } else if (typed[j] < pairs[i].first) {
+      ++j;
+    } else {
+      const Id x = typed[j];
+      for (Id ty : *store.object_list(ids.prop_type, x)) {
+        if (ty != ids.val_text) {
+          std::size_t k = i;
+          while (k < pairs.size() && pairs[k].first == x) {
+            rows.emplace_back(pairs[k].second, ty);
+            ++k;
+          }
+        }
+      }
+      while (i < pairs.size() && pairs[i].first == x) {
+        ++i;
+      }
+      ++j;
+    }
+  }
+  std::sort(rows.begin(), rows.end());
+  rows.erase(std::unique(rows.begin(), rows.end()), rows.end());
+  return rows;
+}
+
+IdPairRows BartonQ5Oracle(const TripleStore& store, const BartonIds& ids) {
+  IdVec s_dlc = OracleSelectSubjects(store, ids.prop_origin, ids.val_dlc);
+  IdPairRows rows;
+  for (Id s : s_dlc) {
+    store.Scan(IdPattern{s, ids.prop_records, kInvalidId},
+               [&](const IdTriple& rec) {
+                 store.Scan(IdPattern{rec.o, ids.prop_type, kInvalidId},
+                            [&](const IdTriple& ty) {
+                              if (ty.o != ids.val_text) {
+                                rows.emplace_back(s, ty.o);
+                              }
+                            });
+               });
+  }
+  std::sort(rows.begin(), rows.end());
+  rows.erase(std::unique(rows.begin(), rows.end()), rows.end());
+  return rows;
+}
+
+// ---- BQ6 ----------------------------------------------------------------
+
+namespace {
+
+// Subjects inferred to be Text: DLC-origin subjects recording an object
+// whose Type is Text.
+IdVec InferredTextSubjects(const IdVec& dlc_subjects,
+                           const InferredTable& table,
+                           const std::function<const IdVec*(Id)>& records_of) {
+  IdVec out;
+  for (Id s : dlc_subjects) {
+    const IdVec* recs = records_of(s);
+    if (recs == nullptr) {
+      continue;
+    }
+    for (Id x : *recs) {
+      auto it = std::lower_bound(table.begin(), table.end(),
+                                 std::make_pair(x, Id(0)));
+      if (it != table.end() && it->first == x) {
+        out.push_back(s);
+        break;
+      }
+    }
+  }
+  return out;  // sorted: dlc_subjects was sorted
+}
+
+}  // namespace
+
+CountRows BartonQ6Hexa(const Hexastore& store, const BartonIds& ids,
+                       const IdVec* subset) {
+  const IdVec& known = OrEmpty(store.subjects(ids.prop_type, ids.val_text));
+  const IdVec& s_dlc =
+      OrEmpty(store.subjects(ids.prop_origin, ids.val_dlc));
+  auto table = HexaInferredTypeTable(store, ids, /*keep_text=*/true);
+  IdVec inferred = InferredTextSubjects(s_dlc, table, [&](Id s) {
+    return store.objects(s, ids.prop_records);
+  });
+  IdVec all = Union(known, inferred);
+  return HexaPropertyFrequencies(store, all, subset);
+}
+
+CountRows BartonQ6Covp(const VerticalStore& store, const BartonIds& ids,
+                       const IdVec* subset) {
+  IdVec known = CovpSelectSubjects(store, ids.prop_type, ids.val_text);
+  IdVec inferred;
+  if (store.with_object_index()) {
+    const IdVec& s_dlc =
+        OrEmpty(store.subject_list(ids.prop_origin, ids.val_dlc));
+    auto table = CovpInferredTypeTable(store, ids, /*keep_text=*/true);
+    inferred = InferredTextSubjects(s_dlc, table, [&](Id s) {
+      return store.object_list(ids.prop_records, s);
+    });
+  } else {
+    // COVP1: reuse the BQ5 pair strategy, but keep Text-typed targets.
+    IdVec s_dlc = Covp1SelectSubjects(store, ids.prop_origin, ids.val_dlc);
+    std::vector<std::pair<Id, Id>> pairs;
+    MergeJoin(s_dlc, OrEmpty(store.subject_vector(ids.prop_records)),
+              [&](Id s) {
+                for (Id x : *store.object_list(ids.prop_records, s)) {
+                  pairs.emplace_back(x, s);
+                }
+              });
+    std::sort(pairs.begin(), pairs.end());
+    const IdVec& typed = OrEmpty(store.subject_vector(ids.prop_type));
+    std::size_t i = 0;
+    std::size_t j = 0;
+    while (i < pairs.size() && j < typed.size()) {
+      if (pairs[i].first < typed[j]) {
+        ++i;
+      } else if (typed[j] < pairs[i].first) {
+        ++j;
+      } else {
+        const Id x = typed[j];
+        if (SortedContains(*store.object_list(ids.prop_type, x),
+                           ids.val_text)) {
+          std::size_t k = i;
+          while (k < pairs.size() && pairs[k].first == x) {
+            inferred.push_back(pairs[k].second);
+            ++k;
+          }
+        }
+        while (i < pairs.size() && pairs[i].first == x) {
+          ++i;
+        }
+        ++j;
+      }
+    }
+    SortUnique(&inferred);
+  }
+  IdVec all = Union(known, inferred);
+  return CovpPropertyFrequencies(store, all, subset);
+}
+
+CountRows BartonQ6Oracle(const TripleStore& store, const BartonIds& ids,
+                         const IdVec* subset) {
+  IdVec known = OracleSelectSubjects(store, ids.prop_type, ids.val_text);
+  IdVec s_dlc = OracleSelectSubjects(store, ids.prop_origin, ids.val_dlc);
+  IdVec inferred;
+  for (Id s : s_dlc) {
+    bool is_text = false;
+    store.Scan(IdPattern{s, ids.prop_records, kInvalidId},
+               [&](const IdTriple& rec) {
+                 store.Scan(
+                     IdPattern{rec.o, ids.prop_type, ids.val_text},
+                     [&](const IdTriple&) { is_text = true; });
+               });
+    if (is_text) {
+      inferred.push_back(s);
+    }
+  }
+  IdVec all = Union(known, inferred);
+  return OraclePropertyFrequencies(store, all, subset);
+}
+
+// ---- BQ7 ----------------------------------------------------------------
+
+namespace {
+
+IdTripleVec ExpandPointEnd(const IdVec& t, const BartonIds& ids,
+                           const std::function<const IdVec*(Id, Id)>&
+                               objects_of) {
+  IdTripleVec rows;
+  for (Id s : t) {
+    for (Id p : {ids.prop_encoding, ids.prop_type}) {
+      const IdVec* os = objects_of(s, p);
+      if (os == nullptr) {
+        continue;
+      }
+      for (Id o : *os) {
+        rows.push_back(IdTriple{s, p, o});
+      }
+    }
+  }
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+}  // namespace
+
+IdTripleVec BartonQ7Hexa(const Hexastore& store, const BartonIds& ids) {
+  const IdVec& t = OrEmpty(store.subjects(ids.prop_point, ids.val_end));
+  return ExpandPointEnd(t, ids, [&](Id s, Id p) {
+    return store.objects(s, p);
+  });
+}
+
+IdTripleVec BartonQ7Covp(const VerticalStore& store, const BartonIds& ids) {
+  IdVec t = CovpSelectSubjects(store, ids.prop_point, ids.val_end);
+  return ExpandPointEnd(t, ids, [&](Id s, Id p) {
+    return store.object_list(p, s);
+  });
+}
+
+IdTripleVec BartonQ7Oracle(const TripleStore& store, const BartonIds& ids) {
+  IdVec t = OracleSelectSubjects(store, ids.prop_point, ids.val_end);
+  IdTripleVec rows;
+  for (Id s : t) {
+    for (Id p : {ids.prop_encoding, ids.prop_type}) {
+      store.Scan(IdPattern{s, p, kInvalidId},
+                 [&rows](const IdTriple& t2) { rows.push_back(t2); });
+    }
+  }
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+}  // namespace hexastore::workload

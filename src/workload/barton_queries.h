@@ -1,0 +1,119 @@
+// The seven Barton benchmark queries (paper §5.2.1), implemented with the
+// exact per-store processing strategies the paper describes for
+// Hexastore, COVP1 (pso only) and COVP2 (pso + pos), plus a naive oracle
+// over the generic TripleStore interface for correctness cross-checking.
+//
+// Every implementation of a query returns the same canonical result type,
+// sorted, so tests can assert equality across all four implementations.
+//
+// The `subset` parameter reproduces the paper's `_28` variants: when
+// non-null, only properties in the (sorted) subset participate
+// (BQ2/BQ3/BQ4/BQ6).
+#ifndef HEXASTORE_WORKLOAD_BARTON_QUERIES_H_
+#define HEXASTORE_WORKLOAD_BARTON_QUERIES_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "baseline/vertical_store.h"
+#include "core/hexastore.h"
+#include "core/store_interface.h"
+#include "dict/dictionary.h"
+#include "index/sorted_vec.h"
+
+namespace hexastore::workload {
+
+/// Dictionary-resolved ids of the Barton vocabulary a query needs.
+struct BartonIds {
+  Id prop_type = kInvalidId;
+  Id prop_language = kInvalidId;
+  Id prop_origin = kInvalidId;
+  Id prop_records = kInvalidId;
+  Id prop_point = kInvalidId;
+  Id prop_encoding = kInvalidId;
+
+  Id val_text = kInvalidId;
+  Id val_french = kInvalidId;
+  Id val_dlc = kInvalidId;
+  Id val_end = kInvalidId;
+
+  /// Ids of the 28 preselected properties that exist in the dictionary,
+  /// sorted ascending (for the `_28` variants).
+  IdVec preselected;
+
+  /// Looks up all vocabulary ids (absent terms stay kInvalidId).
+  static BartonIds Resolve(const Dictionary& dict);
+};
+
+/// (id, count) aggregation rows, sorted by id.
+using CountRows = std::vector<std::pair<Id, std::uint64_t>>;
+
+/// ((property, object), count) aggregation rows, sorted.
+using PairCountRows =
+    std::vector<std::pair<std::pair<Id, Id>, std::uint64_t>>;
+
+/// (subject, value) rows, sorted.
+using IdPairRows = std::vector<std::pair<Id, Id>>;
+
+// ---- BQ1: count of each object value of property Type ------------------
+
+CountRows BartonQ1Hexa(const Hexastore& store, const BartonIds& ids);
+CountRows BartonQ1Covp(const VerticalStore& store, const BartonIds& ids);
+CountRows BartonQ1Oracle(const TripleStore& store, const BartonIds& ids);
+
+// ---- BQ2: property frequencies for subjects of Type:Text ---------------
+
+CountRows BartonQ2Hexa(const Hexastore& store, const BartonIds& ids,
+                       const IdVec* subset);
+CountRows BartonQ2Covp(const VerticalStore& store, const BartonIds& ids,
+                       const IdVec* subset);
+CountRows BartonQ2Oracle(const TripleStore& store, const BartonIds& ids,
+                         const IdVec* subset);
+
+// ---- BQ3: 'popular' object values for Type:Text subjects ----------------
+// Reports ((property, object), count) rows for every object value related
+// to a qualifying subject, where count is the value's store-wide
+// popularity under that property (number of subjects carrying it) and
+// only values with count > 1 are reported.
+
+PairCountRows BartonQ3Hexa(const Hexastore& store, const BartonIds& ids,
+                           const IdVec* subset);
+PairCountRows BartonQ3Covp(const VerticalStore& store, const BartonIds& ids,
+                           const IdVec* subset);
+PairCountRows BartonQ3Oracle(const TripleStore& store, const BartonIds& ids,
+                             const IdVec* subset);
+
+// ---- BQ4: as BQ3, subjects of Type:Text AND Language:French ------------
+
+PairCountRows BartonQ4Hexa(const Hexastore& store, const BartonIds& ids,
+                           const IdVec* subset);
+PairCountRows BartonQ4Covp(const VerticalStore& store, const BartonIds& ids,
+                           const IdVec* subset);
+PairCountRows BartonQ4Oracle(const TripleStore& store, const BartonIds& ids,
+                             const IdVec* subset);
+
+// ---- BQ5: inferred (non-Text) types of DLC-origin recording subjects ---
+
+IdPairRows BartonQ5Hexa(const Hexastore& store, const BartonIds& ids);
+IdPairRows BartonQ5Covp(const VerticalStore& store, const BartonIds& ids);
+IdPairRows BartonQ5Oracle(const TripleStore& store, const BartonIds& ids);
+
+// ---- BQ6: BQ2-style aggregation over known-or-inferred Text subjects ---
+
+CountRows BartonQ6Hexa(const Hexastore& store, const BartonIds& ids,
+                       const IdVec* subset);
+CountRows BartonQ6Covp(const VerticalStore& store, const BartonIds& ids,
+                       const IdVec* subset);
+CountRows BartonQ6Oracle(const TripleStore& store, const BartonIds& ids,
+                         const IdVec* subset);
+
+// ---- BQ7: Encoding and Type of resources with Point:"end" --------------
+
+IdTripleVec BartonQ7Hexa(const Hexastore& store, const BartonIds& ids);
+IdTripleVec BartonQ7Covp(const VerticalStore& store, const BartonIds& ids);
+IdTripleVec BartonQ7Oracle(const TripleStore& store, const BartonIds& ids);
+
+}  // namespace hexastore::workload
+
+#endif  // HEXASTORE_WORKLOAD_BARTON_QUERIES_H_

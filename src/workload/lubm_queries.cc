@@ -1,0 +1,307 @@
+#include "workload/lubm_queries.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "data/lubm_generator.h"
+
+namespace hexastore::workload {
+
+namespace {
+
+const IdVec kEmpty;
+
+const IdVec& OrEmpty(const IdVec* v) { return v == nullptr ? kEmpty : *v; }
+
+}  // namespace
+
+LubmIds LubmIds::Resolve(const Dictionary& dict) {
+  using data::LubmGenerator;
+  LubmIds ids;
+  ids.prop_type = dict.Lookup(LubmGenerator::PropType());
+  ids.prop_teacher_of = dict.Lookup(LubmGenerator::PropTeacherOf());
+  ids.prop_ug_degree =
+      dict.Lookup(LubmGenerator::PropUndergraduateDegreeFrom());
+  ids.prop_ms_degree = dict.Lookup(LubmGenerator::PropMastersDegreeFrom());
+  ids.prop_phd_degree =
+      dict.Lookup(LubmGenerator::PropDoctoralDegreeFrom());
+  ids.class_university = dict.Lookup(LubmGenerator::ClassUniversity());
+  ids.course10 = dict.Lookup(LubmGenerator::CourseUri(0, 0, 10));
+  ids.university0 = dict.Lookup(LubmGenerator::UniversityUri(0));
+  ids.assoc_prof10 =
+      dict.Lookup(LubmGenerator::AssociateProfessorUri(0, 0, 10));
+  return ids;
+}
+
+// ---- LQ1 / LQ2 -----------------------------------------------------------
+
+SubjectPredRows LubmRelatedToHexa(const Hexastore& store, Id object) {
+  // Direct osp lookup: subject vector of the object, then the shared
+  // p(s, o) terminal lists.
+  SubjectPredRows rows;
+  for (Id s : OrEmpty(store.subjects_of_object(object))) {
+    for (Id p : *store.predicates(s, object)) {
+      rows.emplace_back(s, p);
+    }
+  }
+  return rows;  // sorted: osp subject vector and p lists are sorted
+}
+
+SubjectPredRows LubmRelatedToCovp(const VerticalStore& store, Id object) {
+  // Multiple selections on the object, one per property table.
+  SubjectPredRows rows;
+  for (Id p : store.Properties()) {
+    if (store.with_object_index()) {
+      for (Id s : OrEmpty(store.subject_list(p, object))) {
+        rows.emplace_back(s, p);
+      }
+    } else {
+      // COVP1: walk the subject-sorted table.
+      for (Id s : OrEmpty(store.subject_vector(p))) {
+        if (SortedContains(*store.object_list(p, s), object)) {
+          rows.emplace_back(s, p);
+        }
+      }
+    }
+  }
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+SubjectPredRows LubmRelatedToOracle(const TripleStore& store, Id object) {
+  SubjectPredRows rows;
+  store.Scan(IdPattern{kInvalidId, kInvalidId, object},
+             [&rows](const IdTriple& t) { rows.emplace_back(t.s, t.p); });
+  std::sort(rows.begin(), rows.end());
+  rows.erase(std::unique(rows.begin(), rows.end()), rows.end());
+  return rows;
+}
+
+// ---- LQ3 -----------------------------------------------------------------
+
+IdTripleVec LubmQ3Hexa(const Hexastore& store, Id resource) {
+  // Two lookups: spo for the subject side, ops/osp for the object side.
+  IdTripleVec rows;
+  for (Id p : OrEmpty(store.predicates_of_subject(resource))) {
+    for (Id o : *store.objects(resource, p)) {
+      rows.push_back(IdTriple{resource, p, o});
+    }
+  }
+  for (Id p : OrEmpty(store.predicates_of_object(resource))) {
+    for (Id s : *store.subjects(p, resource)) {
+      rows.push_back(IdTriple{s, p, resource});
+    }
+  }
+  std::sort(rows.begin(), rows.end());
+  rows.erase(std::unique(rows.begin(), rows.end()), rows.end());
+  return rows;
+}
+
+IdTripleVec LubmQ3Covp(const VerticalStore& store, Id resource) {
+  // Selection on both subject and object in every property table, then
+  // union.
+  IdTripleVec rows;
+  for (Id p : store.Properties()) {
+    for (Id o : OrEmpty(store.object_list(p, resource))) {
+      rows.push_back(IdTriple{resource, p, o});
+    }
+    if (store.with_object_index()) {
+      for (Id s : OrEmpty(store.subject_list(p, resource))) {
+        rows.push_back(IdTriple{s, p, resource});
+      }
+    } else {
+      for (Id s : OrEmpty(store.subject_vector(p))) {
+        if (SortedContains(*store.object_list(p, s), resource)) {
+          rows.push_back(IdTriple{s, p, resource});
+        }
+      }
+    }
+  }
+  std::sort(rows.begin(), rows.end());
+  rows.erase(std::unique(rows.begin(), rows.end()), rows.end());
+  return rows;
+}
+
+IdTripleVec LubmQ3Oracle(const TripleStore& store, Id resource) {
+  IdTripleVec rows;
+  store.Scan(IdPattern{resource, kInvalidId, kInvalidId},
+             [&rows](const IdTriple& t) { rows.push_back(t); });
+  store.Scan(IdPattern{kInvalidId, kInvalidId, resource},
+             [&rows](const IdTriple& t) { rows.push_back(t); });
+  std::sort(rows.begin(), rows.end());
+  rows.erase(std::unique(rows.begin(), rows.end()), rows.end());
+  return rows;
+}
+
+// ---- LQ4 -----------------------------------------------------------------
+
+GroupedRows LubmQ4Hexa(const Hexastore& store, const LubmIds& ids) {
+  // Courses AP10 teaches come from the shared o(s, p) list; per course,
+  // an osp lookup collects related people.
+  GroupedRows groups;
+  for (Id course :
+       OrEmpty(store.objects(ids.assoc_prof10, ids.prop_teacher_of))) {
+    SubjectPredRows rows;
+    for (Id s : OrEmpty(store.subjects_of_object(course))) {
+      for (Id p : *store.predicates(s, course)) {
+        rows.emplace_back(s, p);
+      }
+    }
+    groups.emplace_back(course, std::move(rows));
+  }
+  return groups;  // course list sorted; inner rows sorted by construction
+}
+
+GroupedRows LubmQ4Covp(const VerticalStore& store, const LubmIds& ids) {
+  // Step 1: list of taught courses from the TeacherOf table.
+  const IdVec& courses =
+      OrEmpty(store.object_list(ids.prop_teacher_of, ids.assoc_prof10));
+  GroupedRows groups;
+  for (Id course : courses) {
+    SubjectPredRows rows;
+    for (Id p : store.Properties()) {
+      if (store.with_object_index()) {
+        for (Id s : OrEmpty(store.subject_list(p, course))) {
+          rows.emplace_back(s, p);
+        }
+      } else {
+        for (Id s : OrEmpty(store.subject_vector(p))) {
+          if (SortedContains(*store.object_list(p, s), course)) {
+            rows.emplace_back(s, p);
+          }
+        }
+      }
+    }
+    std::sort(rows.begin(), rows.end());
+    groups.emplace_back(course, std::move(rows));
+  }
+  return groups;
+}
+
+GroupedRows LubmQ4Oracle(const TripleStore& store, const LubmIds& ids) {
+  IdVec courses;
+  store.Scan(
+      IdPattern{ids.assoc_prof10, ids.prop_teacher_of, kInvalidId},
+      [&courses](const IdTriple& t) { courses.push_back(t.o); });
+  SortUnique(&courses);
+  GroupedRows groups;
+  for (Id course : courses) {
+    SubjectPredRows rows;
+    store.Scan(IdPattern{kInvalidId, kInvalidId, course},
+               [&rows](const IdTriple& t) {
+                 rows.emplace_back(t.s, t.p);
+               });
+    std::sort(rows.begin(), rows.end());
+    rows.erase(std::unique(rows.begin(), rows.end()), rows.end());
+    groups.emplace_back(course, std::move(rows));
+  }
+  return groups;
+}
+
+// ---- LQ5 -----------------------------------------------------------------
+
+namespace {
+
+// Collects degree holders per university for the three degree
+// predicates, given the subject-list accessor of the store.
+DegreeGroups CollectDegreeHolders(
+    const IdVec& universities, const LubmIds& ids,
+    const std::function<void(Id deg, Id uni, IdVec* out)>& holders_of) {
+  DegreeGroups groups;
+  for (Id uni : universities) {
+    IdVec people;
+    for (Id deg :
+         {ids.prop_ug_degree, ids.prop_ms_degree, ids.prop_phd_degree}) {
+      holders_of(deg, uni, &people);
+    }
+    SortUnique(&people);
+    if (!people.empty()) {
+      groups.emplace_back(uni, std::move(people));
+    }
+  }
+  return groups;
+}
+
+}  // namespace
+
+DegreeGroups LubmQ5Hexa(const Hexastore& store, const LubmIds& ids) {
+  // Step 1: t = object vector of AP10 in sop indexing (everything AP10 is
+  // related to), straight from the sop index.
+  const IdVec& t = OrEmpty(store.objects_of_subject(ids.assoc_prof10));
+  // Step 2: refine to universities by merge-joining with the pos subject
+  // list of (Type, University).
+  IdVec unis = Intersect(
+      t, OrEmpty(store.subjects(ids.prop_type, ids.class_university)));
+  // Step 3: per university, pos lookups in the three degree predicates.
+  return CollectDegreeHolders(
+      unis, ids, [&](Id deg, Id uni, IdVec* out) {
+        for (Id s : OrEmpty(store.subjects(deg, uni))) {
+          out->push_back(s);
+        }
+      });
+}
+
+DegreeGroups LubmQ5Covp(const VerticalStore& store, const LubmIds& ids) {
+  // Step 1: objects AP10 relates to, scanning every pso property table.
+  IdVec t;
+  for (Id p : store.Properties()) {
+    for (Id o : OrEmpty(store.object_list(p, ids.assoc_prof10))) {
+      t.push_back(o);
+    }
+  }
+  SortUnique(&t);
+  // Step 2: refine to universities.
+  IdVec unis;
+  if (store.with_object_index()) {
+    unis = Intersect(
+        t, OrEmpty(store.subject_list(ids.prop_type, ids.class_university)));
+  } else {
+    const IdVec& typed = OrEmpty(store.subject_vector(ids.prop_type));
+    MergeJoin(t, typed, [&](Id x) {
+      if (SortedContains(*store.object_list(ids.prop_type, x),
+                         ids.class_university)) {
+        unis.push_back(x);
+      }
+    });
+  }
+  // Step 3: degree holders.
+  if (store.with_object_index()) {
+    return CollectDegreeHolders(
+        unis, ids, [&](Id deg, Id uni, IdVec* out) {
+          for (Id s : OrEmpty(store.subject_list(deg, uni))) {
+            out->push_back(s);
+          }
+        });
+  }
+  // COVP1: join unis against the subject vectors of the degree tables.
+  return CollectDegreeHolders(
+      unis, ids, [&](Id deg, Id uni, IdVec* out) {
+        for (Id s : OrEmpty(store.subject_vector(deg))) {
+          if (SortedContains(*store.object_list(deg, s), uni)) {
+            out->push_back(s);
+          }
+        }
+      });
+}
+
+DegreeGroups LubmQ5Oracle(const TripleStore& store, const LubmIds& ids) {
+  IdVec t;
+  store.Scan(IdPattern{ids.assoc_prof10, kInvalidId, kInvalidId},
+             [&t](const IdTriple& triple) { t.push_back(triple.o); });
+  SortUnique(&t);
+  IdVec unis;
+  for (Id x : t) {
+    if (store.Contains(IdTriple{x, ids.prop_type, ids.class_university})) {
+      unis.push_back(x);
+    }
+  }
+  return CollectDegreeHolders(
+      unis, ids, [&](Id deg, Id uni, IdVec* out) {
+        store.Scan(IdPattern{kInvalidId, deg, uni},
+                   [out](const IdTriple& triple) {
+                     out->push_back(triple.s);
+                   });
+      });
+}
+
+}  // namespace hexastore::workload

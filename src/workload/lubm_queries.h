@@ -1,0 +1,82 @@
+// The five LUBM benchmark queries (paper §5.2.2), implemented with the
+// per-store strategies the paper describes, plus generic oracles.
+//
+// LQ1  people (any property) related to a given course object
+// LQ2  people (any property) related to a given university object
+// LQ3  all immediate information about AssociateProfessor10 (as subject
+//      and as object)
+// LQ4  people related to the courses AssociateProfessor10 teaches,
+//      grouped by course
+// LQ5  people holding any degree from a university AssociateProfessor10
+//      is related to, grouped by university
+#ifndef HEXASTORE_WORKLOAD_LUBM_QUERIES_H_
+#define HEXASTORE_WORKLOAD_LUBM_QUERIES_H_
+
+#include <utility>
+#include <vector>
+
+#include "baseline/vertical_store.h"
+#include "core/hexastore.h"
+#include "core/store_interface.h"
+#include "dict/dictionary.h"
+#include "index/sorted_vec.h"
+
+namespace hexastore::workload {
+
+/// Dictionary-resolved ids of the LUBM vocabulary.
+struct LubmIds {
+  Id prop_type = kInvalidId;
+  Id prop_teacher_of = kInvalidId;
+  Id prop_ug_degree = kInvalidId;
+  Id prop_ms_degree = kInvalidId;
+  Id prop_phd_degree = kInvalidId;
+
+  Id class_university = kInvalidId;
+
+  /// Course0 of Department0.University0 with index 10 (LQ1 target).
+  Id course10 = kInvalidId;
+  /// University0 (LQ2 target).
+  Id university0 = kInvalidId;
+  /// AssociateProfessor10 of Department0.University0 (LQ3-LQ5 target).
+  Id assoc_prof10 = kInvalidId;
+
+  /// Looks up all vocabulary ids (absent terms stay kInvalidId).
+  static LubmIds Resolve(const Dictionary& dict);
+};
+
+/// (subject, predicate) rows, sorted.
+using SubjectPredRows = std::vector<std::pair<Id, Id>>;
+
+/// Rows grouped by a key id, each group sorted; groups sorted by key.
+using GroupedRows = std::vector<std::pair<Id, SubjectPredRows>>;
+
+/// (university, sorted people) groups, sorted by university.
+using DegreeGroups = std::vector<std::pair<Id, IdVec>>;
+
+// ---- LQ1 / LQ2: everything related to an object -------------------------
+
+SubjectPredRows LubmRelatedToHexa(const Hexastore& store, Id object);
+SubjectPredRows LubmRelatedToCovp(const VerticalStore& store, Id object);
+SubjectPredRows LubmRelatedToOracle(const TripleStore& store, Id object);
+
+// ---- LQ3: all immediate information about a resource --------------------
+
+IdTripleVec LubmQ3Hexa(const Hexastore& store, Id resource);
+IdTripleVec LubmQ3Covp(const VerticalStore& store, Id resource);
+IdTripleVec LubmQ3Oracle(const TripleStore& store, Id resource);
+
+// ---- LQ4: people related to taught courses, grouped by course -----------
+
+GroupedRows LubmQ4Hexa(const Hexastore& store, const LubmIds& ids);
+GroupedRows LubmQ4Covp(const VerticalStore& store, const LubmIds& ids);
+GroupedRows LubmQ4Oracle(const TripleStore& store, const LubmIds& ids);
+
+// ---- LQ5: degree holders from related universities, grouped -------------
+
+DegreeGroups LubmQ5Hexa(const Hexastore& store, const LubmIds& ids);
+DegreeGroups LubmQ5Covp(const VerticalStore& store, const LubmIds& ids);
+DegreeGroups LubmQ5Oracle(const TripleStore& store, const LubmIds& ids);
+
+}  // namespace hexastore::workload
+
+#endif  // HEXASTORE_WORKLOAD_LUBM_QUERIES_H_

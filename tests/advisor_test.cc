@@ -1,0 +1,141 @@
+// Tests for the access counters and the workload-based index advisor
+// (paper §6).
+#include <gtest/gtest.h>
+
+#include "core/advisor.h"
+#include "core/hexastore.h"
+#include "data/lubm_generator.h"
+#include "dict/dictionary.h"
+#include "workload/lubm_queries.h"
+
+namespace hexastore {
+namespace {
+
+TEST(AccessCountersTest, StartAtZero) {
+  Hexastore store;
+  for (Permutation p : kAllPermutations) {
+    EXPECT_EQ(store.access_count(p), 0u);
+  }
+}
+
+TEST(AccessCountersTest, AccessorsAttributeToTheirIndex) {
+  Hexastore store;
+  store.Insert({1, 2, 3});
+  store.ResetAccessCounts();  // Insert itself does not count
+
+  store.predicates_of_subject(1);
+  EXPECT_EQ(store.access_count(Permutation::kSpo), 1u);
+  store.objects_of_subject(1);
+  EXPECT_EQ(store.access_count(Permutation::kSop), 1u);
+  store.subjects_of_predicate(2);
+  EXPECT_EQ(store.access_count(Permutation::kPso), 1u);
+  store.objects_of_predicate(2);
+  EXPECT_EQ(store.access_count(Permutation::kPos), 1u);
+  store.subjects_of_object(3);
+  EXPECT_EQ(store.access_count(Permutation::kOsp), 1u);
+  store.predicates_of_object(3);
+  EXPECT_EQ(store.access_count(Permutation::kOps), 1u);
+}
+
+TEST(AccessCountersTest, TerminalLookupsAttributeToNaturalOrder) {
+  Hexastore store;
+  store.Insert({1, 2, 3});
+  store.ResetAccessCounts();
+  store.objects(1, 2);
+  EXPECT_EQ(store.access_count(Permutation::kSpo), 1u);
+  store.predicates(1, 3);
+  EXPECT_EQ(store.access_count(Permutation::kSop), 1u);
+  store.subjects(2, 3);
+  EXPECT_EQ(store.access_count(Permutation::kPos), 1u);
+}
+
+TEST(AccessCountersTest, ResetClears) {
+  Hexastore store;
+  store.Insert({1, 2, 3});
+  store.predicates_of_subject(1);
+  store.ResetAccessCounts();
+  for (Permutation p : kAllPermutations) {
+    EXPECT_EQ(store.access_count(p), 0u);
+  }
+}
+
+TEST(AdvisorTest, NoEvidenceNoRecommendation) {
+  Hexastore store;
+  store.Insert({1, 2, 3});
+  IndexAdvice advice = AdviseIndexes(store);
+  EXPECT_TRUE(advice.droppable.empty());
+  EXPECT_EQ(advice.reclaimable_bytes, 0u);
+  EXPECT_FALSE(advice.ToString().empty());
+}
+
+TEST(AdvisorTest, UnusedIndexesAreDroppable) {
+  Hexastore store;
+  for (Id i = 1; i <= 50; ++i) {
+    store.Insert({i, 1 + i % 5, 100 + i});
+  }
+  store.ResetAccessCounts();
+  // A pso/pos-only workload.
+  for (int round = 0; round < 100; ++round) {
+    store.subjects_of_predicate(1 + round % 5);
+    store.objects_of_predicate(1 + round % 5);
+  }
+  IndexAdvice advice = AdviseIndexes(store, 0.01);
+  // spo/sop/osp/ops unused -> droppable.
+  EXPECT_EQ(advice.droppable.size(), 4u);
+  EXPECT_GT(advice.reclaimable_bytes, 0u);
+  for (Permutation p : advice.droppable) {
+    EXPECT_NE(p, Permutation::kPso);
+    EXPECT_NE(p, Permutation::kPos);
+  }
+  EXPECT_NEAR(advice.share[static_cast<int>(Permutation::kPso)], 0.5,
+              1e-9);
+}
+
+TEST(AdvisorTest, SharesSumToOne) {
+  Hexastore store;
+  store.Insert({1, 2, 3});
+  store.ResetAccessCounts();
+  store.predicates_of_subject(1);
+  store.subjects_of_object(3);
+  store.objects_of_predicate(2);
+  IndexAdvice advice = AdviseIndexes(store);
+  double total = 0;
+  for (double s : advice.share) {
+    total += s;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(AdvisorTest, LubmWorkloadMirrorsPaperObservation) {
+  // Run the five LUBM queries and check the advisor singles out barely
+  // used indexes (the paper noted ops was seldom used in its workload).
+  auto triples = data::LubmGenerator().Generate(20000);
+  Dictionary dict;
+  IdTripleVec encoded;
+  for (const auto& t : triples) {
+    encoded.push_back(dict.Encode(t));
+  }
+  Hexastore store;
+  store.BulkLoad(encoded);
+  workload::LubmIds ids = workload::LubmIds::Resolve(dict);
+  store.ResetAccessCounts();
+
+  workload::LubmRelatedToHexa(store, ids.course10);
+  workload::LubmRelatedToHexa(store, ids.university0);
+  workload::LubmQ3Hexa(store, ids.assoc_prof10);
+  workload::LubmQ4Hexa(store, ids);
+  workload::LubmQ5Hexa(store, ids);
+
+  IndexAdvice advice = AdviseIndexes(store, 0.001);
+  std::uint64_t total = 0;
+  for (auto c : advice.counts) {
+    total += c;
+  }
+  EXPECT_GT(total, 0u);
+  // The osp-driven queries dominate this workload.
+  EXPECT_GT(advice.counts[static_cast<int>(Permutation::kOsp)], 0u);
+  EXPECT_FALSE(advice.ToString().empty());
+}
+
+}  // namespace
+}  // namespace hexastore

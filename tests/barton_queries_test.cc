@@ -1,0 +1,139 @@
+// Cross-store equivalence tests for the seven Barton benchmark queries:
+// for several dataset sizes, Hexastore / COVP1 / COVP2 / oracle must all
+// produce identical canonical answers, with and without the 28-property
+// restriction.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "baseline/triple_table.h"
+#include "baseline/vertical_store.h"
+#include "core/hexastore.h"
+#include "data/barton_generator.h"
+#include "workload/barton_queries.h"
+
+namespace hexastore::workload {
+namespace {
+
+class BartonQueriesTest : public ::testing::TestWithParam<std::size_t> {
+ protected:
+  void SetUp() override {
+    auto triples = data::BartonGenerator().Generate(GetParam());
+    IdTripleVec encoded;
+    encoded.reserve(triples.size());
+    for (const auto& t : triples) {
+      encoded.push_back(dict_.Encode(t));
+    }
+    hexa_.BulkLoad(encoded);
+    covp1_.BulkLoad(encoded);
+    covp2_.BulkLoad(encoded);
+    table_.BulkLoad(encoded);
+    ids_ = BartonIds::Resolve(dict_);
+  }
+
+  Dictionary dict_;
+  Hexastore hexa_;
+  VerticalStore covp1_{false};
+  VerticalStore covp2_{true};
+  TripleTableStore table_;
+  BartonIds ids_;
+};
+
+TEST_P(BartonQueriesTest, Q1AllStoresAgree) {
+  CountRows expect = BartonQ1Oracle(table_, ids_);
+  EXPECT_FALSE(expect.empty());
+  EXPECT_EQ(BartonQ1Hexa(hexa_, ids_), expect);
+  EXPECT_EQ(BartonQ1Covp(covp1_, ids_), expect);
+  EXPECT_EQ(BartonQ1Covp(covp2_, ids_), expect);
+}
+
+TEST_P(BartonQueriesTest, Q2AllStoresAgree) {
+  const IdVec* subsets[] = {nullptr, &ids_.preselected};
+  for (const IdVec* subset : subsets) {
+    CountRows expect = BartonQ2Oracle(table_, ids_, subset);
+    EXPECT_EQ(BartonQ2Hexa(hexa_, ids_, subset), expect);
+    EXPECT_EQ(BartonQ2Covp(covp1_, ids_, subset), expect);
+    EXPECT_EQ(BartonQ2Covp(covp2_, ids_, subset), expect);
+    if (subset == nullptr) {
+      EXPECT_FALSE(expect.empty());
+    }
+  }
+}
+
+TEST_P(BartonQueriesTest, Q3AllStoresAgree) {
+  const IdVec* subsets[] = {nullptr, &ids_.preselected};
+  for (const IdVec* subset : subsets) {
+    PairCountRows expect = BartonQ3Oracle(table_, ids_, subset);
+    EXPECT_EQ(BartonQ3Hexa(hexa_, ids_, subset), expect);
+    EXPECT_EQ(BartonQ3Covp(covp1_, ids_, subset), expect);
+    EXPECT_EQ(BartonQ3Covp(covp2_, ids_, subset), expect);
+  }
+}
+
+TEST_P(BartonQueriesTest, Q4AllStoresAgree) {
+  const IdVec* subsets[] = {nullptr, &ids_.preselected};
+  for (const IdVec* subset : subsets) {
+    PairCountRows expect = BartonQ4Oracle(table_, ids_, subset);
+    EXPECT_EQ(BartonQ4Hexa(hexa_, ids_, subset), expect);
+    EXPECT_EQ(BartonQ4Covp(covp1_, ids_, subset), expect);
+    EXPECT_EQ(BartonQ4Covp(covp2_, ids_, subset), expect);
+  }
+}
+
+TEST_P(BartonQueriesTest, Q5AllStoresAgree) {
+  IdPairRows expect = BartonQ5Oracle(table_, ids_);
+  EXPECT_EQ(BartonQ5Hexa(hexa_, ids_), expect);
+  EXPECT_EQ(BartonQ5Covp(covp1_, ids_), expect);
+  EXPECT_EQ(BartonQ5Covp(covp2_, ids_), expect);
+}
+
+TEST_P(BartonQueriesTest, Q6AllStoresAgree) {
+  const IdVec* subsets[] = {nullptr, &ids_.preselected};
+  for (const IdVec* subset : subsets) {
+    CountRows expect = BartonQ6Oracle(table_, ids_, subset);
+    EXPECT_EQ(BartonQ6Hexa(hexa_, ids_, subset), expect);
+    EXPECT_EQ(BartonQ6Covp(covp1_, ids_, subset), expect);
+    EXPECT_EQ(BartonQ6Covp(covp2_, ids_, subset), expect);
+  }
+}
+
+TEST_P(BartonQueriesTest, Q7AllStoresAgree) {
+  IdTripleVec expect = BartonQ7Oracle(table_, ids_);
+  EXPECT_EQ(BartonQ7Hexa(hexa_, ids_), expect);
+  EXPECT_EQ(BartonQ7Covp(covp1_, ids_), expect);
+  EXPECT_EQ(BartonQ7Covp(covp2_, ids_), expect);
+}
+
+TEST_P(BartonQueriesTest, Q2SubsetIsRestrictionOfFull) {
+  CountRows full = BartonQ2Hexa(hexa_, ids_, nullptr);
+  CountRows sub = BartonQ2Hexa(hexa_, ids_, &ids_.preselected);
+  // Every subset row appears identically in the full result.
+  for (const auto& row : sub) {
+    EXPECT_NE(std::find(full.begin(), full.end(), row), full.end());
+  }
+  EXPECT_LE(sub.size(), full.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BartonQueriesTest,
+                         ::testing::Values(500, 5000, 30000));
+
+// Tiny-store edge cases: queries over data that lacks the vocabulary must
+// return empty without crashing.
+TEST(BartonQueriesEdgeTest, EmptyStore) {
+  Dictionary dict;
+  Hexastore hexa;
+  VerticalStore covp1(false);
+  VerticalStore covp2(true);
+  TripleTableStore table;
+  BartonIds ids = BartonIds::Resolve(dict);
+  EXPECT_TRUE(BartonQ1Hexa(hexa, ids).empty());
+  EXPECT_TRUE(BartonQ1Covp(covp1, ids).empty());
+  EXPECT_TRUE(BartonQ2Hexa(hexa, ids, nullptr).empty());
+  EXPECT_TRUE(BartonQ3Covp(covp2, ids, nullptr).empty());
+  EXPECT_TRUE(BartonQ5Hexa(hexa, ids).empty());
+  EXPECT_TRUE(BartonQ6Covp(covp1, ids, nullptr).empty());
+  EXPECT_TRUE(BartonQ7Oracle(table, ids).empty());
+}
+
+}  // namespace
+}  // namespace hexastore::workload

@@ -1,0 +1,163 @@
+// Unit and integration tests for basic-graph-pattern evaluation, run
+// against the Figure 1 data of the paper.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "baseline/triple_table.h"
+#include "core/hexastore.h"
+#include "query/bgp.h"
+
+namespace hexastore {
+namespace {
+
+PatternTerm B(const Term& t) { return PatternTerm::Bound(t); }
+PatternTerm V(const std::string& name) {
+  return PatternTerm::Variable(name);
+}
+Term I(const std::string& iri) { return Term::Iri(iri); }
+Term L(const std::string& lit) { return Term::Literal(lit); }
+
+class BgpTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // The paper's Figure 1 table.
+    auto add = [&](const std::string& s, const std::string& p,
+                   const Term& o) {
+      IdTriple t = dict_.Encode({I(s), I(p), o});
+      hexa_.Insert(t);
+      table_.Insert(t);
+    };
+    add("ID1", "type", I("FullProfessor"));
+    add("ID1", "teacherOf", L("AI"));
+    add("ID1", "bachelorFrom", L("MIT"));
+    add("ID1", "mastersFrom", L("Cambridge"));
+    add("ID1", "phdFrom", L("Yale"));
+    add("ID2", "type", I("AssocProfessor"));
+    add("ID2", "worksFor", L("MIT"));
+    add("ID2", "teacherOf", L("DataBases"));
+    add("ID2", "bachelorsFrom", L("Yale"));
+    add("ID2", "phdFrom", L("Stanford"));
+    add("ID3", "type", I("GradStudent"));
+    add("ID3", "advisor", I("ID2"));
+    add("ID3", "teachingAssist", L("AI"));
+    add("ID3", "bachelorsFrom", L("Stanford"));
+    add("ID3", "mastersFrom", L("Princeton"));
+    add("ID4", "type", I("GradStudent"));
+    add("ID4", "advisor", I("ID1"));
+    add("ID4", "takesCourse", L("DataBases"));
+    add("ID4", "bachelorsFrom", L("Columbia"));
+  }
+
+  Dictionary dict_;
+  Hexastore hexa_;
+  TripleTableStore table_;
+};
+
+TEST_F(BgpTest, FigureOneFirstQuery) {
+  // "SELECT A.property WHERE A.subj = ID2 AND A.obj = 'MIT'": what
+  // relationship does ID2 have to MIT?
+  ResultSet r = EvalBgp(hexa_, dict_,
+                        {{B(I("ID2")), V("property"), B(L("MIT"))}});
+  ASSERT_EQ(r.rows.size(), 1u);
+  VarId col = r.Column("property");
+  ASSERT_NE(col, kNoVar);
+  EXPECT_EQ(dict_.term(r.rows[0][static_cast<std::size_t>(col)]),
+            I("worksFor"));
+}
+
+TEST_F(BgpTest, FigureOneSecondQuery) {
+  // People with the same relationship to Stanford as ID1 has to Yale
+  // (ID1 phdFrom Yale; ID2 phdFrom Stanford).
+  ResultSet r = EvalBgp(
+      hexa_, dict_,
+      {{B(I("ID1")), V("prop"), B(L("Yale"))},
+       {V("who"), V("prop"), B(L("Stanford"))}});
+  ASSERT_EQ(r.rows.size(), 1u);
+  VarId who = r.Column("who");
+  ASSERT_NE(who, kNoVar);
+  EXPECT_EQ(dict_.term(r.rows[0][static_cast<std::size_t>(who)]), I("ID2"));
+}
+
+TEST_F(BgpTest, UnboundPropertyJoin) {
+  // Who is related to both MIT and Yale in any way? (non-property-bound,
+  // the paper's motivating query class). ID1: bachelorFrom MIT, phdFrom
+  // Yale. ID2: worksFor MIT, bachelorsFrom Yale.
+  ResultSet r = EvalBgp(hexa_, dict_,
+                        {{V("x"), V("p1"), B(L("MIT"))},
+                         {V("x"), V("p2"), B(L("Yale"))}});
+  std::set<Term> people;
+  VarId x = r.Column("x");
+  for (const Row& row : r.rows) {
+    people.insert(dict_.term(row[static_cast<std::size_t>(x)]));
+  }
+  EXPECT_EQ(people, (std::set<Term>{I("ID1"), I("ID2")}));
+}
+
+TEST_F(BgpTest, ChainJoin) {
+  // Advisors' bachelor institutions of grad students:
+  // ?s advisor ?a . ?a bachelorFrom ?u (only ID1 has bachelorFrom).
+  ResultSet r = EvalBgp(hexa_, dict_,
+                        {{V("s"), B(I("advisor")), V("a")},
+                         {V("a"), B(I("bachelorFrom")), V("u")}});
+  ASSERT_EQ(r.rows.size(), 1u);
+  VarId s = r.Column("s");
+  VarId u = r.Column("u");
+  EXPECT_EQ(dict_.term(r.rows[0][static_cast<std::size_t>(s)]), I("ID4"));
+  EXPECT_EQ(dict_.term(r.rows[0][static_cast<std::size_t>(u)]), L("MIT"));
+}
+
+TEST_F(BgpTest, HexastoreAndTripleTableAgree) {
+  std::vector<std::vector<TriplePattern>> queries = {
+      {{V("s"), B(I("type")), V("t")}},
+      {{V("s"), V("p"), B(L("MIT"))}},
+      {{V("s"), B(I("type")), B(I("GradStudent"))},
+       {V("s"), B(I("advisor")), V("a")}},
+      {{V("s"), V("p"), V("o")}},
+      {{V("x"), V("p"), B(L("Stanford"))},
+       {V("x"), B(I("type")), V("t")}},
+  };
+  for (const auto& q : queries) {
+    ResultSet r1 = EvalBgp(hexa_, dict_, q);
+    ResultSet r2 = EvalBgp(table_, dict_, q);
+    auto sorted = [](ResultSet r) {
+      std::sort(r.rows.begin(), r.rows.end());
+      return r.rows;
+    };
+    EXPECT_EQ(sorted(std::move(r1)), sorted(std::move(r2)));
+  }
+}
+
+TEST_F(BgpTest, RepeatedVariableInOnePattern) {
+  // ?x ?p ?x matches nothing in this data set.
+  ResultSet r = EvalBgp(hexa_, dict_, {{V("x"), V("p"), V("x")}});
+  EXPECT_TRUE(r.rows.empty());
+
+  // Add a self-loop and try again.
+  IdTriple loop = dict_.Encode({I("ID1"), I("knows"), I("ID1")});
+  hexa_.Insert(loop);
+  ResultSet r2 = EvalBgp(hexa_, dict_, {{V("x"), V("p"), V("x")}});
+  ASSERT_EQ(r2.rows.size(), 1u);
+  EXPECT_EQ(dict_.term(r2.rows[0][static_cast<std::size_t>(
+                r2.Column("x"))]),
+            I("ID1"));
+}
+
+TEST_F(BgpTest, EmptyResultForUnknownConstant) {
+  ResultSet r = EvalBgp(hexa_, dict_,
+                        {{V("s"), B(I("definitely-not-present")), V("o")}});
+  EXPECT_TRUE(r.rows.empty());
+}
+
+TEST_F(BgpTest, CrossProductWhenDisconnected) {
+  // Two disconnected single-solution patterns produce their product.
+  ResultSet r = EvalBgp(hexa_, dict_,
+                        {{V("a"), B(I("worksFor")), V("w")},
+                         {V("b"), B(I("takesCourse")), V("c")}});
+  EXPECT_EQ(r.rows.size(), 1u);  // 1 worksFor x 1 takesCourse
+  EXPECT_EQ(r.vars.size(), 4u);
+}
+
+}  // namespace
+}  // namespace hexastore

@@ -1,0 +1,111 @@
+// Tests for delta/varint-compressed sorted id vectors.
+#include <gtest/gtest.h>
+
+#include "index/compressed_vec.h"
+#include "util/rng.h"
+
+namespace hexastore {
+namespace {
+
+TEST(CompressedVecTest, EmptyVector) {
+  CompressedIdVec c(IdVec{});
+  EXPECT_TRUE(c.empty());
+  EXPECT_EQ(c.size(), 0u);
+  EXPECT_TRUE(c.Decode().empty());
+  EXPECT_FALSE(c.Contains(1));
+}
+
+TEST(CompressedVecTest, SingleElement) {
+  CompressedIdVec c(IdVec{42});
+  EXPECT_EQ(c.size(), 1u);
+  EXPECT_EQ(c.Decode(), (IdVec{42}));
+  EXPECT_TRUE(c.Contains(42));
+  EXPECT_FALSE(c.Contains(41));
+  EXPECT_FALSE(c.Contains(43));
+}
+
+TEST(CompressedVecTest, DecodeRoundTrip) {
+  IdVec v{1, 2, 10, 100, 1000, 10000, 1000000, 1000001};
+  CompressedIdVec c(v);
+  EXPECT_EQ(c.Decode(), v);
+}
+
+TEST(CompressedVecTest, ForEachVisitsAllAscending) {
+  IdVec v;
+  for (Id i = 1; i <= 200; ++i) {
+    v.push_back(i * 7);
+  }
+  CompressedIdVec c(v, /*skip_interval=*/16);
+  IdVec seen;
+  c.ForEach([&seen](Id id) { seen.push_back(id); });
+  EXPECT_EQ(seen, v);
+}
+
+TEST(CompressedVecTest, ContainsAcrossBlockBoundaries) {
+  IdVec v;
+  for (Id i = 0; i < 100; ++i) {
+    v.push_back(3 + i * 5);
+  }
+  CompressedIdVec c(v, /*skip_interval=*/8);
+  for (Id i = 0; i < 100; ++i) {
+    EXPECT_TRUE(c.Contains(3 + i * 5)) << i;
+    EXPECT_FALSE(c.Contains(4 + i * 5)) << i;
+  }
+  EXPECT_FALSE(c.Contains(0));
+  EXPECT_FALSE(c.Contains(2));
+  EXPECT_FALSE(c.Contains(10000));
+}
+
+TEST(CompressedVecTest, DenseSequenceCompressesWell) {
+  IdVec v;
+  for (Id i = 1000000; i < 1010000; ++i) {
+    v.push_back(i);  // deltas of 1 -> ~1 byte each
+  }
+  CompressedIdVec c(v);
+  EXPECT_LT(c.PayloadBytes(), v.size() * 2);
+  EXPECT_LT(c.MemoryBytes(), v.size() * sizeof(Id) / 3);
+}
+
+TEST(CompressedVecTest, SkipIntervalOneAndHuge) {
+  IdVec v{5, 9, 12, 80, 81};
+  for (std::size_t interval : {std::size_t{1}, std::size_t{1000}}) {
+    CompressedIdVec c(v, interval);
+    EXPECT_EQ(c.Decode(), v);
+    for (Id id : v) {
+      EXPECT_TRUE(c.Contains(id));
+    }
+    EXPECT_FALSE(c.Contains(6));
+  }
+}
+
+class CompressedVecPropertyTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CompressedVecPropertyTest, RandomRoundTripsAndMembership) {
+  Rng rng(GetParam());
+  for (int round = 0; round < 20; ++round) {
+    IdVec v;
+    const std::uint64_t n = rng.Uniform(500);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      v.push_back(1 + rng.Uniform(1u << 20));
+    }
+    SortUnique(&v);
+    const std::size_t interval = 1 + rng.Uniform(64);
+    CompressedIdVec c(v, interval);
+    ASSERT_EQ(c.Decode(), v);
+    ASSERT_EQ(c.size(), v.size());
+    for (int probe = 0; probe < 100; ++probe) {
+      Id id = 1 + rng.Uniform(1u << 20);
+      EXPECT_EQ(c.Contains(id), SortedContains(v, id));
+    }
+    for (Id id : v) {
+      EXPECT_TRUE(c.Contains(id));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CompressedVecPropertyTest,
+                         ::testing::Values(9, 99, 999));
+
+}  // namespace
+}  // namespace hexastore

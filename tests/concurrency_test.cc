@@ -1,0 +1,120 @@
+// Concurrent-reader tests: an immutable Hexastore must serve pattern
+// lookups, workload queries and advisor reads from many threads at once
+// (reads only mutate the relaxed-atomic access counters).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "core/advisor.h"
+#include "core/hexastore.h"
+#include "data/lubm_generator.h"
+#include "dict/dictionary.h"
+#include "util/rng.h"
+#include "workload/lubm_queries.h"
+
+namespace hexastore {
+namespace {
+
+TEST(ConcurrencyTest, ParallelPatternScansAgree) {
+  Hexastore store;
+  Rng rng(2026);
+  for (int i = 0; i < 5000; ++i) {
+    store.Insert({1 + rng.Uniform(80), 1 + rng.Uniform(10),
+                  1 + rng.Uniform(80)});
+  }
+  // Reference answers computed single-threaded.
+  std::vector<IdPattern> probes;
+  std::vector<IdTripleVec> expected;
+  for (int mask = 0; mask < 8; ++mask) {
+    for (int k = 0; k < 10; ++k) {
+      IdPattern q;
+      if (mask & 1) q.s = 1 + rng.Uniform(81);
+      if (mask & 2) q.p = 1 + rng.Uniform(11);
+      if (mask & 4) q.o = 1 + rng.Uniform(81);
+      probes.push_back(q);
+      expected.push_back(store.Match(q));
+    }
+  }
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&] {
+      for (int round = 0; round < 20; ++round) {
+        for (std::size_t i = 0; i < probes.size(); ++i) {
+          if (store.Match(probes[i]) != expected[i]) {
+            failures.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(ConcurrencyTest, ParallelWorkloadQueriesAgree) {
+  auto triples = data::LubmGenerator().Generate(20000);
+  Dictionary dict;
+  IdTripleVec encoded;
+  for (const auto& t : triples) {
+    encoded.push_back(dict.Encode(t));
+  }
+  Hexastore store;
+  store.BulkLoad(encoded);
+  workload::LubmIds ids = workload::LubmIds::Resolve(dict);
+
+  const auto expect_q1 = workload::LubmRelatedToHexa(store, ids.course10);
+  const auto expect_q4 = workload::LubmQ4Hexa(store, ids);
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 6; ++t) {
+    threads.emplace_back([&] {
+      for (int round = 0; round < 30; ++round) {
+        if (workload::LubmRelatedToHexa(store, ids.course10) !=
+            expect_q1) {
+          failures.fetch_add(1);
+        }
+        if (workload::LubmQ4Hexa(store, ids) != expect_q4) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(ConcurrencyTest, AccessCountersAccumulateAcrossThreads) {
+  Hexastore store;
+  store.Insert({1, 2, 3});
+  store.ResetAccessCounts();
+  constexpr int kThreads = 8;
+  constexpr int kReads = 1000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&store] {
+      for (int i = 0; i < kReads; ++i) {
+        store.subjects_of_predicate(2);
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  // Relaxed atomics must not lose increments.
+  EXPECT_EQ(store.access_count(Permutation::kPso),
+            static_cast<std::uint64_t>(kThreads) * kReads);
+  IndexAdvice advice = AdviseIndexes(store);
+  EXPECT_NEAR(advice.share[static_cast<int>(Permutation::kPso)], 1.0,
+              1e-12);
+}
+
+}  // namespace
+}  // namespace hexastore

@@ -1,0 +1,125 @@
+// Unit tests for dictionary encoding.
+#include <gtest/gtest.h>
+
+#include "dict/dictionary.h"
+
+namespace hexastore {
+namespace {
+
+TEST(DictionaryTest, InternAssignsDenseIdsFromOne) {
+  Dictionary d;
+  EXPECT_EQ(d.Intern(Term::Iri("a")), 1u);
+  EXPECT_EQ(d.Intern(Term::Iri("b")), 2u);
+  EXPECT_EQ(d.Intern(Term::Literal("c")), 3u);
+  EXPECT_EQ(d.size(), 3u);
+}
+
+TEST(DictionaryTest, InternIsIdempotent) {
+  Dictionary d;
+  Id first = d.Intern(Term::Iri("a"));
+  Id second = d.Intern(Term::Iri("a"));
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(d.size(), 1u);
+}
+
+TEST(DictionaryTest, IriAndLiteralWithSameSpellingDiffer) {
+  Dictionary d;
+  Id iri = d.Intern(Term::Iri("a"));
+  Id lit = d.Intern(Term::Literal("a"));
+  Id blank = d.Intern(Term::Blank("a"));
+  EXPECT_NE(iri, lit);
+  EXPECT_NE(lit, blank);
+}
+
+TEST(DictionaryTest, LangAndTypedLiteralsDiffer) {
+  Dictionary d;
+  Id plain = d.Intern(Term::Literal("x"));
+  Id lang = d.Intern(Term::LangLiteral("x", "en"));
+  Id typed = d.Intern(Term::TypedLiteral("x", "t"));
+  EXPECT_NE(plain, lang);
+  EXPECT_NE(plain, typed);
+  EXPECT_NE(lang, typed);
+  EXPECT_EQ(d.size(), 3u);
+}
+
+TEST(DictionaryTest, LookupWithoutInsert) {
+  Dictionary d;
+  EXPECT_EQ(d.Lookup(Term::Iri("missing")), kInvalidId);
+  d.Intern(Term::Iri("present"));
+  EXPECT_NE(d.Lookup(Term::Iri("present")), kInvalidId);
+  EXPECT_EQ(d.size(), 1u);  // Lookup must not insert
+  EXPECT_EQ(d.Lookup(Term::Iri("missing")), kInvalidId);
+}
+
+TEST(DictionaryTest, TermRoundTrip) {
+  Dictionary d;
+  Term original = Term::LangLiteral("hello", "en");
+  Id id = d.Intern(original);
+  EXPECT_EQ(d.term(id), original);
+  auto opt = d.TryTerm(id);
+  ASSERT_TRUE(opt.has_value());
+  EXPECT_EQ(*opt, original);
+}
+
+TEST(DictionaryTest, TryTermOutOfRange) {
+  Dictionary d;
+  EXPECT_FALSE(d.TryTerm(kInvalidId).has_value());
+  EXPECT_FALSE(d.TryTerm(1).has_value());
+  d.Intern(Term::Iri("a"));
+  EXPECT_TRUE(d.TryTerm(1).has_value());
+  EXPECT_FALSE(d.TryTerm(2).has_value());
+}
+
+TEST(DictionaryTest, EncodeDecodeRoundTrip) {
+  Dictionary d;
+  Triple t{Term::Iri("s"), Term::Iri("p"), Term::Literal("o")};
+  IdTriple encoded = d.Encode(t);
+  EXPECT_NE(encoded.s, kInvalidId);
+  EXPECT_NE(encoded.p, kInvalidId);
+  EXPECT_NE(encoded.o, kInvalidId);
+  EXPECT_EQ(d.Decode(encoded), t);
+}
+
+TEST(DictionaryTest, TryEncodeDoesNotIntern) {
+  Dictionary d;
+  Triple t{Term::Iri("s"), Term::Iri("p"), Term::Literal("o")};
+  EXPECT_FALSE(d.TryEncode(t).has_value());
+  EXPECT_EQ(d.size(), 0u);
+  d.Encode(t);
+  auto encoded = d.TryEncode(t);
+  ASSERT_TRUE(encoded.has_value());
+  EXPECT_EQ(d.Decode(*encoded), t);
+}
+
+TEST(DictionaryTest, TryEncodePartiallyKnown) {
+  Dictionary d;
+  d.Intern(Term::Iri("s"));
+  d.Intern(Term::Iri("p"));
+  Triple t{Term::Iri("s"), Term::Iri("p"), Term::Literal("new")};
+  EXPECT_FALSE(d.TryEncode(t).has_value());
+}
+
+TEST(DictionaryTest, MemoryGrowsWithContent) {
+  Dictionary d;
+  std::size_t empty = d.MemoryBytes();
+  for (int i = 0; i < 1000; ++i) {
+    d.Intern(Term::Iri("http://example.org/resource/number/" +
+                       std::to_string(i)));
+  }
+  EXPECT_GT(d.MemoryBytes(), empty + 1000 * 8);
+}
+
+TEST(DictionaryTest, ManyTermsKeepStableIds) {
+  Dictionary d;
+  std::vector<Id> ids;
+  for (int i = 0; i < 500; ++i) {
+    ids.push_back(d.Intern(Term::Iri("t" + std::to_string(i))));
+  }
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_EQ(d.Lookup(Term::Iri("t" + std::to_string(i))), ids[i]);
+    EXPECT_EQ(d.term(ids[i]).value(), "t" + std::to_string(i));
+  }
+}
+
+}  // namespace
+}  // namespace hexastore

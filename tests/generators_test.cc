@@ -1,0 +1,208 @@
+// Tests for the Barton-like and LUBM-like dataset generators:
+// determinism, prefix stability, and the structural properties the
+// benchmark queries rely on.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "data/barton_generator.h"
+#include "data/lubm_generator.h"
+
+namespace hexastore::data {
+namespace {
+
+TEST(BartonGeneratorTest, ExactCountAndDeterminism) {
+  BartonGenerator gen;
+  auto a = gen.Generate(5000);
+  auto b = gen.Generate(5000);
+  EXPECT_EQ(a.size(), 5000u);
+  EXPECT_EQ(a, b);
+}
+
+TEST(BartonGeneratorTest, PrefixStability) {
+  BartonGenerator gen;
+  auto small = gen.Generate(2000);
+  auto large = gen.Generate(6000);
+  ASSERT_GE(large.size(), small.size());
+  for (std::size_t i = 0; i < small.size(); ++i) {
+    ASSERT_EQ(small[i], large[i]) << "diverges at " << i;
+  }
+}
+
+TEST(BartonGeneratorTest, DifferentSeedsDiffer) {
+  BartonOptions opt_a;
+  BartonOptions opt_b;
+  opt_b.seed = 999;
+  auto a = BartonGenerator(opt_a).Generate(1000);
+  auto b = BartonGenerator(opt_b).Generate(1000);
+  EXPECT_NE(a, b);
+}
+
+TEST(BartonGeneratorTest, PropertyUniverseIsBounded) {
+  auto triples = BartonGenerator().Generate(30000);
+  std::set<std::string> props;
+  for (const auto& t : triples) {
+    props.insert(t.predicate.value());
+  }
+  // 15 named + up to 270 generic.
+  EXPECT_LE(props.size(), 285u);
+  EXPECT_GT(props.size(), 30u);  // the tail should be visibly populated
+}
+
+TEST(BartonGeneratorTest, PropertyFrequenciesAreSkewed) {
+  auto triples = BartonGenerator().Generate(30000);
+  std::unordered_map<std::string, int> freq;
+  for (const auto& t : triples) {
+    ++freq[t.predicate.value()];
+  }
+  // The most frequent property should dominate the median property by a
+  // wide margin (Zipf-like skew).
+  int max_freq = 0;
+  for (const auto& [p, f] : freq) {
+    (void)p;
+    max_freq = std::max(max_freq, f);
+  }
+  int rare = 0;
+  for (const auto& [p, f] : freq) {
+    (void)p;
+    if (f < max_freq / 100) {
+      ++rare;
+    }
+  }
+  EXPECT_GT(rare, static_cast<int>(freq.size()) / 2)
+      << "the vast majority of properties should appear infrequently";
+}
+
+TEST(BartonGeneratorTest, QueriesHaveSupport) {
+  auto triples = BartonGenerator().Generate(50000);
+  bool has_text = false;
+  bool has_french_text_subject = false;
+  bool has_dlc = false;
+  bool has_records = false;
+  bool has_point_end = false;
+  std::unordered_set<std::string> text_subjects;
+  for (const auto& t : triples) {
+    if (t.predicate == BartonGenerator::PropType() &&
+        t.object == BartonGenerator::TypeText()) {
+      has_text = true;
+      text_subjects.insert(t.subject.value());
+    }
+    if (t.predicate == BartonGenerator::PropOrigin() &&
+        t.object == BartonGenerator::OriginDlc()) {
+      has_dlc = true;
+    }
+    if (t.predicate == BartonGenerator::PropRecords()) {
+      has_records = true;
+    }
+    if (t.predicate == BartonGenerator::PropPoint() &&
+        t.object == BartonGenerator::PointEnd()) {
+      has_point_end = true;
+    }
+  }
+  for (const auto& t : triples) {
+    if (t.predicate == BartonGenerator::PropLanguage() &&
+        t.object == BartonGenerator::LangFrench() &&
+        text_subjects.count(t.subject.value()) > 0) {
+      has_french_text_subject = true;
+    }
+  }
+  EXPECT_TRUE(has_text);
+  EXPECT_TRUE(has_french_text_subject);
+  EXPECT_TRUE(has_dlc);
+  EXPECT_TRUE(has_records);
+  EXPECT_TRUE(has_point_end);
+}
+
+TEST(BartonGeneratorTest, PreselectedPropertiesNumber28) {
+  EXPECT_EQ(BartonGenerator::PreselectedProperties().size(), 28u);
+}
+
+TEST(LubmGeneratorTest, ExactCountAndDeterminism) {
+  LubmGenerator gen;
+  auto a = gen.Generate(5000);
+  auto b = gen.Generate(5000);
+  EXPECT_EQ(a.size(), 5000u);
+  EXPECT_EQ(a, b);
+}
+
+TEST(LubmGeneratorTest, PrefixStability) {
+  LubmGenerator gen;
+  auto small = gen.Generate(3000);
+  auto large = gen.Generate(9000);
+  for (std::size_t i = 0; i < small.size(); ++i) {
+    ASSERT_EQ(small[i], large[i]) << "diverges at " << i;
+  }
+}
+
+TEST(LubmGeneratorTest, ExactlyEighteenPredicates) {
+  EXPECT_EQ(LubmGenerator::AllPredicates().size(), 18u);
+  auto triples = LubmGenerator().Generate(50000);
+  std::set<std::string> preds;
+  for (const auto& t : triples) {
+    preds.insert(t.predicate.value());
+  }
+  std::set<std::string> declared;
+  for (const auto& p : LubmGenerator::AllPredicates()) {
+    declared.insert(p.value());
+  }
+  // Every observed predicate is declared; with 50k triples nearly all
+  // declared predicates should be exercised.
+  for (const auto& p : preds) {
+    EXPECT_TRUE(declared.count(p) > 0) << p;
+  }
+  EXPECT_GE(preds.size(), 16u);
+}
+
+TEST(LubmGeneratorTest, QueryTargetsExist) {
+  auto triples = LubmGenerator().Generate(60000);
+  bool course10 = false;
+  bool university0 = false;
+  bool assoc_prof10 = false;
+  const std::string course_uri =
+      LubmGenerator::CourseUri(0, 0, 10).value();
+  const std::string univ_uri = LubmGenerator::UniversityUri(0).value();
+  const std::string prof_uri =
+      LubmGenerator::AssociateProfessorUri(0, 0, 10).value();
+  for (const auto& t : triples) {
+    if (t.object.is_iri() && t.object.value() == course_uri) {
+      course10 = true;
+    }
+    if (t.object.is_iri() && t.object.value() == univ_uri) {
+      university0 = true;
+    }
+    if (t.subject.value() == prof_uri) {
+      assoc_prof10 = true;
+    }
+  }
+  EXPECT_TRUE(course10) << "LQ1 target must be referenced";
+  EXPECT_TRUE(university0) << "LQ2 target must be referenced";
+  EXPECT_TRUE(assoc_prof10) << "LQ3-5 target must have triples";
+}
+
+TEST(LubmGeneratorTest, GrowsBeyondConfiguredUniverse) {
+  LubmOptions opts;
+  opts.num_universities = 1;
+  auto triples = LubmGenerator(opts).Generate(400000);
+  EXPECT_EQ(triples.size(), 400000u);
+}
+
+TEST(LubmGeneratorTest, StructuralSanity) {
+  auto triples = LubmGenerator().Generate(30000);
+  // Every advisor edge points from a student to a faculty member that has
+  // a type triple somewhere in the full data set; here we just check that
+  // advisor objects are department-scoped URIs.
+  int advisors = 0;
+  for (const auto& t : triples) {
+    if (t.predicate == LubmGenerator::PropAdvisor()) {
+      ++advisors;
+      EXPECT_TRUE(t.object.is_iri());
+      EXPECT_NE(t.object.value().find("Department"), std::string::npos);
+    }
+  }
+  EXPECT_GT(advisors, 0);
+}
+
+}  // namespace
+}  // namespace hexastore::data

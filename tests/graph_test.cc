@@ -1,0 +1,100 @@
+// Unit tests for the term-level Graph facade.
+#include <gtest/gtest.h>
+
+#include "core/graph.h"
+
+namespace hexastore {
+namespace {
+
+Triple T(const std::string& s, const std::string& p, const std::string& o) {
+  return {Term::Iri(s), Term::Iri(p), Term::Iri(o)};
+}
+
+TEST(GraphTest, InsertContainsErase) {
+  Graph g;
+  EXPECT_TRUE(g.Insert(T("s", "p", "o")));
+  EXPECT_FALSE(g.Insert(T("s", "p", "o")));
+  EXPECT_TRUE(g.Contains(T("s", "p", "o")));
+  EXPECT_FALSE(g.Contains(T("s", "p", "x")));
+  EXPECT_TRUE(g.Erase(T("s", "p", "o")));
+  EXPECT_FALSE(g.Erase(T("s", "p", "o")));
+  EXPECT_EQ(g.size(), 0u);
+}
+
+TEST(GraphTest, EraseUnknownTermsIsFalse) {
+  Graph g;
+  g.Insert(T("s", "p", "o"));
+  EXPECT_FALSE(g.Erase(T("never", "seen", "terms")));
+  EXPECT_EQ(g.size(), 1u);
+}
+
+TEST(GraphTest, MatchWildcards) {
+  Graph g;
+  g.Insert(T("a", "p", "x"));
+  g.Insert(T("a", "p", "y"));
+  g.Insert(T("b", "p", "x"));
+  g.Insert(T("a", "q", "x"));
+
+  EXPECT_EQ(g.Match(std::nullopt, std::nullopt, std::nullopt).size(), 4u);
+  EXPECT_EQ(g.Match(Term::Iri("a"), std::nullopt, std::nullopt).size(), 3u);
+  EXPECT_EQ(g.Match(std::nullopt, Term::Iri("p"), std::nullopt).size(), 3u);
+  EXPECT_EQ(g.Match(std::nullopt, std::nullopt, Term::Iri("x")).size(), 3u);
+  EXPECT_EQ(
+      g.Match(Term::Iri("a"), Term::Iri("p"), std::nullopt).size(), 2u);
+  auto exact = g.Match(Term::Iri("b"), Term::Iri("p"), Term::Iri("x"));
+  ASSERT_EQ(exact.size(), 1u);
+  EXPECT_EQ(exact[0], T("b", "p", "x"));
+}
+
+TEST(GraphTest, MatchUnknownTermIsEmpty) {
+  Graph g;
+  g.Insert(T("a", "p", "x"));
+  EXPECT_TRUE(g.Match(Term::Iri("zzz"), std::nullopt, std::nullopt).empty());
+}
+
+TEST(GraphTest, LoadNTriples) {
+  Graph g;
+  auto r = g.LoadNTriples(
+      "<a> <p> <b> .\n"
+      "<a> <p> \"lit\"@en .\n"
+      "# comment\n"
+      "<a> <p> <b> .\n");  // duplicate
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value(), 2u);
+  EXPECT_EQ(g.size(), 2u);
+  EXPECT_TRUE(g.Contains({Term::Iri("a"), Term::Iri("p"),
+                          Term::LangLiteral("lit", "en")}));
+}
+
+TEST(GraphTest, LoadNTriplesRejectsBadInput) {
+  Graph g;
+  auto r = g.LoadNTriples("<a> <p>\n");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(GraphTest, BulkLoadMatchesInsert) {
+  std::vector<Triple> data = {T("a", "p", "b"), T("b", "p", "c"),
+                              T("a", "q", "c"), T("a", "p", "b")};
+  Graph bulk;
+  bulk.BulkLoad(data);
+  Graph inc;
+  for (const auto& t : data) {
+    inc.Insert(t);
+  }
+  EXPECT_EQ(bulk.size(), inc.size());
+  EXPECT_EQ(bulk.Match(std::nullopt, std::nullopt, std::nullopt),
+            inc.Match(std::nullopt, std::nullopt, std::nullopt));
+}
+
+TEST(GraphTest, MixedTermKinds) {
+  Graph g;
+  Triple t{Term::Blank("b0"), Term::Iri("p"),
+           Term::TypedLiteral("1", "int")};
+  g.Insert(t);
+  auto all = g.Match(std::nullopt, std::nullopt, std::nullopt);
+  ASSERT_EQ(all.size(), 1u);
+  EXPECT_EQ(all[0], t);
+}
+
+}  // namespace
+}  // namespace hexastore

@@ -1,0 +1,129 @@
+// Randomized round-trip property tests for the N-Triples serializer and
+// parser: arbitrary generated terms (including hostile characters) must
+// survive serialize -> parse unchanged, and the parser must never crash
+// on mangled input.
+#include <gtest/gtest.h>
+
+#include "rdf/ntriples.h"
+#include "util/rng.h"
+
+namespace hexastore {
+namespace {
+
+std::string RandomLexical(Rng* rng, std::size_t max_len) {
+  static const char kAlphabet[] =
+      "abcXYZ019 _-\t\n\r\"\\'#<>@^^.:{}()";
+  const std::size_t n = rng->Uniform(max_len + 1);
+  std::string out;
+  for (std::size_t i = 0; i < n; ++i) {
+    out += kAlphabet[rng->Uniform(sizeof(kAlphabet) - 1)];
+  }
+  return out;
+}
+
+std::string RandomIriSafe(Rng* rng, std::size_t max_len) {
+  static const char kAlphabet[] =
+      "abcdefghijklmnopqrstuvwxyz0123456789/:._-#?=";
+  const std::size_t n = 1 + rng->Uniform(max_len);
+  std::string out;
+  for (std::size_t i = 0; i < n; ++i) {
+    out += kAlphabet[rng->Uniform(sizeof(kAlphabet) - 1)];
+  }
+  return out;
+}
+
+std::string RandomLabel(Rng* rng) {
+  static const char kAlphabet[] =
+      "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789";
+  const std::size_t n = 1 + rng->Uniform(12);
+  std::string out;
+  for (std::size_t i = 0; i < n; ++i) {
+    out += kAlphabet[rng->Uniform(sizeof(kAlphabet) - 1)];
+  }
+  return out;
+}
+
+Term RandomTerm(Rng* rng, bool allow_literal) {
+  const std::uint64_t kind = rng->Uniform(allow_literal ? 4 : 2);
+  switch (kind) {
+    case 0:
+      return Term::Iri(RandomIriSafe(rng, 40));
+    case 1:
+      return Term::Blank(RandomLabel(rng));
+    case 2: {
+      // Literal, possibly language-tagged.
+      std::string lex = RandomLexical(rng, 30);
+      if (rng->Bernoulli(0.3)) {
+        return Term::LangLiteral(std::move(lex), RandomLabel(rng));
+      }
+      return Term::Literal(std::move(lex));
+    }
+    default:
+      return Term::TypedLiteral(RandomLexical(rng, 30),
+                                RandomIriSafe(rng, 30));
+  }
+}
+
+class NTriplesFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(NTriplesFuzzTest, SerializeParseRoundTrip) {
+  Rng rng(GetParam());
+  std::vector<Triple> triples;
+  for (int i = 0; i < 300; ++i) {
+    triples.push_back(Triple{RandomTerm(&rng, false),
+                             Term::Iri(RandomIriSafe(&rng, 30)),
+                             RandomTerm(&rng, true)});
+  }
+  std::string text = ToNTriplesString(triples);
+  auto parsed = ParseNTriplesDocument(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed.value().size(), triples.size());
+  for (std::size_t i = 0; i < triples.size(); ++i) {
+    EXPECT_EQ(parsed.value()[i], triples[i]) << "triple " << i;
+  }
+}
+
+TEST_P(NTriplesFuzzTest, ParserNeverCrashesOnMangledInput) {
+  Rng rng(GetParam() ^ 0x5eed);
+  std::vector<Triple> triples;
+  for (int i = 0; i < 50; ++i) {
+    triples.push_back(Triple{RandomTerm(&rng, false),
+                             Term::Iri(RandomIriSafe(&rng, 20)),
+                             RandomTerm(&rng, true)});
+  }
+  std::string text = ToNTriplesString(triples);
+  // Mutate random bytes; parser must return (ok or error) without UB.
+  for (int round = 0; round < 200; ++round) {
+    std::string mangled = text;
+    const std::size_t mutations = 1 + rng.Uniform(5);
+    for (std::size_t m = 0; m < mutations; ++m) {
+      if (mangled.empty()) {
+        break;
+      }
+      std::size_t pos = rng.Uniform(mangled.size());
+      switch (rng.Uniform(3)) {
+        case 0:
+          mangled[pos] = static_cast<char>(32 + rng.Uniform(95));
+          break;
+        case 1:
+          mangled.erase(pos, 1);
+          break;
+        default:
+          mangled.insert(pos, 1,
+                         static_cast<char>(32 + rng.Uniform(95)));
+      }
+    }
+    std::size_t skipped = 0;
+    auto lenient =
+        ParseNTriplesDocument(mangled, /*strict=*/false, &skipped);
+    EXPECT_TRUE(lenient.ok());  // lenient mode always succeeds
+    auto strict = ParseNTriplesDocument(mangled, /*strict=*/true);
+    (void)strict;  // either outcome is fine; must not crash
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NTriplesFuzzTest,
+                         ::testing::Values(101, 202, 303));
+
+}  // namespace
+}  // namespace hexastore

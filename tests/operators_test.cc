@@ -1,0 +1,89 @@
+// Unit tests for result-set operators.
+#include <gtest/gtest.h>
+
+#include "query/operators.h"
+
+namespace hexastore {
+namespace {
+
+ResultSet MakeResult(std::vector<std::string> vars,
+                     std::vector<Row> rows) {
+  ResultSet r;
+  for (const auto& v : vars) {
+    r.vars.Intern(v);
+  }
+  r.rows = std::move(rows);
+  return r;
+}
+
+TEST(OperatorsTest, ProjectReordersColumns) {
+  ResultSet in = MakeResult({"a", "b", "c"}, {{1, 2, 3}, {4, 5, 6}});
+  ResultSet out = Project(in, {2, 0});
+  EXPECT_EQ(out.vars.size(), 2u);
+  EXPECT_EQ(out.vars.name(0), "c");
+  EXPECT_EQ(out.vars.name(1), "a");
+  EXPECT_EQ(out.rows, (std::vector<Row>{{3, 1}, {6, 4}}));
+}
+
+TEST(OperatorsTest, DistinctRemovesDuplicates) {
+  ResultSet in = MakeResult({"a"}, {{2}, {1}, {2}, {1}, {3}});
+  ResultSet out = Distinct(std::move(in));
+  EXPECT_EQ(out.rows, (std::vector<Row>{{1}, {2}, {3}}));
+}
+
+TEST(OperatorsTest, OrderBySortsLexicographically) {
+  ResultSet in = MakeResult({"a", "b"}, {{2, 1}, {1, 9}, {2, 0}, {1, 3}});
+  ResultSet out = OrderBy(std::move(in), {0, 1});
+  EXPECT_EQ(out.rows,
+            (std::vector<Row>{{1, 3}, {1, 9}, {2, 0}, {2, 1}}));
+}
+
+TEST(OperatorsTest, OrderByIsStableOnTies) {
+  ResultSet in = MakeResult({"a", "b"}, {{1, 9}, {1, 3}, {1, 7}});
+  ResultSet out = OrderBy(std::move(in), {0});
+  EXPECT_EQ(out.rows, (std::vector<Row>{{1, 9}, {1, 3}, {1, 7}}));
+}
+
+TEST(OperatorsTest, LimitTruncates) {
+  ResultSet in = MakeResult({"a"}, {{1}, {2}, {3}});
+  EXPECT_EQ(Limit(std::move(in), 2).rows.size(), 2u);
+  ResultSet in2 = MakeResult({"a"}, {{1}});
+  EXPECT_EQ(Limit(std::move(in2), 5).rows.size(), 1u);
+}
+
+TEST(OperatorsTest, GroupCount) {
+  ResultSet in = MakeResult({"a"}, {{7}, {7}, {9}, {7}, {8}});
+  GroupCounts counts = GroupCount(in, 0);
+  EXPECT_EQ(counts, (GroupCounts{{7, 3}, {8, 1}, {9, 1}}));
+}
+
+TEST(OperatorsTest, GroupCountPairs) {
+  ResultSet in =
+      MakeResult({"a", "b"}, {{1, 2}, {1, 2}, {1, 3}, {2, 2}});
+  PairCounts counts = GroupCountPairs(in, 0, 1);
+  EXPECT_EQ(counts, (PairCounts{{{1, 2}, 2}, {{1, 3}, 1}, {{2, 2}, 1}}));
+}
+
+TEST(OperatorsTest, FormatResultSetShowsTerms) {
+  Dictionary dict;
+  Id a = dict.Intern(Term::Iri("http://x/a"));
+  Id b = dict.Intern(Term::Literal("hello"));
+  ResultSet in = MakeResult({"s", "o"}, {{a, b}});
+  std::string out = FormatResultSet(in, dict);
+  EXPECT_NE(out.find("?s"), std::string::npos);
+  EXPECT_NE(out.find("<http://x/a>"), std::string::npos);
+  EXPECT_NE(out.find("\"hello\""), std::string::npos);
+  EXPECT_NE(out.find("(1 rows)"), std::string::npos);
+}
+
+TEST(OperatorsTest, FormatResultSetTruncates) {
+  Dictionary dict;
+  Id a = dict.Intern(Term::Iri("a"));
+  std::vector<Row> rows(50, Row{a});
+  ResultSet in = MakeResult({"s"}, std::move(rows));
+  std::string out = FormatResultSet(in, dict, 10);
+  EXPECT_NE(out.find("40 more rows"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hexastore

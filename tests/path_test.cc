@@ -1,0 +1,113 @@
+// Tests for path-expression evaluation (paper §4.3): the Hexastore
+// merge-join strategy must agree with the generic hash-join oracle on
+// both hand-built and random graphs.
+#include <gtest/gtest.h>
+
+#include "baseline/triple_table.h"
+#include "core/hexastore.h"
+#include "query/path.h"
+#include "util/rng.h"
+
+namespace hexastore {
+namespace {
+
+TEST(PathTest, SinglePredicateIsAllPairs) {
+  Hexastore store;
+  store.Insert({1, 10, 2});
+  store.Insert({3, 10, 4});
+  store.Insert({1, 11, 5});
+  PathPairs pairs = EvalPathHexastore(store, {10});
+  EXPECT_EQ(pairs, (PathPairs{{1, 2}, {3, 4}}));
+}
+
+TEST(PathTest, TwoStepChain) {
+  Hexastore store;
+  // 1 -a-> 2 -b-> 3 ; 1 -a-> 4 ; 4 -b-> 5
+  store.Insert({1, 100, 2});
+  store.Insert({2, 101, 3});
+  store.Insert({1, 100, 4});
+  store.Insert({4, 101, 5});
+  PathPairs pairs = EvalPathHexastore(store, {100, 101});
+  EXPECT_EQ(pairs, (PathPairs{{1, 3}, {1, 5}}));
+}
+
+TEST(PathTest, ThreeStepChain) {
+  Hexastore store;
+  store.Insert({1, 7, 2});
+  store.Insert({2, 8, 3});
+  store.Insert({3, 9, 4});
+  store.Insert({2, 8, 30});  // dead end: 30 has no p9 edge
+  EXPECT_EQ(EvalPathHexastore(store, {7, 8, 9}), (PathPairs{{1, 4}}));
+}
+
+TEST(PathTest, EmptyCases) {
+  Hexastore store;
+  store.Insert({1, 7, 2});
+  EXPECT_TRUE(EvalPathHexastore(store, {}).empty());
+  EXPECT_TRUE(EvalPathHexastore(store, {99}).empty());
+  EXPECT_TRUE(EvalPathHexastore(store, {7, 99}).empty());
+  EXPECT_TRUE(EvalPathGeneric(store, {}).empty());
+  EXPECT_TRUE(EvalPathGeneric(store, {99}).empty());
+}
+
+TEST(PathTest, DiamondDeduplicates) {
+  Hexastore store;
+  // Two distinct mid nodes give the same endpoint pair once.
+  store.Insert({1, 7, 2});
+  store.Insert({1, 7, 3});
+  store.Insert({2, 8, 9});
+  store.Insert({3, 8, 9});
+  EXPECT_EQ(EvalPathHexastore(store, {7, 8}), (PathPairs{{1, 9}}));
+  EXPECT_EQ(EvalPathGeneric(store, {7, 8}), (PathPairs{{1, 9}}));
+}
+
+TEST(PathTest, SamePredicateTwice) {
+  Hexastore store;
+  store.Insert({1, 7, 2});
+  store.Insert({2, 7, 3});
+  store.Insert({3, 7, 4});
+  EXPECT_EQ(EvalPathHexastore(store, {7, 7}),
+            (PathPairs{{1, 3}, {2, 4}}));
+}
+
+TEST(PathTest, CycleTerminates) {
+  Hexastore store;
+  store.Insert({1, 7, 2});
+  store.Insert({2, 7, 1});
+  EXPECT_EQ(EvalPathHexastore(store, {7, 7}),
+            (PathPairs{{1, 1}, {2, 2}}));
+  EXPECT_EQ(EvalPathHexastore(store, {7, 7, 7}),
+            (PathPairs{{1, 2}, {2, 1}}));
+}
+
+class PathPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PathPropertyTest, HexaMatchesGenericOnRandomGraphs) {
+  Rng rng(GetParam());
+  Hexastore hexa;
+  TripleTableStore table;
+  // Random graph with 4 predicates over 40 nodes.
+  for (int i = 0; i < 600; ++i) {
+    IdTriple t{1 + rng.Uniform(40), 100 + rng.Uniform(4),
+               1 + rng.Uniform(40)};
+    hexa.Insert(t);
+    table.Insert(t);
+  }
+  for (int len = 1; len <= 4; ++len) {
+    for (int round = 0; round < 8; ++round) {
+      std::vector<Id> path;
+      for (int k = 0; k < len; ++k) {
+        path.push_back(100 + rng.Uniform(4));
+      }
+      EXPECT_EQ(EvalPathHexastore(hexa, path),
+                EvalPathGeneric(table, path))
+          << "path length " << len;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PathPropertyTest,
+                         ::testing::Values(5, 55, 555, 5555));
+
+}  // namespace
+}  // namespace hexastore

@@ -1,0 +1,123 @@
+// Unit tests for one permutation index (header map + sorted vectors).
+#include <gtest/gtest.h>
+
+#include "index/perm_index.h"
+
+namespace hexastore {
+namespace {
+
+TEST(PermutationTest, NamesAndRoles) {
+  EXPECT_STREQ(PermutationName(Permutation::kSpo), "spo");
+  EXPECT_STREQ(PermutationName(Permutation::kOps), "ops");
+
+  PermutationRoles roles = RolesOf(Permutation::kPos);
+  EXPECT_EQ(roles.first, Role::kPredicate);
+  EXPECT_EQ(roles.second, Role::kObject);
+  EXPECT_EQ(roles.third, Role::kSubject);
+
+  // All six permutations are distinct role triples.
+  for (Permutation a : kAllPermutations) {
+    for (Permutation b : kAllPermutations) {
+      if (a == b) {
+        continue;
+      }
+      PermutationRoles ra = RolesOf(a);
+      PermutationRoles rb = RolesOf(b);
+      EXPECT_FALSE(ra.first == rb.first && ra.second == rb.second)
+          << PermutationName(a) << " vs " << PermutationName(b);
+    }
+  }
+}
+
+TEST(PermIndexTest, InsertAndFind) {
+  PermIndex idx;
+  EXPECT_TRUE(idx.Insert(1, 10));
+  EXPECT_TRUE(idx.Insert(1, 5));
+  EXPECT_FALSE(idx.Insert(1, 10));
+  const IdVec* vec = idx.Find(1);
+  ASSERT_NE(vec, nullptr);
+  EXPECT_EQ(*vec, (IdVec{5, 10}));
+  EXPECT_EQ(idx.Find(2), nullptr);
+}
+
+TEST(PermIndexTest, Contains) {
+  PermIndex idx;
+  idx.Insert(1, 10);
+  EXPECT_TRUE(idx.Contains(1, 10));
+  EXPECT_FALSE(idx.Contains(1, 11));
+  EXPECT_FALSE(idx.Contains(2, 10));
+}
+
+TEST(PermIndexTest, EraseDropsEmptyHeader) {
+  PermIndex idx;
+  idx.Insert(1, 10);
+  idx.Insert(1, 20);
+  EXPECT_TRUE(idx.Erase(1, 10));
+  EXPECT_EQ(idx.HeaderCount(), 1u);
+  EXPECT_TRUE(idx.Erase(1, 20));
+  EXPECT_EQ(idx.HeaderCount(), 0u);
+  EXPECT_EQ(idx.Find(1), nullptr);
+  EXPECT_FALSE(idx.Erase(1, 20));
+}
+
+TEST(PermIndexTest, Counts) {
+  PermIndex idx;
+  idx.Insert(1, 10);
+  idx.Insert(1, 20);
+  idx.Insert(2, 10);
+  EXPECT_EQ(idx.HeaderCount(), 2u);
+  EXPECT_EQ(idx.EntryCount(), 3u);
+}
+
+TEST(PermIndexTest, SortedHeaders) {
+  PermIndex idx;
+  idx.Insert(30, 1);
+  idx.Insert(10, 1);
+  idx.Insert(20, 1);
+  EXPECT_EQ(idx.SortedHeaders(), (std::vector<Id>{10, 20, 30}));
+}
+
+TEST(PermIndexTest, ForEachHeaderVisitsAll) {
+  PermIndex idx;
+  idx.Insert(1, 2);
+  idx.Insert(3, 4);
+  std::size_t visited = 0;
+  std::size_t entries = 0;
+  idx.ForEachHeader([&](Id first, const IdVec& vec) {
+    (void)first;
+    ++visited;
+    entries += vec.size();
+  });
+  EXPECT_EQ(visited, 2u);
+  EXPECT_EQ(entries, 2u);
+}
+
+TEST(PermIndexTest, ClearAndReserve) {
+  PermIndex idx;
+  idx.Reserve(100);
+  idx.Insert(1, 2);
+  idx.Clear();
+  EXPECT_EQ(idx.HeaderCount(), 0u);
+}
+
+TEST(PermIndexTest, BulkPathSortUniqueAll) {
+  PermIndex idx;
+  IdVec* vec = idx.GetOrCreate(7);
+  vec->push_back(9);
+  vec->push_back(2);
+  vec->push_back(9);
+  idx.SortUniqueAll();
+  EXPECT_EQ(*idx.Find(7), (IdVec{2, 9}));
+}
+
+TEST(PermIndexTest, MemoryBytesGrow) {
+  PermIndex idx;
+  std::size_t before = idx.MemoryBytes();
+  for (Id i = 1; i <= 200; ++i) {
+    idx.Insert(i % 10, i);
+  }
+  EXPECT_GT(idx.MemoryBytes(), before);
+}
+
+}  // namespace
+}  // namespace hexastore

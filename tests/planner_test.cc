@@ -1,0 +1,101 @@
+// Unit tests for the greedy BGP planner.
+#include <gtest/gtest.h>
+
+#include "core/hexastore.h"
+#include "query/planner.h"
+
+namespace hexastore {
+namespace {
+
+TriplePattern TP(PatternTerm s, PatternTerm p, PatternTerm o) {
+  return {std::move(s), std::move(p), std::move(o)};
+}
+PatternTerm B(const std::string& iri) {
+  return PatternTerm::Bound(Term::Iri(iri));
+}
+PatternTerm V(const std::string& name) {
+  return PatternTerm::Variable(name);
+}
+
+class PlannerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // p1 is rare (1 triple), p2 is common (100 triples).
+    dict_ = std::make_unique<Dictionary>();
+    auto add = [&](const std::string& s, const std::string& p,
+                   const std::string& o) {
+      store_.Insert(dict_->Encode(
+          {Term::Iri(s), Term::Iri(p), Term::Iri(o)}));
+    };
+    add("s0", "p1", "o0");
+    for (int i = 0; i < 100; ++i) {
+      add("s" + std::to_string(i), "p2", "x" + std::to_string(i % 10));
+    }
+  }
+
+  Hexastore store_;
+  std::unique_ptr<Dictionary> dict_;
+};
+
+TEST_F(PlannerTest, OrderIsPermutation) {
+  std::vector<TriplePattern> patterns = {
+      TP(V("a"), B("p2"), V("b")),
+      TP(V("b"), B("p1"), V("c")),
+      TP(V("c"), B("p2"), V("d")),
+  };
+  CompiledBgp bgp = CompileBgp(patterns, *dict_);
+  auto order = PlanBgp(store_, bgp);
+  ASSERT_EQ(order.size(), 3u);
+  std::vector<bool> seen(3, false);
+  for (std::size_t idx : order) {
+    ASSERT_LT(idx, 3u);
+    EXPECT_FALSE(seen[idx]);
+    seen[idx] = true;
+  }
+}
+
+TEST_F(PlannerTest, SelectivePatternGoesFirst) {
+  std::vector<TriplePattern> patterns = {
+      TP(V("x"), B("p2"), V("y")),  // 100 matches
+      TP(V("x"), B("p1"), V("z")),  // 1 match
+  };
+  CompiledBgp bgp = CompileBgp(patterns, *dict_);
+  auto order = PlanBgp(store_, bgp);
+  EXPECT_EQ(order[0], 1u);  // the selective p1 pattern first
+}
+
+TEST_F(PlannerTest, PrefersConnectedPatterns) {
+  // Pattern 1 is disconnected from pattern 0; pattern 2 shares ?x.
+  std::vector<TriplePattern> patterns = {
+      TP(B("s0"), B("p1"), V("x")),
+      TP(V("unrelated"), B("p2"), V("other")),
+      TP(V("x"), B("p2"), V("y")),
+  };
+  CompiledBgp bgp = CompileBgp(patterns, *dict_);
+  auto order = PlanBgp(store_, bgp);
+  EXPECT_EQ(order[0], 0u);
+  EXPECT_EQ(order[1], 2u);  // connected before the Cartesian one
+  EXPECT_EQ(order[2], 1u);
+}
+
+TEST_F(PlannerTest, CardinalityEstimateUsesConstants) {
+  std::vector<bool> no_bound(2, false);
+  CompiledBgp bgp = CompileBgp(
+      {TP(V("x"), B("p1"), V("y")), TP(V("x"), B("p2"), V("y"))}, *dict_);
+  auto est1 = EstimateCardinality(store_, bgp.patterns[0], no_bound);
+  auto est2 = EstimateCardinality(store_, bgp.patterns[1], no_bound);
+  EXPECT_EQ(est1, 1u);
+  EXPECT_EQ(est2, 100u);
+}
+
+TEST_F(PlannerTest, BoundVarsReduceEstimate) {
+  CompiledBgp bgp =
+      CompileBgp({TP(V("x"), B("p2"), V("y"))}, *dict_);
+  std::vector<bool> unbound(bgp.vars.size(), false);
+  std::vector<bool> bound(bgp.vars.size(), true);
+  EXPECT_LT(EstimateCardinality(store_, bgp.patterns[0], bound),
+            EstimateCardinality(store_, bgp.patterns[0], unbound));
+}
+
+}  // namespace
+}  // namespace hexastore

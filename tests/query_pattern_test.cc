@@ -1,0 +1,71 @@
+// Unit tests for pattern compilation and the variable table.
+#include <gtest/gtest.h>
+
+#include "query/pattern.h"
+
+namespace hexastore {
+namespace {
+
+TEST(VarTableTest, InternAssignsDenseIds) {
+  VarTable vars;
+  EXPECT_EQ(vars.Intern("x"), 0);
+  EXPECT_EQ(vars.Intern("y"), 1);
+  EXPECT_EQ(vars.Intern("x"), 0);
+  EXPECT_EQ(vars.size(), 2u);
+  EXPECT_EQ(vars.name(0), "x");
+  EXPECT_EQ(vars.name(1), "y");
+}
+
+TEST(VarTableTest, LookupUnknown) {
+  VarTable vars;
+  EXPECT_EQ(vars.Lookup("nope"), kNoVar);
+}
+
+TEST(PatternTermTest, BoundVsVariable) {
+  PatternTerm bound = PatternTerm::Bound(Term::Iri("a"));
+  EXPECT_FALSE(bound.is_var());
+  EXPECT_EQ(bound.term(), Term::Iri("a"));
+
+  PatternTerm var = PatternTerm::Variable("x");
+  EXPECT_TRUE(var.is_var());
+  EXPECT_EQ(var.var(), "x");
+}
+
+TEST(CompileBgpTest, CompilesConstantsAndVars) {
+  Dictionary dict;
+  Id a = dict.Intern(Term::Iri("a"));
+  Id p = dict.Intern(Term::Iri("p"));
+
+  std::vector<TriplePattern> patterns = {
+      {PatternTerm::Bound(Term::Iri("a")), PatternTerm::Bound(Term::Iri("p")),
+       PatternTerm::Variable("x")},
+      {PatternTerm::Variable("x"), PatternTerm::Bound(Term::Iri("p")),
+       PatternTerm::Variable("y")},
+  };
+  CompiledBgp bgp = CompileBgp(patterns, dict);
+  EXPECT_FALSE(bgp.trivially_empty);
+  ASSERT_EQ(bgp.patterns.size(), 2u);
+  EXPECT_EQ(bgp.patterns[0].s.id, a);
+  EXPECT_EQ(bgp.patterns[0].p.id, p);
+  EXPECT_TRUE(bgp.patterns[0].o.is_var());
+  // Shared variable gets the same VarId in both patterns.
+  EXPECT_EQ(bgp.patterns[0].o.var, bgp.patterns[1].s.var);
+  EXPECT_NE(bgp.patterns[1].s.var, bgp.patterns[1].o.var);
+  EXPECT_EQ(bgp.vars.size(), 2u);
+  EXPECT_EQ(bgp.patterns[0].bound_count(), 2);
+  EXPECT_EQ(bgp.patterns[1].bound_count(), 1);
+}
+
+TEST(CompileBgpTest, UnknownConstantMarksTriviallyEmpty) {
+  Dictionary dict;
+  dict.Intern(Term::Iri("known"));
+  std::vector<TriplePattern> patterns = {
+      {PatternTerm::Bound(Term::Iri("unknown")),
+       PatternTerm::Variable("p"), PatternTerm::Variable("o")},
+  };
+  CompiledBgp bgp = CompileBgp(patterns, dict);
+  EXPECT_TRUE(bgp.trivially_empty);
+}
+
+}  // namespace
+}  // namespace hexastore

@@ -1,0 +1,186 @@
+// Unit tests for the RDF term/triple model and the N-Triples parser.
+#include <gtest/gtest.h>
+
+#include "rdf/ntriples.h"
+#include "rdf/term.h"
+#include "rdf/triple.h"
+
+namespace hexastore {
+namespace {
+
+TEST(TermTest, IriBasics) {
+  Term t = Term::Iri("http://example.org/a");
+  EXPECT_TRUE(t.is_iri());
+  EXPECT_FALSE(t.is_literal());
+  EXPECT_FALSE(t.is_blank());
+  EXPECT_EQ(t.value(), "http://example.org/a");
+  EXPECT_EQ(t.ToNTriples(), "<http://example.org/a>");
+}
+
+TEST(TermTest, PlainLiteral) {
+  Term t = Term::Literal("hello");
+  EXPECT_TRUE(t.is_literal());
+  EXPECT_EQ(t.ToNTriples(), "\"hello\"");
+  EXPECT_TRUE(t.language().empty());
+  EXPECT_TRUE(t.datatype().empty());
+}
+
+TEST(TermTest, LangLiteral) {
+  Term t = Term::LangLiteral("bonjour", "fr");
+  EXPECT_EQ(t.language(), "fr");
+  EXPECT_TRUE(t.datatype().empty());
+  EXPECT_EQ(t.ToNTriples(), "\"bonjour\"@fr");
+}
+
+TEST(TermTest, TypedLiteral) {
+  Term t = Term::TypedLiteral("42",
+                              "http://www.w3.org/2001/XMLSchema#integer");
+  EXPECT_EQ(t.datatype(), "http://www.w3.org/2001/XMLSchema#integer");
+  EXPECT_TRUE(t.language().empty());
+  EXPECT_EQ(t.ToNTriples(),
+            "\"42\"^^<http://www.w3.org/2001/XMLSchema#integer>");
+}
+
+TEST(TermTest, BlankNode) {
+  Term t = Term::Blank("b0");
+  EXPECT_TRUE(t.is_blank());
+  EXPECT_EQ(t.ToNTriples(), "_:b0");
+}
+
+TEST(TermTest, LiteralEscaping) {
+  Term t = Term::Literal("he said \"hi\"\nbye\\");
+  EXPECT_EQ(t.ToNTriples(), "\"he said \\\"hi\\\"\\nbye\\\\\"");
+}
+
+TEST(TermTest, EqualityDistinguishesKind) {
+  EXPECT_NE(Term::Iri("a"), Term::Literal("a"));
+  EXPECT_NE(Term::Literal("a"), Term::Blank("a"));
+  EXPECT_EQ(Term::Iri("a"), Term::Iri("a"));
+}
+
+TEST(TermTest, EqualityDistinguishesQualifier) {
+  EXPECT_NE(Term::Literal("a"), Term::LangLiteral("a", "en"));
+  EXPECT_NE(Term::LangLiteral("a", "en"), Term::LangLiteral("a", "de"));
+  EXPECT_NE(Term::TypedLiteral("a", "t1"), Term::TypedLiteral("a", "t2"));
+  // A language tag and an identically-spelled datatype are different.
+  EXPECT_NE(Term::LangLiteral("a", "x"), Term::TypedLiteral("a", "x"));
+}
+
+TEST(TermTest, OrderingIsTotal) {
+  Term a = Term::Iri("a");
+  Term b = Term::Iri("b");
+  EXPECT_LT(a, b);
+  EXPECT_LT(Term::Iri("z"), Term::Literal("a"));  // kind dominates
+}
+
+TEST(TripleTest, ToNTriples) {
+  Triple t{Term::Iri("s"), Term::Iri("p"), Term::Literal("o")};
+  EXPECT_EQ(t.ToNTriples(), "<s> <p> \"o\" .");
+}
+
+TEST(IdPatternTest, BoundCountAndMatches) {
+  IdPattern all;
+  EXPECT_EQ(all.bound_count(), 0);
+  EXPECT_TRUE(all.Matches(IdTriple{1, 2, 3}));
+
+  IdPattern sp{1, 2, kInvalidId};
+  EXPECT_EQ(sp.bound_count(), 2);
+  EXPECT_TRUE(sp.Matches(IdTriple{1, 2, 99}));
+  EXPECT_FALSE(sp.Matches(IdTriple{1, 3, 99}));
+}
+
+TEST(NTriplesParseTest, SimpleTriple) {
+  auto r = ParseNTriplesLine("<s> <p> <o> .");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().subject, Term::Iri("s"));
+  EXPECT_EQ(r.value().predicate, Term::Iri("p"));
+  EXPECT_EQ(r.value().object, Term::Iri("o"));
+}
+
+TEST(NTriplesParseTest, LiteralObject) {
+  auto r = ParseNTriplesLine("<s> <p> \"hello world\" .");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().object, Term::Literal("hello world"));
+}
+
+TEST(NTriplesParseTest, LangAndTypedLiterals) {
+  auto r1 = ParseNTriplesLine("<s> <p> \"bonjour\"@fr .");
+  ASSERT_TRUE(r1.ok());
+  EXPECT_EQ(r1.value().object, Term::LangLiteral("bonjour", "fr"));
+
+  auto r2 = ParseNTriplesLine(
+      "<s> <p> \"42\"^^<http://www.w3.org/2001/XMLSchema#integer> .");
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2.value().object,
+            Term::TypedLiteral("42",
+                               "http://www.w3.org/2001/XMLSchema#integer"));
+}
+
+TEST(NTriplesParseTest, BlankNodes) {
+  auto r = ParseNTriplesLine("_:a <p> _:b .");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().subject, Term::Blank("a"));
+  EXPECT_EQ(r.value().object, Term::Blank("b"));
+}
+
+TEST(NTriplesParseTest, EscapedLiteral) {
+  auto r = ParseNTriplesLine("<s> <p> \"a\\\"b\\nc\" .");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().object.value(), "a\"b\nc");
+}
+
+TEST(NTriplesParseTest, RejectsMalformed) {
+  EXPECT_FALSE(ParseNTriplesLine("<s> <p> <o>").ok());      // no dot
+  EXPECT_FALSE(ParseNTriplesLine("<s> <p> .").ok());        // missing term
+  EXPECT_FALSE(ParseNTriplesLine("\"s\" <p> <o> .").ok());  // literal subj
+  EXPECT_FALSE(ParseNTriplesLine("<s> \"p\" <o> .").ok());  // literal pred
+  EXPECT_FALSE(ParseNTriplesLine("<s> _:p <o> .").ok());    // blank pred
+  EXPECT_FALSE(ParseNTriplesLine("<s <p> <o> .").ok());     // bad IRI
+  EXPECT_FALSE(ParseNTriplesLine("<s> <p> \"o .").ok());    // open quote
+  EXPECT_FALSE(ParseNTriplesLine("<s> <p> <o> . extra").ok());
+}
+
+TEST(NTriplesParseTest, DocumentWithCommentsAndBlanks) {
+  const char* doc =
+      "# a comment\n"
+      "<a> <p> <b> .\n"
+      "\n"
+      "   # indented comment\n"
+      "<b> <p> \"x\" .\n";
+  auto r = ParseNTriplesDocument(doc);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().size(), 2u);
+}
+
+TEST(NTriplesParseTest, StrictModeReportsLine) {
+  auto r = ParseNTriplesDocument("<a> <p> <b> .\nbogus line\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(NTriplesParseTest, LenientModeSkips) {
+  std::size_t skipped = 0;
+  auto r = ParseNTriplesDocument("<a> <p> <b> .\nbogus\n<c> <p> <d> .\n",
+                                 /*strict=*/false, &skipped);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().size(), 2u);
+  EXPECT_EQ(skipped, 1u);
+}
+
+TEST(NTriplesRoundTripTest, SerializeParse) {
+  std::vector<Triple> triples = {
+      {Term::Iri("http://x/s"), Term::Iri("http://x/p"),
+       Term::LangLiteral("hi \"there\"", "en")},
+      {Term::Blank("n1"), Term::Iri("http://x/q"),
+       Term::TypedLiteral("3.14", "http://x/decimal")},
+      {Term::Iri("http://x/s2"), Term::Iri("http://x/p"),
+       Term::Literal("tab\there")},
+  };
+  std::string text = ToNTriplesString(triples);
+  auto parsed = ParseNTriplesDocument(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed.value(), triples);
+}
+
+}  // namespace
+}  // namespace hexastore

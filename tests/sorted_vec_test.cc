@@ -1,0 +1,164 @@
+// Unit and property tests for sorted id-vector operations, the building
+// block of every Hexastore index.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "index/sorted_vec.h"
+#include "util/rng.h"
+
+namespace hexastore {
+namespace {
+
+TEST(SortedVecTest, InsertKeepsOrder) {
+  IdVec v;
+  EXPECT_TRUE(SortedInsert(&v, 5));
+  EXPECT_TRUE(SortedInsert(&v, 1));
+  EXPECT_TRUE(SortedInsert(&v, 3));
+  EXPECT_EQ(v, (IdVec{1, 3, 5}));
+}
+
+TEST(SortedVecTest, InsertRejectsDuplicate) {
+  IdVec v{1, 3};
+  EXPECT_FALSE(SortedInsert(&v, 3));
+  EXPECT_EQ(v, (IdVec{1, 3}));
+}
+
+TEST(SortedVecTest, EraseExistingAndMissing) {
+  IdVec v{1, 2, 3};
+  EXPECT_TRUE(SortedErase(&v, 2));
+  EXPECT_EQ(v, (IdVec{1, 3}));
+  EXPECT_FALSE(SortedErase(&v, 2));
+  EXPECT_FALSE(SortedErase(&v, 99));
+}
+
+TEST(SortedVecTest, Contains) {
+  IdVec v{2, 4, 6};
+  EXPECT_TRUE(SortedContains(v, 4));
+  EXPECT_FALSE(SortedContains(v, 5));
+  EXPECT_FALSE(SortedContains({}, 1));
+}
+
+TEST(SortedVecTest, SortUnique) {
+  IdVec v{5, 1, 5, 3, 1};
+  SortUnique(&v);
+  EXPECT_EQ(v, (IdVec{1, 3, 5}));
+}
+
+TEST(SortedVecTest, GallopLowerBound) {
+  IdVec v{1, 3, 5, 7, 9, 11, 13};
+  EXPECT_EQ(GallopLowerBound(v, 0, 5), 2u);
+  EXPECT_EQ(GallopLowerBound(v, 0, 6), 3u);
+  EXPECT_EQ(GallopLowerBound(v, 0, 0), 0u);
+  EXPECT_EQ(GallopLowerBound(v, 0, 14), v.size());
+  // Starting mid-way.
+  EXPECT_EQ(GallopLowerBound(v, 3, 9), 4u);
+  // Start already past the target: returns start.
+  EXPECT_EQ(GallopLowerBound(v, 5, 3), 5u);
+}
+
+TEST(SortedVecTest, IntersectBasic) {
+  EXPECT_EQ(Intersect({1, 2, 3}, {2, 3, 4}), (IdVec{2, 3}));
+  EXPECT_EQ(Intersect({1, 2}, {3, 4}), IdVec{});
+  EXPECT_EQ(Intersect({}, {1}), IdVec{});
+}
+
+TEST(SortedVecTest, UnionBasic) {
+  EXPECT_EQ(Union({1, 3}, {2, 3, 4}), (IdVec{1, 2, 3, 4}));
+  EXPECT_EQ(Union({}, {}), IdVec{});
+}
+
+TEST(SortedVecTest, DifferenceBasic) {
+  EXPECT_EQ(Difference({1, 2, 3}, {2}), (IdVec{1, 3}));
+  EXPECT_EQ(Difference({1}, {1}), IdVec{});
+}
+
+TEST(SortedVecTest, MergeJoinEmitsCommon) {
+  IdVec seen;
+  MergeJoin({1, 2, 5, 9}, {2, 3, 5, 10}, [&](Id id) { seen.push_back(id); });
+  EXPECT_EQ(seen, (IdVec{2, 5}));
+}
+
+TEST(SortedVecTest, IsStrictlySorted) {
+  EXPECT_TRUE(IsStrictlySorted({}));
+  EXPECT_TRUE(IsStrictlySorted({1}));
+  EXPECT_TRUE(IsStrictlySorted({1, 2, 9}));
+  EXPECT_FALSE(IsStrictlySorted({1, 1}));
+  EXPECT_FALSE(IsStrictlySorted({2, 1}));
+}
+
+// ---- Property tests (randomized, cross-checked against std::set) --------
+
+class SortedVecPropertyTest : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(SortedVecPropertyTest, InsertEraseMatchesSet) {
+  Rng rng(GetParam());
+  IdVec vec;
+  std::set<Id> ref;
+  for (int i = 0; i < 2000; ++i) {
+    Id id = 1 + rng.Uniform(200);
+    if (rng.Bernoulli(0.6)) {
+      EXPECT_EQ(SortedInsert(&vec, id), ref.insert(id).second);
+    } else {
+      EXPECT_EQ(SortedErase(&vec, id), ref.erase(id) > 0);
+    }
+    ASSERT_TRUE(IsStrictlySorted(vec));
+  }
+  EXPECT_EQ(vec, IdVec(ref.begin(), ref.end()));
+}
+
+TEST_P(SortedVecPropertyTest, SetAlgebraMatchesStd) {
+  Rng rng(GetParam() ^ 0xabcdef);
+  auto random_sorted = [&rng]() {
+    IdVec v;
+    const std::uint64_t n = rng.Uniform(100);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      v.push_back(1 + rng.Uniform(150));
+    }
+    SortUnique(&v);
+    return v;
+  };
+  for (int round = 0; round < 50; ++round) {
+    IdVec a = random_sorted();
+    IdVec b = random_sorted();
+
+    IdVec expect_i;
+    std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                          std::back_inserter(expect_i));
+    EXPECT_EQ(Intersect(a, b), expect_i);
+    EXPECT_EQ(IntersectGalloping(a, b), expect_i);
+
+    IdVec expect_u;
+    std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                   std::back_inserter(expect_u));
+    EXPECT_EQ(Union(a, b), expect_u);
+
+    IdVec expect_d;
+    std::set_difference(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(expect_d));
+    EXPECT_EQ(Difference(a, b), expect_d);
+  }
+}
+
+TEST_P(SortedVecPropertyTest, GallopAgreesWithLowerBound) {
+  Rng rng(GetParam() ^ 0x123456);
+  IdVec v;
+  for (int i = 0; i < 500; ++i) {
+    v.push_back(1 + rng.Uniform(5000));
+  }
+  SortUnique(&v);
+  for (int i = 0; i < 500; ++i) {
+    Id target = rng.Uniform(5200);
+    std::size_t expect = static_cast<std::size_t>(
+        std::lower_bound(v.begin(), v.end(), target) - v.begin());
+    EXPECT_EQ(GallopLowerBound(v, 0, target), expect);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SortedVecPropertyTest,
+                         ::testing::Values(1, 7, 42, 1234, 99999));
+
+}  // namespace
+}  // namespace hexastore

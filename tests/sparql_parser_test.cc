@@ -1,0 +1,132 @@
+// Unit tests for the SPARQL-subset parser.
+#include <gtest/gtest.h>
+
+#include "query/sparql_parser.h"
+
+namespace hexastore {
+namespace {
+
+TEST(SparqlParserTest, MinimalQuery) {
+  auto r = ParseSparql("SELECT ?s WHERE { ?s <http://x/p> ?o }");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const ParsedQuery& q = r.value();
+  EXPECT_FALSE(q.distinct);
+  EXPECT_EQ(q.select_vars, (std::vector<std::string>{"s"}));
+  ASSERT_EQ(q.patterns.size(), 1u);
+  EXPECT_TRUE(q.patterns[0].s.is_var());
+  EXPECT_EQ(q.patterns[0].s.var(), "s");
+  EXPECT_FALSE(q.patterns[0].p.is_var());
+  EXPECT_EQ(q.patterns[0].p.term(), Term::Iri("http://x/p"));
+  EXPECT_TRUE(q.patterns[0].o.is_var());
+}
+
+TEST(SparqlParserTest, SelectStar) {
+  auto r = ParseSparql("SELECT * WHERE { ?s ?p ?o }");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value().select_vars.empty());
+}
+
+TEST(SparqlParserTest, MultiplePatternsWithDots) {
+  auto r = ParseSparql(
+      "SELECT ?a ?b WHERE { ?a <p> ?x . ?x <q> ?b . ?b <r> \"v\" }");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().patterns.size(), 3u);
+}
+
+TEST(SparqlParserTest, PrefixedNames) {
+  auto r = ParseSparql(
+      "PREFIX foaf: <http://xmlns.com/foaf/0.1/>\n"
+      "SELECT ?n WHERE { ?s foaf:name ?n }");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().patterns[0].p.term(),
+            Term::Iri("http://xmlns.com/foaf/0.1/name"));
+}
+
+TEST(SparqlParserTest, UndeclaredPrefixFails) {
+  auto r = ParseSparql("SELECT ?s WHERE { ?s foaf:name ?n }");
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("foaf"), std::string::npos);
+}
+
+TEST(SparqlParserTest, KeywordA) {
+  auto r = ParseSparql("SELECT ?s WHERE { ?s a <http://x/Person> }");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().patterns[0].p.term(), Term::Iri(kRdfTypeIri));
+}
+
+TEST(SparqlParserTest, Literals) {
+  auto r = ParseSparql(
+      "SELECT ?s WHERE { ?s <p> \"plain\" . ?s <q> \"tagged\"@en . "
+      "?s <r> \"7\"^^<http://x/int> . ?s <t> 42 }");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const auto& ps = r.value().patterns;
+  EXPECT_EQ(ps[0].o.term(), Term::Literal("plain"));
+  EXPECT_EQ(ps[1].o.term(), Term::LangLiteral("tagged", "en"));
+  EXPECT_EQ(ps[2].o.term(), Term::TypedLiteral("7", "http://x/int"));
+  EXPECT_EQ(ps[3].o.term(),
+            Term::TypedLiteral(
+                "42", "http://www.w3.org/2001/XMLSchema#integer"));
+}
+
+TEST(SparqlParserTest, DistinctOrderLimit) {
+  auto r = ParseSparql(
+      "SELECT DISTINCT ?s WHERE { ?s ?p ?o } ORDER BY ?s LIMIT 10");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(r.value().distinct);
+  EXPECT_EQ(r.value().order_by, (std::vector<std::string>{"s"}));
+  ASSERT_TRUE(r.value().limit.has_value());
+  EXPECT_EQ(*r.value().limit, 10u);
+}
+
+TEST(SparqlParserTest, FilterComparisons) {
+  auto r = ParseSparql(
+      "SELECT ?s WHERE { ?s <p> ?o . FILTER(?o != \"x\") . "
+      "FILTER(?s = ?o) FILTER(?o < \"zzz\") }");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const auto& fs = r.value().filters;
+  ASSERT_EQ(fs.size(), 3u);
+  EXPECT_EQ(fs[0].op, FilterOp::kNe);
+  EXPECT_TRUE(fs[0].lhs.is_var);
+  EXPECT_FALSE(fs[0].rhs.is_var);
+  EXPECT_EQ(fs[1].op, FilterOp::kEq);
+  EXPECT_TRUE(fs[1].rhs.is_var);
+  EXPECT_EQ(fs[2].op, FilterOp::kLt);
+}
+
+TEST(SparqlParserTest, CaseInsensitiveKeywords) {
+  auto r = ParseSparql("select distinct ?s where { ?s ?p ?o } limit 5");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(r.value().distinct);
+}
+
+TEST(SparqlParserTest, CommentsAreSkipped) {
+  auto r = ParseSparql(
+      "# leading comment\nSELECT ?s # trailing\nWHERE { ?s ?p ?o }");
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+}
+
+TEST(SparqlParserTest, Errors) {
+  EXPECT_FALSE(ParseSparql("").ok());
+  EXPECT_FALSE(ParseSparql("WHERE { ?s ?p ?o }").ok());        // no SELECT
+  EXPECT_FALSE(ParseSparql("SELECT WHERE { ?s ?p ?o }").ok()); // no vars
+  EXPECT_FALSE(ParseSparql("SELECT ?s { ?s ?p ?o }").ok());    // no WHERE
+  EXPECT_FALSE(ParseSparql("SELECT ?s WHERE { ?s ?p }").ok()); // bad triple
+  EXPECT_FALSE(ParseSparql("SELECT ?s WHERE { ?s ?p ?o ").ok());
+  EXPECT_FALSE(ParseSparql("SELECT ?s WHERE { }").ok());       // empty BGP
+  EXPECT_FALSE(ParseSparql("SELECT ?s WHERE { ?s ?p ?o } LIMIT x").ok());
+  EXPECT_FALSE(
+      ParseSparql("SELECT ?s WHERE { ?s \"lit\" ?o }").ok());  // literal pred
+  EXPECT_FALSE(ParseSparql("SELECT ?s WHERE { ?s ?p ?o } garbage").ok());
+}
+
+TEST(SparqlParserTest, FilterLessThanDoesNotEatIri) {
+  // '<' as comparison must coexist with IRIs.
+  auto r = ParseSparql(
+      "SELECT ?s WHERE { ?s <http://x/p> ?o . FILTER(?o < ?s) }");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().patterns[0].p.term(), Term::Iri("http://x/p"));
+  EXPECT_EQ(r.value().filters[0].op, FilterOp::kLt);
+}
+
+}  // namespace
+}  // namespace hexastore

@@ -1,0 +1,121 @@
+// Cross-checks SPARQL formulations of the paper's benchmark queries
+// against the hand-planned workload implementations: the declarative and
+// the physical plans must agree.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/graph.h"
+#include "data/lubm_generator.h"
+#include "query/sparql_engine.h"
+#include "workload/lubm_queries.h"
+
+namespace hexastore {
+namespace {
+
+class SparqlWorkloadTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    graph_.BulkLoad(data::LubmGenerator().Generate(30000));
+    ids_ = workload::LubmIds::Resolve(graph_.dict());
+  }
+
+  ResultSet Run(const std::string& query) {
+    auto r = RunSparql(graph_.store(), graph_.dict(), query);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return r.ok() ? std::move(r).value() : ResultSet{};
+  }
+
+  Graph graph_;
+  workload::LubmIds ids_;
+};
+
+TEST_F(SparqlWorkloadTest, Lq1AsSparql) {
+  // LQ1: everyone related to Course10 (non-property-bound).
+  ASSERT_NE(ids_.course10, kInvalidId);
+  const std::string course_uri =
+      graph_.dict().term(ids_.course10).value();
+  ResultSet r = Run("SELECT ?s ?p WHERE { ?s ?p <" + course_uri + "> }");
+  workload::SubjectPredRows got;
+  VarId s = r.Column("s");
+  VarId p = r.Column("p");
+  for (const Row& row : r.rows) {
+    got.emplace_back(row[static_cast<std::size_t>(s)],
+                     row[static_cast<std::size_t>(p)]);
+  }
+  std::sort(got.begin(), got.end());
+  got.erase(std::unique(got.begin(), got.end()), got.end());
+  EXPECT_EQ(got, workload::LubmRelatedToHexa(graph_.store(),
+                                             ids_.course10));
+}
+
+TEST_F(SparqlWorkloadTest, Lq3SubjectSideAsSparql) {
+  // The subject half of LQ3: all statements about AP10 as subject.
+  ASSERT_NE(ids_.assoc_prof10, kInvalidId);
+  const std::string prof_uri =
+      graph_.dict().term(ids_.assoc_prof10).value();
+  ResultSet r = Run("SELECT ?p ?o WHERE { <" + prof_uri + "> ?p ?o }");
+  IdTripleVec got;
+  VarId p = r.Column("p");
+  VarId o = r.Column("o");
+  for (const Row& row : r.rows) {
+    got.push_back(IdTriple{ids_.assoc_prof10,
+                           row[static_cast<std::size_t>(p)],
+                           row[static_cast<std::size_t>(o)]});
+  }
+  std::sort(got.begin(), got.end());
+
+  IdTripleVec expect;
+  for (const IdTriple& t :
+       workload::LubmQ3Hexa(graph_.store(), ids_.assoc_prof10)) {
+    if (t.s == ids_.assoc_prof10) {
+      expect.push_back(t);
+    }
+  }
+  // LQ3 also returns object-side rows; keep only the subject side and
+  // dedupe (a reflexive triple would appear once in each).
+  std::sort(expect.begin(), expect.end());
+  expect.erase(std::unique(expect.begin(), expect.end()), expect.end());
+  EXPECT_EQ(got, expect);
+}
+
+TEST_F(SparqlWorkloadTest, Lq4GroupCountsAsSparql) {
+  // LQ4's aggregate shape: per-course count of related people for the
+  // courses AP10 teaches.
+  ASSERT_NE(ids_.assoc_prof10, kInvalidId);
+  const std::string prof_uri =
+      graph_.dict().term(ids_.assoc_prof10).value();
+  ResultSet r = Run(
+      "PREFIX ub: <http://swat.cse.lehigh.edu/onto/univ-bench.owl#>\n"
+      "SELECT ?course (COUNT(*) AS ?n) WHERE { <" +
+      prof_uri +
+      "> ub:teacherOf ?course . ?x ?rel ?course } GROUP BY ?course "
+      "ORDER BY ?course");
+  workload::GroupedRows groups =
+      workload::LubmQ4Hexa(graph_.store(), ids_);
+  ASSERT_EQ(r.rows.size(), groups.size());
+  for (std::size_t i = 0; i < groups.size(); ++i) {
+    EXPECT_EQ(r.rows[i][0], groups[i].first);
+    EXPECT_EQ(r.rows[i][1], groups[i].second.size());
+  }
+}
+
+TEST_F(SparqlWorkloadTest, FigureOneSecondQueryAsSparql) {
+  // The paper's Figure 1(b) second query shape over LUBM data: who has
+  // the same relationship to some university as AP10 has to another.
+  ASSERT_NE(ids_.assoc_prof10, kInvalidId);
+  const std::string prof_uri =
+      graph_.dict().term(ids_.assoc_prof10).value();
+  ResultSet r = Run(
+      "SELECT DISTINCT ?who ?rel WHERE { <" + prof_uri +
+      "> ?rel ?u1 . ?who ?rel ?u2 . FILTER(?who != <" + prof_uri +
+      ">) }");
+  // Sanity: results exist and every binding really shares the relation.
+  for (const Row& row : r.rows) {
+    EXPECT_NE(row[0], ids_.assoc_prof10);
+  }
+  EXPECT_FALSE(r.rows.empty());
+}
+
+}  // namespace
+}  // namespace hexastore

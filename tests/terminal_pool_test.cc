@@ -1,0 +1,123 @@
+// Unit tests for the shared terminal-list pool.
+#include <gtest/gtest.h>
+
+#include "index/terminal_pool.h"
+
+namespace hexastore {
+namespace {
+
+TEST(TerminalPoolTest, InsertAndFind) {
+  TerminalListPool pool;
+  EXPECT_TRUE(pool.Insert(ListFamily::kObjects, 1, 2, 3));
+  const IdVec* list = pool.Find(ListFamily::kObjects, 1, 2);
+  ASSERT_NE(list, nullptr);
+  EXPECT_EQ(*list, (IdVec{3}));
+}
+
+TEST(TerminalPoolTest, InsertRejectsDuplicate) {
+  TerminalListPool pool;
+  EXPECT_TRUE(pool.Insert(ListFamily::kObjects, 1, 2, 3));
+  EXPECT_FALSE(pool.Insert(ListFamily::kObjects, 1, 2, 3));
+  EXPECT_EQ(pool.Find(ListFamily::kObjects, 1, 2)->size(), 1u);
+}
+
+TEST(TerminalPoolTest, FamiliesAreIndependent) {
+  TerminalListPool pool;
+  pool.Insert(ListFamily::kObjects, 1, 2, 3);
+  EXPECT_EQ(pool.Find(ListFamily::kPredicates, 1, 2), nullptr);
+  EXPECT_EQ(pool.Find(ListFamily::kSubjects, 1, 2), nullptr);
+  pool.Insert(ListFamily::kPredicates, 1, 2, 7);
+  EXPECT_EQ(*pool.Find(ListFamily::kPredicates, 1, 2), (IdVec{7}));
+  EXPECT_EQ(*pool.Find(ListFamily::kObjects, 1, 2), (IdVec{3}));
+}
+
+TEST(TerminalPoolTest, KeyOrderMatters) {
+  TerminalListPool pool;
+  pool.Insert(ListFamily::kObjects, 1, 2, 3);
+  EXPECT_EQ(pool.Find(ListFamily::kObjects, 2, 1), nullptr);
+}
+
+TEST(TerminalPoolTest, ListsStaySorted) {
+  TerminalListPool pool;
+  pool.Insert(ListFamily::kSubjects, 5, 6, 30);
+  pool.Insert(ListFamily::kSubjects, 5, 6, 10);
+  pool.Insert(ListFamily::kSubjects, 5, 6, 20);
+  EXPECT_EQ(*pool.Find(ListFamily::kSubjects, 5, 6), (IdVec{10, 20, 30}));
+}
+
+TEST(TerminalPoolTest, EraseDropsEmptyList) {
+  TerminalListPool pool;
+  pool.Insert(ListFamily::kObjects, 1, 2, 3);
+  pool.Insert(ListFamily::kObjects, 1, 2, 4);
+  EXPECT_TRUE(pool.Erase(ListFamily::kObjects, 1, 2, 3));
+  EXPECT_NE(pool.Find(ListFamily::kObjects, 1, 2), nullptr);
+  EXPECT_TRUE(pool.Erase(ListFamily::kObjects, 1, 2, 4));
+  EXPECT_EQ(pool.Find(ListFamily::kObjects, 1, 2), nullptr);
+  EXPECT_EQ(pool.ListCount(ListFamily::kObjects), 0u);
+}
+
+TEST(TerminalPoolTest, EraseMissingReturnsFalse) {
+  TerminalListPool pool;
+  EXPECT_FALSE(pool.Erase(ListFamily::kObjects, 1, 2, 3));
+  pool.Insert(ListFamily::kObjects, 1, 2, 3);
+  EXPECT_FALSE(pool.Erase(ListFamily::kObjects, 1, 2, 99));
+  EXPECT_FALSE(pool.Erase(ListFamily::kObjects, 9, 9, 3));
+}
+
+TEST(TerminalPoolTest, ContainsChecksThird) {
+  TerminalListPool pool;
+  pool.Insert(ListFamily::kPredicates, 1, 2, 3);
+  EXPECT_TRUE(pool.Contains(ListFamily::kPredicates, 1, 2, 3));
+  EXPECT_FALSE(pool.Contains(ListFamily::kPredicates, 1, 2, 4));
+  EXPECT_FALSE(pool.Contains(ListFamily::kPredicates, 1, 3, 3));
+}
+
+TEST(TerminalPoolTest, Counts) {
+  TerminalListPool pool;
+  pool.Insert(ListFamily::kObjects, 1, 2, 3);
+  pool.Insert(ListFamily::kObjects, 1, 2, 4);
+  pool.Insert(ListFamily::kObjects, 5, 6, 7);
+  EXPECT_EQ(pool.ListCount(ListFamily::kObjects), 2u);
+  EXPECT_EQ(pool.EntryCount(ListFamily::kObjects), 3u);
+  EXPECT_EQ(pool.EntryCount(ListFamily::kSubjects), 0u);
+}
+
+TEST(TerminalPoolTest, ClearRemovesEverything) {
+  TerminalListPool pool;
+  pool.Insert(ListFamily::kObjects, 1, 2, 3);
+  pool.Insert(ListFamily::kSubjects, 1, 2, 3);
+  pool.Clear();
+  EXPECT_EQ(pool.ListCount(ListFamily::kObjects), 0u);
+  EXPECT_EQ(pool.ListCount(ListFamily::kSubjects), 0u);
+}
+
+TEST(TerminalPoolTest, GetOrCreateThenSortUniqueAll) {
+  TerminalListPool pool;
+  IdVec* list = pool.GetOrCreate(ListFamily::kObjects, 1, 2);
+  list->push_back(9);
+  list->push_back(3);
+  list->push_back(9);
+  pool.SortUniqueAll();
+  EXPECT_EQ(*pool.Find(ListFamily::kObjects, 1, 2), (IdVec{3, 9}));
+}
+
+TEST(TerminalPoolTest, MemoryBytesGrow) {
+  TerminalListPool pool;
+  std::size_t before = pool.MemoryBytes();
+  for (Id i = 1; i <= 100; ++i) {
+    pool.Insert(ListFamily::kObjects, i, i + 1, i + 2);
+  }
+  EXPECT_GT(pool.MemoryBytes(), before);
+  EXPECT_EQ(pool.MemoryBytes(),
+            pool.MemoryBytes(ListFamily::kObjects) +
+                pool.MemoryBytes(ListFamily::kPredicates) +
+                pool.MemoryBytes(ListFamily::kSubjects));
+}
+
+TEST(IdPairHashTest, DistinguishesOrder) {
+  IdPairHash h;
+  EXPECT_NE(h(IdPair{1, 2}), h(IdPair{2, 1}));
+}
+
+}  // namespace
+}  // namespace hexastore

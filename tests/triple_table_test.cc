@@ -1,0 +1,66 @@
+// Unit tests for the conventional triples-table store (the oracle).
+#include <gtest/gtest.h>
+
+#include "baseline/triple_table.h"
+
+namespace hexastore {
+namespace {
+
+TEST(TripleTableTest, InsertEraseContains) {
+  TripleTableStore store;
+  EXPECT_TRUE(store.Insert({1, 2, 3}));
+  EXPECT_FALSE(store.Insert({1, 2, 3}));
+  EXPECT_TRUE(store.Contains({1, 2, 3}));
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_TRUE(store.Erase({1, 2, 3}));
+  EXPECT_FALSE(store.Erase({1, 2, 3}));
+  EXPECT_EQ(store.size(), 0u);
+}
+
+TEST(TripleTableTest, ScanPatterns) {
+  TripleTableStore store;
+  store.Insert({1, 2, 3});
+  store.Insert({1, 2, 4});
+  store.Insert({1, 5, 3});
+  store.Insert({2, 2, 3});
+
+  EXPECT_EQ(store.Match(IdPattern{}).size(), 4u);
+  EXPECT_EQ(store.Match({1, kInvalidId, kInvalidId}).size(), 3u);
+  EXPECT_EQ(store.Match({1, 2, kInvalidId}).size(), 2u);
+  EXPECT_EQ(store.Match({kInvalidId, 2, 3}),
+            (IdTripleVec{{1, 2, 3}, {2, 2, 3}}));
+  EXPECT_EQ(store.Match({kInvalidId, kInvalidId, 4}),
+            (IdTripleVec{{1, 2, 4}}));
+  EXPECT_EQ(store.Match({1, 2, 3}), (IdTripleVec{{1, 2, 3}}));
+}
+
+TEST(TripleTableTest, SubjectRangeScanDoesNotMissBoundaries) {
+  TripleTableStore store;
+  // Neighbouring subjects must not leak into a subject-bound scan.
+  store.Insert({1, 9, 9});
+  store.Insert({2, 1, 1});
+  store.Insert({2, 9, 9});
+  store.Insert({3, 1, 1});
+  EXPECT_EQ(store.Match({2, kInvalidId, kInvalidId}),
+            (IdTripleVec{{2, 1, 1}, {2, 9, 9}}));
+}
+
+TEST(TripleTableTest, MemoryGrowsLinearly) {
+  TripleTableStore store;
+  for (Id i = 1; i <= 100; ++i) {
+    store.Insert({i, 1, i});
+  }
+  std::size_t m100 = store.MemoryBytes();
+  for (Id i = 101; i <= 200; ++i) {
+    store.Insert({i, 1, i});
+  }
+  EXPECT_NEAR(static_cast<double>(store.MemoryBytes()),
+              static_cast<double>(2 * m100), static_cast<double>(m100) / 10);
+}
+
+TEST(TripleTableTest, Name) {
+  EXPECT_EQ(TripleTableStore().name(), "TripleTable");
+}
+
+}  // namespace
+}  // namespace hexastore

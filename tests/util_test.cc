@@ -1,0 +1,233 @@
+// Unit tests for util: Status/Result, string helpers, deterministic RNG,
+// Zipf sampling, memory accounting.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "util/common.h"
+#include "util/memory_tracker.h"
+#include "util/rng.h"
+#include "util/status.h"
+#include "util/string_util.h"
+#include "util/zipf.h"
+
+namespace hexastore {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("missing thing");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "missing thing");
+  EXPECT_EQ(s.ToString(), "NotFound: missing thing");
+}
+
+TEST(StatusTest, FactoriesProduceDistinctCodes) {
+  EXPECT_EQ(Status::InvalidArgument("x").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::ParseError("x").code(), StatusCode::kParseError);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(r.value_or(-1), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::InvalidArgument("bad"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r(std::string("hello"));
+  std::string v = std::move(r).value();
+  EXPECT_EQ(v, "hello");
+}
+
+TEST(RoleTest, Names) {
+  EXPECT_STREQ(RoleName(Role::kSubject), "subject");
+  EXPECT_STREQ(RoleName(Role::kPredicate), "predicate");
+  EXPECT_STREQ(RoleName(Role::kObject), "object");
+}
+
+TEST(StringUtilTest, TrimWhitespace) {
+  EXPECT_EQ(TrimWhitespace("  a b  "), "a b");
+  EXPECT_EQ(TrimWhitespace(""), "");
+  EXPECT_EQ(TrimWhitespace(" \t\n "), "");
+  EXPECT_EQ(TrimWhitespace("x"), "x");
+}
+
+TEST(StringUtilTest, SplitString) {
+  auto parts = SplitString("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "c");
+}
+
+TEST(StringUtilTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("hexastore", "hexa"));
+  EXPECT_FALSE(StartsWith("hex", "hexa"));
+  EXPECT_TRUE(EndsWith("hexastore", "store"));
+  EXPECT_FALSE(EndsWith("ore", "store"));
+}
+
+TEST(StringUtilTest, EscapeRoundTrip) {
+  std::string raw = "line1\nline2\t\"quoted\" \\slash\r";
+  std::string escaped = EscapeNTriplesLiteral(raw);
+  EXPECT_EQ(escaped.find('\n'), std::string::npos);
+  EXPECT_EQ(UnescapeNTriplesLiteral(escaped), raw);
+}
+
+TEST(StringUtilTest, UnescapeKeepsUnknownEscapes) {
+  EXPECT_EQ(UnescapeNTriplesLiteral("a\\qb"), "a\\qb");
+}
+
+TEST(RngTest, DeterministicAcrossInstances) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) {
+      ++same;
+    }
+  }
+  EXPECT_LT(same, 4);
+}
+
+TEST(RngTest, UniformStaysInBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.Uniform(17), 17u);
+  }
+}
+
+TEST(RngTest, UniformRangeInclusive) {
+  Rng rng(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    std::uint64_t v = rng.UniformRange(5, 8);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 8u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 4u);  // all four values should appear
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(13);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, BernoulliRoughlyCalibrated) {
+  Rng rng(17);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.Bernoulli(0.3)) {
+      ++hits;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(ZipfTest, PmfSumsToOne) {
+  ZipfDistribution zipf(100, 1.2);
+  double total = 0;
+  for (std::size_t k = 0; k < zipf.size(); ++k) {
+    total += zipf.Pmf(k);
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(ZipfTest, RankZeroIsMostLikely) {
+  ZipfDistribution zipf(50, 1.0);
+  for (std::size_t k = 1; k < zipf.size(); ++k) {
+    EXPECT_GT(zipf.Pmf(0), zipf.Pmf(k));
+  }
+}
+
+TEST(ZipfTest, SamplingMatchesPmf) {
+  ZipfDistribution zipf(10, 1.0);
+  Rng rng(21);
+  std::vector<int> counts(10, 0);
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    ++counts[zipf.Sample(&rng)];
+  }
+  // Head rank should occur close to its mass.
+  EXPECT_NEAR(static_cast<double>(counts[0]) / n, zipf.Pmf(0), 0.02);
+  // Monotone decreasing counts (with slack for sampling noise).
+  EXPECT_GT(counts[0], counts[5]);
+  EXPECT_GT(counts[1], counts[9]);
+}
+
+TEST(ZipfTest, SamplesInRange) {
+  ZipfDistribution zipf(7, 2.0);
+  Rng rng(23);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(zipf.Sample(&rng), 7u);
+  }
+}
+
+TEST(MemoryTrackerTest, VectorHeapBytesTracksCapacity) {
+  std::vector<std::uint64_t> v;
+  EXPECT_EQ(VectorHeapBytes(v), 0u);
+  v.reserve(10);
+  EXPECT_EQ(VectorHeapBytes(v), 10 * sizeof(std::uint64_t));
+}
+
+TEST(MemoryTrackerTest, StringHeapBytesSso) {
+  std::string small = "short";
+  EXPECT_EQ(StringHeapBytes(small), 0u);
+  std::string big(100, 'x');
+  EXPECT_GE(StringHeapBytes(big), 100u);
+}
+
+TEST(MemoryTrackerTest, HashMapBytesGrowWithContent) {
+  std::unordered_map<int, int> m;
+  std::size_t empty = HashMapHeapBytes(m);
+  for (int i = 0; i < 100; ++i) {
+    m[i] = i;
+  }
+  EXPECT_GT(HashMapHeapBytes(m), empty);
+}
+
+}  // namespace
+}  // namespace hexastore

@@ -1,0 +1,129 @@
+// Unit tests for the vertical-partitioning baselines COVP1 and COVP2.
+#include <gtest/gtest.h>
+
+#include "baseline/vertical_store.h"
+
+namespace hexastore {
+namespace {
+
+TEST(VerticalStoreTest, NamesReflectVariant) {
+  EXPECT_EQ(VerticalStore(false).name(), "COVP1");
+  EXPECT_EQ(VerticalStore(true).name(), "COVP2");
+}
+
+TEST(VerticalStoreTest, InsertEraseContains) {
+  for (bool with_index : {false, true}) {
+    VerticalStore store(with_index);
+    EXPECT_TRUE(store.Insert({1, 2, 3}));
+    EXPECT_FALSE(store.Insert({1, 2, 3}));
+    EXPECT_TRUE(store.Contains({1, 2, 3}));
+    EXPECT_EQ(store.size(), 1u);
+    EXPECT_TRUE(store.Erase({1, 2, 3}));
+    EXPECT_FALSE(store.Contains({1, 2, 3}));
+    EXPECT_EQ(store.size(), 0u);
+    EXPECT_TRUE(store.Properties().empty());  // empty table dropped
+  }
+}
+
+TEST(VerticalStoreTest, PropertyTablesGroupObjectsPerSubject) {
+  VerticalStore store(true);
+  store.Insert({1, 7, 30});
+  store.Insert({1, 7, 10});
+  store.Insert({2, 7, 10});
+  store.Insert({1, 8, 10});
+
+  EXPECT_EQ(store.Properties(), (std::vector<Id>{7, 8}));
+  ASSERT_NE(store.subject_vector(7), nullptr);
+  EXPECT_EQ(*store.subject_vector(7), (IdVec{1, 2}));
+  EXPECT_EQ(*store.object_list(7, 1), (IdVec{10, 30}));
+  EXPECT_EQ(*store.object_list(7, 2), (IdVec{10}));
+  EXPECT_EQ(store.object_list(7, 3), nullptr);
+  EXPECT_EQ(store.object_list(9, 1), nullptr);
+}
+
+TEST(VerticalStoreTest, Covp2ObjectSideIndexes) {
+  VerticalStore store(true);
+  store.Insert({1, 7, 30});
+  store.Insert({2, 7, 30});
+  store.Insert({1, 7, 10});
+  ASSERT_NE(store.object_vector(7), nullptr);
+  EXPECT_EQ(*store.object_vector(7), (IdVec{10, 30}));
+  EXPECT_EQ(*store.subject_list(7, 30), (IdVec{1, 2}));
+}
+
+TEST(VerticalStoreTest, Covp1HasNoObjectIndex) {
+  VerticalStore store(false);
+  store.Insert({1, 7, 30});
+  EXPECT_EQ(store.object_vector(7), nullptr);
+  EXPECT_EQ(store.subject_list(7, 30), nullptr);
+  EXPECT_FALSE(store.with_object_index());
+}
+
+TEST(VerticalStoreTest, ScanPatternsBothVariants) {
+  for (bool with_index : {false, true}) {
+    VerticalStore store(with_index);
+    store.Insert({1, 2, 3});
+    store.Insert({1, 2, 4});
+    store.Insert({1, 5, 3});
+    store.Insert({2, 2, 3});
+
+    EXPECT_EQ(store.Match(IdPattern{}).size(), 4u);
+    EXPECT_EQ(store.Match({1, kInvalidId, kInvalidId}).size(), 3u);
+    EXPECT_EQ(store.Match({kInvalidId, 2, kInvalidId}).size(), 3u);
+    EXPECT_EQ(store.Match({kInvalidId, kInvalidId, 3}).size(), 3u);
+    EXPECT_EQ(store.Match({1, 2, kInvalidId}).size(), 2u);
+    EXPECT_EQ(store.Match({1, kInvalidId, 3}).size(), 2u);
+    EXPECT_EQ(store.Match({kInvalidId, 2, 3}),
+              (IdTripleVec{{1, 2, 3}, {2, 2, 3}}));
+    EXPECT_EQ(store.Match({1, 2, 3}), (IdTripleVec{{1, 2, 3}}));
+    EXPECT_TRUE(store.Match({9, 9, 9}).empty());
+  }
+}
+
+TEST(VerticalStoreTest, EraseCleansObjectSide) {
+  VerticalStore store(true);
+  store.Insert({1, 7, 30});
+  store.Insert({2, 7, 30});
+  store.Erase({1, 7, 30});
+  EXPECT_EQ(*store.subject_list(7, 30), (IdVec{2}));
+  store.Erase({2, 7, 30});
+  EXPECT_EQ(store.table(7), nullptr);  // empty table dropped
+}
+
+TEST(VerticalStoreTest, BulkLoadEqualsIncremental) {
+  IdTripleVec data = {{1, 7, 30}, {1, 7, 10}, {2, 7, 10}, {1, 8, 10},
+                      {3, 9, 1},  {1, 7, 30} /* dup */};
+  for (bool with_index : {false, true}) {
+    VerticalStore bulk(with_index);
+    bulk.BulkLoad(data);
+    VerticalStore inc(with_index);
+    for (const auto& t : data) {
+      inc.Insert(t);
+    }
+    EXPECT_EQ(bulk.size(), inc.size());
+    EXPECT_EQ(bulk.Match(IdPattern{}), inc.Match(IdPattern{}));
+    EXPECT_EQ(bulk.Properties(), inc.Properties());
+  }
+}
+
+TEST(VerticalStoreTest, Covp2UsesMoreMemoryThanCovp1) {
+  VerticalStore covp1(false);
+  VerticalStore covp2(true);
+  for (Id i = 1; i <= 500; ++i) {
+    IdTriple t{i % 50 + 1, i % 7 + 1, i};
+    covp1.Insert(t);
+    covp2.Insert(t);
+  }
+  EXPECT_GT(covp2.MemoryBytes(), covp1.MemoryBytes());
+}
+
+TEST(VerticalStoreTest, ClearResets) {
+  VerticalStore store(true);
+  store.Insert({1, 2, 3});
+  store.Clear();
+  EXPECT_EQ(store.size(), 0u);
+  EXPECT_TRUE(store.Properties().empty());
+}
+
+}  // namespace
+}  // namespace hexastore
