@@ -1,5 +1,7 @@
 #include "bench_common.h"
 
+#include <cerrno>
+#include <cstdio>
 #include <cstdlib>
 #include <map>
 #include <memory>
@@ -23,7 +25,19 @@ std::vector<std::size_t> SweepSizes() {
         start, comma == std::string::npos ? std::string::npos
                                           : comma - start);
     if (!tok.empty()) {
-      sizes.push_back(static_cast<std::size_t>(std::stoull(tok)));
+      char* end = nullptr;
+      errno = 0;
+      unsigned long long value = std::strtoull(tok.c_str(), &end, 10);
+      // strtoull wraps negatives and clamps overflow, so check both.
+      if (tok[0] == '-' || errno == ERANGE || end == tok.c_str() ||
+          *end != '\0' || value == 0) {
+        std::fprintf(stderr,
+                     "HEXA_BENCH_SIZES: bad size '%s' (expected "
+                     "comma-separated positive integers)\n",
+                     tok.c_str());
+        std::exit(2);
+      }
+      sizes.push_back(static_cast<std::size_t>(value));
     }
     if (comma == std::string::npos) {
       break;

@@ -1,0 +1,25 @@
+# Enforces the include-root contract: every header under src/ must
+# compile on its own when included as "layer/name.h". A header that
+# silently leans on its includer's includes breaks the first caller from
+# another layer; this target turns that into a build error.
+#
+# Usage: hexa_add_header_selfcontain_target(<target-name>)
+# Creates a static library target that compiles one generated TU per
+# public header, linked into the normal `all` build.
+function(hexa_add_header_selfcontain_target target)
+  file(GLOB_RECURSE headers CONFIGURE_DEPENDS ${HEXA_INCLUDE_ROOT}/*.h)
+  set(gen_dir ${CMAKE_BINARY_DIR}/header_selfcontain)
+  set(tus)
+  foreach(header IN LISTS headers)
+    file(RELATIVE_PATH rel ${HEXA_INCLUDE_ROOT} ${header})
+    string(REPLACE "/" "_" tu_name ${rel})
+    set(tu ${gen_dir}/${tu_name}.cc)
+    # Write via a staging file so an unchanged TU keeps its mtime and
+    # reconfigures don't trigger 36 needless recompiles.
+    file(WRITE ${tu}.in "#include \"${rel}\"\n#include \"${rel}\"  // idempotent\n")
+    execute_process(COMMAND ${CMAKE_COMMAND} -E copy_if_different ${tu}.in ${tu})
+    list(APPEND tus ${tu})
+  endforeach()
+  add_library(${target} STATIC ${tus})
+  target_include_directories(${target} PRIVATE ${HEXA_INCLUDE_ROOT})
+endfunction()

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Runs every figure benchmark and writes one JSON result file per binary.
+#
+# Usage: scripts/run_benchmarks.sh [build_dir] [out_dir]
+#   HEXA_BENCH_SIZES=2000,100000 scripts/run_benchmarks.sh   # smaller sweep
+set -euo pipefail
+
+build_dir=${1:-build}
+out_dir=${2:-results}
+
+if ! ls "${build_dir}"/bench/fig* >/dev/null 2>&1; then
+  echo "no bench binaries under ${build_dir}/bench;" \
+       "configure with -DHEXA_BUILD_BENCH=ON" >&2
+  exit 1
+fi
+
+mkdir -p "${out_dir}"
+for bin in "${build_dir}"/bench/fig*; do
+  name=$(basename "${bin}")
+  echo "== ${name}"
+  "${bin}" --benchmark_format=json --benchmark_out="${out_dir}/${name}.json"
+done
+echo "results in ${out_dir}/"

@@ -1,0 +1,131 @@
+// Cross-index consistency under churn: a randomized interleaved
+// Insert/Erase/Clear sequence must keep all six permutation indexes in
+// agreement (Hexastore::CheckInvariants) and in lock-step with a
+// std::set<IdTriple> oracle.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/hexastore.h"
+#include "rdf/triple.h"
+#include "util/rng.h"
+
+namespace hexastore {
+namespace {
+
+// Draws a triple from a small id universe so that Erase hits existing
+// triples often and vectors/headers repeatedly empty out and reappear.
+IdTriple RandomTriple(Rng& rng, Id universe) {
+  return IdTriple{rng.UniformRange(1, universe), rng.UniformRange(1, universe),
+                  rng.UniformRange(1, universe)};
+}
+
+// Full materialization of the store via an unbound scan, sorted.
+IdTripleVec ScanAll(const Hexastore& store) {
+  IdTripleVec out;
+  store.Scan(IdPattern{}, [&out](const IdTriple& t) { out.push_back(t); });
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void ExpectAgreesWithOracle(const Hexastore& store,
+                            const std::set<IdTriple>& oracle) {
+  ASSERT_EQ(store.size(), oracle.size());
+  IdTripleVec scanned = ScanAll(store);
+  IdTripleVec expected(oracle.begin(), oracle.end());
+  ASSERT_EQ(scanned, expected);
+  std::string err;
+  ASSERT_TRUE(store.CheckInvariants(&err)) << err;
+}
+
+TEST(ChurnTest, RandomizedInsertEraseClearAgreesWithOracle) {
+  Rng rng(0xC0FFEE);
+  Hexastore store;
+  std::set<IdTriple> oracle;
+
+  constexpr Id kUniverse = 12;  // small: heavy collisions by design
+  constexpr int kBatches = 60;
+  constexpr int kOpsPerBatch = 50;
+
+  for (int batch = 0; batch < kBatches; ++batch) {
+    for (int op = 0; op < kOpsPerBatch; ++op) {
+      double dice = rng.NextDouble();
+      if (dice < 0.55) {
+        IdTriple t = RandomTriple(rng, kUniverse);
+        EXPECT_EQ(store.Insert(t), oracle.insert(t).second);
+      } else if (dice < 0.98) {
+        // Half the erases target known-present triples so the store
+        // actually shrinks; the rest probe (often absent) random ones.
+        IdTriple t;
+        if (!oracle.empty() && rng.Bernoulli(0.5)) {
+          auto it = oracle.begin();
+          std::advance(it, rng.Uniform(oracle.size()));
+          t = *it;
+        } else {
+          t = RandomTriple(rng, kUniverse);
+        }
+        EXPECT_EQ(store.Erase(t), oracle.erase(t) > 0);
+      } else {
+        store.Clear();
+        oracle.clear();
+      }
+    }
+    ASSERT_NO_FATAL_FAILURE(ExpectAgreesWithOracle(store, oracle))
+        << "after batch " << batch;
+  }
+}
+
+TEST(ChurnTest, ContainsMatchesOracleThroughoutChurn) {
+  Rng rng(42);
+  Hexastore store;
+  std::set<IdTriple> oracle;
+
+  constexpr Id kUniverse = 6;  // tiny universe: probe the whole cube
+  for (int round = 0; round < 20; ++round) {
+    for (int op = 0; op < 30; ++op) {
+      IdTriple t = RandomTriple(rng, kUniverse);
+      if (rng.Bernoulli(0.5)) {
+        EXPECT_EQ(store.Insert(t), oracle.insert(t).second);
+      } else {
+        EXPECT_EQ(store.Erase(t), oracle.erase(t) > 0);
+      }
+    }
+    for (Id s = 1; s <= kUniverse; ++s) {
+      for (Id p = 1; p <= kUniverse; ++p) {
+        for (Id o = 1; o <= kUniverse; ++o) {
+          IdTriple t{s, p, o};
+          ASSERT_EQ(store.Contains(t), oracle.count(t) > 0)
+              << "round " << round << " triple (" << s << "," << p << "," << o
+              << ")";
+        }
+      }
+    }
+    std::string err;
+    ASSERT_TRUE(store.CheckInvariants(&err)) << err;
+  }
+}
+
+TEST(ChurnTest, ClearThenReuseKeepsInvariants) {
+  Rng rng(7);
+  Hexastore store;
+  std::set<IdTriple> oracle;
+  for (int cycle = 0; cycle < 5; ++cycle) {
+    for (int i = 0; i < 200; ++i) {
+      IdTriple t = RandomTriple(rng, 20);
+      store.Insert(t);
+      oracle.insert(t);
+    }
+    ASSERT_NO_FATAL_FAILURE(ExpectAgreesWithOracle(store, oracle));
+    store.Clear();
+    oracle.clear();
+    EXPECT_EQ(store.size(), 0u);
+    std::string err;
+    ASSERT_TRUE(store.CheckInvariants(&err)) << err;
+  }
+}
+
+}  // namespace
+}  // namespace hexastore

@@ -239,6 +239,36 @@ TEST(HexastoreTest, BulkLoadOntoExistingData) {
   EXPECT_TRUE(store.CheckInvariants(&err)) << err;
 }
 
+TEST(HexastoreTest, BulkLoadDeduplicatesWithinBatch) {
+  Hexastore store;
+  // The same triple repeated in one batch must count once everywhere.
+  store.BulkLoad({{1, 2, 3}, {1, 2, 3}, {1, 2, 3}, {4, 2, 3}, {4, 2, 3}});
+  EXPECT_EQ(store.size(), 2u);
+  ASSERT_NE(store.objects(1, 2), nullptr);
+  EXPECT_EQ(store.objects(1, 2)->size(), 1u);
+  ASSERT_NE(store.subjects(2, 3), nullptr);
+  EXPECT_EQ((*store.subjects(2, 3)), (IdVec{1, 4}));
+  std::string err;
+  EXPECT_TRUE(store.CheckInvariants(&err)) << err;
+}
+
+TEST(HexastoreTest, EraseAfterBulkLoadKeepsInvariants) {
+  Hexastore store;
+  store.BulkLoad(FigureOneData());
+  const std::size_t initial = store.size();
+  EXPECT_TRUE(store.Erase({1, 10, 20}));
+  EXPECT_FALSE(store.Erase({1, 10, 20}));  // already gone
+  EXPECT_TRUE(store.Erase({3, 16, 2}));
+  EXPECT_EQ(store.size(), initial - 2);
+  EXPECT_FALSE(store.Contains({1, 10, 20}));
+  std::string err;
+  EXPECT_TRUE(store.CheckInvariants(&err)) << err;
+  // And bulk-loading the erased triples back restores them exactly once.
+  store.BulkLoad({{1, 10, 20}, {3, 16, 2}});
+  EXPECT_EQ(store.size(), initial);
+  EXPECT_TRUE(store.CheckInvariants(&err)) << err;
+}
+
 // ---- Randomized property tests ------------------------------------------
 
 class HexastorePropertyTest

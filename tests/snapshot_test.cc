@@ -223,5 +223,74 @@ TEST(SnapshotTest, RandomizedRoundTrips) {
   }
 }
 
+// save -> load -> save must be byte-identical: loading rebuilds the exact
+// dictionary order and triple set, so a second save reproduces the file.
+void ExpectSaveLoadSaveByteIdentical(const Graph& original) {
+  std::stringstream first;
+  ASSERT_TRUE(SaveSnapshot(original, first).ok());
+  Graph loaded;
+  ASSERT_TRUE(LoadSnapshot(first, &loaded).ok());
+  std::stringstream second;
+  ASSERT_TRUE(SaveSnapshot(loaded, second).ok());
+  EXPECT_EQ(first.str(), second.str());
+}
+
+TEST(SnapshotTest, SaveLoadSaveByteIdenticalEmptyGraph) {
+  Graph empty;
+  ExpectSaveLoadSaveByteIdentical(empty);
+}
+
+TEST(SnapshotTest, SaveLoadSaveByteIdenticalSampleGraph) {
+  Graph g;
+  FillSampleGraph(&g);
+  ExpectSaveLoadSaveByteIdentical(g);
+}
+
+TEST(SnapshotTest, RoundTripBlankNodesOnly) {
+  // Every term is a blank node, including the predicate position (legal
+  // at this layer: the store is term-kind-agnostic).
+  Graph original;
+  original.Insert({Term::Blank("a"), Term::Blank("edge"), Term::Blank("b")});
+  original.Insert({Term::Blank("b"), Term::Blank("edge"), Term::Blank("c")});
+  original.Insert({Term::Blank("c"), Term::Blank("edge"), Term::Blank("a")});
+  original.Insert({Term::Blank(""), Term::Blank("edge"), Term::Blank("a")});
+  std::stringstream ss;
+  ASSERT_TRUE(SaveSnapshot(original, ss).ok());
+  Graph loaded;
+  Status s = LoadSnapshot(ss, &loaded);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  ExpectGraphsEqual(original, loaded);
+  std::string err;
+  EXPECT_TRUE(loaded.store().CheckInvariants(&err)) << err;
+  ExpectSaveLoadSaveByteIdentical(original);
+}
+
+TEST(SnapshotTest, RoundTripTypedLiteralsOnly) {
+  // All objects are typed literals, stressing the qualifier string path
+  // (kind byte 3) including empty values and exotic datatype IRIs.
+  Graph original;
+  const Term s = Term::Iri("http://x/s");
+  const Term p = Term::Iri("http://x/p");
+  original.Insert({s, p, Term::TypedLiteral("42", "http://www.w3.org/2001/XMLSchema#integer")});
+  original.Insert({s, p, Term::TypedLiteral("", "http://x/empty-value")});
+  original.Insert({s, p, Term::TypedLiteral("3.14", "http://www.w3.org/2001/XMLSchema#double")});
+  original.Insert({s, p, Term::TypedLiteral("true", "http://www.w3.org/2001/XMLSchema#boolean")});
+  original.Insert(
+      {s, p, Term::TypedLiteral(std::string("nul\0byte", 8), "http://x/bin")});
+  std::stringstream ss;
+  ASSERT_TRUE(SaveSnapshot(original, ss).ok());
+  Graph loaded;
+  Status st = LoadSnapshot(ss, &loaded);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  ExpectGraphsEqual(original, loaded);
+  ExpectSaveLoadSaveByteIdentical(original);
+}
+
+TEST(SnapshotTest, SaveLoadSaveByteIdenticalLubmGraph) {
+  Graph g;
+  g.BulkLoad(data::LubmGenerator().Generate(5000));
+  ExpectSaveLoadSaveByteIdentical(g);
+}
+
 }  // namespace
 }  // namespace hexastore
