@@ -7,14 +7,29 @@
 // LUBM-like prefix. Expected shape: Hexastore inserts cost the most (six
 // views touched), TripleTable the least; BulkLoad amortizes far below
 // incremental insertion.
+//
+// The DeltaHexastore series measure the LSM-style fix: single-triple
+// writes staged in the delta buffer (including periodic compaction
+// drains) at several compaction thresholds, plus merged-read latency
+// with a half-full delta — the write/read trade-off the threshold knob
+// controls.
 #include "bench_common.h"
 
 #include <memory>
 
 #include "data/lubm_generator.h"
+#include "delta/delta_hexastore.h"
 
 namespace hexastore::bench {
 namespace {
+
+// Compaction thresholds swept by the DeltaHexastore series.
+constexpr std::size_t kDeltaThresholds[] = {16 * 1024, 64 * 1024,
+                                            256 * 1024};
+
+std::string DeltaLabel(std::size_t threshold) {
+  return "DeltaHexastore/thr:" + std::to_string(threshold / 1024) + "k";
+}
 
 IdTripleVec EncodedPrefix(std::size_t n) {
   static Dictionary dict;
@@ -90,12 +105,68 @@ void RegisterInsertErase(const std::string& label, std::size_t n,
       ->MinTime(0.02);
 }
 
+// Merged-read latency with a half-full staging buffer: the store holds
+// `n` compacted triples plus staged_ops staged inserts (pass half the
+// store's compaction threshold so the buffer is half full and no
+// compaction fires), then serves point Contains probes and one-bound
+// (s, ?, ?) Match scans — the merged paths a query pays for before the
+// next compaction.
+template <typename StoreT, typename... Args>
+void RegisterRead(const std::string& label, std::size_t n,
+                  std::size_t staged_ops, Args... args) {
+  benchmark::RegisterBenchmark(
+      ("abl_updates/read/" + label + "/triples:" + std::to_string(n))
+          .c_str(),
+      [n, staged_ops, args...](benchmark::State& state) {
+        IdTripleVec data = EncodedPrefix(n);
+        StoreT store(args...);
+        store.BulkLoad(data);
+        // Stage extra (distinct) writes so DeltaHexastore reads pay the
+        // merged path; plain stores just absorb the inserts.
+        IdTripleVec staged;
+        for (std::size_t i = 0; i < staged_ops; ++i) {
+          const IdTriple& t = data[i % data.size()];
+          staged.push_back(IdTriple{t.s, t.p, t.o + 1000000 + i});
+        }
+        for (const auto& t : staged) {
+          store.Insert(t);
+        }
+        // Prime the delta's lazy read caches (sorted runs) so the loop
+        // measures steady-state merged reads, not the one-off rebuild
+        // the first read after a burst of writes pays.
+        benchmark::DoNotOptimize(
+            store.CountMatches(IdPattern{data[0].s, 0, 0}));
+        std::size_t i = 0;
+        for (auto _ : state) {
+          const IdTriple& probe = data[(i * 7919) % data.size()];
+          benchmark::DoNotOptimize(store.Contains(probe));
+          benchmark::DoNotOptimize(
+              store.CountMatches(IdPattern{probe.s, 0, 0}));
+          ++i;
+        }
+        state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+      })
+      ->Unit(benchmark::kMicrosecond)
+      ->MinTime(0.02);
+}
+
 int Main(int argc, char** argv) {
   for (std::size_t n : {std::size_t{10000}, std::size_t{50000}}) {
     RegisterInsertErase<Hexastore>("Hexastore", n);
     RegisterInsertErase<VerticalStore>("COVP1", n, false);
     RegisterInsertErase<VerticalStore>("COVP2", n, true);
     RegisterInsertErase<TripleTableStore>("TripleTable", n);
+    for (std::size_t threshold : kDeltaThresholds) {
+      RegisterInsertErase<DeltaHexastore>(DeltaLabel(threshold), n,
+                                          threshold);
+    }
+    RegisterRead<Hexastore>("Hexastore", n, kDeltaThresholds[0] / 2);
+    RegisterRead<TripleTableStore>("TripleTable", n,
+                                   kDeltaThresholds[0] / 2);
+    for (std::size_t threshold : kDeltaThresholds) {
+      RegisterRead<DeltaHexastore>(DeltaLabel(threshold), n, threshold / 2,
+                                   threshold);
+    }
   }
   return BenchMain(argc, argv);
 }

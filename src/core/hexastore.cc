@@ -1,8 +1,39 @@
 #include "core/hexastore.h"
 
+#include <algorithm>
 #include <sstream>
+#include <tuple>
 
 namespace hexastore {
+
+namespace {
+
+// Calls fn(begin, end) for each maximal run of `eq`-equal triples.
+template <typename It, typename Eq, typename Fn>
+void ForEachRun(It begin, It end, Eq eq, Fn fn) {
+  while (begin != end) {
+    It run_end = begin + 1;
+    while (run_end != end && eq(*begin, *run_end)) {
+      ++run_end;
+    }
+    fn(begin, run_end);
+    begin = run_end;
+  }
+}
+
+// Appends one projected field of [begin, end) to `vec` and merges the
+// appended tail into the sorted prefix (duplicates — within the run and
+// against the prefix — are dropped by the merge).
+template <typename It, typename Proj>
+void MergeAppend(IdVec* vec, It begin, It end, Proj proj) {
+  const std::size_t prefix = vec->size();
+  for (It it = begin; it != end; ++it) {
+    vec->push_back(proj(*it));
+  }
+  SortedMergeTail(vec, prefix);
+}
+
+}  // namespace
 
 bool Hexastore::Insert(const IdTriple& t) {
   // The o(s,p) insertion doubles as the duplicate check: a triple is
@@ -142,21 +173,83 @@ std::size_t Hexastore::MemoryBytes() const {
 }
 
 void Hexastore::BulkLoad(const IdTripleVec& triples) {
-  for (const auto& t : triples) {
-    pool_.GetOrCreate(ListFamily::kObjects, t.s, t.p)->push_back(t.o);
-    pool_.GetOrCreate(ListFamily::kPredicates, t.s, t.o)->push_back(t.p);
-    pool_.GetOrCreate(ListFamily::kSubjects, t.p, t.o)->push_back(t.s);
-    index(Permutation::kSpo).GetOrCreate(t.s)->push_back(t.p);
-    index(Permutation::kSop).GetOrCreate(t.s)->push_back(t.o);
-    index(Permutation::kPso).GetOrCreate(t.p)->push_back(t.s);
-    index(Permutation::kPos).GetOrCreate(t.p)->push_back(t.o);
-    index(Permutation::kOsp).GetOrCreate(t.o)->push_back(t.s);
-    index(Permutation::kOps).GetOrCreate(t.o)->push_back(t.p);
+  if (triples.empty()) {
+    return;
   }
-  pool_.SortUniqueAll();
-  for (auto& idx : indexes_) {
-    idx.SortUniqueAll();
-  }
+  // Sort the batch once per key grouping and walk the runs: each touched
+  // header vector / terminal list gets exactly one hash lookup, one
+  // append of its run, and one linear tail merge into its (still sorted)
+  // existing prefix. Loading into a non-empty store therefore merges
+  // with — and dedups against — the existing contents while visiting
+  // only the lists the batch lands in. This is the drain path
+  // DeltaHexastore compaction leans on.
+  IdTripleVec batch(triples);
+  auto by_s = [](const IdTriple& a, const IdTriple& b) {
+    return a.s == b.s;
+  };
+  auto by_p = [](const IdTriple& a, const IdTriple& b) {
+    return a.p == b.p;
+  };
+  auto by_o = [](const IdTriple& a, const IdTriple& b) {
+    return a.o == b.o;
+  };
+
+  // (s, p, o) grouping: spo header vectors and the shared o(s,p) lists.
+  std::sort(batch.begin(), batch.end());
+  ForEachRun(batch.begin(), batch.end(), by_s, [&](auto s_begin, auto s_end) {
+    MergeAppend(index(Permutation::kSpo).GetOrCreate(s_begin->s), s_begin,
+                s_end, [](const IdTriple& t) { return t.p; });
+    ForEachRun(s_begin, s_end, by_p, [&](auto sp_begin, auto sp_end) {
+      MergeAppend(
+          pool_.GetOrCreate(ListFamily::kObjects, sp_begin->s, sp_begin->p),
+          sp_begin, sp_end, [](const IdTriple& t) { return t.o; });
+    });
+  });
+
+  // (s, o, p) grouping: sop header vectors and the shared p(s,o) lists.
+  std::sort(batch.begin(), batch.end(),
+            [](const IdTriple& a, const IdTriple& b) {
+              return std::tie(a.s, a.o, a.p) < std::tie(b.s, b.o, b.p);
+            });
+  ForEachRun(batch.begin(), batch.end(), by_s, [&](auto s_begin, auto s_end) {
+    MergeAppend(index(Permutation::kSop).GetOrCreate(s_begin->s), s_begin,
+                s_end, [](const IdTriple& t) { return t.o; });
+    ForEachRun(s_begin, s_end, by_o, [&](auto so_begin, auto so_end) {
+      MergeAppend(pool_.GetOrCreate(ListFamily::kPredicates, so_begin->s,
+                                    so_begin->o),
+                  so_begin, so_end, [](const IdTriple& t) { return t.p; });
+    });
+  });
+
+  // (p, o, s) grouping: pso + pos header vectors and the s(p,o) lists.
+  std::sort(batch.begin(), batch.end(),
+            [](const IdTriple& a, const IdTriple& b) {
+              return std::tie(a.p, a.o, a.s) < std::tie(b.p, b.o, b.s);
+            });
+  ForEachRun(batch.begin(), batch.end(), by_p, [&](auto p_begin, auto p_end) {
+    MergeAppend(index(Permutation::kPso).GetOrCreate(p_begin->p), p_begin,
+                p_end, [](const IdTriple& t) { return t.s; });
+    MergeAppend(index(Permutation::kPos).GetOrCreate(p_begin->p), p_begin,
+                p_end, [](const IdTriple& t) { return t.o; });
+    ForEachRun(p_begin, p_end, by_o, [&](auto po_begin, auto po_end) {
+      MergeAppend(
+          pool_.GetOrCreate(ListFamily::kSubjects, po_begin->p, po_begin->o),
+          po_begin, po_end, [](const IdTriple& t) { return t.s; });
+    });
+  });
+
+  // (o, s, p) grouping: osp + ops header vectors.
+  std::sort(batch.begin(), batch.end(),
+            [](const IdTriple& a, const IdTriple& b) {
+              return std::tie(a.o, a.s, a.p) < std::tie(b.o, b.s, b.p);
+            });
+  ForEachRun(batch.begin(), batch.end(), by_o, [&](auto o_begin, auto o_end) {
+    MergeAppend(index(Permutation::kOsp).GetOrCreate(o_begin->o), o_begin,
+                o_end, [](const IdTriple& t) { return t.s; });
+    MergeAppend(index(Permutation::kOps).GetOrCreate(o_begin->o), o_begin,
+                o_end, [](const IdTriple& t) { return t.p; });
+  });
+
   // Distinct triple count == total entries in any one terminal family.
   size_ = pool_.EntryCount(ListFamily::kObjects);
 }

@@ -51,8 +51,11 @@ class Hexastore : public TripleStore {
   std::size_t MemoryBytes() const override;
   std::string name() const override { return "Hexastore"; }
 
-  /// Appends unsorted then sorts each vector/list once; much faster than
-  /// repeated Insert for large batches.
+  /// Appends unsorted then merges each touched vector/list once; much
+  /// faster than repeated Insert for large batches. On a non-empty store
+  /// the batch is merged with — and deduplicated against — the existing
+  /// contents, touching only the lists the batch lands in (the delta
+  /// compaction drain path).
   void BulkLoad(const IdTripleVec& triples) override;
 
   /// Removes all triples.

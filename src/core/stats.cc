@@ -34,4 +34,15 @@ std::string MemoryStats::ToString() const {
   return os.str();
 }
 
+std::string DeltaStats::ToString() const {
+  std::ostringstream os;
+  os << "DeltaHexastore delta layer:\n"
+     << "  staged: " << staged_inserts << " inserts, " << staged_tombstones
+     << " tombstones (threshold " << compact_threshold << ")\n"
+     << "  compactions: " << compactions << ", epoch: " << epoch << "\n"
+     << "  base: " << base_triples << " triples, " << base_bytes
+     << " bytes; delta: " << delta_bytes << " bytes\n";
+  return os.str();
+}
+
 }  // namespace hexastore

@@ -1,9 +1,11 @@
 // Per-structure memory statistics of a Hexastore, used by the Figure 15
-// reproduction and by the worst-case-5x space-bound ablation.
+// reproduction and by the worst-case-5x space-bound ablation, plus the
+// delta-layer counters reported by DeltaHexastore.
 #ifndef HEXASTORE_CORE_STATS_H_
 #define HEXASTORE_CORE_STATS_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 
 namespace hexastore {
@@ -23,6 +25,22 @@ struct MemoryStats {
   /// used to verify the paper's worst-case 5x bound, which is stated in
   /// key-entry counts relative to the 3n entries of a triples table.
   std::size_t key_entries = 0;
+
+  /// Multi-line human-readable report.
+  std::string ToString() const;
+};
+
+/// Counters of a DeltaHexastore's staging layer: how much is buffered,
+/// how often it has been drained, and where the memory sits.
+struct DeltaStats {
+  std::size_t staged_inserts = 0;     ///< ops staged as inserts
+  std::size_t staged_tombstones = 0;  ///< ops staged as tombstones
+  std::size_t compact_threshold = 0;  ///< auto-compaction trigger
+  std::uint64_t compactions = 0;      ///< delta drains since construction
+  std::uint64_t epoch = 0;            ///< generation counter
+  std::size_t base_triples = 0;       ///< triples in the compacted base
+  std::size_t base_bytes = 0;         ///< base index heap bytes
+  std::size_t delta_bytes = 0;        ///< staging-buffer heap bytes
 
   /// Multi-line human-readable report.
   std::string ToString() const;

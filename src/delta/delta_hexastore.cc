@@ -1,0 +1,438 @@
+#include "delta/delta_hexastore.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace hexastore {
+
+namespace {
+
+// Merged membership test over one generation (base + delta).
+bool MergedContains(const Hexastore& base, const DeltaStore& delta,
+                    const IdTriple& t) {
+  switch (delta.Lookup(t)) {
+    case DeltaStore::Presence::kInserted:
+      return true;
+    case DeltaStore::Presence::kErased:
+      return false;
+    case DeltaStore::Presence::kUnknown:
+      break;
+  }
+  return base.Contains(t);
+}
+
+// Merged pattern scan over one generation: base matches with tombstones
+// filtered out (O(1) hash probe per emitted triple), then the staged
+// inserts matching the pattern via a bound-prefix range scan of the
+// delta's sorted runs.
+void MergedScan(const Hexastore& base, const DeltaStore& delta,
+                const IdPattern& pattern, const TripleSink& sink) {
+  base.Scan(pattern, [&delta, &sink](const IdTriple& t) {
+    if (delta.Lookup(t) != DeltaStore::Presence::kErased) {
+      sink(t);
+    }
+  });
+  delta.ScanInserts(pattern, sink);
+}
+
+// Merged header vector: the base index's sorted header-member vector
+// adjusted by the delta's touched terminal lists. A second-level id stays
+// in (or joins) the vector iff the merged terminal list under the
+// (header, id) pair is non-empty — exactly the rule Hexastore::Erase uses
+// to drop emptied pairs.
+//
+// `match_a` selects which side of the family's (a, b) key is the header
+// role; the other side is the second-level id.
+IdVec MergedHeaderVec(const Hexastore& base, const DeltaStore& delta,
+                      ListFamily family, bool match_a, Id header,
+                      const IdVec* base_vec) {
+  IdVec out = base_vec == nullptr ? IdVec{} : *base_vec;
+  delta.ForEachList(
+      family, [&](const IdPair& key, const DeltaList& lists) {
+        if ((match_a ? key.a : key.b) != header) {
+          return;
+        }
+        const Id other = match_a ? key.b : key.a;
+        const IdVec* base_list = base.pool().Find(family, key.a, key.b);
+        const std::size_t merged_size =
+            (base_list == nullptr ? 0 : base_list->size()) +
+            lists.adds.size() - lists.removes.size();
+        if (merged_size > 0) {
+          SortedInsert(&out, other);
+        } else {
+          SortedErase(&out, other);
+        }
+      });
+  return out;
+}
+
+}  // namespace
+
+DeltaHexastore::DeltaHexastore(std::size_t compact_threshold)
+    : base_(std::make_shared<Hexastore>()),
+      delta_(std::make_shared<DeltaStore>()),
+      compact_threshold_(compact_threshold == 0 ? 1 : compact_threshold) {}
+
+bool DeltaHexastore::Insert(const IdTriple& t) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Read-only no-op check first: a duplicate insert must not pay the
+  // copy-on-write clone an exposed delta would otherwise trigger.
+  const bool base_present = base_->Contains(t);
+  const DeltaStore::Presence staged = delta_->Lookup(t);
+  if (staged == DeltaStore::Presence::kInserted ||
+      (staged == DeltaStore::Presence::kUnknown && base_present)) {
+    return false;
+  }
+  EnsureDeltaWritableLocked();
+  delta_->StageInsert(t, base_present);
+  ++size_;
+  if (delta_->op_count() >= compact_threshold_) {
+    CompactLocked();
+  }
+  return true;
+}
+
+bool DeltaHexastore::Erase(const IdTriple& t) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const bool base_present = base_->Contains(t);
+  const DeltaStore::Presence staged = delta_->Lookup(t);
+  if (staged == DeltaStore::Presence::kErased ||
+      (staged == DeltaStore::Presence::kUnknown && !base_present)) {
+    return false;
+  }
+  EnsureDeltaWritableLocked();
+  delta_->StageErase(t, base_present);
+  --size_;
+  if (delta_->op_count() >= compact_threshold_) {
+    CompactLocked();
+  }
+  return true;
+}
+
+bool DeltaHexastore::Contains(const IdTriple& t) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return MergedContains(*base_, *delta_, t);
+}
+
+std::size_t DeltaHexastore::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return size_;
+}
+
+void DeltaHexastore::Scan(const IdPattern& pattern,
+                          const TripleSink& sink) const {
+  // Materialize under the mutex, emit outside it: the merged walk reads
+  // base and delta internals (kept writer-ordered by mu_), while the
+  // sink runs unlocked so it may re-enter the store (index-nested-loop
+  // joins do) without deadlocking.
+  IdTripleVec matches;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    MergedScan(*base_, *delta_, pattern,
+               [&matches](const IdTriple& t) { matches.push_back(t); });
+  }
+  for (const IdTriple& t : matches) {
+    sink(t);
+  }
+}
+
+std::size_t DeltaHexastore::MemoryBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return base_->MemoryBytes() + delta_->MemoryBytes();
+}
+
+void DeltaHexastore::BulkLoad(const IdTripleVec& triples) {
+  std::lock_guard<std::mutex> lock(mu_);
+  CompactLocked();
+  if (base_exposed_) {
+    // A snapshot reads the base: load into a rebuilt copy instead.
+    auto fresh = std::make_shared<Hexastore>();
+    fresh->BulkLoad(base_->Match(IdPattern{}));
+    base_ = std::move(fresh);
+    base_exposed_ = false;
+  }
+  base_->BulkLoad(triples);
+  size_ = base_->size();
+  ++epoch_;
+}
+
+void DeltaHexastore::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (base_exposed_) {
+    base_ = std::make_shared<Hexastore>();
+    base_exposed_ = false;
+  } else {
+    base_->Clear();
+  }
+  if (delta_exposed_) {
+    delta_ = std::make_shared<DeltaStore>();
+    delta_exposed_ = false;
+  } else {
+    delta_->Clear();
+  }
+  size_ = 0;
+  ++epoch_;
+}
+
+void DeltaHexastore::Compact() {
+  std::lock_guard<std::mutex> lock(mu_);
+  CompactLocked();
+}
+
+std::size_t DeltaHexastore::StagedOps() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return delta_->op_count();
+}
+
+std::uint64_t DeltaHexastore::CompactionCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return compactions_;
+}
+
+DeltaStats DeltaHexastore::Stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  DeltaStats stats;
+  stats.staged_inserts = delta_->insert_count();
+  stats.staged_tombstones = delta_->tombstone_count();
+  stats.compact_threshold = compact_threshold_;
+  stats.compactions = compactions_;
+  stats.epoch = epoch_;
+  stats.base_triples = base_->size();
+  stats.base_bytes = base_->MemoryBytes();
+  stats.delta_bytes = delta_->MemoryBytes();
+  return stats;
+}
+
+DeltaHexastore::Snapshot DeltaHexastore::GetSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ExposeLocked();
+  return Snapshot(base_, delta_, size_, epoch_);
+}
+
+bool DeltaHexastore::Snapshot::Contains(const IdTriple& t) const {
+  return MergedContains(*base_, *delta_, t);
+}
+
+void DeltaHexastore::Snapshot::Scan(const IdPattern& pattern,
+                                    const TripleSink& sink) const {
+  MergedScan(*base_, *delta_, pattern, sink);
+}
+
+IdTripleVec DeltaHexastore::Snapshot::Match(const IdPattern& pattern) const {
+  IdTripleVec out;
+  Scan(pattern, [&out](const IdTriple& t) { out.push_back(t); });
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+MergedList DeltaHexastore::objects(Id s, Id p) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ExposeLocked();
+  const DeltaList* lists = delta_->FindLists(ListFamily::kObjects, s, p);
+  return MergedList(base_, delta_, base_->objects(s, p),
+                    lists == nullptr ? nullptr : &lists->adds,
+                    lists == nullptr ? nullptr : &lists->removes);
+}
+
+MergedList DeltaHexastore::predicates(Id s, Id o) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ExposeLocked();
+  const DeltaList* lists = delta_->FindLists(ListFamily::kPredicates, s, o);
+  return MergedList(base_, delta_, base_->predicates(s, o),
+                    lists == nullptr ? nullptr : &lists->adds,
+                    lists == nullptr ? nullptr : &lists->removes);
+}
+
+MergedList DeltaHexastore::subjects(Id p, Id o) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ExposeLocked();
+  const DeltaList* lists = delta_->FindLists(ListFamily::kSubjects, p, o);
+  return MergedList(base_, delta_, base_->subjects(p, o),
+                    lists == nullptr ? nullptr : &lists->adds,
+                    lists == nullptr ? nullptr : &lists->removes);
+}
+
+IdVec DeltaHexastore::predicates_of_subject(Id s) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return MergedHeaderVec(*base_, *delta_, ListFamily::kObjects,
+                         /*match_a=*/true, s,
+                         base_->predicates_of_subject(s));
+}
+
+IdVec DeltaHexastore::objects_of_subject(Id s) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return MergedHeaderVec(*base_, *delta_, ListFamily::kPredicates,
+                         /*match_a=*/true, s, base_->objects_of_subject(s));
+}
+
+IdVec DeltaHexastore::subjects_of_predicate(Id p) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return MergedHeaderVec(*base_, *delta_, ListFamily::kObjects,
+                         /*match_a=*/false, p,
+                         base_->subjects_of_predicate(p));
+}
+
+IdVec DeltaHexastore::objects_of_predicate(Id p) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return MergedHeaderVec(*base_, *delta_, ListFamily::kSubjects,
+                         /*match_a=*/true, p,
+                         base_->objects_of_predicate(p));
+}
+
+IdVec DeltaHexastore::subjects_of_object(Id o) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return MergedHeaderVec(*base_, *delta_, ListFamily::kPredicates,
+                         /*match_a=*/false, o,
+                         base_->subjects_of_object(o));
+}
+
+IdVec DeltaHexastore::predicates_of_object(Id o) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return MergedHeaderVec(*base_, *delta_, ListFamily::kSubjects,
+                         /*match_a=*/false, o,
+                         base_->predicates_of_object(o));
+}
+
+std::shared_ptr<const Hexastore> DeltaHexastore::base() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  base_exposed_ = true;
+  return base_;
+}
+
+bool DeltaHexastore::CheckInvariants(std::string* error) const {
+  // Runs entirely under the mutex (test path): no generation escapes, so
+  // the in-place compaction fast path stays available afterwards.
+  std::lock_guard<std::mutex> lock(mu_);
+  const Hexastore* base = base_.get();
+  const DeltaStore* delta = delta_.get();
+  const std::size_t size = size_;
+  auto fail = [error](const std::string& msg) {
+    if (error != nullptr) {
+      *error = msg;
+    }
+    return false;
+  };
+  if (!base->CheckInvariants(error)) {
+    return false;
+  }
+  // Delta-layer contract: staged inserts are disjoint from the base,
+  // tombstones are a subset of it, and every op is mirrored in all three
+  // side-list families.
+  bool ok = true;
+  std::string msg;
+  delta->ForEachOp([&](const IdTriple& t, DeltaOp op) {
+    if (!ok) {
+      return;
+    }
+    if (op == DeltaOp::kInsert && base->Contains(t)) {
+      ok = false;
+      msg = "staged insert already present in base";
+      return;
+    }
+    if (op == DeltaOp::kTombstone && !base->Contains(t)) {
+      ok = false;
+      msg = "tombstone for a triple absent from base";
+      return;
+    }
+    const DeltaList* objects =
+        delta->FindLists(ListFamily::kObjects, t.s, t.p);
+    const DeltaList* predicates =
+        delta->FindLists(ListFamily::kPredicates, t.s, t.o);
+    const DeltaList* subjects =
+        delta->FindLists(ListFamily::kSubjects, t.p, t.o);
+    const bool is_add = op == DeltaOp::kInsert;
+    auto in = [is_add](const DeltaList* lists, Id third) {
+      return lists != nullptr &&
+             SortedContains(is_add ? lists->adds : lists->removes, third);
+    };
+    if (!in(objects, t.o) || !in(predicates, t.p) || !in(subjects, t.s)) {
+      ok = false;
+      msg = "staged op missing from a delta side list";
+    }
+  });
+  if (!ok) {
+    return fail(msg);
+  }
+  // Side-list totals match the op counters in every family.
+  for (int f = 0; f < 3; ++f) {
+    std::size_t adds = 0;
+    std::size_t removes = 0;
+    delta->ForEachList(static_cast<ListFamily>(f),
+                       [&](const IdPair&, const DeltaList& lists) {
+                         adds += lists.adds.size();
+                         removes += lists.removes.size();
+                       });
+    if (adds != delta->insert_count() ||
+        removes != delta->tombstone_count()) {
+      std::ostringstream os;
+      os << "delta side-list family " << f << " totals (" << adds << ", "
+         << removes << ") disagree with op counters ("
+         << delta->insert_count() << ", " << delta->tombstone_count()
+         << ")";
+      return fail(os.str());
+    }
+  }
+  const std::size_t merged_size = static_cast<std::size_t>(
+      static_cast<std::ptrdiff_t>(base->size()) + delta->size_delta());
+  if (merged_size != size) {
+    std::ostringstream os;
+    os << "merged size " << merged_size << " != tracked size " << size;
+    return fail(os.str());
+  }
+  return true;
+}
+
+void DeltaHexastore::ExposeLocked() const {
+  // Pre-build the delta's lazy caches before pointers leave the mutex:
+  // frozen readers (snapshots, merged views) must never trigger a cache
+  // build on shared state.
+  delta_->Freeze();
+  base_exposed_ = true;
+  delta_exposed_ = true;
+}
+
+void DeltaHexastore::EnsureDeltaWritableLocked() {
+  if (delta_exposed_) {
+    delta_ = std::make_shared<DeltaStore>(*delta_);
+    delta_exposed_ = false;
+  }
+}
+
+void DeltaHexastore::CompactLocked() {
+  if (delta_->empty()) {
+    return;
+  }
+  if (!base_exposed_) {
+    // The base never escaped the mutex: drain in place. Tombstones first
+    // (each an O(log + shift) point erase), then one sorted merge of the
+    // staged inserts through the non-empty BulkLoad path.
+    for (const IdTriple& t : delta_->SortedTombstones()) {
+      base_->Erase(t);
+    }
+    base_->BulkLoad(delta_->SortedInserts());
+  } else {
+    // A snapshot or merged view may still read the base: rebuild the
+    // merged state into a fresh store and swap, leaving the old
+    // generation untouched for its readers.
+    IdTripleVec all;
+    all.reserve(size_);
+    MergedScan(*base_, *delta_, IdPattern{},
+               [&all](const IdTriple& t) { all.push_back(t); });
+    std::sort(all.begin(), all.end());
+    auto fresh = std::make_shared<Hexastore>();
+    fresh->BulkLoad(all);
+    base_ = std::move(fresh);
+    base_exposed_ = false;
+  }
+  if (delta_exposed_) {
+    delta_ = std::make_shared<DeltaStore>();
+    delta_exposed_ = false;
+  } else {
+    delta_->Clear();
+  }
+  ++compactions_;
+  ++epoch_;
+  size_ = base_->size();
+}
+
+}  // namespace hexastore

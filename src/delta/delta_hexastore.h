@@ -1,0 +1,205 @@
+// DeltaHexastore: an LSM-style update-friendly TripleStore layering a
+// hash-backed DeltaStore (staged inserts + tombstones) over a base
+// Hexastore.
+//
+// Write path: Insert/Erase stage O(1)-ish edits in the delta instead of
+// mutating all six sorted views of the base (the §4.2 update deficiency).
+// Once the number of staged operations reaches `compact_threshold`, the
+// delta is drained into the base in one sorted BulkLoad-style merge.
+//
+// Read path: Contains, Scan and the merged accessor views always expose
+// the consistent union  base ∪ staged-inserts ∖ tombstones.  Accessor
+// views come back as MergedList so merge joins keep their linear-merge
+// guarantee mid-delta.
+//
+// Snapshot isolation: GetSnapshot() returns a cheap epoch handle (two
+// shared_ptrs). Writers copy-on-write the delta when a snapshot still
+// references it, and compaction rebuilds-and-swaps the base instead of
+// draining in place whenever any snapshot (or outstanding MergedList)
+// still reads the old one — so readers finish against the pre-compaction
+// view while a writer compacts. All public methods are individually
+// thread-safe; snapshot reads never block on the writer after the handle
+// is taken.
+#ifndef HEXASTORE_DELTA_DELTA_HEXASTORE_H_
+#define HEXASTORE_DELTA_DELTA_HEXASTORE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "core/hexastore.h"
+#include "core/stats.h"
+#include "core/store_interface.h"
+#include "delta/delta_store.h"
+#include "delta/merged_list.h"
+#include "rdf/triple.h"
+#include "util/common.h"
+
+namespace hexastore {
+
+/// Update-optimized Hexastore with a staging delta and tombstones.
+class DeltaHexastore : public TripleStore {
+ public:
+  /// Default number of staged operations that triggers auto-compaction.
+  static constexpr std::size_t kDefaultCompactThreshold = 64 * 1024;
+
+  explicit DeltaHexastore(
+      std::size_t compact_threshold = kDefaultCompactThreshold);
+
+  DeltaHexastore(const DeltaHexastore&) = delete;
+  DeltaHexastore& operator=(const DeltaHexastore&) = delete;
+
+  // -- TripleStore interface ----------------------------------------------
+
+  /// Stages the insert in the delta; auto-compacts at the threshold.
+  bool Insert(const IdTriple& t) override;
+  /// Stages a tombstone (or cancels a staged insert).
+  bool Erase(const IdTriple& t) override;
+  bool Contains(const IdTriple& t) const override;
+  std::size_t size() const override;
+  /// Emits the merged view: base matches minus tombstones (in the base
+  /// index's natural order), then staged inserts grouped by the
+  /// pattern's bound prefix (a range scan of the delta's sorted runs).
+  void Scan(const IdPattern& pattern, const TripleSink& sink) const override;
+  std::size_t MemoryBytes() const override;
+  std::string name() const override { return "DeltaHexastore"; }
+
+  /// Compacts any staged delta, then merges `triples` straight into the
+  /// base via its sorted BulkLoad path.
+  void BulkLoad(const IdTripleVec& triples) override;
+
+  /// Removes all triples (base and staged).
+  void Clear();
+
+  // -- Delta management ---------------------------------------------------
+
+  /// Drains the delta into the base's six permutation indexes via one
+  /// sorted merge (in place when no snapshot reads the base, otherwise
+  /// rebuild-and-swap). No-op when the delta is empty.
+  void Compact();
+
+  /// Operations staged and not yet compacted.
+  std::size_t StagedOps() const;
+  /// Compactions performed since construction.
+  std::uint64_t CompactionCount() const;
+  std::size_t compact_threshold() const { return compact_threshold_; }
+
+  /// Delta-layer counters for reports and the stats subsystem.
+  DeltaStats Stats() const;
+
+  // -- Snapshot-isolated reads --------------------------------------------
+
+  /// An immutable view of the store as of GetSnapshot(). Cheap to take
+  /// (two shared_ptr copies under the store mutex) and safe to read from
+  /// any thread while writers keep inserting and compacting.
+  class Snapshot {
+   public:
+    bool Contains(const IdTriple& t) const;
+    void Scan(const IdPattern& pattern, const TripleSink& sink) const;
+    /// Materialized matches, sorted in (s, p, o) order.
+    IdTripleVec Match(const IdPattern& pattern) const;
+    std::size_t size() const { return size_; }
+    /// Epoch the snapshot was taken at (bumps on every compaction and
+    /// Clear).
+    std::uint64_t epoch() const { return epoch_; }
+
+   private:
+    friend class DeltaHexastore;
+    Snapshot(std::shared_ptr<const Hexastore> base,
+             std::shared_ptr<const DeltaStore> delta, std::size_t size,
+             std::uint64_t epoch)
+        : base_(std::move(base)),
+          delta_(std::move(delta)),
+          size_(size),
+          epoch_(epoch) {}
+
+    std::shared_ptr<const Hexastore> base_;
+    std::shared_ptr<const DeltaStore> delta_;
+    std::size_t size_;
+    std::uint64_t epoch_;
+  };
+
+  /// Takes a consistent point-in-time handle on the current contents.
+  Snapshot GetSnapshot() const;
+
+  // -- Merged accessor views (the paper's vectors and lists) --------------
+  // Mirror Hexastore's accessors but return merging views instead of raw
+  // vector pointers, so callers see staged edits. Views stay valid across
+  // later mutations and compactions (they pin the generation they were
+  // taken from).
+
+  /// Merged object list o(s,p).
+  MergedList objects(Id s, Id p) const;
+  /// Merged predicate list p(s,o).
+  MergedList predicates(Id s, Id o) const;
+  /// Merged subject list s(p,o).
+  MergedList subjects(Id p, Id o) const;
+
+  // Header-level merged vectors (materialized: membership of a header id
+  // depends on whether any merged terminal list under it is non-empty).
+
+  /// Merged property vector p(s) of the spo index.
+  IdVec predicates_of_subject(Id s) const;
+  /// Merged object vector o(s) of the sop index.
+  IdVec objects_of_subject(Id s) const;
+  /// Merged subject vector s(p) of the pso index.
+  IdVec subjects_of_predicate(Id p) const;
+  /// Merged object vector o(p) of the pos index.
+  IdVec objects_of_predicate(Id p) const;
+  /// Merged subject vector s(o) of the osp index.
+  IdVec subjects_of_object(Id o) const;
+  /// Merged property vector p(o) of the ops index.
+  IdVec predicates_of_object(Id o) const;
+
+  // -- Introspection -------------------------------------------------------
+
+  /// The compacted base store (test/bench access; reflects the state as
+  /// of the last compaction). Shared ownership keeps the generation alive
+  /// across later compactions.
+  std::shared_ptr<const Hexastore> base() const;
+
+  /// Verifies base invariants plus the delta-layer contract (staged
+  /// inserts absent from base, tombstones present, size bookkeeping).
+  bool CheckInvariants(std::string* error = nullptr) const;
+
+ private:
+  // All private helpers expect mu_ to be held.
+  //
+  // Publication protocol: internal reads happen under mu_, so they are
+  // ordered against writers by the mutex alone. The moment a generation
+  // pointer escapes the lock scope (GetSnapshot, a MergedList accessor,
+  // base()), the exposure flag for that object is set and it is NEVER
+  // mutated in place again — writers clone the delta and rebuild-and-swap
+  // the base instead. This is deliberately stronger than a
+  // use_count() == 1 probe: releasing a shared_ptr only synchronizes with
+  // another release, not with a later relaxed use-count read, so a
+  // count-based in-place fast path would race with a reader that already
+  // dropped its handle (ThreadSanitizer rightly flags it).
+
+  // Marks both current generation objects as escaped.
+  void ExposeLocked() const;
+  // Clones the delta iff it ever escaped (copy-on-write), so staged
+  // mutations never alter a published generation.
+  void EnsureDeltaWritableLocked();
+  // Drains the delta into the base; rebuilds-and-swaps when the base has
+  // escaped to a snapshot or merged view.
+  void CompactLocked();
+
+  mutable std::mutex mu_;
+  std::shared_ptr<Hexastore> base_;
+  std::shared_ptr<DeltaStore> delta_;
+  // True once a pointer to the current base_/delta_ object left the
+  // mutex scope; cleared only when the pointer is replaced.
+  mutable bool base_exposed_ = false;
+  mutable bool delta_exposed_ = false;
+  std::size_t compact_threshold_;
+  std::size_t size_ = 0;
+  std::uint64_t epoch_ = 0;
+  std::uint64_t compactions_ = 0;
+};
+
+}  // namespace hexastore
+
+#endif  // HEXASTORE_DELTA_DELTA_HEXASTORE_H_

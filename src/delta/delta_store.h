@@ -1,0 +1,217 @@
+// Hash-backed staging buffer of pending mutations over a base Hexastore
+// (LSM-style write path; cf. the RocksDB memtable + tombstone design).
+//
+// Point writes land here in O(1) instead of paying the O(log + shift)
+// mutation in all six sorted views of the base store. Inserts are staged
+// as positive entries, erases of base-resident triples as tombstones; a
+// compaction later drains both into the base in one sorted merge.
+//
+// Two invariants keep the merged read path simple and are relied on by
+// DeltaHexastore and the merging iterators:
+//
+//   * a staged insert is never present in the base     (adds disjoint)
+//   * a tombstone is always present in the base        (removes subset)
+//
+// so the logical contents are always  base  ∪ adds  ∖ tombstones  with
+// no overlap ambiguity.
+//
+// Write path: ops live in a flat open-addressing table (one linear-probe
+// access, no per-op node allocation) so staging stays allocation-free in
+// steady state — this is where the insert-throughput win over the
+// sextuple-indexed base comes from.
+//
+// Read path: the same three pair-keyed terminal-list families as the
+// base store's TerminalListPool (o(s,p), p(s,o), s(p,o)), split into
+// sorted `adds` / `removes` vectors, are derived LAZILY from the op
+// table the first time a merged accessor view needs them and cached
+// until the next mutation. These side lists are what lets a merged view
+// (MergedListCursor) walk base-list ∪ adds ∖ removes in one linear pass.
+#ifndef HEXASTORE_DELTA_DELTA_STORE_H_
+#define HEXASTORE_DELTA_DELTA_STORE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "index/sorted_vec.h"
+#include "index/terminal_pool.h"
+#include "rdf/triple.h"
+#include "util/common.h"
+
+namespace hexastore {
+
+/// Hash for IdTriple (splitmix64-style mix of all three ids).
+struct IdTripleHash {
+  std::size_t operator()(const IdTriple& t) const {
+    std::uint64_t x = t.s * 0x9e3779b97f4a7c15ULL ^
+                      (t.p + 0x7f4a7c15ULL) * 0xbf58476d1ce4e5b9ULL ^
+                      (t.o + 0x94d049bb133111ebULL);
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return static_cast<std::size_t>(x ^ (x >> 31));
+  }
+};
+
+/// Kind of a staged operation.
+enum class DeltaOp : std::uint8_t {
+  kInsert = 0,     ///< triple added on top of the base
+  kTombstone = 1,  ///< base-resident triple deleted
+};
+
+/// Pending sorted edits of one terminal list, keyed like the base pool.
+struct DeltaList {
+  IdVec adds;      ///< third-role ids staged for insertion
+  IdVec removes;   ///< third-role ids tombstoned out of the base list
+};
+
+/// Unsorted staging buffer of inserts and tombstones.
+///
+/// Copyable on purpose: DeltaHexastore clones it (copy-on-write) when a
+/// snapshot handle still references the pre-mutation state.
+///
+/// Thread-safety: mutators and the lazily-caching read helpers
+/// (FindLists, ForEachList) must be externally serialized (DeltaHexastore
+/// calls them under its mutex); Lookup and ForEachOp are pure reads and
+/// safe on a frozen (never-again-mutated) instance from any thread.
+class DeltaStore {
+ public:
+  DeltaStore() = default;
+
+  /// Copies only the op table and counters; the lazy caches are left
+  /// invalid on the copy (the cloning writer mutates next, which would
+  /// discard them anyway).
+  DeltaStore(const DeltaStore& other)
+      : slots_(other.slots_),
+        used_(other.used_),
+        inserts_(other.inserts_),
+        tombstones_(other.tombstones_),
+        lists_valid_(other.empty()),
+        runs_valid_(other.empty()) {}
+  DeltaStore& operator=(const DeltaStore&) = delete;
+
+  /// Stages `t` as an insert; `base_present` says whether the base store
+  /// already contains `t`. Returns true iff the logical store gains the
+  /// triple (mirrors TripleStore::Insert).
+  bool StageInsert(const IdTriple& t, bool base_present);
+
+  /// Stages `t` as a tombstone; returns true iff the logical store loses
+  /// the triple (mirrors TripleStore::Erase).
+  bool StageErase(const IdTriple& t, bool base_present);
+
+  /// Overlay verdict for a membership test.
+  enum class Presence : std::uint8_t {
+    kInserted,  ///< staged insert: logically present
+    kErased,    ///< tombstoned: logically absent
+    kUnknown,   ///< not staged: defer to the base store
+  };
+  Presence Lookup(const IdTriple& t) const;
+
+  /// Pending edits of the terminal list of `family` keyed by (a, b), or
+  /// nullptr when the delta does not touch that list. Builds the cached
+  /// side lists on first use after a mutation.
+  const DeltaList* FindLists(ListFamily family, Id a, Id b) const;
+
+  /// Emits every staged insert matching `pattern` to `sink`, grouped by
+  /// the pattern's bound prefix: O(log + matches) once the sorted runs
+  /// are cached (instead of a full op-table walk per scan).
+  void ScanInserts(const IdPattern& pattern,
+                   const std::function<void(const IdTriple&)>& sink) const;
+
+  /// Pre-builds every lazy cache (sorted runs + side lists) so a frozen
+  /// copy can be read from many threads without mutating shared state.
+  /// DeltaHexastore calls this under its mutex before publishing.
+  void Freeze() const;
+
+  /// Calls `fn(triple, op)` for every staged operation (table order).
+  template <typename Fn>
+  void ForEachOp(Fn&& fn) const {
+    for (const Slot& slot : slots_) {
+      if (slot.state == SlotState::kFull) {
+        fn(slot.triple, slot.op);
+      }
+    }
+  }
+
+  /// Calls `fn(key, lists)` for every touched terminal list of `family`.
+  /// Builds the cached side lists on first use after a mutation.
+  template <typename Fn>
+  void ForEachList(ListFamily family, Fn&& fn) const {
+    EnsureSideLists();
+    for (const auto& [key, lists] : lists_[static_cast<int>(family)]) {
+      fn(key, lists);
+    }
+  }
+
+  /// Staged inserts, sorted in (s, p, o) order (compaction input).
+  IdTripleVec SortedInserts() const;
+  /// Staged tombstones, sorted in (s, p, o) order (compaction input).
+  IdTripleVec SortedTombstones() const;
+
+  std::size_t insert_count() const { return inserts_; }
+  std::size_t tombstone_count() const { return tombstones_; }
+  /// Total staged operations (compaction-threshold metric).
+  std::size_t op_count() const { return inserts_ + tombstones_; }
+  /// Net triple-count contribution: inserts minus tombstones.
+  std::ptrdiff_t size_delta() const {
+    return static_cast<std::ptrdiff_t>(inserts_) -
+           static_cast<std::ptrdiff_t>(tombstones_);
+  }
+  bool empty() const { return op_count() == 0; }
+
+  /// Approximate heap bytes (op table + cached side lists).
+  std::size_t MemoryBytes() const;
+
+  /// Drops every staged operation.
+  void Clear();
+
+ private:
+  enum class SlotState : std::uint8_t {
+    kEmpty = 0,  ///< never used on this probe chain
+    kFull,       ///< holds a staged op
+    kDead,       ///< held an op that was cancelled (probe chains continue)
+  };
+
+  struct Slot {
+    IdTriple triple;
+    SlotState state = SlotState::kEmpty;
+    DeltaOp op = DeltaOp::kInsert;
+  };
+
+  using ListMap = std::unordered_map<IdPair, DeltaList, IdPairHash>;
+
+  // Probe for `t`: the slot holding it, or nullptr. `insert_at` (when
+  // non-null) receives the slot a new entry for `t` should occupy.
+  Slot* Probe(const IdTriple& t, Slot** insert_at) const;
+  // Grows/rehashes the table so one more op always fits.
+  void ReserveForOneMore();
+  // Rebuilds the three side-list families from the op table.
+  void EnsureSideLists() const;
+  // Rebuilds the three sorted insert runs from the op table.
+  void EnsureSortedRuns() const;
+  // Drops all lazy caches after a mutation.
+  void InvalidateCaches() {
+    lists_valid_ = false;
+    runs_valid_ = false;
+  }
+
+  mutable std::vector<Slot> slots_;  // power-of-two size; empty at start
+  std::size_t used_ = 0;             // kFull + kDead slots
+  std::size_t inserts_ = 0;
+  std::size_t tombstones_ = 0;
+
+  mutable ListMap lists_[3];
+  mutable bool lists_valid_ = true;  // empty delta == valid empty lists
+
+  // Staged inserts sorted three ways: (s,p,o), (p,o,s) and (o,s,p), so
+  // every bound-prefix shape of IdPattern has a run it can range-scan.
+  mutable IdTripleVec run_spo_;
+  mutable IdTripleVec run_pos_;
+  mutable IdTripleVec run_osp_;
+  mutable bool runs_valid_ = true;
+};
+
+}  // namespace hexastore
+
+#endif  // HEXASTORE_DELTA_DELTA_STORE_H_

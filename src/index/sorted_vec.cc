@@ -31,6 +31,14 @@ void SortUnique(IdVec* vec) {
   vec->erase(std::unique(vec->begin(), vec->end()), vec->end());
 }
 
+void SortedMergeTail(IdVec* vec, std::size_t sorted_prefix) {
+  const auto mid =
+      vec->begin() + static_cast<std::ptrdiff_t>(sorted_prefix);
+  std::sort(mid, vec->end());
+  std::inplace_merge(vec->begin(), mid, vec->end());
+  vec->erase(std::unique(vec->begin(), vec->end()), vec->end());
+}
+
 std::size_t GallopLowerBound(const IdVec& vec, std::size_t start,
                              Id target) {
   std::size_t lo = start;

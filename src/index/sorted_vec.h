@@ -29,6 +29,12 @@ bool SortedContains(const IdVec& vec, Id id);
 /// Sorts and deduplicates in place (bulk-load path).
 void SortUnique(IdVec* vec);
 
+/// Finalizes a vector whose first `sorted_prefix` elements are sorted and
+/// duplicate-free while the appended tail is arbitrary: sorts the tail,
+/// merges it in linearly, and drops duplicates (including tail elements
+/// already present in the prefix). The incremental bulk-load primitive.
+void SortedMergeTail(IdVec* vec, std::size_t sorted_prefix);
+
 /// Index of the first element >= target, probing with galloping
 /// (exponential) search from `start`. Used to accelerate merge joins on
 /// size-skewed inputs.

@@ -4,6 +4,7 @@
 #include <istream>
 #include <ostream>
 
+#include "delta/delta_hexastore.h"
 #include "io/binary_format.h"
 
 namespace hexastore {
@@ -38,11 +39,11 @@ TermTag TagOf(const Term& term) {
   return TermTag::kIri;
 }
 
-}  // namespace
+// Shared codec halves: the Graph and DeltaHexastore snapshots write the
+// identical byte stream — magic, dictionary, then delta/varint-coded
+// triples in (s, p, o) order.
 
-Status SaveSnapshot(const Graph& graph, std::ostream& out) {
-  out.write(kMagic, sizeof(kMagic));
-  const Dictionary& dict = graph.dict();
+void WriteDictionary(const Dictionary& dict, std::ostream& out) {
   PutVarint(out, dict.size());
   for (Id id = 1; id <= dict.size(); ++id) {
     const Term& term = dict.term(id);
@@ -55,8 +56,10 @@ Status SaveSnapshot(const Graph& graph, std::ostream& out) {
       PutString(out, term.datatype());
     }
   }
+}
 
-  IdTripleVec triples = graph.store().Match(IdPattern{});  // (s,p,o) order
+// `triples` must be sorted in (s, p, o) order.
+void WriteTriples(const IdTripleVec& triples, std::ostream& out) {
   PutVarint(out, triples.size());
   Id prev_s = 0;
   Id prev_p = 0;
@@ -80,28 +83,23 @@ Status SaveSnapshot(const Graph& graph, std::ostream& out) {
     prev_p = t.p;
     prev_o = t.o;
   }
-  if (!out.good()) {
-    return Status::Internal("write failure while saving snapshot");
-  }
-  return Status::OK();
 }
 
-Status LoadSnapshot(std::istream& in, Graph* graph) {
-  if (graph->size() != 0) {
-    return Status::InvalidArgument("target graph must be empty");
-  }
+Status ReadMagic(std::istream& in) {
   char magic[4];
   in.read(magic, sizeof(magic));
   if (in.gcount() != sizeof(magic) ||
       !std::equal(magic, magic + 4, kMagic)) {
     return Status::ParseError("bad snapshot magic");
   }
+  return Status::OK();
+}
 
+Status ReadDictionary(std::istream& in, Dictionary* dict) {
   auto term_count = GetVarint(in);
   if (!term_count.ok()) {
     return term_count.status();
   }
-  Dictionary& dict = graph->mutable_dict();
   for (std::uint64_t i = 0; i < term_count.value(); ++i) {
     const int tag_byte = in.get();
     if (tag_byte == std::char_traits<char>::eof() || tag_byte > 4) {
@@ -141,22 +139,24 @@ Status LoadSnapshot(std::istream& in, Graph* graph) {
         term = Term::Blank(std::move(value).value());
         break;
     }
-    const Id assigned = dict.Intern(term);
+    const Id assigned = dict->Intern(term);
     if (assigned != i + 1) {
       return Status::ParseError("duplicate term in snapshot dictionary");
     }
   }
+  return Status::OK();
+}
 
+Status ReadTriples(std::istream& in, std::uint64_t max_id,
+                   IdTripleVec* triples) {
   auto triple_count = GetVarint(in);
   if (!triple_count.ok()) {
     return triple_count.status();
   }
-  IdTripleVec triples;
-  triples.reserve(static_cast<std::size_t>(triple_count.value()));
+  triples->reserve(static_cast<std::size_t>(triple_count.value()));
   Id prev_s = 0;
   Id prev_p = 0;
   Id prev_o = 0;
-  const std::uint64_t max_id = dict.size();
   for (std::uint64_t i = 0; i < triple_count.value(); ++i) {
     auto delta_s = GetVarint(in);
     if (!delta_s.ok()) {
@@ -189,12 +189,77 @@ Status LoadSnapshot(std::istream& in, Graph* graph) {
         o > max_id) {
       return Status::ParseError("triple id out of dictionary range");
     }
-    triples.push_back(IdTriple{s, p, o});
+    triples->push_back(IdTriple{s, p, o});
     prev_s = s;
     prev_p = p;
     prev_o = o;
   }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status SaveSnapshot(const Graph& graph, std::ostream& out) {
+  out.write(kMagic, sizeof(kMagic));
+  WriteDictionary(graph.dict(), out);
+  WriteTriples(graph.store().Match(IdPattern{}), out);  // (s,p,o) order
+  if (!out.good()) {
+    return Status::Internal("write failure while saving snapshot");
+  }
+  return Status::OK();
+}
+
+Status LoadSnapshot(std::istream& in, Graph* graph) {
+  if (graph->size() != 0) {
+    return Status::InvalidArgument("target graph must be empty");
+  }
+  if (Status s = ReadMagic(in); !s.ok()) {
+    return s;
+  }
+  Dictionary& dict = graph->mutable_dict();
+  if (Status s = ReadDictionary(in, &dict); !s.ok()) {
+    return s;
+  }
+  IdTripleVec triples;
+  if (Status s = ReadTriples(in, dict.size(), &triples); !s.ok()) {
+    return s;
+  }
   graph->BulkLoadEncoded(triples);
+  return Status::OK();
+}
+
+Status SaveSnapshot(const Dictionary& dict, DeltaHexastore* store,
+                    std::ostream& out) {
+  // Draining first keeps the on-disk format identical to the Graph
+  // snapshot (no delta side section) and pays the merge once instead of
+  // on every future read.
+  store->Compact();
+  out.write(kMagic, sizeof(kMagic));
+  WriteDictionary(dict, out);
+  WriteTriples(store->Match(IdPattern{}), out);
+  if (!out.good()) {
+    return Status::Internal("write failure while saving snapshot");
+  }
+  return Status::OK();
+}
+
+Status LoadSnapshot(std::istream& in, Dictionary* dict,
+                    DeltaHexastore* store) {
+  if (dict->size() != 0 || store->size() != 0) {
+    return Status::InvalidArgument(
+        "target dictionary and store must be empty");
+  }
+  if (Status s = ReadMagic(in); !s.ok()) {
+    return s;
+  }
+  if (Status s = ReadDictionary(in, dict); !s.ok()) {
+    return s;
+  }
+  IdTripleVec triples;
+  if (Status s = ReadTriples(in, dict->size(), &triples); !s.ok()) {
+    return s;
+  }
+  store->BulkLoad(triples);
   return Status::OK();
 }
 
@@ -212,6 +277,24 @@ Status LoadSnapshotFile(const std::string& path, Graph* graph) {
     return Status::InvalidArgument("cannot open for reading: " + path);
   }
   return LoadSnapshot(in, graph);
+}
+
+Status SaveSnapshotFile(const Dictionary& dict, DeltaHexastore* store,
+                        const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    return Status::InvalidArgument("cannot open for writing: " + path);
+  }
+  return SaveSnapshot(dict, store, out);
+}
+
+Status LoadSnapshotFile(const std::string& path, Dictionary* dict,
+                        DeltaHexastore* store) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::InvalidArgument("cannot open for reading: " + path);
+  }
+  return LoadSnapshot(in, dict, store);
 }
 
 }  // namespace hexastore

@@ -28,6 +28,8 @@
 
 namespace hexastore {
 
+class DeltaHexastore;  // delta/delta_hexastore.h (included by snapshot.cc)
+
 /// Writes a snapshot of `graph` to `out`.
 Status SaveSnapshot(const Graph& graph, std::ostream& out);
 
@@ -38,6 +40,28 @@ Status LoadSnapshot(std::istream& in, Graph* graph);
 /// File convenience wrappers.
 Status SaveSnapshotFile(const Graph& graph, const std::string& path);
 Status LoadSnapshotFile(const std::string& path, Graph* graph);
+
+// -- Delta-store snapshots ------------------------------------------------
+// Same HXS1 byte format as the Graph snapshot. Saving compacts the
+// staged delta into the base first (rather than serializing delta ops as
+// a side section), so on-disk snapshots of a DeltaHexastore and of an
+// equivalent Graph are byte-identical and old readers stay compatible.
+
+/// Compacts `store`'s staged delta, then writes `dict` and the store's
+/// triples to `out`.
+Status SaveSnapshot(const Dictionary& dict, DeltaHexastore* store,
+                    std::ostream& out);
+
+/// Reads a snapshot into an empty `dict` + `store`; triples are
+/// bulk-loaded straight into the compacted base.
+Status LoadSnapshot(std::istream& in, Dictionary* dict,
+                    DeltaHexastore* store);
+
+/// File convenience wrappers for the delta-store snapshot.
+Status SaveSnapshotFile(const Dictionary& dict, DeltaHexastore* store,
+                        const std::string& path);
+Status LoadSnapshotFile(const std::string& path, Dictionary* dict,
+                        DeltaHexastore* store);
 
 }  // namespace hexastore
 

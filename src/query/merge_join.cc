@@ -54,4 +54,48 @@ std::vector<std::pair<Id, Id>> JoinChain(const Hexastore& store, Id p1,
   return out;
 }
 
+IdVec JoinSubjectsByObjects(const DeltaHexastore& store, Id p1, Id o1,
+                            Id p2, Id o2) {
+  return IntersectCursors(store.subjects(p1, o1).cursor(),
+                          store.subjects(p2, o2).cursor());
+}
+
+IdVec JoinObjectsBySubjects(const DeltaHexastore& store, Id s1, Id p1,
+                            Id s2, Id p2) {
+  return IntersectCursors(store.objects(s1, p1).cursor(),
+                          store.objects(s2, p2).cursor());
+}
+
+IdVec JoinSubjectsOfObjects(const DeltaHexastore& store, Id o1, Id o2) {
+  return Intersect(store.subjects_of_object(o1),
+                   store.subjects_of_object(o2));
+}
+
+IdVec JoinPredicatesByPairs(const DeltaHexastore& store, Id s1, Id o1,
+                            Id s2, Id o2) {
+  return IntersectCursors(store.predicates(s1, o1).cursor(),
+                          store.predicates(s2, o2).cursor());
+}
+
+std::vector<std::pair<Id, Id>> JoinChain(const DeltaHexastore& store,
+                                         Id p1, Id p2) {
+  std::vector<std::pair<Id, Id>> out;
+  const IdVec mids_from_p1 = store.objects_of_predicate(p1);
+  const IdVec mids_to_p2 = store.subjects_of_predicate(p2);
+  MergeJoin(mids_from_p1, mids_to_p2, [&](Id mid) {
+    // Named views: a cursor must not outlive the MergedList that pins the
+    // generation it reads.
+    const MergedList starts = store.subjects(p1, mid);
+    const MergedList ends = store.objects(mid, p2);
+    for (MergedListCursor s = starts.cursor(); !s.done(); s.next()) {
+      for (MergedListCursor e = ends.cursor(); !e.done(); e.next()) {
+        out.emplace_back(s.value(), e.value());
+      }
+    }
+  });
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
 }  // namespace hexastore

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "core/hexastore.h"
+#include "delta/delta_hexastore.h"
 #include "index/sorted_vec.h"
 
 namespace hexastore {
@@ -49,6 +50,21 @@ IdVec JoinPredicatesByPairs(const Hexastore& store, Id s1, Id o1, Id s2,
 /// vector of p2 (§4.3).
 std::vector<std::pair<Id, Id>> JoinChain(const Hexastore& store, Id p1,
                                          Id p2);
+
+// -- DeltaHexastore overloads ---------------------------------------------
+// Same joins over the delta-layered store: each sorted input is a
+// MergedListCursor (base list ∪ staged adds ∖ tombstones walked in one
+// pass), so the joins stay linear merges even with an uncompacted delta.
+
+IdVec JoinSubjectsByObjects(const DeltaHexastore& store, Id p1, Id o1,
+                            Id p2, Id o2);
+IdVec JoinObjectsBySubjects(const DeltaHexastore& store, Id s1, Id p1,
+                            Id s2, Id p2);
+IdVec JoinSubjectsOfObjects(const DeltaHexastore& store, Id o1, Id o2);
+IdVec JoinPredicatesByPairs(const DeltaHexastore& store, Id s1, Id o1,
+                            Id s2, Id o2);
+std::vector<std::pair<Id, Id>> JoinChain(const DeltaHexastore& store,
+                                         Id p1, Id p2);
 
 }  // namespace hexastore
 

@@ -1,7 +1,9 @@
 // Cross-index consistency under churn: a randomized interleaved
 // Insert/Erase/Clear sequence must keep all six permutation indexes in
 // agreement (Hexastore::CheckInvariants) and in lock-step with a
-// std::set<IdTriple> oracle.
+// std::set<IdTriple> oracle. The same oracle churn also runs against
+// DeltaHexastore with a tiny compaction threshold, so every batch crosses
+// several staged/part-drained/freshly-compacted states.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -10,6 +12,7 @@
 #include <vector>
 
 #include "core/hexastore.h"
+#include "delta/delta_hexastore.h"
 #include "rdf/triple.h"
 #include "util/rng.h"
 
@@ -23,15 +26,19 @@ IdTriple RandomTriple(Rng& rng, Id universe) {
                   rng.UniformRange(1, universe)};
 }
 
-// Full materialization of the store via an unbound scan, sorted.
-IdTripleVec ScanAll(const Hexastore& store) {
+// Full materialization of the store via an unbound scan, sorted. Works
+// for any store exposing Scan/size/CheckInvariants (Hexastore and
+// DeltaHexastore both do).
+template <typename StoreT>
+IdTripleVec ScanAll(const StoreT& store) {
   IdTripleVec out;
   store.Scan(IdPattern{}, [&out](const IdTriple& t) { out.push_back(t); });
   std::sort(out.begin(), out.end());
   return out;
 }
 
-void ExpectAgreesWithOracle(const Hexastore& store,
+template <typename StoreT>
+void ExpectAgreesWithOracle(const StoreT& store,
                             const std::set<IdTriple>& oracle) {
   ASSERT_EQ(store.size(), oracle.size());
   IdTripleVec scanned = ScanAll(store);
@@ -106,6 +113,103 @@ TEST(ChurnTest, ContainsMatchesOracleThroughoutChurn) {
     std::string err;
     ASSERT_TRUE(store.CheckInvariants(&err)) << err;
   }
+}
+
+TEST(DeltaChurnTest, RandomizedInsertEraseClearAgreesWithOracle) {
+  Rng rng(0xC0FFEE);
+  // Threshold far below ops-per-batch: every batch straddles several
+  // compactions, so the oracle checks hit mid-compaction states.
+  DeltaHexastore store(/*compact_threshold=*/32);
+  std::set<IdTriple> oracle;
+
+  constexpr Id kUniverse = 12;
+  constexpr int kBatches = 60;
+  constexpr int kOpsPerBatch = 50;
+
+  for (int batch = 0; batch < kBatches; ++batch) {
+    for (int op = 0; op < kOpsPerBatch; ++op) {
+      double dice = rng.NextDouble();
+      if (dice < 0.55) {
+        IdTriple t = RandomTriple(rng, kUniverse);
+        EXPECT_EQ(store.Insert(t), oracle.insert(t).second);
+      } else if (dice < 0.98) {
+        IdTriple t;
+        if (!oracle.empty() && rng.Bernoulli(0.5)) {
+          auto it = oracle.begin();
+          std::advance(it, rng.Uniform(oracle.size()));
+          t = *it;
+        } else {
+          t = RandomTriple(rng, kUniverse);
+        }
+        EXPECT_EQ(store.Erase(t), oracle.erase(t) > 0);
+      } else {
+        store.Clear();
+        oracle.clear();
+      }
+    }
+    ASSERT_NO_FATAL_FAILURE(ExpectAgreesWithOracle(store, oracle))
+        << "after batch " << batch;
+  }
+  EXPECT_GT(store.CompactionCount(), 0u);
+}
+
+TEST(DeltaChurnTest, ContainsMatchesOracleThroughoutChurn) {
+  Rng rng(42);
+  DeltaHexastore store(/*compact_threshold=*/16);
+  std::set<IdTriple> oracle;
+
+  constexpr Id kUniverse = 6;
+  for (int round = 0; round < 20; ++round) {
+    for (int op = 0; op < 30; ++op) {
+      IdTriple t = RandomTriple(rng, kUniverse);
+      if (rng.Bernoulli(0.5)) {
+        EXPECT_EQ(store.Insert(t), oracle.insert(t).second);
+      } else {
+        EXPECT_EQ(store.Erase(t), oracle.erase(t) > 0);
+      }
+    }
+    for (Id s = 1; s <= kUniverse; ++s) {
+      for (Id p = 1; p <= kUniverse; ++p) {
+        for (Id o = 1; o <= kUniverse; ++o) {
+          IdTriple t{s, p, o};
+          ASSERT_EQ(store.Contains(t), oracle.count(t) > 0)
+              << "round " << round << " triple (" << s << "," << p << ","
+              << o << ")";
+        }
+      }
+    }
+    std::string err;
+    ASSERT_TRUE(store.CheckInvariants(&err)) << err;
+  }
+}
+
+TEST(DeltaChurnTest, SnapshotStaysStableWhileChurnContinues) {
+  Rng rng(0x5a5a);
+  DeltaHexastore store(/*compact_threshold=*/24);
+  std::set<IdTriple> oracle;
+  for (int i = 0; i < 100; ++i) {
+    IdTriple t = RandomTriple(rng, 10);
+    store.Insert(t);
+    oracle.insert(t);
+  }
+  DeltaHexastore::Snapshot snap = store.GetSnapshot();
+  const IdTripleVec frozen(oracle.begin(), oracle.end());
+  ASSERT_EQ(snap.Match(IdPattern{}), frozen);
+  // Churn on, crossing several compactions and a Clear.
+  for (int i = 0; i < 400; ++i) {
+    IdTriple t = RandomTriple(rng, 10);
+    if (rng.Bernoulli(0.5)) {
+      store.Insert(t);
+    } else {
+      store.Erase(t);
+    }
+    if (i == 250) {
+      store.Clear();
+    }
+  }
+  // The snapshot still serves the frozen view.
+  EXPECT_EQ(snap.Match(IdPattern{}), frozen);
+  EXPECT_EQ(snap.size(), frozen.size());
 }
 
 TEST(ChurnTest, ClearThenReuseKeepsInvariants) {

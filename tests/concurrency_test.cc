@@ -1,15 +1,19 @@
 // Concurrent-reader tests: an immutable Hexastore must serve pattern
 // lookups, workload queries and advisor reads from many threads at once
-// (reads only mutate the relaxed-atomic access counters).
+// (reads only mutate the relaxed-atomic access counters), and a
+// DeltaHexastore must serve snapshot-isolated readers while a writer
+// stages ops and triggers compactions.
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstddef>
 #include <thread>
 #include <vector>
 
 #include "core/advisor.h"
 #include "core/hexastore.h"
 #include "data/lubm_generator.h"
+#include "delta/delta_hexastore.h"
 #include "dict/dictionary.h"
 #include "util/rng.h"
 #include "workload/lubm_queries.h"
@@ -86,6 +90,121 @@ TEST(ConcurrencyTest, ParallelWorkloadQueriesAgree) {
     });
   }
   for (auto& th : threads) {
+    th.join();
+  }
+  EXPECT_EQ(failures.load(), 0);
+}
+
+// Reader threads scan through snapshot handles while one writer inserts
+// past the compaction threshold over and over. Each snapshot must stay
+// internally consistent (same answer on re-scan, size bookkeeping exact,
+// membership agreeing with the scan) no matter how many compactions and
+// generation swaps happen underneath it.
+TEST(ConcurrencyTest, SnapshotReadersSurviveWriterCompactions) {
+  // Small threshold: the writer triggers hundreds of compactions.
+  DeltaHexastore store(/*compact_threshold=*/64);
+  constexpr int kWriterOps = 20000;
+  constexpr int kReaders = 4;
+
+  std::atomic<bool> done{false};
+  std::atomic<int> failures{0};
+
+  std::vector<std::thread> readers;
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&store, &done, &failures, r] {
+      Rng rng(1000 + r);
+      while (!done.load(std::memory_order_acquire)) {
+        DeltaHexastore::Snapshot snap = store.GetSnapshot();
+        const IdTripleVec first = snap.Match(IdPattern{});
+        if (first.size() != snap.size()) {
+          failures.fetch_add(1);
+        }
+        // Writer keeps mutating the live store; this snapshot must not
+        // move.
+        const IdTripleVec second = snap.Match(IdPattern{});
+        if (second != first) {
+          failures.fetch_add(1);
+        }
+        // Membership agrees with the materialized scan.
+        for (int probe = 0; probe < 10 && !first.empty(); ++probe) {
+          const IdTriple& t = first[rng.Uniform(first.size())];
+          if (!snap.Contains(t)) {
+            failures.fetch_add(1);
+          }
+        }
+        // Pattern scans answer from the same frozen generation.
+        const Id p = 1 + rng.Uniform(8);
+        IdTripleVec by_p;
+        snap.Scan(IdPattern{0, p, 0},
+                  [&by_p](const IdTriple& t) { by_p.push_back(t); });
+        std::size_t expect = 0;
+        for (const IdTriple& t : first) {
+          expect += t.p == p ? 1 : 0;
+        }
+        if (by_p.size() != expect) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+
+  Rng rng(2026);
+  for (int i = 0; i < kWriterOps; ++i) {
+    IdTriple t{1 + rng.Uniform(300), 1 + rng.Uniform(8),
+               1 + rng.Uniform(300)};
+    if (rng.Bernoulli(0.8)) {
+      store.Insert(t);
+    } else {
+      store.Erase(t);
+    }
+  }
+  done.store(true, std::memory_order_release);
+  for (auto& th : readers) {
+    th.join();
+  }
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_GT(store.CompactionCount(), 0u);
+  std::string err;
+  EXPECT_TRUE(store.CheckInvariants(&err)) << err;
+}
+
+// Merged accessor views taken by readers must keep answering from the
+// generation they pinned while the writer compacts underneath.
+TEST(ConcurrencyTest, MergedViewsPinTheirGeneration) {
+  DeltaHexastore store(/*compact_threshold=*/32);
+  constexpr Id kS = 1;
+  constexpr Id kP = 2;
+  std::atomic<bool> done{false};
+  std::atomic<int> failures{0};
+
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 4; ++r) {
+    readers.emplace_back([&store, &done, &failures] {
+      while (!done.load(std::memory_order_acquire)) {
+        const MergedList view = store.objects(kS, kP);
+        const IdVec a = view.Materialize();
+        const IdVec b = view.Materialize();  // same view, same answer
+        if (a != b || a.size() != view.size()) {
+          failures.fetch_add(1);
+        }
+        if (!IsStrictlySorted(a)) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+
+  Rng rng(7);
+  for (int i = 0; i < 20000; ++i) {
+    const Id o = 1 + rng.Uniform(500);
+    if (rng.Bernoulli(0.7)) {
+      store.Insert({kS, kP, o});
+    } else {
+      store.Erase({kS, kP, o});
+    }
+  }
+  done.store(true, std::memory_order_release);
+  for (auto& th : readers) {
     th.join();
   }
   EXPECT_EQ(failures.load(), 0);

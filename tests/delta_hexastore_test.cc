@@ -1,0 +1,335 @@
+// Behavior tests of the DeltaHexastore: staging semantics, threshold
+// auto-compaction, snapshot isolation across compactions, merged accessor
+// views and merge joins mid-delta, stats, and the snapshot file format.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/hexastore.h"
+#include "delta/delta_hexastore.h"
+#include "io/snapshot.h"
+#include "query/merge_join.h"
+#include "rdf/term.h"
+#include "util/rng.h"
+
+namespace hexastore {
+namespace {
+
+IdTripleVec MatchAll(const TripleStore& store) {
+  return store.Match(IdPattern{});
+}
+
+TEST(DeltaHexastoreTest, InsertEraseContainsMirrorTripleStoreContract) {
+  DeltaHexastore store;
+  EXPECT_TRUE(store.Insert({1, 2, 3}));
+  EXPECT_FALSE(store.Insert({1, 2, 3}));
+  EXPECT_TRUE(store.Contains({1, 2, 3}));
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_TRUE(store.Erase({1, 2, 3}));
+  EXPECT_FALSE(store.Erase({1, 2, 3}));
+  EXPECT_FALSE(store.Contains({1, 2, 3}));
+  EXPECT_EQ(store.size(), 0u);
+  EXPECT_EQ(store.name(), "DeltaHexastore");
+}
+
+TEST(DeltaHexastoreTest, WritesStageInDeltaUntilThreshold) {
+  DeltaHexastore store(/*compact_threshold=*/8);
+  for (Id i = 1; i <= 7; ++i) {
+    store.Insert({i, 1, 1});
+  }
+  EXPECT_EQ(store.StagedOps(), 7u);
+  EXPECT_EQ(store.CompactionCount(), 0u);
+  EXPECT_EQ(store.base()->size(), 0u);  // nothing drained yet
+  store.Insert({8, 1, 1});              // hits the threshold
+  EXPECT_EQ(store.StagedOps(), 0u);
+  EXPECT_EQ(store.CompactionCount(), 1u);
+  EXPECT_EQ(store.base()->size(), 8u);
+  EXPECT_EQ(store.size(), 8u);
+}
+
+TEST(DeltaHexastoreTest, EraseOfBaseTripleStagesTombstone) {
+  DeltaHexastore store(/*compact_threshold=*/4);
+  for (Id i = 1; i <= 4; ++i) {
+    store.Insert({i, 1, 1});  // compacts on the 4th
+  }
+  ASSERT_EQ(store.CompactionCount(), 1u);
+  EXPECT_TRUE(store.Erase({2, 1, 1}));
+  EXPECT_EQ(store.StagedOps(), 1u);
+  EXPECT_FALSE(store.Contains({2, 1, 1}));
+  EXPECT_EQ(store.size(), 3u);
+  // The tombstoned triple is still physically in the base.
+  EXPECT_TRUE(store.base()->Contains({2, 1, 1}));
+  store.Compact();
+  EXPECT_FALSE(store.base()->Contains({2, 1, 1}));
+  EXPECT_EQ(store.size(), 3u);
+}
+
+TEST(DeltaHexastoreTest, ScanSeesBaseMinusTombstonesPlusDelta) {
+  DeltaHexastore store(/*compact_threshold=*/1024);
+  store.BulkLoad({{1, 1, 1}, {2, 1, 1}, {3, 1, 1}});
+  store.Erase({2, 1, 1});   // tombstone over base
+  store.Insert({4, 1, 1});  // staged insert
+  const IdTripleVec expect{{1, 1, 1}, {3, 1, 1}, {4, 1, 1}};
+  EXPECT_EQ(MatchAll(store), expect);
+  // Pattern-restricted scans see the same merged view.
+  EXPECT_EQ(store.CountMatches({0, 1, 1}), 3u);
+  EXPECT_EQ(store.CountMatches({2, 0, 0}), 0u);
+  EXPECT_EQ(store.CountMatches({4, 0, 0}), 1u);
+}
+
+TEST(DeltaHexastoreTest, AgreesWithHexastoreUnderRandomChurn) {
+  Rng rng(0xde17a);
+  DeltaHexastore store(/*compact_threshold=*/64);
+  Hexastore oracle;
+  for (int i = 0; i < 4000; ++i) {
+    IdTriple t{1 + rng.Uniform(12), 1 + rng.Uniform(6),
+               1 + rng.Uniform(12)};
+    if (rng.Bernoulli(0.6)) {
+      EXPECT_EQ(store.Insert(t), oracle.Insert(t));
+    } else {
+      EXPECT_EQ(store.Erase(t), oracle.Erase(t));
+    }
+  }
+  EXPECT_EQ(store.size(), oracle.size());
+  EXPECT_GT(store.CompactionCount(), 0u);
+  for (int mask = 0; mask < 8; ++mask) {
+    for (int probe = 0; probe < 20; ++probe) {
+      IdPattern q;
+      if (mask & 1) q.s = 1 + rng.Uniform(13);
+      if (mask & 2) q.p = 1 + rng.Uniform(7);
+      if (mask & 4) q.o = 1 + rng.Uniform(13);
+      EXPECT_EQ(store.Match(q), oracle.Match(q));
+    }
+  }
+  std::string err;
+  EXPECT_TRUE(store.CheckInvariants(&err)) << err;
+}
+
+TEST(DeltaHexastoreTest, SnapshotIsIsolatedFromLaterWritesAndCompaction) {
+  DeltaHexastore store(/*compact_threshold=*/16);
+  for (Id i = 1; i <= 10; ++i) {
+    store.Insert({i, 1, 1});
+  }
+  DeltaHexastore::Snapshot snap = store.GetSnapshot();
+  const IdTripleVec at_snapshot = snap.Match(IdPattern{});
+  ASSERT_EQ(at_snapshot.size(), 10u);
+
+  // Mutate past the threshold: compaction runs with the snapshot alive.
+  for (Id i = 11; i <= 40; ++i) {
+    store.Insert({i, 1, 1});
+  }
+  store.Erase({1, 1, 1});
+  ASSERT_GT(store.CompactionCount(), 0u);
+
+  // The snapshot still answers from the pre-compaction view.
+  EXPECT_EQ(snap.Match(IdPattern{}), at_snapshot);
+  EXPECT_EQ(snap.size(), 10u);
+  EXPECT_TRUE(snap.Contains({1, 1, 1}));
+  EXPECT_FALSE(snap.Contains({11, 1, 1}));
+  // The live store sees the new state.
+  EXPECT_EQ(store.size(), 39u);
+  EXPECT_FALSE(store.Contains({1, 1, 1}));
+}
+
+TEST(DeltaHexastoreTest, SnapshotEpochAdvancesOnCompaction) {
+  DeltaHexastore store(/*compact_threshold=*/4);
+  DeltaHexastore::Snapshot before = store.GetSnapshot();
+  for (Id i = 1; i <= 4; ++i) {
+    store.Insert({i, 1, 1});
+  }
+  DeltaHexastore::Snapshot after = store.GetSnapshot();
+  EXPECT_GT(after.epoch(), before.epoch());
+}
+
+TEST(DeltaHexastoreTest, ClearResetsEverythingIncludingStagedOps) {
+  DeltaHexastore store(/*compact_threshold=*/1024);
+  store.BulkLoad({{1, 1, 1}, {2, 2, 2}});
+  store.Insert({3, 3, 3});
+  DeltaHexastore::Snapshot snap = store.GetSnapshot();
+  store.Clear();
+  EXPECT_EQ(store.size(), 0u);
+  EXPECT_EQ(store.StagedOps(), 0u);
+  EXPECT_EQ(MatchAll(store), IdTripleVec{});
+  // The snapshot keeps the pre-clear view.
+  EXPECT_EQ(snap.size(), 3u);
+  EXPECT_TRUE(snap.Contains({3, 3, 3}));
+  std::string err;
+  EXPECT_TRUE(store.CheckInvariants(&err)) << err;
+}
+
+TEST(DeltaHexastoreTest, MergedTerminalListsSeeStagedEdits) {
+  DeltaHexastore store(/*compact_threshold=*/1024);
+  store.BulkLoad({{1, 2, 3}, {1, 2, 5}, {1, 2, 7}});
+  store.Erase({1, 2, 5});
+  store.Insert({1, 2, 4});
+  const IdVec expect{3, 4, 7};
+  EXPECT_EQ(store.objects(1, 2).Materialize(), expect);
+  EXPECT_EQ(store.objects(1, 2).size(), 3u);
+  // Terminal lists in the other two families.
+  EXPECT_EQ(store.predicates(1, 3).Materialize(), IdVec{2});
+  EXPECT_EQ(store.subjects(2, 4).Materialize(), IdVec{1});
+  EXPECT_EQ(store.subjects(2, 5).Materialize(), IdVec{});
+}
+
+TEST(DeltaHexastoreTest, MergedHeaderVectorsTrackPairLiveness) {
+  DeltaHexastore store(/*compact_threshold=*/1024);
+  store.BulkLoad({{1, 2, 3}, {1, 4, 3}, {5, 2, 3}});
+  // New subject header appears from a staged insert alone.
+  store.Insert({6, 2, 9});
+  // Erasing the only triple under (5, 2) must drop 5 from s(p=2).
+  store.Erase({5, 2, 3});
+  EXPECT_EQ(store.subjects_of_predicate(2), (IdVec{1, 6}));
+  EXPECT_EQ(store.predicates_of_subject(1), (IdVec{2, 4}));
+  EXPECT_EQ(store.predicates_of_subject(6), IdVec{2});
+  EXPECT_EQ(store.objects_of_predicate(2), (IdVec{3, 9}));
+  EXPECT_EQ(store.subjects_of_object(3), IdVec{1});
+  EXPECT_EQ(store.predicates_of_object(9), IdVec{2});
+  EXPECT_EQ(store.objects_of_subject(5), IdVec{});
+  // A partial erase must NOT drop a header while sibling pairs survive:
+  // (1,4,3) still links subject 1 and object 3 after (1,2,3) goes.
+  store.Erase({1, 2, 3});
+  EXPECT_EQ(store.subjects_of_object(3), IdVec{1});
+  EXPECT_EQ(store.predicates_of_subject(1), IdVec{4});
+  EXPECT_EQ(store.predicates_of_object(3), IdVec{4});
+  EXPECT_EQ(store.subjects_of_predicate(2), IdVec{6});
+}
+
+TEST(DeltaHexastoreTest, MergedViewsStayValidAcrossCompaction) {
+  DeltaHexastore store(/*compact_threshold=*/1024);
+  store.BulkLoad({{1, 2, 3}, {1, 2, 5}});
+  store.Insert({1, 2, 4});
+  const MergedList view = store.objects(1, 2);
+  store.Compact();               // swaps in a rebuilt base (view pins old)
+  store.Insert({1, 2, 9});       // mutates only the new generation
+  const IdVec expect{3, 4, 5};
+  EXPECT_EQ(view.Materialize(), expect);
+  const IdVec live_expect{3, 4, 5, 9};
+  EXPECT_EQ(store.objects(1, 2).Materialize(), live_expect);
+}
+
+// Every merge-join overload must agree with the same join on a plain
+// Hexastore holding the compacted contents.
+TEST(DeltaHexastoreTest, MergeJoinsAgreeWithCompactedHexastore) {
+  Rng rng(77);
+  DeltaHexastore store(/*compact_threshold=*/64);
+  Hexastore compacted;
+  for (int i = 0; i < 1200; ++i) {
+    IdTriple t{1 + rng.Uniform(10), 1 + rng.Uniform(4),
+               1 + rng.Uniform(10)};
+    if (rng.Bernoulli(0.7)) {
+      store.Insert(t);
+      compacted.Insert(t);
+    } else {
+      store.Erase(t);
+      compacted.Erase(t);
+    }
+  }
+  ASSERT_EQ(MatchAll(store), MatchAll(compacted));
+  for (int probe = 0; probe < 50; ++probe) {
+    const Id p1 = 1 + rng.Uniform(5);
+    const Id p2 = 1 + rng.Uniform(5);
+    const Id o1 = 1 + rng.Uniform(11);
+    const Id o2 = 1 + rng.Uniform(11);
+    const Id s1 = 1 + rng.Uniform(11);
+    const Id s2 = 1 + rng.Uniform(11);
+    EXPECT_EQ(JoinSubjectsByObjects(store, p1, o1, p2, o2),
+              JoinSubjectsByObjects(compacted, p1, o1, p2, o2));
+    EXPECT_EQ(JoinObjectsBySubjects(store, s1, p1, s2, p2),
+              JoinObjectsBySubjects(compacted, s1, p1, s2, p2));
+    EXPECT_EQ(JoinSubjectsOfObjects(store, o1, o2),
+              JoinSubjectsOfObjects(compacted, o1, o2));
+    EXPECT_EQ(JoinPredicatesByPairs(store, s1, o1, s2, o2),
+              JoinPredicatesByPairs(compacted, s1, o1, s2, o2));
+    EXPECT_EQ(JoinChain(store, p1, p2), JoinChain(compacted, p1, p2));
+  }
+}
+
+TEST(DeltaHexastoreTest, StatsReportDeltaAndBase) {
+  DeltaHexastore store(/*compact_threshold=*/100);
+  store.BulkLoad({{1, 1, 1}, {2, 2, 2}, {3, 3, 3}});
+  store.Insert({4, 4, 4});
+  store.Insert({5, 5, 5});
+  store.Erase({1, 1, 1});
+  const DeltaStats stats = store.Stats();
+  EXPECT_EQ(stats.staged_inserts, 2u);
+  EXPECT_EQ(stats.staged_tombstones, 1u);
+  EXPECT_EQ(stats.compact_threshold, 100u);
+  EXPECT_EQ(stats.base_triples, 3u);
+  EXPECT_GT(stats.delta_bytes, 0u);
+  EXPECT_GT(stats.base_bytes, 0u);
+  const std::string report = stats.ToString();
+  EXPECT_NE(report.find("2 inserts"), std::string::npos);
+  EXPECT_NE(report.find("1 tombstones"), std::string::npos);
+  EXPECT_GT(store.MemoryBytes(), 0u);
+}
+
+TEST(DeltaHexastoreTest, BulkLoadMergesIntoExistingContents) {
+  DeltaHexastore store(/*compact_threshold=*/1024);
+  store.Insert({1, 1, 1});
+  store.Insert({2, 2, 2});
+  store.BulkLoad({{2, 2, 2}, {3, 3, 3}, {3, 3, 3}});
+  const IdTripleVec expect{{1, 1, 1}, {2, 2, 2}, {3, 3, 3}};
+  EXPECT_EQ(MatchAll(store), expect);
+  EXPECT_EQ(store.size(), 3u);
+  EXPECT_EQ(store.StagedOps(), 0u);  // BulkLoad drains the delta first
+}
+
+TEST(DeltaHexastoreSnapshotIoTest, RoundTripsAndCompactsFirst) {
+  Dictionary dict;
+  DeltaHexastore store(/*compact_threshold=*/1024);
+  Rng rng(5);
+  for (int i = 0; i < 300; ++i) {
+    Term s = Term::Iri("http://ex/s" + std::to_string(rng.Uniform(40)));
+    Term p = Term::Iri("http://ex/p" + std::to_string(rng.Uniform(8)));
+    Term o = Term::Literal("v" + std::to_string(rng.Uniform(40)));
+    store.Insert(IdTriple{dict.Intern(s), dict.Intern(p), dict.Intern(o)});
+  }
+  ASSERT_GT(store.StagedOps(), 0u);
+  std::ostringstream out;
+  ASSERT_TRUE(SaveSnapshot(dict, &store, out).ok());
+  EXPECT_EQ(store.StagedOps(), 0u);  // save compacted the delta
+
+  Dictionary loaded_dict;
+  DeltaHexastore loaded;
+  std::istringstream in(out.str());
+  ASSERT_TRUE(LoadSnapshot(in, &loaded_dict, &loaded).ok());
+  EXPECT_EQ(loaded.size(), store.size());
+  EXPECT_EQ(MatchAll(loaded), MatchAll(store));
+  EXPECT_EQ(loaded_dict.size(), dict.size());
+
+  // Loading into a non-empty target is rejected.
+  std::istringstream in2(out.str());
+  EXPECT_FALSE(LoadSnapshot(in2, &loaded_dict, &loaded).ok());
+}
+
+TEST(DeltaHexastoreSnapshotIoTest, ByteIdenticalToGraphSnapshot) {
+  // Build the same contents through a Graph and through a DeltaHexastore
+  // sharing the Graph's dictionary; the two snapshots must match byte for
+  // byte (compact-first keeps one on-disk format).
+  Graph graph;
+  std::vector<Triple> triples;
+  for (int i = 0; i < 50; ++i) {
+    triples.push_back(Triple{Term::Iri("http://ex/s" + std::to_string(i % 7)),
+                             Term::Iri("http://ex/p" + std::to_string(i % 3)),
+                             Term::Literal("v" + std::to_string(i))});
+  }
+  for (const Triple& t : triples) {
+    graph.Insert(t);
+  }
+  DeltaHexastore store;
+  for (const Triple& t : triples) {
+    store.Insert(*graph.dict().TryEncode(t));
+  }
+  std::ostringstream graph_out;
+  ASSERT_TRUE(SaveSnapshot(graph, graph_out).ok());
+  std::ostringstream delta_out;
+  ASSERT_TRUE(SaveSnapshot(graph.dict(), &store, delta_out).ok());
+  EXPECT_EQ(graph_out.str(), delta_out.str());
+}
+
+}  // namespace
+}  // namespace hexastore

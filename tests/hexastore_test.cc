@@ -175,6 +175,67 @@ TEST(HexastoreTest, BulkLoadEqualsIncremental) {
   EXPECT_TRUE(inc.CheckInvariants(&err)) << err;
 }
 
+// Regression: BulkLoad into a NON-empty store must merge the batch with
+// the existing contents and dedup against them, not just within the
+// batch. The DeltaHexastore compaction drain depends on this.
+TEST(HexastoreTest, BulkLoadIntoNonEmptyStoreMergesAndDedups) {
+  Hexastore store;
+  std::set<IdTriple> oracle;
+  for (Id s = 1; s <= 6; ++s) {
+    for (Id p = 1; p <= 3; ++p) {
+      IdTriple t{s, p, s + p};
+      store.Insert(t);
+      oracle.insert(t);
+    }
+  }
+  IdTripleVec batch;
+  batch.push_back({1, 1, 2});    // duplicate of an existing triple
+  batch.push_back({9, 9, 9});    // brand new
+  batch.push_back({9, 9, 9});    // duplicate within the batch
+  batch.push_back({1, 1, 99});   // extends an existing o(s,p) list
+  batch.push_back({1, 1, 1});    // sorts before existing list content
+  for (const auto& t : batch) {
+    oracle.insert(t);
+  }
+  store.BulkLoad(batch);
+  EXPECT_EQ(store.size(), oracle.size());
+  EXPECT_EQ(store.Match(IdPattern{}),
+            IdTripleVec(oracle.begin(), oracle.end()));
+  std::string err;
+  EXPECT_TRUE(store.CheckInvariants(&err)) << err;
+}
+
+// Repeated non-empty bulk loads with overlap behave like one big load.
+TEST(HexastoreTest, ChainedBulkLoadsEqualSingleLoad) {
+  Rng rng(0xb17c);
+  IdTripleVec all;
+  Hexastore chained;
+  for (int round = 0; round < 5; ++round) {
+    IdTripleVec batch;
+    for (int i = 0; i < 200; ++i) {
+      batch.push_back(IdTriple{1 + rng.Uniform(20), 1 + rng.Uniform(6),
+                               1 + rng.Uniform(20)});
+    }
+    chained.BulkLoad(batch);
+    all.insert(all.end(), batch.begin(), batch.end());
+  }
+  Hexastore once;
+  once.BulkLoad(all);
+  EXPECT_EQ(chained.size(), once.size());
+  EXPECT_EQ(chained.Match(IdPattern{}), once.Match(IdPattern{}));
+  std::string err;
+  EXPECT_TRUE(chained.CheckInvariants(&err)) << err;
+}
+
+TEST(HexastoreTest, BulkLoadEmptyBatchIsNoOp) {
+  Hexastore store;
+  store.Insert({1, 2, 3});
+  store.BulkLoad({});
+  EXPECT_EQ(store.size(), 1u);
+  std::string err;
+  EXPECT_TRUE(store.CheckInvariants(&err)) << err;
+}
+
 TEST(HexastoreTest, ClearResets) {
   Hexastore store;
   store.BulkLoad(FigureOneData());

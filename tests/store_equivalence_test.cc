@@ -1,6 +1,7 @@
-// Integration property test: all four stores (Hexastore, COVP1, COVP2,
-// TripleTable) answer every pattern identically under random workloads of
-// inserts, erases and bulk loads.
+// Integration property test: all six stores (Hexastore, COVP1, COVP2,
+// TripleTable, and DeltaHexastore in both a compacting and a pure-delta
+// configuration) answer every pattern identically under random workloads
+// of inserts, erases and bulk loads.
 #include <gtest/gtest.h>
 
 #include <memory>
@@ -9,6 +10,7 @@
 #include "baseline/triple_table.h"
 #include "baseline/vertical_store.h"
 #include "core/hexastore.h"
+#include "delta/delta_hexastore.h"
 #include "util/rng.h"
 
 namespace hexastore {
@@ -19,9 +21,15 @@ struct StoreSet {
   VerticalStore covp1{false};
   VerticalStore covp2{true};
   TripleTableStore table;
+  // Tiny threshold: compactions fire constantly mid-workload, so probes
+  // hit freshly-drained and half-staged states alike.
+  DeltaHexastore delta_compacting{128};
+  // Huge threshold: the whole workload stays staged in the delta.
+  DeltaHexastore delta_staged{1u << 30};
 
   std::vector<TripleStore*> all() {
-    return {&hexa, &covp1, &covp2, &table};
+    return {&hexa,  &covp1,           &covp2,
+            &table, &delta_compacting, &delta_staged};
   }
 };
 
@@ -44,20 +52,30 @@ TEST_P(StoreEquivalenceTest, RandomMutationWorkload) {
     IdTriple t{1 + rng.Uniform(15), 1 + rng.Uniform(8),
                1 + rng.Uniform(15)};
     if (rng.Bernoulli(0.7)) {
-      bool inserted = stores.table.Insert(t);
-      EXPECT_EQ(stores.hexa.Insert(t), inserted);
-      EXPECT_EQ(stores.covp1.Insert(t), inserted);
-      EXPECT_EQ(stores.covp2.Insert(t), inserted);
+      const bool inserted = stores.table.Insert(t);
+      for (TripleStore* s : stores.all()) {
+        if (s != &stores.table) {
+          EXPECT_EQ(s->Insert(t), inserted) << s->name();
+        }
+      }
     } else {
-      bool erased = stores.table.Erase(t);
-      EXPECT_EQ(stores.hexa.Erase(t), erased);
-      EXPECT_EQ(stores.covp1.Erase(t), erased);
-      EXPECT_EQ(stores.covp2.Erase(t), erased);
+      const bool erased = stores.table.Erase(t);
+      for (TripleStore* s : stores.all()) {
+        if (s != &stores.table) {
+          EXPECT_EQ(s->Erase(t), erased) << s->name();
+        }
+      }
     }
   }
   for (TripleStore* s : stores.all()) {
     EXPECT_EQ(s->size(), stores.table.size()) << s->name();
   }
+  // The small-threshold delta store must actually have compacted, and
+  // both delta stores must uphold their layering invariants mid-state.
+  EXPECT_GT(stores.delta_compacting.CompactionCount(), 0u);
+  std::string err;
+  EXPECT_TRUE(stores.delta_compacting.CheckInvariants(&err)) << err;
+  EXPECT_TRUE(stores.delta_staged.CheckInvariants(&err)) << err;
   // Probe all 8 pattern shapes.
   for (int mask = 0; mask < 8; ++mask) {
     for (int probe = 0; probe < 25; ++probe) {
@@ -95,6 +113,8 @@ TEST_P(StoreEquivalenceTest, BulkLoadWorkload) {
   }
   std::string err;
   EXPECT_TRUE(stores.hexa.CheckInvariants(&err)) << err;
+  EXPECT_TRUE(stores.delta_compacting.CheckInvariants(&err)) << err;
+  EXPECT_TRUE(stores.delta_staged.CheckInvariants(&err)) << err;
 }
 
 TEST_P(StoreEquivalenceTest, CountsAgree) {
