@@ -13,12 +13,23 @@
 // drains) at several compaction thresholds, plus merged-read latency
 // with a half-full delta — the write/read trade-off the threshold knob
 // controls.
+//
+// The DurableDeltaHexastore series put the WAL's durability tax on the
+// same axis: the identical insert/erase loops through the logged store
+// at the three durability modes (none / batched / per-commit fsync).
+// WAL directories live under $HEXA_WAL_DIR (or the system temp dir) and
+// are removed when the benchmark finishes.
 #include "bench_common.h"
 
+#include <unistd.h>
+
+#include <cstdlib>
+#include <filesystem>
 #include <memory>
 
 #include "data/lubm_generator.h"
 #include "delta/delta_hexastore.h"
+#include "wal/durable_store.h"
 
 namespace hexastore::bench {
 namespace {
@@ -105,6 +116,107 @@ void RegisterInsertErase(const std::string& label, std::size_t n,
       ->MinTime(0.02);
 }
 
+// Root directory for per-benchmark WAL dirs: $HEXA_WAL_DIR if set
+// (scripts/run_benchmarks.sh points it somewhere it cleans up), else the
+// system temp dir, namespaced by pid so concurrent runs cannot collide.
+std::filesystem::path WalBenchRoot() {
+  const char* env = std::getenv("HEXA_WAL_DIR");
+  std::filesystem::path root = (env != nullptr && *env != '\0')
+                                   ? std::filesystem::path(env)
+                                   : std::filesystem::temp_directory_path();
+  return root / ("hexa-bench-" + std::to_string(::getpid()));
+}
+
+std::string DurableLabel(DurabilityMode mode) {
+  return std::string("DurableDeltaHexastore/mode:") +
+         DurabilityModeName(mode);
+}
+
+// Opens a fresh durable store in a scratch dir, or null on failure.
+std::unique_ptr<DurableDeltaHexastore> OpenDurable(
+    const std::filesystem::path& dir, DurabilityMode mode,
+    benchmark::State& state) {
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+  DurabilityOptions options;
+  options.dir = dir.string();
+  options.mode = mode;
+  auto store = DurableDeltaHexastore::Open(options);
+  if (!store.ok()) {
+    state.SkipWithError(store.status().ToString().c_str());
+    return nullptr;
+  }
+  return std::move(store).value();
+}
+
+void RegisterDurableInsertErase(DurabilityMode mode, std::size_t n) {
+  const std::string label = DurableLabel(mode);
+  benchmark::RegisterBenchmark(
+      ("abl_updates/insert/" + label + "/triples:" + std::to_string(n))
+          .c_str(),
+      [mode, n](benchmark::State& state) {
+        IdTripleVec data = EncodedPrefix(n);
+        const std::filesystem::path dir =
+            WalBenchRoot() /
+            ("insert-" + std::string(DurabilityModeName(mode)));
+        for (auto _ : state) {
+          state.PauseTiming();
+          auto store = OpenDurable(dir, mode, state);
+          if (store == nullptr) {
+            break;
+          }
+          state.ResumeTiming();
+          for (const auto& t : data) {
+            store->Insert(t);
+          }
+          store->Flush();  // the tail of the durability tax
+          benchmark::DoNotOptimize(store->size());
+          state.PauseTiming();
+          store.reset();
+          state.ResumeTiming();
+        }
+        std::error_code ec;
+        std::filesystem::remove_all(dir, ec);
+        state.SetItemsProcessed(
+            static_cast<std::int64_t>(state.iterations() * n));
+      })
+      ->Unit(benchmark::kMillisecond)
+      ->MinTime(0.02);
+
+  benchmark::RegisterBenchmark(
+      ("abl_updates/erase/" + label + "/triples:" + std::to_string(n))
+          .c_str(),
+      [mode, n](benchmark::State& state) {
+        IdTripleVec data = EncodedPrefix(n);
+        const std::filesystem::path dir =
+            WalBenchRoot() /
+            ("erase-" + std::string(DurabilityModeName(mode)));
+        for (auto _ : state) {
+          state.PauseTiming();
+          auto store = OpenDurable(dir, mode, state);
+          if (store == nullptr) {
+            break;
+          }
+          store->BulkLoad(data);  // checkpointed, not in the timed region
+          state.ResumeTiming();
+          for (const auto& t : data) {
+            store->Erase(t);
+          }
+          store->Flush();
+          benchmark::DoNotOptimize(store->size());
+          state.PauseTiming();
+          store.reset();
+          state.ResumeTiming();
+        }
+        std::error_code ec;
+        std::filesystem::remove_all(dir, ec);
+        state.SetItemsProcessed(
+            static_cast<std::int64_t>(state.iterations() * n));
+      })
+      ->Unit(benchmark::kMillisecond)
+      ->MinTime(0.02);
+}
+
 // Merged-read latency with a half-full staging buffer: the store holds
 // `n` compacted triples plus staged_ops staged inserts (pass half the
 // store's compaction threshold so the buffer is half full and no
@@ -167,6 +279,13 @@ int Main(int argc, char** argv) {
       RegisterRead<DeltaHexastore>(DeltaLabel(threshold), n, threshold / 2,
                                    threshold);
     }
+  }
+  // Durability tax: only the smaller size (per-commit mode pays one
+  // fsync per op; keep wall-clock bounded).
+  for (DurabilityMode mode :
+       {DurabilityMode::kNone, DurabilityMode::kBatched,
+        DurabilityMode::kPerCommit}) {
+    RegisterDurableInsertErase(mode, 10000);
   }
   return BenchMain(argc, argv);
 }

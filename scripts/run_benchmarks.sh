@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
-# Runs every figure benchmark and writes one JSON result file per binary.
+# Runs every figure and ablation benchmark and writes one JSON result
+# file per binary.
 #
 # Usage: scripts/run_benchmarks.sh [build_dir] [out_dir]
 #   HEXA_BENCH_SIZES=2000,100000 scripts/run_benchmarks.sh   # smaller sweep
+#   HEXA_WAL_DIR=/fast/ssd scripts/run_benchmarks.sh         # WAL scratch dir
 set -euo pipefail
 
 build_dir=${1:-build}
@@ -14,8 +16,30 @@ if ! ls "${build_dir}"/bench/fig* >/dev/null 2>&1; then
   exit 1
 fi
 
+# The durable-store series in abl_updates write WAL directories under
+# HEXA_WAL_DIR. Default to a private temp dir we own outright; when the
+# caller supplies one (e.g. pointing at a faster disk), remove only the
+# hexa-bench-* subtrees the benchmarks create.
+if [[ -z "${HEXA_WAL_DIR:-}" ]]; then
+  HEXA_WAL_DIR=$(mktemp -d)
+  wal_dir_is_ours=1
+else
+  mkdir -p "${HEXA_WAL_DIR}"
+  wal_dir_is_ours=0
+fi
+export HEXA_WAL_DIR
+cleanup_wal_dir() {
+  if [[ "${wal_dir_is_ours}" == 1 ]]; then
+    rm -rf "${HEXA_WAL_DIR}"
+  else
+    rm -rf "${HEXA_WAL_DIR}"/hexa-bench-*
+  fi
+}
+trap cleanup_wal_dir EXIT
+
 mkdir -p "${out_dir}"
-for bin in "${build_dir}"/bench/fig*; do
+for bin in "${build_dir}"/bench/fig* "${build_dir}"/bench/abl_*; do
+  [[ -x "${bin}" ]] || continue
   name=$(basename "${bin}")
   echo "== ${name}"
   "${bin}" --benchmark_format=json --benchmark_out="${out_dir}/${name}.json"

@@ -38,10 +38,22 @@ std::string DeltaStats::ToString() const {
   std::ostringstream os;
   os << "DeltaHexastore delta layer:\n"
      << "  staged: " << staged_inserts << " inserts, " << staged_tombstones
-     << " tombstones (threshold " << compact_threshold << ")\n"
+     << " tombstones, " << pattern_tombstones
+     << " pattern tombstones (threshold " << compact_threshold << ")\n"
      << "  compactions: " << compactions << ", epoch: " << epoch << "\n"
      << "  base: " << base_triples << " triples, " << base_bytes
      << " bytes; delta: " << delta_bytes << " bytes\n";
+  return os.str();
+}
+
+std::string WalStats::ToString() const {
+  std::ostringstream os;
+  os << "write-ahead log:\n"
+     << "  appended: " << records_appended << " records, " << bytes_appended
+     << " bytes\n"
+     << "  commits: " << commit_requests << ", fsyncs: " << fsyncs
+     << ", rotations: " << rotations << ", checkpoints: " << checkpoints
+     << "\n";
   return os.str();
 }
 

@@ -35,12 +35,29 @@ struct MemoryStats {
 struct DeltaStats {
   std::size_t staged_inserts = 0;     ///< ops staged as inserts
   std::size_t staged_tombstones = 0;  ///< ops staged as tombstones
+  std::size_t pattern_tombstones = 0;  ///< predicate-level pattern erases
   std::size_t compact_threshold = 0;  ///< auto-compaction trigger
   std::uint64_t compactions = 0;      ///< delta drains since construction
   std::uint64_t epoch = 0;            ///< generation counter
   std::size_t base_triples = 0;       ///< triples in the compacted base
   std::size_t base_bytes = 0;         ///< base index heap bytes
   std::size_t delta_bytes = 0;        ///< staging-buffer heap bytes
+
+  /// Multi-line human-readable report.
+  std::string ToString() const;
+};
+
+/// Counters of the write-ahead log: append volume, how often the log
+/// actually hit the platter (fsync), and the checkpoint cadence. The
+/// commit_requests / fsyncs ratio shows group commit working: in
+/// per-commit mode many concurrent committers share one fsync.
+struct WalStats {
+  std::uint64_t records_appended = 0;  ///< log records written
+  std::uint64_t bytes_appended = 0;    ///< bytes written (frames + headers)
+  std::uint64_t commit_requests = 0;   ///< Commit() calls
+  std::uint64_t fsyncs = 0;            ///< fsync(2) calls issued
+  std::uint64_t rotations = 0;         ///< segment files started
+  std::uint64_t checkpoints = 0;       ///< snapshot + truncate cycles
 
   /// Multi-line human-readable report.
   std::string ToString() const;

@@ -23,6 +23,10 @@ bool TripleStore::MatchesAny(const IdPattern& pattern) const {
   return CountMatches(pattern) > 0;
 }
 
+std::uint64_t TripleStore::EstimateMatches(const IdPattern& pattern) const {
+  return CountMatches(pattern);
+}
+
 void TripleStore::BulkLoad(const IdTripleVec& triples) {
   for (const auto& t : triples) {
     Insert(t);

@@ -63,6 +63,13 @@ class TripleStore {
   /// Number of matches of `pattern`.
   std::uint64_t CountMatches(const IdPattern& pattern) const;
 
+  /// Estimated number of matches of `pattern`, for the query planner.
+  /// The default is the exact CountMatches; layered stores may override
+  /// with a cheaper (or staged-edit-aware) estimate — DeltaHexastore
+  /// folds its delta's staged-op counts in without paying a full merged
+  /// scan.
+  virtual std::uint64_t EstimateMatches(const IdPattern& pattern) const;
+
   /// True iff at least one triple matches.
   bool MatchesAny(const IdPattern& pattern) const;
 

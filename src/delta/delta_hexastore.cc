@@ -21,18 +21,52 @@ bool MergedContains(const Hexastore& base, const DeltaStore& delta,
   return base.Contains(t);
 }
 
-// Merged pattern scan over one generation: base matches with tombstones
-// filtered out (O(1) hash probe per emitted triple), then the staged
-// inserts matching the pattern via a bound-prefix range scan of the
-// delta's sorted runs.
+// Merged pattern scan over one generation: base matches with point and
+// pattern tombstones filtered out (one hash probe per emitted triple),
+// then the staged inserts matching the pattern via a bound-prefix range
+// scan of the delta's sorted runs. The base walk keeps only kUnknown
+// verdicts: a kInserted hit on a base triple means a pattern-suppressed
+// copy re-inserted through the delta, which ScanInserts already emits.
 void MergedScan(const Hexastore& base, const DeltaStore& delta,
                 const IdPattern& pattern, const TripleSink& sink) {
   base.Scan(pattern, [&delta, &sink](const IdTriple& t) {
-    if (delta.Lookup(t) != DeltaStore::Presence::kErased) {
+    if (delta.Lookup(t) == DeltaStore::Presence::kUnknown) {
       sink(t);
     }
   });
   delta.ScanInserts(pattern, sink);
+}
+
+// Size of the base terminal list under `key` after the delta's pattern
+// tombstones are applied: an o(s,p) or s(p,o) list dies wholesale when
+// its predicate key side is pattern-erased, while a p(s,o) list loses
+// exactly its pattern-erased members.
+std::size_t EffectiveBaseListSize(const Hexastore& base,
+                                  const DeltaStore& delta,
+                                  ListFamily family, const IdPair& key) {
+  const IdVec* list = base.pool().Find(family, key.a, key.b);
+  if (list == nullptr) {
+    return 0;
+  }
+  if (!delta.HasPatternErases()) {
+    return list->size();
+  }
+  switch (family) {
+    case ListFamily::kObjects:  // key (s, p)
+      return delta.PatternErased(key.b) ? 0 : list->size();
+    case ListFamily::kSubjects:  // key (p, o)
+      return delta.PatternErased(key.a) ? 0 : list->size();
+    case ListFamily::kPredicates: {  // key (s, o); members are predicates
+      std::size_t n = 0;
+      for (Id p : *list) {
+        if (!delta.PatternErased(p)) {
+          ++n;
+        }
+      }
+      return n;
+    }
+  }
+  return list->size();
 }
 
 // Merged header vector: the base index's sorted header-member vector
@@ -42,20 +76,35 @@ void MergedScan(const Hexastore& base, const DeltaStore& delta,
 // to drop emptied pairs.
 //
 // `match_a` selects which side of the family's (a, b) key is the header
-// role; the other side is the second-level id.
+// role; the other side is the second-level id. `base_member_alive` is
+// the pattern-tombstone filter for untouched base members (only
+// consulted when the delta has pattern erases — the common path copies
+// the base vector untouched).
+template <typename AliveFn>
 IdVec MergedHeaderVec(const Hexastore& base, const DeltaStore& delta,
                       ListFamily family, bool match_a, Id header,
-                      const IdVec* base_vec) {
-  IdVec out = base_vec == nullptr ? IdVec{} : *base_vec;
+                      const IdVec* base_vec, AliveFn&& base_member_alive) {
+  IdVec out;
+  if (base_vec != nullptr) {
+    if (!delta.HasPatternErases()) {
+      out = *base_vec;
+    } else {
+      out.reserve(base_vec->size());
+      for (Id member : *base_vec) {
+        if (base_member_alive(member)) {
+          out.push_back(member);
+        }
+      }
+    }
+  }
   delta.ForEachList(
       family, [&](const IdPair& key, const DeltaList& lists) {
         if ((match_a ? key.a : key.b) != header) {
           return;
         }
         const Id other = match_a ? key.b : key.a;
-        const IdVec* base_list = base.pool().Find(family, key.a, key.b);
         const std::size_t merged_size =
-            (base_list == nullptr ? 0 : base_list->size()) +
+            EffectiveBaseListSize(base, delta, family, key) +
             lists.adds.size() - lists.removes.size();
         if (merged_size > 0) {
           SortedInsert(&out, other);
@@ -158,6 +207,10 @@ void DeltaHexastore::BulkLoad(const IdTripleVec& triples) {
 
 void DeltaHexastore::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
+  ClearLocked();
+}
+
+void DeltaHexastore::ClearLocked() {
   if (base_exposed_) {
     base_ = std::make_shared<Hexastore>();
     base_exposed_ = false;
@@ -172,6 +225,83 @@ void DeltaHexastore::Clear() {
   }
   size_ = 0;
   ++epoch_;
+}
+
+std::size_t DeltaHexastore::ErasePattern(const IdPattern& pattern) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (pattern.bound_count() == 0) {
+    // Erase everything == Clear.
+    const std::size_t erased = size_;
+    ClearLocked();
+    return erased;
+  }
+  if (pattern.has_p() && !pattern.has_s() && !pattern.has_o()) {
+    // Predicate-only: one pattern-level tombstone instead of one point
+    // tombstone per match. Count the base's contribution before staging
+    // (staging drops the point ops whose counts correct it).
+    const bool already = delta_->PatternErased(pattern.p);
+    const std::uint64_t base_matches =
+        already ? 0 : base_->CountMatches(IdPattern{0, pattern.p, 0});
+    EnsureDeltaWritableLocked();
+    const DeltaStore::PatternEraseEffect effect =
+        delta_->StagePatternErase(pattern.p);
+    // Base triples already point-tombstoned were logically absent, and
+    // dropped staged inserts were logically present on top of the base.
+    const std::size_t erased =
+        static_cast<std::size_t>(base_matches) - effect.dropped_tombstones +
+        effect.dropped_inserts;
+    size_ -= erased;
+    return erased;
+  }
+  // General shape: the point-tombstone path, one staged op per match.
+  IdTripleVec matches;
+  MergedScan(*base_, *delta_, pattern,
+             [&matches](const IdTriple& t) { matches.push_back(t); });
+  if (matches.empty()) {
+    return 0;
+  }
+  EnsureDeltaWritableLocked();
+  for (const IdTriple& t : matches) {
+    delta_->StageErase(t, base_->Contains(t));
+  }
+  size_ -= matches.size();
+  if (delta_->op_count() >= compact_threshold_) {
+    CompactLocked();
+  }
+  return matches.size();
+}
+
+std::uint64_t DeltaHexastore::EstimateMatches(const IdPattern& pattern) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Base contribution from the sextuple indexes, minus what the pattern
+  // tombstones suppress (exact per erased predicate).
+  std::uint64_t base_count = base_->CountMatches(pattern);
+  if (delta_->HasPatternErases()) {
+    if (pattern.has_p()) {
+      if (delta_->PatternErased(pattern.p)) {
+        base_count = 0;
+      }
+    } else {
+      for (Id p : delta_->pattern_erased_predicates()) {
+        IdPattern bound = pattern;
+        bound.p = p;
+        base_count -= std::min(base_count, base_->CountMatches(bound));
+      }
+    }
+  }
+  // Point tombstones are a subset of the base; assume they hit this
+  // pattern in proportion to its base selectivity.
+  const std::size_t base_size = base_->size();
+  if (base_size > 0) {
+    const std::uint64_t expected_tombstoned = static_cast<std::uint64_t>(
+        static_cast<double>(base_count) *
+        static_cast<double>(delta_->tombstone_count()) /
+        static_cast<double>(base_size));
+    base_count -= std::min(base_count, expected_tombstoned);
+  }
+  // Staged inserts in range are counted exactly: a bound-prefix range
+  // scan of the delta's sorted runs, no base access.
+  return base_count + delta_->CountInserts(pattern);
 }
 
 void DeltaHexastore::Compact() {
@@ -194,6 +324,7 @@ DeltaStats DeltaHexastore::Stats() const {
   DeltaStats stats;
   stats.staged_inserts = delta_->insert_count();
   stats.staged_tombstones = delta_->tombstone_count();
+  stats.pattern_tombstones = delta_->pattern_erased_predicates().size();
   stats.compact_threshold = compact_threshold_;
   stats.compactions = compactions_;
   stats.epoch = epoch_;
@@ -229,8 +360,14 @@ MergedList DeltaHexastore::objects(Id s, Id p) const {
   std::lock_guard<std::mutex> lock(mu_);
   ExposeLocked();
   const DeltaList* lists = delta_->FindLists(ListFamily::kObjects, s, p);
-  return MergedList(base_, delta_, base_->objects(s, p),
-                    lists == nullptr ? nullptr : &lists->adds,
+  const IdVec* adds = lists == nullptr ? nullptr : &lists->adds;
+  if (delta_->PatternErased(p)) {
+    // The whole base o(s,p) list is pattern-tombstoned; only staged
+    // (re-)inserts survive. Point removes cannot exist for this p.
+    return MergedList(base_, delta_, static_cast<const IdVec*>(nullptr),
+                      adds, nullptr);
+  }
+  return MergedList(base_, delta_, base_->objects(s, p), adds,
                     lists == nullptr ? nullptr : &lists->removes);
 }
 
@@ -238,17 +375,34 @@ MergedList DeltaHexastore::predicates(Id s, Id o) const {
   std::lock_guard<std::mutex> lock(mu_);
   ExposeLocked();
   const DeltaList* lists = delta_->FindLists(ListFamily::kPredicates, s, o);
-  return MergedList(base_, delta_, base_->predicates(s, o),
-                    lists == nullptr ? nullptr : &lists->adds,
-                    lists == nullptr ? nullptr : &lists->removes);
+  const IdVec* adds = lists == nullptr ? nullptr : &lists->adds;
+  const IdVec* removes = lists == nullptr ? nullptr : &lists->removes;
+  const IdVec* base_list = base_->predicates(s, o);
+  if (delta_->HasPatternErases() && base_list != nullptr) {
+    // Members of p(s,o) are predicates: drop the pattern-erased ones
+    // from the base side (the view owns the filtered copy).
+    auto filtered = std::make_shared<IdVec>();
+    filtered->reserve(base_list->size());
+    for (Id p : *base_list) {
+      if (!delta_->PatternErased(p)) {
+        filtered->push_back(p);
+      }
+    }
+    return MergedList(base_, delta_, std::move(filtered), adds, removes);
+  }
+  return MergedList(base_, delta_, base_list, adds, removes);
 }
 
 MergedList DeltaHexastore::subjects(Id p, Id o) const {
   std::lock_guard<std::mutex> lock(mu_);
   ExposeLocked();
   const DeltaList* lists = delta_->FindLists(ListFamily::kSubjects, p, o);
-  return MergedList(base_, delta_, base_->subjects(p, o),
-                    lists == nullptr ? nullptr : &lists->adds,
+  const IdVec* adds = lists == nullptr ? nullptr : &lists->adds;
+  if (delta_->PatternErased(p)) {
+    return MergedList(base_, delta_, static_cast<const IdVec*>(nullptr),
+                      adds, nullptr);
+  }
+  return MergedList(base_, delta_, base_->subjects(p, o), adds,
                     lists == nullptr ? nullptr : &lists->removes);
 }
 
@@ -256,41 +410,59 @@ IdVec DeltaHexastore::predicates_of_subject(Id s) const {
   std::lock_guard<std::mutex> lock(mu_);
   return MergedHeaderVec(*base_, *delta_, ListFamily::kObjects,
                          /*match_a=*/true, s,
-                         base_->predicates_of_subject(s));
+                         base_->predicates_of_subject(s),
+                         [this](Id p) { return !delta_->PatternErased(p); });
 }
 
 IdVec DeltaHexastore::objects_of_subject(Id s) const {
   std::lock_guard<std::mutex> lock(mu_);
   return MergedHeaderVec(*base_, *delta_, ListFamily::kPredicates,
-                         /*match_a=*/true, s, base_->objects_of_subject(s));
+                         /*match_a=*/true, s, base_->objects_of_subject(s),
+                         [this, s](Id o) {
+                           return EffectiveBaseListSize(
+                                      *base_, *delta_,
+                                      ListFamily::kPredicates,
+                                      IdPair{s, o}) > 0;
+                         });
 }
 
 IdVec DeltaHexastore::subjects_of_predicate(Id p) const {
   std::lock_guard<std::mutex> lock(mu_);
+  const bool erased = delta_->PatternErased(p);
   return MergedHeaderVec(*base_, *delta_, ListFamily::kObjects,
                          /*match_a=*/false, p,
-                         base_->subjects_of_predicate(p));
+                         base_->subjects_of_predicate(p),
+                         [erased](Id) { return !erased; });
 }
 
 IdVec DeltaHexastore::objects_of_predicate(Id p) const {
   std::lock_guard<std::mutex> lock(mu_);
+  const bool erased = delta_->PatternErased(p);
   return MergedHeaderVec(*base_, *delta_, ListFamily::kSubjects,
                          /*match_a=*/true, p,
-                         base_->objects_of_predicate(p));
+                         base_->objects_of_predicate(p),
+                         [erased](Id) { return !erased; });
 }
 
 IdVec DeltaHexastore::subjects_of_object(Id o) const {
   std::lock_guard<std::mutex> lock(mu_);
   return MergedHeaderVec(*base_, *delta_, ListFamily::kPredicates,
                          /*match_a=*/false, o,
-                         base_->subjects_of_object(o));
+                         base_->subjects_of_object(o),
+                         [this, o](Id s) {
+                           return EffectiveBaseListSize(
+                                      *base_, *delta_,
+                                      ListFamily::kPredicates,
+                                      IdPair{s, o}) > 0;
+                         });
 }
 
 IdVec DeltaHexastore::predicates_of_object(Id o) const {
   std::lock_guard<std::mutex> lock(mu_);
   return MergedHeaderVec(*base_, *delta_, ListFamily::kSubjects,
                          /*match_a=*/false, o,
-                         base_->predicates_of_object(o));
+                         base_->predicates_of_object(o),
+                         [this](Id p) { return !delta_->PatternErased(p); });
 }
 
 std::shared_ptr<const Hexastore> DeltaHexastore::base() const {
@@ -324,14 +496,18 @@ bool DeltaHexastore::CheckInvariants(std::string* error) const {
     if (!ok) {
       return;
     }
-    if (op == DeltaOp::kInsert && base->Contains(t)) {
+    if (op == DeltaOp::kInsert && base->Contains(t) &&
+        !delta->PatternErased(t.p)) {
+      // (Adds may coincide with base triples only when the pattern
+      // tombstone suppresses the base copy.)
       ok = false;
       msg = "staged insert already present in base";
       return;
     }
-    if (op == DeltaOp::kTombstone && !base->Contains(t)) {
+    if (op == DeltaOp::kTombstone &&
+        (!base->Contains(t) || delta->PatternErased(t.p))) {
       ok = false;
-      msg = "tombstone for a triple absent from base";
+      msg = "tombstone absent from base or subsumed by a pattern erase";
       return;
     }
     const DeltaList* objects =
@@ -372,8 +548,14 @@ bool DeltaHexastore::CheckInvariants(std::string* error) const {
       return fail(os.str());
     }
   }
+  std::size_t pattern_suppressed = 0;
+  for (Id p : delta->pattern_erased_predicates()) {
+    pattern_suppressed +=
+        static_cast<std::size_t>(base->CountMatches(IdPattern{0, p, 0}));
+  }
   const std::size_t merged_size = static_cast<std::size_t>(
-      static_cast<std::ptrdiff_t>(base->size()) + delta->size_delta());
+      static_cast<std::ptrdiff_t>(base->size() - pattern_suppressed) +
+      delta->size_delta());
   if (merged_size != size) {
     std::ostringstream os;
     os << "merged size " << merged_size << " != tracked size " << size;
@@ -403,9 +585,17 @@ void DeltaHexastore::CompactLocked() {
     return;
   }
   if (!base_exposed_) {
-    // The base never escaped the mutex: drain in place. Tombstones first
-    // (each an O(log + shift) point erase), then one sorted merge of the
-    // staged inserts through the non-empty BulkLoad path.
+    // The base never escaped the mutex: drain in place. Pattern
+    // tombstones purge their base matches first (this is where the bulk
+    // erase finally pays O(matches), amortized into the drain), then the
+    // point tombstones (each an O(log + shift) point erase), then one
+    // sorted merge of the staged inserts through the non-empty BulkLoad
+    // path.
+    for (Id p : delta_->pattern_erased_predicates()) {
+      for (const IdTriple& t : base_->Match(IdPattern{0, p, 0})) {
+        base_->Erase(t);
+      }
+    }
     for (const IdTriple& t : delta_->SortedTombstones()) {
       base_->Erase(t);
     }

@@ -66,6 +66,20 @@ class DeltaHexastore : public TripleStore {
   std::size_t MemoryBytes() const override;
   std::string name() const override { return "DeltaHexastore"; }
 
+  /// Delta-aware planner estimate: the base index count adjusted by the
+  /// staged ops — exact staged-insert count for the pattern (a sorted-run
+  /// range scan), tombstones scaled by the pattern's base selectivity,
+  /// pattern tombstones applied exactly. Never pays a full merged scan.
+  std::uint64_t EstimateMatches(const IdPattern& pattern) const override;
+
+  /// Erases every triple matching `pattern`; returns how many logical
+  /// triples were removed. Fast paths: the all-wildcard pattern is a
+  /// Clear, and a predicate-only pattern (?, p, ?) stages ONE
+  /// pattern-level tombstone instead of one per match (O(op table + base
+  /// count) rather than O(matches) staged entries). Other shapes fall
+  /// back to staging a point tombstone per match.
+  std::size_t ErasePattern(const IdPattern& pattern);
+
   /// Compacts any staged delta, then merges `triples` straight into the
   /// base via its sorted BulkLoad path.
   void BulkLoad(const IdTripleVec& triples) override;
@@ -186,6 +200,8 @@ class DeltaHexastore : public TripleStore {
   // Drains the delta into the base; rebuilds-and-swaps when the base has
   // escaped to a snapshot or merged view.
   void CompactLocked();
+  // Clear body (shared by Clear and the all-wildcard ErasePattern).
+  void ClearLocked();
 
   mutable std::mutex mu_;
   std::shared_ptr<Hexastore> base_;

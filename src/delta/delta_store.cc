@@ -89,9 +89,12 @@ bool DeltaStore::StageInsert(const IdTriple& t, bool base_present) {
     InvalidateCaches();
     return true;
   }
-  if (base_present) {
+  if (base_present && !PatternErased(t.p)) {
     return false;  // base already has it, nothing to stage
   }
+  // Note: when the predicate is pattern-erased the base copy (if any) is
+  // logically gone, so the insert is staged even if base_present — the
+  // one case where an add may coincide with a base triple.
   ReserveForOneMore();
   Slot* at = nullptr;
   Probe(t, &at);
@@ -116,8 +119,8 @@ bool DeltaStore::StageErase(const IdTriple& t, bool base_present) {
     InvalidateCaches();
     return true;
   }
-  if (!base_present) {
-    return false;
+  if (!base_present || PatternErased(t.p)) {
+    return false;  // absent, or already gone via the pattern tombstone
   }
   ReserveForOneMore();
   Slot* at = nullptr;
@@ -131,13 +134,40 @@ bool DeltaStore::StageErase(const IdTriple& t, bool base_present) {
   return true;
 }
 
+DeltaStore::PatternEraseEffect DeltaStore::StagePatternErase(Id p) {
+  PatternEraseEffect effect;
+  // Point ops on the predicate are subsumed: staged inserts die with the
+  // pattern, tombstones become redundant (keeping them would violate the
+  // "tombstone predicate never pattern-erased" invariant).
+  for (Slot& slot : slots_) {
+    if (slot.state == SlotState::kFull && slot.triple.p == p) {
+      slot.state = SlotState::kDead;
+      if (slot.op == DeltaOp::kInsert) {
+        --inserts_;
+        ++effect.dropped_inserts;
+      } else {
+        --tombstones_;
+        ++effect.dropped_tombstones;
+      }
+    }
+  }
+  effect.newly_added = SortedInsert(&pattern_preds_, p);
+  InvalidateCaches();
+  return effect;
+}
+
 DeltaStore::Presence DeltaStore::Lookup(const IdTriple& t) const {
   const Slot* hit = Probe(t, nullptr);
-  if (hit == nullptr) {
-    return Presence::kUnknown;
+  if (hit != nullptr) {
+    return hit->op == DeltaOp::kInsert ? Presence::kInserted
+                                       : Presence::kErased;
   }
-  return hit->op == DeltaOp::kInsert ? Presence::kInserted
-                                     : Presence::kErased;
+  // Op-table entries win over the pattern: an insert staged after the
+  // pattern erase is present even though its predicate is in P.
+  if (PatternErased(t.p)) {
+    return Presence::kErased;
+  }
+  return Presence::kUnknown;
 }
 
 const DeltaList* DeltaStore::FindLists(ListFamily family, Id a, Id b) const {
@@ -258,6 +288,12 @@ void DeltaStore::ScanInserts(
   emit(run_spo_.begin(), run_spo_.end());
 }
 
+std::uint64_t DeltaStore::CountInserts(const IdPattern& pattern) const {
+  std::uint64_t count = 0;
+  ScanInserts(pattern, [&count](const IdTriple&) { ++count; });
+  return count;
+}
+
 void DeltaStore::Freeze() const {
   EnsureSortedRuns();
   EnsureSideLists();
@@ -289,6 +325,7 @@ IdTripleVec DeltaStore::SortedTombstones() const {
 
 std::size_t DeltaStore::MemoryBytes() const {
   std::size_t bytes = slots_.capacity() * sizeof(Slot);
+  bytes += VectorHeapBytes(pattern_preds_);
   for (const auto& m : lists_) {
     bytes += HashMapHeapBytes(m);
     for (const auto& [key, lists] : m) {
@@ -306,6 +343,7 @@ void DeltaStore::Clear() {
   used_ = 0;
   inserts_ = 0;
   tombstones_ = 0;
+  pattern_preds_.clear();
   for (auto& m : lists_) {
     m.clear();
   }

@@ -6,14 +6,23 @@
 // as positive entries, erases of base-resident triples as tombstones; a
 // compaction later drains both into the base in one sorted merge.
 //
-// Two invariants keep the merged read path simple and are relied on by
-// DeltaHexastore and the merging iterators:
+// Besides point ops the store holds predicate-level *pattern tombstones*
+// (StagePatternErase): one O(1) entry erases every base triple with that
+// predicate, the fast path for bulk "erase all (?, p, ?)" deletes that
+// would otherwise stage one tombstone per match.
 //
-//   * a staged insert is never present in the base     (adds disjoint)
-//   * a tombstone is always present in the base        (removes subset)
+// The invariants that keep the merged read path simple, relied on by
+// DeltaHexastore and the merging iterators (P = pattern-erased preds):
 //
-// so the logical contents are always  base  ∪ adds  ∖ tombstones  with
-// no overlap ambiguity.
+//   * a staged insert whose predicate is not in P is never present in
+//     the base (adds disjoint); an insert with predicate in P may be a
+//     re-insert of a pattern-suppressed base triple
+//   * a point tombstone is always present in the base and its predicate
+//     is never in P (removes subset, pattern subsumes points)
+//
+// so the logical contents are always
+//   (base ∖ {t : t.p ∈ P} ∖ tombstones) ∪ adds
+// with no overlap ambiguity (op-table entries win over P in Lookup).
 //
 // Write path: ops live in a flat open-addressing table (one linear-probe
 // access, no per-op node allocation) so staging stays allocation-free in
@@ -79,16 +88,17 @@ class DeltaStore {
  public:
   DeltaStore() = default;
 
-  /// Copies only the op table and counters; the lazy caches are left
-  /// invalid on the copy (the cloning writer mutates next, which would
-  /// discard them anyway).
+  /// Copies only the op table, pattern tombstones and counters; the lazy
+  /// caches are left invalid on the copy (the cloning writer mutates
+  /// next, which would discard them anyway).
   DeltaStore(const DeltaStore& other)
       : slots_(other.slots_),
         used_(other.used_),
         inserts_(other.inserts_),
         tombstones_(other.tombstones_),
-        lists_valid_(other.empty()),
-        runs_valid_(other.empty()) {}
+        pattern_preds_(other.pattern_preds_),
+        lists_valid_(other.op_count() == 0),
+        runs_valid_(other.op_count() == 0) {}
   DeltaStore& operator=(const DeltaStore&) = delete;
 
   /// Stages `t` as an insert; `base_present` says whether the base store
@@ -99,6 +109,27 @@ class DeltaStore {
   /// Stages `t` as a tombstone; returns true iff the logical store loses
   /// the triple (mirrors TripleStore::Erase).
   bool StageErase(const IdTriple& t, bool base_present);
+
+  /// Bookkeeping of one pattern erase: how many staged point ops it
+  /// subsumed (dropped from the table) and whether the predicate was new.
+  struct PatternEraseEffect {
+    std::size_t dropped_inserts = 0;
+    std::size_t dropped_tombstones = 0;
+    bool newly_added = false;
+  };
+
+  /// Stages a predicate-level pattern tombstone: every base triple with
+  /// predicate `p` becomes logically absent, and every staged point op
+  /// with that predicate is dropped (inserts erased, tombstones
+  /// subsumed). O(op table), independent of how many base triples match.
+  PatternEraseEffect StagePatternErase(Id p);
+
+  /// True iff predicate `p` is pattern-tombstoned.
+  bool PatternErased(Id p) const { return SortedContains(pattern_preds_, p); }
+  /// True iff any pattern tombstone is staged.
+  bool HasPatternErases() const { return !pattern_preds_.empty(); }
+  /// The pattern-tombstoned predicates, sorted ascending.
+  const IdVec& pattern_erased_predicates() const { return pattern_preds_; }
 
   /// Overlay verdict for a membership test.
   enum class Presence : std::uint8_t {
@@ -118,6 +149,9 @@ class DeltaStore {
   /// are cached (instead of a full op-table walk per scan).
   void ScanInserts(const IdPattern& pattern,
                    const std::function<void(const IdTriple&)>& sink) const;
+
+  /// Number of staged inserts matching `pattern` (planner estimates).
+  std::uint64_t CountInserts(const IdPattern& pattern) const;
 
   /// Pre-builds every lazy cache (sorted runs + side lists) so a frozen
   /// copy can be read from many threads without mutating shared state.
@@ -153,12 +187,16 @@ class DeltaStore {
   std::size_t tombstone_count() const { return tombstones_; }
   /// Total staged operations (compaction-threshold metric).
   std::size_t op_count() const { return inserts_ + tombstones_; }
-  /// Net triple-count contribution: inserts minus tombstones.
+  /// Net triple-count contribution of the point ops: inserts minus
+  /// tombstones (pattern tombstones are accounted by the owner, which
+  /// knows the base).
   std::ptrdiff_t size_delta() const {
     return static_cast<std::ptrdiff_t>(inserts_) -
            static_cast<std::ptrdiff_t>(tombstones_);
   }
-  bool empty() const { return op_count() == 0; }
+  /// True iff nothing is staged — no point ops and no pattern
+  /// tombstones. Compaction may only be skipped when this holds.
+  bool empty() const { return op_count() == 0 && pattern_preds_.empty(); }
 
   /// Approximate heap bytes (op table + cached side lists).
   std::size_t MemoryBytes() const;
@@ -200,6 +238,7 @@ class DeltaStore {
   std::size_t used_ = 0;             // kFull + kDead slots
   std::size_t inserts_ = 0;
   std::size_t tombstones_ = 0;
+  IdVec pattern_preds_;  // sorted predicates with a pattern tombstone
 
   mutable ListMap lists_[3];
   mutable bool lists_valid_ = true;  // empty delta == valid empty lists

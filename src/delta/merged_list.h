@@ -102,6 +102,20 @@ class MergedList {
         adds_(adds),
         removes_(removes) {}
 
+  /// Variant whose base side is a materialized vector owned by the view
+  /// itself — used when pattern tombstones force filtering the raw base
+  /// list (the common pointer-only path stays copy-free).
+  MergedList(std::shared_ptr<const Hexastore> base_owner,
+             std::shared_ptr<const DeltaStore> delta_owner,
+             std::shared_ptr<const IdVec> owned_base, const IdVec* adds,
+             const IdVec* removes)
+      : base_owner_(std::move(base_owner)),
+        delta_owner_(std::move(delta_owner)),
+        owned_base_(std::move(owned_base)),
+        base_(owned_base_.get()),
+        adds_(adds),
+        removes_(removes) {}
+
   /// Linear-merge cursor over the view.
   MergedListCursor cursor() const {
     return MergedListCursor(base_, adds_, removes_);
@@ -130,6 +144,7 @@ class MergedList {
  private:
   std::shared_ptr<const Hexastore> base_owner_;
   std::shared_ptr<const DeltaStore> delta_owner_;
+  std::shared_ptr<const IdVec> owned_base_;
   const IdVec* base_ = nullptr;
   const IdVec* adds_ = nullptr;
   const IdVec* removes_ = nullptr;

@@ -12,6 +12,7 @@ namespace hexastore {
 namespace {
 
 constexpr char kMagic[4] = {'H', 'X', 'S', '1'};
+constexpr char kTripleMagic[4] = {'H', 'X', 'T', '1'};
 
 enum class TermTag : std::uint8_t {
   kIri = 0,
@@ -85,11 +86,11 @@ void WriteTriples(const IdTripleVec& triples, std::ostream& out) {
   }
 }
 
-Status ReadMagic(std::istream& in) {
+Status ReadMagic(std::istream& in, const char (&expected)[4]) {
   char magic[4];
   in.read(magic, sizeof(magic));
   if (in.gcount() != sizeof(magic) ||
-      !std::equal(magic, magic + 4, kMagic)) {
+      !std::equal(magic, magic + 4, expected)) {
     return Status::ParseError("bad snapshot magic");
   }
   return Status::OK();
@@ -213,7 +214,7 @@ Status LoadSnapshot(std::istream& in, Graph* graph) {
   if (graph->size() != 0) {
     return Status::InvalidArgument("target graph must be empty");
   }
-  if (Status s = ReadMagic(in); !s.ok()) {
+  if (Status s = ReadMagic(in, kMagic); !s.ok()) {
     return s;
   }
   Dictionary& dict = graph->mutable_dict();
@@ -249,7 +250,7 @@ Status LoadSnapshot(std::istream& in, Dictionary* dict,
     return Status::InvalidArgument(
         "target dictionary and store must be empty");
   }
-  if (Status s = ReadMagic(in); !s.ok()) {
+  if (Status s = ReadMagic(in, kMagic); !s.ok()) {
     return s;
   }
   if (Status s = ReadDictionary(in, dict); !s.ok()) {
@@ -295,6 +296,42 @@ Status LoadSnapshotFile(const std::string& path, Dictionary* dict,
     return Status::InvalidArgument("cannot open for reading: " + path);
   }
   return LoadSnapshot(in, dict, store);
+}
+
+Status SaveTripleSnapshot(const IdTripleVec& triples, std::ostream& out) {
+  out.write(kTripleMagic, sizeof(kTripleMagic));
+  WriteTriples(triples, out);
+  if (!out.good()) {
+    return Status::Internal("write failure while saving triple snapshot");
+  }
+  return Status::OK();
+}
+
+Status LoadTripleSnapshot(std::istream& in, IdTripleVec* triples) {
+  triples->clear();
+  if (Status s = ReadMagic(in, kTripleMagic); !s.ok()) {
+    return s;
+  }
+  // No dictionary bounds the ids here; only the zero reserve applies.
+  return ReadTriples(in, ~std::uint64_t{0}, triples);
+}
+
+Status SaveTripleSnapshotFile(const IdTripleVec& triples,
+                              const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    return Status::InvalidArgument("cannot open for writing: " + path);
+  }
+  return SaveTripleSnapshot(triples, out);
+}
+
+Status LoadTripleSnapshotFile(const std::string& path,
+                              IdTripleVec* triples) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::InvalidArgument("cannot open for reading: " + path);
+  }
+  return LoadTripleSnapshot(in, triples);
 }
 
 }  // namespace hexastore

@@ -63,6 +63,23 @@ Status SaveSnapshotFile(const Dictionary& dict, DeltaHexastore* store,
 Status LoadSnapshotFile(const std::string& path, Dictionary* dict,
                         DeltaHexastore* store);
 
+// -- Id-level triple snapshots --------------------------------------------
+// Magic "HXT1" followed by the same delta/varint-coded triple section as
+// HXS1, with no dictionary. The durability subsystem's checkpoint files
+// use this format: the WAL operates purely on dictionary-encoded ids.
+
+/// Writes `triples` (must be sorted in (s, p, o) order) to `out`.
+Status SaveTripleSnapshot(const IdTripleVec& triples, std::ostream& out);
+
+/// Reads an id-level snapshot into `triples` (cleared first).
+Status LoadTripleSnapshot(std::istream& in, IdTripleVec* triples);
+
+/// File convenience wrappers for the id-level snapshot.
+Status SaveTripleSnapshotFile(const IdTripleVec& triples,
+                              const std::string& path);
+Status LoadTripleSnapshotFile(const std::string& path,
+                              IdTripleVec* triples);
+
 }  // namespace hexastore
 
 #endif  // HEXASTORE_IO_SNAPSHOT_H_

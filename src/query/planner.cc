@@ -44,10 +44,13 @@ std::uint64_t EstimateCardinality(const TripleStore& store,
   if (!pattern.o.is_var()) probe.o = pattern.o.id;
 
   // Counting is only cheap when at least one position is constant; a
-  // wildcard count is just the store size.
+  // wildcard count is just the store size. EstimateMatches lets layered
+  // stores answer from their indexes plus staged-edit counters — for a
+  // DeltaHexastore mid-delta the estimate reflects staged inserts and
+  // tombstones without a merged scan.
   std::uint64_t base = (probe.s != kInvalidId || probe.p != kInvalidId ||
                         probe.o != kInvalidId)
-                           ? store.CountMatches(probe)
+                           ? store.EstimateMatches(probe)
                            : store.size();
 
   // Each runtime-bound variable position divides the estimate: assume a

@@ -18,8 +18,10 @@ namespace hexastore {
 
 /// Estimates the number of matches of `pattern` when the variables in
 /// `bound_vars` are already bound (their ids unknown at plan time, so the
-/// estimate assumes an average-case reduction). Uses CountMatches on the
-/// constant-only projection of the pattern when cheap, else store size.
+/// estimate assumes an average-case reduction). Uses the store's
+/// EstimateMatches on the constant-only projection of the pattern when
+/// cheap, else store size — so stores with staged edits (DeltaHexastore)
+/// plan against delta-aware cardinalities.
 std::uint64_t EstimateCardinality(const TripleStore& store,
                                   const CompiledPattern& pattern,
                                   const std::vector<bool>& bound_vars);

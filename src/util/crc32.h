@@ -1,0 +1,19 @@
+// CRC-32 (IEEE 802.3, reflected, polynomial 0xEDB88320) — the checksum
+// guarding every write-ahead-log record against torn writes and media
+// corruption.
+#ifndef HEXASTORE_UTIL_CRC32_H_
+#define HEXASTORE_UTIL_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace hexastore {
+
+/// CRC-32 of `len` bytes at `data`. Pass a previous return value as
+/// `seed` to checksum data arriving in chunks.
+std::uint32_t Crc32(const void* data, std::size_t len,
+                    std::uint32_t seed = 0);
+
+}  // namespace hexastore
+
+#endif  // HEXASTORE_UTIL_CRC32_H_

@@ -1,0 +1,402 @@
+#include "wal/durable_store.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <sstream>
+#include <vector>
+
+#include "io/snapshot.h"
+#include "wal/manifest.h"
+#include "wal/wal_reader.h"
+
+namespace hexastore {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string SnapshotFileName(std::uint64_t sequence) {
+  return "snapshot-" + std::to_string(sequence) + ".hxt";
+}
+
+bool IsSnapshotFileName(const std::string& name) {
+  return name.size() > 13 && name.compare(0, 9, "snapshot-") == 0 &&
+         name.compare(name.size() - 4, 4, ".hxt") == 0;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<DurableDeltaHexastore>> DurableDeltaHexastore::Open(
+    const DurabilityOptions& options) {
+  if (options.dir.empty()) {
+    return Status::InvalidArgument("DurabilityOptions.dir must be set");
+  }
+  if (Status s = EnsureDirectory(options.dir); !s.ok()) {
+    return s;
+  }
+  std::unique_ptr<DurableDeltaHexastore> store(
+      new DurableDeltaHexastore(options));
+
+  WalManifest manifest;
+  bool have_manifest = false;
+  {
+    auto read = ReadWalManifest(options.dir);
+    if (read.ok()) {
+      manifest = std::move(read).value();
+      have_manifest = true;
+    } else if (read.status().code() != StatusCode::kNotFound) {
+      return read.status();
+    }
+  }
+
+  if (have_manifest && !manifest.snapshot_file.empty()) {
+    IdTripleVec triples;
+    const std::string path =
+        (fs::path(options.dir) / manifest.snapshot_file).string();
+    if (Status s = LoadTripleSnapshotFile(path, &triples); !s.ok()) {
+      return Status::ParseError("checkpoint snapshot unreadable (" + path +
+                                "): " + s.message());
+    }
+    store->store_.BulkLoad(triples);
+    store->recovery_.loaded_snapshot = true;
+  }
+  store->checkpoint_sequence_ = manifest.checkpoint_sequence;
+  store->first_live_segment_ =
+      have_manifest ? manifest.first_segment_id : 1;
+
+  // Replay every live segment in id order; only the newest may be torn.
+  auto listed = ListWalSegments(options.dir);
+  if (!listed.ok()) {
+    return listed.status();
+  }
+  std::vector<std::uint64_t> live;
+  for (std::uint64_t id : listed.value()) {
+    if (id >= store->first_live_segment_) {
+      live.push_back(id);
+    }
+  }
+  std::uint64_t last_sequence = 0;
+  std::uint64_t max_segment = 0;
+  for (std::size_t i = 0; i < live.size(); ++i) {
+    const bool is_newest = i + 1 == live.size();
+    const std::string path =
+        (fs::path(options.dir) / WalSegmentFileName(live[i])).string();
+    auto contents = ReadWalSegment(path, /*tolerate_torn_tail=*/is_newest);
+    if (!contents.ok()) {
+      return contents.status();
+    }
+    ++store->recovery_.segments_scanned;
+    for (const WalRecord& record : contents.value().records) {
+      if (record.sequence <= store->checkpoint_sequence_) {
+        ++store->recovery_.skipped_records;
+        continue;
+      }
+      switch (record.op) {
+        case WalOp::kInsert:
+          store->store_.Insert(record.triple());
+          break;
+        case WalOp::kErase:
+          store->store_.Erase(record.triple());
+          break;
+        case WalOp::kClear:
+          store->store_.Clear();
+          break;
+        case WalOp::kErasePattern:
+          store->store_.ErasePattern(record.pattern());
+          break;
+      }
+      last_sequence = record.sequence;
+      ++store->recovery_.replayed_records;
+    }
+    if (contents.value().torn_tail) {
+      store->recovery_.torn_tail = true;
+      if (contents.value().valid_bytes < kWalHeaderBytes) {
+        // Not even a complete header (crash between creat(2) and the
+        // header write): the file holds nothing. Remove it — truncating
+        // it to zero would leave a headerless segment that fails the
+        // strict (non-newest) read on every later open.
+        if (Status s = RemoveFileIfExists(path); !s.ok()) {
+          return s;
+        }
+      } else {
+        // Chop the tail back to the last complete record so the segment
+        // reads clean (strictly) on any later open.
+        if (Status s = TruncateFile(path, contents.value().valid_bytes);
+            !s.ok()) {
+          return s;
+        }
+      }
+    }
+    max_segment = live[i];
+  }
+
+  // Sweep *.tmp leftovers a crash mid-AtomicWriteFile may have left
+  // (snapshot-<seq>.hxt.tmp, MANIFEST.tmp); nothing references them.
+  {
+    std::error_code ec;
+    for (const auto& entry : fs::directory_iterator(options.dir, ec)) {
+      const std::string name = entry.path().filename().string();
+      if (name.size() > 4 &&
+          name.compare(name.size() - 4, 4, ".tmp") == 0) {
+        RemoveFileIfExists(entry.path().string());
+      }
+    }
+  }
+
+  const std::uint64_t next_sequence =
+      std::max(have_manifest ? manifest.next_sequence : std::uint64_t{1},
+               last_sequence + 1);
+  const std::uint64_t new_segment =
+      std::max(store->first_live_segment_, max_segment + 1);
+  WalWriterOptions wal_options;
+  wal_options.dir = options.dir;
+  wal_options.mode = options.mode;
+  wal_options.segment_bytes = options.segment_bytes;
+  wal_options.batch_bytes = options.batch_bytes;
+  auto writer = WalWriter::Open(wal_options, new_segment, next_sequence);
+  if (!writer.ok()) {
+    return writer.status();
+  }
+  store->wal_ = std::move(writer).value();
+  store->last_sequence_ = next_sequence - 1;
+  store->last_compaction_count_ = store->store_.CompactionCount();
+  if (!have_manifest) {
+    WalManifest fresh;
+    fresh.first_segment_id = store->first_live_segment_;
+    fresh.next_sequence = next_sequence;
+    if (Status s = WriteWalManifest(options.dir, fresh); !s.ok()) {
+      return s;
+    }
+  }
+  return store;
+}
+
+DurableDeltaHexastore::~DurableDeltaHexastore() = default;
+
+bool DurableDeltaHexastore::Insert(const IdTriple& t) {
+  std::uint64_t sequence = 0;
+  bool need_checkpoint = false;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (store_.Contains(t)) {
+      return false;  // logical no-op: nothing to log
+    }
+    auto appended = wal_->Append(WalOp::kInsert, t.s, t.p, t.o);
+    if (!appended.ok()) {
+      if (io_status_.ok()) {
+        io_status_ = appended.status();
+      }
+      return false;
+    }
+    sequence = appended.value();
+    last_sequence_ = sequence;
+    store_.Insert(t);
+    need_checkpoint = store_.CompactionCount() != last_compaction_count_;
+  }
+  FinishCommit(sequence, need_checkpoint);
+  return true;
+}
+
+bool DurableDeltaHexastore::Erase(const IdTriple& t) {
+  std::uint64_t sequence = 0;
+  bool need_checkpoint = false;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (!store_.Contains(t)) {
+      return false;
+    }
+    auto appended = wal_->Append(WalOp::kErase, t.s, t.p, t.o);
+    if (!appended.ok()) {
+      if (io_status_.ok()) {
+        io_status_ = appended.status();
+      }
+      return false;
+    }
+    sequence = appended.value();
+    last_sequence_ = sequence;
+    store_.Erase(t);
+    need_checkpoint = store_.CompactionCount() != last_compaction_count_;
+  }
+  FinishCommit(sequence, need_checkpoint);
+  return true;
+}
+
+std::size_t DurableDeltaHexastore::ErasePattern(const IdPattern& pattern) {
+  std::uint64_t sequence = 0;
+  bool need_checkpoint = false;
+  std::size_t erased = 0;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    // Apply first, log after (still inside mu_, so replay order equals
+    // apply order): the erase count is the only exact no-op test that
+    // does not pre-pay a merged scan of every match. The applied-but-
+    // unlogged window this opens is the append-failure case, which
+    // poisons the writer and is reported sticky via status().
+    erased = store_.ErasePattern(pattern);
+    if (erased == 0) {
+      return 0;  // logical no-op: nothing to log (mirrors Insert/Erase)
+    }
+    auto appended =
+        wal_->Append(WalOp::kErasePattern, pattern.s, pattern.p, pattern.o);
+    if (!appended.ok()) {
+      if (io_status_.ok()) {
+        io_status_ = appended.status();
+      }
+      return erased;
+    }
+    sequence = appended.value();
+    last_sequence_ = sequence;
+    need_checkpoint = store_.CompactionCount() != last_compaction_count_;
+  }
+  FinishCommit(sequence, need_checkpoint);
+  return erased;
+}
+
+void DurableDeltaHexastore::Clear() {
+  std::uint64_t sequence = 0;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (store_.size() == 0) {
+      return;  // already empty: nothing to log
+    }
+    auto appended = wal_->Append(WalOp::kClear, 0, 0, 0);
+    if (!appended.ok()) {
+      if (io_status_.ok()) {
+        io_status_ = appended.status();
+      }
+      return;
+    }
+    sequence = appended.value();
+    last_sequence_ = sequence;
+    store_.Clear();
+  }
+  FinishCommit(sequence, /*need_checkpoint=*/false);
+}
+
+void DurableDeltaHexastore::BulkLoad(const IdTripleVec& triples) {
+  // Not logged record-by-record: the immediate checkpoint below makes
+  // the load durable in one snapshot (atomic at checkpoint completion —
+  // a crash before it recovers the pre-load state).
+  std::unique_lock<std::mutex> lock(mu_);
+  store_.BulkLoad(triples);
+  if (Status s = CheckpointLocked(lock); !s.ok() && io_status_.ok()) {
+    io_status_ = s;
+  }
+}
+
+void DurableDeltaHexastore::FinishCommit(std::uint64_t sequence,
+                                         bool need_checkpoint) {
+  // Group commit happens outside mu_, so concurrent writers share the
+  // leader's fsync instead of serializing on the store mutex.
+  if (Status s = wal_->Commit(sequence); !s.ok()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (io_status_.ok()) {
+      io_status_ = s;
+    }
+    return;
+  }
+  if (need_checkpoint) {
+    std::unique_lock<std::mutex> lock(mu_);
+    // Re-check under the lock: every op that committed between the
+    // compaction and the first checkpoint observed the same count
+    // mismatch; only one of them gets to pay for the checkpoint.
+    if (store_.CompactionCount() == last_compaction_count_) {
+      return;
+    }
+    if (Status s = CheckpointLocked(lock); !s.ok() && io_status_.ok()) {
+      io_status_ = s;
+    }
+  }
+}
+
+Status DurableDeltaHexastore::Checkpoint() {
+  std::unique_lock<std::mutex> lock(mu_);
+  return CheckpointLocked(lock);
+}
+
+Status DurableDeltaHexastore::CheckpointLocked(
+    std::unique_lock<std::mutex>& lock) {
+  (void)lock;
+  // 1. Drain the delta so the snapshot is pure base (and record the
+  //    compaction so the next op does not re-trigger a checkpoint).
+  store_.Compact();
+  last_compaction_count_ = store_.CompactionCount();
+  const std::uint64_t sequence = last_sequence_;
+
+  // 2. Durable id-level snapshot (tmp + fsync + rename + dir fsync).
+  const std::string snapshot_name = SnapshotFileName(sequence);
+  std::ostringstream bytes;
+  if (Status s = SaveTripleSnapshot(store_.Match(IdPattern{}), bytes);
+      !s.ok()) {
+    return s;
+  }
+  const fs::path dir(options_.dir);
+  if (Status s = AtomicWriteFile((dir / snapshot_name).string(),
+                                 std::move(bytes).str());
+      !s.ok()) {
+    return s;
+  }
+
+  // 3. Seal the log at the checkpoint: everything <= sequence lives in
+  //    the snapshot, new records go to a fresh segment.
+  auto rotated = wal_->Rotate();
+  if (!rotated.ok()) {
+    return rotated.status();
+  }
+  const std::uint64_t new_first = rotated.value();
+
+  // 4. Point the manifest at the new (snapshot, segment, sequence)
+  //    triple — the atomic commit of the checkpoint.
+  WalManifest manifest;
+  manifest.checkpoint_sequence = sequence;
+  manifest.snapshot_file = snapshot_name;
+  manifest.first_segment_id = new_first;
+  manifest.next_sequence = wal_->next_sequence();
+  if (Status s = WriteWalManifest(options_.dir, manifest); !s.ok()) {
+    return s;
+  }
+  checkpoint_sequence_ = sequence;
+  first_live_segment_ = new_first;
+  ++checkpoints_;
+
+  // 5. Truncate obsolete files; a crash mid-prune only leaves garbage
+  //    that the next checkpoint (or the first_segment_id filter) skips.
+  if (auto segments = ListWalSegments(options_.dir); segments.ok()) {
+    for (std::uint64_t id : segments.value()) {
+      if (id < new_first) {
+        RemoveFileIfExists((dir / WalSegmentFileName(id)).string());
+      }
+    }
+  }
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(options_.dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (IsSnapshotFileName(name) && name != snapshot_name) {
+      RemoveFileIfExists(entry.path().string());
+    }
+  }
+  return Status::OK();
+}
+
+Status DurableDeltaHexastore::Flush() {
+  Status s = wal_->Sync();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!s.ok() && io_status_.ok()) {
+    io_status_ = s;
+  }
+  return s;
+}
+
+Status DurableDeltaHexastore::status() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return io_status_;
+}
+
+WalStats DurableDeltaHexastore::wal_stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  WalStats stats = wal_->stats();
+  stats.checkpoints = checkpoints_;
+  return stats;
+}
+
+}  // namespace hexastore

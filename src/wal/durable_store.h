@@ -1,0 +1,174 @@
+// Durable DeltaHexastore: the PR-2 staging store wrapped in a
+// write-ahead log, so a crash loses at most the ops the configured
+// durability mode had not yet fsynced (nothing in per-commit mode).
+//
+// Write path (the WAL rule — log, then apply):
+//
+//   1. append the op to the active segment (assigns a sequence number)
+//   2. apply it to the in-memory DeltaHexastore
+//   3. commit per DurabilityMode — per-commit fsync is a group commit:
+//      concurrent writers share one fsync(2)
+//
+// Checkpoints ride the delta's own compaction cadence: when staging an
+// op drains the delta into the base, the store writes an id-level
+// snapshot (io/snapshot, "HXT1"), rotates to a fresh segment, points the
+// MANIFEST at the pair, and deletes the obsolete segments — so the WAL
+// never holds more than roughly one compaction threshold of records.
+//
+// Recovery (Open) is deterministic: load the manifest's snapshot, replay
+// every live segment in order skipping records the snapshot covers,
+// tolerating a torn tail only in the newest segment, then start a fresh
+// segment for new writes. The recovered store is exactly the committed
+// prefix of the log.
+//
+// Reads (Contains/Scan/size/merged views) go straight to the inner
+// DeltaHexastore and never touch the log — durability does not tax the
+// read path.
+#ifndef HEXASTORE_WAL_DURABLE_STORE_H_
+#define HEXASTORE_WAL_DURABLE_STORE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "core/stats.h"
+#include "core/store_interface.h"
+#include "delta/delta_hexastore.h"
+#include "util/status.h"
+#include "wal/wal_format.h"
+#include "wal/wal_writer.h"
+
+namespace hexastore {
+
+/// Configuration of a DurableDeltaHexastore.
+struct DurabilityOptions {
+  /// Directory holding segments, snapshots and the MANIFEST. Created if
+  /// missing.
+  std::string dir;
+  DurabilityMode mode = DurabilityMode::kBatched;
+  /// Staged ops that trigger compaction — and with it a checkpoint.
+  std::size_t compact_threshold = DeltaHexastore::kDefaultCompactThreshold;
+  /// WAL segment rotation size.
+  std::size_t segment_bytes = 4u << 20;
+  /// kBatched: unsynced bytes that trigger an fsync.
+  std::size_t batch_bytes = 256u << 10;
+};
+
+/// What recovery found in the WAL directory.
+struct RecoveryInfo {
+  bool loaded_snapshot = false;      ///< a checkpoint snapshot was loaded
+  std::uint64_t segments_scanned = 0;
+  std::uint64_t replayed_records = 0;
+  std::uint64_t skipped_records = 0;  ///< already covered by the snapshot
+  bool torn_tail = false;             ///< newest segment ended mid-record
+};
+
+/// Write-ahead-logged TripleStore over a DeltaHexastore.
+class DurableDeltaHexastore : public TripleStore {
+ public:
+  /// Opens (creating or recovering) the store in `options.dir`.
+  static Result<std::unique_ptr<DurableDeltaHexastore>> Open(
+      const DurabilityOptions& options);
+
+  DurableDeltaHexastore(const DurableDeltaHexastore&) = delete;
+  DurableDeltaHexastore& operator=(const DurableDeltaHexastore&) = delete;
+  /// Flushes the log tail (best effort) before closing.
+  ~DurableDeltaHexastore() override;
+
+  // -- TripleStore interface ----------------------------------------------
+  // Mutators return false (and leave the store untouched) when the op is
+  // a logical no-op, exactly like DeltaHexastore, or when the WAL append
+  // fails (the append error poisons the writer, so every later mutation
+  // fails too; status() reports it). A failed durability *barrier* — the
+  // per-commit/batched fsync after a successful append — cannot be
+  // rolled back from memory: the op stays applied, the return value
+  // still reflects the logical outcome, the error is sticky in status()
+  // and no later commit will be acknowledged past it. Callers that need
+  // strict per-commit guarantees must treat a non-OK status() as "recent
+  // acknowledgments may not be durable".
+
+  bool Insert(const IdTriple& t) override;
+  bool Erase(const IdTriple& t) override;
+  bool Contains(const IdTriple& t) const override {
+    return store_.Contains(t);
+  }
+  std::size_t size() const override { return store_.size(); }
+  void Scan(const IdPattern& pattern, const TripleSink& sink) const override {
+    store_.Scan(pattern, sink);
+  }
+  std::size_t MemoryBytes() const override { return store_.MemoryBytes(); }
+  std::string name() const override { return "DurableDeltaHexastore"; }
+  /// Planner estimates use the inner store's delta-aware fast path.
+  std::uint64_t EstimateMatches(const IdPattern& pattern) const override {
+    return store_.EstimateMatches(pattern);
+  }
+
+  /// Bulk loads are not logged record-by-record; the load is made
+  /// durable by the immediate checkpoint that follows it (atomic at
+  /// checkpoint completion).
+  void BulkLoad(const IdTripleVec& triples) override;
+
+  /// Logged pattern erase (one record regardless of match count; the
+  /// delta's pattern-tombstone fast path applies underneath).
+  std::size_t ErasePattern(const IdPattern& pattern);
+
+  /// Logged Clear.
+  void Clear();
+
+  // -- Durability management ----------------------------------------------
+
+  /// Forces a checkpoint now: compact, snapshot, rotate, truncate.
+  Status Checkpoint();
+
+  /// Fsyncs everything appended so far (a durability barrier stronger
+  /// than the configured mode).
+  Status Flush();
+
+  /// First WAL I/O error encountered, sticky; OK while healthy.
+  Status status() const;
+
+  /// Snapshot-isolated read handle of the inner store.
+  DeltaHexastore::Snapshot GetSnapshot() const {
+    return store_.GetSnapshot();
+  }
+
+  const RecoveryInfo& recovery_info() const { return recovery_; }
+  DeltaStats delta_stats() const { return store_.Stats(); }
+  WalStats wal_stats() const;
+  const DurabilityOptions& options() const { return options_; }
+
+  /// Inner-store invariants (test hook).
+  bool CheckInvariants(std::string* error = nullptr) const {
+    return store_.CheckInvariants(error);
+  }
+
+ private:
+  explicit DurableDeltaHexastore(const DurabilityOptions& options)
+      : options_(options), store_(options.compact_threshold) {}
+
+  // Post-append tail of every mutator: group commit outside mu_, then a
+  // checkpoint if the op tipped the delta into a compaction.
+  void FinishCommit(std::uint64_t sequence, bool need_checkpoint);
+
+  // Checkpoint body; mu_ held by `lock`.
+  Status CheckpointLocked(std::unique_lock<std::mutex>& lock);
+
+  const DurabilityOptions options_;
+
+  // Orders (append, apply) pairs so replay order equals apply order.
+  mutable std::mutex mu_;
+  DeltaHexastore store_;
+  std::unique_ptr<WalWriter> wal_;
+  RecoveryInfo recovery_;
+  Status io_status_;
+  std::uint64_t last_sequence_ = 0;       // last op logged and applied
+  std::uint64_t checkpoint_sequence_ = 0;  // covered by the snapshot
+  std::uint64_t first_live_segment_ = 1;
+  std::uint64_t last_compaction_count_ = 0;
+  std::uint64_t checkpoints_ = 0;
+};
+
+}  // namespace hexastore
+
+#endif  // HEXASTORE_WAL_DURABLE_STORE_H_

@@ -1,0 +1,189 @@
+#include "wal/file_util.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "wal/wal_format.h"
+
+namespace hexastore {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+Status Errno(const std::string& what, const std::string& path) {
+  return Status::Internal(what + " " + path + ": " +
+                          std::strerror(errno));
+}
+
+Status WriteFully(int fd, const std::string& data, const char* what) {
+  const char* p = data.data();
+  std::size_t left = data.size();
+  while (left > 0) {
+    const ssize_t n = ::write(fd, p, left);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return Errno("write", what);
+    }
+    p += n;
+    left -= static_cast<std::size_t>(n);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+AppendFile& AppendFile::operator=(AppendFile&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+AppendFile::~AppendFile() { Close(); }
+
+Result<AppendFile> AppendFile::Open(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd < 0) {
+    return Errno("open", path);
+  }
+  return AppendFile(fd);
+}
+
+Status AppendFile::Append(const std::string& data) {
+  return WriteFully(fd_, data, "wal segment");
+}
+
+Status AppendFile::Sync() {
+  if (::fsync(fd_) != 0) {
+    return Errno("fsync", "wal segment");
+  }
+  return Status::OK();
+}
+
+void AppendFile::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status EnsureDirectory(const std::string& dir) {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    return Status::Internal("create_directories " + dir + ": " +
+                            ec.message());
+  }
+  return Status::OK();
+}
+
+Status ReadFileToString(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    // NotFound only when the file genuinely does not exist; any other
+    // open failure (EACCES, fd exhaustion, ...) must not be mistaken
+    // for "fresh directory" by callers like the manifest reader.
+    std::error_code ec;
+    if (!fs::exists(path, ec) && !ec) {
+      return Status::NotFound("no such file: " + path);
+    }
+    return Status::Internal("cannot open for reading: " + path);
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  *out = std::move(buf).str();
+  if (in.bad()) {
+    return Status::Internal("read failure: " + path);
+  }
+  return Status::OK();
+}
+
+Status AtomicWriteFile(const std::string& path,
+                       const std::string& contents) {
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Errno("open", tmp);
+  }
+  Status s = WriteFully(fd, contents, tmp.c_str());
+  if (s.ok() && ::fsync(fd) != 0) {
+    s = Errno("fsync", tmp);
+  }
+  ::close(fd);
+  if (!s.ok()) {
+    return s;
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Errno("rename", path);
+  }
+  return SyncDirectory(fs::path(path).parent_path().string());
+}
+
+Status SyncDirectory(const std::string& dir) {
+  const std::string target = dir.empty() ? "." : dir;
+  const int fd = ::open(target.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) {
+    return Errno("open dir", target);
+  }
+  const bool ok = ::fsync(fd) == 0;
+  ::close(fd);
+  if (!ok) {
+    return Errno("fsync dir", target);
+  }
+  return Status::OK();
+}
+
+Status RemoveFileIfExists(const std::string& path) {
+  std::error_code ec;
+  fs::remove(path, ec);
+  if (ec) {
+    return Status::Internal("remove " + path + ": " + ec.message());
+  }
+  return Status::OK();
+}
+
+Status TruncateFile(const std::string& path, std::uint64_t size) {
+  if (::truncate(path.c_str(), static_cast<off_t>(size)) != 0) {
+    return Errno("truncate", path);
+  }
+  const int fd = ::open(path.c_str(), O_WRONLY);
+  if (fd < 0) {
+    return Errno("open", path);
+  }
+  const bool ok = ::fsync(fd) == 0;
+  ::close(fd);
+  if (!ok) {
+    return Errno("fsync", path);
+  }
+  return Status::OK();
+}
+
+Result<std::vector<std::uint64_t>> ListWalSegments(const std::string& dir) {
+  std::vector<std::uint64_t> ids;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    std::uint64_t id = 0;
+    if (ParseWalSegmentFileName(entry.path().filename().string(), &id)) {
+      ids.push_back(id);
+    }
+  }
+  if (ec) {
+    return Status::Internal("list " + dir + ": " + ec.message());
+  }
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+}  // namespace hexastore

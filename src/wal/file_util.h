@@ -1,0 +1,72 @@
+// Thin POSIX file helpers for the durability subsystem: append-only fds
+// with explicit fsync, atomic whole-file replacement (write tmp, fsync,
+// rename, fsync directory), and directory listing of WAL segments.
+#ifndef HEXASTORE_WAL_FILE_UTIL_H_
+#define HEXASTORE_WAL_FILE_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace hexastore {
+
+/// An append-only file descriptor. Move-only; closes on destruction.
+class AppendFile {
+ public:
+  AppendFile() = default;
+  AppendFile(AppendFile&& other) noexcept : fd_(other.fd_) {
+    other.fd_ = -1;
+  }
+  AppendFile& operator=(AppendFile&& other) noexcept;
+  AppendFile(const AppendFile&) = delete;
+  AppendFile& operator=(const AppendFile&) = delete;
+  ~AppendFile();
+
+  /// Opens `path` for appending, creating it if needed.
+  static Result<AppendFile> Open(const std::string& path);
+
+  /// Writes all of `data` (retrying short writes).
+  Status Append(const std::string& data);
+
+  /// Flushes written data (and metadata) to stable storage.
+  Status Sync();
+
+  /// Closes the descriptor early (the destructor is then a no-op).
+  void Close();
+
+  bool is_open() const { return fd_ >= 0; }
+
+ private:
+  explicit AppendFile(int fd) : fd_(fd) {}
+  int fd_ = -1;
+};
+
+/// Creates `dir` (and missing parents) if absent.
+Status EnsureDirectory(const std::string& dir);
+
+/// Reads the whole file into `out`.
+Status ReadFileToString(const std::string& path, std::string* out);
+
+/// Atomically replaces `path` with `contents`: writes `path`.tmp, fsyncs
+/// it, renames over `path`, then fsyncs the parent directory so the
+/// rename itself is durable.
+Status AtomicWriteFile(const std::string& path, const std::string& contents);
+
+/// Fsyncs a directory so recent renames/unlinks inside it are durable.
+Status SyncDirectory(const std::string& dir);
+
+/// Removes a file; missing files are not an error.
+Status RemoveFileIfExists(const std::string& path);
+
+/// Truncates `path` to `size` bytes and fsyncs it (recovery chops a torn
+/// WAL tail back to the last complete record).
+Status TruncateFile(const std::string& path, std::uint64_t size);
+
+/// Segment ids of every "wal-*.log" in `dir`, sorted ascending.
+Result<std::vector<std::uint64_t>> ListWalSegments(const std::string& dir);
+
+}  // namespace hexastore
+
+#endif  // HEXASTORE_WAL_FILE_UTIL_H_

@@ -1,0 +1,61 @@
+#include "wal/manifest.h"
+
+#include <cstring>
+#include <filesystem>
+
+#include "io/binary_format.h"
+#include "wal/file_util.h"
+
+namespace hexastore {
+
+namespace {
+
+constexpr char kManifestMagic[4] = {'H', 'X', 'M', '1'};
+constexpr std::uint64_t kManifestVersion = 1;
+
+std::string ManifestPath(const std::string& dir) {
+  return (std::filesystem::path(dir) / kManifestFileName).string();
+}
+
+}  // namespace
+
+Status WriteWalManifest(const std::string& dir,
+                        const WalManifest& manifest) {
+  std::string buf(kManifestMagic, sizeof(kManifestMagic));
+  AppendVarint(&buf, kManifestVersion);
+  AppendVarint(&buf, manifest.checkpoint_sequence);
+  AppendVarint(&buf, manifest.snapshot_file.size());
+  buf.append(manifest.snapshot_file);
+  AppendVarint(&buf, manifest.first_segment_id);
+  AppendVarint(&buf, manifest.next_sequence);
+  return AtomicWriteFile(ManifestPath(dir), buf);
+}
+
+Result<WalManifest> ReadWalManifest(const std::string& dir) {
+  std::string buf;
+  if (Status s = ReadFileToString(ManifestPath(dir), &buf); !s.ok()) {
+    return s;  // NotFound for a fresh directory
+  }
+  if (buf.size() < sizeof(kManifestMagic) ||
+      std::memcmp(buf.data(), kManifestMagic, sizeof(kManifestMagic)) != 0) {
+    return Status::ParseError("bad manifest magic in " + dir);
+  }
+  std::size_t pos = sizeof(kManifestMagic);
+  std::uint64_t version = 0;
+  WalManifest m;
+  std::uint64_t name_len = 0;
+  if (!ReadVarint(buf, &pos, &version) || version != kManifestVersion ||
+      !ReadVarint(buf, &pos, &m.checkpoint_sequence) ||
+      !ReadVarint(buf, &pos, &name_len) || name_len > buf.size() - pos) {
+    return Status::ParseError("truncated manifest in " + dir);
+  }
+  m.snapshot_file = buf.substr(pos, static_cast<std::size_t>(name_len));
+  pos += static_cast<std::size_t>(name_len);
+  if (!ReadVarint(buf, &pos, &m.first_segment_id) ||
+      !ReadVarint(buf, &pos, &m.next_sequence) || pos != buf.size()) {
+    return Status::ParseError("truncated manifest in " + dir);
+  }
+  return m;
+}
+
+}  // namespace hexastore

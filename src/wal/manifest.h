@@ -1,0 +1,52 @@
+// The MANIFEST file: the durable root pointer of a WAL directory.
+//
+// Recovery is a deterministic two-step — load the snapshot named here,
+// then replay every live segment skipping records the snapshot already
+// covers — so the manifest records exactly the (snapshot, first live
+// segment, sequence) triple that makes that replay well-defined.
+//
+// Format (binary, via io/binary_format):
+//
+//   magic "HXM1"
+//   varint format_version (1)
+//   varint checkpoint_sequence   records <= this are inside the snapshot
+//   string snapshot_file         relative name; empty = no snapshot yet
+//   varint first_segment_id      oldest segment replay must read
+//   varint next_sequence         first unused sequence at write time
+//
+// The manifest is replaced atomically (tmp + fsync + rename + dir
+// fsync), so a crash leaves either the old or the new version, never a
+// torn one.
+#ifndef HEXASTORE_WAL_MANIFEST_H_
+#define HEXASTORE_WAL_MANIFEST_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace hexastore {
+
+/// Checkpoint root pointer of a WAL directory.
+struct WalManifest {
+  std::uint64_t checkpoint_sequence = 0;
+  std::string snapshot_file;
+  std::uint64_t first_segment_id = 1;
+  std::uint64_t next_sequence = 1;
+
+  friend bool operator==(const WalManifest&, const WalManifest&) = default;
+};
+
+/// File name of the manifest inside a WAL directory.
+inline constexpr const char* kManifestFileName = "MANIFEST";
+
+/// Atomically replaces the manifest of `dir`.
+Status WriteWalManifest(const std::string& dir, const WalManifest& manifest);
+
+/// Reads the manifest of `dir`; NotFound when none exists (fresh
+/// directory), ParseError on corruption.
+Result<WalManifest> ReadWalManifest(const std::string& dir);
+
+}  // namespace hexastore
+
+#endif  // HEXASTORE_WAL_MANIFEST_H_

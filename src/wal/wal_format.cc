@@ -1,0 +1,108 @@
+#include "wal/wal_format.h"
+
+#include <cstdio>
+
+#include "io/binary_format.h"
+#include "util/crc32.h"
+
+namespace hexastore {
+
+const char* DurabilityModeName(DurabilityMode mode) {
+  switch (mode) {
+    case DurabilityMode::kNone:
+      return "none";
+    case DurabilityMode::kBatched:
+      return "batched";
+    case DurabilityMode::kPerCommit:
+      return "per-commit";
+  }
+  return "unknown";
+}
+
+void AppendWalRecord(std::string* buf, const WalRecord& record) {
+  std::string payload;
+  AppendVarint(&payload, record.sequence);
+  payload.push_back(static_cast<char>(record.op));
+  AppendVarint(&payload, record.s);
+  AppendVarint(&payload, record.p);
+  AppendVarint(&payload, record.o);
+
+  const std::uint32_t crc = Crc32(payload.data(), payload.size());
+  buf->push_back(static_cast<char>(crc & 0xFF));
+  buf->push_back(static_cast<char>((crc >> 8) & 0xFF));
+  buf->push_back(static_cast<char>((crc >> 16) & 0xFF));
+  buf->push_back(static_cast<char>((crc >> 24) & 0xFF));
+  AppendVarint(buf, payload.size());
+  buf->append(payload);
+}
+
+WalParse ParseWalRecord(const std::string& buf, std::size_t* pos,
+                        WalRecord* out) {
+  const std::size_t start = *pos;
+  if (start == buf.size()) {
+    return WalParse::kEnd;
+  }
+  if (buf.size() - start < 4) {
+    return WalParse::kCorrupt;
+  }
+  auto byte = [&buf](std::size_t i) {
+    return static_cast<std::uint32_t>(static_cast<unsigned char>(buf[i]));
+  };
+  const std::uint32_t stored_crc = byte(start) | (byte(start + 1) << 8) |
+                                   (byte(start + 2) << 16) |
+                                   (byte(start + 3) << 24);
+  std::size_t cursor = start + 4;
+  std::uint64_t payload_len = 0;
+  if (!ReadVarint(buf, &cursor, &payload_len) ||
+      payload_len > buf.size() - cursor) {
+    return WalParse::kCorrupt;
+  }
+  if (Crc32(buf.data() + cursor, static_cast<std::size_t>(payload_len)) !=
+      stored_crc) {
+    return WalParse::kCorrupt;
+  }
+  const std::size_t payload_end = cursor + payload_len;
+  WalRecord record;
+  if (!ReadVarint(buf, &cursor, &record.sequence) || cursor >= payload_end) {
+    return WalParse::kCorrupt;
+  }
+  const auto op_byte = static_cast<unsigned char>(buf[cursor++]);
+  if (op_byte > static_cast<unsigned char>(WalOp::kErasePattern)) {
+    return WalParse::kCorrupt;
+  }
+  record.op = static_cast<WalOp>(op_byte);
+  if (!ReadVarint(buf, &cursor, &record.s) ||
+      !ReadVarint(buf, &cursor, &record.p) ||
+      !ReadVarint(buf, &cursor, &record.o) || cursor != payload_end) {
+    return WalParse::kCorrupt;
+  }
+  *out = record;
+  *pos = payload_end;
+  return WalParse::kRecord;
+}
+
+std::string WalSegmentFileName(std::uint64_t segment_id) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "wal-%06llu.log",
+                static_cast<unsigned long long>(segment_id));
+  return buf;
+}
+
+bool ParseWalSegmentFileName(const std::string& name,
+                             std::uint64_t* segment_id) {
+  if (name.size() < 9 || name.compare(0, 4, "wal-") != 0 ||
+      name.compare(name.size() - 4, 4, ".log") != 0) {
+    return false;
+  }
+  std::uint64_t id = 0;
+  for (std::size_t i = 4; i < name.size() - 4; ++i) {
+    if (name[i] < '0' || name[i] > '9') {
+      return false;
+    }
+    id = id * 10 + static_cast<std::uint64_t>(name[i] - '0');
+  }
+  *segment_id = id;
+  return true;
+}
+
+}  // namespace hexastore

@@ -1,0 +1,110 @@
+// On-disk format of the write-ahead log (cf. the log-format notes in the
+// RocksDB recovery design: CRC-framed records, torn tails tolerated only
+// at the end of the newest segment).
+//
+// A WAL directory holds numbered segment files plus a MANIFEST:
+//
+//   wal-<id>.log   append-only segment, rotated past a size threshold
+//   MANIFEST       checkpoint (snapshot, first live segment, sequence)
+//
+// Segment layout:
+//
+//   magic "HXW1", format byte 1
+//   record*
+//
+// Record frame (all integers varint unless noted):
+//
+//   u32 crc32 (little-endian, of the payload bytes)
+//   varint payload_len
+//   payload: varint sequence, op byte, varint s, varint p, varint o
+//
+// The (s, p, o) fields carry the triple for kInsert/kErase, the pattern
+// (0 = wildcard) for kErasePattern, and are zero for kClear. Sequence
+// numbers are assigned by the writer, strictly increasing across the
+// whole log (they do not reset at segment boundaries), so replay can
+// skip records already covered by a checkpoint snapshot.
+#ifndef HEXASTORE_WAL_WAL_FORMAT_H_
+#define HEXASTORE_WAL_WAL_FORMAT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "rdf/triple.h"
+#include "util/common.h"
+
+namespace hexastore {
+
+/// How hard the log pushes committed records toward the platter.
+enum class DurabilityMode : std::uint8_t {
+  kNone = 0,     ///< OS-buffered writes only; fsync at rotation/checkpoint
+  kBatched = 1,  ///< fsync once a batch of unsynced bytes accumulates
+  kPerCommit = 2,  ///< fsync before every commit returns (group commit)
+};
+
+/// Human-readable mode name ("none", "batched", "per-commit").
+const char* DurabilityModeName(DurabilityMode mode);
+
+/// Kind of a logged operation.
+enum class WalOp : std::uint8_t {
+  kInsert = 0,        ///< stage one triple
+  kErase = 1,         ///< tombstone one triple
+  kClear = 2,         ///< drop everything
+  kErasePattern = 3,  ///< erase all triples matching a pattern
+};
+
+/// One decoded log record.
+struct WalRecord {
+  std::uint64_t sequence = 0;
+  WalOp op = WalOp::kInsert;
+  /// Triple for kInsert/kErase; pattern fields (0 = wildcard) for
+  /// kErasePattern; ignored for kClear.
+  Id s = kInvalidId;
+  Id p = kInvalidId;
+  Id o = kInvalidId;
+
+  IdTriple triple() const { return IdTriple{s, p, o}; }
+  IdPattern pattern() const { return IdPattern{s, p, o}; }
+
+  friend bool operator==(const WalRecord&, const WalRecord&) = default;
+};
+
+/// Segment header bytes ("HXW1" + format version 1).
+inline constexpr char kWalMagic[5] = {'H', 'X', 'W', '1', 1};
+inline constexpr std::size_t kWalHeaderBytes = sizeof(kWalMagic);
+
+/// Upper bound of one encoded record frame: 4 CRC bytes, a <=10-byte
+/// length varint, and a payload of a <=10-byte sequence varint, the op
+/// byte and three <=10-byte id varints. A crash can tear at most one
+/// in-flight frame, so a genuine torn tail never leaves more than this
+/// many bytes after the last valid record — anything longer is mid-file
+/// damage, not a crash artifact.
+inline constexpr std::size_t kMaxWalFrameBytes = 4 + 10 + (10 + 1 + 3 * 10);
+
+/// Appends the CRC-framed encoding of `record` to `buf`.
+void AppendWalRecord(std::string* buf, const WalRecord& record);
+
+/// Outcome of decoding one record frame.
+enum class WalParse {
+  kRecord,   ///< a record was decoded; *pos advanced past it
+  kEnd,      ///< clean end of buffer (no bytes left)
+  kCorrupt,  ///< truncated frame or CRC mismatch (torn tail)
+};
+
+/// Decodes the record frame at `*pos`. On kRecord, fills `out` and
+/// advances `*pos`; on kEnd/kCorrupt, `*pos` marks the end of the valid
+/// prefix.
+WalParse ParseWalRecord(const std::string& buf, std::size_t* pos,
+                        WalRecord* out);
+
+/// Segment file name for an id: "wal-000042.log".
+std::string WalSegmentFileName(std::uint64_t segment_id);
+
+/// Parses a segment id out of a file name; returns false if the name is
+/// not a WAL segment.
+bool ParseWalSegmentFileName(const std::string& name,
+                             std::uint64_t* segment_id);
+
+}  // namespace hexastore
+
+#endif  // HEXASTORE_WAL_WAL_FORMAT_H_

@@ -1,0 +1,64 @@
+#include "wal/wal_reader.h"
+
+#include <cstring>
+
+#include "wal/file_util.h"
+
+namespace hexastore {
+
+namespace {
+
+// True when the invalid region at [pos, size) is small enough to be the
+// single frame a crash tore mid-write. More trailing bytes than one
+// frame means valid records may follow the damage — that is media
+// corruption, not a torn tail, and must not be silently truncated.
+bool PlausiblyTornTail(std::size_t pos, std::size_t size) {
+  return size - pos <= kMaxWalFrameBytes;
+}
+
+}  // namespace
+
+Result<WalSegmentContents> ReadWalSegment(const std::string& path,
+                                          bool tolerate_torn_tail) {
+  std::string buf;
+  if (Status s = ReadFileToString(path, &buf); !s.ok()) {
+    return s;
+  }
+  WalSegmentContents out;
+  if (buf.size() < kWalHeaderBytes ||
+      std::memcmp(buf.data(), kWalMagic, kWalHeaderBytes) != 0) {
+    // A crash between creat() and the header write leaves a short file;
+    // that is a torn tail of length zero. A full-size segment with a
+    // damaged header is corruption, even in the newest segment.
+    if (tolerate_torn_tail && buf.size() < kWalHeaderBytes) {
+      out.torn_tail = true;
+      return out;
+    }
+    return Status::ParseError("bad WAL segment header: " + path);
+  }
+  std::size_t pos = kWalHeaderBytes;
+  std::uint64_t prev_sequence = 0;
+  while (true) {
+    WalRecord record;
+    const std::size_t before = pos;
+    const WalParse result = ParseWalRecord(buf, &pos, &record);
+    if (result == WalParse::kEnd) {
+      break;
+    }
+    if (result == WalParse::kCorrupt ||
+        (prev_sequence != 0 && record.sequence <= prev_sequence)) {
+      pos = before;
+      if (!tolerate_torn_tail || !PlausiblyTornTail(pos, buf.size())) {
+        return Status::ParseError("corrupt WAL record in " + path);
+      }
+      out.torn_tail = true;
+      break;
+    }
+    prev_sequence = record.sequence;
+    out.records.push_back(record);
+  }
+  out.valid_bytes = pos;
+  return out;
+}
+
+}  // namespace hexastore

@@ -1,0 +1,42 @@
+// Replay side of the write-ahead log: decodes one segment file into
+// records, stopping at the first invalid frame.
+//
+// A torn tail — a record cut short by a crash mid-write — is legal only
+// in the newest segment; callers pass `tolerate_torn_tail = true` for
+// that one and get the committed prefix back. A crash can tear at most
+// one in-flight frame, so even in the newest segment the invalid region
+// must fit within kMaxWalFrameBytes of the end: a longer one means
+// valid (possibly acknowledged-durable) records may follow the damage,
+// and reading fails with ParseError instead of silently dropping them.
+// In any older segment every invalid frame is real data loss and fails
+// the same way.
+#ifndef HEXASTORE_WAL_WAL_READER_H_
+#define HEXASTORE_WAL_WAL_READER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+#include "wal/wal_format.h"
+
+namespace hexastore {
+
+/// Decoded contents of one WAL segment.
+struct WalSegmentContents {
+  std::vector<WalRecord> records;
+  /// Bytes of the valid prefix (header + complete records).
+  std::uint64_t valid_bytes = 0;
+  /// True when decoding stopped before the end of the file.
+  bool torn_tail = false;
+};
+
+/// Reads and decodes the segment at `path`. Sequence numbers must be
+/// strictly increasing within the segment; a regression is treated as
+/// corruption.
+Result<WalSegmentContents> ReadWalSegment(const std::string& path,
+                                          bool tolerate_torn_tail);
+
+}  // namespace hexastore
+
+#endif  // HEXASTORE_WAL_WAL_READER_H_

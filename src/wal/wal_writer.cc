@@ -1,0 +1,209 @@
+#include "wal/wal_writer.h"
+
+#include <algorithm>
+#include <filesystem>
+
+namespace hexastore {
+
+Result<std::unique_ptr<WalWriter>> WalWriter::Open(
+    const WalWriterOptions& options, std::uint64_t segment_id,
+    std::uint64_t next_sequence) {
+  if (Status s = EnsureDirectory(options.dir); !s.ok()) {
+    return s;
+  }
+  std::unique_ptr<WalWriter> writer(
+      new WalWriter(options, segment_id, next_sequence));
+  std::unique_lock<std::mutex> lock(writer->mu_);
+  if (Status s = writer->OpenSegmentLocked(); !s.ok()) {
+    return s;
+  }
+  lock.unlock();
+  return writer;
+}
+
+WalWriter::~WalWriter() {
+  // Best-effort flush so an orderly shutdown loses nothing even in the
+  // weaker durability modes.
+  Sync();
+}
+
+Status WalWriter::OpenSegmentLocked() {
+  const std::string path =
+      (std::filesystem::path(options_.dir) / WalSegmentFileName(segment_id_))
+          .string();
+  auto file = AppendFile::Open(path);
+  if (!file.ok()) {
+    return file.status();
+  }
+  file_ = std::move(file).value();
+  const std::string header(kWalMagic, kWalHeaderBytes);
+  if (Status s = file_.Append(header); !s.ok()) {
+    append_error_ = s;  // partial header: unusable segment, stay poisoned
+    return s;
+  }
+  // Make the directory entry durable: fsyncing the file alone does not
+  // persist its name, and a power loss could otherwise vanish a whole
+  // segment of acknowledged per-commit records.
+  if (Status s = SyncDirectory(options_.dir); !s.ok()) {
+    append_error_ = s;
+    return s;
+  }
+  segment_size_ = kWalHeaderBytes;
+  appended_bytes_ += kWalHeaderBytes;
+  ++stats_.rotations;
+  return Status::OK();
+}
+
+Result<std::uint64_t> WalWriter::Append(WalOp op, Id s, Id p, Id o) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (!append_error_.ok()) {
+    return append_error_;
+  }
+  WalRecord record;
+  record.sequence = next_sequence_;
+  record.op = op;
+  record.s = s;
+  record.p = p;
+  record.o = o;
+  std::string frame;
+  AppendWalRecord(&frame, record);
+
+  if (segment_size_ > kWalHeaderBytes &&
+      segment_size_ + frame.size() > options_.segment_bytes) {
+    if (Status st = RotateLocked(lock); !st.ok()) {
+      return st;
+    }
+  }
+  if (Status st = file_.Append(frame); !st.ok()) {
+    // The segment may now end in a partial frame. Poison the writer: no
+    // further appends or rotations, so this segment stays the NEWEST one
+    // and recovery truncates at the torn frame — nothing acknowledged
+    // later can land beyond it and be silently dropped.
+    append_error_ = st;
+    return st;
+  }
+  ++next_sequence_;
+  appended_sequence_ = record.sequence;
+  appended_bytes_ += frame.size();
+  segment_size_ += frame.size();
+  ++stats_.records_appended;
+  return record.sequence;
+}
+
+Status WalWriter::Commit(std::uint64_t sequence) {
+  if (options_.mode == DurabilityMode::kNone) {
+    return Status::OK();
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  ++stats_.commit_requests;
+  if (options_.mode == DurabilityMode::kBatched) {
+    if (appended_bytes_ - synced_bytes_ < options_.batch_bytes) {
+      return Status::OK();
+    }
+    return SyncLocked(lock);
+  }
+  // Per-commit: wait for a covering sync or become the leader of the
+  // next one.
+  while (true) {
+    if (synced_sequence_ >= sequence) {
+      return Status::OK();
+    }
+    if (!sync_in_progress_) {
+      return SyncLocked(lock);
+    }
+    sync_cv_.wait(lock);
+  }
+}
+
+Status WalWriter::Sync() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (sync_in_progress_) {
+    sync_cv_.wait(lock);
+  }
+  if (synced_sequence_ >= appended_sequence_ &&
+      synced_bytes_ >= appended_bytes_) {
+    return Status::OK();
+  }
+  return SyncLocked(lock);
+}
+
+Status WalWriter::SyncLocked(std::unique_lock<std::mutex>& lock) {
+  if (!append_error_.ok()) {
+    return append_error_;
+  }
+  sync_in_progress_ = true;
+  const std::uint64_t target_seq = appended_sequence_;
+  const std::uint64_t target_bytes = appended_bytes_;
+  // fsync(2) with the mutex released: appenders keep going, and every
+  // committer whose record is already written piggybacks on this sync.
+  lock.unlock();
+  Status s = file_.Sync();
+  lock.lock();
+  sync_in_progress_ = false;
+  if (s.ok()) {
+    synced_sequence_ = std::max(synced_sequence_, target_seq);
+    synced_bytes_ = std::max(synced_bytes_, target_bytes);
+  } else {
+    // fsync failure may have dropped dirty pages ("fsyncgate"): a retry
+    // on the same fd could report success without the lost bytes ever
+    // reaching disk. Poison the writer so no later sync can falsely
+    // advance synced_sequence_ past the lost range.
+    append_error_ = s;
+  }
+  ++stats_.fsyncs;
+  sync_cv_.notify_all();
+  return s;
+}
+
+Result<std::uint64_t> WalWriter::Rotate() {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (Status s = RotateLocked(lock); !s.ok()) {
+    return s;
+  }
+  return segment_id_;
+}
+
+Status WalWriter::RotateLocked(std::unique_lock<std::mutex>& lock) {
+  if (!append_error_.ok()) {
+    // Rotating away from a segment with a torn tail would strand the
+    // valid prefix behind a strict (non-newest) read at recovery.
+    return append_error_;
+  }
+  // A leader may be fsyncing the fd we are about to close.
+  while (sync_in_progress_) {
+    sync_cv_.wait(lock);
+  }
+  if (Status s = file_.Sync(); !s.ok()) {
+    return s;
+  }
+  ++stats_.fsyncs;
+  synced_sequence_ = appended_sequence_;
+  synced_bytes_ = appended_bytes_;
+  file_.Close();
+  ++segment_id_;
+  return OpenSegmentLocked();
+}
+
+std::uint64_t WalWriter::active_segment_id() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return segment_id_;
+}
+
+std::uint64_t WalWriter::next_sequence() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_sequence_;
+}
+
+std::uint64_t WalWriter::synced_sequence() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return synced_sequence_;
+}
+
+WalStats WalWriter::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  WalStats out = stats_;
+  out.bytes_appended = appended_bytes_;
+  return out;
+}
+
+}  // namespace hexastore

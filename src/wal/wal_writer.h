@@ -1,0 +1,114 @@
+// Append side of the write-ahead log: CRC-framed records into numbered
+// segment files, with size-triggered rotation and group commit.
+//
+// Thread-safety: all public methods are thread-safe. Append() serializes
+// encoding + write(2) under a mutex; Commit() applies the configured
+// durability mode *outside* the append path, so in kPerCommit mode many
+// committing threads share one fsync (classic leader/follower group
+// commit: the first waiter becomes leader, fsyncs everything appended so
+// far, and wakes every committer whose record that sync covered).
+#ifndef HEXASTORE_WAL_WAL_WRITER_H_
+#define HEXASTORE_WAL_WAL_WRITER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "core/stats.h"
+#include "util/status.h"
+#include "wal/file_util.h"
+#include "wal/wal_format.h"
+
+namespace hexastore {
+
+/// Tuning knobs of a WalWriter.
+struct WalWriterOptions {
+  std::string dir;  ///< directory holding the segment files
+  DurabilityMode mode = DurabilityMode::kBatched;
+  /// Rotate to a fresh segment once the active one exceeds this.
+  std::size_t segment_bytes = 4u << 20;
+  /// kBatched: fsync once this many unsynced bytes accumulate.
+  std::size_t batch_bytes = 256u << 10;
+};
+
+/// Appender over the active WAL segment.
+class WalWriter {
+ public:
+  /// Opens a fresh segment `segment_id` in `options.dir`; records get
+  /// sequence numbers starting at `next_sequence`.
+  static Result<std::unique_ptr<WalWriter>> Open(
+      const WalWriterOptions& options, std::uint64_t segment_id,
+      std::uint64_t next_sequence);
+
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+  ~WalWriter();
+
+  /// Appends one operation; assigns and returns its sequence number.
+  /// Rotates first if the active segment is full. The record is in the
+  /// OS page cache on return — call Commit() for durability.
+  ///
+  /// A failed write may leave a partial frame at the segment tail, so
+  /// it poisons the writer: every later Append/Rotate returns the same
+  /// error, the torn segment stays the newest one, and recovery
+  /// truncates it back to the last complete record (RocksDB-style
+  /// fatal WAL error — the store becomes read-only for new writes).
+  Result<std::uint64_t> Append(WalOp op, Id s, Id p, Id o);
+
+  /// Durability barrier for `sequence` per the configured mode:
+  /// kNone is a no-op, kBatched fsyncs only when enough unsynced bytes
+  /// accumulated, kPerCommit group-fsyncs before returning.
+  Status Commit(std::uint64_t sequence);
+
+  /// Unconditional fsync of everything appended so far.
+  Status Sync();
+
+  /// Closes the active segment (fsynced) and opens `segment_id + 1`.
+  /// Returns the new active segment id.
+  Result<std::uint64_t> Rotate();
+
+  std::uint64_t active_segment_id() const;
+  /// Sequence number the next Append will assign.
+  std::uint64_t next_sequence() const;
+  /// Sequence number of the last record known durable.
+  std::uint64_t synced_sequence() const;
+  WalStats stats() const;
+
+ private:
+  WalWriter(const WalWriterOptions& options, std::uint64_t segment_id,
+            std::uint64_t next_sequence)
+      : options_(options),
+        segment_id_(segment_id),
+        next_sequence_(next_sequence) {}
+
+  // Opens segment `segment_id_` and writes its header. mu_ held.
+  Status OpenSegmentLocked();
+  // Fsyncs the active segment with mu_ released during the fsync(2)
+  // call; waiters piggyback on the leader's sync. mu_ held on entry and
+  // exit.
+  Status SyncLocked(std::unique_lock<std::mutex>& lock);
+  // Rotation body. mu_ held.
+  Status RotateLocked(std::unique_lock<std::mutex>& lock);
+
+  const WalWriterOptions options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable sync_cv_;
+  AppendFile file_;
+  std::uint64_t segment_id_ = 0;
+  std::uint64_t next_sequence_ = 1;
+  std::uint64_t appended_sequence_ = 0;  // last sequence written
+  std::uint64_t synced_sequence_ = 0;    // last sequence fsynced
+  std::uint64_t appended_bytes_ = 0;     // cumulative, across segments
+  std::uint64_t synced_bytes_ = 0;       // cumulative, across segments
+  std::uint64_t segment_size_ = 0;       // bytes in the active segment
+  bool sync_in_progress_ = false;
+  Status append_error_;  // sticky: a torn tail poisons the writer
+  WalStats stats_;
+};
+
+}  // namespace hexastore
+
+#endif  // HEXASTORE_WAL_WAL_WRITER_H_

@@ -183,6 +183,141 @@ TEST(DeltaChurnTest, ContainsMatchesOracleThroughoutChurn) {
   }
 }
 
+TEST(DeltaChurnTest, ErasePatternAgreesWithOracle) {
+  Rng rng(0xEA5E);
+  // Tiny threshold: pattern tombstones repeatedly cross compactions.
+  DeltaHexastore store(/*compact_threshold=*/24);
+  std::set<IdTriple> oracle;
+
+  constexpr Id kUniverse = 10;
+  constexpr int kBatches = 40;
+  constexpr int kOpsPerBatch = 40;
+
+  auto oracle_erase_pattern = [&oracle](const IdPattern& q) {
+    std::size_t erased = 0;
+    for (auto it = oracle.begin(); it != oracle.end();) {
+      if (q.Matches(*it)) {
+        it = oracle.erase(it);
+        ++erased;
+      } else {
+        ++it;
+      }
+    }
+    return erased;
+  };
+
+  for (int batch = 0; batch < kBatches; ++batch) {
+    for (int op = 0; op < kOpsPerBatch; ++op) {
+      const double dice = rng.NextDouble();
+      if (dice < 0.60) {
+        IdTriple t = RandomTriple(rng, kUniverse);
+        EXPECT_EQ(store.Insert(t), oracle.insert(t).second);
+      } else if (dice < 0.80) {
+        IdTriple t = RandomTriple(rng, kUniverse);
+        EXPECT_EQ(store.Erase(t), oracle.erase(t) > 0);
+      } else if (dice < 0.92) {
+        // Predicate-only: the pattern-tombstone fast path.
+        const IdPattern q{0, rng.UniformRange(1, kUniverse), 0};
+        EXPECT_EQ(store.ErasePattern(q), oracle_erase_pattern(q));
+      } else if (dice < 0.97) {
+        // Other shapes exercise the point-tombstone fallback.
+        IdPattern q;
+        if (rng.Bernoulli(0.5)) {
+          q.s = rng.UniformRange(1, kUniverse);
+        } else {
+          q.o = rng.UniformRange(1, kUniverse);
+          if (rng.Bernoulli(0.4)) {
+            q.p = rng.UniformRange(1, kUniverse);
+          }
+        }
+        EXPECT_EQ(store.ErasePattern(q), oracle_erase_pattern(q));
+      } else {
+        // All-wildcard == Clear.
+        EXPECT_EQ(store.ErasePattern(IdPattern{}), oracle.size());
+        oracle.clear();
+      }
+    }
+    ASSERT_NO_FATAL_FAILURE(ExpectAgreesWithOracle(store, oracle))
+        << "after batch " << batch;
+  }
+  EXPECT_GT(store.CompactionCount(), 0u);
+}
+
+TEST(DeltaChurnTest, ErasePatternMergedViewsAgreeMidDelta) {
+  // Pin the merged accessor views (lists + header vectors) against a
+  // brute-force oracle while pattern tombstones are live (no compaction).
+  Rng rng(0x9A77E12);
+  DeltaHexastore store(/*compact_threshold=*/1u << 20);
+  std::set<IdTriple> oracle;
+  constexpr Id kUniverse = 6;
+  for (int i = 0; i < 150; ++i) {
+    IdTriple t = RandomTriple(rng, kUniverse);
+    store.Insert(t);
+    oracle.insert(t);
+  }
+  store.Compact();  // everything into the base
+  for (int i = 0; i < 60; ++i) {  // fresh staged layer on top
+    IdTriple t = RandomTriple(rng, kUniverse);
+    if (rng.Bernoulli(0.6)) {
+      if (store.Insert(t)) {
+        oracle.insert(t);
+      }
+    } else {
+      store.Erase(t);
+      oracle.erase(t);
+    }
+  }
+  const Id erased_p = 3;
+  const IdPattern q{0, erased_p, 0};
+  std::size_t expected_erased = 0;
+  for (auto it = oracle.begin(); it != oracle.end();) {
+    it = q.Matches(*it) ? (++expected_erased, oracle.erase(it)) : ++it;
+  }
+  EXPECT_EQ(store.ErasePattern(q), expected_erased);
+  // Re-insert one pattern-erased triple: it must resurface everywhere.
+  const IdTriple revived{1, erased_p, 1};
+  EXPECT_TRUE(store.Insert(revived));
+  oracle.insert(revived);
+
+  ASSERT_NO_FATAL_FAILURE(ExpectAgreesWithOracle(store, oracle));
+  for (Id a = 1; a <= kUniverse; ++a) {
+    for (Id b = 1; b <= kUniverse; ++b) {
+      IdVec objects_oracle;
+      IdVec predicates_oracle;
+      IdVec subjects_oracle;
+      for (const IdTriple& t : oracle) {
+        if (t.s == a && t.p == b) objects_oracle.push_back(t.o);
+        if (t.s == a && t.o == b) predicates_oracle.push_back(t.p);
+        if (t.p == a && t.o == b) subjects_oracle.push_back(t.s);
+      }
+      EXPECT_EQ(store.objects(a, b).Materialize(), objects_oracle)
+          << "o(" << a << "," << b << ")";
+      EXPECT_EQ(store.predicates(a, b).Materialize(), predicates_oracle)
+          << "p(" << a << "," << b << ")";
+      EXPECT_EQ(store.subjects(a, b).Materialize(), subjects_oracle)
+          << "s(" << a << "," << b << ")";
+    }
+    IdVec ps_oracle, os_oracle, sp_oracle, op_oracle, so_oracle, po_oracle;
+    for (const IdTriple& t : oracle) {
+      if (t.s == a) SortedInsert(&ps_oracle, t.p);
+      if (t.s == a) SortedInsert(&os_oracle, t.o);
+      if (t.p == a) SortedInsert(&sp_oracle, t.s);
+      if (t.p == a) SortedInsert(&op_oracle, t.o);
+      if (t.o == a) SortedInsert(&so_oracle, t.s);
+      if (t.o == a) SortedInsert(&po_oracle, t.p);
+    }
+    EXPECT_EQ(store.predicates_of_subject(a), ps_oracle) << "p(s=" << a << ")";
+    EXPECT_EQ(store.objects_of_subject(a), os_oracle) << "o(s=" << a << ")";
+    EXPECT_EQ(store.subjects_of_predicate(a), sp_oracle) << "s(p=" << a << ")";
+    EXPECT_EQ(store.objects_of_predicate(a), op_oracle) << "o(p=" << a << ")";
+    EXPECT_EQ(store.subjects_of_object(a), so_oracle) << "s(o=" << a << ")";
+    EXPECT_EQ(store.predicates_of_object(a), po_oracle) << "p(o=" << a << ")";
+  }
+  // And after compaction the views stay identical.
+  store.Compact();
+  ASSERT_NO_FATAL_FAILURE(ExpectAgreesWithOracle(store, oracle));
+}
+
 TEST(DeltaChurnTest, SnapshotStaysStableWhileChurnContinues) {
   Rng rng(0x5a5a);
   DeltaHexastore store(/*compact_threshold=*/24);

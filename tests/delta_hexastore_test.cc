@@ -278,6 +278,67 @@ TEST(DeltaHexastoreTest, BulkLoadMergesIntoExistingContents) {
   EXPECT_EQ(store.StagedOps(), 0u);  // BulkLoad drains the delta first
 }
 
+TEST(DeltaHexastoreTest, ErasePatternStagesOneTombstoneNotOnePerMatch) {
+  DeltaHexastore store(/*compact_threshold=*/1u << 20);
+  IdTripleVec triples;
+  for (Id i = 1; i <= 100; ++i) {
+    triples.push_back(IdTriple{i, 7, i + 1});
+    triples.push_back(IdTriple{i, 8, i + 1});
+  }
+  std::sort(triples.begin(), triples.end());
+  store.BulkLoad(triples);
+  const std::size_t staged_before = store.StagedOps();
+
+  EXPECT_EQ(store.ErasePattern(IdPattern{0, 7, 0}), 100u);
+  // O(1) staging: no per-match point tombstones appeared.
+  EXPECT_EQ(store.StagedOps(), staged_before);
+  EXPECT_EQ(store.Stats().pattern_tombstones, 1u);
+  EXPECT_EQ(store.size(), 100u);
+  EXPECT_FALSE(store.Contains(IdTriple{1, 7, 2}));
+  EXPECT_TRUE(store.Contains(IdTriple{1, 8, 2}));
+  EXPECT_EQ(store.CountMatches(IdPattern{0, 7, 0}), 0u);
+  std::string err;
+  EXPECT_TRUE(store.CheckInvariants(&err)) << err;
+
+  // Idempotent; a second erase of the same predicate removes nothing.
+  EXPECT_EQ(store.ErasePattern(IdPattern{0, 7, 0}), 0u);
+
+  // Re-insert after the pattern erase: only that triple resurfaces, and
+  // compaction settles everything into the base.
+  EXPECT_TRUE(store.Insert(IdTriple{1, 7, 2}));
+  EXPECT_EQ(store.CountMatches(IdPattern{0, 7, 0}), 1u);
+  store.Compact();
+  EXPECT_EQ(store.Stats().pattern_tombstones, 0u);
+  EXPECT_EQ(store.CountMatches(IdPattern{0, 7, 0}), 1u);
+  EXPECT_EQ(store.size(), 101u);
+  EXPECT_TRUE(store.CheckInvariants(&err)) << err;
+}
+
+TEST(DeltaHexastoreTest, ErasePatternSubsumesStagedOpsOnPredicate) {
+  DeltaHexastore store(/*compact_threshold=*/1u << 20);
+  store.BulkLoad({IdTriple{1, 5, 1}, IdTriple{2, 5, 2}, IdTriple{3, 6, 3}});
+  EXPECT_TRUE(store.Insert(IdTriple{9, 5, 9}));  // staged insert, pred 5
+  EXPECT_TRUE(store.Erase(IdTriple{1, 5, 1}));   // staged tombstone, pred 5
+  // Logical matches of pred 5: (2,5,2) in base plus staged (9,5,9).
+  EXPECT_EQ(store.ErasePattern(IdPattern{0, 5, 0}), 2u);
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_TRUE(store.Contains(IdTriple{3, 6, 3}));
+  std::string err;
+  EXPECT_TRUE(store.CheckInvariants(&err)) << err;
+}
+
+TEST(DeltaHexastoreTest, SnapshotIsolatedFromErasePattern) {
+  DeltaHexastore store(/*compact_threshold=*/1u << 20);
+  store.BulkLoad({IdTriple{1, 2, 3}, IdTriple{4, 2, 5}, IdTriple{6, 7, 8}});
+  DeltaHexastore::Snapshot snap = store.GetSnapshot();
+  EXPECT_EQ(store.ErasePattern(IdPattern{0, 2, 0}), 2u);
+  // The snapshot still sees the pre-erase world; the live store does not.
+  EXPECT_TRUE(snap.Contains(IdTriple{1, 2, 3}));
+  EXPECT_EQ(snap.Match(IdPattern{0, 2, 0}).size(), 2u);
+  EXPECT_FALSE(store.Contains(IdTriple{1, 2, 3}));
+  EXPECT_EQ(store.size(), 1u);
+}
+
 TEST(DeltaHexastoreSnapshotIoTest, RoundTripsAndCompactsFirst) {
   Dictionary dict;
   DeltaHexastore store(/*compact_threshold=*/1024);

@@ -1,0 +1,314 @@
+// Unit tests for the write-ahead log: record codec + CRC framing,
+// writer/reader roundtrip, segment rotation, the manifest, durability
+// modes, and multithreaded group commit.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/rng.h"
+#include "wal/durable_store.h"
+#include "wal/file_util.h"
+#include "wal/manifest.h"
+#include "wal/wal_reader.h"
+#include "wal/wal_writer.h"
+
+namespace hexastore {
+namespace {
+
+namespace fs = std::filesystem;
+
+// A unique, auto-removed directory per test.
+class WalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const auto* info =
+        ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = (fs::temp_directory_path() /
+            (std::string("hexa_wal_test_") + info->name() + "_" +
+             std::to_string(::getpid())))
+               .string();
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string SegmentPath(std::uint64_t id) const {
+    return (fs::path(dir_) / WalSegmentFileName(id)).string();
+  }
+
+  std::string dir_;
+};
+
+WalRecord MakeRecord(std::uint64_t seq, WalOp op, Id s, Id p, Id o) {
+  WalRecord r;
+  r.sequence = seq;
+  r.op = op;
+  r.s = s;
+  r.p = p;
+  r.o = o;
+  return r;
+}
+
+TEST_F(WalTest, RecordCodecRoundTrip) {
+  const std::vector<WalRecord> records = {
+      MakeRecord(1, WalOp::kInsert, 1, 2, 3),
+      MakeRecord(2, WalOp::kErase, 1u << 20, 5, 1u << 30),
+      MakeRecord(3, WalOp::kClear, 0, 0, 0),
+      MakeRecord(4, WalOp::kErasePattern, 0, 7, 0),
+  };
+  std::string buf;
+  for (const WalRecord& r : records) {
+    AppendWalRecord(&buf, r);
+  }
+  std::size_t pos = 0;
+  for (const WalRecord& expected : records) {
+    WalRecord got;
+    ASSERT_EQ(ParseWalRecord(buf, &pos, &got), WalParse::kRecord);
+    EXPECT_EQ(got, expected);
+  }
+  WalRecord got;
+  EXPECT_EQ(ParseWalRecord(buf, &pos, &got), WalParse::kEnd);
+}
+
+TEST_F(WalTest, EveryByteFlipIsDetected) {
+  std::string buf;
+  AppendWalRecord(&buf, MakeRecord(42, WalOp::kInsert, 11, 22, 33));
+  for (std::size_t i = 0; i < buf.size(); ++i) {
+    for (unsigned char mask : {0x01, 0x80}) {
+      std::string corrupted = buf;
+      corrupted[i] = static_cast<char>(corrupted[i] ^ mask);
+      std::size_t pos = 0;
+      WalRecord got;
+      // Either the frame is rejected outright, or (if the flip landed in
+      // a varint length making the frame shorter) the CRC must fail.
+      EXPECT_EQ(ParseWalRecord(corrupted, &pos, &got), WalParse::kCorrupt)
+          << "flip at byte " << i;
+    }
+  }
+}
+
+TEST_F(WalTest, EveryTruncationIsTornNotMisparsed) {
+  std::string buf;
+  AppendWalRecord(&buf, MakeRecord(7, WalOp::kErase, 100, 200, 300));
+  for (std::size_t len = 0; len < buf.size(); ++len) {
+    const std::string prefix = buf.substr(0, len);
+    std::size_t pos = 0;
+    WalRecord got;
+    const WalParse result = ParseWalRecord(prefix, &pos, &got);
+    if (len == 0) {
+      EXPECT_EQ(result, WalParse::kEnd);
+    } else {
+      EXPECT_EQ(result, WalParse::kCorrupt) << "prefix length " << len;
+    }
+  }
+}
+
+TEST_F(WalTest, WriterReaderRoundTrip) {
+  WalWriterOptions options;
+  options.dir = dir_;
+  options.mode = DurabilityMode::kNone;
+  auto writer = WalWriter::Open(options, 1, 1);
+  ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+  for (Id i = 1; i <= 10; ++i) {
+    auto seq = writer.value()->Append(WalOp::kInsert, i, i + 1, i + 2);
+    ASSERT_TRUE(seq.ok());
+    EXPECT_EQ(seq.value(), i);
+  }
+  ASSERT_TRUE(writer.value()->Sync().ok());
+
+  auto contents = ReadWalSegment(SegmentPath(1), false);
+  ASSERT_TRUE(contents.ok()) << contents.status().ToString();
+  EXPECT_FALSE(contents.value().torn_tail);
+  ASSERT_EQ(contents.value().records.size(), 10u);
+  for (Id i = 1; i <= 10; ++i) {
+    const WalRecord& r = contents.value().records[i - 1];
+    EXPECT_EQ(r.sequence, i);
+    EXPECT_EQ(r.op, WalOp::kInsert);
+    EXPECT_EQ(r.triple(), (IdTriple{i, i + 1, i + 2}));
+  }
+}
+
+TEST_F(WalTest, RotationSplitsSegmentsAndKeepsSequences) {
+  WalWriterOptions options;
+  options.dir = dir_;
+  options.mode = DurabilityMode::kNone;
+  options.segment_bytes = 64;  // a handful of records per segment
+  auto writer = WalWriter::Open(options, 1, 1);
+  ASSERT_TRUE(writer.ok());
+  constexpr std::uint64_t kRecords = 100;
+  for (std::uint64_t i = 1; i <= kRecords; ++i) {
+    ASSERT_TRUE(writer.value()->Append(WalOp::kInsert, i, i, i).ok());
+  }
+  ASSERT_TRUE(writer.value()->Sync().ok());
+  EXPECT_GT(writer.value()->active_segment_id(), 2u);
+
+  auto segments = ListWalSegments(dir_);
+  ASSERT_TRUE(segments.ok());
+  std::uint64_t expected_seq = 1;
+  for (std::uint64_t id : segments.value()) {
+    auto contents = ReadWalSegment(SegmentPath(id), false);
+    ASSERT_TRUE(contents.ok()) << contents.status().ToString();
+    for (const WalRecord& r : contents.value().records) {
+      EXPECT_EQ(r.sequence, expected_seq++);
+    }
+  }
+  EXPECT_EQ(expected_seq, kRecords + 1);
+}
+
+TEST_F(WalTest, ManifestRoundTripAndErrors) {
+  EXPECT_EQ(ReadWalManifest(dir_).status().code(), StatusCode::kNotFound);
+
+  WalManifest manifest;
+  manifest.checkpoint_sequence = 123;
+  manifest.snapshot_file = "snapshot-123.hxt";
+  manifest.first_segment_id = 7;
+  manifest.next_sequence = 124;
+  ASSERT_TRUE(WriteWalManifest(dir_, manifest).ok());
+  auto read = ReadWalManifest(dir_);
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  EXPECT_EQ(read.value(), manifest);
+  // No stray tmp file after the atomic rename.
+  EXPECT_FALSE(fs::exists(fs::path(dir_) / "MANIFEST.tmp"));
+
+  // Corruption is a ParseError, not a silent fresh start.
+  std::string raw;
+  ASSERT_TRUE(
+      ReadFileToString((fs::path(dir_) / "MANIFEST").string(), &raw).ok());
+  raw[0] ^= 0x40;
+  ASSERT_TRUE(
+      AtomicWriteFile((fs::path(dir_) / "MANIFEST").string(), raw).ok());
+  EXPECT_EQ(ReadWalManifest(dir_).status().code(), StatusCode::kParseError);
+}
+
+TEST_F(WalTest, DurabilityModesDriveFsyncCadence) {
+  // kNone: appends never fsync (only the writer's shutdown sync).
+  {
+    WalWriterOptions options;
+    options.dir = dir_ + "/none";
+    options.mode = DurabilityMode::kNone;
+    auto writer = WalWriter::Open(options, 1, 1);
+    ASSERT_TRUE(writer.ok());
+    for (Id i = 1; i <= 50; ++i) {
+      auto seq = writer.value()->Append(WalOp::kInsert, i, i, i);
+      ASSERT_TRUE(seq.ok());
+      ASSERT_TRUE(writer.value()->Commit(seq.value()).ok());
+    }
+    EXPECT_EQ(writer.value()->stats().fsyncs, 0u);
+  }
+  // kBatched with a large batch: no fsync until the threshold.
+  {
+    WalWriterOptions options;
+    options.dir = dir_ + "/batched";
+    options.mode = DurabilityMode::kBatched;
+    options.batch_bytes = 1u << 20;
+    auto writer = WalWriter::Open(options, 1, 1);
+    ASSERT_TRUE(writer.ok());
+    for (Id i = 1; i <= 50; ++i) {
+      auto seq = writer.value()->Append(WalOp::kInsert, i, i, i);
+      ASSERT_TRUE(seq.ok());
+      ASSERT_TRUE(writer.value()->Commit(seq.value()).ok());
+    }
+    EXPECT_EQ(writer.value()->stats().fsyncs, 0u);
+  }
+  // kBatched with a tiny batch: fsyncs happen, but far fewer than one
+  // per record is not guaranteed at this size — just require some.
+  {
+    WalWriterOptions options;
+    options.dir = dir_ + "/batched_small";
+    options.mode = DurabilityMode::kBatched;
+    options.batch_bytes = 32;
+    auto writer = WalWriter::Open(options, 1, 1);
+    ASSERT_TRUE(writer.ok());
+    for (Id i = 1; i <= 50; ++i) {
+      auto seq = writer.value()->Append(WalOp::kInsert, i, i, i);
+      ASSERT_TRUE(seq.ok());
+      ASSERT_TRUE(writer.value()->Commit(seq.value()).ok());
+    }
+    EXPECT_GT(writer.value()->stats().fsyncs, 0u);
+  }
+  // kPerCommit: every commit returns only after a covering fsync.
+  {
+    WalWriterOptions options;
+    options.dir = dir_ + "/percommit";
+    options.mode = DurabilityMode::kPerCommit;
+    auto writer = WalWriter::Open(options, 1, 1);
+    ASSERT_TRUE(writer.ok());
+    for (Id i = 1; i <= 20; ++i) {
+      auto seq = writer.value()->Append(WalOp::kInsert, i, i, i);
+      ASSERT_TRUE(seq.ok());
+      ASSERT_TRUE(writer.value()->Commit(seq.value()).ok());
+      EXPECT_GE(writer.value()->synced_sequence(), seq.value());
+    }
+    EXPECT_GE(writer.value()->stats().fsyncs, 20u);
+  }
+}
+
+TEST_F(WalTest, GroupCommitSharesFsyncsAcrossThreads) {
+  DurabilityOptions options;
+  options.dir = dir_;
+  options.mode = DurabilityMode::kPerCommit;
+  auto opened = DurableDeltaHexastore::Open(options);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  auto store = std::move(opened).value();
+
+  constexpr int kThreads = 4;
+  constexpr Id kPerThread = 200;
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&store, &failures, t] {
+      for (Id i = 1; i <= kPerThread; ++i) {
+        const Id base = static_cast<Id>(t) * 1000000 + i;
+        if (!store->Insert(IdTriple{base, base + 1, base + 2})) {
+          ++failures;
+        }
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_TRUE(store->status().ok()) << store->status().ToString();
+  EXPECT_EQ(store->size(), static_cast<std::size_t>(kThreads) * kPerThread);
+
+  const WalStats stats = store->wal_stats();
+  EXPECT_EQ(stats.records_appended,
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  // Every record is durable on return...
+  EXPECT_EQ(stats.commit_requests, stats.records_appended);
+  // ...but concurrent committers piggybacked on shared fsyncs.
+  EXPECT_LE(stats.fsyncs, stats.commit_requests);
+
+  // Reopen: everything the threads wrote is recovered.
+  store.reset();
+  auto reopened = DurableDeltaHexastore::Open(options);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ(reopened.value()->size(),
+            static_cast<std::size_t>(kThreads) * kPerThread);
+  for (int t = 0; t < kThreads; ++t) {
+    const Id base = static_cast<Id>(t) * 1000000 + 1;
+    EXPECT_TRUE(reopened.value()->Contains(IdTriple{base, base + 1, base + 2}));
+  }
+}
+
+TEST_F(WalTest, SegmentFileNameParsing) {
+  EXPECT_EQ(WalSegmentFileName(42), "wal-000042.log");
+  std::uint64_t id = 0;
+  EXPECT_TRUE(ParseWalSegmentFileName("wal-000042.log", &id));
+  EXPECT_EQ(id, 42u);
+  EXPECT_TRUE(ParseWalSegmentFileName("wal-1234567.log", &id));
+  EXPECT_EQ(id, 1234567u);
+  EXPECT_FALSE(ParseWalSegmentFileName("wal-.log", &id));
+  EXPECT_FALSE(ParseWalSegmentFileName("wal-12a4.log", &id));
+  EXPECT_FALSE(ParseWalSegmentFileName("snapshot-12.hxt", &id));
+  EXPECT_FALSE(ParseWalSegmentFileName("MANIFEST", &id));
+}
+
+}  // namespace
+}  // namespace hexastore
