@@ -5,6 +5,7 @@
 # Usage: scripts/run_benchmarks.sh [build_dir] [out_dir]
 #   HEXA_BENCH_SIZES=2000,100000 scripts/run_benchmarks.sh   # smaller sweep
 #   HEXA_WAL_DIR=/fast/ssd scripts/run_benchmarks.sh         # WAL scratch dir
+#   HEXA_BENCH_EXTRA_ARGS=--benchmark_min_time=0.01 ...      # smoke runs
 set -euo pipefail
 
 build_dir=${1:-build}
@@ -38,10 +39,14 @@ cleanup_wal_dir() {
 trap cleanup_wal_dir EXIT
 
 mkdir -p "${out_dir}"
+# Extra google-benchmark flags (word-split on purpose), e.g. the CI
+# bench-smoke job passes --benchmark_min_time=0.01.
+read -r -a extra_args <<< "${HEXA_BENCH_EXTRA_ARGS:-}"
 for bin in "${build_dir}"/bench/fig* "${build_dir}"/bench/abl_*; do
   [[ -x "${bin}" ]] || continue
   name=$(basename "${bin}")
   echo "== ${name}"
-  "${bin}" --benchmark_format=json --benchmark_out="${out_dir}/${name}.json"
+  "${bin}" --benchmark_format=json --benchmark_out="${out_dir}/${name}.json" \
+    "${extra_args[@]}"
 done
 echo "results in ${out_dir}/"

@@ -43,6 +43,24 @@ std::string DeltaStats::ToString() const {
      << "  compactions: " << compactions << ", epoch: " << epoch << "\n"
      << "  base: " << base_triples << " triples, " << base_bytes
      << " bytes; delta: " << delta_bytes << " bytes\n";
+  if (background) {
+    os << "  background: " << seals << " seals, " << background_merges
+       << " merges (" << merge_discards << " discarded), "
+       << seal_overflows << " overflows, " << sealed_ops
+       << " ops sealed now\n";
+  }
+  return os.str();
+}
+
+std::string EpochStats::ToString() const {
+  std::ostringstream os;
+  os << "generation gate:\n"
+     << "  epoch: " << global_epoch << ", published: "
+     << generations_published << ", retired: " << generations_retired
+     << ", reclaimed: " << generations_reclaimed << "\n"
+     << "  retire queue: " << retire_queue_depth << ", handles acquired: "
+     << handles_acquired << ", readers mid-acquire: "
+     << active_reader_sections << "\n";
   return os.str();
 }
 

@@ -43,6 +43,32 @@ struct DeltaStats {
   std::size_t base_bytes = 0;         ///< base index heap bytes
   std::size_t delta_bytes = 0;        ///< staging-buffer heap bytes
 
+  // Background-compaction counters (zero on a synchronous store).
+  bool background = false;        ///< merges run on the compactor thread
+  std::uint64_t seals = 0;        ///< staging buffers sealed for merging
+  std::uint64_t background_merges = 0;  ///< off-thread merges completed
+  std::uint64_t merge_discards = 0;  ///< merges invalidated (Clear/BulkLoad)
+  std::uint64_t seal_overflows = 0;  ///< threshold hits while a merge ran
+  std::size_t sealed_ops = 0;     ///< ops in the currently sealed buffer
+
+  /// Multi-line human-readable report.
+  std::string ToString() const;
+};
+
+/// Counters of the RCU-style generation gate: how many immutable
+/// generations were published, how reclamation is keeping up, and how
+/// many wait-free read handles were taken. retire_queue_depth staying
+/// near zero shows grace periods expiring promptly; it grows only while
+/// readers sit inside the (microsecond) acquire window.
+struct EpochStats {
+  std::uint64_t global_epoch = 0;           ///< current writer epoch
+  std::uint64_t generations_published = 0;  ///< Publish calls
+  std::uint64_t generations_retired = 0;    ///< superseded generations
+  std::uint64_t generations_reclaimed = 0;  ///< grace periods completed
+  std::size_t retire_queue_depth = 0;       ///< retired, not yet reclaimed
+  std::uint64_t handles_acquired = 0;       ///< wait-free Acquire calls
+  int active_reader_sections = 0;           ///< readers mid-acquire now
+
   /// Multi-line human-readable report.
   std::string ToString() const;
 };

@@ -2,15 +2,50 @@
 
 #include <algorithm>
 #include <sstream>
+#include <utility>
+#include <vector>
 
 namespace hexastore {
 
 namespace {
 
-// Merged membership test over one generation (base + delta).
-bool MergedContains(const Hexastore& base, const DeltaStore& delta,
-                    const IdTriple& t) {
-  switch (delta.Lookup(t)) {
+// One read view over the (up to) three layers of a DeltaHexastore. Any
+// member may be null; semantics are  layer(layer(base, sealed), active)
+// where each DeltaStore applies its tombstones and pattern erases to
+// everything beneath it and contributes its staged inserts.
+//
+// Raw pointers: the hot paths (every Insert/Erase/Contains) build one of
+// these per call under the store mutex, where the owners are guaranteed
+// alive — shared_ptr members would add refcount traffic to exactly the
+// write path this subsystem exists to keep flat. The accessor helpers
+// that hand out views outliving the call take LayerOwners instead.
+struct LayerRefs {
+  const Hexastore* base = nullptr;
+  const DeltaStore* sealed = nullptr;
+  const DeltaStore* active = nullptr;
+};
+
+// Shared-ownership variant for helpers whose result (a MergedList) must
+// keep its generation alive after the mutex is released.
+struct LayerOwners {
+  std::shared_ptr<const Hexastore> base;
+  std::shared_ptr<const DeltaStore> sealed;
+  std::shared_ptr<const DeltaStore> active;
+};
+
+LayerRefs Refs(const LayerOwners& v) {
+  return {v.base.get(), v.sealed.get(), v.active.get()};
+}
+
+DeltaStore::Presence LookupIn(const DeltaStore* layer, const IdTriple& t) {
+  return layer == nullptr ? DeltaStore::Presence::kUnknown
+                          : layer->Lookup(t);
+}
+
+// Merged membership test across the layers: the newest layer's verdict
+// wins, the base answers only when no layer staged anything for `t`.
+bool LayeredContains(const LayerRefs& v, const IdTriple& t) {
+  switch (LookupIn(v.active, t)) {
     case DeltaStore::Presence::kInserted:
       return true;
     case DeltaStore::Presence::kErased:
@@ -18,33 +53,101 @@ bool MergedContains(const Hexastore& base, const DeltaStore& delta,
     case DeltaStore::Presence::kUnknown:
       break;
   }
-  return base.Contains(t);
+  switch (LookupIn(v.sealed, t)) {
+    case DeltaStore::Presence::kInserted:
+      return true;
+    case DeltaStore::Presence::kErased:
+      return false;
+    case DeltaStore::Presence::kUnknown:
+      break;
+  }
+  return v.base != nullptr && v.base->Contains(t);
 }
 
-// Merged pattern scan over one generation: base matches with point and
-// pattern tombstones filtered out (one hash probe per emitted triple),
-// then the staged inserts matching the pattern via a bound-prefix range
-// scan of the delta's sorted runs. The base walk keeps only kUnknown
-// verdicts: a kInserted hit on a base triple means a pattern-suppressed
-// copy re-inserted through the delta, which ScanInserts already emits.
-void MergedScan(const Hexastore& base, const DeltaStore& delta,
-                const IdPattern& pattern, const TripleSink& sink) {
-  base.Scan(pattern, [&delta, &sink](const IdTriple& t) {
-    if (delta.Lookup(t) == DeltaStore::Presence::kUnknown) {
-      sink(t);
+// Membership in the layers *beneath* the active buffer (base ∪ sealed) —
+// the "base_present" the staging invariants are defined against.
+bool BeneathContains(const LayerRefs& v, const IdTriple& t) {
+  return LayeredContains({v.base, v.sealed, nullptr}, t);
+}
+
+// Merged pattern scan: base matches with every layer's point and pattern
+// tombstones filtered out (one hash probe per layer per emitted triple),
+// then each layer's staged inserts via bound-prefix range scans of its
+// sorted runs. A kInserted verdict from a layer above means that layer's
+// own insert scan emits the triple (a pattern-suppressed copy
+// re-inserted above), so lower copies are skipped — no duplicates.
+void LayeredScan(const LayerRefs& v, const IdPattern& pattern,
+                 const TripleSink& sink) {
+  if (v.base != nullptr) {
+    v.base->Scan(pattern, [&v, &sink](const IdTriple& t) {
+      if (LookupIn(v.sealed, t) == DeltaStore::Presence::kUnknown &&
+          LookupIn(v.active, t) == DeltaStore::Presence::kUnknown) {
+        sink(t);
+      }
+    });
+  }
+  if (v.sealed != nullptr) {
+    v.sealed->ScanInserts(pattern, [&v, &sink](const IdTriple& t) {
+      if (LookupIn(v.active, t) == DeltaStore::Presence::kUnknown) {
+        sink(t);
+      }
+    });
+  }
+  if (v.active != nullptr) {
+    v.active->ScanInserts(pattern, sink);
+  }
+}
+
+// Planner estimate across the layers: the base index count, then each
+// layer's adjustments — pattern erases (exact against the base's
+// per-predicate counts), point tombstones scaled by the pattern's
+// selectivity in the layer beneath, staged inserts counted exactly.
+std::uint64_t LayeredEstimate(const LayerRefs& v, const IdPattern& pattern) {
+  std::uint64_t count =
+      v.base == nullptr ? 0 : v.base->CountMatches(pattern);
+  std::size_t beneath_size = v.base == nullptr ? 0 : v.base->size();
+  for (const DeltaStore* layer : {v.sealed, v.active}) {
+    if (layer == nullptr) {
+      continue;
     }
-  });
-  delta.ScanInserts(pattern, sink);
+    if (layer->HasPatternErases()) {
+      if (pattern.has_p()) {
+        if (layer->PatternErased(pattern.p)) {
+          count = 0;
+        }
+      } else {
+        for (Id p : layer->pattern_erased_predicates()) {
+          IdPattern bound = pattern;
+          bound.p = p;
+          const std::uint64_t suppressed =
+              v.base == nullptr ? 0 : v.base->CountMatches(bound);
+          count -= std::min(count, suppressed);
+        }
+      }
+    }
+    if (beneath_size > 0) {
+      const std::uint64_t expected_tombstoned = static_cast<std::uint64_t>(
+          static_cast<double>(count) *
+          static_cast<double>(layer->tombstone_count()) /
+          static_cast<double>(beneath_size));
+      count -= std::min(count, expected_tombstoned);
+    }
+    count += layer->CountInserts(pattern);
+    beneath_size = static_cast<std::size_t>(std::max<std::ptrdiff_t>(
+        0, static_cast<std::ptrdiff_t>(beneath_size) + layer->size_delta()));
+  }
+  return count;
 }
 
 // Size of the base terminal list under `key` after the delta's pattern
 // tombstones are applied: an o(s,p) or s(p,o) list dies wholesale when
 // its predicate key side is pattern-erased, while a p(s,o) list loses
 // exactly its pattern-erased members.
-std::size_t EffectiveBaseListSize(const Hexastore& base,
+std::size_t EffectiveBaseListSize(const Hexastore* base,
                                   const DeltaStore& delta,
                                   ListFamily family, const IdPair& key) {
-  const IdVec* list = base.pool().Find(family, key.a, key.b);
+  const IdVec* list =
+      base == nullptr ? nullptr : base->pool().Find(family, key.a, key.b);
   if (list == nullptr) {
     return 0;
   }
@@ -70,8 +173,8 @@ std::size_t EffectiveBaseListSize(const Hexastore& base,
 }
 
 // Merged header vector: the base index's sorted header-member vector
-// adjusted by the delta's touched terminal lists. A second-level id stays
-// in (or joins) the vector iff the merged terminal list under the
+// adjusted by one delta layer's touched terminal lists. A second-level id
+// stays in (or joins) the vector iff the merged terminal list under the
 // (header, id) pair is non-empty — exactly the rule Hexastore::Erase uses
 // to drop emptied pairs.
 //
@@ -81,12 +184,12 @@ std::size_t EffectiveBaseListSize(const Hexastore& base,
 // consulted when the delta has pattern erases — the common path copies
 // the base vector untouched).
 template <typename AliveFn>
-IdVec MergedHeaderVec(const Hexastore& base, const DeltaStore& delta,
+IdVec MergedHeaderVec(const Hexastore* base, const DeltaStore* delta,
                       ListFamily family, bool match_a, Id header,
                       const IdVec* base_vec, AliveFn&& base_member_alive) {
   IdVec out;
   if (base_vec != nullptr) {
-    if (!delta.HasPatternErases()) {
+    if (delta == nullptr || !delta->HasPatternErases()) {
       out = *base_vec;
     } else {
       out.reserve(base_vec->size());
@@ -97,14 +200,17 @@ IdVec MergedHeaderVec(const Hexastore& base, const DeltaStore& delta,
       }
     }
   }
-  delta.ForEachList(
+  if (delta == nullptr) {
+    return out;
+  }
+  delta->ForEachList(
       family, [&](const IdPair& key, const DeltaList& lists) {
         if ((match_a ? key.a : key.b) != header) {
           return;
         }
         const Id other = match_a ? key.b : key.a;
         const std::size_t merged_size =
-            EffectiveBaseListSize(base, delta, family, key) +
+            EffectiveBaseListSize(base, *delta, family, key) +
             lists.adds.size() - lists.removes.size();
         if (merged_size > 0) {
           SortedInsert(&out, other);
@@ -115,52 +221,279 @@ IdVec MergedHeaderVec(const Hexastore& base, const DeltaStore& delta,
   return out;
 }
 
+// Materialized terminal-list fallback for three-layer views (only taken
+// while a background merge is in flight): scan the bound pair and
+// collect the third role. The result vector is owned by the returned
+// MergedList, so nothing points into the sealed layer.
+MergedList MaterializedList(const LayerOwners& v, const IdPattern& pattern,
+                            Id IdTriple::*third) {
+  auto owned = std::make_shared<IdVec>();
+  LayeredScan(Refs(v), pattern,
+              [&owned, third](const IdTriple& t) { owned->push_back(t.*third); });
+  SortUnique(owned.get());
+  return MergedList(v.base, v.active, std::move(owned), nullptr, nullptr);
+}
+
+// Materialized header-vector fallback for three-layer views: scan the
+// single bound role and collect the distinct values of `member`.
+IdVec MaterializedHeaderVec(const LayerRefs& v, const IdPattern& pattern,
+                            Id IdTriple::*member) {
+  IdVec out;
+  LayeredScan(v, pattern,
+              [&out, member](const IdTriple& t) { out.push_back(t.*member); });
+  SortUnique(&out);
+  return out;
+}
+
+// -- Two-layer (base + active) accessor bodies ----------------------------
+// The zero-copy fast paths, valid whenever no sealed layer exists.
+
+MergedList LayeredObjects(const LayerOwners& v, Id s, Id p) {
+  if (v.sealed != nullptr) {
+    return MaterializedList(v, IdPattern{s, p, 0}, &IdTriple::o);
+  }
+  const DeltaStore* delta = v.active.get();
+  const DeltaList* lists =
+      delta == nullptr ? nullptr : delta->FindLists(ListFamily::kObjects, s, p);
+  const IdVec* adds = lists == nullptr ? nullptr : &lists->adds;
+  const IdVec* base_list =
+      v.base == nullptr ? nullptr : v.base->objects(s, p);
+  if (delta != nullptr && delta->PatternErased(p)) {
+    // The whole base o(s,p) list is pattern-tombstoned; only staged
+    // (re-)inserts survive. Point removes cannot exist for this p.
+    return MergedList(v.base, v.active, static_cast<const IdVec*>(nullptr),
+                      adds, nullptr);
+  }
+  return MergedList(v.base, v.active, base_list, adds,
+                    lists == nullptr ? nullptr : &lists->removes);
+}
+
+MergedList LayeredPredicates(const LayerOwners& v, Id s, Id o) {
+  if (v.sealed != nullptr) {
+    return MaterializedList(v, IdPattern{s, 0, o}, &IdTriple::p);
+  }
+  const DeltaStore* delta = v.active.get();
+  const DeltaList* lists =
+      delta == nullptr ? nullptr
+                       : delta->FindLists(ListFamily::kPredicates, s, o);
+  const IdVec* adds = lists == nullptr ? nullptr : &lists->adds;
+  const IdVec* removes = lists == nullptr ? nullptr : &lists->removes;
+  const IdVec* base_list =
+      v.base == nullptr ? nullptr : v.base->predicates(s, o);
+  if (delta != nullptr && delta->HasPatternErases() && base_list != nullptr) {
+    // Members of p(s,o) are predicates: drop the pattern-erased ones
+    // from the base side (the view owns the filtered copy).
+    auto filtered = std::make_shared<IdVec>();
+    filtered->reserve(base_list->size());
+    for (Id p : *base_list) {
+      if (!delta->PatternErased(p)) {
+        filtered->push_back(p);
+      }
+    }
+    return MergedList(v.base, v.active, std::move(filtered), adds, removes);
+  }
+  return MergedList(v.base, v.active, base_list, adds, removes);
+}
+
+MergedList LayeredSubjects(const LayerOwners& v, Id p, Id o) {
+  if (v.sealed != nullptr) {
+    return MaterializedList(v, IdPattern{0, p, o}, &IdTriple::s);
+  }
+  const DeltaStore* delta = v.active.get();
+  const DeltaList* lists =
+      delta == nullptr ? nullptr
+                       : delta->FindLists(ListFamily::kSubjects, p, o);
+  const IdVec* adds = lists == nullptr ? nullptr : &lists->adds;
+  const IdVec* base_list =
+      v.base == nullptr ? nullptr : v.base->subjects(p, o);
+  if (delta != nullptr && delta->PatternErased(p)) {
+    return MergedList(v.base, v.active, static_cast<const IdVec*>(nullptr),
+                      adds, nullptr);
+  }
+  return MergedList(v.base, v.active, base_list, adds,
+                    lists == nullptr ? nullptr : &lists->removes);
+}
+
+IdVec LayeredPredicatesOfSubject(const LayerRefs& v, Id s) {
+  if (v.sealed != nullptr) {
+    return MaterializedHeaderVec(v, IdPattern{s, 0, 0}, &IdTriple::p);
+  }
+  const DeltaStore* delta = v.active;
+  return MergedHeaderVec(
+      v.base, delta, ListFamily::kObjects, /*match_a=*/true, s,
+      v.base == nullptr ? nullptr : v.base->predicates_of_subject(s),
+      [delta](Id p) { return !delta->PatternErased(p); });
+}
+
+IdVec LayeredObjectsOfSubject(const LayerRefs& v, Id s) {
+  if (v.sealed != nullptr) {
+    return MaterializedHeaderVec(v, IdPattern{s, 0, 0}, &IdTriple::o);
+  }
+  const DeltaStore* delta = v.active;
+  const Hexastore* base = v.base;
+  return MergedHeaderVec(
+      base, delta, ListFamily::kPredicates, /*match_a=*/true, s,
+      base == nullptr ? nullptr : base->objects_of_subject(s),
+      [base, delta, s](Id o) {
+        return EffectiveBaseListSize(base, *delta, ListFamily::kPredicates,
+                                     IdPair{s, o}) > 0;
+      });
+}
+
+IdVec LayeredSubjectsOfPredicate(const LayerRefs& v, Id p) {
+  if (v.sealed != nullptr) {
+    return MaterializedHeaderVec(v, IdPattern{0, p, 0}, &IdTriple::s);
+  }
+  const DeltaStore* delta = v.active;
+  const bool erased = delta != nullptr && delta->PatternErased(p);
+  return MergedHeaderVec(
+      v.base, delta, ListFamily::kObjects, /*match_a=*/false, p,
+      v.base == nullptr ? nullptr : v.base->subjects_of_predicate(p),
+      [erased](Id) { return !erased; });
+}
+
+IdVec LayeredObjectsOfPredicate(const LayerRefs& v, Id p) {
+  if (v.sealed != nullptr) {
+    return MaterializedHeaderVec(v, IdPattern{0, p, 0}, &IdTriple::o);
+  }
+  const DeltaStore* delta = v.active;
+  const bool erased = delta != nullptr && delta->PatternErased(p);
+  return MergedHeaderVec(
+      v.base, delta, ListFamily::kSubjects, /*match_a=*/true, p,
+      v.base == nullptr ? nullptr : v.base->objects_of_predicate(p),
+      [erased](Id) { return !erased; });
+}
+
+IdVec LayeredSubjectsOfObject(const LayerRefs& v, Id o) {
+  if (v.sealed != nullptr) {
+    return MaterializedHeaderVec(v, IdPattern{0, 0, o}, &IdTriple::s);
+  }
+  const DeltaStore* delta = v.active;
+  const Hexastore* base = v.base;
+  return MergedHeaderVec(
+      base, delta, ListFamily::kPredicates, /*match_a=*/false, o,
+      base == nullptr ? nullptr : base->subjects_of_object(o),
+      [base, delta, o](Id s) {
+        return EffectiveBaseListSize(base, *delta, ListFamily::kPredicates,
+                                     IdPair{s, o}) > 0;
+      });
+}
+
+IdVec LayeredPredicatesOfObject(const LayerRefs& v, Id o) {
+  if (v.sealed != nullptr) {
+    return MaterializedHeaderVec(v, IdPattern{0, 0, o}, &IdTriple::p);
+  }
+  const DeltaStore* delta = v.active;
+  return MergedHeaderVec(
+      v.base, delta, ListFamily::kSubjects, /*match_a=*/false, o,
+      v.base == nullptr ? nullptr : v.base->predicates_of_object(o),
+      [delta](Id p) { return !delta->PatternErased(p); });
+}
+
+// Off-thread merge of a sealed layer into a base: materializes
+// base ∖ pattern-erased ∖ tombstones ∪ inserts into a fresh store. Reads
+// only immutable state and the sealed layer's pure (non-caching)
+// accessors, so it is safe to run without the store mutex while mutex
+// readers lazily build the sealed layer's caches.
+std::shared_ptr<Hexastore> MergeOffline(const Hexastore* base,
+                                        const DeltaStore& sealed) {
+  IdTripleVec merged;
+  const IdTripleVec tombstones = sealed.SortedTombstones();
+  const IdTripleVec inserts = sealed.SortedInserts();
+  const IdVec& erased_preds = sealed.pattern_erased_predicates();
+  if (base != nullptr) {
+    // Match() materializes in (s, p, o) order, so the tombstone cursor
+    // advances in lock-step.
+    const IdTripleVec existing = base->Match(IdPattern{});
+    merged.reserve(existing.size() + inserts.size());
+    std::size_t ti = 0;
+    for (const IdTriple& t : existing) {
+      if (!erased_preds.empty() && SortedContains(erased_preds, t.p)) {
+        continue;  // pattern-suppressed (re-inserts arrive via `inserts`)
+      }
+      while (ti < tombstones.size() && tombstones[ti] < t) {
+        ++ti;
+      }
+      if (ti < tombstones.size() && tombstones[ti] == t) {
+        ++ti;
+        continue;
+      }
+      merged.push_back(t);
+    }
+  }
+  IdTripleVec all;
+  all.reserve(merged.size() + inserts.size());
+  std::merge(merged.begin(), merged.end(), inserts.begin(), inserts.end(),
+             std::back_inserter(all));
+  auto fresh = std::make_shared<Hexastore>();
+  fresh->BulkLoad(all);
+  return fresh;
+}
+
 }  // namespace
 
 DeltaHexastore::DeltaHexastore(std::size_t compact_threshold)
+    : DeltaHexastore(DeltaOptions{compact_threshold, false}) {}
+
+DeltaHexastore::DeltaHexastore(const DeltaOptions& options)
     : base_(std::make_shared<Hexastore>()),
       delta_(std::make_shared<DeltaStore>()),
-      compact_threshold_(compact_threshold == 0 ? 1 : compact_threshold) {}
+      compact_threshold_(
+          options.compact_threshold == 0 ? 1 : options.compact_threshold),
+      background_(options.background_compaction) {
+  if (background_) {
+    merger_ = std::thread(&DeltaHexastore::MergerLoop, this);
+  }
+}
+
+DeltaHexastore::~DeltaHexastore() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  if (merger_.joinable()) {
+    merger_.join();
+  }
+}
 
 bool DeltaHexastore::Insert(const IdTriple& t) {
   std::lock_guard<std::mutex> lock(mu_);
   // Read-only no-op check first: a duplicate insert must not pay the
   // copy-on-write clone an exposed delta would otherwise trigger.
-  const bool base_present = base_->Contains(t);
+  const bool beneath = BeneathContains({base_.get(), sealed_.get(), nullptr}, t);
   const DeltaStore::Presence staged = delta_->Lookup(t);
   if (staged == DeltaStore::Presence::kInserted ||
-      (staged == DeltaStore::Presence::kUnknown && base_present)) {
+      (staged == DeltaStore::Presence::kUnknown && beneath)) {
     return false;
   }
   EnsureDeltaWritableLocked();
-  delta_->StageInsert(t, base_present);
+  delta_->StageInsert(t, beneath);
   ++size_;
-  if (delta_->op_count() >= compact_threshold_) {
-    CompactLocked();
-  }
+  dirty_ = true;
+  MaybeCompactLocked();
   return true;
 }
 
 bool DeltaHexastore::Erase(const IdTriple& t) {
   std::lock_guard<std::mutex> lock(mu_);
-  const bool base_present = base_->Contains(t);
+  const bool beneath = BeneathContains({base_.get(), sealed_.get(), nullptr}, t);
   const DeltaStore::Presence staged = delta_->Lookup(t);
   if (staged == DeltaStore::Presence::kErased ||
-      (staged == DeltaStore::Presence::kUnknown && !base_present)) {
+      (staged == DeltaStore::Presence::kUnknown && !beneath)) {
     return false;
   }
   EnsureDeltaWritableLocked();
-  delta_->StageErase(t, base_present);
+  delta_->StageErase(t, beneath);
   --size_;
-  if (delta_->op_count() >= compact_threshold_) {
-    CompactLocked();
-  }
+  dirty_ = true;
+  MaybeCompactLocked();
   return true;
 }
 
 bool DeltaHexastore::Contains(const IdTriple& t) const {
   std::lock_guard<std::mutex> lock(mu_);
-  return MergedContains(*base_, *delta_, t);
+  return LayeredContains({base_.get(), sealed_.get(), delta_.get()}, t);
 }
 
 std::size_t DeltaHexastore::size() const {
@@ -177,8 +510,8 @@ void DeltaHexastore::Scan(const IdPattern& pattern,
   IdTripleVec matches;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    MergedScan(*base_, *delta_, pattern,
-               [&matches](const IdTriple& t) { matches.push_back(t); });
+    LayeredScan({base_.get(), sealed_.get(), delta_.get()}, pattern,
+                [&matches](const IdTriple& t) { matches.push_back(t); });
   }
   for (const IdTriple& t : matches) {
     sink(t);
@@ -187,14 +520,16 @@ void DeltaHexastore::Scan(const IdPattern& pattern,
 
 std::size_t DeltaHexastore::MemoryBytes() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return base_->MemoryBytes() + delta_->MemoryBytes();
+  return base_->MemoryBytes() + delta_->MemoryBytes() +
+         (sealed_ == nullptr ? 0 : sealed_->MemoryBytes());
 }
 
 void DeltaHexastore::BulkLoad(const IdTripleVec& triples) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::mutex> lock(mu_);
+  WaitForMergeLocked(lock);
   CompactLocked();
   if (base_exposed_) {
-    // A snapshot reads the base: load into a rebuilt copy instead.
+    // A generation reads the base: load into a rebuilt copy instead.
     auto fresh = std::make_shared<Hexastore>();
     fresh->BulkLoad(base_->Match(IdPattern{}));
     base_ = std::move(fresh);
@@ -203,6 +538,10 @@ void DeltaHexastore::BulkLoad(const IdTripleVec& triples) {
   base_->BulkLoad(triples);
   size_ = base_->size();
   ++epoch_;
+  dirty_ = true;
+  if (background_) {
+    PublishLocked(size_, /*include_active=*/false);
+  }
 }
 
 void DeltaHexastore::Clear() {
@@ -211,6 +550,10 @@ void DeltaHexastore::Clear() {
 }
 
 void DeltaHexastore::ClearLocked() {
+  // Invalidate any in-flight merge: its inputs are gone, its result must
+  // be discarded at commit time.
+  ++merge_ticket_;
+  sealed_.reset();
   if (base_exposed_) {
     base_ = std::make_shared<Hexastore>();
     base_exposed_ = false;
@@ -223,12 +566,18 @@ void DeltaHexastore::ClearLocked() {
   } else {
     delta_->Clear();
   }
+  published_active_ops_ = 0;
   size_ = 0;
   ++epoch_;
+  dirty_ = true;
+  if (background_) {
+    PublishLocked(0, /*include_active=*/false);
+  }
+  drain_cv_.notify_all();
 }
 
 std::size_t DeltaHexastore::ErasePattern(const IdPattern& pattern) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::mutex> lock(mu_);
   if (pattern.bound_count() == 0) {
     // Erase everything == Clear.
     const std::size_t erased = size_;
@@ -237,8 +586,12 @@ std::size_t DeltaHexastore::ErasePattern(const IdPattern& pattern) {
   }
   if (pattern.has_p() && !pattern.has_s() && !pattern.has_o()) {
     // Predicate-only: one pattern-level tombstone instead of one point
-    // tombstone per match. Count the base's contribution before staging
-    // (staging drops the point ops whose counts correct it).
+    // tombstone per match. Its exact erase count is defined against the
+    // merged base, so an in-flight background merge is drained first
+    // (bulk erases are rare; point ops never wait).
+    WaitForMergeLocked(lock);
+    // Count the base's contribution before staging (staging drops the
+    // point ops whose counts correct it).
     const bool already = delta_->PatternErased(pattern.p);
     const std::uint64_t base_matches =
         already ? 0 : base_->CountMatches(IdPattern{0, pattern.p, 0});
@@ -251,67 +604,56 @@ std::size_t DeltaHexastore::ErasePattern(const IdPattern& pattern) {
         static_cast<std::size_t>(base_matches) - effect.dropped_tombstones +
         effect.dropped_inserts;
     size_ -= erased;
+    dirty_ = true;
     return erased;
   }
   // General shape: the point-tombstone path, one staged op per match.
   IdTripleVec matches;
-  MergedScan(*base_, *delta_, pattern,
-             [&matches](const IdTriple& t) { matches.push_back(t); });
+  LayeredScan({base_.get(), sealed_.get(), delta_.get()}, pattern,
+              [&matches](const IdTriple& t) { matches.push_back(t); });
   if (matches.empty()) {
     return 0;
   }
   EnsureDeltaWritableLocked();
   for (const IdTriple& t : matches) {
-    delta_->StageErase(t, base_->Contains(t));
+    delta_->StageErase(t, BeneathContains({base_.get(), sealed_.get(), nullptr}, t));
   }
   size_ -= matches.size();
-  if (delta_->op_count() >= compact_threshold_) {
-    CompactLocked();
-  }
+  dirty_ = true;
+  MaybeCompactLocked();
   return matches.size();
 }
 
 std::uint64_t DeltaHexastore::EstimateMatches(const IdPattern& pattern) const {
   std::lock_guard<std::mutex> lock(mu_);
-  // Base contribution from the sextuple indexes, minus what the pattern
-  // tombstones suppress (exact per erased predicate).
-  std::uint64_t base_count = base_->CountMatches(pattern);
-  if (delta_->HasPatternErases()) {
-    if (pattern.has_p()) {
-      if (delta_->PatternErased(pattern.p)) {
-        base_count = 0;
-      }
-    } else {
-      for (Id p : delta_->pattern_erased_predicates()) {
-        IdPattern bound = pattern;
-        bound.p = p;
-        base_count -= std::min(base_count, base_->CountMatches(bound));
-      }
-    }
-  }
-  // Point tombstones are a subset of the base; assume they hit this
-  // pattern in proportion to its base selectivity.
-  const std::size_t base_size = base_->size();
-  if (base_size > 0) {
-    const std::uint64_t expected_tombstoned = static_cast<std::uint64_t>(
-        static_cast<double>(base_count) *
-        static_cast<double>(delta_->tombstone_count()) /
-        static_cast<double>(base_size));
-    base_count -= std::min(base_count, expected_tombstoned);
-  }
-  // Staged inserts in range are counted exactly: a bound-prefix range
-  // scan of the delta's sorted runs, no base access.
-  return base_count + delta_->CountInserts(pattern);
+  return LayeredEstimate({base_.get(), sealed_.get(), delta_.get()}, pattern);
 }
 
 void DeltaHexastore::Compact() {
-  std::lock_guard<std::mutex> lock(mu_);
-  CompactLocked();
+  std::unique_lock<std::mutex> lock(mu_);
+  if (!background_) {
+    CompactLocked();
+    return;
+  }
+  // Drain what is staged *now* — at most the in-flight merge plus one
+  // seal of the current buffer. Bounded on purpose: waiting for
+  // delta_->empty() would chase ops concurrent writers keep staging and
+  // might never return under sustained load.
+  if (sealed_ != nullptr) {
+    AwaitOneMergeLocked(lock);
+  }
+  if (sealed_ == nullptr && !delta_->empty()) {
+    SealLocked();
+  }
+  if (sealed_ != nullptr) {
+    AwaitOneMergeLocked(lock);
+  }
 }
 
 std::size_t DeltaHexastore::StagedOps() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return delta_->op_count();
+  return delta_->op_count() +
+         (sealed_ == nullptr ? 0 : sealed_->op_count());
 }
 
 std::uint64_t DeltaHexastore::CompactionCount() const {
@@ -330,139 +672,190 @@ DeltaStats DeltaHexastore::Stats() const {
   stats.epoch = epoch_;
   stats.base_triples = base_->size();
   stats.base_bytes = base_->MemoryBytes();
-  stats.delta_bytes = delta_->MemoryBytes();
+  stats.delta_bytes = delta_->MemoryBytes() +
+                      (sealed_ == nullptr ? 0 : sealed_->MemoryBytes());
+  stats.background = background_;
+  stats.seals = seals_;
+  stats.background_merges = background_merges_;
+  stats.merge_discards = merge_discards_;
+  stats.seal_overflows = seal_overflows_;
+  stats.sealed_ops = sealed_ == nullptr ? 0 : sealed_->op_count();
   return stats;
+}
+
+EpochStats DeltaHexastore::EpochCounters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return gate_.Stats();
 }
 
 DeltaHexastore::Snapshot DeltaHexastore::GetSnapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
   ExposeLocked();
-  return Snapshot(base_, delta_, size_, epoch_);
+  return Snapshot(gate_.Acquire());
 }
 
+DeltaHexastore::Snapshot DeltaHexastore::AcquireReadHandle() const {
+  return Snapshot(gate_.Acquire());
+}
+
+// -- Snapshot -------------------------------------------------------------
+
 bool DeltaHexastore::Snapshot::Contains(const IdTriple& t) const {
-  return MergedContains(*base_, *delta_, t);
+  if (gen_ == nullptr) {
+    return false;
+  }
+  return LayeredContains({gen_->base.get(), gen_->sealed.get(), gen_->active.get()}, t);
+}
+
+std::size_t DeltaHexastore::Snapshot::size() const {
+  return gen_ == nullptr ? 0 : gen_->size;
 }
 
 void DeltaHexastore::Snapshot::Scan(const IdPattern& pattern,
                                     const TripleSink& sink) const {
-  MergedScan(*base_, *delta_, pattern, sink);
+  if (gen_ == nullptr) {
+    return;
+  }
+  LayeredScan({gen_->base.get(), gen_->sealed.get(), gen_->active.get()}, pattern, sink);
 }
 
-IdTripleVec DeltaHexastore::Snapshot::Match(const IdPattern& pattern) const {
-  IdTripleVec out;
-  Scan(pattern, [&out](const IdTriple& t) { out.push_back(t); });
-  std::sort(out.begin(), out.end());
-  return out;
+std::size_t DeltaHexastore::Snapshot::MemoryBytes() const {
+  if (gen_ == nullptr) {
+    return 0;
+  }
+  std::size_t bytes = gen_->base == nullptr ? 0 : gen_->base->MemoryBytes();
+  bytes += gen_->sealed == nullptr ? 0 : gen_->sealed->MemoryBytes();
+  bytes += gen_->active == nullptr ? 0 : gen_->active->MemoryBytes();
+  return bytes;
 }
+
+std::uint64_t DeltaHexastore::Snapshot::EstimateMatches(
+    const IdPattern& pattern) const {
+  if (gen_ == nullptr) {
+    return 0;
+  }
+  return LayeredEstimate({gen_->base.get(), gen_->sealed.get(), gen_->active.get()}, pattern);
+}
+
+std::uint64_t DeltaHexastore::Snapshot::epoch() const {
+  return gen_ == nullptr ? 0 : gen_->epoch;
+}
+
+MergedList DeltaHexastore::Snapshot::objects(Id s, Id p) const {
+  if (gen_ == nullptr) {
+    return MergedList();
+  }
+  return LayeredObjects({gen_->base, gen_->sealed, gen_->active}, s, p);
+}
+
+MergedList DeltaHexastore::Snapshot::predicates(Id s, Id o) const {
+  if (gen_ == nullptr) {
+    return MergedList();
+  }
+  return LayeredPredicates({gen_->base, gen_->sealed, gen_->active}, s, o);
+}
+
+MergedList DeltaHexastore::Snapshot::subjects(Id p, Id o) const {
+  if (gen_ == nullptr) {
+    return MergedList();
+  }
+  return LayeredSubjects({gen_->base, gen_->sealed, gen_->active}, p, o);
+}
+
+IdVec DeltaHexastore::Snapshot::predicates_of_subject(Id s) const {
+  if (gen_ == nullptr) {
+    return IdVec();
+  }
+  return LayeredPredicatesOfSubject({gen_->base.get(), gen_->sealed.get(), gen_->active.get()},
+                                    s);
+}
+
+IdVec DeltaHexastore::Snapshot::objects_of_subject(Id s) const {
+  if (gen_ == nullptr) {
+    return IdVec();
+  }
+  return LayeredObjectsOfSubject({gen_->base.get(), gen_->sealed.get(), gen_->active.get()}, s);
+}
+
+IdVec DeltaHexastore::Snapshot::subjects_of_predicate(Id p) const {
+  if (gen_ == nullptr) {
+    return IdVec();
+  }
+  return LayeredSubjectsOfPredicate({gen_->base.get(), gen_->sealed.get(), gen_->active.get()},
+                                    p);
+}
+
+IdVec DeltaHexastore::Snapshot::objects_of_predicate(Id p) const {
+  if (gen_ == nullptr) {
+    return IdVec();
+  }
+  return LayeredObjectsOfPredicate({gen_->base.get(), gen_->sealed.get(), gen_->active.get()},
+                                   p);
+}
+
+IdVec DeltaHexastore::Snapshot::subjects_of_object(Id o) const {
+  if (gen_ == nullptr) {
+    return IdVec();
+  }
+  return LayeredSubjectsOfObject({gen_->base.get(), gen_->sealed.get(), gen_->active.get()}, o);
+}
+
+IdVec DeltaHexastore::Snapshot::predicates_of_object(Id o) const {
+  if (gen_ == nullptr) {
+    return IdVec();
+  }
+  return LayeredPredicatesOfObject({gen_->base.get(), gen_->sealed.get(), gen_->active.get()},
+                                   o);
+}
+
+// -- Live merged accessor views -------------------------------------------
 
 MergedList DeltaHexastore::objects(Id s, Id p) const {
   std::lock_guard<std::mutex> lock(mu_);
   ExposeLocked();
-  const DeltaList* lists = delta_->FindLists(ListFamily::kObjects, s, p);
-  const IdVec* adds = lists == nullptr ? nullptr : &lists->adds;
-  if (delta_->PatternErased(p)) {
-    // The whole base o(s,p) list is pattern-tombstoned; only staged
-    // (re-)inserts survive. Point removes cannot exist for this p.
-    return MergedList(base_, delta_, static_cast<const IdVec*>(nullptr),
-                      adds, nullptr);
-  }
-  return MergedList(base_, delta_, base_->objects(s, p), adds,
-                    lists == nullptr ? nullptr : &lists->removes);
+  return LayeredObjects({base_, sealed_, delta_}, s, p);
 }
 
 MergedList DeltaHexastore::predicates(Id s, Id o) const {
   std::lock_guard<std::mutex> lock(mu_);
   ExposeLocked();
-  const DeltaList* lists = delta_->FindLists(ListFamily::kPredicates, s, o);
-  const IdVec* adds = lists == nullptr ? nullptr : &lists->adds;
-  const IdVec* removes = lists == nullptr ? nullptr : &lists->removes;
-  const IdVec* base_list = base_->predicates(s, o);
-  if (delta_->HasPatternErases() && base_list != nullptr) {
-    // Members of p(s,o) are predicates: drop the pattern-erased ones
-    // from the base side (the view owns the filtered copy).
-    auto filtered = std::make_shared<IdVec>();
-    filtered->reserve(base_list->size());
-    for (Id p : *base_list) {
-      if (!delta_->PatternErased(p)) {
-        filtered->push_back(p);
-      }
-    }
-    return MergedList(base_, delta_, std::move(filtered), adds, removes);
-  }
-  return MergedList(base_, delta_, base_list, adds, removes);
+  return LayeredPredicates({base_, sealed_, delta_}, s, o);
 }
 
 MergedList DeltaHexastore::subjects(Id p, Id o) const {
   std::lock_guard<std::mutex> lock(mu_);
   ExposeLocked();
-  const DeltaList* lists = delta_->FindLists(ListFamily::kSubjects, p, o);
-  const IdVec* adds = lists == nullptr ? nullptr : &lists->adds;
-  if (delta_->PatternErased(p)) {
-    return MergedList(base_, delta_, static_cast<const IdVec*>(nullptr),
-                      adds, nullptr);
-  }
-  return MergedList(base_, delta_, base_->subjects(p, o), adds,
-                    lists == nullptr ? nullptr : &lists->removes);
+  return LayeredSubjects({base_, sealed_, delta_}, p, o);
 }
 
 IdVec DeltaHexastore::predicates_of_subject(Id s) const {
   std::lock_guard<std::mutex> lock(mu_);
-  return MergedHeaderVec(*base_, *delta_, ListFamily::kObjects,
-                         /*match_a=*/true, s,
-                         base_->predicates_of_subject(s),
-                         [this](Id p) { return !delta_->PatternErased(p); });
+  return LayeredPredicatesOfSubject({base_.get(), sealed_.get(), delta_.get()}, s);
 }
 
 IdVec DeltaHexastore::objects_of_subject(Id s) const {
   std::lock_guard<std::mutex> lock(mu_);
-  return MergedHeaderVec(*base_, *delta_, ListFamily::kPredicates,
-                         /*match_a=*/true, s, base_->objects_of_subject(s),
-                         [this, s](Id o) {
-                           return EffectiveBaseListSize(
-                                      *base_, *delta_,
-                                      ListFamily::kPredicates,
-                                      IdPair{s, o}) > 0;
-                         });
+  return LayeredObjectsOfSubject({base_.get(), sealed_.get(), delta_.get()}, s);
 }
 
 IdVec DeltaHexastore::subjects_of_predicate(Id p) const {
   std::lock_guard<std::mutex> lock(mu_);
-  const bool erased = delta_->PatternErased(p);
-  return MergedHeaderVec(*base_, *delta_, ListFamily::kObjects,
-                         /*match_a=*/false, p,
-                         base_->subjects_of_predicate(p),
-                         [erased](Id) { return !erased; });
+  return LayeredSubjectsOfPredicate({base_.get(), sealed_.get(), delta_.get()}, p);
 }
 
 IdVec DeltaHexastore::objects_of_predicate(Id p) const {
   std::lock_guard<std::mutex> lock(mu_);
-  const bool erased = delta_->PatternErased(p);
-  return MergedHeaderVec(*base_, *delta_, ListFamily::kSubjects,
-                         /*match_a=*/true, p,
-                         base_->objects_of_predicate(p),
-                         [erased](Id) { return !erased; });
+  return LayeredObjectsOfPredicate({base_.get(), sealed_.get(), delta_.get()}, p);
 }
 
 IdVec DeltaHexastore::subjects_of_object(Id o) const {
   std::lock_guard<std::mutex> lock(mu_);
-  return MergedHeaderVec(*base_, *delta_, ListFamily::kPredicates,
-                         /*match_a=*/false, o,
-                         base_->subjects_of_object(o),
-                         [this, o](Id s) {
-                           return EffectiveBaseListSize(
-                                      *base_, *delta_,
-                                      ListFamily::kPredicates,
-                                      IdPair{s, o}) > 0;
-                         });
+  return LayeredSubjectsOfObject({base_.get(), sealed_.get(), delta_.get()}, o);
 }
 
 IdVec DeltaHexastore::predicates_of_object(Id o) const {
   std::lock_guard<std::mutex> lock(mu_);
-  return MergedHeaderVec(*base_, *delta_, ListFamily::kSubjects,
-                         /*match_a=*/false, o,
-                         base_->predicates_of_object(o),
-                         [this](Id p) { return !delta_->PatternErased(p); });
+  return LayeredPredicatesOfObject({base_.get(), sealed_.get(), delta_.get()}, o);
 }
 
 std::shared_ptr<const Hexastore> DeltaHexastore::base() const {
@@ -475,102 +868,146 @@ bool DeltaHexastore::CheckInvariants(std::string* error) const {
   // Runs entirely under the mutex (test path): no generation escapes, so
   // the in-place compaction fast path stays available afterwards.
   std::lock_guard<std::mutex> lock(mu_);
-  const Hexastore* base = base_.get();
-  const DeltaStore* delta = delta_.get();
-  const std::size_t size = size_;
   auto fail = [error](const std::string& msg) {
     if (error != nullptr) {
       *error = msg;
     }
     return false;
   };
-  if (!base->CheckInvariants(error)) {
+  if (!base_->CheckInvariants(error)) {
     return false;
   }
-  // Delta-layer contract: staged inserts are disjoint from the base,
-  // tombstones are a subset of it, and every op is mirrored in all three
-  // side-list families.
-  bool ok = true;
-  std::string msg;
-  delta->ForEachOp([&](const IdTriple& t, DeltaOp op) {
+  // Per-layer contract: staged inserts are disjoint from the layers
+  // beneath, tombstones are a subset of them, and every op is mirrored
+  // in all three side-list families of its own layer.
+  struct LayerCheck {
+    const DeltaStore* layer;
+    LayerRefs beneath;  // the layers beneath `layer`
+    const char* label;
+  };
+  std::vector<LayerCheck> checks;
+  if (sealed_ != nullptr) {
+    checks.push_back({sealed_.get(), {base_.get(), nullptr, nullptr}, "sealed"});
+  }
+  checks.push_back({delta_.get(), {base_.get(), sealed_.get(), nullptr}, "active"});
+  for (const LayerCheck& check : checks) {
+    const DeltaStore* layer = check.layer;
+    bool ok = true;
+    std::string msg;
+    layer->ForEachOp([&](const IdTriple& t, DeltaOp op) {
+      if (!ok) {
+        return;
+      }
+      const bool beneath = BeneathContains(check.beneath, t);
+      if (op == DeltaOp::kInsert && beneath && !layer->PatternErased(t.p)) {
+        // (Adds may coincide with a beneath triple only when the pattern
+        // tombstone suppresses the lower copy.)
+        ok = false;
+        msg = std::string(check.label) +
+              ": staged insert already present beneath";
+        return;
+      }
+      if (op == DeltaOp::kTombstone &&
+          (!beneath || layer->PatternErased(t.p))) {
+        ok = false;
+        msg = std::string(check.label) +
+              ": tombstone absent beneath or subsumed by a pattern erase";
+        return;
+      }
+      const DeltaList* objects =
+          layer->FindLists(ListFamily::kObjects, t.s, t.p);
+      const DeltaList* predicates =
+          layer->FindLists(ListFamily::kPredicates, t.s, t.o);
+      const DeltaList* subjects =
+          layer->FindLists(ListFamily::kSubjects, t.p, t.o);
+      const bool is_add = op == DeltaOp::kInsert;
+      auto in = [is_add](const DeltaList* lists, Id third) {
+        return lists != nullptr &&
+               SortedContains(is_add ? lists->adds : lists->removes, third);
+      };
+      if (!in(objects, t.o) || !in(predicates, t.p) || !in(subjects, t.s)) {
+        ok = false;
+        msg = std::string(check.label) +
+              ": staged op missing from a delta side list";
+      }
+    });
     if (!ok) {
-      return;
+      return fail(msg);
     }
-    if (op == DeltaOp::kInsert && base->Contains(t) &&
-        !delta->PatternErased(t.p)) {
-      // (Adds may coincide with base triples only when the pattern
-      // tombstone suppresses the base copy.)
-      ok = false;
-      msg = "staged insert already present in base";
-      return;
-    }
-    if (op == DeltaOp::kTombstone &&
-        (!base->Contains(t) || delta->PatternErased(t.p))) {
-      ok = false;
-      msg = "tombstone absent from base or subsumed by a pattern erase";
-      return;
-    }
-    const DeltaList* objects =
-        delta->FindLists(ListFamily::kObjects, t.s, t.p);
-    const DeltaList* predicates =
-        delta->FindLists(ListFamily::kPredicates, t.s, t.o);
-    const DeltaList* subjects =
-        delta->FindLists(ListFamily::kSubjects, t.p, t.o);
-    const bool is_add = op == DeltaOp::kInsert;
-    auto in = [is_add](const DeltaList* lists, Id third) {
-      return lists != nullptr &&
-             SortedContains(is_add ? lists->adds : lists->removes, third);
-    };
-    if (!in(objects, t.o) || !in(predicates, t.p) || !in(subjects, t.s)) {
-      ok = false;
-      msg = "staged op missing from a delta side list";
-    }
-  });
-  if (!ok) {
-    return fail(msg);
-  }
-  // Side-list totals match the op counters in every family.
-  for (int f = 0; f < 3; ++f) {
-    std::size_t adds = 0;
-    std::size_t removes = 0;
-    delta->ForEachList(static_cast<ListFamily>(f),
-                       [&](const IdPair&, const DeltaList& lists) {
-                         adds += lists.adds.size();
-                         removes += lists.removes.size();
-                       });
-    if (adds != delta->insert_count() ||
-        removes != delta->tombstone_count()) {
-      std::ostringstream os;
-      os << "delta side-list family " << f << " totals (" << adds << ", "
-         << removes << ") disagree with op counters ("
-         << delta->insert_count() << ", " << delta->tombstone_count()
-         << ")";
-      return fail(os.str());
+    // Side-list totals match the op counters in every family.
+    for (int f = 0; f < 3; ++f) {
+      std::size_t adds = 0;
+      std::size_t removes = 0;
+      layer->ForEachList(static_cast<ListFamily>(f),
+                         [&](const IdPair&, const DeltaList& lists) {
+                           adds += lists.adds.size();
+                           removes += lists.removes.size();
+                         });
+      if (adds != layer->insert_count() ||
+          removes != layer->tombstone_count()) {
+        std::ostringstream os;
+        os << check.label << ": delta side-list family " << f << " totals ("
+           << adds << ", " << removes << ") disagree with op counters ("
+           << layer->insert_count() << ", " << layer->tombstone_count()
+           << ")";
+        return fail(os.str());
+      }
     }
   }
-  std::size_t pattern_suppressed = 0;
-  for (Id p : delta->pattern_erased_predicates()) {
-    pattern_suppressed +=
-        static_cast<std::size_t>(base->CountMatches(IdPattern{0, p, 0}));
-  }
-  const std::size_t merged_size = static_cast<std::size_t>(
-      static_cast<std::ptrdiff_t>(base->size() - pattern_suppressed) +
-      delta->size_delta());
-  if (merged_size != size) {
+  // Size bookkeeping: the full merged scan must see exactly size_
+  // triples (this also exercises the cross-layer tombstone math).
+  std::size_t merged_size = 0;
+  LayeredScan({base_.get(), sealed_.get(), delta_.get()}, IdPattern{},
+              [&merged_size](const IdTriple&) { ++merged_size; });
+  if (merged_size != size_) {
     std::ostringstream os;
-    os << "merged size " << merged_size << " != tracked size " << size;
+    os << "merged size " << merged_size << " != tracked size " << size_;
     return fail(os.str());
   }
   return true;
 }
 
-void DeltaHexastore::ExposeLocked() const {
-  // Pre-build the delta's lazy caches before pointers leave the mutex:
-  // frozen readers (snapshots, merged views) must never trigger a cache
-  // build on shared state.
-  delta_->Freeze();
+// -- Locked helpers -------------------------------------------------------
+
+void DeltaHexastore::PublishLocked(std::size_t logical_size,
+                                   bool include_active) const {
+  auto gen = std::make_shared<DeltaGeneration>();
+  gen->base = base_;
+  gen->sealed = sealed_;
+  if (sealed_ != nullptr) {
+    // Pre-build the sealed layer's lazy caches: lock-free readers must
+    // never trigger a cache build on shared state. (The background
+    // merger only uses pure accessors, so this cannot race with it.)
+    sealed_->Freeze();
+  }
+  if (include_active && !delta_->empty()) {
+    delta_->Freeze();
+    gen->active = delta_;
+    delta_exposed_ = true;
+    published_active_ops_ = delta_->op_count();
+  } else {
+    published_active_ops_ = 0;
+  }
+  gen->size = logical_size;
+  gen->epoch = epoch_;
   base_exposed_ = true;
-  delta_exposed_ = true;
+  // dirty_ means "the published generation does not cover the live
+  // contents". A publication that excludes a non-empty staging buffer
+  // (a merge-completion publish) must leave it set, or ExposeLocked's
+  // fast path would hand snapshots/accessors a view missing the staged
+  // ops — and hand out delta_ list pointers without the exposure mark.
+  dirty_ = gen->active == nullptr && !delta_->empty();
+  gate_.Publish(std::move(gen));
+}
+
+void DeltaHexastore::ExposeLocked() const {
+  if (dirty_) {
+    PublishLocked(size_, /*include_active=*/true);
+  } else {
+    // Already published and unchanged since; the current generation
+    // covers exactly the live contents.
+    base_exposed_ = true;
+  }
 }
 
 void DeltaHexastore::EnsureDeltaWritableLocked() {
@@ -580,7 +1017,54 @@ void DeltaHexastore::EnsureDeltaWritableLocked() {
   }
 }
 
+void DeltaHexastore::MaybeCompactLocked() {
+  if (delta_->op_count() < compact_threshold_) {
+    return;
+  }
+  if (!background_) {
+    CompactLocked();
+    return;
+  }
+  if (sealed_ != nullptr) {
+    // A merge is still in flight; keep staging (the buffer may overshoot
+    // the threshold) rather than stall the writer.
+    ++seal_overflows_;
+    return;
+  }
+  SealLocked();
+}
+
+void DeltaHexastore::SealLocked() {
+  // Two pointer swaps: the open buffer becomes the immutable sealed
+  // layer, writers get a fresh one. No publication and no cache build —
+  // mutex readers reach the sealed layer under mu_, and lock-free
+  // readers keep the previous generation until the merge completes.
+  sealed_ = std::move(delta_);
+  delta_ = std::make_shared<DeltaStore>();
+  delta_exposed_ = false;
+  published_active_ops_ = 0;
+  ++seals_;
+  dirty_ = true;
+  work_cv_.notify_one();
+}
+
+void DeltaHexastore::WaitForMergeLocked(std::unique_lock<std::mutex>& lock) {
+  drain_cv_.wait(lock, [this] { return sealed_ == nullptr; });
+}
+
+void DeltaHexastore::AwaitOneMergeLocked(std::unique_lock<std::mutex>& lock) {
+  // Bounded wait: one merge completing (or a Clear/BulkLoad wiping the
+  // inputs, which bumps the ticket) satisfies it — later seals by
+  // concurrent writers are deliberately not chased.
+  const std::uint64_t target = compactions_ + 1;
+  const std::uint64_t ticket = merge_ticket_;
+  drain_cv_.wait(lock, [this, target, ticket] {
+    return compactions_ >= target || merge_ticket_ != ticket;
+  });
+}
+
 void DeltaHexastore::CompactLocked() {
+  // Synchronous drain; callers ensure no sealed layer is pending.
   if (delta_->empty()) {
     return;
   }
@@ -601,17 +1085,10 @@ void DeltaHexastore::CompactLocked() {
     }
     base_->BulkLoad(delta_->SortedInserts());
   } else {
-    // A snapshot or merged view may still read the base: rebuild the
-    // merged state into a fresh store and swap, leaving the old
-    // generation untouched for its readers.
-    IdTripleVec all;
-    all.reserve(size_);
-    MergedScan(*base_, *delta_, IdPattern{},
-               [&all](const IdTriple& t) { all.push_back(t); });
-    std::sort(all.begin(), all.end());
-    auto fresh = std::make_shared<Hexastore>();
-    fresh->BulkLoad(all);
-    base_ = std::move(fresh);
+    // A generation may still read the base: rebuild the merged state
+    // into a fresh store and swap, leaving the old one untouched for
+    // its readers.
+    base_ = MergeOffline(base_.get(), *delta_);
     base_exposed_ = false;
   }
   if (delta_exposed_) {
@@ -620,9 +1097,52 @@ void DeltaHexastore::CompactLocked() {
   } else {
     delta_->Clear();
   }
+  published_active_ops_ = 0;
   ++compactions_;
   ++epoch_;
   size_ = base_->size();
+  dirty_ = true;
+}
+
+void DeltaHexastore::MergerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    work_cv_.wait(lock, [this] { return stop_ || sealed_ != nullptr; });
+    if (stop_) {
+      return;
+    }
+    // Pin the inputs, then merge without the mutex: the sealed layer is
+    // closed to writers, and marking the base exposed here keeps it
+    // immutable too — a concurrent Clear() must swap in a fresh object
+    // rather than clearing the one this thread is scanning.
+    base_exposed_ = true;
+    std::shared_ptr<const Hexastore> base = base_;
+    std::shared_ptr<const DeltaStore> sealed = sealed_;
+    const std::uint64_t ticket = merge_ticket_;
+    lock.unlock();
+    std::shared_ptr<Hexastore> fresh = MergeOffline(base.get(), *sealed);
+    lock.lock();
+    if (ticket != merge_ticket_ || sealed_ != sealed) {
+      // Clear/BulkLoad replaced the inputs mid-merge; the result
+      // describes a state that no longer exists.
+      ++merge_discards_;
+      drain_cv_.notify_all();
+      continue;
+    }
+    base_ = std::move(fresh);
+    sealed_.reset();
+    ++compactions_;
+    ++background_merges_;
+    ++epoch_;
+    dirty_ = true;
+    // Publish the post-merge generation so lock-free readers advance.
+    // The staging buffer is re-included only if a previous publication
+    // exposed it — dropping it would make published views non-monotonic;
+    // including it otherwise would force a needless copy-on-write.
+    const bool include_active = published_active_ops_ > 0;
+    PublishLocked(include_active ? size_ : base_->size(), include_active);
+    drain_cv_.notify_all();
+  }
 }
 
 }  // namespace hexastore

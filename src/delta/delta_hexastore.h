@@ -5,70 +5,110 @@
 // Write path: Insert/Erase stage O(1)-ish edits in the delta instead of
 // mutating all six sorted views of the base (the §4.2 update deficiency).
 // Once the number of staged operations reaches `compact_threshold`, the
-// delta is drained into the base in one sorted BulkLoad-style merge.
+// delta is drained into the base in one sorted BulkLoad-style merge —
+// either synchronously on the writer thread (the default), or, with
+// DeltaOptions::background_compaction, by sealing the full buffer as an
+// immutable generation layer and merging it on a dedicated compactor
+// thread while writers keep staging into a fresh buffer. Sealing is two
+// pointer swaps, so write latency stays flat through a drain.
 //
 // Read path: Contains, Scan and the merged accessor views always expose
-// the consistent union  base ∪ staged-inserts ∖ tombstones.  Accessor
-// views come back as MergedList so merge joins keep their linear-merge
-// guarantee mid-delta.
+// the consistent union  base ∪ sealed-edits ∪ staged-edits  (each layer
+// applying its tombstones to everything beneath it). Accessor views come
+// back as MergedList so merge joins keep their linear-merge guarantee
+// mid-delta.
 //
-// Snapshot isolation: GetSnapshot() returns a cheap epoch handle (two
-// shared_ptrs). Writers copy-on-write the delta when a snapshot still
-// references it, and compaction rebuilds-and-swaps the base instead of
-// draining in place whenever any snapshot (or outstanding MergedList)
-// still reads the old one — so readers finish against the pre-compaction
-// view while a writer compacts. All public methods are individually
-// thread-safe; snapshot reads never block on the writer after the handle
-// is taken.
+// Concurrent reads: two kinds of handle, both materialized as Snapshot.
+//
+//   * GetSnapshot() — linearizable: takes the store mutex briefly,
+//     freezes and publishes the current {base, sealed, active}
+//     generation, and returns a handle to exactly the current contents.
+//   * AcquireReadHandle() — wait-free: returns the most recently
+//     *published* generation through an RCU-style epoch-protected
+//     pointer (see generation.h) without ever touching the store mutex.
+//     It may trail the live store by the ops staged since the last
+//     publication (a publication happens at every snapshot/merged-view
+//     exposure, every background-merge completion, and Clear/BulkLoad in
+//     background mode).
+//
+// Either handle pins its generation for its whole lifetime — a BGP
+// evaluated against a Snapshot (it is a read-only TripleStore) plans and
+// joins against one frozen view no matter how many compactions complete
+// meanwhile — and never blocks writers: superseded generations go onto
+// the gate's retire list and are reclaimed after a grace period.
 #ifndef HEXASTORE_DELTA_DELTA_HEXASTORE_H_
 #define HEXASTORE_DELTA_DELTA_HEXASTORE_H_
 
+#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 
 #include "core/hexastore.h"
 #include "core/stats.h"
 #include "core/store_interface.h"
 #include "delta/delta_store.h"
+#include "delta/generation.h"
 #include "delta/merged_list.h"
 #include "rdf/triple.h"
 #include "util/common.h"
 
 namespace hexastore {
 
+/// Default number of staged operations that triggers auto-compaction
+/// (shared by DeltaOptions and the legacy size_t constructor).
+inline constexpr std::size_t kDeltaCompactThresholdDefault = 64 * 1024;
+
+/// Construction-time configuration of a DeltaHexastore.
+struct DeltaOptions {
+  /// Staged operations that trigger a drain (seal, in background mode).
+  std::size_t compact_threshold = kDeltaCompactThresholdDefault;
+  /// Merge sealed generations on a dedicated compactor thread instead of
+  /// draining on the writer thread at the threshold.
+  bool background_compaction = false;
+};
+
 /// Update-optimized Hexastore with a staging delta and tombstones.
 class DeltaHexastore : public TripleStore {
  public:
   /// Default number of staged operations that triggers auto-compaction.
-  static constexpr std::size_t kDefaultCompactThreshold = 64 * 1024;
+  static constexpr std::size_t kDefaultCompactThreshold =
+      kDeltaCompactThresholdDefault;
 
+  /// Synchronous-compaction store (drains on the writer thread).
   explicit DeltaHexastore(
       std::size_t compact_threshold = kDefaultCompactThreshold);
+  explicit DeltaHexastore(const DeltaOptions& options);
 
   DeltaHexastore(const DeltaHexastore&) = delete;
   DeltaHexastore& operator=(const DeltaHexastore&) = delete;
 
+  /// Waits for any in-flight background merge, then joins the compactor.
+  ~DeltaHexastore() override;
+
   // -- TripleStore interface ----------------------------------------------
 
-  /// Stages the insert in the delta; auto-compacts at the threshold.
+  /// Stages the insert in the delta; auto-compacts (or seals, in
+  /// background mode) at the threshold.
   bool Insert(const IdTriple& t) override;
   /// Stages a tombstone (or cancels a staged insert).
   bool Erase(const IdTriple& t) override;
   bool Contains(const IdTriple& t) const override;
   std::size_t size() const override;
-  /// Emits the merged view: base matches minus tombstones (in the base
-  /// index's natural order), then staged inserts grouped by the
-  /// pattern's bound prefix (a range scan of the delta's sorted runs).
+  /// Emits the merged view: base matches minus each layer's tombstones
+  /// (in the base index's natural order), then sealed and staged inserts
+  /// grouped by the pattern's bound prefix (range scans of the layers'
+  /// sorted runs).
   void Scan(const IdPattern& pattern, const TripleSink& sink) const override;
   std::size_t MemoryBytes() const override;
   std::string name() const override { return "DeltaHexastore"; }
 
   /// Delta-aware planner estimate: the base index count adjusted by the
-  /// staged ops — exact staged-insert count for the pattern (a sorted-run
-  /// range scan), tombstones scaled by the pattern's base selectivity,
+  /// staged ops of each layer — exact staged-insert counts (sorted-run
+  /// range scans), tombstones scaled by the pattern's base selectivity,
   /// pattern tombstones applied exactly. Never pays a full merged scan.
   std::uint64_t EstimateMatches(const IdPattern& pattern) const override;
 
@@ -77,66 +117,102 @@ class DeltaHexastore : public TripleStore {
   /// Clear, and a predicate-only pattern (?, p, ?) stages ONE
   /// pattern-level tombstone instead of one per match (O(op table + base
   /// count) rather than O(matches) staged entries). Other shapes fall
-  /// back to staging a point tombstone per match.
+  /// back to staging a point tombstone per match. The predicate fast
+  /// path synchronizes with an in-flight background merge (its exact
+  /// erase count is defined against the merged base).
   std::size_t ErasePattern(const IdPattern& pattern);
 
   /// Compacts any staged delta, then merges `triples` straight into the
   /// base via its sorted BulkLoad path.
   void BulkLoad(const IdTripleVec& triples) override;
 
-  /// Removes all triples (base and staged).
+  /// Removes all triples (base, sealed and staged); an in-flight
+  /// background merge is invalidated, not waited for.
   void Clear();
 
   // -- Delta management ---------------------------------------------------
 
-  /// Drains the delta into the base's six permutation indexes via one
-  /// sorted merge (in place when no snapshot reads the base, otherwise
-  /// rebuild-and-swap). No-op when the delta is empty.
+  /// Drains every staged op into the base. Synchronous mode: one sorted
+  /// merge on this thread (in place when no generation references the
+  /// base, otherwise rebuild-and-swap). Background mode: seals the
+  /// staging buffer and blocks until the compactor has merged everything
+  /// (writers on other threads stay unblocked throughout). No-op when
+  /// nothing is staged.
   void Compact();
 
-  /// Operations staged and not yet compacted.
+  /// Operations staged and not yet merged into the base (active plus any
+  /// sealed-but-unmerged buffer).
   std::size_t StagedOps() const;
-  /// Compactions performed since construction.
+  /// Compactions (drains or background merges) since construction.
   std::uint64_t CompactionCount() const;
   std::size_t compact_threshold() const { return compact_threshold_; }
+  /// True when a dedicated compactor thread runs the merges.
+  bool background() const { return background_; }
 
   /// Delta-layer counters for reports and the stats subsystem.
   DeltaStats Stats() const;
+  /// Generation-gate counters (publications, reclamation, handles).
+  EpochStats EpochCounters() const;
 
-  // -- Snapshot-isolated reads --------------------------------------------
+  // -- Pinned-generation reads --------------------------------------------
 
-  /// An immutable view of the store as of GetSnapshot(). Cheap to take
-  /// (two shared_ptr copies under the store mutex) and safe to read from
-  /// any thread while writers keep inserting and compacting.
-  class Snapshot {
+  /// An immutable view of one published {base, sealed, active}
+  /// generation. It is a read-only TripleStore (mutators are no-ops that
+  /// return false), so planners, BGP evaluation and merge joins run
+  /// entirely against the pinned generation; it also mirrors the merged
+  /// accessor views. Cheap to copy and safe to read from any thread
+  /// while writers keep inserting and compacting.
+  class Snapshot final : public TripleStore {
    public:
-    bool Contains(const IdTriple& t) const;
-    void Scan(const IdPattern& pattern, const TripleSink& sink) const;
-    /// Materialized matches, sorted in (s, p, o) order.
-    IdTripleVec Match(const IdPattern& pattern) const;
-    std::size_t size() const { return size_; }
-    /// Epoch the snapshot was taken at (bumps on every compaction and
-    /// Clear).
-    std::uint64_t epoch() const { return epoch_; }
+    /// Empty view (no generation).
+    Snapshot() = default;
+
+    // Read-only view: mutators are documented no-ops.
+    bool Insert(const IdTriple&) override { return false; }
+    bool Erase(const IdTriple&) override { return false; }
+    void BulkLoad(const IdTripleVec&) override {}
+
+    bool Contains(const IdTriple& t) const override;
+    std::size_t size() const override;
+    void Scan(const IdPattern& pattern,
+              const TripleSink& sink) const override;
+    std::size_t MemoryBytes() const override;
+    std::string name() const override { return "DeltaHexastore::Snapshot"; }
+    std::uint64_t EstimateMatches(const IdPattern& pattern) const override;
+
+    /// Store epoch the generation was published at (bumps on every
+    /// compaction and Clear).
+    std::uint64_t epoch() const;
+
+    // Merged accessor views over the pinned generation (see the
+    // DeltaHexastore accessors below for semantics).
+    MergedList objects(Id s, Id p) const;
+    MergedList predicates(Id s, Id o) const;
+    MergedList subjects(Id p, Id o) const;
+    IdVec predicates_of_subject(Id s) const;
+    IdVec objects_of_subject(Id s) const;
+    IdVec subjects_of_predicate(Id p) const;
+    IdVec objects_of_predicate(Id p) const;
+    IdVec subjects_of_object(Id o) const;
+    IdVec predicates_of_object(Id o) const;
 
    private:
     friend class DeltaHexastore;
-    Snapshot(std::shared_ptr<const Hexastore> base,
-             std::shared_ptr<const DeltaStore> delta, std::size_t size,
-             std::uint64_t epoch)
-        : base_(std::move(base)),
-          delta_(std::move(delta)),
-          size_(size),
-          epoch_(epoch) {}
+    explicit Snapshot(std::shared_ptr<const DeltaGeneration> gen)
+        : gen_(std::move(gen)) {}
 
-    std::shared_ptr<const Hexastore> base_;
-    std::shared_ptr<const DeltaStore> delta_;
-    std::size_t size_;
-    std::uint64_t epoch_;
+    std::shared_ptr<const DeltaGeneration> gen_;
   };
 
-  /// Takes a consistent point-in-time handle on the current contents.
+  /// Takes a consistent, up-to-date point-in-time handle (linearizable;
+  /// briefly takes the store mutex to freeze and publish the current
+  /// generation).
   Snapshot GetSnapshot() const;
+
+  /// Wait-free handle to the most recently published generation. Never
+  /// touches the store mutex; may trail the live store by the ops staged
+  /// since the last publication (see the file comment).
+  Snapshot AcquireReadHandle() const;
 
   // -- Merged accessor views (the paper's vectors and lists) --------------
   // Mirror Hexastore's accessors but return merging views instead of raw
@@ -174,46 +250,87 @@ class DeltaHexastore : public TripleStore {
   /// across later compactions.
   std::shared_ptr<const Hexastore> base() const;
 
-  /// Verifies base invariants plus the delta-layer contract (staged
-  /// inserts absent from base, tombstones present, size bookkeeping).
+  /// Verifies base invariants plus the delta-layer contract for both the
+  /// sealed and the active layer (staged inserts absent from the layer
+  /// beneath, tombstones present in it, size bookkeeping).
   bool CheckInvariants(std::string* error = nullptr) const;
 
  private:
-  // All private helpers expect mu_ to be held.
+  // All private helpers expect mu_ to be held unless noted.
   //
   // Publication protocol: internal reads happen under mu_, so they are
   // ordered against writers by the mutex alone. The moment a generation
-  // pointer escapes the lock scope (GetSnapshot, a MergedList accessor,
-  // base()), the exposure flag for that object is set and it is NEVER
-  // mutated in place again — writers clone the delta and rebuild-and-swap
-  // the base instead. This is deliberately stronger than a
-  // use_count() == 1 probe: releasing a shared_ptr only synchronizes with
-  // another release, not with a later relaxed use-count read, so a
-  // count-based in-place fast path would race with a reader that already
-  // dropped its handle (ThreadSanitizer rightly flags it).
+  // escapes — GetSnapshot, a MergedList accessor, base(), a seal, or a
+  // background-merge completion — the objects it references are marked
+  // exposed and NEVER mutated in place again: writers clone the delta
+  // (copy-on-write) and compaction rebuilds-and-swaps the base. Lock-free
+  // readers therefore only ever dereference frozen objects; the epoch
+  // gate (generation.h) keeps them allocated.
 
-  // Marks both current generation objects as escaped.
+  // Publishes the current {base_, sealed_, delta_} through the gate.
+  // `logical_size` is the triple count of the published view;
+  // `include_active` controls whether the staging buffer is frozen into
+  // it (excluding it keeps the buffer writer-private — no copy-on-write
+  // on the next op).
+  void PublishLocked(std::size_t logical_size, bool include_active) const;
+  // Marks the current generation escaped and publishes it if dirty.
   void ExposeLocked() const;
   // Clones the delta iff it ever escaped (copy-on-write), so staged
   // mutations never alter a published generation.
   void EnsureDeltaWritableLocked();
-  // Drains the delta into the base; rebuilds-and-swaps when the base has
-  // escaped to a snapshot or merged view.
+  // Threshold trigger: synchronous drain, or seal + wake the compactor.
+  void MaybeCompactLocked();
+  // Synchronous drain of the active delta into the base (sealed_ must be
+  // null); rebuilds-and-swaps when the base has escaped.
   void CompactLocked();
+  // Closes the staging buffer as sealed_ and opens a fresh one.
+  void SealLocked();
+  // Blocks until no sealed buffer is pending (background mode). May
+  // chase re-seals by concurrent writers; used only by the rare bulk
+  // paths that need a sealed-free state (BulkLoad, predicate erase).
+  void WaitForMergeLocked(std::unique_lock<std::mutex>& lock);
+  // Blocks until one more merge completes or its inputs are wiped —
+  // bounded even under sustained concurrent writes (Compact's wait).
+  void AwaitOneMergeLocked(std::unique_lock<std::mutex>& lock);
   // Clear body (shared by Clear and the all-wildcard ErasePattern).
   void ClearLocked();
+  // Compactor thread body (owns no lock between merges).
+  void MergerLoop();
 
   mutable std::mutex mu_;
   std::shared_ptr<Hexastore> base_;
-  std::shared_ptr<DeltaStore> delta_;
+  std::shared_ptr<const DeltaStore> sealed_;  // closed buffer being merged
+  std::shared_ptr<DeltaStore> delta_;         // open staging buffer
   // True once a pointer to the current base_/delta_ object left the
   // mutex scope; cleared only when the pointer is replaced.
   mutable bool base_exposed_ = false;
   mutable bool delta_exposed_ = false;
+  // Set by every mutation/structure change; cleared by PublishLocked —
+  // lets repeated exposures (accessor loops) skip redundant publishes.
+  mutable bool dirty_ = true;
+  // Ops of delta_ included in the last publication (0 when the active
+  // buffer was excluded); a merge-completion publish must re-include the
+  // buffer iff this is non-zero, to keep published views monotonic.
+  mutable std::size_t published_active_ops_ = 0;
+
   std::size_t compact_threshold_;
+  bool background_ = false;
   std::size_t size_ = 0;
   std::uint64_t epoch_ = 0;
   std::uint64_t compactions_ = 0;
+
+  // Background-compaction machinery.
+  std::thread merger_;
+  std::condition_variable work_cv_;   // compactor waits for a seal
+  std::condition_variable drain_cv_;  // waiters wait for sealed_ == null
+  bool stop_ = false;
+  std::uint64_t merge_ticket_ = 0;  // bumped to invalidate in-flight merges
+  std::uint64_t seals_ = 0;
+  std::uint64_t background_merges_ = 0;
+  std::uint64_t merge_discards_ = 0;
+  std::uint64_t seal_overflows_ = 0;
+
+  mutable GenerationGate gate_;
 };
 
 }  // namespace hexastore

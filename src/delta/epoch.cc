@@ -1,0 +1,69 @@
+#include "delta/epoch.h"
+
+#include <cstdint>
+#include <thread>
+
+namespace hexastore {
+
+EpochManager::Section::Section(EpochManager& manager) {
+  // Claim a slot: bounded scan with exchange; sections are so short that
+  // finding all kSlots held means kSlots other threads are mid-acquire
+  // right now — yield and rescan.
+  slot_ = nullptr;
+  for (int spin = 0; slot_ == nullptr; ++spin) {
+    for (Slot& candidate : manager.slots_) {
+      if (!candidate.claimed.load(std::memory_order_relaxed) &&
+          !candidate.claimed.exchange(true, std::memory_order_acquire)) {
+        slot_ = &candidate;
+        break;
+      }
+    }
+    if (slot_ == nullptr && spin > 16) {
+      std::this_thread::yield();
+    }
+  }
+  // Announce-and-validate loop: publishing epoch e is only safe if the
+  // global epoch is still e when the announcement becomes visible —
+  // otherwise a writer may already have scanned past this slot and
+  // reclaimed objects retired at e. The seq_cst store/load pair gives
+  // the store-load ordering the argument needs.
+  std::uint64_t e = manager.global_.load(std::memory_order_acquire);
+  while (true) {
+    slot_->epoch.store(e, std::memory_order_seq_cst);
+    const std::uint64_t now = manager.global_.load(std::memory_order_seq_cst);
+    if (now == e) {
+      break;
+    }
+    e = now;
+  }
+}
+
+EpochManager::Section::~Section() {
+  // Quiesce before unclaiming: a reclaimed slot must never still carry a
+  // live announcement.
+  slot_->epoch.store(kQuiescent, std::memory_order_release);
+  slot_->claimed.store(false, std::memory_order_release);
+}
+
+std::uint64_t EpochManager::MinActiveEpoch() const {
+  std::uint64_t min = UINT64_MAX;
+  for (const Slot& slot : slots_) {
+    const std::uint64_t e = slot.epoch.load(std::memory_order_seq_cst);
+    if (e != kQuiescent && e < min) {
+      min = e;
+    }
+  }
+  return min;
+}
+
+int EpochManager::ActiveSections() const {
+  int active = 0;
+  for (const Slot& slot : slots_) {
+    if (slot.epoch.load(std::memory_order_acquire) != kQuiescent) {
+      ++active;
+    }
+  }
+  return active;
+}
+
+}  // namespace hexastore

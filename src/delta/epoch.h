@@ -1,0 +1,102 @@
+// Epoch-based reclamation for RCU-style generation pointers.
+//
+// Readers enter a short critical *section* around the acquire of a
+// generation pointer: claim a slot, announce the current global epoch in
+// it, validate the announcement, and only then dereference the pointer.
+// Writers retire superseded objects tagged with the epoch at which they
+// were unpublished; a retired object may be reclaimed once every active
+// reader section announces a strictly later epoch (the grace period) —
+// any reader still inside the acquire window for the old pointer is, by
+// the validation step, announced at an epoch no later than the retire
+// epoch and therefore blocks reclamation.
+//
+// The section is wait-free after the slot claim (two atomic stores and
+// two loads); the claim itself is a bounded scan over a fixed slot array
+// with a spin-yield fallback when every slot is transiently held —
+// sections last microseconds (they cover only the pointer acquire, not
+// the read of the generation, which is protected by a refcount the
+// section makes safe to take), so the fallback is effectively unreached.
+//
+// Writers (Advance / MinActiveEpoch / counter reads) must be externally
+// serialized; readers never synchronize with each other or with writers
+// through anything but the atomics here — in particular, never through
+// the owning store's mutex.
+#ifndef HEXASTORE_DELTA_EPOCH_H_
+#define HEXASTORE_DELTA_EPOCH_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace hexastore {
+
+/// Reader-epoch registry: a fixed array of announcement slots plus the
+/// global epoch counter.
+class EpochManager {
+ public:
+  /// Slot value meaning "no reader section active in this slot".
+  static constexpr std::uint64_t kQuiescent = 0;
+  /// Announcement slots; also the maximum number of concurrent reader
+  /// sections before the claim scan starts spinning.
+  static constexpr int kSlots = 64;
+
+  EpochManager() = default;
+  EpochManager(const EpochManager&) = delete;
+  EpochManager& operator=(const EpochManager&) = delete;
+
+ private:
+  struct alignas(64) Slot {
+    // kQuiescent, or the epoch announced by the section in this slot.
+    std::atomic<std::uint64_t> epoch{kQuiescent};
+    // Claim flag; a slot is reusable the moment its owner clears it.
+    std::atomic<bool> claimed{false};
+  };
+
+ public:
+
+  /// RAII reader section. While alive, the global epoch announced at
+  /// construction (or later) cannot pass the grace-period check, so
+  /// anything retired at or after that epoch stays allocated.
+  class Section {
+   public:
+    explicit Section(EpochManager& manager);
+    ~Section();
+    Section(const Section&) = delete;
+    Section& operator=(const Section&) = delete;
+
+   private:
+    Slot* slot_;
+  };
+
+  /// Bumps the global epoch (writer side; externally serialized).
+  /// Returns the epoch that was current *before* the bump — the tag to
+  /// retire objects unpublished by the same writer step. seq_cst on
+  /// purpose: the announce-and-validate argument needs the bump in the
+  /// same total order as the readers' seq_cst announce/validate pair
+  /// and the writer's slot scan — acq_rel would let a weakly-ordered
+  /// machine pass both sides' checks simultaneously.
+  std::uint64_t Advance() {
+    return global_.fetch_add(1, std::memory_order_seq_cst);
+  }
+
+  /// Current global epoch.
+  std::uint64_t current() const {
+    return global_.load(std::memory_order_acquire);
+  }
+
+  /// Smallest epoch announced by any active reader section, or
+  /// UINT64_MAX when every slot is quiescent. An object retired at epoch
+  /// E may be reclaimed iff MinActiveEpoch() > E.
+  std::uint64_t MinActiveEpoch() const;
+
+  /// Number of slots currently inside a reader section (diagnostic).
+  int ActiveSections() const;
+
+ private:
+  // Epochs start at 1 so kQuiescent (0) can never be a real announcement.
+  std::atomic<std::uint64_t> global_{1};
+  Slot slots_[kSlots];
+};
+
+}  // namespace hexastore
+
+#endif  // HEXASTORE_DELTA_EPOCH_H_

@@ -1,0 +1,72 @@
+#include "delta/generation.h"
+
+#include <algorithm>
+
+namespace hexastore {
+
+GenerationGate::~GenerationGate() {
+  // No readers may be in flight at destruction (the owning store joins
+  // its threads first); drop everything.
+  current_.store(nullptr, std::memory_order_release);
+}
+
+void GenerationGate::Publish(std::shared_ptr<const DeltaGeneration> gen) {
+  if (current_owner_ != nullptr) {
+    // Tag with the epoch that was current while the old generation was
+    // still reachable: a reader announced at that epoch may still be
+    // between loading the raw pointer and bumping the refcount.
+    retired_.push_back({std::move(current_owner_), epochs_.current()});
+    ++retired_count_;
+  }
+  current_.store(gen.get(), std::memory_order_release);
+  current_owner_ = std::move(gen);
+  ++published_;
+  // Readers that validate against the advanced epoch are guaranteed (by
+  // the seq_cst argument in epoch.h) to observe the new pointer.
+  epochs_.Advance();
+  Reclaim();
+}
+
+std::shared_ptr<const DeltaGeneration> GenerationGate::Acquire() const {
+  EpochManager::Section section(epochs_);
+  const DeltaGeneration* raw = current_.load(std::memory_order_acquire);
+  if (raw == nullptr) {
+    return nullptr;
+  }
+  // Safe: the control block is kept alive by current_owner_ or a retire
+  // entry, and neither can be dropped while this section is active.
+  std::shared_ptr<const DeltaGeneration> handle = raw->shared_from_this();
+  handles_acquired_.fetch_add(1, std::memory_order_relaxed);
+  return handle;
+}
+
+void GenerationGate::Reclaim() {
+  if (retired_.empty()) {
+    return;
+  }
+  const std::uint64_t min_active = epochs_.MinActiveEpoch();
+  auto kept = std::remove_if(
+      retired_.begin(), retired_.end(), [this, min_active](Retired& r) {
+        if (min_active > r.retired_at) {
+          ++reclaimed_;
+          return true;  // grace period over; handles may still pin it
+        }
+        return false;
+      });
+  retired_.erase(kept, retired_.end());
+}
+
+EpochStats GenerationGate::Stats() const {
+  EpochStats stats;
+  stats.global_epoch = epochs_.current();
+  stats.generations_published = published_;
+  stats.generations_retired = retired_count_;
+  stats.generations_reclaimed = reclaimed_;
+  stats.retire_queue_depth = retired_.size();
+  stats.handles_acquired =
+      handles_acquired_.load(std::memory_order_relaxed);
+  stats.active_reader_sections = epochs_.ActiveSections();
+  return stats;
+}
+
+}  // namespace hexastore

@@ -1,0 +1,108 @@
+// Immutable store generations and their RCU-style publication gate.
+//
+// A DeltaGeneration is one frozen, internally consistent view of a
+// DeltaHexastore:
+//
+//   base    — the compacted sextuple-indexed store
+//   sealed  — a staging buffer closed to writers, being merged into the
+//             base by the background compactor (null when no merge is in
+//             flight at publication time)
+//   active  — a frozen image of the staging buffer open at publication
+//             time (null when it was empty or not included)
+//
+// The logical contents are  layer(layer(base, sealed), active)  where
+// layer(S, d) = (S ∖ pattern-erased ∖ tombstones) ∪ staged inserts.
+// Every object reachable from a published generation is immutable: the
+// owning store copy-on-writes its staging buffer and rebuilds-and-swaps
+// its base instead of mutating anything a generation references.
+//
+// GenerationGate is the publication point. The writer (serialized by the
+// owning store's mutex) publishes a new generation and retires the old
+// one onto a retire list tagged with the retire epoch; readers acquire
+// the current generation wait-free — an EpochManager section protects
+// the window between loading the raw pointer and taking shared
+// ownership, and the grace-period check keeps the retire list from
+// dropping its reference while any reader is still inside that window.
+// Once acquired, a handle is an ordinary shared_ptr: it pins exactly its
+// own generation (holding it across later publications never blocks the
+// writer or reclamation of other generations).
+#ifndef HEXASTORE_DELTA_GENERATION_H_
+#define HEXASTORE_DELTA_GENERATION_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/stats.h"
+#include "delta/epoch.h"
+
+namespace hexastore {
+
+class Hexastore;
+class DeltaStore;
+
+/// One immutable published view: {base, sealed, active} plus the logical
+/// triple count and the store epoch it was taken at.
+struct DeltaGeneration
+    : public std::enable_shared_from_this<DeltaGeneration> {
+  std::shared_ptr<const Hexastore> base;     ///< null ⇒ empty base
+  std::shared_ptr<const DeltaStore> sealed;  ///< null ⇒ no merge in flight
+  std::shared_ptr<const DeltaStore> active;  ///< null ⇒ no staged overlay
+  std::size_t size = 0;    ///< logical triples in this view
+  std::uint64_t epoch = 0; ///< store epoch at publication
+};
+
+/// Single-writer / many-reader publication point for generations.
+///
+/// Publish/Reclaim and the stats snapshot must be externally serialized
+/// (the owning store calls them under its mutex); Acquire is wait-free
+/// and safe from any thread at any time.
+class GenerationGate {
+ public:
+  GenerationGate() = default;
+  GenerationGate(const GenerationGate&) = delete;
+  GenerationGate& operator=(const GenerationGate&) = delete;
+  ~GenerationGate();
+
+  /// Publishes `gen` as the current generation, retires the previous one
+  /// and reclaims every retired generation whose grace period has
+  /// passed. `gen` must be fully frozen before the call.
+  void Publish(std::shared_ptr<const DeltaGeneration> gen);
+
+  /// Wait-free snapshot of the current generation; null before the first
+  /// Publish.
+  std::shared_ptr<const DeltaGeneration> Acquire() const;
+
+  /// Drops every retired generation whose grace period has passed
+  /// (Publish does this too; exposed for tests and stats).
+  void Reclaim();
+
+  /// Epoch/generation counters (see EpochStats).
+  EpochStats Stats() const;
+
+ private:
+  struct Retired {
+    std::shared_ptr<const DeltaGeneration> gen;
+    std::uint64_t retired_at;
+  };
+
+  // Raw pointer readers acquire through; always equals
+  // current_owner_.get().
+  std::atomic<const DeltaGeneration*> current_{nullptr};
+  std::shared_ptr<const DeltaGeneration> current_owner_;
+  std::vector<Retired> retired_;
+  mutable EpochManager epochs_;
+
+  // Counters. handles_acquired_ is bumped by readers (relaxed atomic);
+  // the rest are writer-side plain fields.
+  mutable std::atomic<std::uint64_t> handles_acquired_{0};
+  std::uint64_t published_ = 0;
+  std::uint64_t retired_count_ = 0;
+  std::uint64_t reclaimed_ = 0;
+};
+
+}  // namespace hexastore
+
+#endif  // HEXASTORE_DELTA_GENERATION_H_

@@ -86,4 +86,13 @@ ResultSet EvalBgp(const TripleStore& store, const Dictionary& dict,
   return result;
 }
 
+ResultSet EvalBgpPinned(const DeltaHexastore& store, const Dictionary& dict,
+                        const std::vector<TriplePattern>& patterns) {
+  // One handle for planning and evaluation: the snapshot is itself a
+  // (read-only) TripleStore, so the generic machinery pins the
+  // generation for the entire query.
+  const DeltaHexastore::Snapshot snap = store.GetSnapshot();
+  return EvalBgp(snap, dict, patterns);
+}
+
 }  // namespace hexastore

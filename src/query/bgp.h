@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "core/store_interface.h"
+#include "delta/delta_hexastore.h"
 #include "dict/dictionary.h"
 #include "query/binding.h"
 #include "query/pattern.h"
@@ -29,6 +30,15 @@ void EvalBgp(const TripleStore& store, const CompiledBgp& bgp,
 /// Convenience: compile + plan + evaluate + materialize.
 ResultSet EvalBgp(const TripleStore& store, const Dictionary& dict,
                   const std::vector<TriplePattern>& patterns);
+
+/// Pinned-generation evaluation: takes one snapshot handle up front and
+/// runs planning (delta-aware EstimateMatches) plus every scan of the
+/// whole BGP against that single frozen generation — the query never
+/// touches the store mutex again and never observes a compaction,
+/// however long it runs. Equivalent to
+/// `EvalBgp(store.GetSnapshot(), dict, patterns)`.
+ResultSet EvalBgpPinned(const DeltaHexastore& store, const Dictionary& dict,
+                        const std::vector<TriplePattern>& patterns);
 
 }  // namespace hexastore
 

@@ -66,6 +66,24 @@ IdVec JoinPredicatesByPairs(const DeltaHexastore& store, Id s1, Id o1,
 std::vector<std::pair<Id, Id>> JoinChain(const DeltaHexastore& store,
                                          Id p1, Id p2);
 
+// -- Pinned-generation overloads ------------------------------------------
+// Same joins over one DeltaHexastore::Snapshot: every input list comes
+// from the single generation the handle pins, so a join never blocks on
+// the store mutex and never straddles a compaction — take the handle
+// once (GetSnapshot() or the wait-free AcquireReadHandle()) and run the
+// whole join plan against it.
+
+IdVec JoinSubjectsByObjects(const DeltaHexastore::Snapshot& snap, Id p1,
+                            Id o1, Id p2, Id o2);
+IdVec JoinObjectsBySubjects(const DeltaHexastore::Snapshot& snap, Id s1,
+                            Id p1, Id s2, Id p2);
+IdVec JoinSubjectsOfObjects(const DeltaHexastore::Snapshot& snap, Id o1,
+                            Id o2);
+IdVec JoinPredicatesByPairs(const DeltaHexastore::Snapshot& snap, Id s1,
+                            Id o1, Id s2, Id o2);
+std::vector<std::pair<Id, Id>> JoinChain(
+    const DeltaHexastore::Snapshot& snap, Id p1, Id p2);
+
 }  // namespace hexastore
 
 #endif  // HEXASTORE_QUERY_MERGE_JOIN_H_

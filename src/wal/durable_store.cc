@@ -159,6 +159,9 @@ Result<std::unique_ptr<DurableDeltaHexastore>> DurableDeltaHexastore::Open(
   }
   store->wal_ = std::move(writer).value();
   store->last_sequence_ = next_sequence - 1;
+  // Recovery replay may itself have crossed the compaction threshold;
+  // baseline the counter afterwards so the first post-open commit does
+  // not immediately re-checkpoint recovered state.
   store->last_compaction_count_ = store->store_.CompactionCount();
   if (!have_manifest) {
     WalManifest fresh;
@@ -168,10 +171,23 @@ Result<std::unique_ptr<DurableDeltaHexastore>> DurableDeltaHexastore::Open(
       return s;
     }
   }
+  if (options.background_checkpoints) {
+    store->checkpointer_ =
+        std::thread(&DurableDeltaHexastore::CheckpointerLoop, store.get());
+  }
   return store;
 }
 
-DurableDeltaHexastore::~DurableDeltaHexastore() = default;
+DurableDeltaHexastore::~DurableDeltaHexastore() {
+  if (checkpointer_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(checkpoint_request_mu_);
+      stop_checkpointer_ = true;
+    }
+    checkpoint_cv_.notify_all();
+    checkpointer_.join();
+  }
+}
 
 bool DurableDeltaHexastore::Insert(const IdTriple& t) {
   std::uint64_t sequence = 0;
@@ -277,10 +293,15 @@ void DurableDeltaHexastore::BulkLoad(const IdTripleVec& triples) {
   // Not logged record-by-record: the immediate checkpoint below makes
   // the load durable in one snapshot (atomic at checkpoint completion —
   // a crash before it recovers the pre-load state).
-  std::unique_lock<std::mutex> lock(mu_);
-  store_.BulkLoad(triples);
-  if (Status s = CheckpointLocked(lock); !s.ok() && io_status_.ok()) {
-    io_status_ = s;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    store_.BulkLoad(triples);
+  }
+  if (Status s = RunCheckpoint(/*only_if_stale=*/false); !s.ok()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (io_status_.ok()) {
+      io_status_ = s;
+    }
   }
 }
 
@@ -295,38 +316,66 @@ void DurableDeltaHexastore::FinishCommit(std::uint64_t sequence,
     }
     return;
   }
-  if (need_checkpoint) {
-    std::unique_lock<std::mutex> lock(mu_);
-    // Re-check under the lock: every op that committed between the
-    // compaction and the first checkpoint observed the same count
-    // mismatch; only one of them gets to pay for the checkpoint.
-    if (store_.CompactionCount() == last_compaction_count_) {
-      return;
+  if (!need_checkpoint) {
+    return;
+  }
+  if (options_.background_checkpoints) {
+    // Hand the whole checkpoint to the dedicated thread: this writer
+    // returns immediately.
+    {
+      std::lock_guard<std::mutex> lock(checkpoint_request_mu_);
+      checkpoint_requested_ = true;
     }
-    if (Status s = CheckpointLocked(lock); !s.ok() && io_status_.ok()) {
+    checkpoint_cv_.notify_one();
+    return;
+  }
+  if (Status s = RunCheckpoint(/*only_if_stale=*/true); !s.ok()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (io_status_.ok()) {
       io_status_ = s;
     }
   }
 }
 
 Status DurableDeltaHexastore::Checkpoint() {
-  std::unique_lock<std::mutex> lock(mu_);
-  return CheckpointLocked(lock);
+  return RunCheckpoint(/*only_if_stale=*/false);
 }
 
-Status DurableDeltaHexastore::CheckpointLocked(
-    std::unique_lock<std::mutex>& lock) {
-  (void)lock;
-  // 1. Drain the delta so the snapshot is pure base (and record the
-  //    compaction so the next op does not re-trigger a checkpoint).
-  store_.Compact();
-  last_compaction_count_ = store_.CompactionCount();
-  const std::uint64_t sequence = last_sequence_;
+Status DurableDeltaHexastore::RunCheckpoint(bool only_if_stale) {
+  // One checkpoint at a time; writers never wait on this mutex.
+  std::lock_guard<std::mutex> cp_lock(checkpoint_mu_);
 
-  // 2. Durable id-level snapshot (tmp + fsync + rename + dir fsync).
+  // 1. Pin the state and seal the log at it — the only step writers
+  //    wait on. The generation handle gives snapshot isolation without
+  //    draining the delta; sequence and rotation are captured under one
+  //    mu_ hold, so every record <= sequence lives in a segment below
+  //    new_first and everything after it in new_first onwards.
+  DeltaHexastore::Snapshot snap;
+  std::uint64_t sequence = 0;
+  std::uint64_t new_first = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (only_if_stale &&
+        store_.CompactionCount() == last_compaction_count_) {
+      // Another trigger already covered this compaction.
+      return Status::OK();
+    }
+    last_compaction_count_ = store_.CompactionCount();
+    snap = store_.GetSnapshot();
+    sequence = last_sequence_;
+    auto rotated = wal_->Rotate();
+    if (!rotated.ok()) {
+      return rotated.status();
+    }
+    new_first = rotated.value();
+  }
+
+  // 2. Durable id-level snapshot (tmp + fsync + rename + dir fsync),
+  //    serialized from the pinned generation with no lock held —
+  //    writers keep appending throughout.
   const std::string snapshot_name = SnapshotFileName(sequence);
   std::ostringstream bytes;
-  if (Status s = SaveTripleSnapshot(store_.Match(IdPattern{}), bytes);
+  if (Status s = SaveTripleSnapshot(snap.Match(IdPattern{}), bytes);
       !s.ok()) {
     return s;
   }
@@ -337,29 +386,29 @@ Status DurableDeltaHexastore::CheckpointLocked(
     return s;
   }
 
-  // 3. Seal the log at the checkpoint: everything <= sequence lives in
-  //    the snapshot, new records go to a fresh segment.
-  auto rotated = wal_->Rotate();
-  if (!rotated.ok()) {
-    return rotated.status();
-  }
-  const std::uint64_t new_first = rotated.value();
-
-  // 4. Point the manifest at the new (snapshot, segment, sequence)
-  //    triple — the atomic commit of the checkpoint.
+  // 3. Point the manifest at the new (snapshot, segment, sequence)
+  //    triple — the atomic commit of the checkpoint. next_sequence only
+  //    grows, so reading it here (after more appends) stays a valid
+  //    recovery floor.
   WalManifest manifest;
   manifest.checkpoint_sequence = sequence;
   manifest.snapshot_file = snapshot_name;
   manifest.first_segment_id = new_first;
-  manifest.next_sequence = wal_->next_sequence();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    manifest.next_sequence = wal_->next_sequence();
+  }
   if (Status s = WriteWalManifest(options_.dir, manifest); !s.ok()) {
     return s;
   }
-  checkpoint_sequence_ = sequence;
-  first_live_segment_ = new_first;
-  ++checkpoints_;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    checkpoint_sequence_ = sequence;
+    first_live_segment_ = new_first;
+    ++checkpoints_;
+  }
 
-  // 5. Truncate obsolete files; a crash mid-prune only leaves garbage
+  // 4. Truncate obsolete files; a crash mid-prune only leaves garbage
   //    that the next checkpoint (or the first_segment_id filter) skips.
   if (auto segments = ListWalSegments(options_.dir); segments.ok()) {
     for (std::uint64_t id : segments.value()) {
@@ -376,6 +425,30 @@ Status DurableDeltaHexastore::CheckpointLocked(
     }
   }
   return Status::OK();
+}
+
+void DurableDeltaHexastore::CheckpointerLoop() {
+  std::unique_lock<std::mutex> lock(checkpoint_request_mu_);
+  while (true) {
+    checkpoint_cv_.wait(lock, [this] {
+      return stop_checkpointer_ || checkpoint_requested_;
+    });
+    if (checkpoint_requested_) {
+      checkpoint_requested_ = false;
+      lock.unlock();
+      if (Status s = RunCheckpoint(/*only_if_stale=*/true); !s.ok()) {
+        std::lock_guard<std::mutex> mu_lock(mu_);
+        if (io_status_.ok()) {
+          io_status_ = s;
+        }
+      }
+      lock.lock();
+      continue;  // drain any request that arrived while checkpointing
+    }
+    if (stop_checkpointer_) {
+      return;
+    }
+  }
 }
 
 Status DurableDeltaHexastore::Flush() {

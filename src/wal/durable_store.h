@@ -9,11 +9,18 @@
 //   3. commit per DurabilityMode — per-commit fsync is a group commit:
 //      concurrent writers share one fsync(2)
 //
-// Checkpoints ride the delta's own compaction cadence: when staging an
-// op drains the delta into the base, the store writes an id-level
-// snapshot (io/snapshot, "HXT1"), rotates to a fresh segment, points the
-// MANIFEST at the pair, and deletes the obsolete segments — so the WAL
-// never holds more than roughly one compaction threshold of records.
+// Checkpoints ride the delta's compaction cadence: when a compaction
+// completes, the store pins an immutable generation handle of the
+// current state (snapshot isolation, no drain required), rotates to a
+// fresh segment — the only step writers wait on — and then serializes
+// the id-level "HXT1" snapshot from the pinned generation *off the
+// store lock*: concurrent writers keep appending while the snapshot is
+// written, and with DurabilityOptions::background_checkpoints the whole
+// checkpoint runs on a dedicated thread so no writer pays for it at
+// all. The MANIFEST is pointed at the (snapshot, segment, sequence)
+// triple once the file is durable, and obsolete segments are deleted —
+// so the WAL never holds more than roughly one compaction threshold of
+// records.
 //
 // Recovery (Open) is deterministic: load the manifest's snapshot, replay
 // every live segment in order skipping records the snapshot covers,
@@ -23,14 +30,17 @@
 //
 // Reads (Contains/Scan/size/merged views) go straight to the inner
 // DeltaHexastore and never touch the log — durability does not tax the
-// read path.
+// read path. AcquireReadHandle() additionally exposes the inner store's
+// wait-free pinned-generation handle.
 #ifndef HEXASTORE_WAL_DURABLE_STORE_H_
 #define HEXASTORE_WAL_DURABLE_STORE_H_
 
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 
 #include "core/stats.h"
 #include "core/store_interface.h"
@@ -53,6 +63,14 @@ struct DurabilityOptions {
   std::size_t segment_bytes = 4u << 20;
   /// kBatched: unsynced bytes that trigger an fsync.
   std::size_t batch_bytes = 256u << 10;
+  /// Merge the inner store's sealed deltas on its compactor thread
+  /// instead of draining on the writer thread (see DeltaOptions).
+  bool background_compaction = false;
+  /// Run compaction-triggered checkpoints on a dedicated thread instead
+  /// of inline on the committing writer. (Even inline, only segment
+  /// rotation happens under the store lock; the snapshot itself is
+  /// always serialized from a pinned generation off the lock.)
+  bool background_checkpoints = false;
 };
 
 /// What recovery found in the WAL directory.
@@ -73,7 +91,7 @@ class DurableDeltaHexastore : public TripleStore {
 
   DurableDeltaHexastore(const DurableDeltaHexastore&) = delete;
   DurableDeltaHexastore& operator=(const DurableDeltaHexastore&) = delete;
-  /// Flushes the log tail (best effort) before closing.
+  /// Joins the checkpointer, then flushes the log tail (best effort).
   ~DurableDeltaHexastore() override;
 
   // -- TripleStore interface ----------------------------------------------
@@ -118,7 +136,8 @@ class DurableDeltaHexastore : public TripleStore {
 
   // -- Durability management ----------------------------------------------
 
-  /// Forces a checkpoint now: compact, snapshot, rotate, truncate.
+  /// Forces a checkpoint now: pin a generation, rotate, serialize the
+  /// snapshot off-lock, commit the manifest, prune.
   Status Checkpoint();
 
   /// Fsyncs everything appended so far (a durability barrier stronger
@@ -128,13 +147,20 @@ class DurableDeltaHexastore : public TripleStore {
   /// First WAL I/O error encountered, sticky; OK while healthy.
   Status status() const;
 
-  /// Snapshot-isolated read handle of the inner store.
+  /// Snapshot-isolated read handle of the inner store (linearizable).
   DeltaHexastore::Snapshot GetSnapshot() const {
     return store_.GetSnapshot();
   }
 
+  /// Wait-free pinned-generation handle of the inner store (may trail
+  /// the live store; see DeltaHexastore::AcquireReadHandle).
+  DeltaHexastore::Snapshot AcquireReadHandle() const {
+    return store_.AcquireReadHandle();
+  }
+
   const RecoveryInfo& recovery_info() const { return recovery_; }
   DeltaStats delta_stats() const { return store_.Stats(); }
+  EpochStats epoch_stats() const { return store_.EpochCounters(); }
   WalStats wal_stats() const;
   const DurabilityOptions& options() const { return options_; }
 
@@ -145,14 +171,23 @@ class DurableDeltaHexastore : public TripleStore {
 
  private:
   explicit DurableDeltaHexastore(const DurabilityOptions& options)
-      : options_(options), store_(options.compact_threshold) {}
+      : options_(options),
+        store_(DeltaOptions{options.compact_threshold,
+                            options.background_compaction}) {}
 
   // Post-append tail of every mutator: group commit outside mu_, then a
-  // checkpoint if the op tipped the delta into a compaction.
+  // checkpoint (inline or handed to the checkpointer) if a compaction
+  // completed since the last one.
   void FinishCommit(std::uint64_t sequence, bool need_checkpoint);
 
-  // Checkpoint body; mu_ held by `lock`.
-  Status CheckpointLocked(std::unique_lock<std::mutex>& lock);
+  // Full checkpoint body; takes checkpoint_mu_ (one checkpoint at a
+  // time) and mu_ only for the pin+rotate and manifest-commit steps.
+  // With `only_if_stale`, returns OK without work when no compaction
+  // completed since the last checkpoint (trigger dedupe).
+  Status RunCheckpoint(bool only_if_stale);
+
+  // Checkpointer-thread body (background_checkpoints mode).
+  void CheckpointerLoop();
 
   const DurabilityOptions options_;
 
@@ -167,6 +202,17 @@ class DurableDeltaHexastore : public TripleStore {
   std::uint64_t first_live_segment_ = 1;
   std::uint64_t last_compaction_count_ = 0;
   std::uint64_t checkpoints_ = 0;
+
+  // Serializes whole checkpoints against each other (writers are only
+  // ever blocked by the short mu_ sections inside).
+  std::mutex checkpoint_mu_;
+
+  // Background checkpointer (background_checkpoints mode).
+  std::thread checkpointer_;
+  std::mutex checkpoint_request_mu_;
+  std::condition_variable checkpoint_cv_;
+  bool checkpoint_requested_ = false;
+  bool stop_checkpointer_ = false;
 };
 
 }  // namespace hexastore

@@ -1,0 +1,448 @@
+// Epoch-reclamation and background-compaction stress tests.
+//
+// The contracts under test:
+//   * AcquireReadHandle() is wait-free and never touches the store
+//     mutex: reader threads keep answering from pinned generations while
+//     a writer churns and forces compaction after compaction.
+//   * A handle stays internally consistent (same answer on re-scan,
+//     size exact, membership agreeing with the scan) no matter how many
+//     generations are published, retired and reclaimed underneath it —
+//     including handles deliberately held across many compactions and a
+//     WAL checkpoint.
+//   * The merged store agrees with a std::set oracle through randomized
+//     churn in background-compaction mode (the churn oracle from
+//     churn_test, pointed at the concurrent machinery).
+//   * Pinned-generation BGP evaluation and merge joins answer from
+//     exactly one generation.
+//
+// These suites run in the TSan CI job; keep every cross-thread
+// interaction data-race-free by construction.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <deque>
+#include <filesystem>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "delta/delta_hexastore.h"
+#include "query/bgp.h"
+#include "query/merge_join.h"
+#include "util/rng.h"
+#include "wal/durable_store.h"
+
+namespace hexastore {
+namespace {
+
+IdTriple RandomTriple(Rng& rng, Id universe) {
+  return IdTriple{rng.UniformRange(1, universe),
+                  rng.UniformRange(1, universe),
+                  rng.UniformRange(1, universe)};
+}
+
+// Internal-consistency probe of one pinned handle: re-scan stability,
+// size bookkeeping, membership, and per-predicate scan agreement.
+// Returns the number of violations found.
+int CheckHandleConsistency(const DeltaHexastore::Snapshot& snap, Rng& rng) {
+  int failures = 0;
+  const IdTripleVec first = snap.Match(IdPattern{});
+  if (first.size() != snap.size()) {
+    ++failures;
+  }
+  const IdTripleVec second = snap.Match(IdPattern{});
+  if (second != first) {
+    ++failures;
+  }
+  for (int probe = 0; probe < 8 && !first.empty(); ++probe) {
+    if (!snap.Contains(first[rng.Uniform(first.size())])) {
+      ++failures;
+    }
+  }
+  const Id p = 1 + rng.Uniform(8);
+  std::size_t by_p = 0;
+  snap.Scan(IdPattern{0, p, 0}, [&by_p](const IdTriple&) { ++by_p; });
+  std::size_t expect = 0;
+  for (const IdTriple& t : first) {
+    expect += t.p == p ? 1 : 0;
+  }
+  if (by_p != expect) {
+    ++failures;
+  }
+  return failures;
+}
+
+// A handle pins its generation: the view must not move however many
+// compactions, publications and reclamations happen after it was taken.
+TEST(EpochStressTest, HandlesPinGenerationsAcrossCompactions) {
+  DeltaHexastore store(DeltaOptions{/*compact_threshold=*/32,
+                                    /*background_compaction=*/true});
+  for (Id i = 1; i <= 100; ++i) {
+    store.Insert({i, 1 + i % 5, i + 1});
+  }
+  store.Compact();
+  const DeltaHexastore::Snapshot pinned = store.GetSnapshot();
+  const IdTripleVec before = pinned.Match(IdPattern{});
+  ASSERT_EQ(before.size(), 100u);
+
+  // Churn through many more compactions.
+  for (Id i = 101; i <= 600; ++i) {
+    store.Insert({i, 1 + i % 5, i + 1});
+  }
+  for (Id i = 1; i <= 50; ++i) {
+    store.Erase({i, 1 + i % 5, i + 1});
+  }
+  store.Compact();
+  EXPECT_GT(store.CompactionCount(), 1u);
+
+  // The pinned handle still answers from its generation...
+  EXPECT_EQ(pinned.Match(IdPattern{}), before);
+  EXPECT_EQ(pinned.size(), 100u);
+  // ...while fresh handles see the new state.
+  EXPECT_EQ(store.GetSnapshot().size(), 550u);
+
+  const EpochStats epochs = store.EpochCounters();
+  EXPECT_GT(epochs.generations_published, 1u);
+  EXPECT_GT(epochs.generations_retired, 0u);
+  // Quiescent now: every retired generation's grace period has passed.
+  EXPECT_EQ(epochs.retire_queue_depth, 0u);
+  EXPECT_EQ(epochs.generations_retired, epochs.generations_reclaimed);
+}
+
+// AcquireReadHandle trails the live store by at most the unpublished
+// tail, and a snapshot publication catches it up exactly.
+TEST(EpochStressTest, AcquireReadHandleSeesLastPublishedGeneration) {
+  DeltaHexastore store(DeltaOptions{/*compact_threshold=*/1u << 20,
+                                    /*background_compaction=*/true});
+  // Nothing published yet: the wait-free handle is empty.
+  EXPECT_EQ(store.AcquireReadHandle().size(), 0u);
+  store.Insert({1, 2, 3});
+  EXPECT_EQ(store.AcquireReadHandle().size(), 0u);  // still unpublished
+  const DeltaHexastore::Snapshot snap = store.GetSnapshot();  // publishes
+  EXPECT_EQ(snap.size(), 1u);
+  EXPECT_EQ(store.AcquireReadHandle().size(), 1u);
+  EXPECT_TRUE(store.AcquireReadHandle().Contains({1, 2, 3}));
+}
+
+// Regression: a merge-completion publication excludes the staging
+// buffer when no snapshot exposed it — but it must NOT mark the store
+// clean, or the next GetSnapshot would return the published (stale)
+// generation and miss ops staged while the merge ran (and a WAL
+// checkpoint serialized from it would silently drop them).
+TEST(EpochStressTest, SnapshotCoversOpsStagedDuringMerge) {
+  DeltaHexastore store(DeltaOptions{/*compact_threshold=*/8,
+                                    /*background_compaction=*/true});
+  for (Id i = 1; i <= 8; ++i) {
+    store.Insert({i, 1, i});  // 8th op seals and wakes the merger
+  }
+  store.Insert({100, 2, 100});  // races the in-flight merge
+  while (store.CompactionCount() == 0) {
+    std::this_thread::yield();
+  }
+  const DeltaHexastore::Snapshot snap = store.GetSnapshot();
+  EXPECT_EQ(snap.size(), 9u);
+  EXPECT_TRUE(snap.Contains({100, 2, 100}));
+  // A wait-free handle acquired after the snapshot's publication must
+  // cover the raced op as well.
+  EXPECT_TRUE(store.AcquireReadHandle().Contains({100, 2, 100}));
+}
+
+// The churn oracle from churn_test, run against background compaction:
+// randomized Insert/Erase/ErasePattern/Clear with forced drains must
+// stay in lock-step with a std::set and pass the invariant checker.
+TEST(EpochStressTest, BackgroundChurnAgreesWithOracle) {
+  Rng rng(0xBEEFCAFE);
+  DeltaHexastore store(DeltaOptions{/*compact_threshold=*/48,
+                                    /*background_compaction=*/true});
+  std::set<IdTriple> oracle;
+  constexpr Id kUniverse = 12;
+
+  for (int batch = 0; batch < 40; ++batch) {
+    for (int op = 0; op < 60; ++op) {
+      const double dice = rng.NextDouble();
+      if (dice < 0.52) {
+        IdTriple t = RandomTriple(rng, kUniverse);
+        ASSERT_EQ(store.Insert(t), oracle.insert(t).second);
+      } else if (dice < 0.90) {
+        IdTriple t;
+        if (!oracle.empty() && rng.Bernoulli(0.5)) {
+          auto it = oracle.begin();
+          std::advance(it, rng.Uniform(oracle.size()));
+          t = *it;
+        } else {
+          t = RandomTriple(rng, kUniverse);
+        }
+        ASSERT_EQ(store.Erase(t), oracle.erase(t) > 0);
+      } else if (dice < 0.95) {
+        const Id p = rng.UniformRange(1, kUniverse);
+        std::size_t expected = 0;
+        for (auto it = oracle.begin(); it != oracle.end();) {
+          if (it->p == p) {
+            it = oracle.erase(it);
+            ++expected;
+          } else {
+            ++it;
+          }
+        }
+        ASSERT_EQ(store.ErasePattern(IdPattern{0, p, 0}), expected);
+      } else if (dice < 0.97) {
+        store.Clear();
+        oracle.clear();
+      } else {
+        store.Compact();
+      }
+    }
+    ASSERT_EQ(store.size(), oracle.size()) << "batch " << batch;
+    IdTripleVec scanned = store.Match(IdPattern{});
+    ASSERT_EQ(scanned, IdTripleVec(oracle.begin(), oracle.end()))
+        << "batch " << batch;
+    std::string err;
+    ASSERT_TRUE(store.CheckInvariants(&err)) << err;
+  }
+  store.Compact();
+  const DeltaStats stats = store.Stats();
+  EXPECT_TRUE(stats.background);
+  EXPECT_GT(stats.seals, 0u);
+  EXPECT_GT(stats.background_merges, 0u);
+}
+
+// The headline contract: reader threads holding generation handles
+// across many forced compactions never block on the store mutex and
+// never see a torn or moving view. Readers deliberately keep a window
+// of old handles alive (exercising the retire list) while the writer
+// drives hundreds of seals and merges; a final quiescent check compares
+// against the oracle built from the writer's return values.
+TEST(EpochStressTest, ReadersHoldHandlesAcrossForcedCompactions) {
+  DeltaHexastore store(DeltaOptions{/*compact_threshold=*/64,
+                                    /*background_compaction=*/true});
+  constexpr int kReaders = 4;
+  constexpr int kWriterOps = 8000;
+
+  std::atomic<bool> done{false};
+  std::atomic<int> failures{0};
+  std::atomic<std::uint64_t> handles_taken{0};
+
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&store, &done, &failures, &handles_taken, r] {
+      Rng rng(7000 + r);
+      // Held window: handles survive several compactions each.
+      std::deque<DeltaHexastore::Snapshot> held;
+      while (!done.load(std::memory_order_acquire)) {
+        held.push_back(store.AcquireReadHandle());
+        handles_taken.fetch_add(1, std::memory_order_relaxed);
+        if (held.size() > 8) {
+          held.pop_front();
+        }
+        // Check the freshest handle and one from deeper in the window
+        // (old enough to have been retired and survive only via its
+        // pin) — checking all eight every round would just repeat work.
+        failures.fetch_add(CheckHandleConsistency(held.back(), rng));
+        failures.fetch_add(
+            CheckHandleConsistency(held[rng.Uniform(held.size())], rng));
+        // Brief nap: the box running this may have fewer cores than
+        // threads, and spinning readers would starve the writer whose
+        // progress bounds the test's wall time.
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+      }
+    });
+  }
+
+  Rng rng(2026);
+  std::set<IdTriple> oracle;
+  for (int i = 0; i < kWriterOps; ++i) {
+    IdTriple t{1 + rng.Uniform(200), 1 + rng.Uniform(8),
+               1 + rng.Uniform(200)};
+    if (rng.Bernoulli(0.8)) {
+      ASSERT_EQ(store.Insert(t), oracle.insert(t).second);
+    } else {
+      ASSERT_EQ(store.Erase(t), oracle.erase(t) > 0);
+    }
+    if (i % 2000 == 1999) {
+      store.Compact();  // forced drain mid-churn
+    }
+  }
+  done.store(true, std::memory_order_release);
+  for (auto& th : readers) {
+    th.join();
+  }
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_GT(handles_taken.load(), 0u);
+  EXPECT_GT(store.CompactionCount(), 0u);
+
+  // Quiesce and verify against the oracle.
+  store.Compact();
+  const DeltaHexastore::Snapshot final_snap = store.GetSnapshot();
+  EXPECT_EQ(final_snap.Match(IdPattern{}),
+            IdTripleVec(oracle.begin(), oracle.end()));
+  std::string err;
+  EXPECT_TRUE(store.CheckInvariants(&err)) << err;
+
+  // All readers gone: reclamation has caught up with retirement.
+  const EpochStats epochs = store.EpochCounters();
+  EXPECT_GT(epochs.handles_acquired, 0u);
+  EXPECT_EQ(epochs.retire_queue_depth, 0u);
+  EXPECT_EQ(epochs.active_reader_sections, 0);
+}
+
+// Pinned-generation query plans: BGP evaluation and merge joins over a
+// handle answer from exactly one generation while the writer churns.
+TEST(EpochStressTest, PinnedQueriesAnswerFromOneGeneration) {
+  DeltaHexastore store(DeltaOptions{/*compact_threshold=*/32,
+                                    /*background_compaction=*/true});
+  Dictionary dict;
+  const Id p_knows = dict.Encode({Term::Iri("a"), Term::Iri("knows"),
+                                  Term::Iri("b")})
+                         .p;
+
+  std::atomic<bool> done{false};
+  std::atomic<int> failures{0};
+
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 3; ++r) {
+    readers.emplace_back([&store, &done, &failures, p_knows] {
+      while (!done.load(std::memory_order_acquire)) {
+        const DeltaHexastore::Snapshot snap = store.AcquireReadHandle();
+        // The joins and the direct scans must agree because they read
+        // the same pinned generation.
+        const IdVec joined = JoinSubjectsOfObjects(snap, 7, 9);
+        const IdVec left = snap.subjects_of_object(7);
+        const IdVec right = snap.subjects_of_object(9);
+        IdVec expect;
+        for (Id s : left) {
+          if (SortedContains(right, s)) {
+            expect.push_back(s);
+          }
+        }
+        if (joined != expect) {
+          failures.fetch_add(1);
+        }
+        // Chain join built from the same handle stays self-consistent.
+        const auto chain = JoinChain(snap, p_knows, p_knows);
+        for (const auto& [s, e] : chain) {
+          if (!snap.MatchesAny(IdPattern{s, p_knows, 0})) {
+            failures.fetch_add(1);
+          }
+          if (!snap.MatchesAny(IdPattern{0, p_knows, e})) {
+            failures.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+
+  Rng rng(99);
+  for (int i = 0; i < 12000; ++i) {
+    IdTriple t{1 + rng.Uniform(40), p_knows, 1 + rng.Uniform(40)};
+    if (rng.Bernoulli(0.7)) {
+      store.Insert(t);
+    } else {
+      store.Erase(t);
+    }
+  }
+  done.store(true, std::memory_order_release);
+  for (auto& th : readers) {
+    th.join();
+  }
+  EXPECT_EQ(failures.load(), 0);
+
+  // EvalBgpPinned plans and evaluates against a single generation; on a
+  // quiescent store it must agree with the live evaluation.
+  store.Compact();
+  const std::vector<TriplePattern> patterns = {
+      {PatternTerm::Variable("x"), PatternTerm::Bound(dict.term(p_knows)),
+       PatternTerm::Variable("y")}};
+  const ResultSet pinned = EvalBgpPinned(store, dict, patterns);
+  const ResultSet live = EvalBgp(store, dict, patterns);
+  EXPECT_EQ(pinned.rows.size(), live.rows.size());
+}
+
+// Readers hold handles across WAL checkpoints running on the
+// checkpointer thread while a writer churns through compactions; the
+// reopened store must recover exactly the writer's final state.
+TEST(EpochStressTest, HandlesSurviveCheckpointsAndRecovery) {
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() /
+      ("hexa-epoch-stress-" + std::to_string(::getpid()));
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+
+  DurabilityOptions options;
+  options.dir = dir.string();
+  options.mode = DurabilityMode::kNone;
+  // Each checkpoint pays several fsyncs; a mid-size threshold keeps the
+  // test to a handful of compaction-triggered checkpoints plus the two
+  // explicit ones below.
+  options.compact_threshold = 512;
+  options.background_compaction = true;
+  options.background_checkpoints = true;
+
+  std::set<IdTriple> oracle;
+  {
+    auto opened = DurableDeltaHexastore::Open(options);
+    ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+    DurableDeltaHexastore* store = opened.value().get();
+
+    std::atomic<bool> done{false};
+    std::atomic<int> failures{0};
+    std::vector<std::thread> readers;
+    for (int r = 0; r < 3; ++r) {
+      readers.emplace_back([store, &done, &failures, r] {
+        Rng rng(41 + r);
+        std::deque<DeltaHexastore::Snapshot> held;
+        while (!done.load(std::memory_order_acquire)) {
+          held.push_back(store->AcquireReadHandle());
+          if (held.size() > 4) {
+            held.pop_front();
+          }
+          failures.fetch_add(CheckHandleConsistency(held.back(), rng));
+          failures.fetch_add(
+              CheckHandleConsistency(held.front(), rng));
+          // Don't starve the writer on small machines (see above).
+          std::this_thread::sleep_for(std::chrono::microseconds(200));
+        }
+      });
+    }
+
+    Rng rng(0xD00D);
+    for (int i = 0; i < 4000; ++i) {
+      IdTriple t{1 + rng.Uniform(100), 1 + rng.Uniform(8),
+                 1 + rng.Uniform(100)};
+      if (rng.Bernoulli(0.75)) {
+        ASSERT_EQ(store->Insert(t), oracle.insert(t).second);
+      } else {
+        ASSERT_EQ(store->Erase(t), oracle.erase(t) > 0);
+      }
+      if (i % 1500 == 1499) {
+        ASSERT_TRUE(store->Checkpoint().ok());  // explicit, mid-churn
+      }
+    }
+    done.store(true, std::memory_order_release);
+    for (auto& th : readers) {
+      th.join();
+    }
+    EXPECT_EQ(failures.load(), 0);
+    ASSERT_TRUE(store->status().ok());
+    ASSERT_TRUE(store->Flush().ok());
+    const WalStats wal = store->wal_stats();
+    EXPECT_GT(wal.checkpoints, 0u);
+  }
+
+  auto reopened = DurableDeltaHexastore::Open(options);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ(reopened.value()->size(), oracle.size());
+  EXPECT_EQ(reopened.value()->Match(IdPattern{}),
+            IdTripleVec(oracle.begin(), oracle.end()));
+  std::string err;
+  EXPECT_TRUE(reopened.value()->CheckInvariants(&err)) << err;
+  std::filesystem::remove_all(dir, ec);
+}
+
+}  // namespace
+}  // namespace hexastore
