@@ -27,6 +27,12 @@
 // threshold boundary); in bg mode the buffer is sealed with two pointer
 // swaps and merged off-thread, so the worst op stays within a small
 // factor of the median — flat write latency through a drain.
+//
+// The level:{2,4,8} variants run the same loop with leveled deltas
+// (DeltaOptions::l0_run_limit): seals become L0 runs, runs fold into L1,
+// and only L1→base merges rebuild the base — bounding the worst sync
+// drain to the fold cost and keeping bg seals O(1) even when the
+// compactor is behind (the overflow is absorbed as extra runs).
 #include "bench_common.h"
 
 #include <unistd.h>
@@ -365,6 +371,23 @@ int Main(int argc, char** argv) {
     RegisterDrainLatency(
         BgDeltaLabel(n / 4), n,
         DeltaOptions{n / 4, /*background_compaction=*/true});
+    // Leveled series: the same per-op latency loop with sealed runs
+    // absorbing the drains (L0 → L1 → base, docs/delta-levels.md), at
+    // several L0 run limits. In sync mode the worst op pays an L0→L1
+    // fold (O(staged), not O(base)); in bg mode sealing into a run is
+    // two pointer swaps even while the compactor is busy, so the max
+    // stays within a small factor of the median and seal_overflows no
+    // longer tracks an unbounded buffer overshoot.
+    for (std::size_t limit : {std::size_t{2}, std::size_t{4},
+                              std::size_t{8}}) {
+      const std::string suffix = "/level:" + std::to_string(limit);
+      RegisterDrainLatency(
+          DeltaLabel(n / 4) + suffix + "/sync", n,
+          DeltaOptions{n / 4, /*background_compaction=*/false, limit});
+      RegisterDrainLatency(
+          BgDeltaLabel(n / 4) + suffix, n,
+          DeltaOptions{n / 4, /*background_compaction=*/true, limit});
+    }
   }
   // Durability tax: only the smaller size (per-commit mode pays one
   // fsync per op; keep wall-clock bounded).

@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Fails when any Markdown file in the repo contains a relative link to a
+# file that does not exist. External links (http/https/mailto) and pure
+# in-page anchors are skipped; a #fragment on a relative link is
+# stripped before the existence check. Run from anywhere inside the
+# repo; CI runs it in the lint job.
+set -u
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$root"
+
+broken=0
+files=0
+links=0
+checked_files=()
+
+while IFS= read -r md; do
+  files=$((files + 1))
+  checked_files+=("$md")
+  # Extract every inline link: [text](target). Image embeds
+  # (![alt](img), e.g. figures inside the extracted paper dumps) are
+  # not navigation and are skipped. Tolerates several links per line.
+  while IFS= read -r match; do
+    case "$match" in '!'*) continue ;; esac
+    target="${match#*](}"
+    target="${target%)}"
+    [ -n "$target" ] || continue
+    case "$target" in
+      http://*|https://*|mailto:*|\#*) continue ;;
+    esac
+    links=$((links + 1))
+    path="${target%%#*}"          # strip fragment
+    [ -n "$path" ] || continue
+    resolved="$(dirname "$md")/$path"
+    if [ ! -e "$resolved" ]; then
+      echo "BROKEN: $md -> $target" >&2
+      broken=$((broken + 1))
+    fi
+  done < <(grep -oE '!?\[[^]]*\]\([^)]*\)' "$md" 2>/dev/null)
+done < <(find . -name '*.md' \
+           -not -path './build*' -not -path './.git/*' | sort)
+
+echo "docs link check: $files markdown files, $links relative links, $broken broken"
+echo "docs file list:"
+printf '  %s\n' "${checked_files[@]}"
+
+[ "$broken" -eq 0 ]

@@ -34,6 +34,14 @@ std::string MemoryStats::ToString() const {
   return os.str();
 }
 
+double DeltaStats::WriteAmplification() const {
+  if (staged_ops_total == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(merge_run_ops + base_rebuild_triples) /
+         static_cast<double>(staged_ops_total);
+}
+
 std::string DeltaStats::ToString() const {
   std::ostringstream os;
   os << "DeltaHexastore delta layer:\n"
@@ -48,6 +56,16 @@ std::string DeltaStats::ToString() const {
        << " merges (" << merge_discards << " discarded), "
        << seal_overflows << " overflows, " << sealed_ops
        << " ops sealed now\n";
+  }
+  if (l0_run_limit > 0) {
+    os << "  levels: L0 " << l0_runs << " runs / " << l0_ops
+       << " ops (fold at " << l0_run_limit << "), L1 " << l1_ops
+       << " ops\n"
+       << "  merges: " << l0_merges << " L0->L1 folds, " << base_merges
+       << " base merges; write amplification "
+       << WriteAmplification() << " (" << merge_run_ops << " run ops + "
+       << base_rebuild_triples << " rebuilt triples over "
+       << staged_ops_total << " staged)\n";
   }
   return os.str();
 }

@@ -48,8 +48,26 @@ struct DeltaStats {
   std::uint64_t seals = 0;        ///< staging buffers sealed for merging
   std::uint64_t background_merges = 0;  ///< off-thread merges completed
   std::uint64_t merge_discards = 0;  ///< merges invalidated (Clear/BulkLoad)
-  std::uint64_t seal_overflows = 0;  ///< threshold hits while a merge ran
-  std::size_t sealed_ops = 0;     ///< ops in the currently sealed buffer
+  std::uint64_t seal_overflows = 0;  ///< threshold hits no level absorbed
+  std::size_t sealed_ops = 0;     ///< ops across the currently sealed runs
+
+  // Leveled-delta counters (see docs/delta-levels.md; the l0_*/l1_*
+  // fields are zero on a flat store, where every seal merges straight
+  // into the base).
+  std::size_t l0_run_limit = 0;  ///< runs triggering a fold (0 = flat)
+  std::size_t l0_runs = 0;       ///< sealed runs currently in L0
+  std::size_t l0_ops = 0;        ///< staged ops across the L0 runs
+  std::size_t l1_ops = 0;        ///< staged ops in the L1 run
+  std::uint64_t l0_merges = 0;   ///< L0→L1 folds completed
+  std::uint64_t base_merges = 0;  ///< merges drained into / rebuilt the base
+  std::uint64_t merge_run_ops = 0;  ///< ops written building folded runs
+  std::uint64_t base_rebuild_triples = 0;  ///< triples written by base merges
+  std::uint64_t staged_ops_total = 0;  ///< ops ever staged (write-amp denom)
+
+  /// Bytes-of-merge-work per staged op:
+  /// (merge_run_ops + base_rebuild_triples) / staged_ops_total. Leveling
+  /// exists to push this toward 1 + 1/l0_run_limit × (base rebuild share).
+  double WriteAmplification() const;
 
   /// Multi-line human-readable report.
   std::string ToString() const;

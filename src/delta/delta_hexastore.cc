@@ -5,111 +5,104 @@
 #include <utility>
 #include <vector>
 
+#include "delta/level.h"
+
 namespace hexastore {
 
 namespace {
 
-// One read view over the (up to) three layers of a DeltaHexastore. Any
-// member may be null; semantics are  layer(layer(base, sealed), active)
-// where each DeltaStore applies its tombstones and pattern erases to
-// everything beneath it and contributes its staged inserts.
+// One read view over the delta-layer chain of a DeltaHexastore: the base
+// plus `count` DeltaStore layers ordered bottom-up (L1, L0 oldest→
+// newest, active). Semantics are layer(…layer(base, layers[0])…,
+// layers[count-1]) where each DeltaStore applies its tombstones and
+// pattern erases to everything beneath it and contributes its staged
+// inserts.
 //
 // Raw pointers: the hot paths (every Insert/Erase/Contains) build one of
 // these per call under the store mutex, where the owners are guaranteed
 // alive — shared_ptr members would add refcount traffic to exactly the
 // write path this subsystem exists to keep flat. The accessor helpers
-// that hand out views outliving the call take LayerOwners instead.
+// that hand out views outliving the call take OverlayView instead.
 struct LayerRefs {
   const Hexastore* base = nullptr;
-  const DeltaStore* sealed = nullptr;
-  const DeltaStore* active = nullptr;
+  const DeltaStore* const* layers = nullptr;
+  std::size_t count = 0;
 };
+
+// The layers *beneath* the topmost one — what the staging invariants of
+// the active buffer are defined against.
+LayerRefs Beneath(const LayerRefs& v) {
+  return {v.base, v.layers, v.count == 0 ? 0 : v.count - 1};
+}
 
 // Shared-ownership variant for helpers whose result (a MergedList) must
-// keep its generation alive after the mutex is released.
-struct LayerOwners {
+// keep its generation alive after the mutex is released. `overlay` is
+// the sole delta layer when refs.count <= 1 (the zero-copy fast path);
+// with more layers the accessors materialize and own their ids.
+struct OverlayView {
   std::shared_ptr<const Hexastore> base;
-  std::shared_ptr<const DeltaStore> sealed;
-  std::shared_ptr<const DeltaStore> active;
+  std::shared_ptr<const DeltaStore> overlay;
+  LayerRefs refs;
 };
 
-LayerRefs Refs(const LayerOwners& v) {
-  return {v.base.get(), v.sealed.get(), v.active.get()};
-}
-
-DeltaStore::Presence LookupIn(const DeltaStore* layer, const IdTriple& t) {
-  return layer == nullptr ? DeltaStore::Presence::kUnknown
-                          : layer->Lookup(t);
-}
-
-// Merged membership test across the layers: the newest layer's verdict
+// Merged membership test across the chain: the newest layer's verdict
 // wins, the base answers only when no layer staged anything for `t`.
 bool LayeredContains(const LayerRefs& v, const IdTriple& t) {
-  switch (LookupIn(v.active, t)) {
-    case DeltaStore::Presence::kInserted:
-      return true;
-    case DeltaStore::Presence::kErased:
-      return false;
-    case DeltaStore::Presence::kUnknown:
-      break;
-  }
-  switch (LookupIn(v.sealed, t)) {
-    case DeltaStore::Presence::kInserted:
-      return true;
-    case DeltaStore::Presence::kErased:
-      return false;
-    case DeltaStore::Presence::kUnknown:
-      break;
+  for (std::size_t i = v.count; i-- > 0;) {
+    switch (v.layers[i]->Lookup(t)) {
+      case DeltaStore::Presence::kInserted:
+        return true;
+      case DeltaStore::Presence::kErased:
+        return false;
+      case DeltaStore::Presence::kUnknown:
+        break;
+    }
   }
   return v.base != nullptr && v.base->Contains(t);
 }
 
-// Membership in the layers *beneath* the active buffer (base ∪ sealed) —
-// the "base_present" the staging invariants are defined against.
-bool BeneathContains(const LayerRefs& v, const IdTriple& t) {
-  return LayeredContains({v.base, v.sealed, nullptr}, t);
-}
-
 // Merged pattern scan: base matches with every layer's point and pattern
 // tombstones filtered out (one hash probe per layer per emitted triple),
-// then each layer's staged inserts via bound-prefix range scans of its
-// sorted runs. A kInserted verdict from a layer above means that layer's
-// own insert scan emits the triple (a pattern-suppressed copy
-// re-inserted above), so lower copies are skipped — no duplicates.
+// then each layer's staged inserts bottom-up via bound-prefix range
+// scans of its sorted runs. A non-kUnknown verdict from a layer above
+// means that layer owns the triple's fate (its own insert scan emits a
+// re-staged copy), so lower copies are skipped — no duplicates.
 void LayeredScan(const LayerRefs& v, const IdPattern& pattern,
                  const TripleSink& sink) {
+  auto unknown_above = [&v](std::size_t from, const IdTriple& t) {
+    for (std::size_t i = from; i < v.count; ++i) {
+      if (v.layers[i]->Lookup(t) != DeltaStore::Presence::kUnknown) {
+        return false;
+      }
+    }
+    return true;
+  };
   if (v.base != nullptr) {
-    v.base->Scan(pattern, [&v, &sink](const IdTriple& t) {
-      if (LookupIn(v.sealed, t) == DeltaStore::Presence::kUnknown &&
-          LookupIn(v.active, t) == DeltaStore::Presence::kUnknown) {
+    v.base->Scan(pattern, [&](const IdTriple& t) {
+      if (unknown_above(0, t)) {
         sink(t);
       }
     });
   }
-  if (v.sealed != nullptr) {
-    v.sealed->ScanInserts(pattern, [&v, &sink](const IdTriple& t) {
-      if (LookupIn(v.active, t) == DeltaStore::Presence::kUnknown) {
+  for (std::size_t i = 0; i < v.count; ++i) {
+    v.layers[i]->ScanInserts(pattern, [&](const IdTriple& t) {
+      if (unknown_above(i + 1, t)) {
         sink(t);
       }
     });
-  }
-  if (v.active != nullptr) {
-    v.active->ScanInserts(pattern, sink);
   }
 }
 
-// Planner estimate across the layers: the base index count, then each
-// layer's adjustments — pattern erases (exact against the base's
-// per-predicate counts), point tombstones scaled by the pattern's
-// selectivity in the layer beneath, staged inserts counted exactly.
+// Planner estimate across the chain: the base index count, then each
+// layer's adjustments bottom-up — pattern erases (exact against the
+// base's per-predicate counts), point tombstones scaled by the pattern's
+// selectivity in the layers beneath, staged inserts counted exactly.
 std::uint64_t LayeredEstimate(const LayerRefs& v, const IdPattern& pattern) {
   std::uint64_t count =
       v.base == nullptr ? 0 : v.base->CountMatches(pattern);
   std::size_t beneath_size = v.base == nullptr ? 0 : v.base->size();
-  for (const DeltaStore* layer : {v.sealed, v.active}) {
-    if (layer == nullptr) {
-      continue;
-    }
+  for (std::size_t i = 0; i < v.count; ++i) {
+    const DeltaStore* layer = v.layers[i];
     if (layer->HasPatternErases()) {
       if (pattern.has_p()) {
         if (layer->PatternErased(pattern.p)) {
@@ -221,20 +214,21 @@ IdVec MergedHeaderVec(const Hexastore* base, const DeltaStore* delta,
   return out;
 }
 
-// Materialized terminal-list fallback for three-layer views (only taken
-// while a background merge is in flight): scan the bound pair and
-// collect the third role. The result vector is owned by the returned
-// MergedList, so nothing points into the sealed layer.
-MergedList MaterializedList(const LayerOwners& v, const IdPattern& pattern,
+// Materialized terminal-list fallback for multi-layer views (taken
+// whenever sealed runs exist under the active buffer): scan the bound
+// pair and collect the third role. The result vector is owned by the
+// returned MergedList, so nothing points into any run.
+MergedList MaterializedList(const OverlayView& v, const IdPattern& pattern,
                             Id IdTriple::*third) {
   auto owned = std::make_shared<IdVec>();
-  LayeredScan(Refs(v), pattern,
-              [&owned, third](const IdTriple& t) { owned->push_back(t.*third); });
+  LayeredScan(v.refs, pattern, [&owned, third](const IdTriple& t) {
+    owned->push_back(t.*third);
+  });
   SortUnique(owned.get());
-  return MergedList(v.base, v.active, std::move(owned), nullptr, nullptr);
+  return MergedList(nullptr, nullptr, std::move(owned), nullptr, nullptr);
 }
 
-// Materialized header-vector fallback for three-layer views: scan the
+// Materialized header-vector fallback for multi-layer views: scan the
 // single bound role and collect the distinct values of `member`.
 IdVec MaterializedHeaderVec(const LayerRefs& v, const IdPattern& pattern,
                             Id IdTriple::*member) {
@@ -245,14 +239,16 @@ IdVec MaterializedHeaderVec(const LayerRefs& v, const IdPattern& pattern,
   return out;
 }
 
-// -- Two-layer (base + active) accessor bodies ----------------------------
-// The zero-copy fast paths, valid whenever no sealed layer exists.
+// -- Single-overlay (base + one layer) accessor bodies --------------------
+// The zero-copy fast paths, valid whenever at most one delta layer
+// exists (v.overlay — usually the active buffer; for a generation whose
+// only layer is an L1 run, that run).
 
-MergedList LayeredObjects(const LayerOwners& v, Id s, Id p) {
-  if (v.sealed != nullptr) {
+MergedList LayeredObjects(const OverlayView& v, Id s, Id p) {
+  if (v.refs.count > 1) {
     return MaterializedList(v, IdPattern{s, p, 0}, &IdTriple::o);
   }
-  const DeltaStore* delta = v.active.get();
+  const DeltaStore* delta = v.overlay.get();
   const DeltaList* lists =
       delta == nullptr ? nullptr : delta->FindLists(ListFamily::kObjects, s, p);
   const IdVec* adds = lists == nullptr ? nullptr : &lists->adds;
@@ -261,18 +257,18 @@ MergedList LayeredObjects(const LayerOwners& v, Id s, Id p) {
   if (delta != nullptr && delta->PatternErased(p)) {
     // The whole base o(s,p) list is pattern-tombstoned; only staged
     // (re-)inserts survive. Point removes cannot exist for this p.
-    return MergedList(v.base, v.active, static_cast<const IdVec*>(nullptr),
+    return MergedList(v.base, v.overlay, static_cast<const IdVec*>(nullptr),
                       adds, nullptr);
   }
-  return MergedList(v.base, v.active, base_list, adds,
+  return MergedList(v.base, v.overlay, base_list, adds,
                     lists == nullptr ? nullptr : &lists->removes);
 }
 
-MergedList LayeredPredicates(const LayerOwners& v, Id s, Id o) {
-  if (v.sealed != nullptr) {
+MergedList LayeredPredicates(const OverlayView& v, Id s, Id o) {
+  if (v.refs.count > 1) {
     return MaterializedList(v, IdPattern{s, 0, o}, &IdTriple::p);
   }
-  const DeltaStore* delta = v.active.get();
+  const DeltaStore* delta = v.overlay.get();
   const DeltaList* lists =
       delta == nullptr ? nullptr
                        : delta->FindLists(ListFamily::kPredicates, s, o);
@@ -290,16 +286,16 @@ MergedList LayeredPredicates(const LayerOwners& v, Id s, Id o) {
         filtered->push_back(p);
       }
     }
-    return MergedList(v.base, v.active, std::move(filtered), adds, removes);
+    return MergedList(v.base, v.overlay, std::move(filtered), adds, removes);
   }
-  return MergedList(v.base, v.active, base_list, adds, removes);
+  return MergedList(v.base, v.overlay, base_list, adds, removes);
 }
 
-MergedList LayeredSubjects(const LayerOwners& v, Id p, Id o) {
-  if (v.sealed != nullptr) {
+MergedList LayeredSubjects(const OverlayView& v, Id p, Id o) {
+  if (v.refs.count > 1) {
     return MaterializedList(v, IdPattern{0, p, o}, &IdTriple::s);
   }
-  const DeltaStore* delta = v.active.get();
+  const DeltaStore* delta = v.overlay.get();
   const DeltaList* lists =
       delta == nullptr ? nullptr
                        : delta->FindLists(ListFamily::kSubjects, p, o);
@@ -307,18 +303,18 @@ MergedList LayeredSubjects(const LayerOwners& v, Id p, Id o) {
   const IdVec* base_list =
       v.base == nullptr ? nullptr : v.base->subjects(p, o);
   if (delta != nullptr && delta->PatternErased(p)) {
-    return MergedList(v.base, v.active, static_cast<const IdVec*>(nullptr),
+    return MergedList(v.base, v.overlay, static_cast<const IdVec*>(nullptr),
                       adds, nullptr);
   }
-  return MergedList(v.base, v.active, base_list, adds,
+  return MergedList(v.base, v.overlay, base_list, adds,
                     lists == nullptr ? nullptr : &lists->removes);
 }
 
 IdVec LayeredPredicatesOfSubject(const LayerRefs& v, Id s) {
-  if (v.sealed != nullptr) {
+  if (v.count > 1) {
     return MaterializedHeaderVec(v, IdPattern{s, 0, 0}, &IdTriple::p);
   }
-  const DeltaStore* delta = v.active;
+  const DeltaStore* delta = v.count == 1 ? v.layers[0] : nullptr;
   return MergedHeaderVec(
       v.base, delta, ListFamily::kObjects, /*match_a=*/true, s,
       v.base == nullptr ? nullptr : v.base->predicates_of_subject(s),
@@ -326,10 +322,10 @@ IdVec LayeredPredicatesOfSubject(const LayerRefs& v, Id s) {
 }
 
 IdVec LayeredObjectsOfSubject(const LayerRefs& v, Id s) {
-  if (v.sealed != nullptr) {
+  if (v.count > 1) {
     return MaterializedHeaderVec(v, IdPattern{s, 0, 0}, &IdTriple::o);
   }
-  const DeltaStore* delta = v.active;
+  const DeltaStore* delta = v.count == 1 ? v.layers[0] : nullptr;
   const Hexastore* base = v.base;
   return MergedHeaderVec(
       base, delta, ListFamily::kPredicates, /*match_a=*/true, s,
@@ -341,10 +337,10 @@ IdVec LayeredObjectsOfSubject(const LayerRefs& v, Id s) {
 }
 
 IdVec LayeredSubjectsOfPredicate(const LayerRefs& v, Id p) {
-  if (v.sealed != nullptr) {
+  if (v.count > 1) {
     return MaterializedHeaderVec(v, IdPattern{0, p, 0}, &IdTriple::s);
   }
-  const DeltaStore* delta = v.active;
+  const DeltaStore* delta = v.count == 1 ? v.layers[0] : nullptr;
   const bool erased = delta != nullptr && delta->PatternErased(p);
   return MergedHeaderVec(
       v.base, delta, ListFamily::kObjects, /*match_a=*/false, p,
@@ -353,10 +349,10 @@ IdVec LayeredSubjectsOfPredicate(const LayerRefs& v, Id p) {
 }
 
 IdVec LayeredObjectsOfPredicate(const LayerRefs& v, Id p) {
-  if (v.sealed != nullptr) {
+  if (v.count > 1) {
     return MaterializedHeaderVec(v, IdPattern{0, p, 0}, &IdTriple::o);
   }
-  const DeltaStore* delta = v.active;
+  const DeltaStore* delta = v.count == 1 ? v.layers[0] : nullptr;
   const bool erased = delta != nullptr && delta->PatternErased(p);
   return MergedHeaderVec(
       v.base, delta, ListFamily::kSubjects, /*match_a=*/true, p,
@@ -365,10 +361,10 @@ IdVec LayeredObjectsOfPredicate(const LayerRefs& v, Id p) {
 }
 
 IdVec LayeredSubjectsOfObject(const LayerRefs& v, Id o) {
-  if (v.sealed != nullptr) {
+  if (v.count > 1) {
     return MaterializedHeaderVec(v, IdPattern{0, 0, o}, &IdTriple::s);
   }
-  const DeltaStore* delta = v.active;
+  const DeltaStore* delta = v.count == 1 ? v.layers[0] : nullptr;
   const Hexastore* base = v.base;
   return MergedHeaderVec(
       base, delta, ListFamily::kPredicates, /*match_a=*/false, o,
@@ -380,27 +376,27 @@ IdVec LayeredSubjectsOfObject(const LayerRefs& v, Id o) {
 }
 
 IdVec LayeredPredicatesOfObject(const LayerRefs& v, Id o) {
-  if (v.sealed != nullptr) {
+  if (v.count > 1) {
     return MaterializedHeaderVec(v, IdPattern{0, 0, o}, &IdTriple::p);
   }
-  const DeltaStore* delta = v.active;
+  const DeltaStore* delta = v.count == 1 ? v.layers[0] : nullptr;
   return MergedHeaderVec(
       v.base, delta, ListFamily::kSubjects, /*match_a=*/false, o,
       v.base == nullptr ? nullptr : v.base->predicates_of_object(o),
       [delta](Id p) { return !delta->PatternErased(p); });
 }
 
-// Off-thread merge of a sealed layer into a base: materializes
+// Off-thread merge of one delta run into a base: materializes
 // base ∖ pattern-erased ∖ tombstones ∪ inserts into a fresh store. Reads
-// only immutable state and the sealed layer's pure (non-caching)
-// accessors, so it is safe to run without the store mutex while mutex
-// readers lazily build the sealed layer's caches.
+// only immutable state and the run's pure (non-caching) accessors, so it
+// is safe to run without the store mutex while mutex readers lazily
+// build the run's caches.
 std::shared_ptr<Hexastore> MergeOffline(const Hexastore* base,
-                                        const DeltaStore& sealed) {
+                                        const DeltaStore& run) {
   IdTripleVec merged;
-  const IdTripleVec tombstones = sealed.SortedTombstones();
-  const IdTripleVec inserts = sealed.SortedInserts();
-  const IdVec& erased_preds = sealed.pattern_erased_predicates();
+  const IdTripleVec tombstones = run.SortedTombstones();
+  const IdTripleVec inserts = run.SortedInserts();
+  const IdVec& erased_preds = run.pattern_erased_predicates();
   if (base != nullptr) {
     // Match() materializes in (s, p, o) order, so the tombstone cursor
     // advances in lock-step.
@@ -430,6 +426,36 @@ std::shared_ptr<Hexastore> MergeOffline(const Hexastore* base,
   return fresh;
 }
 
+// The sole delta layer's shared owner within a generation, for the
+// zero-copy accessor fast path; null when the chain is empty or has
+// more than one layer.
+std::shared_ptr<const DeltaStore> SoleLayerOwner(const DeltaGeneration& gen) {
+  if (gen.chain.size() != 1) {
+    return nullptr;
+  }
+  const DeltaStore* sole = gen.chain[0];
+  if (gen.active.get() == sole) {
+    return gen.active;
+  }
+  if (gen.levels.l1.get() == sole) {
+    return gen.levels.l1;
+  }
+  for (const auto& run : gen.levels.l0) {
+    if (run.get() == sole) {
+      return run;
+    }
+  }
+  return nullptr;
+}
+
+LayerRefs GenRefs(const DeltaGeneration& gen) {
+  return {gen.base.get(), gen.chain.data(), gen.chain.size()};
+}
+
+OverlayView GenView(const DeltaGeneration& gen) {
+  return {gen.base, SoleLayerOwner(gen), GenRefs(gen)};
+}
+
 }  // namespace
 
 DeltaHexastore::DeltaHexastore(std::size_t compact_threshold)
@@ -440,8 +466,14 @@ DeltaHexastore::DeltaHexastore(const DeltaOptions& options)
       delta_(std::make_shared<DeltaStore>()),
       compact_threshold_(
           options.compact_threshold == 0 ? 1 : options.compact_threshold),
-      background_(options.background_compaction) {
+      background_(options.background_compaction),
+      l0_run_limit_(options.l0_run_limit),
+      l1_base_fraction_(std::max(0.0, options.l1_base_fraction)) {
+  RebuildChainLocked();
   if (background_) {
+    // The compactor drains reclaimed generations off the mutex, so
+    // freeing a superseded base or folded run never stalls writers.
+    gate_.set_deferred_reclaim(true);
     merger_ = std::thread(&DeltaHexastore::MergerLoop, this);
   }
 }
@@ -457,11 +489,18 @@ DeltaHexastore::~DeltaHexastore() {
   }
 }
 
+void DeltaHexastore::RebuildChainLocked() {
+  chain_.clear();
+  levels_.AppendBottomUp(&chain_);
+  chain_.push_back(delta_.get());
+}
+
 bool DeltaHexastore::Insert(const IdTriple& t) {
   std::lock_guard<std::mutex> lock(mu_);
+  const LayerRefs refs{base_.get(), chain_.data(), chain_.size()};
   // Read-only no-op check first: a duplicate insert must not pay the
   // copy-on-write clone an exposed delta would otherwise trigger.
-  const bool beneath = BeneathContains({base_.get(), sealed_.get(), nullptr}, t);
+  const bool beneath = LayeredContains(Beneath(refs), t);
   const DeltaStore::Presence staged = delta_->Lookup(t);
   if (staged == DeltaStore::Presence::kInserted ||
       (staged == DeltaStore::Presence::kUnknown && beneath)) {
@@ -470,6 +509,7 @@ bool DeltaHexastore::Insert(const IdTriple& t) {
   EnsureDeltaWritableLocked();
   delta_->StageInsert(t, beneath);
   ++size_;
+  ++staged_ops_total_;
   dirty_ = true;
   MaybeCompactLocked();
   return true;
@@ -477,7 +517,8 @@ bool DeltaHexastore::Insert(const IdTriple& t) {
 
 bool DeltaHexastore::Erase(const IdTriple& t) {
   std::lock_guard<std::mutex> lock(mu_);
-  const bool beneath = BeneathContains({base_.get(), sealed_.get(), nullptr}, t);
+  const LayerRefs refs{base_.get(), chain_.data(), chain_.size()};
+  const bool beneath = LayeredContains(Beneath(refs), t);
   const DeltaStore::Presence staged = delta_->Lookup(t);
   if (staged == DeltaStore::Presence::kErased ||
       (staged == DeltaStore::Presence::kUnknown && !beneath)) {
@@ -486,6 +527,7 @@ bool DeltaHexastore::Erase(const IdTriple& t) {
   EnsureDeltaWritableLocked();
   delta_->StageErase(t, beneath);
   --size_;
+  ++staged_ops_total_;
   dirty_ = true;
   MaybeCompactLocked();
   return true;
@@ -493,7 +535,7 @@ bool DeltaHexastore::Erase(const IdTriple& t) {
 
 bool DeltaHexastore::Contains(const IdTriple& t) const {
   std::lock_guard<std::mutex> lock(mu_);
-  return LayeredContains({base_.get(), sealed_.get(), delta_.get()}, t);
+  return LayeredContains({base_.get(), chain_.data(), chain_.size()}, t);
 }
 
 std::size_t DeltaHexastore::size() const {
@@ -510,7 +552,7 @@ void DeltaHexastore::Scan(const IdPattern& pattern,
   IdTripleVec matches;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    LayeredScan({base_.get(), sealed_.get(), delta_.get()}, pattern,
+    LayeredScan({base_.get(), chain_.data(), chain_.size()}, pattern,
                 [&matches](const IdTriple& t) { matches.push_back(t); });
   }
   for (const IdTriple& t : matches) {
@@ -521,7 +563,7 @@ void DeltaHexastore::Scan(const IdPattern& pattern,
 std::size_t DeltaHexastore::MemoryBytes() const {
   std::lock_guard<std::mutex> lock(mu_);
   return base_->MemoryBytes() + delta_->MemoryBytes() +
-         (sealed_ == nullptr ? 0 : sealed_->MemoryBytes());
+         levels_.MemoryBytes();
 }
 
 void DeltaHexastore::BulkLoad(const IdTripleVec& triples) {
@@ -537,6 +579,7 @@ void DeltaHexastore::BulkLoad(const IdTripleVec& triples) {
   }
   base_->BulkLoad(triples);
   size_ = base_->size();
+  levels_size_ = size_;
   ++epoch_;
   dirty_ = true;
   if (background_) {
@@ -553,7 +596,8 @@ void DeltaHexastore::ClearLocked() {
   // Invalidate any in-flight merge: its inputs are gone, its result must
   // be discarded at commit time.
   ++merge_ticket_;
-  sealed_.reset();
+  levels_.clear();
+  drain_requested_ = false;
   if (base_exposed_) {
     base_ = std::make_shared<Hexastore>();
     base_exposed_ = false;
@@ -566,8 +610,10 @@ void DeltaHexastore::ClearLocked() {
   } else {
     delta_->Clear();
   }
+  RebuildChainLocked();
   published_active_ops_ = 0;
   size_ = 0;
+  levels_size_ = 0;
   ++epoch_;
   dirty_ = true;
   if (background_) {
@@ -585,7 +631,24 @@ std::size_t DeltaHexastore::ErasePattern(const IdPattern& pattern) {
     return erased;
   }
   if (pattern.has_p() && !pattern.has_s() && !pattern.has_o()) {
-    // Predicate-only: one pattern-level tombstone instead of one point
+    if (leveled()) {
+      // Leveled fast path: ONE merged scan counts the pattern's logical
+      // matches across every layer (O(matches + log)), then one pattern
+      // tombstone staged in the active buffer suppresses matching
+      // triples in every run and the base alike — no level is drained
+      // and the compactor is never waited on.
+      std::size_t matches = 0;
+      LayeredScan({base_.get(), chain_.data(), chain_.size()},
+                  IdPattern{0, pattern.p, 0},
+                  [&matches](const IdTriple&) { ++matches; });
+      EnsureDeltaWritableLocked();
+      delta_->StagePatternErase(pattern.p);
+      ++staged_ops_total_;
+      size_ -= matches;
+      dirty_ = true;
+      return matches;
+    }
+    // Flat fast path: one pattern-level tombstone instead of one point
     // tombstone per match. Its exact erase count is defined against the
     // merged base, so an in-flight background merge is drained first
     // (bulk erases are rare; point ops never wait).
@@ -598,6 +661,7 @@ std::size_t DeltaHexastore::ErasePattern(const IdPattern& pattern) {
     EnsureDeltaWritableLocked();
     const DeltaStore::PatternEraseEffect effect =
         delta_->StagePatternErase(pattern.p);
+    ++staged_ops_total_;
     // Base triples already point-tombstoned were logically absent, and
     // dropped staged inserts were logically present on top of the base.
     const std::size_t erased =
@@ -608,16 +672,20 @@ std::size_t DeltaHexastore::ErasePattern(const IdPattern& pattern) {
     return erased;
   }
   // General shape: the point-tombstone path, one staged op per match.
+  const LayerRefs refs{base_.get(), chain_.data(), chain_.size()};
   IdTripleVec matches;
-  LayeredScan({base_.get(), sealed_.get(), delta_.get()}, pattern,
+  LayeredScan(refs, pattern,
               [&matches](const IdTriple& t) { matches.push_back(t); });
   if (matches.empty()) {
     return 0;
   }
   EnsureDeltaWritableLocked();
   for (const IdTriple& t : matches) {
-    delta_->StageErase(t, BeneathContains({base_.get(), sealed_.get(), nullptr}, t));
+    delta_->StageErase(
+        t, LayeredContains({base_.get(), chain_.data(), chain_.size() - 1},
+                           t));
   }
+  staged_ops_total_ += matches.size();
   size_ -= matches.size();
   dirty_ = true;
   MaybeCompactLocked();
@@ -626,7 +694,8 @@ std::size_t DeltaHexastore::ErasePattern(const IdPattern& pattern) {
 
 std::uint64_t DeltaHexastore::EstimateMatches(const IdPattern& pattern) const {
   std::lock_guard<std::mutex> lock(mu_);
-  return LayeredEstimate({base_.get(), sealed_.get(), delta_.get()}, pattern);
+  return LayeredEstimate({base_.get(), chain_.data(), chain_.size()},
+                         pattern);
 }
 
 void DeltaHexastore::Compact() {
@@ -635,25 +704,45 @@ void DeltaHexastore::Compact() {
     CompactLocked();
     return;
   }
-  // Drain what is staged *now* — at most the in-flight merge plus one
-  // seal of the current buffer. Bounded on purpose: waiting for
-  // delta_->empty() would chase ops concurrent writers keep staging and
-  // might never return under sustained load.
-  if (sealed_ != nullptr) {
-    AwaitOneMergeLocked(lock);
+  if (!leveled()) {
+    // Drain what is staged *now* — at most the in-flight merge plus one
+    // seal of the current buffer. Bounded on purpose: waiting for
+    // delta_->empty() would chase ops concurrent writers keep staging
+    // and might never return under sustained load.
+    if (!levels_.empty()) {
+      AwaitOneMergeLocked(lock);
+    }
+    if (levels_.empty() && !delta_->empty()) {
+      SealLocked();
+    }
+    if (!levels_.empty()) {
+      AwaitOneMergeLocked(lock);
+    }
+    return;
   }
-  if (sealed_ == nullptr && !delta_->empty()) {
+  // Leveled: seal the buffer and ask the compactor to merge all the way
+  // down to the base. Each wait completes one merge, so the loop makes
+  // global progress; under sustained concurrent writes it may chase new
+  // seals (same caveat as above, accepted for the explicit-drain path).
+  if (!delta_->empty()) {
     SealLocked();
   }
-  if (sealed_ != nullptr) {
+  const std::uint64_t ticket = merge_ticket_;
+  while (!levels_.empty() && merge_ticket_ == ticket) {
+    drain_requested_ = true;
+    work_cv_.notify_one();
     AwaitOneMergeLocked(lock);
   }
+  // Done (or the inputs were wiped): don't leave a stale full-depth
+  // drain request behind — it would turn the next routine seal into an
+  // immediate fold + base rebuild. A concurrent Compact still in its
+  // loop simply re-sets the flag on its next iteration.
+  drain_requested_ = false;
 }
 
 std::size_t DeltaHexastore::StagedOps() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return delta_->op_count() +
-         (sealed_ == nullptr ? 0 : sealed_->op_count());
+  return delta_->op_count() + levels_.op_count();
 }
 
 std::uint64_t DeltaHexastore::CompactionCount() const {
@@ -672,14 +761,22 @@ DeltaStats DeltaHexastore::Stats() const {
   stats.epoch = epoch_;
   stats.base_triples = base_->size();
   stats.base_bytes = base_->MemoryBytes();
-  stats.delta_bytes = delta_->MemoryBytes() +
-                      (sealed_ == nullptr ? 0 : sealed_->MemoryBytes());
+  stats.delta_bytes = delta_->MemoryBytes() + levels_.MemoryBytes();
   stats.background = background_;
   stats.seals = seals_;
   stats.background_merges = background_merges_;
   stats.merge_discards = merge_discards_;
   stats.seal_overflows = seal_overflows_;
-  stats.sealed_ops = sealed_ == nullptr ? 0 : sealed_->op_count();
+  stats.sealed_ops = levels_.op_count();
+  stats.l0_run_limit = l0_run_limit_;
+  stats.l0_runs = levels_.l0.size();
+  stats.l0_ops = levels_.l0_op_count();
+  stats.l1_ops = levels_.l1 == nullptr ? 0 : levels_.l1->op_count();
+  stats.l0_merges = l0_merges_;
+  stats.base_merges = base_merges_;
+  stats.merge_run_ops = merge_run_ops_;
+  stats.base_rebuild_triples = base_rebuild_triples_;
+  stats.staged_ops_total = staged_ops_total_;
   return stats;
 }
 
@@ -704,7 +801,7 @@ bool DeltaHexastore::Snapshot::Contains(const IdTriple& t) const {
   if (gen_ == nullptr) {
     return false;
   }
-  return LayeredContains({gen_->base.get(), gen_->sealed.get(), gen_->active.get()}, t);
+  return LayeredContains(GenRefs(*gen_), t);
 }
 
 std::size_t DeltaHexastore::Snapshot::size() const {
@@ -716,7 +813,7 @@ void DeltaHexastore::Snapshot::Scan(const IdPattern& pattern,
   if (gen_ == nullptr) {
     return;
   }
-  LayeredScan({gen_->base.get(), gen_->sealed.get(), gen_->active.get()}, pattern, sink);
+  LayeredScan(GenRefs(*gen_), pattern, sink);
 }
 
 std::size_t DeltaHexastore::Snapshot::MemoryBytes() const {
@@ -724,7 +821,7 @@ std::size_t DeltaHexastore::Snapshot::MemoryBytes() const {
     return 0;
   }
   std::size_t bytes = gen_->base == nullptr ? 0 : gen_->base->MemoryBytes();
-  bytes += gen_->sealed == nullptr ? 0 : gen_->sealed->MemoryBytes();
+  bytes += gen_->levels.MemoryBytes();
   bytes += gen_->active == nullptr ? 0 : gen_->active->MemoryBytes();
   return bytes;
 }
@@ -734,7 +831,7 @@ std::uint64_t DeltaHexastore::Snapshot::EstimateMatches(
   if (gen_ == nullptr) {
     return 0;
   }
-  return LayeredEstimate({gen_->base.get(), gen_->sealed.get(), gen_->active.get()}, pattern);
+  return LayeredEstimate(GenRefs(*gen_), pattern);
 }
 
 std::uint64_t DeltaHexastore::Snapshot::epoch() const {
@@ -745,67 +842,63 @@ MergedList DeltaHexastore::Snapshot::objects(Id s, Id p) const {
   if (gen_ == nullptr) {
     return MergedList();
   }
-  return LayeredObjects({gen_->base, gen_->sealed, gen_->active}, s, p);
+  return LayeredObjects(GenView(*gen_), s, p);
 }
 
 MergedList DeltaHexastore::Snapshot::predicates(Id s, Id o) const {
   if (gen_ == nullptr) {
     return MergedList();
   }
-  return LayeredPredicates({gen_->base, gen_->sealed, gen_->active}, s, o);
+  return LayeredPredicates(GenView(*gen_), s, o);
 }
 
 MergedList DeltaHexastore::Snapshot::subjects(Id p, Id o) const {
   if (gen_ == nullptr) {
     return MergedList();
   }
-  return LayeredSubjects({gen_->base, gen_->sealed, gen_->active}, p, o);
+  return LayeredSubjects(GenView(*gen_), p, o);
 }
 
 IdVec DeltaHexastore::Snapshot::predicates_of_subject(Id s) const {
   if (gen_ == nullptr) {
     return IdVec();
   }
-  return LayeredPredicatesOfSubject({gen_->base.get(), gen_->sealed.get(), gen_->active.get()},
-                                    s);
+  return LayeredPredicatesOfSubject(GenRefs(*gen_), s);
 }
 
 IdVec DeltaHexastore::Snapshot::objects_of_subject(Id s) const {
   if (gen_ == nullptr) {
     return IdVec();
   }
-  return LayeredObjectsOfSubject({gen_->base.get(), gen_->sealed.get(), gen_->active.get()}, s);
+  return LayeredObjectsOfSubject(GenRefs(*gen_), s);
 }
 
 IdVec DeltaHexastore::Snapshot::subjects_of_predicate(Id p) const {
   if (gen_ == nullptr) {
     return IdVec();
   }
-  return LayeredSubjectsOfPredicate({gen_->base.get(), gen_->sealed.get(), gen_->active.get()},
-                                    p);
+  return LayeredSubjectsOfPredicate(GenRefs(*gen_), p);
 }
 
 IdVec DeltaHexastore::Snapshot::objects_of_predicate(Id p) const {
   if (gen_ == nullptr) {
     return IdVec();
   }
-  return LayeredObjectsOfPredicate({gen_->base.get(), gen_->sealed.get(), gen_->active.get()},
-                                   p);
+  return LayeredObjectsOfPredicate(GenRefs(*gen_), p);
 }
 
 IdVec DeltaHexastore::Snapshot::subjects_of_object(Id o) const {
   if (gen_ == nullptr) {
     return IdVec();
   }
-  return LayeredSubjectsOfObject({gen_->base.get(), gen_->sealed.get(), gen_->active.get()}, o);
+  return LayeredSubjectsOfObject(GenRefs(*gen_), o);
 }
 
 IdVec DeltaHexastore::Snapshot::predicates_of_object(Id o) const {
   if (gen_ == nullptr) {
     return IdVec();
   }
-  return LayeredPredicatesOfObject({gen_->base.get(), gen_->sealed.get(), gen_->active.get()},
-                                   o);
+  return LayeredPredicatesOfObject(GenRefs(*gen_), o);
 }
 
 // -- Live merged accessor views -------------------------------------------
@@ -813,49 +906,58 @@ IdVec DeltaHexastore::Snapshot::predicates_of_object(Id o) const {
 MergedList DeltaHexastore::objects(Id s, Id p) const {
   std::lock_guard<std::mutex> lock(mu_);
   ExposeLocked();
-  return LayeredObjects({base_, sealed_, delta_}, s, p);
+  return LayeredObjects(
+      {base_, delta_, {base_.get(), chain_.data(), chain_.size()}}, s, p);
 }
 
 MergedList DeltaHexastore::predicates(Id s, Id o) const {
   std::lock_guard<std::mutex> lock(mu_);
   ExposeLocked();
-  return LayeredPredicates({base_, sealed_, delta_}, s, o);
+  return LayeredPredicates(
+      {base_, delta_, {base_.get(), chain_.data(), chain_.size()}}, s, o);
 }
 
 MergedList DeltaHexastore::subjects(Id p, Id o) const {
   std::lock_guard<std::mutex> lock(mu_);
   ExposeLocked();
-  return LayeredSubjects({base_, sealed_, delta_}, p, o);
+  return LayeredSubjects(
+      {base_, delta_, {base_.get(), chain_.data(), chain_.size()}}, p, o);
 }
 
 IdVec DeltaHexastore::predicates_of_subject(Id s) const {
   std::lock_guard<std::mutex> lock(mu_);
-  return LayeredPredicatesOfSubject({base_.get(), sealed_.get(), delta_.get()}, s);
+  return LayeredPredicatesOfSubject(
+      {base_.get(), chain_.data(), chain_.size()}, s);
 }
 
 IdVec DeltaHexastore::objects_of_subject(Id s) const {
   std::lock_guard<std::mutex> lock(mu_);
-  return LayeredObjectsOfSubject({base_.get(), sealed_.get(), delta_.get()}, s);
+  return LayeredObjectsOfSubject(
+      {base_.get(), chain_.data(), chain_.size()}, s);
 }
 
 IdVec DeltaHexastore::subjects_of_predicate(Id p) const {
   std::lock_guard<std::mutex> lock(mu_);
-  return LayeredSubjectsOfPredicate({base_.get(), sealed_.get(), delta_.get()}, p);
+  return LayeredSubjectsOfPredicate(
+      {base_.get(), chain_.data(), chain_.size()}, p);
 }
 
 IdVec DeltaHexastore::objects_of_predicate(Id p) const {
   std::lock_guard<std::mutex> lock(mu_);
-  return LayeredObjectsOfPredicate({base_.get(), sealed_.get(), delta_.get()}, p);
+  return LayeredObjectsOfPredicate(
+      {base_.get(), chain_.data(), chain_.size()}, p);
 }
 
 IdVec DeltaHexastore::subjects_of_object(Id o) const {
   std::lock_guard<std::mutex> lock(mu_);
-  return LayeredSubjectsOfObject({base_.get(), sealed_.get(), delta_.get()}, o);
+  return LayeredSubjectsOfObject(
+      {base_.get(), chain_.data(), chain_.size()}, o);
 }
 
 IdVec DeltaHexastore::predicates_of_object(Id o) const {
   std::lock_guard<std::mutex> lock(mu_);
-  return LayeredPredicatesOfObject({base_.get(), sealed_.get(), delta_.get()}, o);
+  return LayeredPredicatesOfObject(
+      {base_.get(), chain_.data(), chain_.size()}, o);
 }
 
 std::shared_ptr<const Hexastore> DeltaHexastore::base() const {
@@ -877,40 +979,40 @@ bool DeltaHexastore::CheckInvariants(std::string* error) const {
   if (!base_->CheckInvariants(error)) {
     return false;
   }
-  // Per-layer contract: staged inserts are disjoint from the layers
-  // beneath, tombstones are a subset of them, and every op is mirrored
-  // in all three side-list families of its own layer.
-  struct LayerCheck {
-    const DeltaStore* layer;
-    LayerRefs beneath;  // the layers beneath `layer`
-    const char* label;
-  };
-  std::vector<LayerCheck> checks;
-  if (sealed_ != nullptr) {
-    checks.push_back({sealed_.get(), {base_.get(), nullptr, nullptr}, "sealed"});
-  }
-  checks.push_back({delta_.get(), {base_.get(), sealed_.get(), nullptr}, "active"});
-  for (const LayerCheck& check : checks) {
-    const DeltaStore* layer = check.layer;
+  // Per-layer contract, bottom-up: staged inserts are disjoint from the
+  // layers beneath, tombstones are a subset of them, and every op is
+  // mirrored in all three side-list families of its own layer.
+  const std::size_t l1_count = levels_.l1 == nullptr ? 0 : 1;
+  for (std::size_t li = 0; li < chain_.size(); ++li) {
+    const DeltaStore* layer = chain_[li];
+    const LayerRefs beneath{base_.get(), chain_.data(), li};
+    std::string label;
+    if (li < l1_count) {
+      label = "L1";
+    } else if (li + 1 < chain_.size()) {
+      label = "L0 run #" + std::to_string(li - l1_count);
+    } else {
+      label = "active";
+    }
     bool ok = true;
     std::string msg;
     layer->ForEachOp([&](const IdTriple& t, DeltaOp op) {
       if (!ok) {
         return;
       }
-      const bool beneath = BeneathContains(check.beneath, t);
-      if (op == DeltaOp::kInsert && beneath && !layer->PatternErased(t.p)) {
+      const bool beneath_present = LayeredContains(beneath, t);
+      if (op == DeltaOp::kInsert && beneath_present &&
+          !layer->PatternErased(t.p)) {
         // (Adds may coincide with a beneath triple only when the pattern
         // tombstone suppresses the lower copy.)
         ok = false;
-        msg = std::string(check.label) +
-              ": staged insert already present beneath";
+        msg = label + ": staged insert already present beneath";
         return;
       }
       if (op == DeltaOp::kTombstone &&
-          (!beneath || layer->PatternErased(t.p))) {
+          (!beneath_present || layer->PatternErased(t.p))) {
         ok = false;
-        msg = std::string(check.label) +
+        msg = label +
               ": tombstone absent beneath or subsumed by a pattern erase";
         return;
       }
@@ -927,8 +1029,7 @@ bool DeltaHexastore::CheckInvariants(std::string* error) const {
       };
       if (!in(objects, t.o) || !in(predicates, t.p) || !in(subjects, t.s)) {
         ok = false;
-        msg = std::string(check.label) +
-              ": staged op missing from a delta side list";
+        msg = label + ": staged op missing from a delta side list";
       }
     });
     if (!ok) {
@@ -946,7 +1047,7 @@ bool DeltaHexastore::CheckInvariants(std::string* error) const {
       if (adds != layer->insert_count() ||
           removes != layer->tombstone_count()) {
         std::ostringstream os;
-        os << check.label << ": delta side-list family " << f << " totals ("
+        os << label << ": delta side-list family " << f << " totals ("
            << adds << ", " << removes << ") disagree with op counters ("
            << layer->insert_count() << ", " << layer->tombstone_count()
            << ")";
@@ -957,7 +1058,7 @@ bool DeltaHexastore::CheckInvariants(std::string* error) const {
   // Size bookkeeping: the full merged scan must see exactly size_
   // triples (this also exercises the cross-layer tombstone math).
   std::size_t merged_size = 0;
-  LayeredScan({base_.get(), sealed_.get(), delta_.get()}, IdPattern{},
+  LayeredScan({base_.get(), chain_.data(), chain_.size()}, IdPattern{},
               [&merged_size](const IdTriple&) { ++merged_size; });
   if (merged_size != size_) {
     std::ostringstream os;
@@ -973,20 +1074,21 @@ void DeltaHexastore::PublishLocked(std::size_t logical_size,
                                    bool include_active) const {
   auto gen = std::make_shared<DeltaGeneration>();
   gen->base = base_;
-  gen->sealed = sealed_;
-  if (sealed_ != nullptr) {
-    // Pre-build the sealed layer's lazy caches: lock-free readers must
-    // never trigger a cache build on shared state. (The background
-    // merger only uses pure accessors, so this cannot race with it.)
-    sealed_->Freeze();
-  }
+  gen->levels = levels_;
+  // No cache pre-building here: a run's lazy read caches are built
+  // on first use under DeltaStore's internal cache mutex, so lock-free
+  // readers of the published generation are safe — and publication
+  // stays O(runs) instead of paying an O(run size) freeze under mu_.
   if (include_active && !delta_->empty()) {
-    delta_->Freeze();
     gen->active = delta_;
     delta_exposed_ = true;
     published_active_ops_ = delta_->op_count();
   } else {
     published_active_ops_ = 0;
+  }
+  gen->levels.AppendBottomUp(&gen->chain);
+  if (gen->active != nullptr) {
+    gen->chain.push_back(gen->active.get());
   }
   gen->size = logical_size;
   gen->epoch = epoch_;
@@ -1014,6 +1116,7 @@ void DeltaHexastore::EnsureDeltaWritableLocked() {
   if (delta_exposed_) {
     delta_ = std::make_shared<DeltaStore>(*delta_);
     delta_exposed_ = false;
+    chain_.back() = delta_.get();
   }
 }
 
@@ -1021,11 +1124,37 @@ void DeltaHexastore::MaybeCompactLocked() {
   if (delta_->op_count() < compact_threshold_) {
     return;
   }
+  if (leveled()) {
+    if (levels_.l0.size() >= l0_run_limit_) {
+      // The compactor (or the fold below) is behind; the run is still
+      // absorbed — this only marks that L0 grew past its limit.
+      ++seal_overflows_;
+    }
+    SealLocked();
+    if (background_) {
+      return;  // the compactor folds and merges from here
+    }
+    // Synchronous leveling: fold on this thread when L0 is full, and
+    // pay the base rebuild only when L1 has earned it.
+    if (levels_.l0.size() >= l0_run_limit_) {
+      FoldLocked();
+    }
+    if (L1MergeDueLocked()) {
+      ApplyRunToBaseLocked(*levels_.l1);
+      levels_.l1.reset();
+      ++base_merges_;
+      ++compactions_;
+      ++epoch_;
+      dirty_ = true;
+      RebuildChainLocked();
+    }
+    return;
+  }
   if (!background_) {
     CompactLocked();
     return;
   }
-  if (sealed_ != nullptr) {
+  if (!levels_.empty()) {
     // A merge is still in flight; keep staging (the buffer may overshoot
     // the threshold) rather than stall the writer.
     ++seal_overflows_;
@@ -1035,21 +1164,95 @@ void DeltaHexastore::MaybeCompactLocked() {
 }
 
 void DeltaHexastore::SealLocked() {
-  // Two pointer swaps: the open buffer becomes the immutable sealed
-  // layer, writers get a fresh one. No publication and no cache build —
-  // mutex readers reach the sealed layer under mu_, and lock-free
-  // readers keep the previous generation until the merge completes.
-  sealed_ = std::move(delta_);
+  // Two pointer swaps: the open buffer becomes the newest immutable L0
+  // run, writers get a fresh one. No publication and no cache build —
+  // mutex readers reach the sealed runs under mu_, and lock-free
+  // readers keep the previous generation until the next publication.
+  levels_.l0.push_back(std::move(delta_));
   delta_ = std::make_shared<DeltaStore>();
   delta_exposed_ = false;
   published_active_ops_ = 0;
+  levels_size_ = size_;
   ++seals_;
   dirty_ = true;
+  RebuildChainLocked();
   work_cv_.notify_one();
 }
 
+void DeltaHexastore::FoldLocked() {
+  std::uint64_t fold_ops = 0;
+  levels_.l1 = FoldRuns(levels_.l1, levels_.l0, &fold_ops);
+  levels_.l0.clear();
+  merge_run_ops_ += fold_ops;
+  ++l0_merges_;
+  ++compactions_;
+  ++epoch_;
+  dirty_ = true;
+  RebuildChainLocked();
+}
+
+bool DeltaHexastore::L1MergeDueLocked() const {
+  if (levels_.l1 == nullptr) {
+    return false;
+  }
+  const std::size_t fraction = static_cast<std::size_t>(
+      l1_base_fraction_ * static_cast<double>(base_->size()));
+  return levels_.l1->op_count() >= std::max(compact_threshold_, fraction);
+}
+
+bool DeltaHexastore::HasCompactorWorkLocked() const {
+  if (levels_.empty()) {
+    return false;
+  }
+  if (!leveled()) {
+    return true;  // flat: the single sealed run is always mergeable
+  }
+  if (!levels_.l0.empty() &&
+      (levels_.l0.size() >= l0_run_limit_ || drain_requested_)) {
+    return true;
+  }
+  return levels_.l1 != nullptr && (L1MergeDueLocked() || drain_requested_);
+}
+
+void DeltaHexastore::ApplyRunToBaseLocked(const DeltaStore& run) {
+  if (!base_exposed_) {
+    // The base never escaped the mutex: drain in place. Pattern
+    // tombstones purge their base matches first (this is where the bulk
+    // erase finally pays O(matches), amortized into the drain), then the
+    // point tombstones (each an O(log + shift) point erase), then one
+    // sorted merge of the staged inserts through the non-empty BulkLoad
+    // path.
+    for (Id p : run.pattern_erased_predicates()) {
+      for (const IdTriple& t : base_->Match(IdPattern{0, p, 0})) {
+        base_->Erase(t);
+      }
+    }
+    for (const IdTriple& t : run.SortedTombstones()) {
+      base_->Erase(t);
+    }
+    base_->BulkLoad(run.SortedInserts());
+    base_rebuild_triples_ += run.op_count();
+  } else {
+    // A generation may still read the base: rebuild the merged state
+    // into a fresh store and swap, leaving the old one untouched for
+    // its readers.
+    base_ = MergeOffline(base_.get(), run);
+    base_exposed_ = false;
+    base_rebuild_triples_ += base_->size();
+  }
+}
+
 void DeltaHexastore::WaitForMergeLocked(std::unique_lock<std::mutex>& lock) {
-  drain_cv_.wait(lock, [this] { return sealed_ == nullptr; });
+  if (!background_) {
+    return;  // no compactor; sync callers collapse the levels inline
+  }
+  drain_requested_ = true;  // leveled compactor: merge all the way down
+  work_cv_.notify_one();
+  drain_cv_.wait(lock, [this] { return levels_.empty(); });
+  // The hierarchy is empty: the request is satisfied. Leaving the flag
+  // set would make the compactor treat the very next seal as a
+  // full-depth drain and pay a spurious base rebuild.
+  drain_requested_ = false;
 }
 
 void DeltaHexastore::AwaitOneMergeLocked(std::unique_lock<std::mutex>& lock) {
@@ -1064,65 +1267,128 @@ void DeltaHexastore::AwaitOneMergeLocked(std::unique_lock<std::mutex>& lock) {
 }
 
 void DeltaHexastore::CompactLocked() {
-  // Synchronous drain; callers ensure no sealed layer is pending.
-  if (delta_->empty()) {
+  // Synchronous full drain: collapse the whole hierarchy (L1, L0 runs,
+  // active) into the base. Background callers first wait for the
+  // compactor (WaitForMergeLocked), so levels are normally empty there;
+  // the ticket bump invalidates any merge that still races this.
+  if (delta_->empty() && levels_.empty()) {
     return;
   }
-  if (!base_exposed_) {
-    // The base never escaped the mutex: drain in place. Pattern
-    // tombstones purge their base matches first (this is where the bulk
-    // erase finally pays O(matches), amortized into the drain), then the
-    // point tombstones (each an O(log + shift) point erase), then one
-    // sorted merge of the staged inserts through the non-empty BulkLoad
-    // path.
-    for (Id p : delta_->pattern_erased_predicates()) {
-      for (const IdTriple& t : base_->Match(IdPattern{0, p, 0})) {
-        base_->Erase(t);
-      }
-    }
-    for (const IdTriple& t : delta_->SortedTombstones()) {
-      base_->Erase(t);
-    }
-    base_->BulkLoad(delta_->SortedInserts());
+  ++merge_ticket_;
+  std::shared_ptr<const DeltaStore> all;
+  if (levels_.empty()) {
+    all = delta_;
   } else {
-    // A generation may still read the base: rebuild the merged state
-    // into a fresh store and swap, leaving the old one untouched for
-    // its readers.
-    base_ = MergeOffline(base_.get(), *delta_);
-    base_exposed_ = false;
+    std::uint64_t fold_ops = 0;
+    std::shared_ptr<const DeltaStore> folded =
+        FoldRuns(levels_.l1, levels_.l0, &fold_ops);
+    if (!delta_->empty()) {
+      std::shared_ptr<DeltaStore> merged =
+          MergeDeltaLayers(*folded, *delta_);
+      fold_ops += merged->op_count();
+      folded = std::move(merged);
+    }
+    merge_run_ops_ += fold_ops;
+    all = std::move(folded);
   }
+  ApplyRunToBaseLocked(*all);
+  levels_.clear();
+  drain_requested_ = false;
   if (delta_exposed_) {
     delta_ = std::make_shared<DeltaStore>();
     delta_exposed_ = false;
   } else {
     delta_->Clear();
   }
+  RebuildChainLocked();
   published_active_ops_ = 0;
   ++compactions_;
+  ++base_merges_;
   ++epoch_;
   size_ = base_->size();
+  levels_size_ = size_;
   dirty_ = true;
+  drain_cv_.notify_all();
 }
 
 void DeltaHexastore::MergerLoop() {
   std::unique_lock<std::mutex> lock(mu_);
   while (true) {
-    work_cv_.wait(lock, [this] { return stop_ || sealed_ != nullptr; });
+    work_cv_.wait(lock, [this] { return stop_ || HasCompactorWorkLocked(); });
     if (stop_) {
       return;
     }
-    // Pin the inputs, then merge without the mutex: the sealed layer is
-    // closed to writers, and marking the base exposed here keeps it
-    // immutable too — a concurrent Clear() must swap in a fresh object
-    // rather than clearing the one this thread is scanning.
+    const std::uint64_t ticket = merge_ticket_;
+    const bool fold_job =
+        leveled() && !levels_.l0.empty() &&
+        (levels_.l0.size() >= l0_run_limit_ || drain_requested_);
+    if (fold_job) {
+      // Fold every current L0 run (+ the L1 run) into a fresh L1 run,
+      // off the mutex: the runs are frozen and the fold reads them only
+      // through pure accessors.
+      std::shared_ptr<const DeltaStore> l1 = levels_.l1;
+      std::vector<std::shared_ptr<const DeltaStore>> runs = levels_.l0;
+      lock.unlock();
+      std::uint64_t fold_ops = 0;
+      std::shared_ptr<const DeltaStore> folded =
+          FoldRuns(l1, runs, &fold_ops);
+      // Pre-build the folded run's lazy read caches while it is still
+      // thread-private: the post-commit publish freezes every run under
+      // mu_, and paying an O(L1) cache build there would stall writers
+      // for the whole fold size.
+      folded->Freeze();
+      lock.lock();
+      if (ticket != merge_ticket_) {
+        // Clear/BulkLoad/CompactLocked replaced the inputs mid-fold.
+        ++merge_discards_;
+        drain_cv_.notify_all();
+        continue;
+      }
+      // Writers may have sealed more runs meanwhile; they are strictly
+      // newer than every consumed run, so drop exactly the consumed
+      // oldest prefix.
+      levels_.l0.erase(levels_.l0.begin(),
+                       levels_.l0.begin() +
+                           static_cast<std::ptrdiff_t>(runs.size()));
+      levels_.l1 = std::move(folded);
+      merge_run_ops_ += fold_ops;
+      ++l0_merges_;
+      ++compactions_;
+      ++epoch_;
+      dirty_ = true;
+      RebuildChainLocked();
+      const bool include_active = published_active_ops_ > 0;
+      PublishLocked(include_active ? size_ : levels_size_, include_active);
+      drain_cv_.notify_all();
+      // Destroy superseded generations and this fold's input references
+      // outside the mutex: freeing a large run under mu_ would stall
+      // writers for the whole teardown.
+      auto garbage = gate_.TakeReclaimed();
+      lock.unlock();
+      garbage.clear();
+      runs.clear();
+      l1.reset();
+      lock.lock();
+      continue;
+    }
+    // Base merge: the single sealed run (flat) or the L1 run (leveled).
+    std::shared_ptr<const DeltaStore> input =
+        leveled() ? levels_.l1
+                  : (levels_.l0.empty() ? nullptr : levels_.l0.front());
+    if (input == nullptr) {
+      drain_requested_ = false;
+      continue;
+    }
+    // Pin the inputs, then merge without the mutex: the run is closed to
+    // writers, and marking the base exposed here keeps it immutable
+    // too — a concurrent Clear() must swap in a fresh object rather than
+    // clearing the one this thread is scanning.
     base_exposed_ = true;
     std::shared_ptr<const Hexastore> base = base_;
-    std::shared_ptr<const DeltaStore> sealed = sealed_;
-    const std::uint64_t ticket = merge_ticket_;
     lock.unlock();
-    std::shared_ptr<Hexastore> fresh = MergeOffline(base.get(), *sealed);
+    std::shared_ptr<Hexastore> fresh = MergeOffline(base.get(), *input);
     lock.lock();
-    if (ticket != merge_ticket_ || sealed_ != sealed) {
+    if (ticket != merge_ticket_) {
       // Clear/BulkLoad replaced the inputs mid-merge; the result
       // describes a state that no longer exists.
       ++merge_discards_;
@@ -1130,18 +1396,37 @@ void DeltaHexastore::MergerLoop() {
       continue;
     }
     base_ = std::move(fresh);
-    sealed_.reset();
+    if (leveled()) {
+      levels_.l1.reset();
+    } else {
+      levels_.l0.clear();
+      levels_size_ = base_->size();
+    }
+    if (levels_.empty()) {
+      drain_requested_ = false;
+    }
+    base_rebuild_triples_ += base_->size();
     ++compactions_;
     ++background_merges_;
+    ++base_merges_;
     ++epoch_;
     dirty_ = true;
+    RebuildChainLocked();
     // Publish the post-merge generation so lock-free readers advance.
     // The staging buffer is re-included only if a previous publication
     // exposed it — dropping it would make published views non-monotonic;
     // including it otherwise would force a needless copy-on-write.
     const bool include_active = published_active_ops_ > 0;
-    PublishLocked(include_active ? size_ : base_->size(), include_active);
+    PublishLocked(include_active ? size_ : levels_size_, include_active);
     drain_cv_.notify_all();
+    // As in the fold branch: drop the old base, the merged run and any
+    // reclaimed generations without holding the mutex.
+    auto garbage = gate_.TakeReclaimed();
+    lock.unlock();
+    garbage.clear();
+    base.reset();
+    input.reset();
+    lock.lock();
   }
 }
 

@@ -1,27 +1,37 @@
-// DeltaHexastore: an LSM-style update-friendly TripleStore layering a
-// hash-backed DeltaStore (staged inserts + tombstones) over a base
+// DeltaHexastore: an LSM-style update-friendly TripleStore layering
+// hash-backed DeltaStore runs (staged inserts + tombstones) over a base
 // Hexastore.
 //
-// Write path: Insert/Erase stage O(1)-ish edits in the delta instead of
-// mutating all six sorted views of the base (the §4.2 update deficiency).
-// Once the number of staged operations reaches `compact_threshold`, the
-// delta is drained into the base in one sorted BulkLoad-style merge —
-// either synchronously on the writer thread (the default), or, with
-// DeltaOptions::background_compaction, by sealing the full buffer as an
-// immutable generation layer and merging it on a dedicated compactor
-// thread while writers keep staging into a fresh buffer. Sealing is two
-// pointer swaps, so write latency stays flat through a drain.
+// Write path: Insert/Erase stage O(1)-ish edits in the active delta
+// instead of mutating all six sorted views of the base (the §4.2 update
+// deficiency). What happens when the buffer reaches
+// `DeltaOptions::compact_threshold` depends on the configuration:
+//
+//   * flat, synchronous (the default): the buffer drains into the base
+//     in one sorted BulkLoad-style merge on the writer thread.
+//   * flat, background: the buffer is sealed (two pointer swaps) and a
+//     dedicated compactor thread merges it into a fresh base while
+//     writers keep staging into a new buffer.
+//   * leveled (`l0_run_limit > 0`, either mode): the sealed buffer
+//     becomes an immutable **L0 run** and nothing merges yet. Once
+//     `l0_run_limit` runs accumulate they fold into a single **L1 run**
+//     (cost proportional to the staged ops), and only when L1 reaches
+//     `l1_base_fraction` of the base does the expensive L1→base merge
+//     rebuild the permutation indexes — so drain cost is bounded and
+//     write amplification drops with the run limit (see
+//     docs/delta-levels.md for the full policy).
 //
 // Read path: Contains, Scan and the merged accessor views always expose
-// the consistent union  base ∪ sealed-edits ∪ staged-edits  (each layer
-// applying its tombstones to everything beneath it). Accessor views come
-// back as MergedList so merge joins keep their linear-merge guarantee
-// mid-delta.
+// the consistent union across the whole chain
+//   active ▷ L0 runs (newest first) ▷ L1 ▷ base
+// with each layer applying its point and pattern tombstones to
+// everything beneath it. Accessor views come back as MergedList so merge
+// joins keep their linear-merge guarantee mid-delta.
 //
 // Concurrent reads: two kinds of handle, both materialized as Snapshot.
 //
 //   * GetSnapshot() — linearizable: takes the store mutex briefly,
-//     freezes and publishes the current {base, sealed, active}
+//     freezes and publishes the current {base, levels, active}
 //     generation, and returns a handle to exactly the current contents.
 //   * AcquireReadHandle() — wait-free: returns the most recently
 //     *published* generation through an RCU-style epoch-protected
@@ -33,9 +43,12 @@
 //
 // Either handle pins its generation for its whole lifetime — a BGP
 // evaluated against a Snapshot (it is a read-only TripleStore) plans and
-// joins against one frozen view no matter how many compactions complete
+// joins against one frozen view no matter how many merges complete
 // meanwhile — and never blocks writers: superseded generations go onto
 // the gate's retire list and are reclaimed after a grace period.
+//
+// docs/architecture.md maps this subsystem into the whole system;
+// docs/delta-levels.md specifies the verdict chain and merge policy.
 #ifndef HEXASTORE_DELTA_DELTA_HEXASTORE_H_
 #define HEXASTORE_DELTA_DELTA_HEXASTORE_H_
 
@@ -46,12 +59,14 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "core/hexastore.h"
 #include "core/stats.h"
 #include "core/store_interface.h"
 #include "delta/delta_store.h"
 #include "delta/generation.h"
+#include "delta/level.h"
 #include "delta/merged_list.h"
 #include "rdf/triple.h"
 #include "util/common.h"
@@ -64,14 +79,29 @@ inline constexpr std::size_t kDeltaCompactThresholdDefault = 64 * 1024;
 
 /// Construction-time configuration of a DeltaHexastore.
 struct DeltaOptions {
-  /// Staged operations that trigger a drain (seal, in background mode).
+  /// Staged operations that trigger a drain (a seal, in background or
+  /// leveled mode).
   std::size_t compact_threshold = kDeltaCompactThresholdDefault;
-  /// Merge sealed generations on a dedicated compactor thread instead of
+  /// Merge sealed runs on a dedicated compactor thread instead of
   /// draining on the writer thread at the threshold.
   bool background_compaction = false;
+  /// Leveled deltas: number of sealed L0 runs that triggers an L0→L1
+  /// fold. 0 disables leveling (every seal merges straight into the
+  /// base, the pre-level behavior).
+  std::size_t l0_run_limit = 0;
+  /// Leveled deltas: L1 merges into the base once its op count reaches
+  /// this fraction of the base size (but never before it holds at least
+  /// one compact_threshold of ops).
+  double l1_base_fraction = 0.25;
 };
 
-/// Update-optimized Hexastore with a staging delta and tombstones.
+/// Update-optimized Hexastore with a staging delta, leveled sealed runs
+/// and tombstones.
+///
+/// Thread-safety: every public member is safe to call from any thread.
+/// Mutators serialize on an internal mutex; reads through Snapshot
+/// handles never block writers. Blocking behavior is called out per
+/// member below.
 class DeltaHexastore : public TripleStore {
  public:
   /// Default number of staged operations that triggers auto-compaction.
@@ -92,62 +122,75 @@ class DeltaHexastore : public TripleStore {
   // -- TripleStore interface ----------------------------------------------
 
   /// Stages the insert in the delta; auto-compacts (or seals, in
-  /// background mode) at the threshold.
+  /// background/leveled mode) at the threshold. O(1) except at a
+  /// synchronous drain boundary.
   bool Insert(const IdTriple& t) override;
-  /// Stages a tombstone (or cancels a staged insert).
+  /// Stages a tombstone (or cancels a staged insert). Same cost model as
+  /// Insert.
   bool Erase(const IdTriple& t) override;
+  /// Merged membership test: the newest layer's verdict wins. Never
+  /// blocks on merges.
   bool Contains(const IdTriple& t) const override;
   std::size_t size() const override;
-  /// Emits the merged view: base matches minus each layer's tombstones
-  /// (in the base index's natural order), then sealed and staged inserts
-  /// grouped by the pattern's bound prefix (range scans of the layers'
-  /// sorted runs).
+  /// Emits the merged view: base matches minus every layer's tombstones
+  /// (in the base index's natural order), then each layer's staged
+  /// inserts bottom-up, filtered by the layers above it (range scans of
+  /// the layers' sorted runs).
   void Scan(const IdPattern& pattern, const TripleSink& sink) const override;
   std::size_t MemoryBytes() const override;
   std::string name() const override { return "DeltaHexastore"; }
 
   /// Delta-aware planner estimate: the base index count adjusted by the
-  /// staged ops of each layer — exact staged-insert counts (sorted-run
-  /// range scans), tombstones scaled by the pattern's base selectivity,
-  /// pattern tombstones applied exactly. Never pays a full merged scan.
+  /// staged ops of each layer bottom-up — exact staged-insert counts
+  /// (sorted-run range scans), tombstones scaled by the pattern's
+  /// selectivity, pattern tombstones applied exactly. Never pays a full
+  /// merged scan.
   std::uint64_t EstimateMatches(const IdPattern& pattern) const override;
 
   /// Erases every triple matching `pattern`; returns how many logical
   /// triples were removed. Fast paths: the all-wildcard pattern is a
   /// Clear, and a predicate-only pattern (?, p, ?) stages ONE
-  /// pattern-level tombstone instead of one per match (O(op table + base
-  /// count) rather than O(matches) staged entries). Other shapes fall
-  /// back to staging a point tombstone per match. The predicate fast
-  /// path synchronizes with an in-flight background merge (its exact
-  /// erase count is defined against the merged base).
+  /// pattern-level tombstone instead of one per match. Other shapes fall
+  /// back to staging a point tombstone per match. In flat background
+  /// mode the predicate fast path drains an in-flight merge first (its
+  /// exact erase count is defined against the merged base); in leveled
+  /// mode it counts by one merged scan instead and never waits on the
+  /// compactor.
   std::size_t ErasePattern(const IdPattern& pattern);
 
-  /// Compacts any staged delta, then merges `triples` straight into the
-  /// base via its sorted BulkLoad path.
+  /// Compacts every staged layer, then merges `triples` straight into
+  /// the base via its sorted BulkLoad path. Blocks until any in-flight
+  /// background merge has drained.
   void BulkLoad(const IdTripleVec& triples) override;
 
-  /// Removes all triples (base, sealed and staged); an in-flight
+  /// Removes all triples (base, sealed runs and staged); an in-flight
   /// background merge is invalidated, not waited for.
   void Clear();
 
   // -- Delta management ---------------------------------------------------
 
-  /// Drains every staged op into the base. Synchronous mode: one sorted
-  /// merge on this thread (in place when no generation references the
-  /// base, otherwise rebuild-and-swap). Background mode: seals the
-  /// staging buffer and blocks until the compactor has merged everything
-  /// (writers on other threads stay unblocked throughout). No-op when
-  /// nothing is staged.
+  /// Drains every staged op into the base. Synchronous mode: the whole
+  /// hierarchy (L1, L0 runs, active) collapses in one sorted merge on
+  /// this thread. Background mode: seals the staging buffer and blocks
+  /// until the compactor has merged everything present at the call
+  /// (writers on other threads stay unblocked throughout; their
+  /// concurrent seals may leave new runs behind). No-op when nothing is
+  /// staged.
   void Compact();
 
-  /// Operations staged and not yet merged into the base (active plus any
-  /// sealed-but-unmerged buffer).
+  /// Operations staged and not yet merged into the base (active plus
+  /// every sealed run).
   std::size_t StagedOps() const;
-  /// Compactions (drains or background merges) since construction.
+  /// Merges (synchronous drains, background merges and L0→L1 folds)
+  /// since construction.
   std::uint64_t CompactionCount() const;
   std::size_t compact_threshold() const { return compact_threshold_; }
   /// True when a dedicated compactor thread runs the merges.
   bool background() const { return background_; }
+  /// True when sealed buffers accumulate as leveled runs
+  /// (l0_run_limit > 0) instead of merging straight into the base.
+  bool leveled() const { return l0_run_limit_ > 0; }
+  std::size_t l0_run_limit() const { return l0_run_limit_; }
 
   /// Delta-layer counters for reports and the stats subsystem.
   DeltaStats Stats() const;
@@ -156,12 +199,12 @@ class DeltaHexastore : public TripleStore {
 
   // -- Pinned-generation reads --------------------------------------------
 
-  /// An immutable view of one published {base, sealed, active}
+  /// An immutable view of one published {base, levels, active}
   /// generation. It is a read-only TripleStore (mutators are no-ops that
   /// return false), so planners, BGP evaluation and merge joins run
   /// entirely against the pinned generation; it also mirrors the merged
   /// accessor views. Cheap to copy and safe to read from any thread
-  /// while writers keep inserting and compacting.
+  /// while writers keep inserting and merging.
   class Snapshot final : public TripleStore {
    public:
     /// Empty view (no generation).
@@ -181,7 +224,7 @@ class DeltaHexastore : public TripleStore {
     std::uint64_t EstimateMatches(const IdPattern& pattern) const override;
 
     /// Store epoch the generation was published at (bumps on every
-    /// compaction and Clear).
+    /// merge and Clear).
     std::uint64_t epoch() const;
 
     // Merged accessor views over the pinned generation (see the
@@ -217,8 +260,9 @@ class DeltaHexastore : public TripleStore {
   // -- Merged accessor views (the paper's vectors and lists) --------------
   // Mirror Hexastore's accessors but return merging views instead of raw
   // vector pointers, so callers see staged edits. Views stay valid across
-  // later mutations and compactions (they pin the generation they were
-  // taken from).
+  // later mutations and merges (they pin the generation they were taken
+  // from). With sealed runs present the view is materialized (owns its
+  // ids); with only the active layer it is the zero-copy cursor pair.
 
   /// Merged object list o(s,p).
   MergedList objects(Id s, Id p) const;
@@ -246,13 +290,13 @@ class DeltaHexastore : public TripleStore {
   // -- Introspection -------------------------------------------------------
 
   /// The compacted base store (test/bench access; reflects the state as
-  /// of the last compaction). Shared ownership keeps the generation alive
-  /// across later compactions.
+  /// of the last base merge). Shared ownership keeps the generation
+  /// alive across later merges.
   std::shared_ptr<const Hexastore> base() const;
 
-  /// Verifies base invariants plus the delta-layer contract for both the
-  /// sealed and the active layer (staged inserts absent from the layer
-  /// beneath, tombstones present in it, size bookkeeping).
+  /// Verifies base invariants plus the delta-layer contract for every
+  /// layer of the chain (staged inserts absent from the layers beneath,
+  /// tombstones present in them, size bookkeeping).
   bool CheckInvariants(std::string* error = nullptr) const;
 
  private:
@@ -263,11 +307,11 @@ class DeltaHexastore : public TripleStore {
   // escapes — GetSnapshot, a MergedList accessor, base(), a seal, or a
   // background-merge completion — the objects it references are marked
   // exposed and NEVER mutated in place again: writers clone the delta
-  // (copy-on-write) and compaction rebuilds-and-swaps the base. Lock-free
+  // (copy-on-write) and merges rebuild-and-swap the base. Lock-free
   // readers therefore only ever dereference frozen objects; the epoch
   // gate (generation.h) keeps them allocated.
 
-  // Publishes the current {base_, sealed_, delta_} through the gate.
+  // Publishes the current {base_, levels_, delta_} through the gate.
   // `logical_size` is the triple count of the published view;
   // `include_active` controls whether the staging buffer is frozen into
   // it (excluding it keeps the buffer writer-private — no copy-on-write
@@ -278,16 +322,33 @@ class DeltaHexastore : public TripleStore {
   // Clones the delta iff it ever escaped (copy-on-write), so staged
   // mutations never alter a published generation.
   void EnsureDeltaWritableLocked();
-  // Threshold trigger: synchronous drain, or seal + wake the compactor.
+  // Rebuilds the cached bottom-up layer chain (L1, L0 runs, active)
+  // after any pointer in it changed.
+  void RebuildChainLocked();
+  // Threshold trigger: synchronous drain / leveled seal sequence, or
+  // seal + wake the compactor.
   void MaybeCompactLocked();
-  // Synchronous drain of the active delta into the base (sealed_ must be
-  // null); rebuilds-and-swaps when the base has escaped.
+  // Synchronous full drain: collapses L1 + L0 runs + active into the
+  // base (in place when no generation references the base, otherwise
+  // rebuild-and-swap). Invalidates any in-flight background merge.
   void CompactLocked();
-  // Closes the staging buffer as sealed_ and opens a fresh one.
+  // Closes the staging buffer as the newest L0 run and opens a fresh
+  // one.
   void SealLocked();
-  // Blocks until no sealed buffer is pending (background mode). May
+  // Folds every L0 run (+ current L1) into a fresh L1 run, on this
+  // thread (synchronous leveled mode).
+  void FoldLocked();
+  // Applies one collapsed run to the base: in place when the base never
+  // escaped the mutex, otherwise rebuild-and-swap.
+  void ApplyRunToBaseLocked(const DeltaStore& run);
+  // True when L1 is big enough (vs the base) to pay the base rebuild.
+  bool L1MergeDueLocked() const;
+  // True when the compactor has a job to pick up.
+  bool HasCompactorWorkLocked() const;
+  // Blocks until no sealed run is pending (background mode); sets the
+  // drain request so the leveled compactor merges all the way down. May
   // chase re-seals by concurrent writers; used only by the rare bulk
-  // paths that need a sealed-free state (BulkLoad, predicate erase).
+  // paths that need a sealed-free state (BulkLoad).
   void WaitForMergeLocked(std::unique_lock<std::mutex>& lock);
   // Blocks until one more merge completes or its inputs are wiped —
   // bounded even under sustained concurrent writes (Compact's wait).
@@ -299,8 +360,12 @@ class DeltaHexastore : public TripleStore {
 
   mutable std::mutex mu_;
   std::shared_ptr<Hexastore> base_;
-  std::shared_ptr<const DeltaStore> sealed_;  // closed buffer being merged
-  std::shared_ptr<DeltaStore> delta_;         // open staging buffer
+  DeltaLevels levels_;                 // sealed L0/L1 runs being merged
+  std::shared_ptr<DeltaStore> delta_;  // open staging buffer
+  // Cached bottom-up delta-layer chain: L1, L0 oldest→newest, delta_.
+  // Rebuilt whenever any of those pointers changes; the hot paths read
+  // it instead of re-deriving the chain per op.
+  std::vector<const DeltaStore*> chain_;
   // True once a pointer to the current base_/delta_ object left the
   // mutex scope; cleared only when the pointer is replaced.
   mutable bool base_exposed_ = false;
@@ -315,20 +380,34 @@ class DeltaHexastore : public TripleStore {
 
   std::size_t compact_threshold_;
   bool background_ = false;
+  std::size_t l0_run_limit_ = 0;
+  double l1_base_fraction_ = 0.25;
   std::size_t size_ = 0;
+  // Logical triples in base ∪ levels (size_ minus the active buffer's
+  // net contribution): the exact size of a publication that excludes
+  // the staging buffer. Updated at every seal, drain and Clear.
+  std::size_t levels_size_ = 0;
   std::uint64_t epoch_ = 0;
   std::uint64_t compactions_ = 0;
 
   // Background-compaction machinery.
   std::thread merger_;
   std::condition_variable work_cv_;   // compactor waits for a seal
-  std::condition_variable drain_cv_;  // waiters wait for sealed_ == null
+  std::condition_variable drain_cv_;  // waiters wait for levels_.empty()
   bool stop_ = false;
+  bool drain_requested_ = false;  // leveled compactor: merge all the way down
   std::uint64_t merge_ticket_ = 0;  // bumped to invalidate in-flight merges
   std::uint64_t seals_ = 0;
   std::uint64_t background_merges_ = 0;
   std::uint64_t merge_discards_ = 0;
   std::uint64_t seal_overflows_ = 0;
+
+  // Per-level merge accounting (write amplification).
+  std::uint64_t l0_merges_ = 0;
+  std::uint64_t base_merges_ = 0;
+  std::uint64_t merge_run_ops_ = 0;
+  std::uint64_t base_rebuild_triples_ = 0;
+  std::uint64_t staged_ops_total_ = 0;
 
   mutable GenerationGate gate_;
 };

@@ -170,6 +170,31 @@ DeltaStore::Presence DeltaStore::Lookup(const IdTriple& t) const {
   return Presence::kUnknown;
 }
 
+DeltaStore::OpLookup DeltaStore::LookupOp(const IdTriple& t) const {
+  const Slot* hit = Probe(t, nullptr);
+  if (hit == nullptr) {
+    return OpLookup::kNone;
+  }
+  return hit->op == DeltaOp::kInsert ? OpLookup::kInsert
+                                     : OpLookup::kTombstone;
+}
+
+void DeltaStore::AdoptOp(const IdTriple& t, DeltaOp op) {
+  ReserveForOneMore();
+  Slot* at = nullptr;
+  Probe(t, &at);
+  if (at->state == SlotState::kEmpty) {
+    ++used_;
+  }
+  *at = Slot{t, SlotState::kFull, op};
+  if (op == DeltaOp::kInsert) {
+    ++inserts_;
+  } else {
+    ++tombstones_;
+  }
+  InvalidateCaches();
+}
+
 const DeltaList* DeltaStore::FindLists(ListFamily family, Id a, Id b) const {
   EnsureSideLists();
   const ListMap& m = lists_[static_cast<int>(family)];
@@ -178,8 +203,12 @@ const DeltaList* DeltaStore::FindLists(ListFamily family, Id a, Id b) const {
 }
 
 void DeltaStore::EnsureSideLists() const {
-  if (lists_valid_) {
+  if (lists_valid_.load(std::memory_order_acquire)) {
     return;
+  }
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  if (lists_valid_.load(std::memory_order_relaxed)) {
+    return;  // another reader built them while we waited
   }
   for (auto& m : lists_) {
     m.clear();
@@ -210,11 +239,15 @@ void DeltaStore::EnsureSideLists() const {
       SortUnique(&lists.removes);
     }
   }
-  lists_valid_ = true;
+  lists_valid_.store(true, std::memory_order_release);
 }
 
 void DeltaStore::EnsureSortedRuns() const {
-  if (runs_valid_) {
+  if (runs_valid_.load(std::memory_order_acquire)) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  if (runs_valid_.load(std::memory_order_relaxed)) {
     return;
   }
   run_spo_.clear();
@@ -235,7 +268,7 @@ void DeltaStore::EnsureSortedRuns() const {
             [](const IdTriple& a, const IdTriple& b) {
               return std::tie(a.o, a.s, a.p) < std::tie(b.o, b.s, b.p);
             });
-  runs_valid_ = true;
+  runs_valid_.store(true, std::memory_order_release);
 }
 
 void DeltaStore::ScanInserts(
@@ -324,6 +357,9 @@ IdTripleVec DeltaStore::SortedTombstones() const {
 }
 
 std::size_t DeltaStore::MemoryBytes() const {
+  // Cold path: take the cache mutex so a concurrent lazy build on a
+  // frozen instance cannot race the container reads below.
+  std::lock_guard<std::mutex> lock(cache_mu_);
   std::size_t bytes = slots_.capacity() * sizeof(Slot);
   bytes += VectorHeapBytes(pattern_preds_);
   for (const auto& m : lists_) {

@@ -38,9 +38,11 @@
 #ifndef HEXASTORE_DELTA_DELTA_STORE_H_
 #define HEXASTORE_DELTA_DELTA_STORE_H_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -80,10 +82,14 @@ struct DeltaList {
 /// Copyable on purpose: DeltaHexastore clones it (copy-on-write) when a
 /// snapshot handle still references the pre-mutation state.
 ///
-/// Thread-safety: mutators and the lazily-caching read helpers
-/// (FindLists, ForEachList) must be externally serialized (DeltaHexastore
-/// calls them under its mutex); Lookup and ForEachOp are pure reads and
-/// safe on a frozen (never-again-mutated) instance from any thread.
+/// Thread-safety: mutators must be externally serialized against
+/// everything else (DeltaHexastore calls them under its mutex). On a
+/// frozen (never-again-mutated) instance every read is safe from any
+/// thread: Lookup and ForEachOp are pure, and the lazily-caching read
+/// helpers (FindLists, ForEachList, ScanInserts) serialize their one-off
+/// cache build internally (double-checked under cache_mu_), so sealed
+/// runs can be read concurrently by mutex readers, lock-free snapshot
+/// readers and the compactor without any pre-freezing.
 class DeltaStore {
  public:
   DeltaStore() = default;
@@ -96,9 +102,10 @@ class DeltaStore {
         used_(other.used_),
         inserts_(other.inserts_),
         tombstones_(other.tombstones_),
-        pattern_preds_(other.pattern_preds_),
-        lists_valid_(other.op_count() == 0),
-        runs_valid_(other.op_count() == 0) {}
+        pattern_preds_(other.pattern_preds_) {
+    lists_valid_.store(other.op_count() == 0, std::memory_order_relaxed);
+    runs_valid_.store(other.op_count() == 0, std::memory_order_relaxed);
+  }
   DeltaStore& operator=(const DeltaStore&) = delete;
 
   /// Stages `t` as an insert; `base_present` says whether the base store
@@ -139,6 +146,24 @@ class DeltaStore {
   };
   Presence Lookup(const IdTriple& t) const;
 
+  /// Raw op-table probe, ignoring pattern tombstones (unlike Lookup,
+  /// which folds them into the verdict). Used by the level-merge to
+  /// resolve op pairs on the same triple.
+  enum class OpLookup : std::uint8_t { kNone, kInsert, kTombstone };
+  OpLookup LookupOp(const IdTriple& t) const;
+  /// True iff the op table holds an entry for `t`.
+  bool HasOp(const IdTriple& t) const { return LookupOp(t) != OpLookup::kNone; }
+
+  // -- Merge-construction primitives (level.cc) ---------------------------
+  // Bypass the staging rules: callers (MergeDeltaLayers) guarantee the
+  // layer invariants hold for the finished store. Both must only be used
+  // while building a store no reader has seen yet.
+
+  /// Installs `op` for `t` directly; `t` must not already be staged.
+  void AdoptOp(const IdTriple& t, DeltaOp op);
+  /// Adds a pattern tombstone without subsuming any staged point op.
+  void AdoptPatternErase(Id p) { SortedInsert(&pattern_preds_, p); }
+
   /// Pending edits of the terminal list of `family` keyed by (a, b), or
   /// nullptr when the delta does not touch that list. Builds the cached
   /// side lists on first use after a mutation.
@@ -153,9 +178,10 @@ class DeltaStore {
   /// Number of staged inserts matching `pattern` (planner estimates).
   std::uint64_t CountInserts(const IdPattern& pattern) const;
 
-  /// Pre-builds every lazy cache (sorted runs + side lists) so a frozen
-  /// copy can be read from many threads without mutating shared state.
-  /// DeltaHexastore calls this under its mutex before publishing.
+  /// Pre-builds every lazy cache (sorted runs + side lists). Purely an
+  /// optimization — the builds are internally synchronized, so readers
+  /// of a frozen instance are safe either way; the compactor calls this
+  /// off the store mutex to spare the first reader the build cost.
   void Freeze() const;
 
   /// Calls `fn(triple, op)` for every staged operation (table order).
@@ -224,14 +250,18 @@ class DeltaStore {
   Slot* Probe(const IdTriple& t, Slot** insert_at) const;
   // Grows/rehashes the table so one more op always fits.
   void ReserveForOneMore();
-  // Rebuilds the three side-list families from the op table.
+  // Rebuilds the three side-list families from the op table
+  // (double-checked under cache_mu_; safe from any thread on a frozen
+  // instance).
   void EnsureSideLists() const;
-  // Rebuilds the three sorted insert runs from the op table.
+  // Rebuilds the three sorted insert runs from the op table (same
+  // double-checked discipline).
   void EnsureSortedRuns() const;
-  // Drops all lazy caches after a mutation.
+  // Drops all lazy caches after a mutation (mutator context: externally
+  // serialized against every reader).
   void InvalidateCaches() {
-    lists_valid_ = false;
-    runs_valid_ = false;
+    lists_valid_.store(false, std::memory_order_release);
+    runs_valid_.store(false, std::memory_order_release);
   }
 
   mutable std::vector<Slot> slots_;  // power-of-two size; empty at start
@@ -240,15 +270,21 @@ class DeltaStore {
   std::size_t tombstones_ = 0;
   IdVec pattern_preds_;  // sorted predicates with a pattern tombstone
 
+  // Serializes the one-off lazy cache builds below; the valid flags are
+  // acquire/release so a reader that observes `true` sees the built
+  // containers.
+  mutable std::mutex cache_mu_;
+
   mutable ListMap lists_[3];
-  mutable bool lists_valid_ = true;  // empty delta == valid empty lists
+  // Empty delta == valid empty lists.
+  mutable std::atomic<bool> lists_valid_{true};
 
   // Staged inserts sorted three ways: (s,p,o), (p,o,s) and (o,s,p), so
   // every bound-prefix shape of IdPattern has a run it can range-scan.
   mutable IdTripleVec run_spo_;
   mutable IdTripleVec run_pos_;
   mutable IdTripleVec run_osp_;
-  mutable bool runs_valid_ = true;
+  mutable std::atomic<bool> runs_valid_{true};
 };
 
 }  // namespace hexastore

@@ -17,10 +17,14 @@
 // the read of the generation, which is protected by a refcount the
 // section makes safe to take), so the fallback is effectively unreached.
 //
-// Writers (Advance / MinActiveEpoch / counter reads) must be externally
-// serialized; readers never synchronize with each other or with writers
-// through anything but the atomics here — in particular, never through
-// the owning store's mutex.
+// Thread-safety contract (see docs/architecture.md, "Who owns which
+// mutex / epoch"): writers (Advance / MinActiveEpoch / counter reads)
+// must be externally serialized — GenerationGate calls them under the
+// owning store's mutex; readers never synchronize with each other or
+// with writers through anything but the atomics here — in particular,
+// never through the owning store's mutex. Nothing in this file blocks:
+// the reader section is wait-free after the slot claim, and the writer
+// side is a handful of atomic operations.
 #ifndef HEXASTORE_DELTA_EPOCH_H_
 #define HEXASTORE_DELTA_EPOCH_H_
 

@@ -1,6 +1,7 @@
 #include "delta/generation.h"
 
 #include <algorithm>
+#include <utility>
 
 namespace hexastore {
 
@@ -49,11 +50,33 @@ void GenerationGate::Reclaim() {
       retired_.begin(), retired_.end(), [this, min_active](Retired& r) {
         if (min_active > r.retired_at) {
           ++reclaimed_;
+          if (deferred_reclaim_) {
+            // Hand the reference to the stash; the caller destroys it
+            // off the owning store's mutex via TakeReclaimed().
+            reclaimed_stash_.push_back(std::move(r.gen));
+          }
           return true;  // grace period over; handles may still pin it
         }
         return false;
       });
   retired_.erase(kept, retired_.end());
+  // Safety net: the compactor drains the stash only when it has merge
+  // work. A store that publishes without ever merging (snapshot-heavy,
+  // below-threshold churn) must not accumulate generations forever, so
+  // past a small backlog the oldest are destroyed inline — exactly the
+  // pre-deferral behavior, paid only in the pathological case.
+  constexpr std::size_t kMaxDeferredReclaims = 32;
+  if (reclaimed_stash_.size() > kMaxDeferredReclaims) {
+    reclaimed_stash_.erase(
+        reclaimed_stash_.begin(),
+        reclaimed_stash_.end() -
+            static_cast<std::ptrdiff_t>(kMaxDeferredReclaims));
+  }
+}
+
+std::vector<std::shared_ptr<const DeltaGeneration>>
+GenerationGate::TakeReclaimed() {
+  return std::exchange(reclaimed_stash_, {});
 }
 
 EpochStats GenerationGate::Stats() const {

@@ -4,17 +4,21 @@
 // DeltaHexastore:
 //
 //   base    — the compacted sextuple-indexed store
-//   sealed  — a staging buffer closed to writers, being merged into the
-//             base by the background compactor (null when no merge is in
-//             flight at publication time)
+//   levels  — the sealed run hierarchy (L0 runs over an L1 run, see
+//             delta/level.h) closed to writers; empty when nothing is
+//             sealed at publication time
 //   active  — a frozen image of the staging buffer open at publication
 //             time (null when it was empty or not included)
 //
-// The logical contents are  layer(layer(base, sealed), active)  where
-// layer(S, d) = (S ∖ pattern-erased ∖ tombstones) ∪ staged inserts.
-// Every object reachable from a published generation is immutable: the
-// owning store copy-on-writes its staging buffer and rebuilds-and-swaps
-// its base instead of mutating anything a generation references.
+// The logical contents are
+//   layer(…layer(layer(base, L1), L0 oldest)…, active)
+// where layer(S, d) = (S ∖ pattern-erased ∖ tombstones) ∪ staged
+// inserts — each delta layer applies its tombstones to everything
+// beneath it. `chain` pre-materializes that bottom-up layer order so
+// readers never re-derive it. Every object reachable from a published
+// generation is immutable: the owning store copy-on-writes its staging
+// buffer and rebuilds-and-swaps its base instead of mutating anything a
+// generation references.
 //
 // GenerationGate is the publication point. The writer (serialized by the
 // owning store's mutex) publishes a new generation and retires the old
@@ -37,19 +41,24 @@
 
 #include "core/stats.h"
 #include "delta/epoch.h"
+#include "delta/level.h"
 
 namespace hexastore {
 
 class Hexastore;
 class DeltaStore;
 
-/// One immutable published view: {base, sealed, active} plus the logical
+/// One immutable published view: {base, levels, active} plus the logical
 /// triple count and the store epoch it was taken at.
 struct DeltaGeneration
     : public std::enable_shared_from_this<DeltaGeneration> {
   std::shared_ptr<const Hexastore> base;     ///< null ⇒ empty base
-  std::shared_ptr<const DeltaStore> sealed;  ///< null ⇒ no merge in flight
+  DeltaLevels levels;                        ///< sealed L0/L1 runs
   std::shared_ptr<const DeltaStore> active;  ///< null ⇒ no staged overlay
+  /// The delta layers bottom-up (L1, L0 oldest→newest, active when
+  /// included) — raw pointers into the owning members above, valid for
+  /// the generation's lifetime. Built once at publication.
+  std::vector<const DeltaStore*> chain;
   std::size_t size = 0;    ///< logical triples in this view
   std::uint64_t epoch = 0; ///< store epoch at publication
 };
@@ -76,8 +85,21 @@ class GenerationGate {
   std::shared_ptr<const DeltaGeneration> Acquire() const;
 
   /// Drops every retired generation whose grace period has passed
-  /// (Publish does this too; exposed for tests and stats).
+  /// (Publish does this too; exposed for tests and stats). With
+  /// deferred reclaim enabled the generations are moved to an internal
+  /// stash instead of being destroyed inline.
   void Reclaim();
+
+  /// Defer destruction of reclaimed generations: Reclaim() stashes them
+  /// and TakeReclaimed() hands the stash to the caller, which destroys
+  /// it off the owning store's mutex (freeing a superseded base or a
+  /// large folded run inline would stall writers for the teardown
+  /// time). The owning store enables this when a compactor thread
+  /// exists to do the draining.
+  void set_deferred_reclaim(bool deferred) { deferred_reclaim_ = deferred; }
+  /// Takes ownership of every stashed reclaimed generation
+  /// (writer-serialized, like Publish/Reclaim).
+  std::vector<std::shared_ptr<const DeltaGeneration>> TakeReclaimed();
 
   /// Epoch/generation counters (see EpochStats).
   EpochStats Stats() const;
@@ -93,6 +115,8 @@ class GenerationGate {
   std::atomic<const DeltaGeneration*> current_{nullptr};
   std::shared_ptr<const DeltaGeneration> current_owner_;
   std::vector<Retired> retired_;
+  bool deferred_reclaim_ = false;
+  std::vector<std::shared_ptr<const DeltaGeneration>> reclaimed_stash_;
   mutable EpochManager epochs_;
 
   // Counters. handles_acquired_ is bumped by readers (relaxed atomic);

@@ -34,9 +34,9 @@ ResultSet EvalBgp(const TripleStore& store, const Dictionary& dict,
 /// Pinned-generation evaluation: takes one snapshot handle up front and
 /// runs planning (delta-aware EstimateMatches) plus every scan of the
 /// whole BGP against that single frozen generation — the query never
-/// touches the store mutex again and never observes a compaction,
-/// however long it runs. Equivalent to
-/// `EvalBgp(store.GetSnapshot(), dict, patterns)`.
+/// touches the store mutex again and never observes a seal, fold or
+/// base merge moving a level underneath it, however long it runs.
+/// Equivalent to `EvalBgp(store.GetSnapshot(), dict, patterns)`.
 ResultSet EvalBgpPinned(const DeltaHexastore& store, const Dictionary& dict,
                         const std::vector<TriplePattern>& patterns);
 

@@ -53,8 +53,11 @@ std::vector<std::pair<Id, Id>> JoinChain(const Hexastore& store, Id p1,
 
 // -- DeltaHexastore overloads ---------------------------------------------
 // Same joins over the delta-layered store: each sorted input is a
-// MergedListCursor (base list ∪ staged adds ∖ tombstones walked in one
-// pass), so the joins stay linear merges even with an uncompacted delta.
+// MergedList — the zero-copy cursor base ∪ staged adds ∖ tombstones when
+// only the active layer exists, or a materialized view of the full level
+// chain (active ▷ L0 runs ▷ L1 ▷ base, docs/delta-levels.md) when sealed
+// runs are present — so the joins stay linear merges mid-delta at any
+// level shape.
 
 IdVec JoinSubjectsByObjects(const DeltaHexastore& store, Id p1, Id o1,
                             Id p2, Id o2);

@@ -32,6 +32,12 @@
 // DeltaHexastore and never touch the log — durability does not tax the
 // read path. AcquireReadHandle() additionally exposes the inner store's
 // wait-free pinned-generation handle.
+//
+// Thread-safety: every public member is safe from any thread. Mutators
+// block on the internal (append, apply) mutex and on the configured
+// durability barrier; Checkpoint() blocks its caller for the whole
+// checkpoint but stalls concurrent writers only during pin + rotation.
+// The full contracts live in docs/durability.md.
 #ifndef HEXASTORE_WAL_DURABLE_STORE_H_
 #define HEXASTORE_WAL_DURABLE_STORE_H_
 
@@ -66,6 +72,17 @@ struct DurabilityOptions {
   /// Merge the inner store's sealed deltas on its compactor thread
   /// instead of draining on the writer thread (see DeltaOptions).
   bool background_compaction = false;
+  /// Leveled deltas in the inner store (see DeltaOptions::l0_run_limit):
+  /// sealed buffers accumulate as L0 runs, fold into L1, and only
+  /// L1→base merges rebuild the indexes. Checkpoints keep riding the
+  /// merge cadence (every fold or base merge triggers one), and
+  /// recovery replays the log into the same leveled configuration, so
+  /// the WAL stays bounded by roughly one compaction threshold of
+  /// records regardless of leveling. 0 = flat (the default).
+  std::size_t l0_run_limit = 0;
+  /// Leveled deltas: L1→base merge trigger as a fraction of the base
+  /// size (see DeltaOptions::l1_base_fraction).
+  double l1_base_fraction = 0.25;
   /// Run compaction-triggered checkpoints on a dedicated thread instead
   /// of inline on the committing writer. (Even inline, only segment
   /// rotation happens under the store lock; the snapshot itself is
@@ -173,7 +190,9 @@ class DurableDeltaHexastore : public TripleStore {
   explicit DurableDeltaHexastore(const DurabilityOptions& options)
       : options_(options),
         store_(DeltaOptions{options.compact_threshold,
-                            options.background_compaction}) {}
+                            options.background_compaction,
+                            options.l0_run_limit,
+                            options.l1_base_fraction}) {}
 
   // Post-append tail of every mutator: group commit outside mu_, then a
   // checkpoint (inline or handed to the checkpointer) if a compaction

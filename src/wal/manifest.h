@@ -16,7 +16,9 @@
 //
 // The manifest is replaced atomically (tmp + fsync + rename + dir
 // fsync), so a crash leaves either the old or the new version, never a
-// torn one.
+// torn one. Read/WriteWalManifest are stateless free functions (safe
+// from any thread; Write blocks on the fsyncs); the checkpoint protocol
+// that commits through this file is specified in docs/durability.md.
 #ifndef HEXASTORE_WAL_MANIFEST_H_
 #define HEXASTORE_WAL_MANIFEST_H_
 

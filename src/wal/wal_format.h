@@ -1,6 +1,9 @@
 // On-disk format of the write-ahead log (cf. the log-format notes in the
 // RocksDB recovery design: CRC-framed records, torn tails tolerated only
-// at the end of the newest segment).
+// at the end of the newest segment). The durability contract built on
+// top of this format — modes, group commit, checkpoint and recovery —
+// is specified in docs/durability.md; everything here is free
+// functions and value types, safe from any thread.
 //
 // A WAL directory holds numbered segment files plus a MANIFEST:
 //

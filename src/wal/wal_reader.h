@@ -1,5 +1,7 @@
 // Replay side of the write-ahead log: decodes one segment file into
-// records, stopping at the first invalid frame.
+// records, stopping at the first invalid frame. Pure functions over the
+// file contents — no shared state, safe from any thread; the recovery
+// contract they implement is specified in docs/durability.md.
 //
 // A torn tail — a record cut short by a crash mid-write — is legal only
 // in the newest segment; callers pass `tolerate_torn_tail = true` for

@@ -347,6 +347,78 @@ TEST(DeltaChurnTest, SnapshotStaysStableWhileChurnContinues) {
   EXPECT_EQ(snap.size(), frozen.size());
 }
 
+// The churn oracle pointed at the leveled configuration: a small
+// threshold and run limit with an aggressive L1→base fraction, so every
+// few batches cross seals, L0→L1 folds AND L1→base merges — the oracle
+// checks hit every intermediate level shape, including pattern
+// tombstones sealed above matching triples in lower runs.
+TEST(LeveledChurnTest, RandomizedChurnAgreesWithOracleAcrossLevelMerges) {
+  Rng rng(0x1E7E1ED);
+  DeltaOptions options;
+  options.compact_threshold = 16;
+  options.l0_run_limit = 3;
+  options.l1_base_fraction = 0.05;  // base merges actually happen
+  DeltaHexastore store(options);
+  std::set<IdTriple> oracle;
+
+  constexpr Id kUniverse = 10;
+  constexpr int kBatches = 50;
+  constexpr int kOpsPerBatch = 40;
+
+  auto oracle_erase_pattern = [&oracle](const IdPattern& q) {
+    std::size_t erased = 0;
+    for (auto it = oracle.begin(); it != oracle.end();) {
+      if (q.Matches(*it)) {
+        it = oracle.erase(it);
+        ++erased;
+      } else {
+        ++it;
+      }
+    }
+    return erased;
+  };
+
+  for (int batch = 0; batch < kBatches; ++batch) {
+    for (int op = 0; op < kOpsPerBatch; ++op) {
+      const double dice = rng.NextDouble();
+      if (dice < 0.58) {
+        IdTriple t = RandomTriple(rng, kUniverse);
+        EXPECT_EQ(store.Insert(t), oracle.insert(t).second);
+      } else if (dice < 0.88) {
+        IdTriple t;
+        if (!oracle.empty() && rng.Bernoulli(0.5)) {
+          auto it = oracle.begin();
+          std::advance(it, rng.Uniform(oracle.size()));
+          t = *it;
+        } else {
+          t = RandomTriple(rng, kUniverse);
+        }
+        EXPECT_EQ(store.Erase(t), oracle.erase(t) > 0);
+      } else if (dice < 0.94) {
+        // Predicate-only: the leveled pattern-tombstone fast path
+        // (counts by merged scan, drains nothing).
+        const IdPattern q{0, rng.UniformRange(1, kUniverse), 0};
+        EXPECT_EQ(store.ErasePattern(q), oracle_erase_pattern(q));
+      } else if (dice < 0.97) {
+        IdPattern q;
+        q.s = rng.UniformRange(1, kUniverse);
+        EXPECT_EQ(store.ErasePattern(q), oracle_erase_pattern(q));
+      } else if (dice < 0.99) {
+        store.Compact();  // forced full drain of the hierarchy
+      } else {
+        store.Clear();
+        oracle.clear();
+      }
+    }
+    ASSERT_NO_FATAL_FAILURE(ExpectAgreesWithOracle(store, oracle))
+        << "after batch " << batch;
+  }
+  const DeltaStats stats = store.Stats();
+  EXPECT_GT(stats.seals, 0u);
+  EXPECT_GT(stats.l0_merges, 0u);
+  EXPECT_GT(stats.base_merges, 0u);
+}
+
 TEST(ChurnTest, ClearThenReuseKeepsInvariants) {
   Rng rng(7);
   Hexastore store;

@@ -4,9 +4,11 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <chrono>
 #include <set>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/hexastore.h"
@@ -390,6 +392,240 @@ TEST(DeltaHexastoreSnapshotIoTest, ByteIdenticalToGraphSnapshot) {
   std::ostringstream delta_out;
   ASSERT_TRUE(SaveSnapshot(graph.dict(), &store, delta_out).ok());
   EXPECT_EQ(graph_out.str(), delta_out.str());
+}
+
+// -- Leveled delta runs (docs/delta-levels.md) ----------------------------
+
+DeltaOptions LeveledOptions(std::size_t threshold, std::size_t l0_limit,
+                            double l1_fraction = 0.25) {
+  DeltaOptions options;
+  options.compact_threshold = threshold;
+  options.l0_run_limit = l0_limit;
+  options.l1_base_fraction = l1_fraction;
+  return options;
+}
+
+TEST(LeveledDeltaTest, SealsAccumulateAsL0RunsAndFoldIntoL1) {
+  DeltaHexastore store(LeveledOptions(4, 2));
+  // Pre-populate so the L1→base trigger (a fraction of the base) stays
+  // out of reach: 0.25 * 400 = 100 staged ops.
+  IdTripleVec bulk;
+  for (Id i = 1; i <= 400; ++i) {
+    bulk.push_back({i, 7, i});
+  }
+  store.BulkLoad(bulk);
+  ASSERT_TRUE(store.leveled());
+
+  // First threshold hit: the buffer seals into one L0 run — no merge.
+  for (Id i = 1; i <= 4; ++i) {
+    store.Insert({1000 + i, 8, i});
+  }
+  DeltaStats stats = store.Stats();
+  EXPECT_EQ(stats.l0_runs, 1u);
+  EXPECT_EQ(stats.l1_ops, 0u);
+  EXPECT_EQ(stats.l0_merges, 0u);
+  EXPECT_EQ(store.StagedOps(), 4u);  // staged in the run, not drained
+
+  // Second seal reaches l0_run_limit: the runs fold into a single L1
+  // run; the base is still untouched.
+  for (Id i = 5; i <= 8; ++i) {
+    store.Insert({1000 + i, 8, i});
+  }
+  stats = store.Stats();
+  EXPECT_EQ(stats.l0_runs, 0u);
+  EXPECT_EQ(stats.l1_ops, 8u);
+  EXPECT_EQ(stats.l0_merges, 1u);
+  EXPECT_EQ(stats.base_merges, 0u);
+  EXPECT_EQ(stats.base_triples, 400u);
+  EXPECT_EQ(store.size(), 408u);
+
+  // Reads see the whole chain: active ▷ L0 ▷ L1 ▷ base.
+  EXPECT_TRUE(store.Contains({1001, 8, 1}));
+  EXPECT_TRUE(store.Contains({1, 7, 1}));
+  EXPECT_EQ(store.CountMatches(IdPattern{0, 8, 0}), 8u);
+  std::string err;
+  EXPECT_TRUE(store.CheckInvariants(&err)) << err;
+
+  // An explicit Compact collapses the full hierarchy into the base.
+  store.Compact();
+  EXPECT_EQ(store.StagedOps(), 0u);
+  EXPECT_EQ(store.base()->size(), 408u);
+  EXPECT_TRUE(store.CheckInvariants(&err)) << err;
+}
+
+TEST(LeveledDeltaTest, L1MergesIntoBaseOnlyWhenItEarnsIt) {
+  // Tiny base: the fraction trigger collapses to the threshold, so the
+  // first fold is immediately followed by an L1→base merge.
+  DeltaHexastore store(LeveledOptions(4, 2));
+  for (Id i = 1; i <= 8; ++i) {
+    store.Insert({i, 3, i});
+  }
+  DeltaStats stats = store.Stats();
+  EXPECT_EQ(stats.l0_merges, 1u);
+  EXPECT_EQ(stats.base_merges, 1u);
+  EXPECT_EQ(stats.l0_runs, 0u);
+  EXPECT_EQ(stats.l1_ops, 0u);
+  EXPECT_EQ(stats.base_triples, 8u);
+  EXPECT_EQ(store.size(), 8u);
+  EXPECT_GT(stats.staged_ops_total, 0u);
+  EXPECT_GT(stats.WriteAmplification(), 0.0);
+  std::string err;
+  EXPECT_TRUE(store.CheckInvariants(&err)) << err;
+}
+
+TEST(LeveledDeltaTest, TombstonesInRunsEraseBaseAndLowerRuns) {
+  DeltaHexastore store(LeveledOptions(4, 2));
+  IdTripleVec bulk;
+  for (Id i = 1; i <= 400; ++i) {
+    bulk.push_back({i, 7, i});
+  }
+  store.BulkLoad(bulk);
+  // Two seals: one run of inserts, one run erasing base triples plus one
+  // of the first run's inserts — the fold must annihilate that pair.
+  for (Id i = 1; i <= 4; ++i) {
+    store.Insert({1000 + i, 8, i});
+  }
+  EXPECT_TRUE(store.Erase({1000 + 1, 8, 1}));  // insert in the run below
+  EXPECT_TRUE(store.Erase({1, 7, 1}));         // base-resident
+  EXPECT_TRUE(store.Erase({2, 7, 2}));
+  EXPECT_TRUE(store.Insert({3000, 9, 9}));  // 4th op seals and folds
+  DeltaStats stats = store.Stats();
+  EXPECT_EQ(stats.l0_merges, 1u);
+  // 4 inserts + 4 ops, minus the annihilated insert/tombstone pair.
+  EXPECT_EQ(stats.l1_ops, 6u);
+  EXPECT_FALSE(store.Contains({1000 + 1, 8, 1}));
+  EXPECT_FALSE(store.Contains({1, 7, 1}));
+  EXPECT_TRUE(store.Contains({1000 + 2, 8, 2}));
+  EXPECT_EQ(store.size(), 400u + 4 + 1 - 3);
+  std::string err;
+  EXPECT_TRUE(store.CheckInvariants(&err)) << err;
+  store.Compact();
+  EXPECT_EQ(store.base()->size(), 402u);
+  EXPECT_TRUE(store.CheckInvariants(&err)) << err;
+}
+
+// Regression: an ErasePattern tombstone staged above matching triples
+// that sit in lower levels (an L0 run above L1) must suppress them in
+// every read path, survive the L0→L1 fold, and let later re-inserts
+// show through.
+TEST(LeveledDeltaTest, PatternTombstoneInL0SuppressesMatchesInL1) {
+  DeltaHexastore store(LeveledOptions(4, 2));
+  IdTripleVec bulk;
+  for (Id i = 1; i <= 400; ++i) {
+    bulk.push_back({i, 7, i});
+  }
+  store.BulkLoad(bulk);
+
+  // Land 8 pred-5 triples in L1 (two seals, one fold).
+  for (Id i = 1; i <= 8; ++i) {
+    store.Insert({1000 + i, 5, i});
+  }
+  ASSERT_EQ(store.Stats().l1_ops, 8u);
+  ASSERT_EQ(store.Stats().l0_runs, 0u);
+
+  // The leveled fast path counts by one merged scan — no level drains.
+  EXPECT_EQ(store.ErasePattern(IdPattern{0, 5, 0}), 8u);
+  EXPECT_EQ(store.size(), 400u);
+  ASSERT_EQ(store.Stats().l1_ops, 8u);  // suppressed, not yet purged
+
+  // Seal the pattern tombstone into an L0 run above L1.
+  for (Id i = 1; i <= 4; ++i) {
+    store.Insert({2000 + i, 9, i});  // 4th op seals
+  }
+  DeltaStats stats = store.Stats();
+  ASSERT_EQ(stats.l0_runs, 1u);
+  ASSERT_EQ(stats.l1_ops, 8u);
+
+  // Verdict chain: the L0 run's pattern wins over the L1 inserts below.
+  EXPECT_FALSE(store.Contains({1001, 5, 1}));
+  EXPECT_EQ(store.CountMatches(IdPattern{0, 5, 0}), 0u);
+  EXPECT_EQ(store.EstimateMatches(IdPattern{0, 5, 0}), 0u);
+  EXPECT_TRUE(store.subjects_of_predicate(5).empty());
+  EXPECT_TRUE(store.objects(1001, 5).empty());
+  EXPECT_EQ(store.size(), 404u);
+  std::string err;
+  ASSERT_TRUE(store.CheckInvariants(&err)) << err;
+
+  // A re-insert above the pattern is visible again.
+  EXPECT_TRUE(store.Insert({1001, 5, 1}));
+  EXPECT_TRUE(store.Contains({1001, 5, 1}));
+  EXPECT_EQ(store.CountMatches(IdPattern{0, 5, 0}), 1u);
+
+  // Fold the pattern run onto L1: the suppressed inserts die there, the
+  // pattern and the re-insert survive.
+  for (Id i = 1; i <= 3; ++i) {
+    store.Insert({3000 + i, 9, 100 + i});  // 4th op with the re-insert
+  }
+  stats = store.Stats();
+  ASSERT_EQ(stats.l0_merges, 2u);
+  ASSERT_EQ(stats.l0_runs, 0u);
+  EXPECT_TRUE(store.Contains({1001, 5, 1}));
+  EXPECT_EQ(store.CountMatches(IdPattern{0, 5, 0}), 1u);
+  EXPECT_EQ(store.size(), 408u);
+  ASSERT_TRUE(store.CheckInvariants(&err)) << err;
+
+  // Full drain: the physical purge agrees with the logical view.
+  store.Compact();
+  EXPECT_EQ(store.base()->size(), 408u);
+  EXPECT_TRUE(store.Contains({1001, 5, 1}));
+  EXPECT_EQ(store.CountMatches(IdPattern{0, 5, 0}), 1u);
+  EXPECT_TRUE(store.CheckInvariants(&err)) << err;
+}
+
+// Regression: BulkLoad's wait-for-merge sets the compactor's full-depth
+// drain request; once the hierarchy is empty the flag must clear, or
+// the next routine seal is folded and base-merged immediately instead
+// of accumulating l0_run_limit runs.
+TEST(LeveledDeltaTest, BulkLoadDoesNotLeaveStaleDrainRequest) {
+  DeltaOptions options;
+  options.compact_threshold = 4;
+  options.background_compaction = true;
+  options.l0_run_limit = 4;
+  DeltaHexastore store(options);
+  IdTripleVec bulk;
+  for (Id i = 1; i <= 100; ++i) {
+    bulk.push_back({i, 7, i});
+  }
+  store.BulkLoad(bulk);  // sets, then must clear, the drain request
+  for (Id i = 1; i <= 4; ++i) {
+    store.Insert({1000 + i, 8, i});  // one seal
+  }
+  // Give a (buggy) compactor ample time to act on a stale request.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  const DeltaStats stats = store.Stats();
+  EXPECT_EQ(stats.l0_runs, 1u);  // the run awaits l0_run_limit peers
+  EXPECT_EQ(stats.l0_merges, 0u);
+  EXPECT_EQ(stats.base_merges, 0u);
+  EXPECT_EQ(stats.base_triples, 100u);
+}
+
+TEST(LeveledDeltaTest, SnapshotsPinTheLeveledChain) {
+  DeltaHexastore store(LeveledOptions(4, 2));
+  IdTripleVec bulk;
+  for (Id i = 1; i <= 400; ++i) {
+    bulk.push_back({i, 7, i});
+  }
+  store.BulkLoad(bulk);
+  for (Id i = 1; i <= 6; ++i) {
+    store.Insert({1000 + i, 8, i});  // one fold + a half-full buffer
+  }
+  const DeltaHexastore::Snapshot snap = store.GetSnapshot();
+  const IdTripleVec before = MatchAll(snap);
+  ASSERT_EQ(before.size(), 406u);
+
+  // Churn through more seals, folds and a full drain.
+  for (Id i = 7; i <= 40; ++i) {
+    store.Insert({1000 + i, 8, i});
+  }
+  store.ErasePattern(IdPattern{0, 8, 0});
+  store.Compact();
+  EXPECT_EQ(store.size(), 400u);
+
+  // The pinned handle still answers from its generation.
+  EXPECT_EQ(MatchAll(snap), before);
+  EXPECT_EQ(snap.size(), 406u);
+  EXPECT_TRUE(snap.Contains({1001, 8, 1}));
+  EXPECT_EQ(snap.CountMatches(IdPattern{0, 8, 0}), 6u);
 }
 
 }  // namespace

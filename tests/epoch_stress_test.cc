@@ -211,6 +211,150 @@ TEST(EpochStressTest, BackgroundChurnAgreesWithOracle) {
   EXPECT_GT(stats.background_merges, 0u);
 }
 
+// The leveled configuration under the same oracle: background seals
+// accumulate as L0 runs, fold into L1 off-thread and only occasionally
+// rebuild the base — every intermediate level shape must agree with the
+// std::set oracle and pass the invariant checker.
+TEST(EpochStressTest, LeveledBackgroundChurnAgreesWithOracle) {
+  Rng rng(0x1E7EBEEF);
+  DeltaOptions options;
+  options.compact_threshold = 32;
+  options.background_compaction = true;
+  options.l0_run_limit = 3;
+  options.l1_base_fraction = 0.05;
+  DeltaHexastore store(options);
+  std::set<IdTriple> oracle;
+  constexpr Id kUniverse = 12;
+
+  for (int batch = 0; batch < 40; ++batch) {
+    for (int op = 0; op < 60; ++op) {
+      const double dice = rng.NextDouble();
+      if (dice < 0.52) {
+        IdTriple t = RandomTriple(rng, kUniverse);
+        ASSERT_EQ(store.Insert(t), oracle.insert(t).second);
+      } else if (dice < 0.90) {
+        IdTriple t;
+        if (!oracle.empty() && rng.Bernoulli(0.5)) {
+          auto it = oracle.begin();
+          std::advance(it, rng.Uniform(oracle.size()));
+          t = *it;
+        } else {
+          t = RandomTriple(rng, kUniverse);
+        }
+        ASSERT_EQ(store.Erase(t), oracle.erase(t) > 0);
+      } else if (dice < 0.95) {
+        // Leveled fast path: the pattern tombstone may land above
+        // matching triples sitting in L0 runs or L1.
+        const Id p = rng.UniformRange(1, kUniverse);
+        std::size_t expected = 0;
+        for (auto it = oracle.begin(); it != oracle.end();) {
+          if (it->p == p) {
+            it = oracle.erase(it);
+            ++expected;
+          } else {
+            ++it;
+          }
+        }
+        ASSERT_EQ(store.ErasePattern(IdPattern{0, p, 0}), expected);
+      } else if (dice < 0.97) {
+        store.Clear();
+        oracle.clear();
+      } else {
+        store.Compact();
+      }
+    }
+    ASSERT_EQ(store.size(), oracle.size()) << "batch " << batch;
+    IdTripleVec scanned = store.Match(IdPattern{});
+    ASSERT_EQ(scanned, IdTripleVec(oracle.begin(), oracle.end()))
+        << "batch " << batch;
+    std::string err;
+    ASSERT_TRUE(store.CheckInvariants(&err)) << err;
+  }
+  store.Compact();
+  const DeltaStats stats = store.Stats();
+  EXPECT_TRUE(stats.background);
+  EXPECT_GT(stats.seals, 0u);
+  EXPECT_GT(stats.l0_merges, 0u);
+}
+
+// Leveled headline: readers hold a window of wait-free handles across
+// L0→L1 folds and L1→base merges running on the compactor thread. Every
+// pinned view must stay internally consistent no matter which level a
+// merge is moving underneath it, and the quiescent state must match the
+// oracle built from the writer's return values.
+TEST(EpochStressTest, ReadersHoldHandlesAcrossLevelMerges) {
+  DeltaOptions options;
+  options.compact_threshold = 48;
+  options.background_compaction = true;
+  options.l0_run_limit = 2;
+  options.l1_base_fraction = 0.02;  // frequent L1→base rebuilds
+  DeltaHexastore store(options);
+  constexpr int kReaders = 4;
+  constexpr int kWriterOps = 8000;
+
+  std::atomic<bool> done{false};
+  std::atomic<int> failures{0};
+
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&store, &done, &failures, r] {
+      Rng rng(9100 + r);
+      std::deque<DeltaHexastore::Snapshot> held;
+      while (!done.load(std::memory_order_acquire)) {
+        held.push_back(store.AcquireReadHandle());
+        if (held.size() > 8) {
+          held.pop_front();
+        }
+        failures.fetch_add(CheckHandleConsistency(held.back(), rng));
+        failures.fetch_add(
+            CheckHandleConsistency(held[rng.Uniform(held.size())], rng));
+        // Don't starve the writer on small machines (see above).
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+      }
+    });
+  }
+
+  Rng rng(2027);
+  std::set<IdTriple> oracle;
+  for (int i = 0; i < kWriterOps; ++i) {
+    IdTriple t{1 + rng.Uniform(200), 1 + rng.Uniform(8),
+               1 + rng.Uniform(200)};
+    if (rng.Bernoulli(0.8)) {
+      ASSERT_EQ(store.Insert(t), oracle.insert(t).second);
+    } else {
+      ASSERT_EQ(store.Erase(t), oracle.erase(t) > 0);
+    }
+    if (i % 2500 == 2499) {
+      store.Compact();  // forced full-depth drain mid-churn
+    }
+  }
+  done.store(true, std::memory_order_release);
+  for (auto& th : readers) {
+    th.join();
+  }
+  EXPECT_EQ(failures.load(), 0);
+
+  // Quiesce and verify against the oracle.
+  store.Compact();
+  const DeltaHexastore::Snapshot final_snap = store.GetSnapshot();
+  EXPECT_EQ(final_snap.Match(IdPattern{}),
+            IdTripleVec(oracle.begin(), oracle.end()));
+  std::string err;
+  EXPECT_TRUE(store.CheckInvariants(&err)) << err;
+
+  // The run actually exercised both merge kinds off-thread.
+  const DeltaStats stats = store.Stats();
+  EXPECT_GT(stats.seals, 0u);
+  EXPECT_GT(stats.l0_merges, 0u);
+  EXPECT_GT(stats.base_merges, 0u);
+
+  const EpochStats epochs = store.EpochCounters();
+  EXPECT_GT(epochs.handles_acquired, 0u);
+  EXPECT_EQ(epochs.retire_queue_depth, 0u);
+  EXPECT_EQ(epochs.active_reader_sections, 0);
+}
+
 // The headline contract: reader threads holding generation handles
 // across many forced compactions never block on the store mutex and
 // never see a torn or moving view. Readers deliberately keep a window
@@ -382,6 +526,10 @@ TEST(EpochStressTest, HandlesSurviveCheckpointsAndRecovery) {
   options.compact_threshold = 512;
   options.background_compaction = true;
   options.background_checkpoints = true;
+  // Leveled inner store: checkpoints ride fold and base merges alike,
+  // and recovery must replay into the same leveled configuration.
+  options.l0_run_limit = 2;
+  options.l1_base_fraction = 0.1;
 
   std::set<IdTriple> oracle;
   {
