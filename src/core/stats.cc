@@ -67,6 +67,18 @@ std::string DeltaStats::ToString() const {
        << base_rebuild_triples << " rebuilt triples over "
        << staged_ops_total << " staged)\n";
   }
+  if (filter_bits_per_key > 0 || filter_probes > 0) {
+    os << "  filters: " << filter_bits_per_key << " bits/key; "
+       << filter_probes << " probes, " << filter_skips << " skips, "
+       << filter_false_positives << " false positives, "
+       << filters_dropped << " dropped\n";
+  }
+  if (memory_budget_bytes > 0) {
+    os << "  budget: " << resident_bytes << " / " << memory_budget_bytes
+       << " bytes resident; forced " << budget_seals << " seals, "
+       << budget_folds << " folds, " << budget_base_merges
+       << " base merges\n";
+  }
   return os.str();
 }
 

@@ -64,6 +64,22 @@ struct DeltaStats {
   std::uint64_t base_rebuild_triples = 0;  ///< triples written by base merges
   std::uint64_t staged_ops_total = 0;  ///< ops ever staged (write-amp denom)
 
+  // Prefix-filter counters (zero until a run is sealed with filters
+  // armed; see docs/delta-levels.md "Filter semantics").
+  std::size_t filter_bits_per_key = 0;   ///< L0 sizing (0 = disabled)
+  std::uint64_t filter_probes = 0;       ///< point + prefix filter checks
+  std::uint64_t filter_skips = 0;        ///< runs proven key-free, skipped
+  std::uint64_t filter_false_positives = 0;  ///< passes with no table hit
+  std::uint64_t filters_dropped = 0;  ///< seals that skipped the filter
+                                      ///< (budget pressure)
+
+  // Memory-budget counters (zero without memory_budget_bytes).
+  std::size_t memory_budget_bytes = 0;  ///< hard budget (0 = unlimited)
+  std::size_t resident_bytes = 0;  ///< tracked runs + filters + active table
+  std::uint64_t budget_seals = 0;  ///< seals forced by the budget
+  std::uint64_t budget_folds = 0;  ///< L0→L1 folds forced by the budget
+  std::uint64_t budget_base_merges = 0;  ///< base merges forced by the budget
+
   /// Bytes-of-merge-work per staged op:
   /// (merge_run_ops + base_rebuild_triples) / staged_ops_total. Leveling
   /// exists to push this toward 1 + 1/l0_run_limit × (base rebuild share).

@@ -1,6 +1,8 @@
 #include "delta/delta_hexastore.h"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdio>
 #include <sstream>
 #include <utility>
 #include <vector>
@@ -49,7 +51,7 @@ struct OverlayView {
 // wins, the base answers only when no layer staged anything for `t`.
 bool LayeredContains(const LayerRefs& v, const IdTriple& t) {
   for (std::size_t i = v.count; i-- > 0;) {
-    switch (v.layers[i]->Lookup(t)) {
+    switch (v.layers[i]->FilteredLookup(t)) {
       case DeltaStore::Presence::kInserted:
         return true;
       case DeltaStore::Presence::kErased:
@@ -71,7 +73,7 @@ void LayeredScan(const LayerRefs& v, const IdPattern& pattern,
                  const TripleSink& sink) {
   auto unknown_above = [&v](std::size_t from, const IdTriple& t) {
     for (std::size_t i = from; i < v.count; ++i) {
-      if (v.layers[i]->Lookup(t) != DeltaStore::Presence::kUnknown) {
+      if (v.layers[i]->FilteredLookup(t) != DeltaStore::Presence::kUnknown) {
         return false;
       }
     }
@@ -93,15 +95,35 @@ void LayeredScan(const LayerRefs& v, const IdPattern& pattern,
   }
 }
 
-// Planner estimate across the chain: the base index count, then each
-// layer's adjustments bottom-up — pattern erases (exact against the
-// base's per-predicate counts), point tombstones scaled by the pattern's
-// selectivity in the layers beneath, staged inserts counted exactly.
-std::uint64_t LayeredEstimate(const LayerRefs& v, const IdPattern& pattern) {
+// Planner estimate of `pattern` over the base plus the first `n` layers
+// of the chain: the base index count, then each layer's adjustments
+// bottom-up — pattern erases suppress the estimate of the *whole stack
+// beneath the layer* (recursing with the predicate bound, so staged
+// inserts in lower runs are deduplicated, not just base matches), point
+// tombstones are scaled by the pattern's selectivity in the layers
+// beneath, staged inserts are counted exactly. Fully-bound patterns are
+// answered exactly through the verdict chain instead of the scaling
+// model (which could leave a fractional tombstone as weight 1).
+std::uint64_t EstimateUpTo(const LayerRefs& v, std::size_t n,
+                           const IdPattern& pattern) {
+  if (pattern.has_s() && pattern.has_p() && pattern.has_o()) {
+    const IdTriple t{pattern.s, pattern.p, pattern.o};
+    for (std::size_t i = n; i-- > 0;) {
+      switch (v.layers[i]->FilteredLookup(t)) {
+        case DeltaStore::Presence::kInserted:
+          return 1;
+        case DeltaStore::Presence::kErased:
+          return 0;
+        case DeltaStore::Presence::kUnknown:
+          break;
+      }
+    }
+    return v.base != nullptr && v.base->Contains(t) ? 1 : 0;
+  }
   std::uint64_t count =
       v.base == nullptr ? 0 : v.base->CountMatches(pattern);
   std::size_t beneath_size = v.base == nullptr ? 0 : v.base->size();
-  for (std::size_t i = 0; i < v.count; ++i) {
+  for (std::size_t i = 0; i < n; ++i) {
     const DeltaStore* layer = v.layers[i];
     if (layer->HasPatternErases()) {
       if (pattern.has_p()) {
@@ -112,10 +134,19 @@ std::uint64_t LayeredEstimate(const LayerRefs& v, const IdPattern& pattern) {
         for (Id p : layer->pattern_erased_predicates()) {
           IdPattern bound = pattern;
           bound.p = p;
-          const std::uint64_t suppressed =
-              v.base == nullptr ? 0 : v.base->CountMatches(bound);
+          // Everything the stack beneath this layer would contribute
+          // for the suppressed predicate disappears — including staged
+          // inserts in lower runs, which the pre-filter estimate missed
+          // (it subtracted base matches only and double-counted an
+          // insert re-staged above the pattern).
+          const std::uint64_t suppressed = EstimateUpTo(v, i, bound);
           count -= std::min(count, suppressed);
         }
+      }
+      for (Id p : layer->pattern_erased_predicates()) {
+        const std::uint64_t dropped =
+            EstimateUpTo(v, i, IdPattern{0, p, 0});
+        beneath_size -= std::min<std::size_t>(beneath_size, dropped);
       }
     }
     if (beneath_size > 0) {
@@ -130,6 +161,10 @@ std::uint64_t LayeredEstimate(const LayerRefs& v, const IdPattern& pattern) {
         0, static_cast<std::ptrdiff_t>(beneath_size) + layer->size_delta()));
   }
   return count;
+}
+
+std::uint64_t LayeredEstimate(const LayerRefs& v, const IdPattern& pattern) {
+  return EstimateUpTo(v, v.count, pattern);
 }
 
 // Size of the base terminal list under `key` after the delta's pattern
@@ -461,14 +496,58 @@ OverlayView GenView(const DeltaGeneration& gen) {
 DeltaHexastore::DeltaHexastore(std::size_t compact_threshold)
     : DeltaHexastore(DeltaOptions{compact_threshold, false}) {}
 
+std::string DeltaOptions::Normalize() {
+  std::string repaired;
+  auto note = [&repaired](const std::string& what) {
+    if (!repaired.empty()) {
+      repaired += "; ";
+    }
+    repaired += what;
+  };
+  if (compact_threshold == 0) {
+    compact_threshold = 1;
+    note("compact_threshold 0 is invalid, clamped to 1");
+  }
+  if (!std::isfinite(l1_base_fraction) || l1_base_fraction <= 0.0) {
+    // 0, negative, NaN and inf all used to slip through a max(0.0, f)
+    // clamp (NaN propagates to 0.0 there) and silently degrade the store
+    // to always-base-merge; reset to the documented default instead.
+    std::ostringstream os;
+    os << "l1_base_fraction " << l1_base_fraction
+       << " is invalid (must be finite and > 0), reset to 0.25";
+    note(os.str());
+    l1_base_fraction = 0.25;
+  }
+  if (filter_bits_per_key > 64) {
+    filter_bits_per_key = 64;
+    note("filter_bits_per_key clamped to 64");
+  }
+  return repaired;
+}
+
 DeltaHexastore::DeltaHexastore(const DeltaOptions& options)
-    : base_(std::make_shared<Hexastore>()),
-      delta_(std::make_shared<DeltaStore>()),
-      compact_threshold_(
-          options.compact_threshold == 0 ? 1 : options.compact_threshold),
-      background_(options.background_compaction),
-      l0_run_limit_(options.l0_run_limit),
-      l1_base_fraction_(std::max(0.0, options.l1_base_fraction)) {
+    : base_(std::make_shared<Hexastore>()) {
+  DeltaOptions normalized = options;
+  const std::string repaired = normalized.Normalize();
+  if (!repaired.empty()) {
+    std::fprintf(stderr, "DeltaHexastore options: %s\n", repaired.c_str());
+  }
+  compact_threshold_ = normalized.compact_threshold;
+  background_ = normalized.background_compaction;
+  l0_run_limit_ = normalized.l0_run_limit;
+  l1_base_fraction_ = normalized.l1_base_fraction;
+  memory_budget_ = normalized.memory_budget_bytes;
+  filter_bits_l0_ = normalized.filter_bits_per_key;
+  // Monkey-style sizing: the few hot L0 runs take most point probes and
+  // get the full bit budget; the one cold L1 run holds far more keys, so
+  // halving its bits saves most of the filter memory for a modest
+  // false-positive increase.
+  filter_bits_l1_ = filter_bits_l0_ == 0
+                        ? 0
+                        : std::max<std::size_t>(2, filter_bits_l0_ / 2);
+  tracker_ = std::make_shared<MemoryTracker>();
+  filter_counters_ = std::make_shared<RunFilterCounters>();
+  delta_ = FreshDeltaLocked();
   RebuildChainLocked();
   if (background_) {
     // The compactor drains reclaimed generations off the mutex, so
@@ -605,7 +684,7 @@ void DeltaHexastore::ClearLocked() {
     base_->Clear();
   }
   if (delta_exposed_) {
-    delta_ = std::make_shared<DeltaStore>();
+    delta_ = FreshDeltaLocked();
     delta_exposed_ = false;
   } else {
     delta_->Clear();
@@ -777,6 +856,22 @@ DeltaStats DeltaHexastore::Stats() const {
   stats.merge_run_ops = merge_run_ops_;
   stats.base_rebuild_triples = base_rebuild_triples_;
   stats.staged_ops_total = staged_ops_total_;
+  stats.filter_bits_per_key = filter_bits_l0_;
+  if (filter_counters_ != nullptr) {
+    stats.filter_probes =
+        filter_counters_->probes.load(std::memory_order_relaxed);
+    stats.filter_skips =
+        filter_counters_->skips.load(std::memory_order_relaxed);
+    stats.filter_false_positives =
+        filter_counters_->false_positives.load(std::memory_order_relaxed);
+  }
+  stats.filters_dropped = filters_dropped_;
+  stats.memory_budget_bytes = memory_budget_;
+  stats.resident_bytes =
+      (tracker_ == nullptr ? 0 : tracker_->resident()) + delta_->TableBytes();
+  stats.budget_seals = budget_seals_;
+  stats.budget_folds = budget_folds_;
+  stats.budget_base_merges = budget_base_merges_;
   return stats;
 }
 
@@ -1120,9 +1215,48 @@ void DeltaHexastore::EnsureDeltaWritableLocked() {
   }
 }
 
+std::shared_ptr<DeltaStore> DeltaHexastore::FreshDeltaLocked() const {
+  auto fresh = std::make_shared<DeltaStore>();
+  fresh->set_filter_counters(filter_counters_);
+  return fresh;
+}
+
+bool DeltaHexastore::OverBudgetLocked() const {
+  if (memory_budget_ == 0) {
+    return false;
+  }
+  // Tracked bytes cover every sealed run (table + caches + filter); the
+  // open buffer registers only at its seal, so its table is added here.
+  return tracker_->resident() + delta_->TableBytes() > memory_budget_;
+}
+
+void DeltaHexastore::ConfigureRunLocked(const DeltaStore& run,
+                                        std::size_t bits_per_key) {
+  if (bits_per_key > 0) {
+    if (OverBudgetLocked()) {
+      // Graceful degradation under pressure: the run keeps working
+      // through plain probes, we just don't spend budget on its filter.
+      ++filters_dropped_;
+    } else {
+      run.EnableFilter(bits_per_key);
+    }
+  }
+  run.TrackMemory(tracker_);
+}
+
 void DeltaHexastore::MaybeCompactLocked() {
-  if (delta_->op_count() < compact_threshold_) {
+  // A seal is forced by the op-count threshold, or early by memory
+  // pressure — but never for a near-empty buffer (a budget pinned by
+  // snapshot readers must not shatter the delta into one-op runs).
+  constexpr std::size_t kBudgetMinSealOps = 64;
+  const bool due = delta_->op_count() >= compact_threshold_;
+  const bool pressure = !due && OverBudgetLocked() &&
+                        delta_->op_count() >= kBudgetMinSealOps;
+  if (!due && !pressure) {
     return;
+  }
+  if (pressure) {
+    ++budget_seals_;
   }
   if (leveled()) {
     if (levels_.l0.size() >= l0_run_limit_) {
@@ -1131,15 +1265,31 @@ void DeltaHexastore::MaybeCompactLocked() {
       ++seal_overflows_;
     }
     SealLocked();
+    const bool over = OverBudgetLocked();
     if (background_) {
+      if (over) {
+        // Budget pressure overrides l0_run_limit: ask the compactor to
+        // merge all the way down so memory actually comes back.
+        drain_requested_ = true;
+        ++budget_folds_;
+        work_cv_.notify_one();
+      }
       return;  // the compactor folds and merges from here
     }
-    // Synchronous leveling: fold on this thread when L0 is full, and
-    // pay the base rebuild only when L1 has earned it.
-    if (levels_.l0.size() >= l0_run_limit_) {
+    // Synchronous leveling: fold on this thread when L0 is full (or the
+    // budget demands it), and pay the base rebuild only when L1 has
+    // earned it — or when memory pressure persists after the fold.
+    if (levels_.l0.size() >= l0_run_limit_ || over) {
+      if (over && levels_.l0.size() < l0_run_limit_) {
+        ++budget_folds_;
+      }
       FoldLocked();
     }
-    if (L1MergeDueLocked()) {
+    const bool base_due = L1MergeDueLocked();
+    if (levels_.l1 != nullptr && (base_due || OverBudgetLocked())) {
+      if (!base_due) {
+        ++budget_base_merges_;
+      }
       ApplyRunToBaseLocked(*levels_.l1);
       levels_.l1.reset();
       ++base_merges_;
@@ -1168,8 +1318,11 @@ void DeltaHexastore::SealLocked() {
   // run, writers get a fresh one. No publication and no cache build —
   // mutex readers reach the sealed runs under mu_, and lock-free
   // readers keep the previous generation until the next publication.
+  // The sealing buffer is armed with the L0 filter (built lazily with
+  // its sorted caches) and registered with the memory tracker.
+  ConfigureRunLocked(*delta_, filter_bits_l0_);
   levels_.l0.push_back(std::move(delta_));
-  delta_ = std::make_shared<DeltaStore>();
+  delta_ = FreshDeltaLocked();
   delta_exposed_ = false;
   published_active_ops_ = 0;
   levels_size_ = size_;
@@ -1183,6 +1336,11 @@ void DeltaHexastore::FoldLocked() {
   std::uint64_t fold_ops = 0;
   levels_.l1 = FoldRuns(levels_.l1, levels_.l0, &fold_ops);
   levels_.l0.clear();
+  if (levels_.l1 != nullptr) {
+    // Idempotent for an adopted single run (already filtered/tracked at
+    // its seal); a freshly merged run gets the colder L1 bit budget.
+    ConfigureRunLocked(*levels_.l1, filter_bits_l1_);
+  }
   merge_run_ops_ += fold_ops;
   ++l0_merges_;
   ++compactions_;
@@ -1295,7 +1453,7 @@ void DeltaHexastore::CompactLocked() {
   levels_.clear();
   drain_requested_ = false;
   if (delta_exposed_) {
-    delta_ = std::make_shared<DeltaStore>();
+    delta_ = FreshDeltaLocked();
     delta_exposed_ = false;
   } else {
     delta_->Clear();
@@ -1328,16 +1486,27 @@ void DeltaHexastore::MergerLoop() {
       // through pure accessors.
       std::shared_ptr<const DeltaStore> l1 = levels_.l1;
       std::vector<std::shared_ptr<const DeltaStore>> runs = levels_.l0;
+      const bool over = OverBudgetLocked();
       lock.unlock();
       std::uint64_t fold_ops = 0;
       std::shared_ptr<const DeltaStore> folded =
           FoldRuns(l1, runs, &fold_ops);
-      // Pre-build the folded run's lazy read caches while it is still
-      // thread-private: the post-commit publish freezes every run under
-      // mu_, and paying an O(L1) cache build there would stall writers
-      // for the whole fold size.
+      // Arm the folded run's L1 filter (skipped under budget pressure —
+      // the drop is counted at commit), then pre-build its lazy read
+      // caches and the filter while it is still thread-private: the
+      // post-commit publish freezes every run under mu_, and paying an
+      // O(L1) cache build there would stall writers for the whole fold
+      // size. TrackMemory is idempotent, covering the adopted-single-run
+      // case; a discarded result balances through the run's destructor.
+      if (filter_bits_l1_ > 0 && !over) {
+        folded->EnableFilter(filter_bits_l1_);
+      }
       folded->Freeze();
+      folded->TrackMemory(tracker_);
       lock.lock();
+      if (filter_bits_l1_ > 0 && over) {
+        ++filters_dropped_;
+      }
       if (ticket != merge_ticket_) {
         // Clear/BulkLoad/CompactLocked replaced the inputs mid-fold.
         ++merge_discards_;

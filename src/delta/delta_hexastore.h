@@ -91,8 +91,25 @@ struct DeltaOptions {
   std::size_t l0_run_limit = 0;
   /// Leveled deltas: L1 merges into the base once its op count reaches
   /// this fraction of the base size (but never before it holds at least
-  /// one compact_threshold of ops).
+  /// one compact_threshold of ops). Must be finite and > 0; the store
+  /// clamps invalid values (0, negative, NaN, inf) back to the default
+  /// rather than silently degrading to always-base-merge.
   double l1_base_fraction = 0.25;
+  /// Hard budget for tracked delta memory (sealed runs + their filters +
+  /// the active op table). 0 = unlimited. When tracked bytes cross the
+  /// budget the store seals/folds/base-merges regardless of
+  /// l0_run_limit, and stops building filters for new runs until back
+  /// under.
+  std::size_t memory_budget_bytes = 0;
+  /// Prefix-filter sizing for sealed L0 runs, in bits per indexed key
+  /// class (Monkey-style: the colder, bigger L1 run gets half). 0
+  /// disables filters.
+  std::size_t filter_bits_per_key = 10;
+
+  /// Clamps every field to its documented domain in place. Returns an
+  /// empty string when nothing was wrong, else a description of the
+  /// first repaired field (the DeltaHexastore constructor logs it).
+  std::string Normalize();
 };
 
 /// Update-optimized Hexastore with a staging delta, leveled sealed runs
@@ -191,6 +208,15 @@ class DeltaHexastore : public TripleStore {
   /// (l0_run_limit > 0) instead of merging straight into the base.
   bool leveled() const { return l0_run_limit_ > 0; }
   std::size_t l0_run_limit() const { return l0_run_limit_; }
+  /// Post-validation L1→base trigger fraction (tests the Normalize
+  /// clamping of bad option values).
+  double l1_base_fraction() const { return l1_base_fraction_; }
+  std::size_t memory_budget_bytes() const { return memory_budget_; }
+  std::size_t filter_bits_per_key() const { return filter_bits_l0_; }
+
+  /// The resident-memory tracker every sealed run registers with (tests
+  /// assert `balanced()` after the store and all snapshots are gone).
+  std::shared_ptr<MemoryTracker> memory_tracker() const { return tracker_; }
 
   /// Delta-layer counters for reports and the stats subsystem.
   DeltaStats Stats() const;
@@ -326,8 +352,16 @@ class DeltaHexastore : public TripleStore {
   // after any pointer in it changed.
   void RebuildChainLocked();
   // Threshold trigger: synchronous drain / leveled seal sequence, or
-  // seal + wake the compactor.
+  // seal + wake the compactor. Also fires on memory-budget pressure.
   void MaybeCompactLocked();
+  // True when a budget is set and tracked run memory plus the active
+  // table exceeds it.
+  bool OverBudgetLocked() const;
+  // Opens a fresh staging buffer wired to the shared filter counters.
+  std::shared_ptr<DeltaStore> FreshDeltaLocked() const;
+  // Arms the filter on a store being sealed/adopted as a run (or counts
+  // a drop under budget pressure) and registers it with the tracker.
+  void ConfigureRunLocked(const DeltaStore& run, std::size_t bits_per_key);
   // Synchronous full drain: collapses L1 + L0 runs + active into the
   // base (in place when no generation references the base, otherwise
   // rebuild-and-swap). Invalidates any in-flight background merge.
@@ -378,10 +412,16 @@ class DeltaHexastore : public TripleStore {
   // buffer iff this is non-zero, to keep published views monotonic.
   mutable std::size_t published_active_ops_ = 0;
 
-  std::size_t compact_threshold_;
+  std::size_t compact_threshold_ = kDeltaCompactThresholdDefault;
   bool background_ = false;
   std::size_t l0_run_limit_ = 0;
   double l1_base_fraction_ = 0.25;
+  std::size_t memory_budget_ = 0;
+  // Monkey-style per-level filter sizing: hot, small L0 runs get the
+  // full bit budget; the cold, big L1 run gets half (never below 2
+  // bits/key once enabled).
+  std::size_t filter_bits_l0_ = 0;
+  std::size_t filter_bits_l1_ = 0;
   std::size_t size_ = 0;
   // Logical triples in base ∪ levels (size_ minus the active buffer's
   // net contribution): the exact size of a publication that excludes
@@ -408,6 +448,14 @@ class DeltaHexastore : public TripleStore {
   std::uint64_t merge_run_ops_ = 0;
   std::uint64_t base_rebuild_triples_ = 0;
   std::uint64_t staged_ops_total_ = 0;
+
+  // Filter + budget accounting.
+  std::shared_ptr<MemoryTracker> tracker_;
+  std::shared_ptr<RunFilterCounters> filter_counters_;
+  std::uint64_t filters_dropped_ = 0;
+  std::uint64_t budget_seals_ = 0;
+  std::uint64_t budget_folds_ = 0;
+  std::uint64_t budget_base_merges_ = 0;
 
   mutable GenerationGate gate_;
 };

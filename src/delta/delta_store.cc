@@ -20,6 +20,16 @@ bool OverLoaded(std::size_t used, std::size_t capacity) {
 
 }  // namespace
 
+DeltaStore::~DeltaStore() {
+  // Runs unshared by definition, including on the deferred-reclaim path
+  // where the compactor destroys retired runs off the owner's mutex —
+  // returning the tracked bytes here is what keeps the resident-memory
+  // accounting balanced across folds.
+  if (tracker_ != nullptr) {
+    tracker_->Sub(tracked_bytes_);
+  }
+}
+
 DeltaStore::Slot* DeltaStore::Probe(const IdTriple& t,
                                     Slot** insert_at) const {
   if (insert_at != nullptr) {
@@ -170,6 +180,35 @@ DeltaStore::Presence DeltaStore::Lookup(const IdTriple& t) const {
   return Presence::kUnknown;
 }
 
+DeltaStore::Presence DeltaStore::FilteredLookup(const IdTriple& t) const {
+  const RunFilter* f = MaybeFilter();
+  if (f == nullptr) {
+    return Lookup(t);
+  }
+  RunFilterCounters* c = filter_counters_.get();
+  if (c != nullptr) {
+    c->probes.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (!f->MayContain(t)) {
+    if (c != nullptr) {
+      c->skips.fetch_add(1, std::memory_order_relaxed);
+    }
+    // A filter miss proves "no op-table entry" — it says nothing about
+    // pattern tombstones, which are checked unconditionally so a skipped
+    // run never loses its erase verdicts.
+    return PatternErased(t.p) ? Presence::kErased : Presence::kUnknown;
+  }
+  const Slot* hit = Probe(t, nullptr);
+  if (hit != nullptr) {
+    return hit->op == DeltaOp::kInsert ? Presence::kInserted
+                                       : Presence::kErased;
+  }
+  if (c != nullptr) {
+    c->false_positives.fetch_add(1, std::memory_order_relaxed);
+  }
+  return PatternErased(t.p) ? Presence::kErased : Presence::kUnknown;
+}
+
 DeltaStore::OpLookup DeltaStore::LookupOp(const IdTriple& t) const {
   const Slot* hit = Probe(t, nullptr);
   if (hit == nullptr) {
@@ -240,6 +279,7 @@ void DeltaStore::EnsureSideLists() const {
     }
   }
   lists_valid_.store(true, std::memory_order_release);
+  SyncTrackedBytesLocked();
 }
 
 void DeltaStore::EnsureSortedRuns() const {
@@ -269,6 +309,41 @@ void DeltaStore::EnsureSortedRuns() const {
               return std::tie(a.o, a.s, a.p) < std::tie(b.o, b.s, b.p);
             });
   runs_valid_.store(true, std::memory_order_release);
+  SyncTrackedBytesLocked();
+}
+
+void DeltaStore::EnableFilter(std::size_t bits_per_key) const {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  if (filter_ptr_.load(std::memory_order_relaxed) != nullptr) {
+    return;  // already built at some earlier arming
+  }
+  filter_bits_.store(bits_per_key, std::memory_order_release);
+}
+
+const RunFilter* DeltaStore::MaybeFilter() const {
+  const RunFilter* f = filter_ptr_.load(std::memory_order_acquire);
+  if (f != nullptr) {
+    return f;
+  }
+  if (filter_bits_.load(std::memory_order_acquire) == 0) {
+    return nullptr;  // not armed (active buffer, or filters dropped)
+  }
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  f = filter_ptr_.load(std::memory_order_relaxed);
+  if (f != nullptr) {
+    return f;  // another reader built it while we waited
+  }
+  const std::size_t bits = filter_bits_.load(std::memory_order_relaxed);
+  if (bits == 0) {
+    return nullptr;  // disarmed between the fast path and the lock
+  }
+  auto built = std::make_shared<RunFilter>(op_count(), bits);
+  ForEachOp(
+      [&built](const IdTriple& t, DeltaOp) { built->AddTriple(t); });
+  filter_owner_ = std::move(built);
+  filter_ptr_.store(filter_owner_.get(), std::memory_order_release);
+  SyncTrackedBytesLocked();
+  return filter_owner_.get();
 }
 
 void DeltaStore::ScanInserts(
@@ -276,6 +351,22 @@ void DeltaStore::ScanInserts(
     const {
   if (inserts_ == 0) {
     return;
+  }
+  if (q.bound_count() > 0) {
+    if (const RunFilter* f = MaybeFilter()) {
+      RunFilterCounters* c = filter_counters_.get();
+      if (c != nullptr) {
+        c->probes.fetch_add(1, std::memory_order_relaxed);
+      }
+      if (!f->MayContainPrefix(q)) {
+        // No op in this run carries the bound prefix, so in particular
+        // no insert does — skip the range scan entirely.
+        if (c != nullptr) {
+          c->skips.fetch_add(1, std::memory_order_relaxed);
+        }
+        return;
+      }
+    }
   }
   EnsureSortedRuns();
   constexpr Id kMax = ~Id{0};
@@ -330,6 +421,7 @@ std::uint64_t DeltaStore::CountInserts(const IdPattern& pattern) const {
 void DeltaStore::Freeze() const {
   EnsureSortedRuns();
   EnsureSideLists();
+  (void)MaybeFilter();  // builds the filter too when one is armed
 }
 
 IdTripleVec DeltaStore::SortedInserts() const {
@@ -360,6 +452,10 @@ std::size_t DeltaStore::MemoryBytes() const {
   // Cold path: take the cache mutex so a concurrent lazy build on a
   // frozen instance cannot race the container reads below.
   std::lock_guard<std::mutex> lock(cache_mu_);
+  return MemoryBytesLocked();
+}
+
+std::size_t DeltaStore::MemoryBytesLocked() const {
   std::size_t bytes = slots_.capacity() * sizeof(Slot);
   bytes += VectorHeapBytes(pattern_preds_);
   for (const auto& m : lists_) {
@@ -371,7 +467,35 @@ std::size_t DeltaStore::MemoryBytes() const {
   }
   bytes += VectorHeapBytes(run_spo_) + VectorHeapBytes(run_pos_) +
            VectorHeapBytes(run_osp_);
+  if (filter_owner_ != nullptr) {
+    bytes += filter_owner_->MemoryBytes();
+  }
   return bytes;
+}
+
+void DeltaStore::SyncTrackedBytesLocked() const {
+  if (tracker_ == nullptr) {
+    return;
+  }
+  const std::size_t now = MemoryBytesLocked();
+  if (now > tracked_bytes_) {
+    tracker_->Add(now - tracked_bytes_);
+  } else if (now < tracked_bytes_) {
+    tracker_->Sub(tracked_bytes_ - now);
+  }
+  tracked_bytes_ = now;
+}
+
+void DeltaStore::TrackMemory(std::shared_ptr<MemoryTracker> tracker) const {
+  if (tracker == nullptr) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  if (tracker_ != nullptr) {
+    return;  // already registered (e.g. a run adopted through a fold)
+  }
+  tracker_ = std::move(tracker);
+  SyncTrackedBytesLocked();
 }
 
 void DeltaStore::Clear() {
@@ -380,6 +504,7 @@ void DeltaStore::Clear() {
   inserts_ = 0;
   tombstones_ = 0;
   pattern_preds_.clear();
+  std::lock_guard<std::mutex> lock(cache_mu_);
   for (auto& m : lists_) {
     m.clear();
   }
@@ -388,6 +513,10 @@ void DeltaStore::Clear() {
   run_pos_.clear();
   run_osp_.clear();
   runs_valid_ = true;
+  filter_ptr_.store(nullptr, std::memory_order_relaxed);
+  filter_bits_.store(0, std::memory_order_relaxed);
+  filter_owner_.reset();
+  SyncTrackedBytesLocked();
 }
 
 }  // namespace hexastore

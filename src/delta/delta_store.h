@@ -42,14 +42,17 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <unordered_map>
 #include <vector>
 
+#include "delta/run_filter.h"
 #include "index/sorted_vec.h"
 #include "index/terminal_pool.h"
 #include "rdf/triple.h"
 #include "util/common.h"
+#include "util/memory_tracker.h"
 
 namespace hexastore {
 
@@ -93,12 +96,15 @@ struct DeltaList {
 class DeltaStore {
  public:
   DeltaStore() = default;
+  ~DeltaStore();
 
-  /// Copies only the op table, pattern tombstones and counters; the lazy
-  /// caches are left invalid on the copy (the cloning writer mutates
-  /// next, which would discard them anyway).
+  /// Copies only the op table, pattern tombstones, counters and the
+  /// shared filter-counter sink; the lazy caches (and any built filter)
+  /// are left invalid on the copy (the cloning writer mutates next,
+  /// which would discard them anyway).
   DeltaStore(const DeltaStore& other)
-      : slots_(other.slots_),
+      : filter_counters_(other.filter_counters_),
+        slots_(other.slots_),
         used_(other.used_),
         inserts_(other.inserts_),
         tombstones_(other.tombstones_),
@@ -145,6 +151,15 @@ class DeltaStore {
     kUnknown,   ///< not staged: defer to the base store
   };
   Presence Lookup(const IdTriple& t) const;
+
+  /// Lookup that consults the run's prefix Bloom filter first (when one
+  /// is enabled and built): a filter miss proves there is no op-table
+  /// entry for `t`, so the verdict short-circuits to the pattern-erase
+  /// check without probing the table. NOTE the semantics: a filter skip
+  /// means "no point op", never "no pattern tombstone" — pattern
+  /// tombstones live outside the filtered key space and are always
+  /// consulted. Identical observable results to Lookup.
+  Presence FilteredLookup(const IdTriple& t) const;
 
   /// Raw op-table probe, ignoring pattern tombstones (unlike Lookup,
   /// which folds them into the verdict). Used by the level-merge to
@@ -224,8 +239,43 @@ class DeltaStore {
   /// tombstones. Compaction may only be skipped when this holds.
   bool empty() const { return op_count() == 0 && pattern_preds_.empty(); }
 
-  /// Approximate heap bytes (op table + cached side lists).
+  /// Approximate heap bytes (op table + cached side lists + filter).
   std::size_t MemoryBytes() const;
+
+  /// Heap bytes of just the op table — O(1), callable without locks by
+  /// the owner's budget checks on the active (unfrozen) buffer.
+  std::size_t TableBytes() const { return slots_.capacity() * sizeof(Slot); }
+
+  // -- Prefix filter (sealed runs) ----------------------------------------
+
+  /// Arms the lazy prefix Bloom filter at `bits_per_key` bits per key
+  /// class. Called by the owner when sealing this store into a run (or
+  /// adopting a merge result); the filter itself is built alongside the
+  /// sorted caches on first probe (or by Freeze). Never called on a
+  /// buffer that will be mutated again — a mutation drops the filter.
+  void EnableFilter(std::size_t bits_per_key) const;
+
+  /// The built filter, or nullptr when disabled / not yet built. Builds
+  /// lazily (double-checked under cache_mu_) when armed.
+  const RunFilter* MaybeFilter() const;
+
+  /// Shared sink for probe/skip/false-positive counts; propagated to
+  /// copies and (by the owner) to merge results.
+  void set_filter_counters(std::shared_ptr<RunFilterCounters> counters) {
+    filter_counters_ = std::move(counters);
+  }
+  const std::shared_ptr<RunFilterCounters>& filter_counters() const {
+    return filter_counters_;
+  }
+
+  // -- Resident-memory tracking -------------------------------------------
+
+  /// Registers this store's analytic footprint with `tracker` and keeps
+  /// it current as lazy caches build. The destructor returns every
+  /// tracked byte, so accounting stays balanced even when the last
+  /// reference dies on a deferred-reclaim path off the owner's mutex.
+  /// Idempotent; a second tracker is ignored.
+  void TrackMemory(std::shared_ptr<MemoryTracker> tracker) const;
 
   /// Drops every staged operation.
   void Clear();
@@ -258,11 +308,22 @@ class DeltaStore {
   // double-checked discipline).
   void EnsureSortedRuns() const;
   // Drops all lazy caches after a mutation (mutator context: externally
-  // serialized against every reader).
+  // serialized against every reader). A built filter is dropped too —
+  // it only ever exists on sealed runs, so this is a safety net for the
+  // clone-then-mutate path, not a hot one.
   void InvalidateCaches() {
     lists_valid_.store(false, std::memory_order_release);
     runs_valid_.store(false, std::memory_order_release);
+    filter_ptr_.store(nullptr, std::memory_order_relaxed);
+    filter_bits_.store(0, std::memory_order_relaxed);
   }
+  // Re-registers the current footprint with the tracker (caller holds
+  // cache_mu_); no-op without a tracker.
+  void SyncTrackedBytesLocked() const;
+  // MemoryBytes body; caller holds cache_mu_.
+  std::size_t MemoryBytesLocked() const;
+
+  std::shared_ptr<RunFilterCounters> filter_counters_;
 
   mutable std::vector<Slot> slots_;  // power-of-two size; empty at start
   std::size_t used_ = 0;             // kFull + kDead slots
@@ -285,6 +346,18 @@ class DeltaStore {
   mutable IdTripleVec run_pos_;
   mutable IdTripleVec run_osp_;
   mutable std::atomic<bool> runs_valid_{true};
+
+  // Prefix filter state: `filter_bits_` arms the lazy build (0 =
+  // disabled), `filter_owner_` owns the built filter (under cache_mu_),
+  // and `filter_ptr_` is the lock-free fast-path publication of it.
+  mutable std::atomic<std::size_t> filter_bits_{0};
+  mutable std::atomic<const RunFilter*> filter_ptr_{nullptr};
+  mutable std::shared_ptr<const RunFilter> filter_owner_;
+
+  // Resident-bytes accounting (under cache_mu_ except the destructor,
+  // which runs unshared by definition).
+  mutable std::shared_ptr<MemoryTracker> tracker_;
+  mutable std::size_t tracked_bytes_ = 0;
 };
 
 }  // namespace hexastore

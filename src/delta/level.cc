@@ -37,6 +37,11 @@ void DeltaLevels::AppendBottomUp(std::vector<const DeltaStore*>* chain) const {
 std::shared_ptr<DeltaStore> MergeDeltaLayers(const DeltaStore& lower,
                                              const DeltaStore& upper) {
   auto merged = std::make_shared<DeltaStore>();
+  // The merged run reports filter effectiveness to the same sink as its
+  // inputs (the owner arms its filter after adopting the result).
+  merged->set_filter_counters(upper.filter_counters() != nullptr
+                                  ? upper.filter_counters()
+                                  : lower.filter_counters());
 
   // Pattern predicates union: an upper pattern erases lower staged state
   // and beneath-state alike; a lower pattern keeps suppressing whatever

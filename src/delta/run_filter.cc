@@ -1,0 +1,114 @@
+#include "delta/run_filter.h"
+
+#include <algorithm>
+
+namespace hexastore {
+namespace {
+
+// splitmix64 finalizer — same mixing family as IdTripleHash so the bit
+// positions decorrelate even for the dense sequential ids a dictionary
+// hands out.
+std::uint64_t Mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+// Each of the seven key classes gets its own salt so e.g. the `s` prefix
+// of one triple cannot alias the `o` prefix of another.
+enum class KeyClass : std::uint64_t {
+  kS = 0x53,
+  kP = 0x50,
+  kO = 0x4f,
+  kSP = 0x5350,
+  kPO = 0x504f,
+  kOS = 0x4f53,
+  kSPO = 0x53504f,
+};
+
+std::uint64_t Hash1(KeyClass c, Id a) {
+  return Mix(Mix(static_cast<std::uint64_t>(c)) ^ Mix(a));
+}
+std::uint64_t Hash2(KeyClass c, Id a, Id b) {
+  return Mix(Hash1(c, a) ^ Mix(b + 0x2545f4914f6cdd1dull));
+}
+std::uint64_t Hash3(KeyClass c, Id a, Id b, Id d) {
+  return Mix(Hash2(c, a, b) ^ Mix(d + 0x6a09e667f3bcc909ull));
+}
+
+}  // namespace
+
+RunFilter::RunFilter(std::size_t op_count, std::size_t bits_per_key) {
+  // Seven indexed key classes per staged op.
+  const std::size_t keys = std::max<std::size_t>(1, op_count) * 7;
+  const std::size_t want_bits =
+      std::max<std::size_t>(64, keys * std::max<std::size_t>(1, bits_per_key));
+  num_bits_ = (want_bits + 63) / 64 * 64;
+  bits_.assign(num_bits_ / 64, 0);
+  // k = ln(2) * bits/key, clamped to a sane range.
+  num_hashes_ = std::max<std::size_t>(
+      1, std::min<std::size_t>(16, (bits_per_key * 693 + 500) / 1000));
+}
+
+void RunFilter::AddKey(std::uint64_t key_hash) {
+  const std::uint64_t h2 = (key_hash >> 32) | 1;
+  std::uint64_t h = key_hash;
+  for (std::size_t i = 0; i < num_hashes_; ++i) {
+    const std::size_t bit = h % num_bits_;
+    bits_[bit / 64] |= (std::uint64_t{1} << (bit % 64));
+    h += h2;
+  }
+}
+
+bool RunFilter::TestKey(std::uint64_t key_hash) const {
+  const std::uint64_t h2 = (key_hash >> 32) | 1;
+  std::uint64_t h = key_hash;
+  for (std::size_t i = 0; i < num_hashes_; ++i) {
+    const std::size_t bit = h % num_bits_;
+    if ((bits_[bit / 64] & (std::uint64_t{1} << (bit % 64))) == 0) {
+      return false;
+    }
+    h += h2;
+  }
+  return true;
+}
+
+void RunFilter::AddTriple(const IdTriple& t) {
+  AddKey(Hash1(KeyClass::kS, t.s));
+  AddKey(Hash1(KeyClass::kP, t.p));
+  AddKey(Hash1(KeyClass::kO, t.o));
+  AddKey(Hash2(KeyClass::kSP, t.s, t.p));
+  AddKey(Hash2(KeyClass::kPO, t.p, t.o));
+  AddKey(Hash2(KeyClass::kOS, t.o, t.s));
+  AddKey(Hash3(KeyClass::kSPO, t.s, t.p, t.o));
+}
+
+bool RunFilter::MayContain(const IdTriple& t) const {
+  return TestKey(Hash3(KeyClass::kSPO, t.s, t.p, t.o));
+}
+
+bool RunFilter::MayContainPrefix(const IdPattern& q) const {
+  // Route every bound-position combination to the hexastore prefix that
+  // covers it (s+o routes through the osp ordering, matching ScanInserts).
+  switch (q.bound_count()) {
+    case 0:
+      return true;
+    case 1:
+      if (q.has_s()) return TestKey(Hash1(KeyClass::kS, q.s));
+      if (q.has_p()) return TestKey(Hash1(KeyClass::kP, q.p));
+      return TestKey(Hash1(KeyClass::kO, q.o));
+    case 2:
+      if (q.has_s() && q.has_p()) {
+        return TestKey(Hash2(KeyClass::kSP, q.s, q.p));
+      }
+      if (q.has_p() && q.has_o()) {
+        return TestKey(Hash2(KeyClass::kPO, q.p, q.o));
+      }
+      return TestKey(Hash2(KeyClass::kOS, q.o, q.s));
+    default:
+      return TestKey(Hash3(KeyClass::kSPO, q.s, q.p, q.o));
+  }
+}
+
+}  // namespace hexastore

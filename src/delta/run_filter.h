@@ -1,0 +1,71 @@
+// Prefix Bloom filter over one frozen delta run's op-table keys.
+//
+// A run's op table is immutable once sealed, so we can summarize it with
+// a Bloom filter and let the leveled read chain skip runs that provably
+// contain no entry for a key. Beyond full (s,p,o) membership the filter
+// also indexes every hexastore access-path prefix of each staged key —
+// s, sp, p, po, o, os — so bounded pattern probes (ScanInserts /
+// CountInserts with at least one bound position) can skip runs too.
+//
+// Semantics contract (see docs/delta-levels.md): the filter covers only
+// op-table KEYS. A miss means "this run stages no point op for the key";
+// it says nothing about pattern tombstones, which live in a separate
+// predicate set. Callers must still consult PatternErased() after a
+// filter skip, otherwise a skipped layer would silently lose its erase
+// verdicts.
+#ifndef HEXASTORE_DELTA_RUN_FILTER_H_
+#define HEXASTORE_DELTA_RUN_FILTER_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "rdf/triple.h"
+
+namespace hexastore {
+
+/// Shared counters describing filter effectiveness across a store's runs.
+/// One instance is threaded through every run a DeltaHexastore creates
+/// (and survives folds/merges) so DeltaStats can report totals.
+struct RunFilterCounters {
+  std::atomic<std::uint64_t> probes{0};
+  std::atomic<std::uint64_t> skips{0};
+  std::atomic<std::uint64_t> false_positives{0};
+};
+
+/// Immutable-after-build Bloom filter with double hashing. Construction
+/// is single-threaded (under the run's cache mutex); MayContain /
+/// MayContainPrefix are safe to call concurrently once published.
+class RunFilter {
+ public:
+  /// Sizes the bit array for `op_count` keys at `bits_per_key` bits each
+  /// per indexed key class (seven classes: s, p, o, sp, po, os, spo).
+  RunFilter(std::size_t op_count, std::size_t bits_per_key);
+
+  /// Indexes the triple and all six hexastore prefixes of it.
+  void AddTriple(const IdTriple& t);
+
+  /// False only when the run definitely stages no op for `t`.
+  bool MayContain(const IdTriple& t) const;
+
+  /// False only when the run definitely stages no op matching the bound
+  /// positions of `q`. An unbound pattern always returns true.
+  bool MayContainPrefix(const IdPattern& q) const;
+
+  std::size_t MemoryBytes() const {
+    return bits_.capacity() * sizeof(std::uint64_t);
+  }
+
+ private:
+  bool TestKey(std::uint64_t key_hash) const;
+  void AddKey(std::uint64_t key_hash);
+
+  std::vector<std::uint64_t> bits_;
+  std::size_t num_bits_ = 0;
+  std::size_t num_hashes_ = 1;
+};
+
+}  // namespace hexastore
+
+#endif  // HEXASTORE_DELTA_RUN_FILTER_H_

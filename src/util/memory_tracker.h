@@ -7,12 +7,61 @@
 #ifndef HEXASTORE_UTIL_MEMORY_TRACKER_H_
 #define HEXASTORE_UTIL_MEMORY_TRACKER_H_
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 namespace hexastore {
+
+/// Tracks resident bytes across a set of structures that register their
+/// analytic footprint as it changes. Every Add must eventually be matched
+/// by a Sub (typically from the owning structure's destructor), including
+/// on deferred-reclaim paths where destruction happens off the writer
+/// mutex on another thread — hence the atomics. `balanced()` lets tests
+/// assert that teardown returned every tracked byte.
+class MemoryTracker {
+ public:
+  void Add(std::size_t bytes) {
+    const std::int64_t now =
+        resident_.fetch_add(static_cast<std::int64_t>(bytes),
+                            std::memory_order_relaxed) +
+        static_cast<std::int64_t>(bytes);
+    std::int64_t peak = high_water_.load(std::memory_order_relaxed);
+    while (now > peak && !high_water_.compare_exchange_weak(
+                             peak, now, std::memory_order_relaxed)) {
+    }
+  }
+
+  void Sub(std::size_t bytes) {
+    resident_.fetch_sub(static_cast<std::int64_t>(bytes),
+                        std::memory_order_relaxed);
+  }
+
+  /// Currently tracked bytes, clamped at zero for reporting (a transient
+  /// negative can be observed between a Sub on one thread and the
+  /// matching structure's replacement registering on another).
+  std::size_t resident() const {
+    const std::int64_t v = resident_.load(std::memory_order_relaxed);
+    return v > 0 ? static_cast<std::size_t>(v) : 0;
+  }
+
+  std::size_t high_water() const {
+    const std::int64_t v = high_water_.load(std::memory_order_relaxed);
+    return v > 0 ? static_cast<std::size_t>(v) : 0;
+  }
+
+  /// True when every Add has been matched by a Sub.
+  bool balanced() const {
+    return resident_.load(std::memory_order_relaxed) == 0;
+  }
+
+ private:
+  std::atomic<std::int64_t> resident_{0};
+  std::atomic<std::int64_t> high_water_{0};
+};
 
 /// Approximate per-node bookkeeping overhead of libstdc++'s
 /// unordered_map (hash node: next pointer + cached hash) plus bucket

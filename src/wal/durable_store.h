@@ -83,6 +83,12 @@ struct DurabilityOptions {
   /// Leveled deltas: L1→base merge trigger as a fraction of the base
   /// size (see DeltaOptions::l1_base_fraction).
   double l1_base_fraction = 0.25;
+  /// Hard delta-memory budget of the inner store (see
+  /// DeltaOptions::memory_budget_bytes). 0 = unlimited.
+  std::size_t memory_budget_bytes = 0;
+  /// Prefix-filter sizing of the inner store's sealed runs (see
+  /// DeltaOptions::filter_bits_per_key). 0 disables filters.
+  std::size_t filter_bits_per_key = 10;
   /// Run compaction-triggered checkpoints on a dedicated thread instead
   /// of inline on the committing writer. (Even inline, only segment
   /// rotation happens under the store lock; the snapshot itself is
@@ -192,7 +198,9 @@ class DurableDeltaHexastore : public TripleStore {
         store_(DeltaOptions{options.compact_threshold,
                             options.background_compaction,
                             options.l0_run_limit,
-                            options.l1_base_fraction}) {}
+                            options.l1_base_fraction,
+                            options.memory_budget_bytes,
+                            options.filter_bits_per_key}) {}
 
   // Post-append tail of every mutator: group commit outside mu_, then a
   // checkpoint (inline or handed to the checkpointer) if a compaction

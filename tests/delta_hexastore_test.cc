@@ -5,6 +5,8 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
+#include <limits>
 #include <set>
 #include <sstream>
 #include <string>
@@ -626,6 +628,44 @@ TEST(LeveledDeltaTest, SnapshotsPinTheLeveledChain) {
   EXPECT_EQ(snap.size(), 406u);
   EXPECT_TRUE(snap.Contains({1001, 8, 1}));
   EXPECT_EQ(snap.CountMatches(IdPattern{0, 8, 0}), 6u);
+}
+
+TEST(DeltaOptionsTest, NormalizeRepairsBadL1BaseFraction) {
+  // Zero, negative, NaN and infinity used to silently degrade the
+  // leveled store into always-base-merging; Normalize now clamps each
+  // to the default and says so.
+  const double bad[] = {0.0, -0.5, std::nan(""),
+                        std::numeric_limits<double>::infinity()};
+  for (const double value : bad) {
+    DeltaOptions o;
+    o.l1_base_fraction = value;
+    const std::string message = o.Normalize();
+    EXPECT_FALSE(message.empty()) << "value " << value;
+    EXPECT_EQ(o.l1_base_fraction, 0.25) << "value " << value;
+    // A repaired options struct is clean on re-normalization.
+    EXPECT_TRUE(o.Normalize().empty()) << "value " << value;
+  }
+  // Valid fractions pass through untouched.
+  DeltaOptions ok;
+  ok.l1_base_fraction = 0.7;
+  EXPECT_TRUE(ok.Normalize().empty());
+  EXPECT_EQ(ok.l1_base_fraction, 0.7);
+}
+
+TEST(DeltaOptionsTest, StoreRepairsBadOptionsOnConstruction) {
+  DeltaOptions o;
+  o.compact_threshold = 0;  // would seal on every op
+  o.l1_base_fraction = -1.0;
+  o.l0_run_limit = 2;
+  DeltaHexastore store(o);
+  EXPECT_EQ(store.l1_base_fraction(), 0.25);
+  // The repaired store still behaves: a leveled churn round-trips.
+  for (Id i = 1; i <= 20; ++i) {
+    ASSERT_TRUE(store.Insert({i, 1 + i % 3, i}));
+  }
+  EXPECT_EQ(store.size(), 20u);
+  std::string err;
+  EXPECT_TRUE(store.CheckInvariants(&err)) << err;
 }
 
 }  // namespace

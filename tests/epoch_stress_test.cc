@@ -277,6 +277,96 @@ TEST(EpochStressTest, LeveledBackgroundChurnAgreesWithOracle) {
   EXPECT_GT(stats.l0_merges, 0u);
 }
 
+// The leveled background churn with prefix filters armed and a hard
+// memory budget: reader threads hammer wait-free handles with mostly-
+// absent point probes (the filter skip path) while the compactor folds
+// under budget pressure and frees superseded runs on the deferred-
+// reclaim path — which must return every tracked byte.
+TEST(EpochStressTest, FilteredBackgroundChurnUnderBudgetStaysExact) {
+  Rng rng(0xF117BEEF);
+  DeltaOptions options;
+  options.compact_threshold = 32;
+  options.background_compaction = true;
+  options.l0_run_limit = 3;
+  options.l1_base_fraction = 0.05;
+  options.filter_bits_per_key = 10;
+  options.memory_budget_bytes = 8192;  // constant budget pressure
+
+  std::shared_ptr<MemoryTracker> tracker;
+  {
+    DeltaHexastore store(options);
+    tracker = store.memory_tracker();
+    std::set<IdTriple> oracle;
+    constexpr Id kUniverse = 12;
+
+    std::atomic<bool> stop{false};
+    std::thread reader([&store, &stop] {
+      Rng reader_rng(0x5EED);
+      while (!stop.load(std::memory_order_acquire)) {
+        DeltaHexastore::Snapshot snap = store.AcquireReadHandle();
+        // Distant keys are absent from every run: each probe that
+        // reaches a filtered run should skip its table.
+        const IdTriple far{reader_rng.UniformRange(1000, 2000),
+                           reader_rng.UniformRange(1000, 2000),
+                           reader_rng.UniformRange(1000, 2000)};
+        EXPECT_FALSE(snap.Contains(far));
+      }
+    });
+
+    for (int batch = 0; batch < 30; ++batch) {
+      for (int op = 0; op < 60; ++op) {
+        const double dice = rng.NextDouble();
+        if (dice < 0.55) {
+          IdTriple t = RandomTriple(rng, kUniverse);
+          ASSERT_EQ(store.Insert(t), oracle.insert(t).second);
+        } else if (dice < 0.92) {
+          IdTriple t;
+          if (!oracle.empty() && rng.Bernoulli(0.5)) {
+            auto it = oracle.begin();
+            std::advance(it, rng.Uniform(oracle.size()));
+            t = *it;
+          } else {
+            t = RandomTriple(rng, kUniverse);
+          }
+          ASSERT_EQ(store.Erase(t), oracle.erase(t) > 0);
+        } else if (dice < 0.97) {
+          const Id p = rng.UniformRange(1, kUniverse);
+          std::size_t expected = 0;
+          for (auto it = oracle.begin(); it != oracle.end();) {
+            if (it->p == p) {
+              it = oracle.erase(it);
+              ++expected;
+            } else {
+              ++it;
+            }
+          }
+          ASSERT_EQ(store.ErasePattern(IdPattern{0, p, 0}), expected);
+        } else {
+          store.Compact();
+        }
+      }
+      ASSERT_EQ(store.size(), oracle.size()) << "batch " << batch;
+      IdTripleVec scanned = store.Match(IdPattern{});
+      ASSERT_EQ(scanned, IdTripleVec(oracle.begin(), oracle.end()))
+          << "batch " << batch;
+      std::string err;
+      ASSERT_TRUE(store.CheckInvariants(&err)) << err;
+    }
+    stop.store(true, std::memory_order_release);
+    reader.join();
+
+    const DeltaStats stats = store.Stats();
+    EXPECT_TRUE(stats.background);
+    EXPECT_GT(stats.seals, 0u);
+    EXPECT_GT(stats.filter_probes, 0u);
+    EXPECT_GT(stats.filter_skips, 0u);
+    EXPECT_GT(stats.budget_folds, 0u);
+  }
+  // Every run — including those destroyed by the compactor on the
+  // deferred-reclaim path — must have subtracted its tracked bytes.
+  EXPECT_TRUE(tracker->balanced());
+}
+
 // Leveled headline: readers hold a window of wait-free handles across
 // L0→L1 folds and L1→base merges running on the compactor thread. Every
 // pinned view must stay internally consistent no matter which level a

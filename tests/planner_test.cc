@@ -161,6 +161,42 @@ TEST_F(DeltaPlannerTest, PatternTombstoneZeroesTheEstimate) {
   EXPECT_EQ(store_->EstimateMatches(IdPattern{s, 0, 0}), 1u);
 }
 
+TEST_F(DeltaPlannerTest, ReStagedInsertDedupAcrossLayers) {
+  // The double-count regression: a triple sealed into a lower delta
+  // layer, pattern-erased, then re-staged in the active buffer used to
+  // be counted once per layer. The estimate must see exactly one.
+  DeltaOptions options;
+  options.compact_threshold = 2;
+  options.l0_run_limit = 8;
+  DeltaHexastore store(options);
+  const IdTriple t1{1, 7, 1};
+  const IdTriple t2{2, 8, 2};
+  ASSERT_TRUE(store.Insert(t1));
+  ASSERT_TRUE(store.Insert(t2));  // seals {t1, t2} into an L0 run
+  ASSERT_GT(store.Stats().l0_runs, 0u);
+  ASSERT_EQ(store.ErasePattern(IdPattern{0, 7, 0}), 1u);
+  ASSERT_TRUE(store.Insert(t1));  // re-staged above its own tombstone
+  ASSERT_EQ(store.size(), 2u);
+
+  EXPECT_EQ(store.EstimateMatches(IdPattern{1, 0, 0}), 1u);
+  EXPECT_EQ(store.EstimateMatches(IdPattern{}), 2u);
+}
+
+TEST_F(DeltaPlannerTest, FullyBoundPatternIsExact) {
+  // Fully-bound patterns short-circuit through the verdict chain: the
+  // estimate is the membership answer, not a scaled guess.
+  IdTripleVec all = store_->Match(IdPattern{});
+  ASSERT_TRUE(store_->Erase(all[0]));
+  EXPECT_EQ(
+      store_->EstimateMatches(IdPattern{all[0].s, all[0].p, all[0].o}), 0u);
+  EXPECT_EQ(
+      store_->EstimateMatches(IdPattern{all[1].s, all[1].p, all[1].o}), 1u);
+  const IdTriple staged{Intern("s", 900), p1_, Intern("x", 900)};
+  ASSERT_TRUE(store_->Insert(staged));
+  EXPECT_EQ(store_->EstimateMatches(IdPattern{staged.s, staged.p, staged.o}),
+            1u);
+}
+
 TEST_F(DeltaPlannerTest, PlanPrefersStagedSelectivePatternMidDelta) {
   // The selective pattern exists ONLY in the staging buffer: a planner
   // reading just the base would see zero for p1 and tie-break wrong; the

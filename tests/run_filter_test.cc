@@ -1,0 +1,174 @@
+// Unit tests for the prefix Bloom filter over sealed delta runs: no
+// false negatives across every hexastore prefix shape, sane false-
+// positive rates, skip/false-positive accounting through
+// DeltaStore::FilteredLookup, and the critical verdict-chain semantics —
+// a filter skip means "no op-table entry", never "no pattern tombstone".
+#include <gtest/gtest.h>
+
+#include <random>
+#include <unordered_set>
+
+#include "delta/delta_hexastore.h"
+#include "delta/delta_store.h"
+#include "delta/run_filter.h"
+
+namespace hexastore {
+namespace {
+
+IdTriple RandomTriple(std::mt19937_64& rng, Id universe) {
+  std::uniform_int_distribution<Id> d(1, universe);
+  return IdTriple{d(rng), d(rng), d(rng)};
+}
+
+TEST(RunFilterTest, NoFalseNegativesAcrossPrefixShapes) {
+  std::mt19937_64 rng(0xF117E4);
+  IdTripleVec keys;
+  for (int i = 0; i < 500; ++i) {
+    keys.push_back(RandomTriple(rng, 1u << 20));
+  }
+  RunFilter filter(keys.size(), /*bits_per_key=*/10);
+  for (const IdTriple& t : keys) {
+    filter.AddTriple(t);
+  }
+  for (const IdTriple& t : keys) {
+    EXPECT_TRUE(filter.MayContain(t));
+    // Every bound-position combination of the triple must pass.
+    EXPECT_TRUE(filter.MayContainPrefix(IdPattern{t.s, 0, 0}));
+    EXPECT_TRUE(filter.MayContainPrefix(IdPattern{0, t.p, 0}));
+    EXPECT_TRUE(filter.MayContainPrefix(IdPattern{0, 0, t.o}));
+    EXPECT_TRUE(filter.MayContainPrefix(IdPattern{t.s, t.p, 0}));
+    EXPECT_TRUE(filter.MayContainPrefix(IdPattern{0, t.p, t.o}));
+    EXPECT_TRUE(filter.MayContainPrefix(IdPattern{t.s, 0, t.o}));
+    EXPECT_TRUE(filter.MayContainPrefix(IdPattern{t.s, t.p, t.o}));
+  }
+}
+
+TEST(RunFilterTest, UnboundPatternAlwaysPasses) {
+  RunFilter filter(4, 10);
+  EXPECT_TRUE(filter.MayContainPrefix(IdPattern{}));
+}
+
+TEST(RunFilterTest, FalsePositiveRateIsSane) {
+  std::mt19937_64 rng(0xBEEF);
+  // Dense ids in [1, 1000]; absent probes drawn from a disjoint range.
+  RunFilter filter(1000, /*bits_per_key=*/10);
+  for (int i = 0; i < 1000; ++i) {
+    filter.AddTriple(RandomTriple(rng, 1000));
+  }
+  int positives = 0;
+  const int kProbes = 5000;
+  for (int i = 0; i < kProbes; ++i) {
+    std::uniform_int_distribution<Id> d(1u << 20, 1u << 21);
+    const IdTriple absent{d(rng), d(rng), d(rng)};
+    if (filter.MayContain(absent)) {
+      ++positives;
+    }
+  }
+  // 10 bits/key double-hashed should be far below 10%; allow slack.
+  EXPECT_LT(static_cast<double>(positives) / kProbes, 0.1);
+}
+
+TEST(RunFilterTest, FilteredLookupCountsSkipsAndFalsePositives) {
+  DeltaStore store;
+  auto counters = std::make_shared<RunFilterCounters>();
+  store.set_filter_counters(counters);
+  for (Id i = 1; i <= 100; ++i) {
+    store.StageInsert(IdTriple{i, i + 1, i + 2}, /*base_present=*/false);
+  }
+  store.EnableFilter(10);
+  store.Freeze();
+
+  // Present keys answer kInserted through the filter.
+  for (Id i = 1; i <= 100; ++i) {
+    EXPECT_EQ(store.FilteredLookup(IdTriple{i, i + 1, i + 2}),
+              DeltaStore::Presence::kInserted);
+  }
+  // Distant absent keys mostly skip; any pass-through is counted as a
+  // false positive and still answers kUnknown.
+  for (Id i = 1; i <= 1000; ++i) {
+    EXPECT_EQ(store.FilteredLookup(IdTriple{i + (1u << 30), i, i}),
+              DeltaStore::Presence::kUnknown);
+  }
+  const auto probes = counters->probes.load();
+  const auto skips = counters->skips.load();
+  const auto fps = counters->false_positives.load();
+  EXPECT_EQ(probes, 1100u);
+  EXPECT_GT(skips, 900u);  // FP rate well under 10%
+  EXPECT_EQ(skips + fps, 1000u);
+}
+
+TEST(RunFilterTest, PrefixProbeSkipsScanOfForeignRun) {
+  DeltaStore store;
+  auto counters = std::make_shared<RunFilterCounters>();
+  store.set_filter_counters(counters);
+  for (Id i = 1; i <= 50; ++i) {
+    store.StageInsert(IdTriple{i, 7, i}, /*base_present=*/false);
+  }
+  store.EnableFilter(10);
+  store.Freeze();
+  // A predicate this run never staged: the prefix probe skips the scan.
+  const auto skips_before = counters->skips.load();
+  EXPECT_EQ(store.CountInserts(IdPattern{0, 123456789, 0}), 0u);
+  EXPECT_GE(counters->skips.load(), skips_before);
+  // A staged predicate still scans and finds everything.
+  EXPECT_EQ(store.CountInserts(IdPattern{0, 7, 0}), 50u);
+}
+
+TEST(RunFilterTest, FilterSkipStillReportsPatternTombstone) {
+  // The regression this subsystem must never reintroduce: a run holding
+  // a pattern tombstone for predicate p has NO op-table entry for a base
+  // triple with p, so a perfect (false-positive-free) filter skips the
+  // table probe — and the verdict must still be kErased, not kUnknown.
+  DeltaStore store;
+  store.set_filter_counters(std::make_shared<RunFilterCounters>());
+  store.StagePatternErase(5);
+  for (Id i = 1; i <= 64; ++i) {
+    store.StageInsert(IdTriple{i, 7, i}, /*base_present=*/false);
+  }
+  store.EnableFilter(10);
+  store.Freeze();
+  ASSERT_NE(store.MaybeFilter(), nullptr);
+  const IdTriple base_resident{999, 5, 999};
+  ASSERT_FALSE(store.MaybeFilter()->MayContain(base_resident));
+  EXPECT_EQ(store.FilteredLookup(base_resident),
+            DeltaStore::Presence::kErased);
+}
+
+TEST(RunFilterTest, StoreLevelSkippedRunKeepsTombstoneVerdict) {
+  // Same contract end-to-end: a sealed L0 run carries a pattern
+  // tombstone for p; the base triple with p must stay erased even
+  // though the run's filter (correctly) reports it absent.
+  DeltaOptions options;
+  options.compact_threshold = 8;
+  options.l0_run_limit = 4;
+  options.l1_base_fraction = 100.0;  // never base-merge in this test
+  DeltaHexastore store(options);
+  IdTripleVec base;
+  base.push_back(IdTriple{1, 5, 1});
+  base.push_back(IdTriple{2, 6, 2});
+  store.BulkLoad(base);
+
+  ASSERT_EQ(store.ErasePattern(IdPattern{0, 5, 0}), 1u);
+  // Fill the active buffer past the threshold so the pattern tombstone
+  // seals into an L0 run.
+  for (Id i = 0; i < 8; ++i) {
+    ASSERT_TRUE(store.Insert(IdTriple{100 + i, 7, 100 + i}));
+  }
+  ASSERT_GT(store.Stats().l0_runs, 0u);
+
+  EXPECT_FALSE(store.Contains(IdTriple{1, 5, 1}));
+  EXPECT_TRUE(store.Contains(IdTriple{2, 6, 2}));
+  EXPECT_EQ(store.EstimateMatches(IdPattern{0, 5, 0}), 0u);
+  const DeltaStats stats = store.Stats();
+  EXPECT_GT(stats.filter_probes, 0u);
+}
+
+TEST(RunFilterTest, MemoryBytesGrowsWithKeys) {
+  RunFilter small(10, 10);
+  RunFilter big(10000, 10);
+  EXPECT_GT(big.MemoryBytes(), small.MemoryBytes());
+  EXPECT_GT(small.MemoryBytes(), 0u);
+}
+
+}  // namespace
+}  // namespace hexastore
