@@ -47,6 +47,7 @@
 
 #include "data/lubm_generator.h"
 #include "delta/delta_hexastore.h"
+#include "obs/histogram.h"
 #include "wal/durable_store.h"
 
 namespace hexastore::bench {
@@ -150,18 +151,22 @@ void RegisterDrainLatency(const std::string& label, std::size_t n,
           .c_str(),
       [n, args...](benchmark::State& state) {
         IdTripleVec data = EncodedPrefix(n);
-        std::vector<std::uint64_t> latencies;
-        latencies.reserve(n);
+        // Unsampled obs histogram: the reported percentiles are the
+        // store's own export pipeline (log2 buckets + interpolation),
+        // not a private sorted-vector path — what a scrape of
+        // hexa_insert_latency_ns would show at full sampling.
+        obs::LatencyHistogram hist;
+        obs::HistogramSnapshot snap;
         for (auto _ : state) {
           state.PauseTiming();
           auto store = std::make_unique<DeltaHexastore>(args...);
-          latencies.clear();
+          hist.Reset();
           state.ResumeTiming();
           for (const auto& t : data) {
             const auto begin = std::chrono::steady_clock::now();
             store->Insert(t);
             const auto end = std::chrono::steady_clock::now();
-            latencies.push_back(static_cast<std::uint64_t>(
+            hist.Record(static_cast<std::uint64_t>(
                 std::chrono::duration_cast<std::chrono::nanoseconds>(end -
                                                                      begin)
                     .count()));
@@ -171,24 +176,20 @@ void RegisterDrainLatency(const std::string& label, std::size_t n,
           // the compactor) outside the timed region so the wall-clock
           // numbers compare the write loops alone.
           state.PauseTiming();
+          snap = hist.Snapshot();
           store->Compact();
           store.reset();
           state.ResumeTiming();
         }
-        if (!latencies.empty()) {
-          std::sort(latencies.begin(), latencies.end());
-          const auto at = [&latencies](double q) {
-            return static_cast<double>(latencies[static_cast<std::size_t>(
-                q * static_cast<double>(latencies.size() - 1))]);
-          };
-          state.counters["p50_ns"] = at(0.50);
-          state.counters["p99_ns"] = at(0.99);
-          state.counters["p999_ns"] = at(0.999);
-          state.counters["max_ns"] = at(1.0);
+        if (snap.count > 0) {
+          state.counters["p50_ns"] = snap.P50();
+          state.counters["p99_ns"] = snap.P99();
+          state.counters["p999_ns"] = snap.P999();
+          state.counters["max_ns"] = static_cast<double>(snap.max);
           // The flat-latency verdict in one number: how far the worst
           // op (the drain) sits above the median op.
           state.counters["max_over_p50"] =
-              at(1.0) / std::max(1.0, at(0.50));
+              static_cast<double>(snap.max) / std::max(1.0, snap.P50());
         }
         state.SetItemsProcessed(
             static_cast<std::int64_t>(state.iterations() * n));

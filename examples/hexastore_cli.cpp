@@ -7,7 +7,9 @@
 //   hexastore_cli --demo [QUERY]          (generated LUBM data)
 //
 // With no QUERY argument, queries are read from stdin (one per line or
-// separated by blank lines). `--stats` prints index statistics instead.
+// separated by blank lines). `--stats` prints index statistics instead;
+// `--metrics` prints the graph's Prometheus-style metric exposition
+// (see docs/observability.md).
 #include <algorithm>
 #include <fstream>
 #include <iostream>
@@ -47,6 +49,7 @@ int main(int argc, char** argv) {
   Graph graph;
   bool loaded = false;
   bool show_stats = false;
+  bool show_metrics = false;
   std::string query;
 
   std::vector<std::string> args(argv + 1, argv + argc);
@@ -85,10 +88,12 @@ int main(int argc, char** argv) {
       loaded = true;
     } else if (arg == "--stats") {
       show_stats = true;
+    } else if (arg == "--metrics") {
+      show_metrics = true;
     } else if (arg == "--help") {
       std::cout << "usage: hexastore_cli (--load-nt FILE | "
                    "--load-snapshot FILE | --demo) [--save-snapshot FILE] "
-                   "[--stats] [QUERY]\n";
+                   "[--stats] [--metrics] [QUERY]\n";
       return 0;
     } else {
       query = arg;
@@ -106,6 +111,10 @@ int main(int argc, char** argv) {
               << graph.store().DistinctPredicates() << "\n"
               << "distinct objects:    "
               << graph.store().DistinctObjects() << "\n";
+    return 0;
+  }
+  if (show_metrics) {
+    std::cout << graph.MetricsText();
     return 0;
   }
   if (!query.empty()) {

@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""Validates a HEXA_METRICS_JSON dump against the version-1 schema.
+
+Usage: check_metrics_json.py <dump.json> [--require-wal]
+
+Checks (see docs/observability.md "Export formats"):
+  * top-level shape: version 1, counters/gauges/histograms objects and
+    a trace object (or null);
+  * every histogram carries count/sum_ns/max_ns/sample_shift, ordered
+    percentiles and well-formed buckets;
+  * the dump is not hollow: the delta and epoch counter families have
+    nonzero entries, the trace retained events — and with --require-wal
+    (the CI metrics-smoke job, which churns a durable store) the WAL
+    family too.
+
+Exits 0 on a valid dump, 1 with one line per violation otherwise.
+Stdlib only.
+"""
+
+import json
+import sys
+
+
+def fail(errors):
+    for e in errors:
+        print(f"check_metrics_json: {e}", file=sys.stderr)
+    return 1
+
+
+def main(argv):
+    if len(argv) < 2 or argv[1].startswith("-"):
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    path = argv[1]
+    require_wal = "--require-wal" in argv[2:]
+
+    errors = []
+    try:
+        with open(path, encoding="utf-8") as f:
+            dump = json.load(f)
+    except (OSError, json.JSONDecodeError) as exc:
+        return fail([f"{path}: cannot parse: {exc}"])
+
+    if dump.get("version") != 1:
+        errors.append(f"version is {dump.get('version')!r}, expected 1")
+
+    for section in ("counters", "gauges", "histograms"):
+        if not isinstance(dump.get(section), dict):
+            errors.append(f"missing or non-object section {section!r}")
+            dump[section] = {}
+
+    for name, value in dump["counters"].items():
+        if not isinstance(value, int) or value < 0:
+            errors.append(f"counter {name} is not a non-negative integer")
+    for name, value in dump["gauges"].items():
+        if not isinstance(value, int):
+            errors.append(f"gauge {name} is not an integer")
+
+    required_hist_keys = {
+        "count", "sum_ns", "max_ns", "sample_shift",
+        "p50_ns", "p90_ns", "p99_ns", "p999_ns", "buckets",
+    }
+    for name, hist in dump["histograms"].items():
+        if not isinstance(hist, dict):
+            errors.append(f"histogram {name} is not an object")
+            continue
+        missing = required_hist_keys - hist.keys()
+        if missing:
+            errors.append(f"histogram {name} missing keys {sorted(missing)}")
+            continue
+        p50, p90 = hist["p50_ns"], hist["p90_ns"]
+        p99, p999 = hist["p99_ns"], hist["p999_ns"]
+        if not p50 <= p90 <= p99 <= p999:
+            errors.append(f"histogram {name} percentiles not ordered: "
+                          f"{p50} {p90} {p99} {p999}")
+        if p999 > hist["max_ns"]:
+            errors.append(f"histogram {name} p999 {p999} exceeds max "
+                          f"{hist['max_ns']}")
+        bucket_total = 0
+        for bucket in hist["buckets"]:
+            if set(bucket.keys()) != {"le_ns", "count"}:
+                errors.append(f"histogram {name} malformed bucket {bucket}")
+                break
+            bucket_total += bucket["count"]
+        else:
+            if bucket_total != hist["count"]:
+                errors.append(f"histogram {name} bucket counts sum to "
+                              f"{bucket_total}, count is {hist['count']}")
+
+    trace = dump.get("trace")
+    if trace is None:
+        errors.append("trace is null — dump did not come from a delta store")
+    elif not isinstance(trace, dict):
+        errors.append("trace is not an object")
+    else:
+        for key in ("capacity", "recorded", "retained", "events"):
+            if key not in trace:
+                errors.append(f"trace missing key {key!r}")
+        events = trace.get("events", [])
+        if trace.get("recorded", 0) <= 0 or not events:
+            errors.append("trace recorded no events")
+        for event in events:
+            missing = ({"ticket", "ts_ns", "event", "reason",
+                        "duration_ns", "value"} - event.keys())
+            if missing:
+                errors.append(f"trace event missing keys {sorted(missing)}")
+                break
+
+    families = [("hexa_delta_", True), ("hexa_epoch_", True),
+                ("hexa_wal_", require_wal)]
+    for prefix, required in families:
+        if not required:
+            continue
+        live = [n for n, v in dump["counters"].items()
+                if n.startswith(prefix) and v > 0]
+        if not live:
+            errors.append(f"no nonzero {prefix}* counters — hollow dump")
+
+    if errors:
+        return fail(errors)
+    n_hist = len(dump["histograms"])
+    retained = trace.get("retained", 0) if isinstance(trace, dict) else 0
+    print(f"check_metrics_json: OK ({len(dump['counters'])} counters, "
+          f"{len(dump['gauges'])} gauges, {n_hist} histograms, "
+          f"{retained} trace events)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,6 +1,9 @@
 #!/usr/bin/env bash
 # Runs every figure and ablation benchmark and writes one JSON result
-# file per binary.
+# file per binary. The abl_updates drain-latency series carry
+# p50_ns/p99_ns/p999_ns/max_ns counters from the obs latency histograms
+# (docs/observability.md), and abl_obs_overhead pins the
+# instrumentation cost itself.
 #
 # Usage: scripts/run_benchmarks.sh [build_dir] [out_dir]
 #   HEXA_BENCH_SIZES=2000,100000 scripts/run_benchmarks.sh   # smaller sweep

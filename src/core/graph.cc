@@ -1,11 +1,37 @@
 #include "core/graph.h"
 
+#include "obs/scoped_timer.h"
 #include "rdf/ntriples.h"
 
 namespace hexastore {
 
+Graph::Graph() {
+  registry_.RegisterCounter("hexa_graph_inserts_total",
+                            "term-level Insert calls that added a triple",
+                            &meters_.inserts);
+  registry_.RegisterCounter("hexa_graph_erases_total",
+                            "term-level Erase calls that removed a triple",
+                            &meters_.erases);
+  registry_.RegisterCounter("hexa_graph_matches_total",
+                            "term-level Match queries answered",
+                            &meters_.matches);
+  registry_.RegisterHistogram("hexa_graph_match_latency_ns",
+                              "Match latency incl. decode "
+                              "(1-in-128 sampled)",
+                              &meters_.match_ns);
+  registry_.RegisterGauge("hexa_graph_size_triples",
+                          "triples in the graph", &meters_.size_triples);
+  registry_.RegisterGauge("hexa_graph_dict_terms",
+                          "terms interned in the dictionary",
+                          &meters_.dict_terms);
+}
+
 bool Graph::Insert(const Triple& triple) {
-  return store_.Insert(dict_.Encode(triple));
+  const bool added = store_.Insert(dict_.Encode(triple));
+  if (added) {
+    meters_.inserts.Add();
+  }
+  return added;
 }
 
 bool Graph::Erase(const Triple& triple) {
@@ -13,7 +39,11 @@ bool Graph::Erase(const Triple& triple) {
   if (!encoded.has_value()) {
     return false;
   }
-  return store_.Erase(*encoded);
+  const bool removed = store_.Erase(*encoded);
+  if (removed) {
+    meters_.erases.Add();
+  }
+  return removed;
 }
 
 bool Graph::Contains(const Triple& triple) const {
@@ -47,6 +77,8 @@ void Graph::BulkLoad(const std::vector<Triple>& triples) {
 std::vector<Triple> Graph::Match(const std::optional<Term>& s,
                                  const std::optional<Term>& p,
                                  const std::optional<Term>& o) const {
+  obs::ScopedTimer timer(&meters_.match_ns);
+  meters_.matches.Add();
   IdPattern pattern;
   if (s.has_value()) {
     pattern.s = dict_.Lookup(*s);
@@ -71,6 +103,26 @@ std::vector<Triple> Graph::Match(const std::optional<Term>& s,
     out.push_back(dict_.Decode(t));
   }
   return out;
+}
+
+void Graph::RefreshGauges() const {
+  meters_.size_triples.Set(static_cast<std::int64_t>(store_.size()));
+  meters_.dict_terms.Set(static_cast<std::int64_t>(dict_.size()));
+}
+
+std::string Graph::MetricsText() const {
+  RefreshGauges();
+  return registry_.RenderPrometheus();
+}
+
+std::string Graph::MetricsJson() const {
+  RefreshGauges();
+  return registry_.RenderJson();
+}
+
+bool Graph::DumpMetricsJson(const std::string& path) const {
+  RefreshGauges();
+  return registry_.WriteJsonFile(path);
 }
 
 }  // namespace hexastore

@@ -6,11 +6,14 @@
 #define HEXASTORE_CORE_GRAPH_H_
 
 #include <optional>
+#include <string>
 #include <string_view>
 #include <vector>
 
 #include "core/hexastore.h"
 #include "dict/dictionary.h"
+#include "obs/histogram.h"
+#include "obs/metrics.h"
 #include "rdf/triple.h"
 #include "util/status.h"
 
@@ -19,7 +22,7 @@ namespace hexastore {
 /// An RDF graph: dictionary-encoded terms over a Hexastore.
 class Graph {
  public:
-  Graph() = default;
+  Graph();
 
   Graph(const Graph&) = delete;
   Graph& operator=(const Graph&) = delete;
@@ -63,9 +66,37 @@ class Graph {
   /// Mutable dictionary access (for engines layering on top).
   Dictionary& mutable_dict() { return dict_; }
 
+  // -- Observability exports ----------------------------------------------
+  // The facade keeps its own registry (hexa_graph_* names) over the
+  // term-level API: insert/erase/match counters, a Match latency
+  // histogram, and size gauges refreshed at export time.
+
+  obs::MetricsRegistry& metrics_registry() const { return registry_; }
+  /// Prometheus text exposition of every registered instrument.
+  std::string MetricsText() const;
+  /// JSON dump of the same instruments (schema in docs/observability.md).
+  std::string MetricsJson() const;
+  /// Writes MetricsJson() to `path` (tmp + rename). Async-signal-unsafe
+  /// work happens here, not in a handler: call from a SIGUSR1-woken
+  /// thread, never from the handler itself.
+  bool DumpMetricsJson(const std::string& path) const;
+
  private:
+  void RefreshGauges() const;
+
   Dictionary dict_;
   Hexastore store_;
+
+  struct Meters {
+    obs::Counter inserts;
+    obs::Counter erases;
+    obs::Counter matches;
+    obs::LatencyHistogram match_ns{obs::kHotPathSampleShift};
+    obs::Gauge size_triples;
+    obs::Gauge dict_terms;
+  };
+  mutable Meters meters_;
+  mutable obs::MetricsRegistry registry_;
 };
 
 }  // namespace hexastore

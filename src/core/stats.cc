@@ -105,4 +105,12 @@ std::string WalStats::ToString() const {
   return os.str();
 }
 
+std::string StatsSnapshot::ToString() const {
+  std::string out = delta.ToString() + epoch.ToString();
+  if (has_wal) {
+    out += wal.ToString();
+  }
+  return out;
+}
+
 }  // namespace hexastore

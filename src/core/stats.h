@@ -123,6 +123,31 @@ struct WalStats {
   std::string ToString() const;
 };
 
+/// One coherent bundle of every stats struct a store reports, produced
+/// by the owning store's GatherStats() — the single snapshot path for
+/// DeltaStats/EpochStats/WalStats.
+///
+/// Memory-ordering contract (see docs/observability.md "Snapshot
+/// consistency"): GatherStats() reads every field while holding the
+/// owning store's writer mutex, so all writer-maintained fields
+/// (staged sizes, level shapes, epoch, base size) form one consistent
+/// cut. Reader-side and compactor-side counters (filter probes, handle
+/// acquisitions, merge totals) are relaxed atomics read tear-free at
+/// that moment; they are exact individually but may be mid-flight
+/// relative to each other — e.g. `filter_probes` can already include a
+/// probe whose `filter_skips` increment lands a nanosecond after the
+/// gather.
+struct StatsSnapshot {
+  DeltaStats delta;
+  EpochStats epoch;
+  WalStats wal;
+  bool has_wal = false;  ///< wal is meaningful (durable store)
+
+  /// Concatenated human-readable report (delta, epoch, and — when
+  /// has_wal — WAL sections).
+  std::string ToString() const;
+};
+
 }  // namespace hexastore
 
 #endif  // HEXASTORE_CORE_STATS_H_

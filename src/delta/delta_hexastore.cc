@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "delta/level.h"
+#include "obs/scoped_timer.h"
 
 namespace hexastore {
 
@@ -526,7 +527,7 @@ std::string DeltaOptions::Normalize() {
 }
 
 DeltaHexastore::DeltaHexastore(const DeltaOptions& options)
-    : base_(std::make_shared<Hexastore>()) {
+    : base_(std::make_shared<Hexastore>()), trace_(options.trace_capacity) {
   DeltaOptions normalized = options;
   const std::string repaired = normalized.Normalize();
   if (!repaired.empty()) {
@@ -547,6 +548,7 @@ DeltaHexastore::DeltaHexastore(const DeltaOptions& options)
                         : std::max<std::size_t>(2, filter_bits_l0_ / 2);
   tracker_ = std::make_shared<MemoryTracker>();
   filter_counters_ = std::make_shared<RunFilterCounters>();
+  RegisterMeters();
   delta_ = FreshDeltaLocked();
   RebuildChainLocked();
   if (background_) {
@@ -566,6 +568,126 @@ DeltaHexastore::~DeltaHexastore() {
   if (merger_.joinable()) {
     merger_.join();
   }
+  // Final export while every instrument is still alive (members are
+  // destroyed after this body). $HEXA_METRICS_JSON unset ⇒ no-op.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    RefreshGaugesLocked();
+  }
+  registry_.DumpToEnvPathIfSet();
+}
+
+void DeltaHexastore::RegisterMeters() {
+  registry_.RegisterCounter("hexa_delta_compactions_total",
+                            "merges completed (drains, folds, base merges)",
+                            &meters_.compactions);
+  registry_.RegisterCounter("hexa_delta_seals_total",
+                            "staging buffers sealed into L0 runs",
+                            &meters_.seals);
+  registry_.RegisterCounter("hexa_delta_background_merges_total",
+                            "base merges completed on the compactor thread",
+                            &meters_.background_merges);
+  registry_.RegisterCounter("hexa_delta_merge_discards_total",
+                            "in-flight merges invalidated by Clear/BulkLoad",
+                            &meters_.merge_discards);
+  registry_.RegisterCounter("hexa_delta_seal_overflows_total",
+                            "threshold hits no level could absorb",
+                            &meters_.seal_overflows);
+  registry_.RegisterCounter("hexa_delta_l0_merges_total",
+                            "L0 to L1 folds completed", &meters_.l0_merges);
+  registry_.RegisterCounter("hexa_delta_base_merges_total",
+                            "merges drained into or rebuilding the base",
+                            &meters_.base_merges);
+  registry_.RegisterCounter("hexa_delta_merge_run_ops_total",
+                            "ops written while building folded runs",
+                            &meters_.merge_run_ops);
+  registry_.RegisterCounter("hexa_delta_base_rebuild_triples_total",
+                            "triples written by base merges",
+                            &meters_.base_rebuild_triples);
+  registry_.RegisterCounter("hexa_delta_staged_ops_total",
+                            "ops ever staged (write-amplification base)",
+                            &meters_.staged_ops_total);
+  registry_.RegisterCounter("hexa_delta_filters_dropped_total",
+                            "seals that skipped their Bloom filter "
+                            "(budget pressure)",
+                            &meters_.filters_dropped);
+  registry_.RegisterCounter("hexa_delta_budget_seals_total",
+                            "seals forced by the memory budget",
+                            &meters_.budget_seals);
+  registry_.RegisterCounter("hexa_delta_budget_folds_total",
+                            "L0 folds forced by the memory budget",
+                            &meters_.budget_folds);
+  registry_.RegisterCounter("hexa_delta_budget_base_merges_total",
+                            "base merges forced by the memory budget",
+                            &meters_.budget_base_merges);
+  registry_.RegisterCounter("hexa_filter_probes_total",
+                            "point and prefix Bloom-filter checks",
+                            &filter_counters_->probes);
+  registry_.RegisterCounter("hexa_filter_skips_total",
+                            "runs proven key-free and skipped",
+                            &filter_counters_->skips);
+  registry_.RegisterCounter("hexa_filter_false_positives_total",
+                            "filter passes with no op-table hit",
+                            &filter_counters_->false_positives);
+  registry_.RegisterHistogram("hexa_insert_latency_ns",
+                              "Insert latency (1-in-128 sampled)",
+                              &meters_.insert_ns);
+  registry_.RegisterHistogram("hexa_erase_latency_ns",
+                              "Erase latency (1-in-128 sampled)",
+                              &meters_.erase_ns);
+  registry_.RegisterHistogram("hexa_contains_latency_ns",
+                              "point-verdict latency (1-in-128 sampled)",
+                              &meters_.contains_ns);
+  registry_.RegisterHistogram("hexa_handle_acquire_latency_ns",
+                              "wait-free read-handle acquisition latency "
+                              "(1-in-128 sampled)",
+                              &meters_.handle_acquire_ns);
+  registry_.RegisterHistogram("hexa_merge_join_latency_ns",
+                              "merge-join step latency (1-in-128 sampled)",
+                              &meters_.merge_join_ns);
+  registry_.RegisterHistogram("hexa_seal_latency_ns", "seal duration",
+                              &meters_.seal_ns);
+  registry_.RegisterHistogram("hexa_fold_latency_ns",
+                              "L0 to L1 fold duration", &meters_.fold_ns);
+  registry_.RegisterHistogram("hexa_base_merge_latency_ns",
+                              "base merge/rebuild duration",
+                              &meters_.base_merge_ns);
+  registry_.RegisterGauge("hexa_delta_staged_ops",
+                          "ops staged and not yet merged into the base",
+                          &meters_.staged_ops);
+  registry_.RegisterGauge("hexa_delta_l0_runs", "sealed runs currently in L0",
+                          &meters_.l0_runs);
+  registry_.RegisterGauge("hexa_delta_l1_ops", "staged ops in the L1 run",
+                          &meters_.l1_ops);
+  registry_.RegisterGauge("hexa_delta_base_triples",
+                          "triples in the compacted base",
+                          &meters_.base_triples);
+  registry_.RegisterGauge("hexa_delta_resident_bytes",
+                          "tracked runs + filters + active table bytes",
+                          &meters_.resident_bytes);
+  registry_.RegisterGauge("hexa_delta_size_triples",
+                          "logical triples in the merged view",
+                          &meters_.size_triples);
+  registry_.RegisterGauge("hexa_epoch_retire_queue_depth",
+                          "generations retired but not yet reclaimed",
+                          &meters_.retire_queue_depth);
+  gate_.BindObservability(&registry_, &trace_);
+  registry_.AttachTraceRing(&trace_);
+}
+
+void DeltaHexastore::RefreshGaugesLocked() const {
+  meters_.staged_ops.Set(static_cast<std::int64_t>(delta_->op_count() +
+                                                   levels_.op_count()));
+  meters_.l0_runs.Set(static_cast<std::int64_t>(levels_.l0.size()));
+  meters_.l1_ops.Set(static_cast<std::int64_t>(
+      levels_.l1 == nullptr ? 0 : levels_.l1->op_count()));
+  meters_.base_triples.Set(static_cast<std::int64_t>(base_->size()));
+  meters_.resident_bytes.Set(static_cast<std::int64_t>(
+      (tracker_ == nullptr ? 0 : tracker_->resident()) +
+      delta_->TableBytes()));
+  meters_.size_triples.Set(static_cast<std::int64_t>(size_));
+  meters_.retire_queue_depth.Set(
+      static_cast<std::int64_t>(gate_.Stats().retire_queue_depth));
 }
 
 void DeltaHexastore::RebuildChainLocked() {
@@ -575,6 +697,7 @@ void DeltaHexastore::RebuildChainLocked() {
 }
 
 bool DeltaHexastore::Insert(const IdTriple& t) {
+  obs::ScopedTimer timer(&meters_.insert_ns);
   std::lock_guard<std::mutex> lock(mu_);
   const LayerRefs refs{base_.get(), chain_.data(), chain_.size()};
   // Read-only no-op check first: a duplicate insert must not pay the
@@ -588,13 +711,14 @@ bool DeltaHexastore::Insert(const IdTriple& t) {
   EnsureDeltaWritableLocked();
   delta_->StageInsert(t, beneath);
   ++size_;
-  ++staged_ops_total_;
+  meters_.staged_ops_total.Add();
   dirty_ = true;
   MaybeCompactLocked();
   return true;
 }
 
 bool DeltaHexastore::Erase(const IdTriple& t) {
+  obs::ScopedTimer timer(&meters_.erase_ns);
   std::lock_guard<std::mutex> lock(mu_);
   const LayerRefs refs{base_.get(), chain_.data(), chain_.size()};
   const bool beneath = LayeredContains(Beneath(refs), t);
@@ -606,13 +730,14 @@ bool DeltaHexastore::Erase(const IdTriple& t) {
   EnsureDeltaWritableLocked();
   delta_->StageErase(t, beneath);
   --size_;
-  ++staged_ops_total_;
+  meters_.staged_ops_total.Add();
   dirty_ = true;
   MaybeCompactLocked();
   return true;
 }
 
 bool DeltaHexastore::Contains(const IdTriple& t) const {
+  obs::ScopedTimer timer(&meters_.contains_ns);
   std::lock_guard<std::mutex> lock(mu_);
   return LayeredContains({base_.get(), chain_.data(), chain_.size()}, t);
 }
@@ -657,6 +782,7 @@ void DeltaHexastore::BulkLoad(const IdTripleVec& triples) {
     base_exposed_ = false;
   }
   base_->BulkLoad(triples);
+  trace_.Record(obs::TraceEvent::kBulkLoad, "writer", 0, triples.size());
   size_ = base_->size();
   levels_size_ = size_;
   ++epoch_;
@@ -674,6 +800,7 @@ void DeltaHexastore::Clear() {
 void DeltaHexastore::ClearLocked() {
   // Invalidate any in-flight merge: its inputs are gone, its result must
   // be discarded at commit time.
+  trace_.Record(obs::TraceEvent::kClear, "writer", 0, size_);
   ++merge_ticket_;
   levels_.clear();
   drain_requested_ = false;
@@ -722,7 +849,7 @@ std::size_t DeltaHexastore::ErasePattern(const IdPattern& pattern) {
                   [&matches](const IdTriple&) { ++matches; });
       EnsureDeltaWritableLocked();
       delta_->StagePatternErase(pattern.p);
-      ++staged_ops_total_;
+      meters_.staged_ops_total.Add();
       size_ -= matches;
       dirty_ = true;
       return matches;
@@ -740,7 +867,7 @@ std::size_t DeltaHexastore::ErasePattern(const IdPattern& pattern) {
     EnsureDeltaWritableLocked();
     const DeltaStore::PatternEraseEffect effect =
         delta_->StagePatternErase(pattern.p);
-    ++staged_ops_total_;
+    meters_.staged_ops_total.Add();
     // Base triples already point-tombstoned were logically absent, and
     // dropped staged inserts were logically present on top of the base.
     const std::size_t erased =
@@ -764,7 +891,7 @@ std::size_t DeltaHexastore::ErasePattern(const IdPattern& pattern) {
         t, LayeredContains({base_.get(), chain_.data(), chain_.size() - 1},
                            t));
   }
-  staged_ops_total_ += matches.size();
+  meters_.staged_ops_total.Add(matches.size());
   size_ -= matches.size();
   dirty_ = true;
   MaybeCompactLocked();
@@ -825,59 +952,79 @@ std::size_t DeltaHexastore::StagedOps() const {
 }
 
 std::uint64_t DeltaHexastore::CompactionCount() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return compactions_;
+  return meters_.compactions.Value();
 }
 
-DeltaStats DeltaHexastore::Stats() const {
+StatsSnapshot DeltaHexastore::GatherStats() const {
+  // One mutex hold produces the whole snapshot: the mutex-guarded
+  // structural fields form a consistent cut, while the obs::Counter
+  // reads are individually tear-free relaxed loads (see the
+  // StatsSnapshot contract in core/stats.h). Gauges are refreshed here
+  // so a registry export right after GatherStats() is coherent with it.
   std::lock_guard<std::mutex> lock(mu_);
-  DeltaStats stats;
+  StatsSnapshot snap;
+  DeltaStats& stats = snap.delta;
   stats.staged_inserts = delta_->insert_count();
   stats.staged_tombstones = delta_->tombstone_count();
   stats.pattern_tombstones = delta_->pattern_erased_predicates().size();
   stats.compact_threshold = compact_threshold_;
-  stats.compactions = compactions_;
+  stats.compactions = meters_.compactions.Value();
   stats.epoch = epoch_;
   stats.base_triples = base_->size();
   stats.base_bytes = base_->MemoryBytes();
   stats.delta_bytes = delta_->MemoryBytes() + levels_.MemoryBytes();
   stats.background = background_;
-  stats.seals = seals_;
-  stats.background_merges = background_merges_;
-  stats.merge_discards = merge_discards_;
-  stats.seal_overflows = seal_overflows_;
+  stats.seals = meters_.seals.Value();
+  stats.background_merges = meters_.background_merges.Value();
+  stats.merge_discards = meters_.merge_discards.Value();
+  stats.seal_overflows = meters_.seal_overflows.Value();
   stats.sealed_ops = levels_.op_count();
   stats.l0_run_limit = l0_run_limit_;
   stats.l0_runs = levels_.l0.size();
   stats.l0_ops = levels_.l0_op_count();
   stats.l1_ops = levels_.l1 == nullptr ? 0 : levels_.l1->op_count();
-  stats.l0_merges = l0_merges_;
-  stats.base_merges = base_merges_;
-  stats.merge_run_ops = merge_run_ops_;
-  stats.base_rebuild_triples = base_rebuild_triples_;
-  stats.staged_ops_total = staged_ops_total_;
+  stats.l0_merges = meters_.l0_merges.Value();
+  stats.base_merges = meters_.base_merges.Value();
+  stats.merge_run_ops = meters_.merge_run_ops.Value();
+  stats.base_rebuild_triples = meters_.base_rebuild_triples.Value();
+  stats.staged_ops_total = meters_.staged_ops_total.Value();
   stats.filter_bits_per_key = filter_bits_l0_;
   if (filter_counters_ != nullptr) {
-    stats.filter_probes =
-        filter_counters_->probes.load(std::memory_order_relaxed);
-    stats.filter_skips =
-        filter_counters_->skips.load(std::memory_order_relaxed);
-    stats.filter_false_positives =
-        filter_counters_->false_positives.load(std::memory_order_relaxed);
+    stats.filter_probes = filter_counters_->probes.Value();
+    stats.filter_skips = filter_counters_->skips.Value();
+    stats.filter_false_positives = filter_counters_->false_positives.Value();
   }
-  stats.filters_dropped = filters_dropped_;
+  stats.filters_dropped = meters_.filters_dropped.Value();
   stats.memory_budget_bytes = memory_budget_;
   stats.resident_bytes =
       (tracker_ == nullptr ? 0 : tracker_->resident()) + delta_->TableBytes();
-  stats.budget_seals = budget_seals_;
-  stats.budget_folds = budget_folds_;
-  stats.budget_base_merges = budget_base_merges_;
-  return stats;
+  stats.budget_seals = meters_.budget_seals.Value();
+  stats.budget_folds = meters_.budget_folds.Value();
+  stats.budget_base_merges = meters_.budget_base_merges.Value();
+  snap.epoch = gate_.Stats();
+  RefreshGaugesLocked();
+  return snap;
 }
 
+DeltaStats DeltaHexastore::Stats() const { return GatherStats().delta; }
+
 EpochStats DeltaHexastore::EpochCounters() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return gate_.Stats();
+  return GatherStats().epoch;
+}
+
+std::string DeltaHexastore::MetricsText() const {
+  GatherStats();  // refresh gauges under the mutex
+  return registry_.RenderPrometheus();
+}
+
+std::string DeltaHexastore::MetricsJson() const {
+  GatherStats();
+  return registry_.RenderJson();
+}
+
+bool DeltaHexastore::DumpMetricsJson(const std::string& path) const {
+  GatherStats();
+  return registry_.WriteJsonFile(path);
 }
 
 DeltaHexastore::Snapshot DeltaHexastore::GetSnapshot() const {
@@ -887,6 +1034,7 @@ DeltaHexastore::Snapshot DeltaHexastore::GetSnapshot() const {
 }
 
 DeltaHexastore::Snapshot DeltaHexastore::AcquireReadHandle() const {
+  obs::ScopedTimer timer(&meters_.handle_acquire_ns);
   return Snapshot(gate_.Acquire());
 }
 
@@ -1236,7 +1384,9 @@ void DeltaHexastore::ConfigureRunLocked(const DeltaStore& run,
     if (OverBudgetLocked()) {
       // Graceful degradation under pressure: the run keeps working
       // through plain probes, we just don't spend budget on its filter.
-      ++filters_dropped_;
+      meters_.filters_dropped.Add();
+      trace_.Record(obs::TraceEvent::kFilterDrop, "over_budget", 0,
+                    run.op_count());
     } else {
       run.EnableFilter(bits_per_key);
     }
@@ -1256,13 +1406,15 @@ void DeltaHexastore::MaybeCompactLocked() {
     return;
   }
   if (pressure) {
-    ++budget_seals_;
+    meters_.budget_seals.Add();
+    trace_.Record(obs::TraceEvent::kBudgetTrigger, "seal", 0,
+                  delta_->op_count());
   }
   if (leveled()) {
     if (levels_.l0.size() >= l0_run_limit_) {
       // The compactor (or the fold below) is behind; the run is still
       // absorbed — this only marks that L0 grew past its limit.
-      ++seal_overflows_;
+      meters_.seal_overflows.Add();
     }
     SealLocked();
     const bool over = OverBudgetLocked();
@@ -1271,7 +1423,8 @@ void DeltaHexastore::MaybeCompactLocked() {
         // Budget pressure overrides l0_run_limit: ask the compactor to
         // merge all the way down so memory actually comes back.
         drain_requested_ = true;
-        ++budget_folds_;
+        meters_.budget_folds.Add();
+        trace_.Record(obs::TraceEvent::kBudgetTrigger, "fold");
         work_cv_.notify_one();
       }
       return;  // the compactor folds and merges from here
@@ -1281,19 +1434,21 @@ void DeltaHexastore::MaybeCompactLocked() {
     // earned it — or when memory pressure persists after the fold.
     if (levels_.l0.size() >= l0_run_limit_ || over) {
       if (over && levels_.l0.size() < l0_run_limit_) {
-        ++budget_folds_;
+        meters_.budget_folds.Add();
+        trace_.Record(obs::TraceEvent::kBudgetTrigger, "fold");
       }
       FoldLocked();
     }
     const bool base_due = L1MergeDueLocked();
     if (levels_.l1 != nullptr && (base_due || OverBudgetLocked())) {
       if (!base_due) {
-        ++budget_base_merges_;
+        meters_.budget_base_merges.Add();
+        trace_.Record(obs::TraceEvent::kBudgetTrigger, "base_merge");
       }
       ApplyRunToBaseLocked(*levels_.l1);
       levels_.l1.reset();
-      ++base_merges_;
-      ++compactions_;
+      meters_.base_merges.Add();
+      meters_.compactions.Add();
       ++epoch_;
       dirty_ = true;
       RebuildChainLocked();
@@ -1307,7 +1462,7 @@ void DeltaHexastore::MaybeCompactLocked() {
   if (!levels_.empty()) {
     // A merge is still in flight; keep staging (the buffer may overshoot
     // the threshold) rather than stall the writer.
-    ++seal_overflows_;
+    meters_.seal_overflows.Add();
     return;
   }
   SealLocked();
@@ -1320,19 +1475,29 @@ void DeltaHexastore::SealLocked() {
   // readers keep the previous generation until the next publication.
   // The sealing buffer is armed with the L0 filter (built lazily with
   // its sorted caches) and registered with the memory tracker.
+  const bool timed = obs::MetricsEnabled();
+  const std::uint64_t t0 = timed ? obs::NowNanos() : 0;
+  const std::uint64_t sealed_ops = delta_->op_count();
   ConfigureRunLocked(*delta_, filter_bits_l0_);
   levels_.l0.push_back(std::move(delta_));
   delta_ = FreshDeltaLocked();
   delta_exposed_ = false;
   published_active_ops_ = 0;
   levels_size_ = size_;
-  ++seals_;
+  meters_.seals.Add();
   dirty_ = true;
   RebuildChainLocked();
+  if (timed) {
+    const std::uint64_t dur = obs::NowNanos() - t0;
+    meters_.seal_ns.Record(dur);
+    trace_.Record(obs::TraceEvent::kSeal, "threshold", dur, sealed_ops);
+  }
   work_cv_.notify_one();
 }
 
 void DeltaHexastore::FoldLocked() {
+  const bool timed = obs::MetricsEnabled();
+  const std::uint64_t t0 = timed ? obs::NowNanos() : 0;
   std::uint64_t fold_ops = 0;
   levels_.l1 = FoldRuns(levels_.l1, levels_.l0, &fold_ops);
   levels_.l0.clear();
@@ -1341,12 +1506,17 @@ void DeltaHexastore::FoldLocked() {
     // its seal); a freshly merged run gets the colder L1 bit budget.
     ConfigureRunLocked(*levels_.l1, filter_bits_l1_);
   }
-  merge_run_ops_ += fold_ops;
-  ++l0_merges_;
-  ++compactions_;
+  meters_.merge_run_ops.Add(fold_ops);
+  meters_.l0_merges.Add();
+  meters_.compactions.Add();
   ++epoch_;
   dirty_ = true;
   RebuildChainLocked();
+  if (timed) {
+    const std::uint64_t dur = obs::NowNanos() - t0;
+    meters_.fold_ns.Record(dur);
+    trace_.Record(obs::TraceEvent::kFold, "sync", dur, fold_ops);
+  }
 }
 
 bool DeltaHexastore::L1MergeDueLocked() const {
@@ -1373,6 +1543,8 @@ bool DeltaHexastore::HasCompactorWorkLocked() const {
 }
 
 void DeltaHexastore::ApplyRunToBaseLocked(const DeltaStore& run) {
+  const bool timed = obs::MetricsEnabled();
+  const std::uint64_t t0 = timed ? obs::NowNanos() : 0;
   if (!base_exposed_) {
     // The base never escaped the mutex: drain in place. Pattern
     // tombstones purge their base matches first (this is where the bulk
@@ -1389,14 +1561,19 @@ void DeltaHexastore::ApplyRunToBaseLocked(const DeltaStore& run) {
       base_->Erase(t);
     }
     base_->BulkLoad(run.SortedInserts());
-    base_rebuild_triples_ += run.op_count();
+    meters_.base_rebuild_triples.Add(run.op_count());
   } else {
     // A generation may still read the base: rebuild the merged state
     // into a fresh store and swap, leaving the old one untouched for
     // its readers.
     base_ = MergeOffline(base_.get(), run);
     base_exposed_ = false;
-    base_rebuild_triples_ += base_->size();
+    meters_.base_rebuild_triples.Add(base_->size());
+  }
+  if (timed) {
+    const std::uint64_t dur = obs::NowNanos() - t0;
+    meters_.base_merge_ns.Record(dur);
+    trace_.Record(obs::TraceEvent::kBaseMerge, "sync", dur, run.op_count());
   }
 }
 
@@ -1417,10 +1594,10 @@ void DeltaHexastore::AwaitOneMergeLocked(std::unique_lock<std::mutex>& lock) {
   // Bounded wait: one merge completing (or a Clear/BulkLoad wiping the
   // inputs, which bumps the ticket) satisfies it — later seals by
   // concurrent writers are deliberately not chased.
-  const std::uint64_t target = compactions_ + 1;
+  const std::uint64_t target = meters_.compactions.Value() + 1;
   const std::uint64_t ticket = merge_ticket_;
   drain_cv_.wait(lock, [this, target, ticket] {
-    return compactions_ >= target || merge_ticket_ != ticket;
+    return meters_.compactions.Value() >= target || merge_ticket_ != ticket;
   });
 }
 
@@ -1446,7 +1623,7 @@ void DeltaHexastore::CompactLocked() {
       fold_ops += merged->op_count();
       folded = std::move(merged);
     }
-    merge_run_ops_ += fold_ops;
+    meters_.merge_run_ops.Add(fold_ops);
     all = std::move(folded);
   }
   ApplyRunToBaseLocked(*all);
@@ -1460,8 +1637,8 @@ void DeltaHexastore::CompactLocked() {
   }
   RebuildChainLocked();
   published_active_ops_ = 0;
-  ++compactions_;
-  ++base_merges_;
+  meters_.compactions.Add();
+  meters_.base_merges.Add();
   ++epoch_;
   size_ = base_->size();
   levels_size_ = size_;
@@ -1488,6 +1665,8 @@ void DeltaHexastore::MergerLoop() {
       std::vector<std::shared_ptr<const DeltaStore>> runs = levels_.l0;
       const bool over = OverBudgetLocked();
       lock.unlock();
+      const bool timed = obs::MetricsEnabled();
+      const std::uint64_t t0 = timed ? obs::NowNanos() : 0;
       std::uint64_t fold_ops = 0;
       std::shared_ptr<const DeltaStore> folded =
           FoldRuns(l1, runs, &fold_ops);
@@ -1503,13 +1682,16 @@ void DeltaHexastore::MergerLoop() {
       }
       folded->Freeze();
       folded->TrackMemory(tracker_);
+      const std::uint64_t fold_dur = timed ? obs::NowNanos() - t0 : 0;
       lock.lock();
       if (filter_bits_l1_ > 0 && over) {
-        ++filters_dropped_;
+        meters_.filters_dropped.Add();
+        trace_.Record(obs::TraceEvent::kFilterDrop, "over_budget", 0,
+                      fold_ops);
       }
       if (ticket != merge_ticket_) {
         // Clear/BulkLoad/CompactLocked replaced the inputs mid-fold.
-        ++merge_discards_;
+        meters_.merge_discards.Add();
         drain_cv_.notify_all();
         continue;
       }
@@ -1520,9 +1702,14 @@ void DeltaHexastore::MergerLoop() {
                        levels_.l0.begin() +
                            static_cast<std::ptrdiff_t>(runs.size()));
       levels_.l1 = std::move(folded);
-      merge_run_ops_ += fold_ops;
-      ++l0_merges_;
-      ++compactions_;
+      meters_.merge_run_ops.Add(fold_ops);
+      meters_.l0_merges.Add();
+      meters_.compactions.Add();
+      if (timed) {
+        meters_.fold_ns.Record(fold_dur);
+        trace_.Record(obs::TraceEvent::kFold, "background", fold_dur,
+                      fold_ops);
+      }
       ++epoch_;
       dirty_ = true;
       RebuildChainLocked();
@@ -1555,12 +1742,15 @@ void DeltaHexastore::MergerLoop() {
     base_exposed_ = true;
     std::shared_ptr<const Hexastore> base = base_;
     lock.unlock();
+    const bool timed = obs::MetricsEnabled();
+    const std::uint64_t t0 = timed ? obs::NowNanos() : 0;
     std::shared_ptr<Hexastore> fresh = MergeOffline(base.get(), *input);
+    const std::uint64_t merge_dur = timed ? obs::NowNanos() - t0 : 0;
     lock.lock();
     if (ticket != merge_ticket_) {
       // Clear/BulkLoad replaced the inputs mid-merge; the result
       // describes a state that no longer exists.
-      ++merge_discards_;
+      meters_.merge_discards.Add();
       drain_cv_.notify_all();
       continue;
     }
@@ -1574,10 +1764,15 @@ void DeltaHexastore::MergerLoop() {
     if (levels_.empty()) {
       drain_requested_ = false;
     }
-    base_rebuild_triples_ += base_->size();
-    ++compactions_;
-    ++background_merges_;
-    ++base_merges_;
+    meters_.base_rebuild_triples.Add(base_->size());
+    meters_.compactions.Add();
+    meters_.background_merges.Add();
+    meters_.base_merges.Add();
+    if (timed) {
+      meters_.base_merge_ns.Record(merge_dur);
+      trace_.Record(obs::TraceEvent::kBaseMerge, "background", merge_dur,
+                    base_->size());
+    }
     ++epoch_;
     dirty_ = true;
     RebuildChainLocked();

@@ -68,6 +68,9 @@
 #include "delta/generation.h"
 #include "delta/level.h"
 #include "delta/merged_list.h"
+#include "obs/histogram.h"
+#include "obs/metrics.h"
+#include "obs/trace_ring.h"
 #include "rdf/triple.h"
 #include "util/common.h"
 
@@ -105,6 +108,9 @@ struct DeltaOptions {
   /// class (Monkey-style: the colder, bigger L1 run gets half). 0
   /// disables filters.
   std::size_t filter_bits_per_key = 10;
+  /// Capacity (in events) of the lifecycle trace ring (see
+  /// obs/trace_ring.h); rounded up to a power of two, minimum 8.
+  std::size_t trace_capacity = 1024;
 
   /// Clamps every field to its documented domain in place. Returns an
   /// empty string when nothing was wrong, else a description of the
@@ -218,10 +224,48 @@ class DeltaHexastore : public TripleStore {
   /// assert `balanced()` after the store and all snapshots are gone).
   std::shared_ptr<MemoryTracker> memory_tracker() const { return tracker_; }
 
-  /// Delta-layer counters for reports and the stats subsystem.
+  /// Delta-layer counters for reports and the stats subsystem. View
+  /// over GatherStats().delta.
   DeltaStats Stats() const;
   /// Generation-gate counters (publications, reclamation, handles).
+  /// View over GatherStats().epoch.
   EpochStats EpochCounters() const;
+
+  // -- Observability (see docs/observability.md) --------------------------
+
+  /// The single snapshot path for every stats struct: one hold of the
+  /// store mutex reads all writer-maintained fields as a consistent cut
+  /// and the registry counters as tear-free relaxed loads (the ordering
+  /// contract is documented on StatsSnapshot). Also refreshes the
+  /// registry gauges, so an export right after GatherStats is coherent.
+  StatsSnapshot GatherStats() const;
+
+  /// The store's metrics registry (counters, gauges, histograms, trace
+  /// ring attached). Valid exactly as long as the store; exports taken
+  /// through MetricsText/MetricsJson refresh gauges first, reads through
+  /// this reference see the last refreshed values.
+  obs::MetricsRegistry& metrics_registry() const { return registry_; }
+
+  /// Lifecycle event ring (seal, fold, base merge, budget trigger,
+  /// filter drop, publish/reclaim; the WAL layer adds checkpoint and
+  /// recovery events on a durable store).
+  obs::TraceRing& trace_ring() const { return trace_; }
+
+  /// Prometheus text exposition of every registered instrument.
+  std::string MetricsText() const;
+  /// JSON metrics dump (schema of scripts/check_metrics_json.py).
+  std::string MetricsJson() const;
+  /// Writes MetricsJson() to `path` atomically; false on I/O failure.
+  /// This is the SIGUSR1-safe explicit export: a handler thread may call
+  /// it at any time (it takes only the store mutex and the registry
+  /// registration mutex, never blocks on the compactor).
+  bool DumpMetricsJson(const std::string& path) const;
+
+  /// Histogram timing the DeltaHexastore merge-join overloads (recorded
+  /// by query/merge_join.cc through this accessor).
+  obs::LatencyHistogram* merge_join_histogram() const {
+    return &meters_.merge_join_ns;
+  }
 
   // -- Pinned-generation reads --------------------------------------------
 
@@ -391,6 +435,13 @@ class DeltaHexastore : public TripleStore {
   void ClearLocked();
   // Compactor thread body (owns no lock between merges).
   void MergerLoop();
+  // Registers every meter, the filter counters and the gate counters
+  // into registry_ (constructor only; no lock needed).
+  void RegisterMeters();
+  // Pushes the writer-maintained level shapes and sizes into the
+  // registry gauges (GatherStats and the exports call it so a dump is
+  // coherent with the stats cut).
+  void RefreshGaugesLocked() const;
 
   mutable std::mutex mu_;
   std::shared_ptr<Hexastore> base_;
@@ -428,7 +479,6 @@ class DeltaHexastore : public TripleStore {
   // the staging buffer. Updated at every seal, drain and Clear.
   std::size_t levels_size_ = 0;
   std::uint64_t epoch_ = 0;
-  std::uint64_t compactions_ = 0;
 
   // Background-compaction machinery.
   std::thread merger_;
@@ -437,26 +487,57 @@ class DeltaHexastore : public TripleStore {
   bool stop_ = false;
   bool drain_requested_ = false;  // leveled compactor: merge all the way down
   std::uint64_t merge_ticket_ = 0;  // bumped to invalidate in-flight merges
-  std::uint64_t seals_ = 0;
-  std::uint64_t background_merges_ = 0;
-  std::uint64_t merge_discards_ = 0;
-  std::uint64_t seal_overflows_ = 0;
-
-  // Per-level merge accounting (write amplification).
-  std::uint64_t l0_merges_ = 0;
-  std::uint64_t base_merges_ = 0;
-  std::uint64_t merge_run_ops_ = 0;
-  std::uint64_t base_rebuild_triples_ = 0;
-  std::uint64_t staged_ops_total_ = 0;
 
   // Filter + budget accounting.
   std::shared_ptr<MemoryTracker> tracker_;
   std::shared_ptr<RunFilterCounters> filter_counters_;
-  std::uint64_t filters_dropped_ = 0;
-  std::uint64_t budget_seals_ = 0;
-  std::uint64_t budget_folds_ = 0;
-  std::uint64_t budget_base_merges_ = 0;
 
+  // Registry-registered instruments (hexa_delta_* names; see
+  // RegisterMeters in delta_hexastore.cc). The counters ARE the store's
+  // bookkeeping — DeltaStats is a view over them — so they are always
+  // maintained; only the latency histograms honor the HEXA_METRICS
+  // toggle (via ScopedTimer). Mutable because const read paths
+  // (Contains, AcquireReadHandle, the merge joins) time themselves.
+  struct Meters {
+    obs::Counter compactions;       // every merge (drain, bg merge, fold)
+    obs::Counter seals;
+    obs::Counter background_merges;
+    obs::Counter merge_discards;
+    obs::Counter seal_overflows;
+    obs::Counter l0_merges;
+    obs::Counter base_merges;
+    obs::Counter merge_run_ops;
+    obs::Counter base_rebuild_triples;
+    obs::Counter staged_ops_total;
+    obs::Counter filters_dropped;
+    obs::Counter budget_seals;
+    obs::Counter budget_folds;
+    obs::Counter budget_base_merges;
+    // Hot-path histograms sample 1-in-2^kHotPathSampleShift to keep
+    // insert overhead minimal (pinned by bench/abl_obs_overhead.cc);
+    // merge-phase histograms record every occurrence.
+    obs::LatencyHistogram insert_ns{obs::kHotPathSampleShift};
+    obs::LatencyHistogram erase_ns{obs::kHotPathSampleShift};
+    obs::LatencyHistogram contains_ns{obs::kHotPathSampleShift};
+    obs::LatencyHistogram handle_acquire_ns{obs::kHotPathSampleShift};
+    obs::LatencyHistogram merge_join_ns{obs::kHotPathSampleShift};
+    obs::LatencyHistogram seal_ns{0};
+    obs::LatencyHistogram fold_ns{0};
+    obs::LatencyHistogram base_merge_ns{0};
+    // Gauges refreshed by RefreshGaugesLocked (level shapes + sizes).
+    obs::Gauge staged_ops;
+    obs::Gauge l0_runs;
+    obs::Gauge l1_ops;
+    obs::Gauge base_triples;
+    obs::Gauge resident_bytes;
+    obs::Gauge size_triples;
+    obs::Gauge retire_queue_depth;
+  };
+  mutable obs::MetricsRegistry registry_;
+  mutable obs::TraceRing trace_;
+  mutable Meters meters_;
+
+  // Declared after the instruments it points at (destroyed first).
   mutable GenerationGate gate_;
 };
 

@@ -187,11 +187,11 @@ DeltaStore::Presence DeltaStore::FilteredLookup(const IdTriple& t) const {
   }
   RunFilterCounters* c = filter_counters_.get();
   if (c != nullptr) {
-    c->probes.fetch_add(1, std::memory_order_relaxed);
+    c->probes.Add();
   }
   if (!f->MayContain(t)) {
     if (c != nullptr) {
-      c->skips.fetch_add(1, std::memory_order_relaxed);
+      c->skips.Add();
     }
     // A filter miss proves "no op-table entry" — it says nothing about
     // pattern tombstones, which are checked unconditionally so a skipped
@@ -204,7 +204,7 @@ DeltaStore::Presence DeltaStore::FilteredLookup(const IdTriple& t) const {
                                        : Presence::kErased;
   }
   if (c != nullptr) {
-    c->false_positives.fetch_add(1, std::memory_order_relaxed);
+    c->false_positives.Add();
   }
   return PatternErased(t.p) ? Presence::kErased : Presence::kUnknown;
 }
@@ -356,13 +356,13 @@ void DeltaStore::ScanInserts(
     if (const RunFilter* f = MaybeFilter()) {
       RunFilterCounters* c = filter_counters_.get();
       if (c != nullptr) {
-        c->probes.fetch_add(1, std::memory_order_relaxed);
+        c->probes.Add();
       }
       if (!f->MayContainPrefix(q)) {
         // No op in this run carries the bound prefix, so in particular
         // no insert does — skip the range scan entirely.
         if (c != nullptr) {
-          c->skips.fetch_add(1, std::memory_order_relaxed);
+          c->skips.Add();
         }
         return;
       }

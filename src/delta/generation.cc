@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/trace_ring.h"
+
 namespace hexastore {
 
 GenerationGate::~GenerationGate() {
@@ -17,11 +19,15 @@ void GenerationGate::Publish(std::shared_ptr<const DeltaGeneration> gen) {
     // still reachable: a reader announced at that epoch may still be
     // between loading the raw pointer and bumping the refcount.
     retired_.push_back({std::move(current_owner_), epochs_.current()});
-    ++retired_count_;
+    retired_count_.Add();
   }
+  const std::uint64_t store_epoch = gen != nullptr ? gen->epoch : 0;
   current_.store(gen.get(), std::memory_order_release);
   current_owner_ = std::move(gen);
-  ++published_;
+  published_.Add();
+  if (trace_ != nullptr) {
+    trace_->Record(obs::TraceEvent::kPublish, "writer", 0, store_epoch);
+  }
   // Readers that validate against the advanced epoch are guaranteed (by
   // the seq_cst argument in epoch.h) to observe the new pointer.
   epochs_.Advance();
@@ -37,7 +43,7 @@ std::shared_ptr<const DeltaGeneration> GenerationGate::Acquire() const {
   // Safe: the control block is kept alive by current_owner_ or a retire
   // entry, and neither can be dropped while this section is active.
   std::shared_ptr<const DeltaGeneration> handle = raw->shared_from_this();
-  handles_acquired_.fetch_add(1, std::memory_order_relaxed);
+  handles_acquired_.Add();
   return handle;
 }
 
@@ -46,10 +52,13 @@ void GenerationGate::Reclaim() {
     return;
   }
   const std::uint64_t min_active = epochs_.MinActiveEpoch();
+  std::uint64_t reclaimed_now = 0;
   auto kept = std::remove_if(
-      retired_.begin(), retired_.end(), [this, min_active](Retired& r) {
+      retired_.begin(), retired_.end(),
+      [this, min_active, &reclaimed_now](Retired& r) {
         if (min_active > r.retired_at) {
-          ++reclaimed_;
+          reclaimed_.Add();
+          ++reclaimed_now;
           if (deferred_reclaim_) {
             // Hand the reference to the stash; the caller destroys it
             // off the owning store's mutex via TakeReclaimed().
@@ -60,6 +69,10 @@ void GenerationGate::Reclaim() {
         return false;
       });
   retired_.erase(kept, retired_.end());
+  if (reclaimed_now > 0 && trace_ != nullptr) {
+    trace_->Record(obs::TraceEvent::kReclaim, "grace_period", 0,
+                   reclaimed_now);
+  }
   // Safety net: the compactor drains the stash only when it has merge
   // work. A store that publishes without ever merging (snapshot-heavy,
   // below-threshold churn) must not accumulate generations forever, so
@@ -82,14 +95,33 @@ GenerationGate::TakeReclaimed() {
 EpochStats GenerationGate::Stats() const {
   EpochStats stats;
   stats.global_epoch = epochs_.current();
-  stats.generations_published = published_;
-  stats.generations_retired = retired_count_;
-  stats.generations_reclaimed = reclaimed_;
+  stats.generations_published = published_.Value();
+  stats.generations_retired = retired_count_.Value();
+  stats.generations_reclaimed = reclaimed_.Value();
   stats.retire_queue_depth = retired_.size();
-  stats.handles_acquired =
-      handles_acquired_.load(std::memory_order_relaxed);
+  stats.handles_acquired = handles_acquired_.Value();
   stats.active_reader_sections = epochs_.ActiveSections();
   return stats;
+}
+
+void GenerationGate::BindObservability(obs::MetricsRegistry* registry,
+                                       obs::TraceRing* trace) {
+  trace_ = trace;
+  if (registry == nullptr) {
+    return;
+  }
+  registry->RegisterCounter("hexa_epoch_handles_acquired_total",
+                            "wait-free read handles acquired",
+                            &handles_acquired_);
+  registry->RegisterCounter("hexa_epoch_generations_published_total",
+                            "generations published to readers",
+                            &published_);
+  registry->RegisterCounter("hexa_epoch_generations_retired_total",
+                            "generations superseded and retired",
+                            &retired_count_);
+  registry->RegisterCounter("hexa_epoch_generations_reclaimed_total",
+                            "retired generations past their grace period",
+                            &reclaimed_);
 }
 
 }  // namespace hexastore

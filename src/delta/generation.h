@@ -42,8 +42,12 @@
 #include "core/stats.h"
 #include "delta/epoch.h"
 #include "delta/level.h"
+#include "obs/metrics.h"
 
 namespace hexastore {
+namespace obs {
+class TraceRing;
+}  // namespace obs
 
 class Hexastore;
 class DeltaStore;
@@ -104,6 +108,13 @@ class GenerationGate {
   /// Epoch/generation counters (see EpochStats).
   EpochStats Stats() const;
 
+  /// Registers the gate's counters into `registry` (hexa_epoch_* names)
+  /// and makes Publish/Reclaim record lifecycle events into `trace`.
+  /// Either may be null. Called once at store construction, before any
+  /// publication; both objects must outlive the gate's last use.
+  void BindObservability(obs::MetricsRegistry* registry,
+                         obs::TraceRing* trace);
+
  private:
   struct Retired {
     std::shared_ptr<const DeltaGeneration> gen;
@@ -119,12 +130,14 @@ class GenerationGate {
   std::vector<std::shared_ptr<const DeltaGeneration>> reclaimed_stash_;
   mutable EpochManager epochs_;
 
-  // Counters. handles_acquired_ is bumped by readers (relaxed atomic);
-  // the rest are writer-side plain fields.
-  mutable std::atomic<std::uint64_t> handles_acquired_{0};
-  std::uint64_t published_ = 0;
-  std::uint64_t retired_count_ = 0;
-  std::uint64_t reclaimed_ = 0;
+  // Counters (registry-registrable; see BindObservability).
+  // handles_acquired_ is bumped by readers; the rest are bumped only by
+  // the serialized writer but read concurrently by exporters.
+  mutable obs::Counter handles_acquired_;
+  obs::Counter published_;
+  obs::Counter retired_count_;
+  obs::Counter reclaimed_;
+  obs::TraceRing* trace_ = nullptr;
 };
 
 }  // namespace hexastore

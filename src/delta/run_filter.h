@@ -16,22 +16,24 @@
 #ifndef HEXASTORE_DELTA_RUN_FILTER_H_
 #define HEXASTORE_DELTA_RUN_FILTER_H_
 
-#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "rdf/triple.h"
 
 namespace hexastore {
 
 /// Shared counters describing filter effectiveness across a store's runs.
 /// One instance is threaded through every run a DeltaHexastore creates
-/// (and survives folds/merges) so DeltaStats can report totals.
+/// (and survives folds/merges) so DeltaStats can report totals. The
+/// fields are obs::Counter so the owning store can register them
+/// directly in its MetricsRegistry (hexa_filter_* names).
 struct RunFilterCounters {
-  std::atomic<std::uint64_t> probes{0};
-  std::atomic<std::uint64_t> skips{0};
-  std::atomic<std::uint64_t> false_positives{0};
+  obs::Counter probes;
+  obs::Counter skips;
+  obs::Counter false_positives;
 };
 
 /// Immutable-after-build Bloom filter with double hashing. Construction

@@ -1,0 +1,186 @@
+// Renderers for MetricsRegistry: Prometheus text exposition, the JSON
+// dump schema validated by scripts/check_metrics_json.py, and the
+// atomic file writer behind HEXA_METRICS_JSON.
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "obs/histogram.h"
+#include "obs/metrics.h"
+#include "obs/trace_ring.h"
+
+namespace hexastore {
+namespace obs {
+namespace {
+
+// Upper bound (inclusive) of histogram bucket b, mirroring histogram.cc.
+std::uint64_t BucketUpper(int b) {
+  if (b == 0) return 0;
+  return (std::uint64_t{1} << b) - 1;
+}
+
+void AppendJsonString(std::string* out, const char* s) {
+  out->push_back('"');
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    if (c == '"' || c == '\\') {
+      out->push_back('\\');
+      out->push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out->append(buf);
+    } else {
+      out->push_back(c);
+    }
+  }
+  out->push_back('"');
+}
+
+void AppendDouble(std::string* out, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  out->append(buf);
+}
+
+}  // namespace
+
+std::string MetricsRegistry::RenderPrometheus() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const Entry<Counter>& e : counters_) {
+    out += "# HELP " + e.name + " " + e.help + "\n";
+    out += "# TYPE " + e.name + " counter\n";
+    out += e.name + " " + std::to_string(e.instrument->Value()) + "\n";
+  }
+  for (const Entry<Gauge>& e : gauges_) {
+    out += "# HELP " + e.name + " " + e.help + "\n";
+    out += "# TYPE " + e.name + " gauge\n";
+    out += e.name + " " + std::to_string(e.instrument->Value()) + "\n";
+  }
+  for (const Entry<LatencyHistogram>& e : histograms_) {
+    const HistogramSnapshot snap = e.instrument->Snapshot();
+    out += "# HELP " + e.name + " " + e.help + "\n";
+    out += "# TYPE " + e.name + " histogram\n";
+    std::uint64_t cumulative = 0;
+    int top = -1;
+    for (int b = 0; b < kHistogramBuckets; ++b) {
+      if (snap.buckets[b] != 0) top = b;
+    }
+    for (int b = 0; b <= top && b < kHistogramBuckets - 1; ++b) {
+      cumulative += snap.buckets[b];
+      out += e.name + "_bucket{le=\"" + std::to_string(BucketUpper(b)) +
+             "\"} " + std::to_string(cumulative) + "\n";
+    }
+    out += e.name + "_bucket{le=\"+Inf\"} " + std::to_string(snap.count) +
+           "\n";
+    out += e.name + "_sum " + std::to_string(snap.sum) + "\n";
+    out += e.name + "_count " + std::to_string(snap.count) + "\n";
+  }
+  return out;
+}
+
+std::string MetricsRegistry::RenderJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\n  \"version\": 1,\n  \"counters\": {";
+  bool first = true;
+  for (const Entry<Counter>& e : counters_) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    AppendJsonString(&out, e.name.c_str());
+    out += ": " + std::to_string(e.instrument->Value());
+  }
+  out += "\n  },\n  \"gauges\": {";
+  first = true;
+  for (const Entry<Gauge>& e : gauges_) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    AppendJsonString(&out, e.name.c_str());
+    out += ": " + std::to_string(e.instrument->Value());
+  }
+  out += "\n  },\n  \"histograms\": {";
+  first = true;
+  for (const Entry<LatencyHistogram>& e : histograms_) {
+    const HistogramSnapshot snap = e.instrument->Snapshot();
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    AppendJsonString(&out, e.name.c_str());
+    out += ": {\"count\": " + std::to_string(snap.count);
+    out += ", \"sum_ns\": " + std::to_string(snap.sum);
+    out += ", \"max_ns\": " + std::to_string(snap.max);
+    out += ", \"sample_shift\": " + std::to_string(snap.sample_shift);
+    out += ", \"p50_ns\": ";
+    AppendDouble(&out, snap.P50());
+    out += ", \"p90_ns\": ";
+    AppendDouble(&out, snap.P90());
+    out += ", \"p99_ns\": ";
+    AppendDouble(&out, snap.P99());
+    out += ", \"p999_ns\": ";
+    AppendDouble(&out, snap.P999());
+    out += ", \"buckets\": [";
+    bool first_bucket = true;
+    for (int b = 0; b < kHistogramBuckets; ++b) {
+      if (snap.buckets[b] == 0) continue;
+      if (!first_bucket) out += ", ";
+      first_bucket = false;
+      out += "{\"le_ns\": " + std::to_string(BucketUpper(b)) +
+             ", \"count\": " + std::to_string(snap.buckets[b]) + "}";
+    }
+    out += "]}";
+  }
+  out += "\n  },\n  \"trace\": ";
+  if (trace_ == nullptr) {
+    out += "null";
+  } else {
+    out += "{\"capacity\": " + std::to_string(trace_->capacity());
+    const std::vector<TraceRecord> events = trace_->Snapshot();
+    const std::uint64_t total = trace_->TotalRecorded();
+    out += ", \"recorded\": " + std::to_string(total);
+    out += ", \"retained\": " + std::to_string(events.size());
+    out += ", \"events\": [";
+    first = true;
+    for (const TraceRecord& rec : events) {
+      out += first ? "\n    " : ",\n    ";
+      first = false;
+      out += "{\"ticket\": " + std::to_string(rec.ticket);
+      out += ", \"ts_ns\": " + std::to_string(rec.timestamp_ns);
+      out += ", \"event\": ";
+      AppendJsonString(&out, TraceEventName(rec.event));
+      out += ", \"reason\": ";
+      AppendJsonString(&out, rec.reason);
+      out += ", \"duration_ns\": " + std::to_string(rec.duration_ns);
+      out += ", \"value\": " + std::to_string(rec.value) + "}";
+    }
+    out += "]}";
+  }
+  out += "\n}\n";
+  return out;
+}
+
+bool MetricsRegistry::WriteJsonFile(const std::string& path) const {
+  const std::string payload = RenderJson();
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream file(tmp, std::ios::binary | std::ios::trunc);
+    if (!file.is_open()) return false;
+    file << payload;
+    if (!file.good()) return false;
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  return !ec;
+}
+
+void MetricsRegistry::DumpToEnvPathIfSet() const {
+  // Read fresh (not cached) so tests can point successive stores at
+  // different files within one process.
+  const char* path = std::getenv("HEXA_METRICS_JSON");
+  if (path == nullptr || path[0] == '\0') return;
+  WriteJsonFile(path);
+}
+
+}  // namespace obs
+}  // namespace hexastore

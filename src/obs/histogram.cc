@@ -1,0 +1,105 @@
+#include "obs/histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+namespace hexastore {
+namespace obs {
+namespace {
+
+// Inclusive value range covered by bucket b (see header comment).
+std::uint64_t BucketLower(int b) {
+  return b == 0 ? 0 : std::uint64_t{1} << (b - 1);
+}
+
+std::uint64_t BucketUpper(int b) {
+  if (b == 0) return 0;
+  if (b >= kHistogramBuckets - 1) return ~std::uint64_t{0};
+  return (std::uint64_t{1} << b) - 1;
+}
+
+}  // namespace
+
+double HistogramSnapshot::Percentile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the order statistic we want, in [1, count].
+  const std::uint64_t rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(count))));
+  std::uint64_t cumulative = 0;
+  for (int b = 0; b < kHistogramBuckets; ++b) {
+    if (buckets[b] == 0) continue;
+    if (cumulative + buckets[b] >= rank) {
+      // Interpolate linearly inside the hit bucket: the rank-th value is
+      // somewhere in [lower, upper]; spread the bucket's population
+      // uniformly across that range.
+      const double lower = static_cast<double>(BucketLower(b));
+      double upper = static_cast<double>(BucketUpper(b));
+      upper = std::min(upper, static_cast<double>(max));
+      if (upper < lower) upper = lower;
+      const double within =
+          static_cast<double>(rank - cumulative) /
+          static_cast<double>(buckets[b]);
+      return lower + (upper - lower) * within;
+    }
+    cumulative += buckets[b];
+  }
+  return static_cast<double>(max);
+}
+
+double HistogramSnapshot::Mean() const {
+  if (count == 0) return 0.0;
+  return static_cast<double>(sum) / static_cast<double>(count);
+}
+
+void HistogramSnapshot::Merge(const HistogramSnapshot& other) {
+  for (int b = 0; b < kHistogramBuckets; ++b) buckets[b] += other.buckets[b];
+  count += other.count;
+  sum += other.sum;
+  max = std::max(max, other.max);
+  sample_shift = std::max(sample_shift, other.sample_shift);
+}
+
+LatencyHistogram::LatencyHistogram(unsigned sample_shift)
+    : sample_mask_(sample_shift == 0
+                       ? 0
+                       : (std::uint64_t{1} << sample_shift) - 1),
+      sample_shift_(sample_shift) {}
+
+void LatencyHistogram::Record(std::uint64_t nanos) {
+  const int b = std::min(static_cast<int>(std::bit_width(nanos)),
+                         kHistogramBuckets - 1);
+  buckets_[b].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(nanos, std::memory_order_relaxed);
+  std::uint64_t seen = max_.load(std::memory_order_relaxed);
+  while (nanos > seen &&
+         !max_.compare_exchange_weak(seen, nanos, std::memory_order_relaxed)) {
+  }
+}
+
+void LatencyHistogram::Reset() {
+  for (int b = 0; b < kHistogramBuckets; ++b) {
+    buckets_[b].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+  ticks_.store(0, std::memory_order_relaxed);
+}
+
+HistogramSnapshot LatencyHistogram::Snapshot() const {
+  HistogramSnapshot snap;
+  for (int b = 0; b < kHistogramBuckets; ++b) {
+    snap.buckets[b] = buckets_[b].load(std::memory_order_relaxed);
+  }
+  snap.count = count_.load(std::memory_order_relaxed);
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  snap.max = max_.load(std::memory_order_relaxed);
+  snap.sample_shift = sample_shift_;
+  return snap;
+}
+
+}  // namespace obs
+}  // namespace hexastore

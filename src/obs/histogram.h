@@ -1,0 +1,113 @@
+// Fixed-bucket log-scale latency histogram.
+//
+// 64 power-of-two buckets indexed by bit width: bucket 0 holds the
+// value 0, bucket b (1 <= b <= 62) holds [2^(b-1), 2^b - 1] nanoseconds,
+// and bucket 63 absorbs everything from 2^62 up. Recording is three
+// relaxed atomic adds plus a CAS loop for the max — no locks, safe from
+// any thread. Snapshots are mergeable and answer percentile queries by
+// linear interpolation inside the hit bucket, so a reported p99 is
+// within one bucket (a factor of 2) of the exact order statistic; the
+// oracle test in tests/obs_test.cc pins that bound.
+//
+// Hot-path cost control: a histogram constructed with sample_shift = k
+// times only every 2^k-th operation (Tick() gates the clock reads).
+// Counts/sums then describe the sampled population — percentiles remain
+// unbiased estimates, count is ~ops/2^k.
+#ifndef HEXASTORE_OBS_HISTOGRAM_H_
+#define HEXASTORE_OBS_HISTOGRAM_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace hexastore {
+namespace obs {
+
+/// Bucket count shared by LatencyHistogram and HistogramSnapshot.
+inline constexpr int kHistogramBuckets = 64;
+
+/// Default sample_shift for histograms on per-operation hot paths
+/// (insert/erase/contains/handle-acquire/append): 1-in-128 keeps the
+/// amortized clock-read cost well under a nanosecond per op while a
+/// million-op run still lands ~8k samples per histogram.
+inline constexpr unsigned kHotPathSampleShift = 7;
+
+/// Plain-value copy of a histogram (or a merge of several), with
+/// percentile queries. Cheap to copy and compare; no atomics.
+struct HistogramSnapshot {
+  std::uint64_t buckets[kHistogramBuckets] = {};
+  std::uint64_t count = 0;  ///< recorded (sampled) measurements
+  std::uint64_t sum = 0;    ///< nanoseconds summed over measurements
+  std::uint64_t max = 0;    ///< largest recorded value
+  unsigned sample_shift = 0;  ///< 2^shift ops per recorded measurement
+
+  /// q-th quantile (0 < q <= 1) in nanoseconds, interpolated within the
+  /// hit bucket and clamped to [0, max]. Returns 0 on an empty
+  /// histogram.
+  double Percentile(double q) const;
+
+  double P50() const { return Percentile(0.50); }
+  double P90() const { return Percentile(0.90); }
+  double P99() const { return Percentile(0.99); }
+  double P999() const { return Percentile(0.999); }
+
+  /// Mean of the recorded measurements (0 when empty).
+  double Mean() const;
+
+  /// Element-wise accumulation: counts and sums add, max takes the
+  /// larger side. Merging histograms with different sample_shift keeps
+  /// the larger shift (the coarser sampling) as a conservative label.
+  void Merge(const HistogramSnapshot& other);
+};
+
+/// Lock-free log-scale histogram of nanosecond durations.
+class LatencyHistogram {
+ public:
+  /// sample_shift = k records every 2^k-th Tick()ed operation; 0 records
+  /// all of them.
+  explicit LatencyHistogram(unsigned sample_shift = 0);
+  LatencyHistogram(const LatencyHistogram&) = delete;
+  LatencyHistogram& operator=(const LatencyHistogram&) = delete;
+
+  /// Sampling gate for timer call sites: returns true when this
+  /// operation should be measured. Always true at sample_shift 0.
+  ///
+  /// The tick counter is advanced with a racy load+store instead of an
+  /// atomic RMW: concurrent callers may lose increments, which only
+  /// perturbs the sampling phase, never correctness — and it keeps the
+  /// per-op cost at a plain increment instead of a locked add on the
+  /// hottest paths. Both halves are atomic ops, so TSan stays quiet.
+  bool Tick() {
+    if (sample_mask_ == 0) return true;
+    const std::uint64_t t = ticks_.load(std::memory_order_relaxed);
+    ticks_.store(t + 1, std::memory_order_relaxed);
+    return (t & sample_mask_) == 0;
+  }
+
+  /// Records one measured duration.
+  void Record(std::uint64_t nanos);
+
+  /// Tear-free per-field copy of the current contents (relaxed reads;
+  /// not a consistent cut against concurrent Record calls, which is fine
+  /// for a monotonically growing histogram).
+  HistogramSnapshot Snapshot() const;
+
+  /// Zeroes every bucket/counter. NOT safe against concurrent Record
+  /// calls — for single-threaded reuse (benchmark iterations, tests).
+  void Reset();
+
+  unsigned sample_shift() const { return sample_shift_; }
+
+ private:
+  std::atomic<std::uint64_t> buckets_[kHistogramBuckets] = {};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> max_{0};
+  std::atomic<std::uint64_t> ticks_{0};
+  const std::uint64_t sample_mask_;
+  const unsigned sample_shift_;
+};
+
+}  // namespace obs
+}  // namespace hexastore
+
+#endif  // HEXASTORE_OBS_HISTOGRAM_H_

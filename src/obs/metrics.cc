@@ -1,0 +1,134 @@
+#include "obs/metrics.h"
+
+#include <chrono>
+#include <cstdlib>
+
+namespace hexastore {
+namespace obs {
+namespace {
+
+// -1 = not yet read from the environment; 0/1 = cached state. Tests and
+// the overhead benchmark override via SetMetricsEnabledForTesting.
+std::atomic<int> g_enabled{-1};
+
+int ReadEnabledFromEnv() {
+  const char* env = std::getenv("HEXA_METRICS");
+  const int enabled = (env != nullptr && env[0] == '0' && env[1] == '\0')
+                          ? 0
+                          : 1;
+  int expected = -1;
+  g_enabled.compare_exchange_strong(expected, enabled,
+                                    std::memory_order_relaxed);
+  return g_enabled.load(std::memory_order_relaxed);
+}
+
+}  // namespace
+
+bool MetricsEnabled() {
+  const int state = g_enabled.load(std::memory_order_relaxed);
+  if (state >= 0) return state != 0;
+  return ReadEnabledFromEnv() != 0;
+}
+
+void SetMetricsEnabledForTesting(bool enabled) {
+  g_enabled.store(enabled ? 1 : 0, std::memory_order_relaxed);
+}
+
+std::uint64_t NowNanos() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+template <typename T>
+void MetricsRegistry::Upsert(std::vector<Entry<T>>* entries,
+                             const std::string& name, const std::string& help,
+                             const T* instrument) {
+  for (Entry<T>& entry : *entries) {
+    if (entry.name == name) {
+      entry.help = help;
+      entry.instrument = instrument;
+      return;
+    }
+  }
+  entries->push_back(Entry<T>{name, help, instrument});
+}
+
+Counter* MetricsRegistry::AddCounter(const std::string& name,
+                                     const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Counter* counter = &owned_counters_.emplace_back();
+  Upsert(&counters_, name, help, counter);
+  return counter;
+}
+
+Gauge* MetricsRegistry::AddGauge(const std::string& name,
+                                 const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Gauge* gauge = &owned_gauges_.emplace_back();
+  Upsert(&gauges_, name, help, gauge);
+  return gauge;
+}
+
+LatencyHistogram* MetricsRegistry::AddHistogram(const std::string& name,
+                                                const std::string& help,
+                                                unsigned sample_shift) {
+  std::lock_guard<std::mutex> lock(mu_);
+  LatencyHistogram* hist = &owned_histograms_.emplace_back(sample_shift);
+  Upsert(&histograms_, name, help, hist);
+  return hist;
+}
+
+void MetricsRegistry::RegisterCounter(const std::string& name,
+                                      const std::string& help,
+                                      const Counter* counter) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Upsert(&counters_, name, help, counter);
+}
+
+void MetricsRegistry::RegisterGauge(const std::string& name,
+                                    const std::string& help,
+                                    const Gauge* gauge) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Upsert(&gauges_, name, help, gauge);
+}
+
+void MetricsRegistry::RegisterHistogram(const std::string& name,
+                                        const std::string& help,
+                                        const LatencyHistogram* histogram) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Upsert(&histograms_, name, help, histogram);
+}
+
+void MetricsRegistry::AttachTraceRing(const TraceRing* ring) {
+  std::lock_guard<std::mutex> lock(mu_);
+  trace_ = ring;
+}
+
+bool MetricsRegistry::CounterValue(const std::string& name,
+                                   std::uint64_t* out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const Entry<Counter>& entry : counters_) {
+    if (entry.name == name) {
+      *out = entry.instrument->Value();
+      return true;
+    }
+  }
+  return false;
+}
+
+bool MetricsRegistry::GaugeValue(const std::string& name,
+                                 std::int64_t* out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const Entry<Gauge>& entry : gauges_) {
+    if (entry.name == name) {
+      *out = entry.instrument->Value();
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace obs
+}  // namespace hexastore

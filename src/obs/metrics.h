@@ -1,0 +1,168 @@
+// Unified observability registry: named lock-free counters and gauges,
+// log-scale latency histograms and a bounded trace ring, exported as a
+// Prometheus-style text page or a JSON dump.
+//
+// Design contract (see docs/observability.md):
+//
+//  - Updating an instrument (Counter::Add, Gauge::Set,
+//    LatencyHistogram::Record, TraceRing::Record) is lock-free — a
+//    handful of relaxed atomic operations — and safe from any thread.
+//    Hot paths never touch the registry itself.
+//  - The registry is a naming directory. Registration happens once, at
+//    store construction, under a small mutex; rendering walks the
+//    directory under the same mutex. Instruments may be owned by the
+//    registry (AddCounter/...) or live inside another object and be
+//    registered by reference (RegisterCounter/...) — in the latter case
+//    the instrument must outlive the registry's last render, which the
+//    owning stores guarantee by construction (registry and instruments
+//    are members of the same object, exports go through that object).
+//  - Counter values are monotonic and always maintained; the
+//    HEXA_METRICS=0 toggle (MetricsEnabled) only disables the *timing*
+//    and *tracing* instrumentation, whose clock reads are the only
+//    measurable cost.
+//  - Reads are relaxed: each value is tear-free on its own, but a
+//    rendered page is not a consistent cut across instruments. The
+//    stats structs in core/stats.h get their consistent-cut guarantees
+//    from the owning store's GatherStats(), not from here.
+#ifndef HEXASTORE_OBS_METRICS_H_
+#define HEXASTORE_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/histogram.h"
+
+namespace hexastore {
+namespace obs {
+
+class TraceRing;
+
+/// Monotonic event count. All operations are relaxed atomics: individual
+/// values are exact and tear-free, cross-counter snapshots are not a
+/// consistent cut (see GatherStats on the owning stores for that).
+class Counter {
+ public:
+  void Add(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t Value() const { return v_.load(std::memory_order_relaxed); }
+  /// Non-monotonic reset, for instruments that mirror a plain field
+  /// rebuilt from scratch (Clear/BulkLoad). Writer-serialized.
+  void Reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Point-in-time signed level (queue depth, resident bytes, triples).
+class Gauge {
+ public:
+  void Set(std::int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  void Add(std::int64_t n) { v_.fetch_add(n, std::memory_order_relaxed); }
+  std::int64_t Value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+/// Process-wide instrumentation toggle. Defaults to enabled; the
+/// environment variable HEXA_METRICS=0 (read once, cached) turns the
+/// timing/tracing instrumentation off. Counters and gauges stay live
+/// either way — they replace fields the store always maintained.
+bool MetricsEnabled();
+
+/// Overrides the cached HEXA_METRICS state (tests and the overhead
+/// benchmark flip this at runtime).
+void SetMetricsEnabledForTesting(bool enabled);
+
+/// Monotonic timestamp in nanoseconds (steady clock; comparable within
+/// one process, not across processes or reboots).
+std::uint64_t NowNanos();
+
+/// Naming directory over counters, gauges, histograms and (optionally)
+/// one trace ring, with Prometheus-text and JSON renderers.
+///
+/// Thread safety: registration and rendering serialize on an internal
+/// mutex; instrument updates never take it. Registered names are
+/// expected to be unique — re-registering a name replaces the entry
+/// (idempotent re-registration, last writer wins).
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Registry-owned instruments; pointers stay valid for the registry's
+  /// lifetime (deque storage, never reallocated).
+  Counter* AddCounter(const std::string& name, const std::string& help);
+  Gauge* AddGauge(const std::string& name, const std::string& help);
+  LatencyHistogram* AddHistogram(const std::string& name,
+                                 const std::string& help,
+                                 unsigned sample_shift = 0);
+
+  /// Externally owned instruments, registered by reference. The caller
+  /// guarantees the instrument outlives every later render.
+  void RegisterCounter(const std::string& name, const std::string& help,
+                       const Counter* counter);
+  void RegisterGauge(const std::string& name, const std::string& help,
+                     const Gauge* gauge);
+  void RegisterHistogram(const std::string& name, const std::string& help,
+                         const LatencyHistogram* histogram);
+
+  /// Attaches the trace ring included in RenderJson (one per registry;
+  /// null detaches).
+  void AttachTraceRing(const TraceRing* ring);
+
+  /// Looks up a registered counter/gauge value by name; returns false if
+  /// the name is unknown. For tests and stats plumbing.
+  bool CounterValue(const std::string& name, std::uint64_t* out) const;
+  bool GaugeValue(const std::string& name, std::int64_t* out) const;
+
+  /// Prometheus text exposition: HELP/TYPE comments, counters as
+  /// `<name> <value>`, histograms as cumulative `_bucket{le="..."}`
+  /// series plus `_sum`/`_count`.
+  std::string RenderPrometheus() const;
+
+  /// JSON dump: {"version":1,"counters":{...},"gauges":{...},
+  /// "histograms":{...},"trace":{...}} — the schema
+  /// scripts/check_metrics_json.py validates.
+  std::string RenderJson() const;
+
+  /// Writes RenderJson() to `path` atomically (tmp file + rename).
+  /// Returns false on I/O failure.
+  bool WriteJsonFile(const std::string& path) const;
+
+  /// Writes the JSON dump to $HEXA_METRICS_JSON if that variable is set
+  /// and non-empty (read fresh on every call, not cached — the owning
+  /// stores call this from their destructors). No-op otherwise.
+  void DumpToEnvPathIfSet() const;
+
+ private:
+  template <typename T>
+  struct Entry {
+    std::string name;
+    std::string help;
+    const T* instrument;
+  };
+
+  template <typename T>
+  static void Upsert(std::vector<Entry<T>>* entries, const std::string& name,
+                     const std::string& help, const T* instrument);
+
+  mutable std::mutex mu_;
+  // Owned instruments; deque so registered pointers never move.
+  std::deque<Counter> owned_counters_;
+  std::deque<Gauge> owned_gauges_;
+  std::deque<LatencyHistogram> owned_histograms_;
+  std::vector<Entry<Counter>> counters_;
+  std::vector<Entry<Gauge>> gauges_;
+  std::vector<Entry<LatencyHistogram>> histograms_;
+  const TraceRing* trace_ = nullptr;
+};
+
+}  // namespace obs
+}  // namespace hexastore
+
+#endif  // HEXASTORE_OBS_METRICS_H_

@@ -1,0 +1,46 @@
+// RAII latency timer: measures the enclosing scope into a
+// LatencyHistogram. Construction checks the global HEXA_METRICS toggle
+// and the histogram's sampling gate before touching the clock, so a
+// disabled or sampled-out timer costs one relaxed atomic load (plus one
+// racy tick bump for sampled histograms) and no clock reads.
+//
+//   void DeltaHexastore::Insert(...) {
+//     obs::ScopedTimer timer(&meters_.insert_ns);
+//     ...
+//   }
+#ifndef HEXASTORE_OBS_SCOPED_TIMER_H_
+#define HEXASTORE_OBS_SCOPED_TIMER_H_
+
+#include <cstdint>
+
+#include "obs/histogram.h"
+#include "obs/metrics.h"
+
+namespace hexastore {
+namespace obs {
+
+class ScopedTimer {
+ public:
+  /// Null histogram is allowed and makes the timer a no-op.
+  explicit ScopedTimer(LatencyHistogram* hist) {
+    if (hist != nullptr && MetricsEnabled() && hist->Tick()) {
+      hist_ = hist;
+      start_ns_ = NowNanos();
+    }
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  ~ScopedTimer() {
+    if (hist_ != nullptr) hist_->Record(NowNanos() - start_ns_);
+  }
+
+ private:
+  LatencyHistogram* hist_ = nullptr;
+  std::uint64_t start_ns_ = 0;
+};
+
+}  // namespace obs
+}  // namespace hexastore
+
+#endif  // HEXASTORE_OBS_SCOPED_TIMER_H_

@@ -1,0 +1,97 @@
+#include "obs/trace_ring.h"
+
+#include <bit>
+
+#include "obs/metrics.h"
+
+namespace hexastore {
+namespace obs {
+
+const char* TraceEventName(TraceEvent event) {
+  switch (event) {
+    case TraceEvent::kSeal:
+      return "seal";
+    case TraceEvent::kFold:
+      return "fold";
+    case TraceEvent::kBaseMerge:
+      return "base_merge";
+    case TraceEvent::kBudgetTrigger:
+      return "budget_trigger";
+    case TraceEvent::kFilterDrop:
+      return "filter_drop";
+    case TraceEvent::kPublish:
+      return "publish";
+    case TraceEvent::kReclaim:
+      return "reclaim";
+    case TraceEvent::kCheckpoint:
+      return "checkpoint";
+    case TraceEvent::kRecovery:
+      return "recovery";
+    case TraceEvent::kWalRotate:
+      return "wal_rotate";
+    case TraceEvent::kClear:
+      return "clear";
+    case TraceEvent::kBulkLoad:
+      return "bulk_load";
+  }
+  return "unknown";
+}
+
+TraceRing::TraceRing(std::size_t capacity) {
+  if (capacity < 8) capacity = 8;
+  capacity = std::bit_ceil(capacity);
+  slots_ = std::make_unique<Slot[]>(capacity);
+  mask_ = capacity - 1;
+}
+
+void TraceRing::Record(TraceEvent event, const char* reason,
+                       std::uint64_t duration_ns, std::uint64_t value) {
+  if (!MetricsEnabled()) return;
+  const std::uint64_t t = next_.fetch_add(1, std::memory_order_relaxed);
+  Slot& slot = slots_[t & mask_];
+  // Seqlock write protocol: odd marks the slot torn, the final release
+  // store publishes the complete record. A reader that observes
+  // seq == 2t+2 and ticket == t gets a record written entirely by this
+  // call (a conflicting writer must be a full lap ahead or behind).
+  slot.seq.store(2 * t + 1, std::memory_order_release);
+  slot.ticket.store(t, std::memory_order_relaxed);
+  slot.timestamp_ns.store(NowNanos(), std::memory_order_relaxed);
+  slot.duration_ns.store(duration_ns, std::memory_order_relaxed);
+  slot.value.store(value, std::memory_order_relaxed);
+  slot.reason.store(reason == nullptr ? "" : reason,
+                    std::memory_order_relaxed);
+  slot.event.store(static_cast<std::uint8_t>(event),
+                   std::memory_order_relaxed);
+  slot.seq.store(2 * t + 2, std::memory_order_release);
+}
+
+std::vector<TraceRecord> TraceRing::Snapshot() const {
+  const std::uint64_t end = next_.load(std::memory_order_acquire);
+  const std::uint64_t cap = mask_ + 1;
+  const std::uint64_t begin = end > cap ? end - cap : 0;
+  std::vector<TraceRecord> out;
+  out.reserve(static_cast<std::size_t>(end - begin));
+  for (std::uint64_t t = begin; t < end; ++t) {
+    const Slot& slot = slots_[t & mask_];
+    if (slot.seq.load(std::memory_order_acquire) != 2 * t + 2) continue;
+    TraceRecord rec;
+    rec.ticket = t;
+    rec.timestamp_ns = slot.timestamp_ns.load(std::memory_order_relaxed);
+    rec.duration_ns = slot.duration_ns.load(std::memory_order_relaxed);
+    rec.value = slot.value.load(std::memory_order_relaxed);
+    rec.reason = slot.reason.load(std::memory_order_relaxed);
+    rec.event = static_cast<TraceEvent>(
+        slot.event.load(std::memory_order_relaxed));
+    // Revalidate the ticket after reading the payload: a writer that
+    // lapped us mid-read leaves a different ticket behind. Each field is
+    // individually tear-free, so the only residual risk is a mixed
+    // record from writes exactly one capacity apart racing this loop —
+    // acceptable for a diagnostic ring (documented best-effort).
+    if (slot.ticket.load(std::memory_order_relaxed) != t) continue;
+    out.push_back(rec);
+  }
+  return out;
+}
+
+}  // namespace obs
+}  // namespace hexastore

@@ -1,0 +1,100 @@
+// Bounded lock-free ring of timestamped lifecycle events.
+//
+// Writers claim a slot with one fetch_add on a global ticket and fill
+// it with relaxed atomic stores bracketed by a seqlock-style sequence
+// word (odd while writing, 2*ticket+2 when complete), so recording
+// never blocks and never allocates — reasons are static string
+// literals. Readers walk the last `capacity` tickets and keep only
+// slots whose sequence and stored ticket both match, discarding
+// anything mid-overwrite. The snapshot is therefore best-effort: under
+// a concurrent writer burst the oldest retained events may already be
+// gone, but every event returned is internally consistent and the ring
+// is TSan-clean (every slot field is an atomic).
+#ifndef HEXASTORE_OBS_TRACE_RING_H_
+#define HEXASTORE_OBS_TRACE_RING_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace hexastore {
+namespace obs {
+
+/// Store lifecycle events recorded into the ring (see
+/// docs/observability.md for the full table of who records what).
+enum class TraceEvent : std::uint8_t {
+  kSeal = 0,        ///< active staging buffer sealed into an L0 run
+  kFold,            ///< L0 runs folded into L1
+  kBaseMerge,       ///< delta layers merged/rebuilt into the base
+  kBudgetTrigger,   ///< memory budget forced a seal/fold/base-merge
+  kFilterDrop,      ///< seal skipped its Bloom filter (budget pressure)
+  kPublish,         ///< new generation published to readers
+  kReclaim,         ///< retired generations reclaimed (grace period over)
+  kCheckpoint,      ///< WAL checkpoint (snapshot + manifest + truncate)
+  kRecovery,        ///< store recovered from snapshot + WAL replay
+  kWalRotate,       ///< WAL segment rotation
+  kClear,           ///< store cleared
+  kBulkLoad,        ///< bulk load replaced the store contents
+};
+
+/// Stable lowercase identifier ("seal", "base_merge", ...) used in both
+/// export formats.
+const char* TraceEventName(TraceEvent event);
+
+/// One decoded event, as returned by TraceRing::Snapshot.
+struct TraceRecord {
+  std::uint64_t ticket = 0;        ///< global sequence number (0-based)
+  std::uint64_t timestamp_ns = 0;  ///< obs::NowNanos() at record time
+  std::uint64_t duration_ns = 0;   ///< 0 when the event has no duration
+  std::uint64_t value = 0;         ///< event-specific magnitude (ops, bytes)
+  const char* reason = "";         ///< static literal ("threshold", ...)
+  TraceEvent event = TraceEvent::kSeal;
+};
+
+class TraceRing {
+ public:
+  /// Capacity is rounded up to a power of two (minimum 8).
+  explicit TraceRing(std::size_t capacity = 1024);
+  TraceRing(const TraceRing&) = delete;
+  TraceRing& operator=(const TraceRing&) = delete;
+
+  /// Records one event. Lock-free, allocation-free; a no-op while
+  /// metrics are disabled (HEXA_METRICS=0). `reason` must be a string
+  /// with static storage duration.
+  void Record(TraceEvent event, const char* reason,
+              std::uint64_t duration_ns = 0, std::uint64_t value = 0);
+
+  /// Decodes the retained events, oldest first. Best-effort under
+  /// concurrent writers (see file comment).
+  std::vector<TraceRecord> Snapshot() const;
+
+  /// Events ever recorded (including those overwritten since).
+  std::uint64_t TotalRecorded() const {
+    return next_.load(std::memory_order_relaxed);
+  }
+
+  std::size_t capacity() const { return mask_ + 1; }
+
+ private:
+  struct Slot {
+    // 0 = never written; odd = write in progress; 2*ticket+2 = complete.
+    std::atomic<std::uint64_t> seq{0};
+    std::atomic<std::uint64_t> ticket{0};
+    std::atomic<std::uint64_t> timestamp_ns{0};
+    std::atomic<std::uint64_t> duration_ns{0};
+    std::atomic<std::uint64_t> value{0};
+    std::atomic<const char*> reason{nullptr};
+    std::atomic<std::uint8_t> event{0};
+  };
+
+  std::unique_ptr<Slot[]> slots_;
+  std::atomic<std::uint64_t> next_{0};
+  std::size_t mask_ = 0;
+};
+
+}  // namespace obs
+}  // namespace hexastore
+
+#endif  // HEXASTORE_OBS_TRACE_RING_H_

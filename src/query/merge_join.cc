@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/scoped_timer.h"
+
 namespace hexastore {
 
 namespace {
@@ -110,27 +112,36 @@ std::vector<std::pair<Id, Id>> JoinChainImpl(const MergedSource& src,
 
 }  // namespace
 
+// The live-store overloads time each join step into the store's
+// hexa_merge_join_latency_ns histogram (the Snapshot overloads stay
+// untimed: a pinned handle has no back-pointer to its owning store).
+
 IdVec JoinSubjectsByObjects(const DeltaHexastore& store, Id p1, Id o1,
                             Id p2, Id o2) {
+  obs::ScopedTimer timer(store.merge_join_histogram());
   return JoinSubjectsByObjectsImpl(store, p1, o1, p2, o2);
 }
 
 IdVec JoinObjectsBySubjects(const DeltaHexastore& store, Id s1, Id p1,
                             Id s2, Id p2) {
+  obs::ScopedTimer timer(store.merge_join_histogram());
   return JoinObjectsBySubjectsImpl(store, s1, p1, s2, p2);
 }
 
 IdVec JoinSubjectsOfObjects(const DeltaHexastore& store, Id o1, Id o2) {
+  obs::ScopedTimer timer(store.merge_join_histogram());
   return JoinSubjectsOfObjectsImpl(store, o1, o2);
 }
 
 IdVec JoinPredicatesByPairs(const DeltaHexastore& store, Id s1, Id o1,
                             Id s2, Id o2) {
+  obs::ScopedTimer timer(store.merge_join_histogram());
   return JoinPredicatesByPairsImpl(store, s1, o1, s2, o2);
 }
 
 std::vector<std::pair<Id, Id>> JoinChain(const DeltaHexastore& store,
                                          Id p1, Id p2) {
+  obs::ScopedTimer timer(store.merge_join_histogram());
   return JoinChainImpl(store, p1, p2);
 }
 

@@ -153,6 +153,17 @@ Result<std::unique_ptr<DurableDeltaHexastore>> DurableDeltaHexastore::Open(
   wal_options.mode = options.mode;
   wal_options.segment_bytes = options.segment_bytes;
   wal_options.batch_bytes = options.batch_bytes;
+  wal_options.instruments.records_appended =
+      &store->wal_meters_.records_appended;
+  wal_options.instruments.fsyncs = &store->wal_meters_.fsyncs;
+  wal_options.instruments.rotations = &store->wal_meters_.rotations;
+  wal_options.instruments.commit_requests =
+      &store->wal_meters_.commit_requests;
+  wal_options.instruments.appended_bytes =
+      &store->wal_meters_.appended_bytes;
+  wal_options.instruments.append_ns = &store->wal_meters_.append_ns;
+  wal_options.instruments.fsync_ns = &store->wal_meters_.fsync_ns;
+  wal_options.instruments.trace = &store->store_.trace_ring();
   auto writer = WalWriter::Open(wal_options, new_segment, next_sequence);
   if (!writer.ok()) {
     return writer.status();
@@ -171,11 +182,42 @@ Result<std::unique_ptr<DurableDeltaHexastore>> DurableDeltaHexastore::Open(
       return s;
     }
   }
+  store->store_.trace_ring().Record(obs::TraceEvent::kRecovery, "open", 0,
+                                    store->recovery_.replayed_records);
   if (options.background_checkpoints) {
     store->checkpointer_ =
         std::thread(&DurableDeltaHexastore::CheckpointerLoop, store.get());
   }
   return store;
+}
+
+void DurableDeltaHexastore::RegisterWalMeters() {
+  obs::MetricsRegistry& reg = store_.metrics_registry();
+  reg.RegisterCounter("hexa_wal_records_appended_total",
+                      "WAL records framed and written",
+                      &wal_meters_.records_appended);
+  reg.RegisterCounter("hexa_wal_fsyncs_total",
+                      "fsync(2) calls on WAL segments",
+                      &wal_meters_.fsyncs);
+  reg.RegisterCounter("hexa_wal_rotations_total", "WAL segments opened",
+                      &wal_meters_.rotations);
+  reg.RegisterCounter("hexa_wal_commit_requests_total",
+                      "durability barriers requested by committers",
+                      &wal_meters_.commit_requests);
+  reg.RegisterCounter("hexa_wal_checkpoints_total",
+                      "checkpoints committed to the manifest",
+                      &wal_meters_.checkpoints);
+  reg.RegisterGauge("hexa_wal_appended_bytes",
+                    "cumulative bytes appended across segments",
+                    &wal_meters_.appended_bytes);
+  reg.RegisterHistogram("hexa_wal_append_latency_ns",
+                        "WAL append latency (1-in-128 sampled)",
+                        &wal_meters_.append_ns);
+  reg.RegisterHistogram("hexa_wal_fsync_latency_ns", "fsync(2) duration",
+                        &wal_meters_.fsync_ns);
+  reg.RegisterHistogram("hexa_wal_checkpoint_latency_ns",
+                        "whole-checkpoint duration (pin to prune)",
+                        &wal_meters_.checkpoint_ns);
 }
 
 DurableDeltaHexastore::~DurableDeltaHexastore() {
@@ -344,6 +386,8 @@ Status DurableDeltaHexastore::Checkpoint() {
 Status DurableDeltaHexastore::RunCheckpoint(bool only_if_stale) {
   // One checkpoint at a time; writers never wait on this mutex.
   std::lock_guard<std::mutex> cp_lock(checkpoint_mu_);
+  const bool timed = obs::MetricsEnabled();
+  const std::uint64_t t0 = timed ? obs::NowNanos() : 0;
 
   // 1. Pin the state and seal the log at it — the only step writers
   //    wait on. The generation handle gives snapshot isolation without
@@ -405,8 +449,8 @@ Status DurableDeltaHexastore::RunCheckpoint(bool only_if_stale) {
     std::lock_guard<std::mutex> lock(mu_);
     checkpoint_sequence_ = sequence;
     first_live_segment_ = new_first;
-    ++checkpoints_;
   }
+  wal_meters_.checkpoints.Add();
 
   // 4. Truncate obsolete files; a crash mid-prune only leaves garbage
   //    that the next checkpoint (or the first_segment_id filter) skips.
@@ -423,6 +467,13 @@ Status DurableDeltaHexastore::RunCheckpoint(bool only_if_stale) {
     if (IsSnapshotFileName(name) && name != snapshot_name) {
       RemoveFileIfExists(entry.path().string());
     }
+  }
+  if (timed) {
+    const std::uint64_t dur = obs::NowNanos() - t0;
+    wal_meters_.checkpoint_ns.Record(dur);
+    store_.trace_ring().Record(obs::TraceEvent::kCheckpoint,
+                               only_if_stale ? "compaction" : "forced", dur,
+                               sequence);
   }
   return Status::OK();
 }
@@ -468,8 +519,15 @@ Status DurableDeltaHexastore::status() const {
 WalStats DurableDeltaHexastore::wal_stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   WalStats stats = wal_->stats();
-  stats.checkpoints = checkpoints_;
+  stats.checkpoints = wal_meters_.checkpoints.Value();
   return stats;
+}
+
+StatsSnapshot DurableDeltaHexastore::GatherStats() const {
+  StatsSnapshot snap = store_.GatherStats();
+  snap.wal = wal_stats();
+  snap.has_wal = true;
+  return snap;
 }
 
 }  // namespace hexastore

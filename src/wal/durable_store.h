@@ -185,7 +185,28 @@ class DurableDeltaHexastore : public TripleStore {
   DeltaStats delta_stats() const { return store_.Stats(); }
   EpochStats epoch_stats() const { return store_.EpochCounters(); }
   WalStats wal_stats() const;
+  /// One coherent delta + epoch + WAL snapshot (has_wal set; see the
+  /// StatsSnapshot memory-ordering contract in core/stats.h).
+  StatsSnapshot GatherStats() const;
   const DurabilityOptions& options() const { return options_; }
+
+  // -- Observability exports ----------------------------------------------
+  // All WAL-layer instruments are registered into the inner store's
+  // registry (hexa_wal_* names), so these delegate to it and every
+  // export carries core, delta, epoch, filter and WAL series together.
+
+  obs::MetricsRegistry& metrics_registry() const {
+    return store_.metrics_registry();
+  }
+  obs::TraceRing& trace_ring() const { return store_.trace_ring(); }
+  std::string MetricsText() const { return store_.MetricsText(); }
+  std::string MetricsJson() const { return store_.MetricsJson(); }
+  /// Explicit JSON dump (async-signal-unsafe work done here, not in a
+  /// handler; safe to call from a SIGUSR1-woken thread). The inner
+  /// store's destructor additionally honors $HEXA_METRICS_JSON.
+  bool DumpMetricsJson(const std::string& path) const {
+    return store_.DumpMetricsJson(path);
+  }
 
   /// Inner-store invariants (test hook).
   bool CheckInvariants(std::string* error = nullptr) const {
@@ -200,7 +221,12 @@ class DurableDeltaHexastore : public TripleStore {
                             options.l0_run_limit,
                             options.l1_base_fraction,
                             options.memory_budget_bytes,
-                            options.filter_bits_per_key}) {}
+                            options.filter_bits_per_key}) {
+    RegisterWalMeters();
+  }
+
+  // Registers wal_meters_ into store_'s registry (hexa_wal_* names).
+  void RegisterWalMeters();
 
   // Post-append tail of every mutator: group commit outside mu_, then a
   // checkpoint (inline or handed to the checkpointer) if a compaction
@@ -218,6 +244,23 @@ class DurableDeltaHexastore : public TripleStore {
 
   const DurabilityOptions options_;
 
+  // WAL-layer instruments. Owned here rather than by the WalWriter (the
+  // writer records into them by pointer, see WalInstruments) and
+  // declared before store_, so they are still alive when the inner
+  // store's destructor runs the $HEXA_METRICS_JSON registry dump.
+  struct WalMeters {
+    obs::Counter records_appended;
+    obs::Counter fsyncs;
+    obs::Counter rotations;
+    obs::Counter commit_requests;
+    obs::Counter checkpoints;
+    obs::Gauge appended_bytes;
+    obs::LatencyHistogram append_ns{obs::kHotPathSampleShift};
+    obs::LatencyHistogram fsync_ns;
+    obs::LatencyHistogram checkpoint_ns;
+  };
+  mutable WalMeters wal_meters_;
+
   // Orders (append, apply) pairs so replay order equals apply order.
   mutable std::mutex mu_;
   DeltaHexastore store_;
@@ -228,7 +271,6 @@ class DurableDeltaHexastore : public TripleStore {
   std::uint64_t checkpoint_sequence_ = 0;  // covered by the snapshot
   std::uint64_t first_live_segment_ = 1;
   std::uint64_t last_compaction_count_ = 0;
-  std::uint64_t checkpoints_ = 0;
 
   // Serializes whole checkpoints against each other (writers are only
   // ever blocked by the short mu_ sections inside).

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <filesystem>
 
+#include "obs/scoped_timer.h"
+
 namespace hexastore {
 
 Result<std::unique_ptr<WalWriter>> WalWriter::Open(
@@ -51,10 +53,22 @@ Status WalWriter::OpenSegmentLocked() {
   segment_size_ = kWalHeaderBytes;
   appended_bytes_ += kWalHeaderBytes;
   ++stats_.rotations;
+  if (options_.instruments.rotations != nullptr) {
+    options_.instruments.rotations->Add();
+  }
+  if (options_.instruments.appended_bytes != nullptr) {
+    options_.instruments.appended_bytes->Set(
+        static_cast<std::int64_t>(appended_bytes_));
+  }
+  if (options_.instruments.trace != nullptr) {
+    options_.instruments.trace->Record(obs::TraceEvent::kWalRotate,
+                                       "segment_open", 0, segment_id_);
+  }
   return Status::OK();
 }
 
 Result<std::uint64_t> WalWriter::Append(WalOp op, Id s, Id p, Id o) {
+  obs::ScopedTimer timer(options_.instruments.append_ns);
   std::unique_lock<std::mutex> lock(mu_);
   if (!append_error_.ok()) {
     return append_error_;
@@ -87,6 +101,13 @@ Result<std::uint64_t> WalWriter::Append(WalOp op, Id s, Id p, Id o) {
   appended_bytes_ += frame.size();
   segment_size_ += frame.size();
   ++stats_.records_appended;
+  if (options_.instruments.records_appended != nullptr) {
+    options_.instruments.records_appended->Add();
+  }
+  if (options_.instruments.appended_bytes != nullptr) {
+    options_.instruments.appended_bytes->Set(
+        static_cast<std::int64_t>(appended_bytes_));
+  }
   return record.sequence;
 }
 
@@ -96,6 +117,9 @@ Status WalWriter::Commit(std::uint64_t sequence) {
   }
   std::unique_lock<std::mutex> lock(mu_);
   ++stats_.commit_requests;
+  if (options_.instruments.commit_requests != nullptr) {
+    options_.instruments.commit_requests->Add();
+  }
   if (options_.mode == DurabilityMode::kBatched) {
     if (appended_bytes_ - synced_bytes_ < options_.batch_bytes) {
       return Status::OK();
@@ -137,7 +161,11 @@ Status WalWriter::SyncLocked(std::unique_lock<std::mutex>& lock) {
   // fsync(2) with the mutex released: appenders keep going, and every
   // committer whose record is already written piggybacks on this sync.
   lock.unlock();
-  Status s = file_.Sync();
+  Status s;
+  {
+    obs::ScopedTimer fsync_timer(options_.instruments.fsync_ns);
+    s = file_.Sync();
+  }
   lock.lock();
   sync_in_progress_ = false;
   if (s.ok()) {
@@ -151,6 +179,9 @@ Status WalWriter::SyncLocked(std::unique_lock<std::mutex>& lock) {
     append_error_ = s;
   }
   ++stats_.fsyncs;
+  if (options_.instruments.fsyncs != nullptr) {
+    options_.instruments.fsyncs->Add();
+  }
   sync_cv_.notify_all();
   return s;
 }
@@ -173,10 +204,16 @@ Status WalWriter::RotateLocked(std::unique_lock<std::mutex>& lock) {
   while (sync_in_progress_) {
     sync_cv_.wait(lock);
   }
-  if (Status s = file_.Sync(); !s.ok()) {
-    return s;
+  {
+    obs::ScopedTimer fsync_timer(options_.instruments.fsync_ns);
+    if (Status s = file_.Sync(); !s.ok()) {
+      return s;
+    }
   }
   ++stats_.fsyncs;
+  if (options_.instruments.fsyncs != nullptr) {
+    options_.instruments.fsyncs->Add();
+  }
   synced_sequence_ = appended_sequence_;
   synced_bytes_ = appended_bytes_;
   file_.Close();

@@ -17,11 +17,31 @@
 #include <string>
 
 #include "core/stats.h"
+#include "obs/histogram.h"
+#include "obs/metrics.h"
+#include "obs/trace_ring.h"
 #include "util/status.h"
 #include "wal/file_util.h"
 #include "wal/wal_format.h"
 
 namespace hexastore {
+
+/// Externally-owned observability instruments a WalWriter records into.
+/// Every pointer is optional (null = not recorded). The instruments are
+/// owned by the caller — DurableDeltaHexastore keeps them alongside the
+/// registry they are registered in — and must outlive the writer; the
+/// writer deliberately owns none of them so a registry export after the
+/// writer's destruction never reads a dangling instrument.
+struct WalInstruments {
+  obs::Counter* records_appended = nullptr;
+  obs::Counter* fsyncs = nullptr;
+  obs::Counter* rotations = nullptr;
+  obs::Counter* commit_requests = nullptr;
+  obs::Gauge* appended_bytes = nullptr;
+  obs::LatencyHistogram* append_ns = nullptr;
+  obs::LatencyHistogram* fsync_ns = nullptr;
+  obs::TraceRing* trace = nullptr;  ///< receives kWalRotate events
+};
 
 /// Tuning knobs of a WalWriter.
 struct WalWriterOptions {
@@ -31,6 +51,8 @@ struct WalWriterOptions {
   std::size_t segment_bytes = 4u << 20;
   /// kBatched: fsync once this many unsynced bytes accumulate.
   std::size_t batch_bytes = 256u << 10;
+  /// Observability hooks (see WalInstruments; all optional).
+  WalInstruments instruments;
 };
 
 /// Appender over the active WAL segment.

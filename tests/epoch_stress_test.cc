@@ -682,5 +682,75 @@ TEST(EpochStressTest, HandlesSurviveCheckpointsAndRecovery) {
   std::filesystem::remove_all(dir, ec);
 }
 
+// Observability under concurrency, for the TSan job: writers churn a
+// leveled background store (histograms recording, trace ring filling
+// from both the writer and the compactor thread) while reader threads
+// continuously render the Prometheus page, the JSON dump, GatherStats()
+// and raw trace snapshots. Everything here must be data-race-free: the
+// instruments are relaxed atomics, the trace ring is a seqlock, and
+// GatherStats serializes on the store mutex.
+TEST(EpochStressTest, MetricsExportsRaceFreeUnderChurn) {
+  DeltaOptions options;
+  options.compact_threshold = 48;
+  options.background_compaction = true;
+  options.l0_run_limit = 2;
+  options.trace_capacity = 64;  // force wraparound under churn
+  DeltaHexastore store(options);
+
+  std::atomic<bool> done{false};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 3; ++r) {
+    readers.emplace_back([&store, &done, &failures, r] {
+      while (!done.load(std::memory_order_acquire)) {
+        if (r == 0) {
+          if (store.MetricsText().find("hexa_delta_staged_ops_total") ==
+              std::string::npos) {
+            failures.fetch_add(1);
+          }
+        } else if (r == 1) {
+          if (store.MetricsJson().find("\"version\": 1") ==
+              std::string::npos) {
+            failures.fetch_add(1);
+          }
+        } else {
+          const StatsSnapshot snap = store.GatherStats();
+          if (snap.delta.compact_threshold != 48) {
+            failures.fetch_add(1);
+          }
+          for (const obs::TraceRecord& rec : store.trace_ring().Snapshot()) {
+            if (rec.reason == nullptr) {
+              failures.fetch_add(1);
+            }
+          }
+        }
+      }
+    });
+  }
+
+  Rng rng(0x0B5EC0DE);
+  constexpr Id kUniverse = 16;
+  for (int op = 0; op < 6000; ++op) {
+    const IdTriple t = RandomTriple(rng, kUniverse);
+    if (rng.Bernoulli(0.6)) {
+      store.Insert(t);
+    } else {
+      store.Erase(t);
+    }
+    store.Contains(t);
+  }
+  store.Compact();
+  done.store(true, std::memory_order_release);
+  for (auto& th : readers) {
+    th.join();
+  }
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_GT(store.trace_ring().TotalRecorded(), 0u);
+  const DeltaStats stats = store.Stats();
+  EXPECT_GT(stats.seals, 0u);
+  std::string err;
+  ASSERT_TRUE(store.CheckInvariants(&err)) << err;
+}
+
 }  // namespace
 }  // namespace hexastore

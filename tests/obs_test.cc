@@ -1,0 +1,323 @@
+// Unit tests for the observability primitives (src/obs/): counters,
+// gauges, the log-scale latency histogram (percentiles pinned against a
+// sorted-vector oracle), the metrics registry and its exports, the
+// scoped timer with the HEXA_METRICS toggle, and the trace ring
+// (wraparound + concurrent writers).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <random>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "obs/histogram.h"
+#include "obs/metrics.h"
+#include "obs/scoped_timer.h"
+#include "obs/trace_ring.h"
+
+namespace hexastore {
+namespace obs {
+namespace {
+
+// Restores the metrics toggle even when a test fails mid-way.
+class MetricsToggle {
+ public:
+  explicit MetricsToggle(bool enabled) { SetMetricsEnabledForTesting(enabled); }
+  ~MetricsToggle() { SetMetricsEnabledForTesting(true); }
+};
+
+TEST(CounterTest, AddAndValue) {
+  Counter c;
+  EXPECT_EQ(c.Value(), 0u);
+  c.Add();
+  c.Add(41);
+  EXPECT_EQ(c.Value(), 42u);
+  c.Reset();
+  EXPECT_EQ(c.Value(), 0u);
+}
+
+TEST(GaugeTest, SetAddValue) {
+  Gauge g;
+  g.Set(10);
+  g.Add(-3);
+  EXPECT_EQ(g.Value(), 7);
+  g.Set(-5);
+  EXPECT_EQ(g.Value(), -5);
+}
+
+// The exact order statistic must land inside (or at the clamped edge
+// of) the bucket the interpolated percentile came from: the histogram's
+// answer is within a factor of 2 of the truth, the bound the header
+// documents.
+TEST(HistogramTest, PercentileWithinBucketOfOracle) {
+  std::mt19937_64 rng(42);
+  std::lognormal_distribution<double> dist(8.0, 2.0);  // ~3us median, long tail
+  LatencyHistogram hist;
+  std::vector<std::uint64_t> oracle;
+  for (int i = 0; i < 20000; ++i) {
+    const auto v = static_cast<std::uint64_t>(dist(rng));
+    hist.Record(v);
+    oracle.push_back(v);
+  }
+  std::sort(oracle.begin(), oracle.end());
+  const HistogramSnapshot snap = hist.Snapshot();
+  ASSERT_EQ(snap.count, oracle.size());
+  for (double q : {0.5, 0.9, 0.99, 0.999}) {
+    const auto rank = static_cast<std::size_t>(
+        std::max<double>(1.0, std::ceil(q * oracle.size())));
+    const double exact = static_cast<double>(oracle[rank - 1]);
+    const double approx = hist.Snapshot().Percentile(q);
+    // Same power-of-two bucket: approx in [exact/2, 2*exact].
+    EXPECT_GE(approx, exact / 2.0) << "q=" << q;
+    EXPECT_LE(approx, exact * 2.0) << "q=" << q;
+  }
+  EXPECT_EQ(snap.max, oracle.back());
+  EXPECT_LE(snap.Percentile(1.0), static_cast<double>(snap.max));
+}
+
+TEST(HistogramTest, EmptyAndSingleValue) {
+  LatencyHistogram hist;
+  EXPECT_EQ(hist.Snapshot().P99(), 0.0);
+  EXPECT_EQ(hist.Snapshot().Mean(), 0.0);
+  hist.Record(100);
+  const HistogramSnapshot snap = hist.Snapshot();
+  EXPECT_EQ(snap.count, 1u);
+  EXPECT_EQ(snap.sum, 100u);
+  EXPECT_EQ(snap.max, 100u);
+  // One value: every percentile is clamped to it.
+  EXPECT_LE(snap.P999(), 100.0);
+  EXPECT_GT(snap.P50(), 0.0);
+}
+
+TEST(HistogramTest, MergeAccumulates) {
+  LatencyHistogram a;
+  LatencyHistogram b(/*sample_shift=*/3);
+  a.Record(10);
+  a.Record(20);
+  b.Record(1000);
+  HistogramSnapshot merged = a.Snapshot();
+  merged.Merge(b.Snapshot());
+  EXPECT_EQ(merged.count, 3u);
+  EXPECT_EQ(merged.sum, 1030u);
+  EXPECT_EQ(merged.max, 1000u);
+  // The coarser sampling label wins.
+  EXPECT_EQ(merged.sample_shift, 3u);
+}
+
+TEST(HistogramTest, SamplingGateSingleThreaded) {
+  LatencyHistogram hist(/*sample_shift=*/4);
+  int sampled = 0;
+  for (int i = 0; i < 160; ++i) {
+    if (hist.Tick()) ++sampled;
+  }
+  // Single-threaded the racy tick counter is exact: 1-in-16.
+  EXPECT_EQ(sampled, 10);
+  LatencyHistogram all(/*sample_shift=*/0);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(all.Tick());
+}
+
+TEST(HistogramTest, ResetZeroesEverything) {
+  LatencyHistogram hist(/*sample_shift=*/2);
+  hist.Tick();
+  hist.Record(123);
+  hist.Reset();
+  const HistogramSnapshot snap = hist.Snapshot();
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_EQ(snap.sum, 0u);
+  EXPECT_EQ(snap.max, 0u);
+  EXPECT_TRUE(hist.Tick());  // tick phase restarts at sampled
+}
+
+TEST(ScopedTimerTest, RecordsWhenEnabled) {
+  MetricsToggle toggle(true);
+  LatencyHistogram hist;
+  {
+    ScopedTimer timer(&hist);
+  }
+  EXPECT_EQ(hist.Snapshot().count, 1u);
+}
+
+TEST(ScopedTimerTest, DisabledRecordsNothing) {
+  MetricsToggle toggle(false);
+  LatencyHistogram hist;
+  {
+    ScopedTimer timer(&hist);
+  }
+  EXPECT_EQ(hist.Snapshot().count, 0u);
+}
+
+TEST(ScopedTimerTest, NullHistogramIsNoop) {
+  ScopedTimer timer(nullptr);  // must not crash
+}
+
+TEST(RegistryTest, LookupAndRender) {
+  MetricsRegistry registry;
+  Counter* c = registry.AddCounter("test_ops_total", "ops");
+  Gauge* g = registry.AddGauge("test_depth", "queue depth");
+  LatencyHistogram* h = registry.AddHistogram("test_latency_ns", "latency");
+  c->Add(7);
+  g->Set(-2);
+  h->Record(100);
+  h->Record(3000);
+
+  std::uint64_t cv = 0;
+  std::int64_t gv = 0;
+  EXPECT_TRUE(registry.CounterValue("test_ops_total", &cv));
+  EXPECT_EQ(cv, 7u);
+  EXPECT_TRUE(registry.GaugeValue("test_depth", &gv));
+  EXPECT_EQ(gv, -2);
+  EXPECT_FALSE(registry.CounterValue("missing", &cv));
+
+  const std::string prom = registry.RenderPrometheus();
+  EXPECT_NE(prom.find("# TYPE test_ops_total counter"), std::string::npos);
+  EXPECT_NE(prom.find("test_ops_total 7"), std::string::npos);
+  EXPECT_NE(prom.find("test_depth -2"), std::string::npos);
+  EXPECT_NE(prom.find("test_latency_ns_bucket{le=\"+Inf\"} 2"),
+            std::string::npos);
+  EXPECT_NE(prom.find("test_latency_ns_sum 3100"), std::string::npos);
+
+  const std::string json = registry.RenderJson();
+  EXPECT_NE(json.find("\"version\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"test_ops_total\": 7"), std::string::npos);
+  EXPECT_NE(json.find("\"test_depth\": -2"), std::string::npos);
+  EXPECT_NE(json.find("\"count\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"trace\": null"), std::string::npos);
+}
+
+TEST(RegistryTest, ExternalRegistrationAndReregistration) {
+  MetricsRegistry registry;
+  Counter external;
+  external.Add(3);
+  registry.RegisterCounter("ext_total", "first", &external);
+  // Re-registering the same name replaces the entry instead of
+  // duplicating it.
+  Counter replacement;
+  replacement.Add(9);
+  registry.RegisterCounter("ext_total", "second", &replacement);
+  std::uint64_t v = 0;
+  ASSERT_TRUE(registry.CounterValue("ext_total", &v));
+  EXPECT_EQ(v, 9u);
+  const std::string prom = registry.RenderPrometheus();
+  EXPECT_EQ(prom.find("first"), std::string::npos);
+}
+
+TEST(RegistryTest, JsonFileWriteAndEnvDump) {
+  MetricsRegistry registry;
+  registry.AddCounter("file_total", "c")->Add(5);
+  const std::string dir = ::testing::TempDir();
+  const std::string path = dir + "/obs_test_metrics.json";
+  ASSERT_TRUE(registry.WriteJsonFile(path));
+  std::ifstream in(path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  EXPECT_NE(buf.str().find("\"file_total\": 5"), std::string::npos);
+
+  const std::string env_path = dir + "/obs_test_env_dump.json";
+  ::setenv("HEXA_METRICS_JSON", env_path.c_str(), 1);
+  registry.DumpToEnvPathIfSet();
+  ::unsetenv("HEXA_METRICS_JSON");
+  EXPECT_TRUE(std::filesystem::exists(env_path));
+  std::filesystem::remove(path);
+  std::filesystem::remove(env_path);
+}
+
+TEST(TraceRingTest, RecordsAndSnapshotsInOrder) {
+  MetricsToggle toggle(true);
+  TraceRing ring(16);
+  ring.Record(TraceEvent::kSeal, "threshold", 10, 100);
+  ring.Record(TraceEvent::kFold, "sync", 20, 200);
+  const std::vector<TraceRecord> events = ring.Snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].event, TraceEvent::kSeal);
+  EXPECT_STREQ(events[0].reason, "threshold");
+  EXPECT_EQ(events[0].duration_ns, 10u);
+  EXPECT_EQ(events[0].value, 100u);
+  EXPECT_EQ(events[1].event, TraceEvent::kFold);
+  EXPECT_LT(events[0].ticket, events[1].ticket);
+  EXPECT_LE(events[0].timestamp_ns, events[1].timestamp_ns);
+}
+
+TEST(TraceRingTest, WraparoundKeepsNewestCapacityEvents) {
+  MetricsToggle toggle(true);
+  TraceRing ring(8);
+  ASSERT_EQ(ring.capacity(), 8u);
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    ring.Record(TraceEvent::kPublish, "writer", 0, i);
+  }
+  EXPECT_EQ(ring.TotalRecorded(), 100u);
+  const std::vector<TraceRecord> events = ring.Snapshot();
+  ASSERT_EQ(events.size(), 8u);
+  // Oldest-first walk of the newest `capacity` tickets.
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].ticket, 92 + i);
+    EXPECT_EQ(events[i].value, 92 + i);
+  }
+}
+
+TEST(TraceRingTest, DisabledMetricsDropRecords) {
+  MetricsToggle toggle(false);
+  TraceRing ring(8);
+  ring.Record(TraceEvent::kSeal, "threshold");
+  EXPECT_EQ(ring.TotalRecorded(), 0u);
+  EXPECT_TRUE(ring.Snapshot().empty());
+}
+
+TEST(TraceRingTest, EventNamesAreStable) {
+  EXPECT_STREQ(TraceEventName(TraceEvent::kSeal), "seal");
+  EXPECT_STREQ(TraceEventName(TraceEvent::kBaseMerge), "base_merge");
+  EXPECT_STREQ(TraceEventName(TraceEvent::kBudgetTrigger), "budget_trigger");
+  EXPECT_STREQ(TraceEventName(TraceEvent::kWalRotate), "wal_rotate");
+}
+
+// Concurrent writers + a racing reader: every snapshot the reader takes
+// must contain only internally consistent events (matching
+// event/reason/value triples), never a torn slot. The TSan job runs
+// this same shape heavier in epoch_stress_test.
+TEST(TraceRingTest, ConcurrentWritersProduceConsistentSnapshots) {
+  MetricsToggle toggle(true);
+  TraceRing ring(64);
+  static constexpr int kWriters = 4;
+  static constexpr std::uint64_t kPerWriter = 5000;
+  std::vector<std::thread> writers;
+  writers.reserve(kWriters);
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&ring, w] {
+      const TraceEvent event =
+          w % 2 == 0 ? TraceEvent::kSeal : TraceEvent::kFold;
+      const char* reason = w % 2 == 0 ? "threshold" : "sync";
+      for (std::uint64_t i = 0; i < kPerWriter; ++i) {
+        ring.Record(event, reason, /*duration_ns=*/w, /*value=*/i);
+      }
+    });
+  }
+  std::atomic<bool> stop{false};
+  std::thread reader([&ring, &stop] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      for (const TraceRecord& rec : ring.Snapshot()) {
+        // A consistent slot pairs the event with its writer's reason.
+        if (rec.event == TraceEvent::kSeal) {
+          ASSERT_STREQ(rec.reason, "threshold");
+        } else {
+          ASSERT_EQ(rec.event, TraceEvent::kFold);
+          ASSERT_STREQ(rec.reason, "sync");
+        }
+        ASSERT_LT(rec.value, kPerWriter);
+      }
+    }
+  });
+  for (std::thread& t : writers) t.join();
+  stop.store(true, std::memory_order_relaxed);
+  reader.join();
+  EXPECT_EQ(ring.TotalRecorded(), kWriters * kPerWriter);
+  const std::vector<TraceRecord> final_events = ring.Snapshot();
+  EXPECT_EQ(final_events.size(), ring.capacity());
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace hexastore

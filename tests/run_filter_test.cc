@@ -89,9 +89,9 @@ TEST(RunFilterTest, FilteredLookupCountsSkipsAndFalsePositives) {
     EXPECT_EQ(store.FilteredLookup(IdTriple{i + (1u << 30), i, i}),
               DeltaStore::Presence::kUnknown);
   }
-  const auto probes = counters->probes.load();
-  const auto skips = counters->skips.load();
-  const auto fps = counters->false_positives.load();
+  const auto probes = counters->probes.Value();
+  const auto skips = counters->skips.Value();
+  const auto fps = counters->false_positives.Value();
   EXPECT_EQ(probes, 1100u);
   EXPECT_GT(skips, 900u);  // FP rate well under 10%
   EXPECT_EQ(skips + fps, 1000u);
@@ -107,9 +107,9 @@ TEST(RunFilterTest, PrefixProbeSkipsScanOfForeignRun) {
   store.EnableFilter(10);
   store.Freeze();
   // A predicate this run never staged: the prefix probe skips the scan.
-  const auto skips_before = counters->skips.load();
+  const auto skips_before = counters->skips.Value();
   EXPECT_EQ(store.CountInserts(IdPattern{0, 123456789, 0}), 0u);
-  EXPECT_GE(counters->skips.load(), skips_before);
+  EXPECT_GE(counters->skips.Value(), skips_before);
   // A staged predicate still scans and finds everything.
   EXPECT_EQ(store.CountInserts(IdPattern{0, 7, 0}), 50u);
 }
