@@ -19,21 +19,29 @@
 //                      matters; the on/off delta IS the instrumentation
 //                      cost.
 //   trace_ring/*     — one TraceRing::Record, enabled and disabled.
+//   bgp_eval/*       — a two-pattern LUBM join end to end with the PR-8
+//                      query profiler detached (profile:off, the default
+//                      nullptr path — must match the pre-profiling
+//                      baseline), attached (profile:on), and attached
+//                      with metrics off.
 //
 // The enabled/disabled toggle uses SetMetricsEnabledForTesting (the env
 // var is read once per process); benchmarks restore the enabled state so
 // registration order cannot leak between series.
 #include "bench_common.h"
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "data/lubm_generator.h"
 #include "delta/delta_hexastore.h"
 #include "obs/metrics.h"
 #include "obs/scoped_timer.h"
 #include "obs/trace_ring.h"
+#include "query/bgp.h"
 
 namespace hexastore::bench {
 namespace {
@@ -144,6 +152,65 @@ BENCHMARK(BM_InsertMetricsOff)
     ->Name("abl_obs_overhead/insert/metrics:off")
     ->Unit(benchmark::kMillisecond)
     ->MinTime(0.05);
+
+// Profiled vs unprofiled BGP evaluation. The zero-cost-when-off
+// contract (query/bgp.h): passing profile == nullptr must leave the
+// evaluator on its original code path, so profile:off tracks the
+// pre-profiling baseline within noise; profile:on pays per-probe clock
+// reads and per-pattern tallies on the profiled evaluator.
+constexpr std::size_t kBgpTriples = 20000;
+
+void BgpEvalBody(benchmark::State& state, bool profiled,
+                 bool metrics_enabled) {
+  MetricsToggle toggle(metrics_enabled);
+  Dictionary dict;
+  Hexastore store;
+  for (const auto& t : data::LubmGenerator().Generate(kBgpTriples)) {
+    store.Insert(dict.Encode(t));
+  }
+  const std::string ns = "http://swat.cse.lehigh.edu/onto/univ-bench.owl#";
+  const std::vector<TriplePattern> patterns = {
+      {PatternTerm::Variable("s"),
+       PatternTerm::Bound(Term::Iri(ns + "advisor")),
+       PatternTerm::Variable("prof")},
+      {PatternTerm::Variable("prof"),
+       PatternTerm::Bound(Term::Iri(ns + "worksFor")),
+       PatternTerm::Variable("dept")}};
+  std::size_t rows = 0;
+  std::uint64_t scanned = 0;
+  for (auto _ : state) {
+    QueryProfile profile;
+    const ResultSet result = EvalBgp(
+        store, dict, patterns, profiled ? &profile : nullptr);
+    rows = result.rows.size();
+    scanned += profile.TotalRowsScanned();
+    benchmark::DoNotOptimize(rows);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.counters["rows"] = static_cast<double>(rows);
+  state.counters["scanned_per_iter"] =
+      static_cast<double>(scanned) /
+      static_cast<double>(std::max<std::size_t>(state.iterations(), 1));
+}
+
+void BM_BgpEvalProfileOff(benchmark::State& state) {
+  BgpEvalBody(state, false, true);
+}
+void BM_BgpEvalProfileOn(benchmark::State& state) {
+  BgpEvalBody(state, true, true);
+}
+void BM_BgpEvalProfileOnMetricsOff(benchmark::State& state) {
+  BgpEvalBody(state, true, false);
+}
+BENCHMARK(BM_BgpEvalProfileOff)
+    ->Name("abl_obs_overhead/bgp_eval/profile:off/metrics:on")
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_BgpEvalProfileOn)
+    ->Name("abl_obs_overhead/bgp_eval/profile:on/metrics:on")
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_BgpEvalProfileOnMetricsOff)
+    ->Name("abl_obs_overhead/bgp_eval/profile:on/metrics:off")
+    ->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 }  // namespace hexastore::bench

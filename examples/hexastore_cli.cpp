@@ -9,7 +9,11 @@
 // With no QUERY argument, queries are read from stdin (one per line or
 // separated by blank lines). `--stats` prints index statistics instead;
 // `--metrics` prints the graph's Prometheus-style metric exposition
-// (see docs/observability.md).
+// (see docs/observability.md). `--slow-queries` prints, after the
+// queries ran, the slow-query log — queries whose end-to-end time
+// crossed HEXA_SLOW_QUERY_US microseconds (0 = log everything,
+// default 10ms). Queries support EXPLAIN / EXPLAIN ANALYZE prefixes
+// via the SPARQL engine.
 #include <algorithm>
 #include <fstream>
 #include <iostream>
@@ -21,6 +25,7 @@
 #include "data/lubm_generator.h"
 #include "io/snapshot.h"
 #include "query/operators.h"
+#include "query/profile.h"
 #include "query/sparql_engine.h"
 
 namespace {
@@ -30,13 +35,16 @@ int Fail(const std::string& message) {
   return 1;
 }
 
-void RunQuery(const hexastore::Graph& graph, const std::string& query) {
+void RunQuery(const hexastore::Graph& graph, hexastore::ProfileSink* sink,
+              const std::string& query) {
+  hexastore::QueryProfile profile;
   auto result =
-      hexastore::RunSparql(graph.store(), graph.dict(), query);
+      hexastore::RunSparql(graph.store(), graph.dict(), query, &profile);
   if (!result.ok()) {
     std::cout << "error: " << result.status().ToString() << "\n";
     return;
   }
+  sink->Record(profile, query);
   std::cout << hexastore::FormatResultSet(result.value(), graph.dict(),
                                           /*max_rows=*/50);
 }
@@ -46,10 +54,14 @@ void RunQuery(const hexastore::Graph& graph, const std::string& query) {
 int main(int argc, char** argv) {
   using namespace hexastore;  // NOLINT
 
+  // Sink before graph: it must outlive the registry that renders it.
+  ProfileSink sink;
   Graph graph;
+  sink.RegisterWith(&graph.metrics_registry());
   bool loaded = false;
   bool show_stats = false;
   bool show_metrics = false;
+  bool show_slow_queries = false;
   std::string query;
 
   std::vector<std::string> args(argv + 1, argv + argc);
@@ -90,10 +102,12 @@ int main(int argc, char** argv) {
       show_stats = true;
     } else if (arg == "--metrics") {
       show_metrics = true;
+    } else if (arg == "--slow-queries") {
+      show_slow_queries = true;
     } else if (arg == "--help") {
       std::cout << "usage: hexastore_cli (--load-nt FILE | "
                    "--load-snapshot FILE | --demo) [--save-snapshot FILE] "
-                   "[--stats] [--metrics] [QUERY]\n";
+                   "[--stats] [--metrics] [--slow-queries] [QUERY]\n";
       return 0;
     } else {
       query = arg;
@@ -118,7 +132,10 @@ int main(int argc, char** argv) {
     return 0;
   }
   if (!query.empty()) {
-    RunQuery(graph, query);
+    RunQuery(graph, &sink, query);
+    if (show_slow_queries) {
+      std::cout << FormatSlowQueries(sink.slow_queries());
+    }
     return 0;
   }
   // Interactive: blank line or balanced braces execute the buffer.
@@ -133,9 +150,12 @@ int main(int argc, char** argv) {
     auto closes = std::count(buffer.begin(), buffer.end(), '}');
     if ((line.empty() || (opens > 0 && opens == closes)) &&
         buffer.find_first_not_of(" \t\n") != std::string::npos) {
-      RunQuery(graph, buffer);
+      RunQuery(graph, &sink, buffer);
       buffer.clear();
     }
+  }
+  if (show_slow_queries) {
+    std::cout << FormatSlowQueries(sink.slow_queries());
   }
   return 0;
 }

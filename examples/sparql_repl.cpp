@@ -4,26 +4,84 @@
 //
 // Usage: sparql_repl [barton|lubm] [num_triples]
 // Reads one query per line from stdin ('quit' exits); with no tty it
-// runs a scripted demo.
+// runs a scripted demo. Prefix a query with EXPLAIN to see the plan
+// without executing it, or EXPLAIN ANALYZE to execute and see the plan
+// annotated with actual rows, q-errors and timings.
 #include <algorithm>
+#include <cctype>
 #include <iostream>
 #include <string>
+#include <string_view>
 
 #include "core/graph.h"
 #include "data/barton_generator.h"
 #include "data/lubm_generator.h"
 #include "query/operators.h"
+#include "query/profile.h"
 #include "query/sparql_engine.h"
 
 namespace {
 
-void RunQuery(const hexastore::Graph& graph, const std::string& query) {
+// Strips a leading case-insensitive keyword (plus trailing whitespace)
+// from `text`; returns true and advances `text` on match.
+bool ConsumeKeyword(std::string_view* text, std::string_view keyword) {
+  if (text->size() < keyword.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < keyword.size(); ++i) {
+    if (std::toupper(static_cast<unsigned char>((*text)[i])) != keyword[i]) {
+      return false;
+    }
+  }
+  std::string_view rest = text->substr(keyword.size());
+  if (!rest.empty() && !std::isspace(static_cast<unsigned char>(rest[0]))) {
+    return false;  // keyword is a prefix of a longer word
+  }
+  while (!rest.empty() &&
+         std::isspace(static_cast<unsigned char>(rest[0]))) {
+    rest.remove_prefix(1);
+  }
+  *text = rest;
+  return true;
+}
+
+void RunQuery(const hexastore::Graph& graph, hexastore::ProfileSink* sink,
+              const std::string& query) {
+  std::string_view text = query;
+  while (!text.empty() &&
+         std::isspace(static_cast<unsigned char>(text.front()))) {
+    text.remove_prefix(1);
+  }
+  if (ConsumeKeyword(&text, "EXPLAIN")) {
+    if (ConsumeKeyword(&text, "ANALYZE")) {
+      hexastore::QueryProfile profile;
+      auto report = hexastore::ExplainAnalyzeSparql(
+          graph.store(), graph.dict(), text, &profile);
+      if (!report.ok()) {
+        std::cout << "error: " << report.status().ToString() << "\n";
+        return;
+      }
+      sink->Record(profile, text);
+      std::cout << report.value() << "\n";
+      return;
+    }
+    auto report = hexastore::ExplainSparql(graph.store(), graph.dict(),
+                                           text);
+    if (!report.ok()) {
+      std::cout << "error: " << report.status().ToString() << "\n";
+      return;
+    }
+    std::cout << report.value() << "\n";
+    return;
+  }
+  hexastore::QueryProfile profile;
   auto result =
-      hexastore::RunSparql(graph.store(), graph.dict(), query);
+      hexastore::RunSparql(graph.store(), graph.dict(), text, &profile);
   if (!result.ok()) {
     std::cout << "error: " << result.status().ToString() << "\n";
     return;
   }
+  sink->Record(profile, text);
   std::cout << hexastore::FormatResultSet(result.value(), graph.dict())
             << "\n";
 }
@@ -36,7 +94,11 @@ int main(int argc, char** argv) {
   std::string dataset = argc > 1 ? argv[1] : "lubm";
   std::size_t num_triples = argc > 2 ? std::stoull(argv[2]) : 20000;
 
+  // Declared before the graph so the sink outlives the registry that
+  // renders its histograms and slow-query log.
+  ProfileSink sink;
   Graph graph;
+  sink.RegisterWith(&graph.metrics_registry());
   if (dataset == "barton") {
     graph.BulkLoad(data::BartonGenerator().Generate(num_triples));
   } else {
@@ -57,7 +119,7 @@ int main(int argc, char** argv) {
             "SELECT DISTINCT ?prof ?dept WHERE { ?s ub:advisor ?prof . "
             "?prof ub:worksFor ?dept } ORDER BY ?prof LIMIT 5";
   std::cout << "demo> " << demo << "\n";
-  RunQuery(graph, demo);
+  RunQuery(graph, &sink, demo);
 
   // Aggregation demo: the shape of the paper's Barton Query 1 ("counts
   // of each different type of data in the store") as a SPARQL aggregate.
@@ -71,7 +133,7 @@ int main(int argc, char** argv) {
             "SELECT ?class (COUNT(?x) AS ?n) WHERE { ?x ub:type ?class } "
             "GROUP BY ?class ORDER BY ?class";
   std::cout << "demo> " << agg_demo << "\n";
-  RunQuery(graph, agg_demo);
+  RunQuery(graph, &sink, agg_demo);
 
   std::string line;
   std::string buffer;
@@ -81,7 +143,7 @@ int main(int argc, char** argv) {
     }
     if (line.empty()) {
       if (!buffer.empty()) {
-        RunQuery(graph, buffer);
+        RunQuery(graph, &sink, buffer);
         buffer.clear();
       }
       continue;
@@ -91,12 +153,12 @@ int main(int argc, char** argv) {
     auto opens = std::count(buffer.begin(), buffer.end(), '{');
     auto closes = std::count(buffer.begin(), buffer.end(), '}');
     if (opens > 0 && opens == closes) {
-      RunQuery(graph, buffer);
+      RunQuery(graph, &sink, buffer);
       buffer.clear();
     }
   }
   if (!buffer.empty()) {
-    RunQuery(graph, buffer);
+    RunQuery(graph, &sink, buffer);
   }
   return 0;
 }

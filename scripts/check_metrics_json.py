@@ -1,17 +1,23 @@
 #!/usr/bin/env python3
-"""Validates a HEXA_METRICS_JSON dump against the version-1 schema.
+"""Validates a HEXA_METRICS_JSON dump against the version-2 schema.
 
-Usage: check_metrics_json.py <dump.json> [--require-wal]
+Usage: check_metrics_json.py <dump.json> [--require-wal] [--require-queries]
 
 Checks (see docs/observability.md "Export formats"):
-  * top-level shape: version 1, counters/gauges/histograms objects and
-    a trace object (or null);
+  * top-level shape: version 2, counters/gauges/histograms objects, a
+    trace object (or null) and a slow_queries object (or null);
   * every histogram carries count/sum_ns/max_ns/sample_shift, ordered
     percentiles and well-formed buckets;
+  * every slow-query entry carries the full phase/row/q-error breakdown,
+    phases that sum to total_ns, and a q-error >= 1;
   * the dump is not hollow: the delta and epoch counter families have
     nonzero entries, the trace retained events — and with --require-wal
     (the CI metrics-smoke job, which churns a durable store) the WAL
-    family too.
+    family too;
+  * with --require-queries (the metrics-smoke query step, which runs a
+    query under HEXA_SLOW_QUERY_US=0) a hexa_query_* class histogram
+    recorded at least one query and the slow-query ring retained at
+    least one entry.
 
 Exits 0 on a valid dump, 1 with one line per violation otherwise.
 Stdlib only.
@@ -33,6 +39,7 @@ def main(argv):
         return 2
     path = argv[1]
     require_wal = "--require-wal" in argv[2:]
+    require_queries = "--require-queries" in argv[2:]
 
     errors = []
     try:
@@ -41,8 +48,8 @@ def main(argv):
     except (OSError, json.JSONDecodeError) as exc:
         return fail([f"{path}: cannot parse: {exc}"])
 
-    if dump.get("version") != 1:
-        errors.append(f"version is {dump.get('version')!r}, expected 1")
+    if dump.get("version") != 2:
+        errors.append(f"version is {dump.get('version')!r}, expected 2")
 
     for section in ("counters", "gauges", "histograms"):
         if not isinstance(dump.get(section), dict):
@@ -106,6 +113,48 @@ def main(argv):
                 errors.append(f"trace event missing keys {sorted(missing)}")
                 break
 
+    slow = dump.get("slow_queries")
+    if slow is not None and not isinstance(slow, dict):
+        errors.append("slow_queries is neither null nor an object")
+        slow = None
+    if isinstance(slow, dict):
+        for key in ("capacity", "recorded", "retained", "entries"):
+            if key not in slow:
+                errors.append(f"slow_queries missing key {key!r}")
+        for entry in slow.get("entries", []):
+            missing = ({"ticket", "ts_ns", "kind", "total_ns", "parse_ns",
+                        "plan_ns", "eval_ns", "pin_ns", "rows_out",
+                        "rows_scanned", "estimate_probes", "patterns",
+                        "max_q_error", "text"} - entry.keys())
+            if missing:
+                errors.append(
+                    f"slow query entry missing keys {sorted(missing)}")
+                break
+            # Pinned queries nest plan/eval inside pin_ns (total is
+            # parse + pin); unpinned ones have pin_ns == 0.
+            if entry["pin_ns"] > 0:
+                phases = entry["parse_ns"] + entry["pin_ns"]
+            else:
+                phases = (entry["parse_ns"] + entry["plan_ns"] +
+                          entry["eval_ns"])
+            if phases != entry["total_ns"]:
+                errors.append(f"slow query entry phases sum to {phases}, "
+                              f"total_ns is {entry['total_ns']}")
+            if entry["max_q_error"] < 1.0:
+                errors.append(f"slow query entry max_q_error "
+                              f"{entry['max_q_error']} below 1")
+
+    if require_queries:
+        live_query_hists = [
+            n for n, h in dump["histograms"].items()
+            if n.startswith("hexa_query_") and isinstance(h, dict)
+            and h.get("count", 0) > 0]
+        if not live_query_hists:
+            errors.append("no hexa_query_* histogram recorded a query")
+        if not isinstance(slow, dict) or not slow.get("entries"):
+            errors.append("slow_queries retained no entries "
+                          "(run under HEXA_SLOW_QUERY_US=0)")
+
     families = [("hexa_delta_", True), ("hexa_epoch_", True),
                 ("hexa_wal_", require_wal)]
     for prefix, required in families:
@@ -120,9 +169,10 @@ def main(argv):
         return fail(errors)
     n_hist = len(dump["histograms"])
     retained = trace.get("retained", 0) if isinstance(trace, dict) else 0
+    n_slow = slow.get("retained", 0) if isinstance(slow, dict) else 0
     print(f"check_metrics_json: OK ({len(dump['counters'])} counters, "
           f"{len(dump['gauges'])} gauges, {n_hist} histograms, "
-          f"{retained} trace events)")
+          f"{retained} trace events, {n_slow} slow queries)")
     return 0
 
 

@@ -10,6 +10,7 @@
 
 #include "obs/histogram.h"
 #include "obs/metrics.h"
+#include "obs/slow_query_log.h"
 #include "obs/trace_ring.h"
 
 namespace hexastore {
@@ -85,7 +86,7 @@ std::string MetricsRegistry::RenderPrometheus() const {
 
 std::string MetricsRegistry::RenderJson() const {
   std::lock_guard<std::mutex> lock(mu_);
-  std::string out = "{\n  \"version\": 1,\n  \"counters\": {";
+  std::string out = "{\n  \"version\": 2,\n  \"counters\": {";
   bool first = true;
   for (const Entry<Counter>& e : counters_) {
     out += first ? "\n    " : ",\n    ";
@@ -153,6 +154,42 @@ std::string MetricsRegistry::RenderJson() const {
       AppendJsonString(&out, rec.reason);
       out += ", \"duration_ns\": " + std::to_string(rec.duration_ns);
       out += ", \"value\": " + std::to_string(rec.value) + "}";
+    }
+    out += "]}";
+  }
+  out += ",\n  \"slow_queries\": ";
+  if (slow_queries_ == nullptr) {
+    out += "null";
+  } else {
+    out += "{\"capacity\": " + std::to_string(slow_queries_->capacity());
+    const std::vector<SlowQueryRecord> entries = slow_queries_->Snapshot();
+    out += ", \"recorded\": " +
+           std::to_string(slow_queries_->TotalRecorded());
+    out += ", \"retained\": " + std::to_string(entries.size());
+    out += ", \"entries\": [";
+    first = true;
+    for (const SlowQueryRecord& rec : entries) {
+      out += first ? "\n    " : ",\n    ";
+      first = false;
+      out += "{\"ticket\": " + std::to_string(rec.ticket);
+      out += ", \"ts_ns\": " + std::to_string(rec.ts_ns);
+      out += ", \"kind\": ";
+      AppendJsonString(&out, SlowQueryKindName(rec.kind));
+      out += ", \"total_ns\": " + std::to_string(rec.total_ns);
+      out += ", \"parse_ns\": " + std::to_string(rec.parse_ns);
+      out += ", \"plan_ns\": " + std::to_string(rec.plan_ns);
+      out += ", \"eval_ns\": " + std::to_string(rec.eval_ns);
+      out += ", \"pin_ns\": " + std::to_string(rec.pin_ns);
+      out += ", \"rows_out\": " + std::to_string(rec.rows_out);
+      out += ", \"rows_scanned\": " + std::to_string(rec.rows_scanned);
+      out += ", \"estimate_probes\": " +
+             std::to_string(rec.estimate_probes);
+      out += ", \"patterns\": " + std::to_string(rec.patterns);
+      out += ", \"max_q_error\": ";
+      AppendDouble(&out, static_cast<double>(rec.q_error_x1000) / 1000.0);
+      out += ", \"text\": ";
+      AppendJsonString(&out, rec.text.c_str());
+      out += "}";
     }
     out += "]}";
   }

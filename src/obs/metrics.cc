@@ -106,6 +106,11 @@ void MetricsRegistry::AttachTraceRing(const TraceRing* ring) {
   trace_ = ring;
 }
 
+void MetricsRegistry::AttachSlowQueryLog(const SlowQueryLog* log) {
+  std::lock_guard<std::mutex> lock(mu_);
+  slow_queries_ = log;
+}
+
 bool MetricsRegistry::CounterValue(const std::string& name,
                                    std::uint64_t* out) const {
   std::lock_guard<std::mutex> lock(mu_);

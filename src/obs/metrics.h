@@ -40,6 +40,7 @@ namespace hexastore {
 namespace obs {
 
 class TraceRing;
+class SlowQueryLog;
 
 /// Monotonic event count. All operations are relaxed atomics: individual
 /// values are exact and tear-free, cross-counter snapshots are not a
@@ -115,6 +116,11 @@ class MetricsRegistry {
   /// null detaches).
   void AttachTraceRing(const TraceRing* ring);
 
+  /// Attaches the slow-query log included in RenderJson (one per
+  /// registry; null detaches). Same lifetime contract as registered
+  /// instruments: the log must outlive the registry's last render.
+  void AttachSlowQueryLog(const SlowQueryLog* log);
+
   /// Looks up a registered counter/gauge value by name; returns false if
   /// the name is unknown. For tests and stats plumbing.
   bool CounterValue(const std::string& name, std::uint64_t* out) const;
@@ -125,9 +131,9 @@ class MetricsRegistry {
   /// series plus `_sum`/`_count`.
   std::string RenderPrometheus() const;
 
-  /// JSON dump: {"version":1,"counters":{...},"gauges":{...},
-  /// "histograms":{...},"trace":{...}} — the schema
-  /// scripts/check_metrics_json.py validates.
+  /// JSON dump: {"version":2,"counters":{...},"gauges":{...},
+  /// "histograms":{...},"trace":{...},"slow_queries":{...}} — the
+  /// schema scripts/check_metrics_json.py validates.
   std::string RenderJson() const;
 
   /// Writes RenderJson() to `path` atomically (tmp file + rename).
@@ -160,6 +166,7 @@ class MetricsRegistry {
   std::vector<Entry<Gauge>> gauges_;
   std::vector<Entry<LatencyHistogram>> histograms_;
   const TraceRing* trace_ = nullptr;
+  const SlowQueryLog* slow_queries_ = nullptr;
 };
 
 }  // namespace obs

@@ -1,0 +1,119 @@
+#include "obs/slow_query_log.h"
+
+#include <bit>
+#include <cstdlib>
+
+#include "obs/metrics.h"
+
+namespace hexastore {
+namespace obs {
+
+const char* SlowQueryKindName(std::uint8_t kind) {
+  switch (kind) {
+    case kSlowQueryKindBgp:
+      return "bgp";
+    case kSlowQueryKindPath:
+      return "path";
+    case kSlowQueryKindSparql:
+      return "sparql";
+    default:
+      return "unknown";
+  }
+}
+
+SlowQueryLog::SlowQueryLog(std::size_t capacity) {
+  if (capacity < 8) capacity = 8;
+  capacity = std::bit_ceil(capacity);
+  slots_ = std::make_unique<Slot[]>(capacity);
+  mask_ = capacity - 1;
+}
+
+void SlowQueryLog::Record(const SlowQueryRecord& record) {
+  if (!MetricsEnabled()) return;
+  const std::uint64_t t = next_.fetch_add(1, std::memory_order_relaxed);
+  Slot& slot = slots_[t & mask_];
+  // Seqlock write protocol, as in TraceRing: odd marks the slot torn,
+  // the final release store publishes the complete record.
+  slot.seq.store(2 * t + 1, std::memory_order_release);
+  slot.ticket.store(t, std::memory_order_relaxed);
+  slot.ts_ns.store(NowNanos(), std::memory_order_relaxed);
+  slot.total_ns.store(record.total_ns, std::memory_order_relaxed);
+  slot.parse_ns.store(record.parse_ns, std::memory_order_relaxed);
+  slot.plan_ns.store(record.plan_ns, std::memory_order_relaxed);
+  slot.eval_ns.store(record.eval_ns, std::memory_order_relaxed);
+  slot.pin_ns.store(record.pin_ns, std::memory_order_relaxed);
+  slot.rows_out.store(record.rows_out, std::memory_order_relaxed);
+  slot.rows_scanned.store(record.rows_scanned, std::memory_order_relaxed);
+  slot.estimate_probes.store(record.estimate_probes,
+                             std::memory_order_relaxed);
+  slot.q_error_x1000.store(record.q_error_x1000, std::memory_order_relaxed);
+  slot.patterns.store(record.patterns, std::memory_order_relaxed);
+  slot.kind.store(record.kind, std::memory_order_relaxed);
+  const std::size_t len =
+      record.text.size() < kSlowQueryTextBytes ? record.text.size()
+                                               : kSlowQueryTextBytes;
+  for (std::size_t i = 0; i < len; ++i) {
+    slot.text[i].store(record.text[i], std::memory_order_relaxed);
+  }
+  slot.text_len.store(static_cast<std::uint32_t>(len),
+                      std::memory_order_relaxed);
+  slot.seq.store(2 * t + 2, std::memory_order_release);
+}
+
+std::vector<SlowQueryRecord> SlowQueryLog::Snapshot() const {
+  const std::uint64_t end = next_.load(std::memory_order_acquire);
+  const std::uint64_t cap = mask_ + 1;
+  const std::uint64_t begin = end > cap ? end - cap : 0;
+  std::vector<SlowQueryRecord> out;
+  out.reserve(static_cast<std::size_t>(end - begin));
+  for (std::uint64_t t = begin; t < end; ++t) {
+    const Slot& slot = slots_[t & mask_];
+    if (slot.seq.load(std::memory_order_acquire) != 2 * t + 2) continue;
+    SlowQueryRecord rec;
+    rec.ticket = t;
+    rec.ts_ns = slot.ts_ns.load(std::memory_order_relaxed);
+    rec.total_ns = slot.total_ns.load(std::memory_order_relaxed);
+    rec.parse_ns = slot.parse_ns.load(std::memory_order_relaxed);
+    rec.plan_ns = slot.plan_ns.load(std::memory_order_relaxed);
+    rec.eval_ns = slot.eval_ns.load(std::memory_order_relaxed);
+    rec.pin_ns = slot.pin_ns.load(std::memory_order_relaxed);
+    rec.rows_out = slot.rows_out.load(std::memory_order_relaxed);
+    rec.rows_scanned = slot.rows_scanned.load(std::memory_order_relaxed);
+    rec.estimate_probes =
+        slot.estimate_probes.load(std::memory_order_relaxed);
+    rec.q_error_x1000 = slot.q_error_x1000.load(std::memory_order_relaxed);
+    rec.patterns = slot.patterns.load(std::memory_order_relaxed);
+    rec.kind = slot.kind.load(std::memory_order_relaxed);
+    std::uint32_t len = slot.text_len.load(std::memory_order_relaxed);
+    if (len > kSlowQueryTextBytes) len = kSlowQueryTextBytes;
+    rec.text.resize(len);
+    for (std::uint32_t i = 0; i < len; ++i) {
+      rec.text[i] = slot.text[i].load(std::memory_order_relaxed);
+    }
+    // Revalidate after reading the payload: a writer that lapped us
+    // mid-read leaves a different ticket behind (same best-effort
+    // contract as TraceRing::Snapshot).
+    if (slot.seq.load(std::memory_order_acquire) != 2 * t + 2) continue;
+    if (slot.ticket.load(std::memory_order_relaxed) != t) continue;
+    out.push_back(std::move(rec));
+  }
+  return out;
+}
+
+std::uint64_t SlowQueryThresholdNanos() {
+  // Read fresh (not cached): tests and successive tools in one process
+  // retarget the threshold between queries.
+  const char* env = std::getenv("HEXA_SLOW_QUERY_US");
+  if (env == nullptr || env[0] == '\0') {
+    return 10'000'000;  // 10ms default
+  }
+  char* end = nullptr;
+  const unsigned long long us = std::strtoull(env, &end, 10);
+  if (end == env || (end != nullptr && *end != '\0')) {
+    return 10'000'000;
+  }
+  return static_cast<std::uint64_t>(us) * 1000;
+}
+
+}  // namespace obs
+}  // namespace hexastore

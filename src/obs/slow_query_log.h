@@ -1,0 +1,121 @@
+// Bounded lock-free ring of slow-query profiles.
+//
+// Same seqlock discipline as TraceRing (writers claim a slot with one
+// fetch_add, fill it with relaxed atomic stores bracketed by the
+// sequence word; readers discard slots caught mid-overwrite), but each
+// slot additionally carries a fixed-size query-text buffer copied
+// byte-by-byte through atomics so the ring stays TSan-clean. Slow
+// queries are rare by definition, so the per-byte atomic copy is not a
+// hot path. The query layer (query/profile.h) records completed
+// QueryProfiles here when they cross the HEXA_SLOW_QUERY_US threshold;
+// the obs layer itself knows only this flat summary record.
+#ifndef HEXASTORE_OBS_SLOW_QUERY_LOG_H_
+#define HEXASTORE_OBS_SLOW_QUERY_LOG_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hexastore {
+namespace obs {
+
+/// Truncation bound for the captured query text (bytes, excluding any
+/// terminator; the full text is never needed to identify a query).
+inline constexpr std::size_t kSlowQueryTextBytes = 240;
+
+/// Query classes, mirrored by query/profile.h's QueryKind (the query
+/// layer casts its enum to these values; keep the two in sync).
+inline constexpr std::uint8_t kSlowQueryKindBgp = 0;
+inline constexpr std::uint8_t kSlowQueryKindPath = 1;
+inline constexpr std::uint8_t kSlowQueryKindSparql = 2;
+
+/// Stable lowercase identifier ("bgp", "path", "sparql") used in the
+/// JSON export and the CLI dump.
+const char* SlowQueryKindName(std::uint8_t kind);
+
+/// One slow-query summary: the phase breakdown and plan-quality numbers
+/// of a single profiled query. Used both as the Record() input (ticket
+/// and ts_ns are assigned by the ring) and the Snapshot() output.
+struct SlowQueryRecord {
+  std::uint64_t ticket = 0;        ///< global sequence number (0-based)
+  std::uint64_t ts_ns = 0;         ///< obs::NowNanos() at record time
+  std::uint8_t kind = kSlowQueryKindSparql;
+  std::uint64_t total_ns = 0;      ///< end-to-end wall time
+  std::uint64_t parse_ns = 0;
+  std::uint64_t plan_ns = 0;
+  std::uint64_t eval_ns = 0;
+  std::uint64_t pin_ns = 0;        ///< generation-pin duration (0 = unpinned)
+  std::uint64_t rows_out = 0;
+  std::uint64_t rows_scanned = 0;  ///< triples produced by all index scans
+  std::uint64_t estimate_probes = 0;  ///< planner cardinality probes
+  std::uint32_t patterns = 0;         ///< BGP patterns in the plan
+  std::uint64_t q_error_x1000 = 0;    ///< worst per-pattern q-error, x1000
+  std::string text;                   ///< query text (truncated)
+};
+
+/// Bounded ring of SlowQueryRecords. Recording is lock-free and
+/// allocation-free; snapshots are best-effort under concurrent writers
+/// (every returned record is internally consistent).
+class SlowQueryLog {
+ public:
+  /// Capacity is rounded up to a power of two (minimum 8).
+  explicit SlowQueryLog(std::size_t capacity = 64);
+  SlowQueryLog(const SlowQueryLog&) = delete;
+  SlowQueryLog& operator=(const SlowQueryLog&) = delete;
+
+  /// Records one slow query. `record.ticket` and `record.ts_ns` are
+  /// ignored (assigned here); `record.text` is truncated to
+  /// kSlowQueryTextBytes. A no-op while metrics are disabled
+  /// (HEXA_METRICS=0).
+  void Record(const SlowQueryRecord& record);
+
+  /// Decodes the retained records, oldest first.
+  std::vector<SlowQueryRecord> Snapshot() const;
+
+  /// Slow queries ever recorded (including those overwritten since).
+  std::uint64_t TotalRecorded() const {
+    return next_.load(std::memory_order_relaxed);
+  }
+
+  std::size_t capacity() const { return mask_ + 1; }
+
+ private:
+  struct Slot {
+    // 0 = never written; odd = write in progress; 2*ticket+2 = complete.
+    std::atomic<std::uint64_t> seq{0};
+    std::atomic<std::uint64_t> ticket{0};
+    std::atomic<std::uint64_t> ts_ns{0};
+    std::atomic<std::uint64_t> total_ns{0};
+    std::atomic<std::uint64_t> parse_ns{0};
+    std::atomic<std::uint64_t> plan_ns{0};
+    std::atomic<std::uint64_t> eval_ns{0};
+    std::atomic<std::uint64_t> pin_ns{0};
+    std::atomic<std::uint64_t> rows_out{0};
+    std::atomic<std::uint64_t> rows_scanned{0};
+    std::atomic<std::uint64_t> estimate_probes{0};
+    std::atomic<std::uint64_t> q_error_x1000{0};
+    std::atomic<std::uint32_t> patterns{0};
+    std::atomic<std::uint32_t> text_len{0};
+    std::atomic<std::uint8_t> kind{0};
+    std::atomic<char> text[kSlowQueryTextBytes] = {};
+  };
+
+  std::unique_ptr<Slot[]> slots_;
+  std::atomic<std::uint64_t> next_{0};
+  std::size_t mask_ = 0;
+};
+
+/// The slow-query threshold in nanoseconds: HEXA_SLOW_QUERY_US
+/// (microseconds; 0 = log every profiled query), default 10ms when
+/// unset or unparsable. Read fresh on every call so tests and tools can
+/// retarget within one process.
+std::uint64_t SlowQueryThresholdNanos();
+
+}  // namespace obs
+}  // namespace hexastore
+
+#endif  // HEXASTORE_OBS_SLOW_QUERY_LOG_H_

@@ -16,6 +16,7 @@
 #include "dict/dictionary.h"
 #include "query/binding.h"
 #include "query/pattern.h"
+#include "query/profile.h"
 
 namespace hexastore {
 
@@ -24,12 +25,23 @@ using BindingSink = std::function<void(const Binding&)>;
 
 /// Evaluates a compiled BGP, streaming complete bindings to `sink`.
 /// `order` must be a permutation of pattern indices (use PlanBgp).
+///
+/// `profile`, when non-null, accumulates per-pattern probes, rows
+/// scanned/emitted and inclusive wall time into
+/// `profile->patterns[depth]` (sized to the order if the caller did not
+/// AttachPlan first). With nullptr the evaluation path is byte-for-byte
+/// the unprofiled one — no clock reads (pinned by
+/// bench/abl_obs_overhead.cc).
 void EvalBgp(const TripleStore& store, const CompiledBgp& bgp,
-             const std::vector<std::size_t>& order, const BindingSink& sink);
+             const std::vector<std::size_t>& order, const BindingSink& sink,
+             QueryProfile* profile = nullptr);
 
-/// Convenience: compile + plan + evaluate + materialize.
+/// Convenience: compile + plan + evaluate + materialize. With a profile,
+/// also records plan/eval phase times, the chosen plan (AttachPlan) and
+/// rows_out, and sets total_ns = parse_ns + plan_ns + eval_ns.
 ResultSet EvalBgp(const TripleStore& store, const Dictionary& dict,
-                  const std::vector<TriplePattern>& patterns);
+                  const std::vector<TriplePattern>& patterns,
+                  QueryProfile* profile = nullptr);
 
 /// Pinned-generation evaluation: takes one snapshot handle up front and
 /// runs planning (delta-aware EstimateMatches) plus every scan of the
@@ -37,8 +49,11 @@ ResultSet EvalBgp(const TripleStore& store, const Dictionary& dict,
 /// touches the store mutex again and never observes a seal, fold or
 /// base merge moving a level underneath it, however long it runs.
 /// Equivalent to `EvalBgp(store.GetSnapshot(), dict, patterns)`.
+/// With a profile, `pin_ns` records how long the generation stayed
+/// pinned (here: the whole query, snapshot acquisition included).
 ResultSet EvalBgpPinned(const DeltaHexastore& store, const Dictionary& dict,
-                        const std::vector<TriplePattern>& patterns);
+                        const std::vector<TriplePattern>& patterns,
+                        QueryProfile* profile = nullptr);
 
 }  // namespace hexastore
 

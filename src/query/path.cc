@@ -14,10 +14,46 @@ void SortUniquePairs(PathPairs* pairs) {
   pairs->erase(std::unique(pairs->begin(), pairs->end()), pairs->end());
 }
 
+// Per-step operator recording shared by both path evaluators. The
+// recorded wall times double as the eval phase total.
+class PathStepRecorder {
+ public:
+  explicit PathStepRecorder(QueryProfile* profile) : profile_(profile) {
+    if (profile_ != nullptr) {
+      profile_->kind = QueryKind::kPath;
+      start_ = obs::NowNanos();
+    }
+  }
+
+  void Step(const char* name, std::uint64_t rows_in, std::uint64_t rows_out) {
+    if (profile_ == nullptr) return;
+    const std::uint64_t now = obs::NowNanos();
+    profile_->operators.push_back(
+        OperatorProfile{name, rows_in, rows_out, now - start_});
+    start_ = now;
+  }
+
+  void Finish(std::uint64_t rows_out) {
+    if (profile_ == nullptr) return;
+    std::uint64_t eval = 0;
+    for (const OperatorProfile& op : profile_->operators) eval += op.wall_ns;
+    profile_->eval_ns += eval;
+    profile_->rows_out += rows_out;
+    profile_->total_ns = profile_->parse_ns + profile_->plan_ns +
+                         profile_->eval_ns + profile_->pin_ns;
+  }
+
+ private:
+  QueryProfile* profile_;
+  std::uint64_t start_ = 0;
+};
+
 }  // namespace
 
 PathPairs EvalPathHexastore(const Hexastore& store,
-                            const std::vector<Id>& predicates) {
+                            const std::vector<Id>& predicates,
+                            QueryProfile* profile) {
+  PathStepRecorder rec(profile);
   PathPairs frontier;  // (x0, x_k) pairs, k = current step
   if (predicates.empty()) {
     return frontier;
@@ -29,6 +65,7 @@ PathPairs EvalPathHexastore(const Hexastore& store,
   const Id p1 = predicates[0];
   const IdVec* s_vec = store.subjects_of_predicate(p1);
   if (s_vec == nullptr) {
+    rec.Finish(0);
     return frontier;
   }
   for (Id s : *s_vec) {
@@ -37,13 +74,16 @@ PathPairs EvalPathHexastore(const Hexastore& store,
       frontier.emplace_back(s, o);
     }
   }
+  rec.Step("path_seed", 0, frontier.size());
 
   for (std::size_t k = 1; k < predicates.size(); ++k) {
     const Id pk = predicates[k];
     const IdVec* next_subjects = store.subjects_of_predicate(pk);
     if (next_subjects == nullptr) {
+      rec.Finish(0);
       return {};
     }
+    const std::uint64_t frontier_in = frontier.size();
     // Sort frontier by end node. For k == 1 this is where the paper's
     // "first join is a linear merge join" materializes: instead of sorting
     // pairs we could merge the pos object vector of p1 with the pso
@@ -87,16 +127,21 @@ PathPairs EvalPathHexastore(const Hexastore& store,
       }
     }
     frontier = std::move(next);
+    rec.Step("path_join", frontier_in, frontier.size());
     if (frontier.empty()) {
+      rec.Finish(0);
       return frontier;
     }
   }
   SortUniquePairs(&frontier);
+  rec.Finish(frontier.size());
   return frontier;
 }
 
 PathPairs EvalPathGeneric(const TripleStore& store,
-                          const std::vector<Id>& predicates) {
+                          const std::vector<Id>& predicates,
+                          QueryProfile* profile) {
+  PathStepRecorder rec(profile);
   PathPairs frontier;
   if (predicates.empty()) {
     return frontier;
@@ -105,8 +150,10 @@ PathPairs EvalPathGeneric(const TripleStore& store,
              [&frontier](const IdTriple& t) {
                frontier.emplace_back(t.s, t.o);
              });
+  rec.Step("path_seed", 0, frontier.size());
   for (std::size_t k = 1; k < predicates.size(); ++k) {
     // Hash join: end node of the frontier against subjects of pk.
+    const std::uint64_t frontier_in = frontier.size();
     std::unordered_map<Id, IdVec> starts_by_end;
     for (const auto& [start, end] : frontier) {
       starts_by_end[end].push_back(start);
@@ -124,11 +171,14 @@ PathPairs EvalPathGeneric(const TripleStore& store,
                });
     SortUniquePairs(&next);
     frontier = std::move(next);
+    rec.Step("path_hash_join", frontier_in, frontier.size());
     if (frontier.empty()) {
+      rec.Finish(0);
       return frontier;
     }
   }
   SortUniquePairs(&frontier);
+  rec.Finish(frontier.size());
   return frontier;
 }
 

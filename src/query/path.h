@@ -17,6 +17,7 @@
 
 #include "core/hexastore.h"
 #include "core/store_interface.h"
+#include "query/profile.h"
 #include "util/common.h"
 
 namespace hexastore {
@@ -27,13 +28,21 @@ using PathPairs = std::vector<std::pair<Id, Id>>;
 /// Evaluates a path expression on a Hexastore using merge joins
 /// (first join linear, later joins sort-merge). `predicates` must be
 /// non-empty.
+///
+/// `profile`, when non-null, gets one OperatorProfile per path step
+/// ("path_seed" for step 0, "path_join" for each later join) with the
+/// frontier sizes in/out and per-step wall time, plus eval_ns/total_ns/
+/// rows_out and kind = QueryKind::kPath.
 PathPairs EvalPathHexastore(const Hexastore& store,
-                            const std::vector<Id>& predicates);
+                            const std::vector<Id>& predicates,
+                            QueryProfile* profile = nullptr);
 
 /// Evaluates the same path on any store via per-step hash joins over
-/// (?, p, ?) scans. Used as the baseline/oracle.
+/// (?, p, ?) scans. Used as the baseline/oracle. Profiled like
+/// EvalPathHexastore (step operators named "path_seed"/"path_hash_join").
 PathPairs EvalPathGeneric(const TripleStore& store,
-                          const std::vector<Id>& predicates);
+                          const std::vector<Id>& predicates,
+                          QueryProfile* profile = nullptr);
 
 }  // namespace hexastore
 

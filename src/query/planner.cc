@@ -65,12 +65,22 @@ std::uint64_t EstimateCardinality(const TripleStore& store,
 }
 
 std::vector<std::size_t> PlanBgp(const TripleStore& store,
-                                 const CompiledBgp& bgp) {
+                                 const CompiledBgp& bgp,
+                                 PlanProfile* profile) {
   const std::size_t n = bgp.patterns.size();
   std::vector<std::size_t> order;
   order.reserve(n);
   std::vector<bool> used(n, false);
   std::vector<bool> bound_vars(bgp.vars.size(), false);
+
+  // Estimate memo. EstimateCardinality depends only on which of the
+  // pattern's own variables are bound, so an entry stays valid until a
+  // pick binds one of those variables. That caps store probes at
+  // n + sum(invalidations) instead of the naive n^2/2.
+  std::vector<std::uint64_t> memo(n, 0);
+  std::vector<bool> memo_valid(n, false);
+  std::uint64_t estimate_probes = 0;
+  std::uint64_t memo_hits = 0;
 
   for (std::size_t step = 0; step < n; ++step) {
     std::size_t best = n;
@@ -84,8 +94,14 @@ std::vector<std::size_t> PlanBgp(const TripleStore& store,
       const CompiledPattern& p = bgp.patterns[i];
       const bool connected = order.empty() || SharesBoundVar(p, bound_vars);
       const int eff_bound = EffectiveBound(p, bound_vars);
-      const std::uint64_t cost =
-          EstimateCardinality(store, p, bound_vars);
+      if (memo_valid[i]) {
+        ++memo_hits;
+      } else {
+        memo[i] = EstimateCardinality(store, p, bound_vars);
+        memo_valid[i] = true;
+        ++estimate_probes;
+      }
+      const std::uint64_t cost = memo[i];
       // Lexicographic preference: connected > more bound positions >
       // lower cost > lower index (determinism).
       bool better;
@@ -105,15 +121,59 @@ std::vector<std::size_t> PlanBgp(const TripleStore& store,
     }
     used[best] = true;
     order.push_back(best);
-    for (const Slot* slot :
-         {&bgp.patterns[best].s, &bgp.patterns[best].p,
-          &bgp.patterns[best].o}) {
-      if (slot->is_var()) {
+
+    const CompiledPattern& picked = bgp.patterns[best];
+    if (profile != nullptr) {
+      PlanStep ps;
+      ps.pattern_index = best;
+      ps.estimated = best_cost;
+      ps.bound_at_pick = best_bound;
+      ps.connected = best_connected;
+      ps.s_bound = !picked.s.is_var() ||
+                   bound_vars[static_cast<std::size_t>(picked.s.var)];
+      ps.p_bound = !picked.p.is_var() ||
+                   bound_vars[static_cast<std::size_t>(picked.p.var)];
+      ps.o_bound = !picked.o.is_var() ||
+                   bound_vars[static_cast<std::size_t>(picked.o.var)];
+      profile->steps.push_back(ps);
+    }
+
+    // Bind the picked pattern's variables and invalidate only the memo
+    // entries whose estimate those bindings can change.
+    std::vector<VarId> newly_bound;
+    for (const Slot* slot : {&picked.s, &picked.p, &picked.o}) {
+      if (slot->is_var() &&
+          !bound_vars[static_cast<std::size_t>(slot->var)]) {
         bound_vars[static_cast<std::size_t>(slot->var)] = true;
+        newly_bound.push_back(slot->var);
+      }
+    }
+    if (!newly_bound.empty()) {
+      for (std::size_t i = 0; i < n; ++i) {
+        if (used[i] || !memo_valid[i]) continue;
+        for (const Slot* slot :
+             {&bgp.patterns[i].s, &bgp.patterns[i].p, &bgp.patterns[i].o}) {
+          if (slot->is_var() &&
+              std::find(newly_bound.begin(), newly_bound.end(),
+                        slot->var) != newly_bound.end()) {
+            memo_valid[i] = false;
+            break;
+          }
+        }
       }
     }
   }
+
+  if (profile != nullptr) {
+    profile->estimate_probes += estimate_probes;
+    profile->memo_hits += memo_hits;
+  }
   return order;
+}
+
+std::vector<std::size_t> PlanBgp(const TripleStore& store,
+                                 const CompiledBgp& bgp) {
+  return PlanBgp(store, bgp, nullptr);
 }
 
 }  // namespace hexastore

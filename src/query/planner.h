@@ -26,10 +26,46 @@ std::uint64_t EstimateCardinality(const TripleStore& store,
                                   const CompiledPattern& pattern,
                                   const std::vector<bool>& bound_vars);
 
+/// One planner decision: which pattern was picked at a step and the
+/// facts it was picked on. `s_bound`/`p_bound`/`o_bound` say which probe
+/// positions will be constant at evaluation time (constants plus
+/// already-bound variables) — they determine the permutation index the
+/// store will serve the probes from.
+struct PlanStep {
+  std::size_t pattern_index = 0;
+  std::uint64_t estimated = 0;  ///< EstimateCardinality when picked
+  int bound_at_pick = 0;        ///< constant + bound-var positions
+  bool connected = true;        ///< shared a bound variable when picked
+  bool s_bound = false;
+  bool p_bound = false;
+  bool o_bound = false;
+};
+
+/// Planner-side profile: the chosen steps plus estimate accounting.
+/// `estimate_probes` counts actual EstimateCardinality store probes;
+/// `memo_hits` counts estimates served from the planner's memo instead
+/// (estimates are invalidated only for patterns whose variables a pick
+/// newly bound, so probes stay O(n·k) for k invalidations instead of
+/// O(n^2)).
+struct PlanProfile {
+  std::vector<PlanStep> steps;
+  std::uint64_t estimate_probes = 0;
+  std::uint64_t memo_hits = 0;
+};
+
 /// Returns an evaluation order (indices into `patterns`). Greedy: at each
 /// step pick the pattern with the lowest estimated cardinality given the
 /// variables bound so far; prefer connected patterns (sharing a bound
-/// variable) to avoid Cartesian products.
+/// variable) to avoid Cartesian products. Cardinality estimates are
+/// memoized across steps and re-probed only when a pick binds one of the
+/// pattern's own variables (the only input the estimate depends on).
+/// `profile`, when non-null, receives the per-step decisions and the
+/// probe/memo counts.
+std::vector<std::size_t> PlanBgp(const TripleStore& store,
+                                 const CompiledBgp& bgp,
+                                 PlanProfile* profile);
+
+/// Unprofiled convenience overload.
 std::vector<std::size_t> PlanBgp(const TripleStore& store,
                                  const CompiledBgp& bgp);
 

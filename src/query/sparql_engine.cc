@@ -203,11 +203,37 @@ Result<ResultSet> Aggregate(const ResultSet& in, const ParsedQuery& query) {
 
 Result<ResultSet> ExecuteSparql(const TripleStore& store,
                                 const Dictionary& dict,
-                                const ParsedQuery& query) {
-  ResultSet result = EvalBgp(store, dict, query.patterns);
+                                const ParsedQuery& query,
+                                QueryProfile* profile) {
+  // Records one solution-modifier stage; modifier time counts toward the
+  // eval phase (everything after parse+plan).
+  auto record_op = [&](const char* name, std::uint64_t rows_in,
+                       std::uint64_t rows_out, std::uint64_t start_ns) {
+    if (profile == nullptr) return;
+    OperatorProfile op;
+    op.name = name;
+    op.rows_in = rows_in;
+    op.rows_out = rows_out;
+    op.wall_ns = obs::NowNanos() - start_ns;
+    profile->eval_ns += op.wall_ns;
+    profile->operators.push_back(op);
+  };
+  auto op_start = [&]() -> std::uint64_t {
+    return profile != nullptr ? obs::NowNanos() : 0;
+  };
+  auto finish = [&](const ResultSet& r) {
+    if (profile == nullptr) return;
+    profile->rows_out = r.rows.size();
+    profile->total_ns =
+        profile->parse_ns + profile->plan_ns + profile->eval_ns;
+  };
+
+  ResultSet result = EvalBgp(store, dict, query.patterns, profile);
 
   // Filters.
   if (!query.filters.empty()) {
+    const std::uint64_t t = op_start();
+    const std::uint64_t in_rows = result.rows.size();
     std::vector<Row> kept;
     kept.reserve(result.rows.size());
     for (const Row& row : result.rows) {
@@ -227,37 +253,50 @@ Result<ResultSet> ExecuteSparql(const TripleStore& store,
       }
     }
     result.rows = std::move(kept);
+    record_op("filter", in_rows, result.rows.size(), t);
   }
 
   // Aggregation replaces projection when present.
   if (!query.aggregates.empty() || !query.group_by.empty()) {
+    const std::uint64_t t_agg = op_start();
+    const std::uint64_t in_rows = result.rows.size();
     auto aggregated = Aggregate(result, query);
     if (!aggregated.ok()) {
       return aggregated.status();
     }
     result = std::move(aggregated).value();
+    record_op("aggregate", in_rows, result.rows.size(), t_agg);
     if (!query.order_by.empty()) {
+      const std::uint64_t t = op_start();
       Status s = SortByColumns(&result, dict, query.order_by);
       if (!s.ok()) {
         return s;
       }
+      record_op("order_by", result.rows.size(), result.rows.size(), t);
     }
     if (query.limit.has_value()) {
+      const std::uint64_t t = op_start();
+      const std::uint64_t pre = result.rows.size();
       result = Limit(std::move(result), *query.limit);
+      record_op("limit", pre, result.rows.size(), t);
     }
+    finish(result);
     return result;
   }
 
   // ORDER BY (before projection so sort keys need not be projected).
   if (!query.order_by.empty()) {
+    const std::uint64_t t = op_start();
     Status s = SortByColumns(&result, dict, query.order_by);
     if (!s.ok()) {
       return s;
     }
+    record_op("order_by", result.rows.size(), result.rows.size(), t);
   }
 
   // Projection.
   if (!query.select_vars.empty()) {
+    const std::uint64_t t = op_start();
     std::vector<VarId> cols;
     for (const auto& name : query.select_vars) {
       VarId col = result.vars.Lookup(name);
@@ -267,9 +306,12 @@ Result<ResultSet> ExecuteSparql(const TripleStore& store,
       cols.push_back(col);
     }
     result = Project(result, cols);
+    record_op("project", result.rows.size(), result.rows.size(), t);
   }
 
   if (query.distinct) {
+    const std::uint64_t t = op_start();
+    const std::uint64_t pre = result.rows.size();
     bool had_order = !query.order_by.empty();
     result = Distinct(std::move(result));
     // Distinct sorts by id; if the user asked for an order, re-sort on
@@ -286,21 +328,89 @@ Result<ResultSet> ExecuteSparql(const TripleStore& store,
         return s;
       }
     }
+    record_op("distinct", pre, result.rows.size(), t);
   }
 
   if (query.limit.has_value()) {
+    const std::uint64_t t = op_start();
+    const std::uint64_t pre = result.rows.size();
     result = Limit(std::move(result), *query.limit);
+    record_op("limit", pre, result.rows.size(), t);
   }
+  finish(result);
   return result;
 }
 
 Result<ResultSet> RunSparql(const TripleStore& store, const Dictionary& dict,
-                            std::string_view text) {
+                            std::string_view text, QueryProfile* profile) {
+  if (profile == nullptr) {
+    auto parsed = ParseSparql(text);
+    if (!parsed.ok()) {
+      return parsed.status();
+    }
+    return ExecuteSparql(store, dict, parsed.value());
+  }
+  profile->kind = QueryKind::kSparql;
+  const std::uint64_t parse_start = obs::NowNanos();
+  auto parsed = ParseSparql(text);
+  profile->parse_ns += obs::NowNanos() - parse_start;
+  if (!parsed.ok()) {
+    return parsed.status();
+  }
+  return ExecuteSparql(store, dict, parsed.value(), profile);
+}
+
+Result<std::string> ExplainSparql(const TripleStore& store,
+                                  const Dictionary& dict,
+                                  std::string_view text) {
   auto parsed = ParseSparql(text);
   if (!parsed.ok()) {
     return parsed.status();
   }
-  return ExecuteSparql(store, dict, parsed.value());
+  const ParsedQuery& query = parsed.value();
+  CompiledBgp bgp = CompileBgp(query.patterns, dict);
+  std::string out;
+  if (bgp.trivially_empty) {
+    out = "plan: sparql, empty result (constant term not in dictionary)\n";
+  } else {
+    PlanProfile plan;
+    PlanBgp(store, bgp, &plan);
+    QueryProfile profile;
+    profile.kind = QueryKind::kSparql;
+    AttachPlan(bgp, dict, plan, &profile);
+    out = RenderExplain(profile);
+  }
+  // Solution-modifier stages in the order ExecuteSparql applies them.
+  std::string stages;
+  if (!query.filters.empty()) stages += " filter";
+  if (!query.aggregates.empty() || !query.group_by.empty()) {
+    stages += " aggregate";
+    if (!query.order_by.empty()) stages += " order_by";
+    if (query.limit.has_value()) stages += " limit";
+  } else {
+    if (!query.order_by.empty()) stages += " order_by";
+    if (!query.select_vars.empty()) stages += " project";
+    if (query.distinct) stages += " distinct";
+    if (query.limit.has_value()) stages += " limit";
+  }
+  if (!stages.empty()) {
+    out += "modifiers:" + stages + "\n";
+  }
+  return out;
+}
+
+Result<std::string> ExplainAnalyzeSparql(const TripleStore& store,
+                                         const Dictionary& dict,
+                                         std::string_view text,
+                                         QueryProfile* profile) {
+  QueryProfile local;
+  QueryProfile* p = profile != nullptr ? profile : &local;
+  p->Reset();
+  auto result = RunSparql(store, dict, text, p);
+  if (!result.ok()) {
+    return result.status();
+  }
+  return RenderExplainAnalyze(*p);
 }
 
 }  // namespace hexastore

@@ -2,11 +2,13 @@
 #ifndef HEXASTORE_QUERY_SPARQL_ENGINE_H_
 #define HEXASTORE_QUERY_SPARQL_ENGINE_H_
 
+#include <string>
 #include <string_view>
 
 #include "core/store_interface.h"
 #include "dict/dictionary.h"
 #include "query/binding.h"
+#include "query/profile.h"
 #include "query/sparql_parser.h"
 #include "util/status.h"
 
@@ -14,13 +16,37 @@ namespace hexastore {
 
 /// Executes an already-parsed query: BGP evaluation, filters, projection,
 /// DISTINCT, ORDER BY (by term N-Triples spelling), LIMIT.
+///
+/// `profile`, when non-null, receives the chosen BGP plan with
+/// per-pattern actuals, one OperatorProfile per solution-modifier stage
+/// that ran, phase times (eval_ns covers BGP evaluation plus the
+/// modifiers) and rows_out. With nullptr no timing code runs.
 Result<ResultSet> ExecuteSparql(const TripleStore& store,
                                 const Dictionary& dict,
-                                const ParsedQuery& query);
+                                const ParsedQuery& query,
+                                QueryProfile* profile = nullptr);
 
-/// Parses and executes in one call.
+/// Parses and executes in one call. With a profile, additionally records
+/// parse_ns and tags the profile kind as QueryKind::kSparql.
 Result<ResultSet> RunSparql(const TripleStore& store, const Dictionary& dict,
-                            std::string_view text);
+                            std::string_view text,
+                            QueryProfile* profile = nullptr);
+
+/// EXPLAIN: parses and plans `text` without executing it. The rendered
+/// plan lists the BGP join order (index choice, bound positions,
+/// estimates) and the solution-modifier stages that would run. Output is
+/// deterministic for a given store state.
+Result<std::string> ExplainSparql(const TripleStore& store,
+                                  const Dictionary& dict,
+                                  std::string_view text);
+
+/// EXPLAIN ANALYZE: parses, plans AND executes `text`, returning the
+/// plan annotated with actual probes/rows/q-error/timings. Result rows
+/// are discarded; pass `profile` to also keep the raw numbers.
+Result<std::string> ExplainAnalyzeSparql(const TripleStore& store,
+                                         const Dictionary& dict,
+                                         std::string_view text,
+                                         QueryProfile* profile = nullptr);
 
 }  // namespace hexastore
 

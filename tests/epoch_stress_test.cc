@@ -597,6 +597,86 @@ TEST(EpochStressTest, PinnedQueriesAnswerFromOneGeneration) {
   EXPECT_EQ(pinned.rows.size(), live.rows.size());
 }
 
+// Concurrent profiled queries against a churning store: every profile
+// is filled from the single pinned generation its query ran on (never a
+// freed one — TSan guards the reclamation race), the shared ProfileSink
+// ring accepts records from all readers, and seqlock snapshots taken
+// mid-churn only ever observe internally consistent entries.
+TEST(EpochStressTest, ProfiledQueriesUnderBackgroundChurn) {
+  DeltaHexastore store(DeltaOptions{/*compact_threshold=*/32,
+                                    /*background_compaction=*/true});
+  Dictionary dict;
+  const Id p_knows = dict.Encode({Term::Iri("a"), Term::Iri("knows"),
+                                  Term::Iri("b")})
+                         .p;
+  // Threshold 0: every profiled query lands in the slow-query ring.
+  ProfileSink sink(/*slow_threshold_ns=*/std::uint64_t{0});
+
+  std::atomic<bool> done{false};
+  std::atomic<int> failures{0};
+  std::atomic<std::uint64_t> queries{0};
+  const std::vector<TriplePattern> patterns = {
+      {PatternTerm::Variable("x"), PatternTerm::Bound(dict.term(p_knows)),
+       PatternTerm::Variable("y")}};
+
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 3; ++r) {
+    readers.emplace_back([&, r] {
+      Rng rng(17 + r);
+      while (!done.load(std::memory_order_acquire)) {
+        queries.fetch_add(1, std::memory_order_relaxed);
+        QueryProfile profile;
+        const ResultSet result =
+            EvalBgpPinned(store, dict, patterns, &profile);
+        // The profile describes exactly the pinned evaluation: one
+        // pattern, row count matching the result, phases that add up.
+        if (profile.patterns.size() != 1 ||
+            profile.rows_out != result.rows.size() ||
+            profile.patterns[0].rows_emitted != result.rows.size() ||
+            profile.total_ns != profile.parse_ns + profile.pin_ns) {
+          failures.fetch_add(1);
+        }
+        sink.Record(profile, "pinned churn probe");
+        if (rng.Bernoulli(0.25)) {
+          // Seqlock snapshot raced against the other recorders: every
+          // retained entry must be a whole record, never a torn one.
+          for (const obs::SlowQueryRecord& e :
+               sink.slow_queries().Snapshot()) {
+            if (e.kind != obs::kSlowQueryKindBgp ||
+                e.q_error_x1000 < 1000 || e.patterns != 1 ||
+                e.total_ns != e.parse_ns + e.pin_ns ||
+                e.text != "pinned churn probe") {
+              failures.fetch_add(1);
+            }
+          }
+        }
+      }
+    });
+  }
+
+  // Churn until the readers have run a healthy number of profiled
+  // queries (thread startup can outlast a short fixed-length burst).
+  Rng rng(4242);
+  std::uint64_t ops = 0;
+  while (queries.load(std::memory_order_relaxed) < 50 || ops < 12000) {
+    IdTriple t{1 + rng.Uniform(40), p_knows, 1 + rng.Uniform(40)};
+    if (rng.Bernoulli(0.7)) {
+      store.Insert(t);
+    } else {
+      store.Erase(t);
+    }
+    ++ops;
+  }
+  done.store(true, std::memory_order_release);
+  for (auto& th : readers) {
+    th.join();
+  }
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_GT(store.CompactionCount(), 0u);
+  EXPECT_GT(sink.histogram(QueryKind::kBgp)->Snapshot().count, 0u);
+  EXPECT_GT(sink.slow_queries().TotalRecorded(), 0u);
+}
+
 // Readers hold handles across WAL checkpoints running on the
 // checkpointer thread while a writer churns through compactions; the
 // reopened store must recover exactly the writer's final state.
@@ -709,7 +789,7 @@ TEST(EpochStressTest, MetricsExportsRaceFreeUnderChurn) {
             failures.fetch_add(1);
           }
         } else if (r == 1) {
-          if (store.MetricsJson().find("\"version\": 1") ==
+          if (store.MetricsJson().find("\"version\": 2") ==
               std::string::npos) {
             failures.fetch_add(1);
           }

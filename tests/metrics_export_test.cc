@@ -14,6 +14,9 @@
 
 #include "core/graph.h"
 #include "delta/delta_hexastore.h"
+#include "query/bgp.h"
+#include "query/profile.h"
+#include "query/sparql_engine.h"
 #include "wal/durable_store.h"
 
 namespace hexastore {
@@ -63,7 +66,7 @@ TEST(MetricsExportTest, DeltaPrometheusAndJson) {
             std::string::npos);
 
   const std::string json = store.MetricsJson();
-  EXPECT_NE(json.find("\"version\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"version\": 2"), std::string::npos);
   EXPECT_NE(json.find("\"hexa_delta_seals_total\""), std::string::npos);
   EXPECT_NE(json.find("\"p999_ns\""), std::string::npos);
   // The churn sealed and folded, so the trace retained events.
@@ -114,6 +117,41 @@ TEST(MetricsExportTest, GraphFacadeMetrics) {
   EXPECT_NE(json.find("\"hexa_graph_dict_terms\": 4"), std::string::npos);
 }
 
+// A ProfileSink registered with the graph's registry surfaces the query
+// class histograms and the slow-query ring in both exports — the shape
+// the CI metrics-smoke job validates with
+// scripts/check_metrics_json.py --require-queries.
+TEST(MetricsExportTest, SlowQueryJsonSection) {
+  // Without an attached sink the JSON schema still carries the key.
+  {
+    Graph g;
+    EXPECT_NE(g.MetricsJson().find("\"slow_queries\": null"),
+              std::string::npos);
+  }
+
+  // Declared before the graph so the sink outlives the registry render.
+  ProfileSink sink(/*slow_threshold_ns=*/std::uint64_t{0});
+  Graph g;
+  sink.RegisterWith(&g.metrics_registry());
+  g.Insert({Term::Iri("s"), Term::Iri("p"), Term::Iri("o")});
+
+  const std::string query = "SELECT ?o WHERE { <s> <p> ?o }";
+  QueryProfile profile;
+  auto result = RunSparql(g.store(), g.dict(), query, &profile);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().rows.size(), 1u);
+  sink.Record(profile, query);
+
+  const std::string prom = g.MetricsText();
+  EXPECT_NE(prom.find("# TYPE hexa_query_sparql_latency_ns histogram"),
+            std::string::npos);
+  const std::string json = g.MetricsJson();
+  EXPECT_NE(json.find("\"slow_queries\": {"), std::string::npos);
+  EXPECT_NE(json.find("\"recorded\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"kind\": \"sparql\""), std::string::npos);
+  EXPECT_NE(json.find(query), std::string::npos);
+}
+
 // Durable churn: WAL counters, checkpoint trace events and the
 // destructor-time HEXA_METRICS_JSON dump — the shape the CI
 // metrics-smoke job validates with scripts/check_metrics_json.py. When
@@ -158,7 +196,7 @@ TEST(MetricsExportTest, DurableChurnAndEnvDump) {
 
   ASSERT_TRUE(fs::exists(dump_path));
   const std::string dump = ReadFile(dump_path);
-  EXPECT_NE(dump.find("\"version\": 1"), std::string::npos);
+  EXPECT_NE(dump.find("\"version\": 2"), std::string::npos);
   EXPECT_NE(dump.find("\"hexa_delta_staged_ops_total\""), std::string::npos);
   EXPECT_NE(dump.find("\"hexa_wal_records_appended_total\""),
             std::string::npos);
@@ -168,6 +206,69 @@ TEST(MetricsExportTest, DurableChurnAndEnvDump) {
   EXPECT_NE(dump.find("\"event\": \"recovery\""), std::string::npos);
 
   fs::remove_all(dir);
+  if (!external_dump) fs::remove(dump_path);
+}
+
+// Delta churn plus a profiled query through a ProfileSink on the
+// store's registry: the destructor-time dump carries the store families
+// AND the query sections — the shape the CI metrics-smoke query step
+// runs under HEXA_SLOW_QUERY_US=0 and validates with
+// scripts/check_metrics_json.py --require-queries.
+TEST(MetricsExportTest, QueryChurnAndEnvDump) {
+  const char* preset = std::getenv("HEXA_METRICS_JSON");
+  const bool external_dump = preset != nullptr && preset[0] != '\0';
+  const std::string dump_path =
+      external_dump
+          ? std::string(preset)
+          : (fs::temp_directory_path() /
+             (std::string("hexa_query_dump_") + std::to_string(::getpid()) +
+              ".json"))
+                .string();
+  fs::remove(dump_path);
+
+  ::setenv("HEXA_METRICS_JSON", dump_path.c_str(), 1);
+  {
+    // The sink outlives the store: the destructor-time dump renders the
+    // sink's histograms and slow-query ring.
+    ProfileSink sink;  // threshold from HEXA_SLOW_QUERY_US (CI sets 0)
+    Dictionary dict;
+    DeltaOptions options;
+    options.compact_threshold = 64;
+    options.l0_run_limit = 2;
+    DeltaHexastore store(options);
+    sink.RegisterWith(&store.metrics_registry());
+    for (int i = 0; i < 300; ++i) {
+      store.Insert(dict.Encode({Term::Iri("s" + std::to_string(i)),
+                                Term::Iri("p" + std::to_string(i % 5)),
+                                Term::Iri("o" + std::to_string(i % 31))}));
+    }
+
+    QueryProfile profile;
+    const ResultSet result = EvalBgpPinned(
+        store, dict,
+        {{PatternTerm::Variable("s"), PatternTerm::Bound(Term::Iri("p0")),
+          PatternTerm::Variable("o")}},
+        &profile);
+    EXPECT_EQ(result.rows.size(), 60u);
+    sink.Record(profile, "BGP ?s <p0> ?o");
+    EXPECT_EQ(sink.histogram(QueryKind::kBgp)->Snapshot().count, 1u);
+    // Store destructs here, with HEXA_METRICS_JSON still set.
+  }
+  if (!external_dump) ::unsetenv("HEXA_METRICS_JSON");
+
+  ASSERT_TRUE(fs::exists(dump_path));
+  const std::string dump = ReadFile(dump_path);
+  EXPECT_NE(dump.find("\"version\": 2"), std::string::npos);
+  EXPECT_NE(dump.find("\"hexa_delta_staged_ops_total\""), std::string::npos);
+  EXPECT_NE(dump.find("\"hexa_query_bgp_latency_ns\""), std::string::npos);
+  EXPECT_NE(dump.find("\"slow_queries\": {"), std::string::npos);
+  const char* slow_us = std::getenv("HEXA_SLOW_QUERY_US");
+  if (slow_us != nullptr && std::string(slow_us) == "0") {
+    // The CI query step captures everything; the entry must be whole.
+    EXPECT_NE(dump.find("\"text\": \"BGP ?s <p0> ?o\""), std::string::npos);
+    EXPECT_NE(dump.find("\"kind\": \"bgp\""), std::string::npos);
+  }
+
   if (!external_dump) fs::remove(dump_path);
 }
 

@@ -182,7 +182,7 @@ TEST(RegistryTest, LookupAndRender) {
   EXPECT_NE(prom.find("test_latency_ns_sum 3100"), std::string::npos);
 
   const std::string json = registry.RenderJson();
-  EXPECT_NE(json.find("\"version\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"version\": 2"), std::string::npos);
   EXPECT_NE(json.find("\"test_ops_total\": 7"), std::string::npos);
   EXPECT_NE(json.find("\"test_depth\": -2"), std::string::npos);
   EXPECT_NE(json.find("\"count\": 2"), std::string::npos);

@@ -1,10 +1,12 @@
 // Unit tests for the greedy BGP planner, including the delta-aware
-// cardinality estimates a DeltaHexastore serves mid-delta.
+// cardinality estimates a DeltaHexastore serves mid-delta, the
+// estimate memo, and the golden EXPLAIN rendering.
 #include <gtest/gtest.h>
 
 #include "core/hexastore.h"
 #include "delta/delta_hexastore.h"
 #include "query/planner.h"
+#include "query/profile.h"
 
 namespace hexastore {
 namespace {
@@ -97,6 +99,83 @@ TEST_F(PlannerTest, BoundVarsReduceEstimate) {
   std::vector<bool> bound(bgp.vars.size(), true);
   EXPECT_LT(EstimateCardinality(store_, bgp.patterns[0], bound),
             EstimateCardinality(store_, bgp.patterns[0], unbound));
+}
+
+TEST_F(PlannerTest, ProfiledPlanMatchesUnprofiledPlan) {
+  std::vector<TriplePattern> patterns = {
+      TP(V("a"), B("p2"), V("b")),
+      TP(V("b"), B("p1"), V("c")),
+      TP(V("c"), B("p2"), V("d")),
+  };
+  CompiledBgp bgp = CompileBgp(patterns, *dict_);
+  PlanProfile profile;
+  EXPECT_EQ(PlanBgp(store_, bgp, &profile), PlanBgp(store_, bgp));
+  ASSERT_EQ(profile.steps.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(profile.steps[i].pattern_index, PlanBgp(store_, bgp)[i]);
+  }
+}
+
+TEST_F(PlannerTest, MemoBoundsEstimateProbes) {
+  // Three patterns, pairwise variable-disjoint: after the first pick no
+  // other pattern's variables get bound, so every memo entry survives
+  // and steps 2 and 3 probe the store zero times. Naive O(n^2) probing
+  // would issue 3 + 2 + 1 = 6 probes; the memo caps it at 3.
+  std::vector<TriplePattern> patterns = {
+      TP(V("a"), B("p2"), V("b")),
+      TP(V("c"), B("p1"), V("d")),
+      TP(V("e"), B("p2"), V("f")),
+  };
+  CompiledBgp bgp = CompileBgp(patterns, *dict_);
+  PlanProfile profile;
+  PlanBgp(store_, bgp, &profile);
+  EXPECT_EQ(profile.estimate_probes, 3u);
+  EXPECT_EQ(profile.memo_hits, 3u);  // steps 2 and 3 reuse entries
+}
+
+TEST_F(PlannerTest, MemoInvalidatesOnlyPatternsTouchingNewBindings) {
+  // A chain a-b-c: picking the ?b pattern binds ?b, which invalidates
+  // both neighbours; the disconnected ?x pattern keeps its memo entry
+  // throughout.
+  std::vector<TriplePattern> patterns = {
+      TP(V("a"), B("p2"), V("b")),      // invalidated when ?b binds
+      TP(V("b"), B("p1"), V("c")),      // picked first (est 1)
+      TP(V("c"), B("p2"), V("d")),      // invalidated when ?c binds
+      TP(V("x"), B("p2"), V("y")),      // never invalidated
+  };
+  CompiledBgp bgp = CompileBgp(patterns, *dict_);
+  PlanProfile profile;
+  PlanBgp(store_, bgp, &profile);
+  // Step 1 probes all 4. Picking pattern 1 binds ?b and ?c, so patterns
+  // 0 and 2 re-probe at step 2 while pattern 3 memo-hits. Binding the
+  // picked pattern's remaining vars invalidates the other neighbour
+  // once more; the disconnected pattern never re-probes.
+  EXPECT_LT(profile.estimate_probes, 10u);  // naive would be 4+3+2+1
+  EXPECT_GE(profile.memo_hits, 1u);
+  // The memoized plan still equals the recompute-everything plan.
+  EXPECT_EQ(PlanBgp(store_, bgp, nullptr), PlanBgp(store_, bgp));
+}
+
+TEST_F(PlannerTest, GoldenExplain) {
+  // Pinned EXPLAIN text: plan-time facts only, so the rendering is
+  // stable across runs and machines for a fixed store state.
+  std::vector<TriplePattern> patterns = {
+      TP(V("x"), B("p2"), V("y")),
+      TP(V("x"), B("p1"), V("z")),
+  };
+  const std::string expected =
+      "plan: bgp, 2 patterns, estimate_probes=3, memo_hits=0\n"
+      "  step 1: pattern[1] (?x <p1> ?z)  index=pso bound=1 est=1\n"
+      "  step 2: pattern[0] (?x <p2> ?y)  index=spo bound=2 est=10\n";
+  EXPECT_EQ(ExplainBgp(store_, *dict_, patterns), expected);
+}
+
+TEST_F(PlannerTest, GoldenExplainUnknownConstant) {
+  std::vector<TriplePattern> patterns = {
+      TP(V("x"), B("never-seen"), V("y")),
+  };
+  EXPECT_EQ(ExplainBgp(store_, *dict_, patterns),
+            "plan: bgp, empty result (constant term not in dictionary)\n");
 }
 
 // -- Delta-aware estimates (DeltaHexastore::EstimateMatches) --------------
