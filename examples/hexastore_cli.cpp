@@ -12,9 +12,12 @@
 // (see docs/observability.md). `--slow-queries` prints, after the
 // queries ran, the slow-query log — queries whose end-to-end time
 // crossed HEXA_SLOW_QUERY_US microseconds (0 = log everything,
-// default 10ms). Queries support EXPLAIN / EXPLAIN ANALYZE prefixes
-// via the SPARQL engine.
+// default 10ms). `--json` renders results as W3C SPARQL 1.1 JSON
+// (application/sparql-results+json) instead of the ASCII table.
+// Queries support EXPLAIN / EXPLAIN ANALYZE prefixes. All queries run
+// through one query::Session sharing a plan cache and profile sink.
 #include <algorithm>
+#include <cctype>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -26,7 +29,8 @@
 #include "io/snapshot.h"
 #include "query/operators.h"
 #include "query/profile.h"
-#include "query/sparql_engine.h"
+#include "query/result_json.h"
+#include "query/session.h"
 
 namespace {
 
@@ -35,17 +39,57 @@ int Fail(const std::string& message) {
   return 1;
 }
 
-void RunQuery(const hexastore::Graph& graph, hexastore::ProfileSink* sink,
-              const std::string& query) {
-  hexastore::QueryProfile profile;
-  auto result =
-      hexastore::RunSparql(graph.store(), graph.dict(), query, &profile);
+// True when `*text` starts with `word` followed by whitespace; consumes it.
+bool ConsumeKeyword(std::string_view* text, std::string_view word) {
+  if (text->size() <= word.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < word.size(); ++i) {
+    if (std::toupper(static_cast<unsigned char>((*text)[i])) != word[i]) {
+      return false;
+    }
+  }
+  std::string_view rest = text->substr(word.size());
+  if (!std::isspace(static_cast<unsigned char>(rest.front()))) {
+    return false;
+  }
+  while (!rest.empty() &&
+         std::isspace(static_cast<unsigned char>(rest.front()))) {
+    rest.remove_prefix(1);
+  }
+  *text = rest;
+  return true;
+}
+
+void RunQuery(const hexastore::Graph& graph, hexastore::query::Session* session,
+              const std::string& query, bool json) {
+  std::string_view text = query;
+  while (!text.empty() &&
+         std::isspace(static_cast<unsigned char>(text.front()))) {
+    text.remove_prefix(1);
+  }
+  if (ConsumeKeyword(&text, "EXPLAIN")) {
+    auto report = ConsumeKeyword(&text, "ANALYZE")
+                      ? session->ExplainAnalyze(text)
+                      : session->Explain(text);
+    if (!report.ok()) {
+      std::cout << "error: " << report.status().ToString() << "\n";
+      return;
+    }
+    std::cout << report.value();
+    return;
+  }
+  auto result = session->Query(query);
   if (!result.ok()) {
     std::cout << "error: " << result.status().ToString() << "\n";
     return;
   }
-  sink->Record(profile, query);
-  std::cout << hexastore::FormatResultSet(result.value(), graph.dict(),
+  if (json) {
+    std::cout << hexastore::ResultSetToJson(result.value().set, graph.dict())
+              << "\n";
+    return;
+  }
+  std::cout << hexastore::FormatResultSet(result.value().set, graph.dict(),
                                           /*max_rows=*/50);
 }
 
@@ -58,10 +102,19 @@ int main(int argc, char** argv) {
   ProfileSink sink;
   Graph graph;
   sink.RegisterWith(&graph.metrics_registry());
+  PlanCache plan_cache;
+  plan_cache.RegisterWith(&graph.metrics_registry());
+  query::SessionOptions session_options;
+  session_options.sink = &sink;
+  session_options.plan_cache = &plan_cache;
+  // Plain in-memory Hexastore: the TripleStore ctor forces PinPolicy
+  // kNone (no generation gate to pin).
+  query::Session session(graph.store(), graph.dict(), session_options);
   bool loaded = false;
   bool show_stats = false;
   bool show_metrics = false;
   bool show_slow_queries = false;
+  bool json = false;
   std::string query;
 
   std::vector<std::string> args(argv + 1, argv + argc);
@@ -104,10 +157,13 @@ int main(int argc, char** argv) {
       show_metrics = true;
     } else if (arg == "--slow-queries") {
       show_slow_queries = true;
+    } else if (arg == "--json") {
+      json = true;
     } else if (arg == "--help") {
       std::cout << "usage: hexastore_cli (--load-nt FILE | "
                    "--load-snapshot FILE | --demo) [--save-snapshot FILE] "
-                   "[--stats] [--metrics] [--slow-queries] [QUERY]\n";
+                   "[--stats] [--metrics] [--slow-queries] [--json] "
+                   "[QUERY]\n";
       return 0;
     } else {
       query = arg;
@@ -132,7 +188,7 @@ int main(int argc, char** argv) {
     return 0;
   }
   if (!query.empty()) {
-    RunQuery(graph, &sink, query);
+    RunQuery(graph, &session, query, json);
     if (show_slow_queries) {
       std::cout << FormatSlowQueries(sink.slow_queries());
     }
@@ -150,7 +206,7 @@ int main(int argc, char** argv) {
     auto closes = std::count(buffer.begin(), buffer.end(), '}');
     if ((line.empty() || (opens > 0 && opens == closes)) &&
         buffer.find_first_not_of(" \t\n") != std::string::npos) {
-      RunQuery(graph, &sink, buffer);
+      RunQuery(graph, &session, buffer, json);
       buffer.clear();
     }
   }

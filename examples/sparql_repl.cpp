@@ -18,7 +18,7 @@
 #include "data/lubm_generator.h"
 #include "query/operators.h"
 #include "query/profile.h"
-#include "query/sparql_engine.h"
+#include "query/session.h"
 
 namespace {
 
@@ -45,7 +45,10 @@ bool ConsumeKeyword(std::string_view* text, std::string_view keyword) {
   return true;
 }
 
-void RunQuery(const hexastore::Graph& graph, hexastore::ProfileSink* sink,
+// One query through the unified Session API: the session pins nothing
+// (plain in-memory Hexastore), shares the REPL-wide plan cache, and
+// feeds its ProfileSink on every execution — no manual Record calls.
+void RunQuery(const hexastore::Graph& graph, hexastore::query::Session* session,
               const std::string& query) {
   std::string_view text = query;
   while (!text.empty() &&
@@ -53,20 +56,9 @@ void RunQuery(const hexastore::Graph& graph, hexastore::ProfileSink* sink,
     text.remove_prefix(1);
   }
   if (ConsumeKeyword(&text, "EXPLAIN")) {
-    if (ConsumeKeyword(&text, "ANALYZE")) {
-      hexastore::QueryProfile profile;
-      auto report = hexastore::ExplainAnalyzeSparql(
-          graph.store(), graph.dict(), text, &profile);
-      if (!report.ok()) {
-        std::cout << "error: " << report.status().ToString() << "\n";
-        return;
-      }
-      sink->Record(profile, text);
-      std::cout << report.value() << "\n";
-      return;
-    }
-    auto report = hexastore::ExplainSparql(graph.store(), graph.dict(),
-                                           text);
+    auto report = ConsumeKeyword(&text, "ANALYZE")
+                      ? session->ExplainAnalyze(text)
+                      : session->Explain(text);
     if (!report.ok()) {
       std::cout << "error: " << report.status().ToString() << "\n";
       return;
@@ -74,15 +66,12 @@ void RunQuery(const hexastore::Graph& graph, hexastore::ProfileSink* sink,
     std::cout << report.value() << "\n";
     return;
   }
-  hexastore::QueryProfile profile;
-  auto result =
-      hexastore::RunSparql(graph.store(), graph.dict(), text, &profile);
+  auto result = session->Query(text);
   if (!result.ok()) {
     std::cout << "error: " << result.status().ToString() << "\n";
     return;
   }
-  sink->Record(profile, text);
-  std::cout << hexastore::FormatResultSet(result.value(), graph.dict())
+  std::cout << hexastore::FormatResultSet(result.value().set, graph.dict())
             << "\n";
 }
 
@@ -99,6 +88,12 @@ int main(int argc, char** argv) {
   ProfileSink sink;
   Graph graph;
   sink.RegisterWith(&graph.metrics_registry());
+  PlanCache plan_cache;
+  plan_cache.RegisterWith(&graph.metrics_registry());
+  query::SessionOptions session_options;
+  session_options.sink = &sink;
+  session_options.plan_cache = &plan_cache;
+  query::Session session(graph.store(), graph.dict(), session_options);
   if (dataset == "barton") {
     graph.BulkLoad(data::BartonGenerator().Generate(num_triples));
   } else {
@@ -119,7 +114,7 @@ int main(int argc, char** argv) {
             "SELECT DISTINCT ?prof ?dept WHERE { ?s ub:advisor ?prof . "
             "?prof ub:worksFor ?dept } ORDER BY ?prof LIMIT 5";
   std::cout << "demo> " << demo << "\n";
-  RunQuery(graph, &sink, demo);
+  RunQuery(graph, &session, demo);
 
   // Aggregation demo: the shape of the paper's Barton Query 1 ("counts
   // of each different type of data in the store") as a SPARQL aggregate.
@@ -133,7 +128,7 @@ int main(int argc, char** argv) {
             "SELECT ?class (COUNT(?x) AS ?n) WHERE { ?x ub:type ?class } "
             "GROUP BY ?class ORDER BY ?class";
   std::cout << "demo> " << agg_demo << "\n";
-  RunQuery(graph, &sink, agg_demo);
+  RunQuery(graph, &session, agg_demo);
 
   std::string line;
   std::string buffer;
@@ -143,7 +138,7 @@ int main(int argc, char** argv) {
     }
     if (line.empty()) {
       if (!buffer.empty()) {
-        RunQuery(graph, &sink, buffer);
+        RunQuery(graph, &session, buffer);
         buffer.clear();
       }
       continue;
@@ -153,12 +148,12 @@ int main(int argc, char** argv) {
     auto opens = std::count(buffer.begin(), buffer.end(), '{');
     auto closes = std::count(buffer.begin(), buffer.end(), '}');
     if (opens > 0 && opens == closes) {
-      RunQuery(graph, &sink, buffer);
+      RunQuery(graph, &session, buffer);
       buffer.clear();
     }
   }
   if (!buffer.empty()) {
-    RunQuery(graph, &sink, buffer);
+    RunQuery(graph, &session, buffer);
   }
   return 0;
 }

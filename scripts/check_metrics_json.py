@@ -2,6 +2,7 @@
 """Validates a HEXA_METRICS_JSON dump against the version-2 schema.
 
 Usage: check_metrics_json.py <dump.json> [--require-wal] [--require-queries]
+                             [--require-server]
 
 Checks (see docs/observability.md "Export formats"):
   * top-level shape: version 2, counters/gauges/histograms objects, a
@@ -17,7 +18,14 @@ Checks (see docs/observability.md "Export formats"):
   * with --require-queries (the metrics-smoke query step, which runs a
     query under HEXA_SLOW_QUERY_US=0) a hexa_query_* class histogram
     recorded at least one query and the slow-query ring retained at
-    least one entry.
+    least one entry;
+  * with --require-server (the CI server-smoke job, whose dump comes
+    from hexastore_server's /metrics.json after the abl_server driver
+    ran mixed read/write traffic against it) the hexa_server_* family
+    served requests without shedding everything, the request-latency
+    histogram is live, and the plan cache both hit above 0.9 on the
+    driver's repeated templates and invalidated at least once under
+    the driver's write churn.
 
 Exits 0 on a valid dump, 1 with one line per violation otherwise.
 Stdlib only.
@@ -40,6 +48,7 @@ def main(argv):
     path = argv[1]
     require_wal = "--require-wal" in argv[2:]
     require_queries = "--require-queries" in argv[2:]
+    require_server = "--require-server" in argv[2:]
 
     errors = []
     try:
@@ -154,6 +163,30 @@ def main(argv):
         if not isinstance(slow, dict) or not slow.get("entries"):
             errors.append("slow_queries retained no entries "
                           "(run under HEXA_SLOW_QUERY_US=0)")
+
+    if require_server:
+        counters = dump["counters"]
+        served = counters.get("hexa_server_requests", 0)
+        if served <= 0:
+            errors.append("hexa_server_requests is zero — the server "
+                          "answered no queries")
+        latency = dump["histograms"].get("hexa_server_request_latency_ns")
+        if not isinstance(latency, dict) or latency.get("count", 0) <= 0:
+            errors.append("hexa_server_request_latency_ns recorded "
+                          "no requests")
+        hits = counters.get("hexa_plan_cache_hits", 0)
+        misses = counters.get("hexa_plan_cache_misses", 0)
+        invalidations = counters.get("hexa_plan_cache_invalidations", 0)
+        looked_up = hits + misses + invalidations
+        if looked_up == 0:
+            errors.append("plan cache saw no lookups — queries bypassed "
+                          "the cache")
+        elif hits / looked_up <= 0.9:
+            errors.append(f"plan cache hit rate {hits}/{looked_up} "
+                          f"is not above 0.9 on repeated templates")
+        if invalidations <= 0:
+            errors.append("hexa_plan_cache_invalidations is zero — "
+                          "write churn never invalidated a plan")
 
     families = [("hexa_delta_", True), ("hexa_epoch_", True),
                 ("hexa_wal_", require_wal)]

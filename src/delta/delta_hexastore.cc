@@ -1081,6 +1081,20 @@ std::uint64_t DeltaHexastore::Snapshot::epoch() const {
   return gen_ == nullptr ? 0 : gen_->epoch;
 }
 
+std::uint64_t DeltaHexastore::Snapshot::staged_ops() const {
+  if (gen_ == nullptr) {
+    return 0;
+  }
+  std::uint64_t ops = 0;
+  for (const DeltaStore* layer : gen_->chain) {
+    // Pattern tombstones count separately: an ErasePattern subsumes (and
+    // removes) staged point ops, so op_count alone could stay flat
+    // across one.
+    ops += layer->op_count() + layer->pattern_erased_predicates().size();
+  }
+  return ops;
+}
+
 MergedList DeltaHexastore::Snapshot::objects(Id s, Id p) const {
   if (gen_ == nullptr) {
     return MergedList();

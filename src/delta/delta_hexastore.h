@@ -297,6 +297,14 @@ class DeltaHexastore : public TripleStore {
     /// merge and Clear).
     std::uint64_t epoch() const;
 
+    /// Total staged ops (inserts + tombstones + pattern tombstones)
+    /// across this generation's delta chain. Together with epoch() this
+    /// forms a cheap freshness stamp: equal (epoch, staged_ops) pairs
+    /// mean no mutation or merge landed in between (ops never leave a
+    /// published layer except via a merge, which bumps the epoch). The
+    /// plan cache keys validity fast-paths on it.
+    std::uint64_t staged_ops() const;
+
     // Merged accessor views over the pinned generation (see the
     // DeltaHexastore accessors below for semantics).
     MergedList objects(Id s, Id p) const;

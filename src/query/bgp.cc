@@ -1,6 +1,7 @@
 #include "query/bgp.h"
 
 #include "query/planner.h"
+#include "query/session.h"
 
 namespace hexastore {
 
@@ -97,9 +98,18 @@ void EvalStepProfiled(const TripleStore& store, const CompiledBgp& bgp,
     return true;
   };
 
+  const std::uint64_t scan_start = obs::NowNanos();
+  // Deadline check at the operator boundary: the clock was read anyway,
+  // so an expired budget stops descending before issuing the scan. The
+  // enclosing scans unwind through the same check (the flag short-
+  // circuits Scan callbacks already in flight at shallower depths).
+  if (profile->deadline_ns != 0 &&
+      (profile->deadline_exceeded || scan_start >= profile->deadline_ns)) {
+    profile->deadline_exceeded = true;
+    return;
+  }
   PatternProfile& pp = profile->patterns[depth];
   pp.probes += 1;
-  const std::uint64_t scan_start = obs::NowNanos();
   store.Scan(probe, [&](const IdTriple& t) {
     pp.rows_scanned += 1;
     if (!consistent(t)) {
@@ -180,19 +190,32 @@ ResultSet EvalBgpPinned(const DeltaHexastore& store, const Dictionary& dict,
   if (profile == nullptr) {
     // One handle for planning and evaluation: the snapshot is itself a
     // (read-only) TripleStore, so the generic machinery pins the
-    // generation for the entire query.
+    // generation for the entire query. Stays off the Session path to
+    // keep the unprofiled promise (no clock reads).
     const DeltaHexastore::Snapshot snap = store.GetSnapshot();
     return EvalBgp(snap, dict, patterns);
   }
-  const std::uint64_t pin_start = obs::NowNanos();
-  ResultSet result;
-  {
-    const DeltaHexastore::Snapshot snap = store.GetSnapshot();
-    result = EvalBgp(snap, dict, patterns, profile);
-  }
-  profile->pin_ns += obs::NowNanos() - pin_start;
+  // Shim over query::Session (same GetSnapshot pinning); merges the
+  // session's profile additively so a caller-populated parse_ns
+  // survives, and keeps the legacy total = parse + pin convention.
+  query::SessionOptions options;
+  options.pin = query::PinPolicy::kLinearizable;
+  query::Session session(store, dict, options);
+  auto result = session.EvalBgp(patterns);
+  const QueryProfile& sp = session.last_profile();
+  profile->plan_ns += sp.plan_ns;
+  profile->eval_ns += sp.eval_ns;
+  profile->pin_ns += sp.pin_ns;
+  profile->estimate_probes += sp.estimate_probes;
+  profile->memo_hits += sp.memo_hits;
+  profile->rows_out += sp.rows_out;
+  profile->patterns = sp.patterns;
+  profile->operators = sp.operators;
   profile->total_ns = profile->parse_ns + profile->pin_ns;
-  return result;
+  if (!result.ok()) {
+    return ResultSet{};  // unreachable: bare BGPs have no failing stages
+  }
+  return std::move(result).value().set;
 }
 
 }  // namespace hexastore

@@ -51,6 +51,10 @@ ResultSet EvalBgp(const TripleStore& store, const Dictionary& dict,
 /// Equivalent to `EvalBgp(store.GetSnapshot(), dict, patterns)`.
 /// With a profile, `pin_ns` records how long the generation stayed
 /// pinned (here: the whole query, snapshot acquisition included).
+///
+/// DEPRECATED: the profiled path is a shim over query::Session with
+/// PinPolicy::kLinearizable; prefer Session::EvalBgp, which adds the
+/// plan cache, deadlines and sink aggregation.
 ResultSet EvalBgpPinned(const DeltaHexastore& store, const Dictionary& dict,
                         const std::vector<TriplePattern>& patterns,
                         QueryProfile* profile = nullptr);

@@ -1,0 +1,222 @@
+#include "query/plan_cache.h"
+
+#include <utility>
+
+#include "query/profile.h"
+
+namespace hexastore {
+
+namespace {
+
+void AppendSlot(const Slot& slot, std::string* out) {
+  if (slot.is_var()) {
+    out->push_back('v');
+    out->append(std::to_string(slot.var));
+  } else {
+    out->push_back('c');
+    out->append(std::to_string(slot.id));
+  }
+  out->push_back(' ');
+}
+
+// Constant-only projection of a compiled pattern (variables -> wildcard),
+// mirroring what EstimateCardinality probes with no bound variables.
+IdPattern ConstantProjection(const CompiledPattern& p) {
+  return IdPattern{p.s.is_var() ? kInvalidId : p.s.id,
+                   p.p.is_var() ? kInvalidId : p.p.id,
+                   p.o.is_var() ? kInvalidId : p.o.id};
+}
+
+}  // namespace
+
+PlanCache::PlanCache(PlanCacheOptions options) : options_(options) {
+  if (options_.capacity == 0) {
+    options_.capacity = 1;
+  }
+  if (!(options_.q_error_threshold >= 1.0)) {  // also catches NaN
+    options_.q_error_threshold = PlanCacheOptions{}.q_error_threshold;
+  }
+}
+
+std::string PlanCache::CanonicalKey(const CompiledBgp& bgp) {
+  std::string key;
+  key.reserve(bgp.patterns.size() * 12 + 8);
+  key.append(std::to_string(bgp.patterns.size()));
+  key.push_back(':');
+  for (const CompiledPattern& p : bgp.patterns) {
+    AppendSlot(p.s, &key);
+    AppendSlot(p.p, &key);
+    AppendSlot(p.o, &key);
+  }
+  return key;
+}
+
+std::vector<std::uint64_t> PlanCache::ProbeEstimates(const TripleStore& store,
+                                                     const CompiledBgp& bgp) {
+  std::vector<std::uint64_t> estimates;
+  estimates.reserve(bgp.patterns.size());
+  for (const CompiledPattern& p : bgp.patterns) {
+    estimates.push_back(store.EstimateMatches(ConstantProjection(p)));
+  }
+  return estimates;
+}
+
+std::vector<std::size_t> PlanCache::Plan(const TripleStore& store,
+                                         const CompiledBgp& bgp,
+                                         const PlanCacheStamp& stamp,
+                                         PlanProfile* profile,
+                                         bool* was_hit) {
+  if (was_hit != nullptr) {
+    *was_hit = false;
+  }
+  const std::string key = CanonicalKey(bgp);
+
+  // Phase 1: look the entry up and copy what validation needs. The probes
+  // themselves run outside the lock (they may touch the store).
+  std::vector<std::size_t> cached_order;
+  std::vector<std::uint64_t> cached_estimates;
+  PlanCacheStamp cached_stamp;
+  bool found = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      found = true;
+      cached_order = it->second.order;
+      cached_estimates = it->second.estimates;
+      cached_stamp = it->second.stamp;
+      lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+    }
+  }
+
+  if (found) {
+    bool valid = cached_stamp == stamp;
+    std::vector<std::uint64_t> current;
+    if (!valid) {
+      // Stamps drifted: ops were staged or a merge published since plan
+      // time. Re-probe the estimates; the plan survives while every
+      // pattern's drift stays within the q-error threshold.
+      current = ProbeEstimates(store, bgp);
+      valid = true;
+      for (std::size_t i = 0; i < current.size(); ++i) {
+        const double q = QError(static_cast<double>(cached_estimates[i]),
+                                static_cast<double>(current[i]));
+        if (q > options_.q_error_threshold) {
+          valid = false;
+          break;
+        }
+      }
+    }
+    if (valid) {
+      hits_.Add();
+      if (!current.empty()) {
+        // Refresh the stamp (so a quiet store takes the equality fast
+        // path next time) but keep the PLAN-TIME estimates as the drift
+        // baseline: the cached order was chosen for those cardinalities,
+        // and slow sustained drift must still accumulate until it
+        // crosses the threshold and forces a replan.
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = entries_.find(key);
+        if (it != entries_.end()) {
+          it->second.stamp = stamp;
+        }
+      }
+      if (was_hit != nullptr) {
+        *was_hit = true;
+      }
+      if (profile != nullptr) {
+        // Reconstruct plan steps so EXPLAIN of a cached plan still
+        // renders the order, index choices and bound positions;
+        // estimates are the recorded plan-time ones. Bound flags replay
+        // the order deterministically (they depend only on it).
+        profile->steps.clear();
+        std::vector<bool> bound(bgp.vars.size(), false);
+        for (std::size_t depth = 0; depth < cached_order.size(); ++depth) {
+          const CompiledPattern& p = bgp.patterns[cached_order[depth]];
+          PlanStep step;
+          step.pattern_index = cached_order[depth];
+          step.estimated = cached_estimates[cached_order[depth]];
+          step.s_bound = !p.s.is_var() || bound[p.s.var];
+          step.p_bound = !p.p.is_var() || bound[p.p.var];
+          step.o_bound = !p.o.is_var() || bound[p.o.var];
+          step.bound_at_pick = static_cast<int>(step.s_bound) +
+                               static_cast<int>(step.p_bound) +
+                               static_cast<int>(step.o_bound);
+          step.connected =
+              depth == 0 ||
+              (p.s.is_var() && bound[p.s.var]) ||
+              (p.p.is_var() && bound[p.p.var]) ||
+              (p.o.is_var() && bound[p.o.var]);
+          if (p.s.is_var()) bound[p.s.var] = true;
+          if (p.p.is_var()) bound[p.p.var] = true;
+          if (p.o.is_var()) bound[p.o.var] = true;
+          profile->steps.push_back(step);
+        }
+      }
+      return cached_order;
+    }
+    invalidations_.Add();
+  } else {
+    misses_.Add();
+  }
+
+  // Miss or invalidated: plan fresh against current cardinalities and
+  // (re)insert.
+  std::vector<std::size_t> order = PlanBgp(store, bgp, profile);
+  std::vector<std::uint64_t> estimates = ProbeEstimates(store, bgp);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      it->second.order = order;
+      it->second.estimates = std::move(estimates);
+      it->second.stamp = stamp;
+      lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+    } else {
+      lru_.push_front(key);
+      Entry entry;
+      entry.order = order;
+      entry.estimates = std::move(estimates);
+      entry.stamp = stamp;
+      entry.lru_it = lru_.begin();
+      entries_.emplace(key, std::move(entry));
+      while (entries_.size() > options_.capacity) {
+        entries_.erase(lru_.back());
+        lru_.pop_back();
+        evictions_.Add();
+      }
+    }
+    size_.Set(static_cast<std::int64_t>(entries_.size()));
+  }
+  return order;
+}
+
+void PlanCache::RegisterWith(obs::MetricsRegistry* registry) {
+  registry->RegisterCounter("hexa_plan_cache_hits",
+                            "Plan-cache lookups served from cache", &hits_);
+  registry->RegisterCounter("hexa_plan_cache_misses",
+                            "Plan-cache lookups with no entry", &misses_);
+  registry->RegisterCounter(
+      "hexa_plan_cache_invalidations",
+      "Cached plans dropped after estimate drift past the q-error threshold",
+      &invalidations_);
+  registry->RegisterCounter("hexa_plan_cache_evictions",
+                            "Entries evicted by the LRU capacity bound",
+                            &evictions_);
+  registry->RegisterGauge("hexa_plan_cache_entries",
+                          "Plans currently cached", &size_);
+}
+
+void PlanCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+  lru_.clear();
+  size_.Set(0);
+}
+
+std::size_t PlanCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+}  // namespace hexastore

@@ -1,0 +1,146 @@
+// Normalized-BGP plan cache with staged-op-aware invalidation.
+//
+// The cache maps the *shape* of a basic graph pattern — variables
+// renamed positionally, constants reduced to their dictionary ids — to
+// the join order the planner chose for it, so a repeated query template
+// skips the greedy planning loop entirely. Because CompileBgp interns
+// variables in first-seen order, two textually different queries with
+// the same pattern shape compile to identical slot indices and share one
+// cache entry ("?x ?y" vs "?a ?b" is the same plan).
+//
+// Validity contract (the PR-8 q-error groundwork): an entry records the
+// per-pattern constant-projection cardinality estimates it was planned
+// against, plus the staged-op count and publication epoch of the store
+// at plan time. A lookup first compares those cheap freshness stamps —
+// unchanged stamps mean nothing could have moved the estimates, and the
+// entry is served with zero store probes. When the stamps drifted (ops
+// staged, a merge published, an ErasePattern landed), the lookup
+// re-probes each pattern's estimate against the caller's store — for a
+// pinned Snapshot that is wait-free — and keeps the plan only while
+// every estimate's q-error against the recorded one stays within
+// `q_error_threshold`; past it the entry counts an invalidation and the
+// BGP is re-planned against current cardinalities. Results are never
+// affected either way (any join order is correct — planner_test pins
+// that); only plan *quality* is at stake, which is why a drift check at
+// estimate granularity is sufficient.
+//
+// Thread-safety: all members are safe from any thread. The map and LRU
+// list serialize on one mutex held only for hash-map operations;
+// validation probes run outside it. Counters are lock-free and register
+// into a MetricsRegistry as hexa_plan_cache_*.
+#ifndef HEXASTORE_QUERY_PLAN_CACHE_H_
+#define HEXASTORE_QUERY_PLAN_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/store_interface.h"
+#include "obs/metrics.h"
+#include "query/pattern.h"
+#include "query/planner.h"
+
+namespace hexastore {
+
+/// Construction-time configuration of a PlanCache.
+struct PlanCacheOptions {
+  /// Maximum cached plans; least-recently-used entries are evicted past
+  /// it. 0 is clamped to 1.
+  std::size_t capacity = 256;
+  /// An entry is invalidated when any pattern's current estimate drifts
+  /// from the recorded one by more than this q-error factor
+  /// (max(new/old, old/new) with both clamped to >= 1). Must be >= 1;
+  /// invalid values are clamped back to the default 2.0.
+  double q_error_threshold = 2.0;
+};
+
+/// Freshness stamps of the store a plan was made against. Equal stamps
+/// mean no mutation or merge happened in between, so cached estimates
+/// are exact and validation probes can be skipped entirely.
+struct PlanCacheStamp {
+  std::uint64_t epoch = 0;       ///< publication epoch (merges, Clear)
+  std::uint64_t staged_ops = 0;  ///< ops staged on top of that epoch
+
+  friend bool operator==(const PlanCacheStamp&,
+                         const PlanCacheStamp&) = default;
+};
+
+/// Shared, thread-safe cache of planned join orders keyed on normalized
+/// BGP shape. One instance serves every Session of a store (the server
+/// shares one across all worker threads).
+class PlanCache {
+ public:
+  explicit PlanCache(PlanCacheOptions options = {});
+
+  /// Canonical key of a compiled BGP: pattern count, then per pattern
+  /// the three slots as `v<var-index>` / `c<constant-id>`. Variable
+  /// indices are positional by construction (CompileBgp interns in
+  /// first-seen order), constants are dictionary ids.
+  static std::string CanonicalKey(const CompiledBgp& bgp);
+
+  /// Returns a join order for `bgp`, from the cache when a valid entry
+  /// exists, else freshly planned (and stored). `store` is the store
+  /// the query will actually scan — pass the pinned Snapshot so
+  /// validation probes and replanning are wait-free and consistent with
+  /// evaluation. `stamp` carries the store's current freshness stamps
+  /// (see SessionStamp helpers in session.h; pass {} to force
+  /// estimate-probe validation). `profile`, when non-null, receives the
+  /// plan steps (fresh plan) or the reconstructed cached steps plus the
+  /// validation probe count.
+  std::vector<std::size_t> Plan(const TripleStore& store,
+                                const CompiledBgp& bgp,
+                                const PlanCacheStamp& stamp,
+                                PlanProfile* profile = nullptr,
+                                bool* was_hit = nullptr);
+
+  /// Registers hits/misses/invalidations/evictions counters and the
+  /// entries gauge with `registry` (hexa_plan_cache_* names). The cache
+  /// must outlive the registry's last render.
+  void RegisterWith(obs::MetricsRegistry* registry);
+
+  /// Drops every entry (tests; also useful after Clear/BulkLoad storms).
+  void Clear();
+
+  std::size_t size() const;
+  std::uint64_t hits() const { return hits_.Value(); }
+  std::uint64_t misses() const { return misses_.Value(); }
+  std::uint64_t invalidations() const { return invalidations_.Value(); }
+  std::uint64_t evictions() const { return evictions_.Value(); }
+  double q_error_threshold() const { return options_.q_error_threshold; }
+
+ private:
+  struct Entry {
+    std::vector<std::size_t> order;
+    /// Constant-projection estimate per source pattern (bgp order, not
+    /// plan order) at plan time.
+    std::vector<std::uint64_t> estimates;
+    PlanCacheStamp stamp;
+    /// Position in lru_ (front = most recently used).
+    std::list<std::string>::iterator lru_it;
+  };
+
+  // Constant-projection estimates of every pattern against `store` (one
+  // EstimateMatches probe each; the planner's bound-var heuristics do
+  // not apply — these are the drift detectors, not pick costs).
+  static std::vector<std::uint64_t> ProbeEstimates(const TripleStore& store,
+                                                   const CompiledBgp& bgp);
+
+  PlanCacheOptions options_;
+
+  mutable std::mutex mu_;
+  std::list<std::string> lru_;  // front = most recently used
+  std::unordered_map<std::string, Entry> entries_;
+
+  obs::Counter hits_;
+  obs::Counter misses_;
+  obs::Counter invalidations_;
+  obs::Counter evictions_;
+  obs::Gauge size_;
+};
+
+}  // namespace hexastore
+
+#endif  // HEXASTORE_QUERY_PLAN_CACHE_H_

@@ -111,6 +111,8 @@ void QueryProfile::Reset() {
   parse_ns = plan_ns = eval_ns = pin_ns = total_ns = 0;
   estimate_probes = memo_hits = 0;
   rows_out = 0;
+  deadline_ns = 0;
+  deadline_exceeded = false;
   patterns.clear();
   operators.clear();
 }

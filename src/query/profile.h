@@ -105,6 +105,17 @@ struct QueryProfile {
 
   std::uint64_t rows_out = 0;
 
+  // Per-query deadline (the PR-9 server's admission contract). The
+  // profiled evaluation path checks the clock it already reads at every
+  // operator boundary — each BGP probe and each solution-modifier stage
+  // — against `deadline_ns` (an absolute obs::NowNanos() instant; 0
+  // disables the check) and unwinds by setting `deadline_exceeded`
+  // instead of descending further. The nullptr-profile path stays
+  // byte-identical, so deadlines require profiled execution (Session
+  // always profiles).
+  std::uint64_t deadline_ns = 0;   ///< absolute cutoff; 0 = no deadline
+  bool deadline_exceeded = false;  ///< evaluation stopped at the cutoff
+
   std::vector<PatternProfile> patterns;    ///< in chosen plan order
   std::vector<OperatorProfile> operators;  ///< in execution order
 

@@ -1,0 +1,149 @@
+#include "query/result_json.h"
+
+#include <cstdio>
+
+#include "rdf/term.h"
+#include "util/common.h"
+
+namespace hexastore {
+
+void AppendJsonEscaped(std::string_view text, std::string* out) {
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '\b':
+        out->append("\\b");
+        break;
+      case '\f':
+        out->append("\\f");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      case '\r':
+        out->append("\\r");
+        break;
+      case '\t':
+        out->append("\\t");
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out->append(buf);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+}
+
+namespace {
+
+void AppendQuoted(std::string_view text, std::string* out) {
+  out->push_back('"');
+  AppendJsonEscaped(text, out);
+  out->push_back('"');
+}
+
+void AppendTermCell(const Term& term, std::string* out) {
+  switch (term.kind()) {
+    case TermKind::kIri:
+      out->append("{\"type\":\"uri\",\"value\":");
+      AppendQuoted(term.value(), out);
+      break;
+    case TermKind::kBlank: {
+      out->append("{\"type\":\"bnode\",\"value\":");
+      std::string_view label = term.value();
+      if (label.size() >= 2 && label[0] == '_' && label[1] == ':') {
+        label.remove_prefix(2);
+      }
+      AppendQuoted(label, out);
+      break;
+    }
+    case TermKind::kLiteral:
+      out->append("{\"type\":\"literal\",\"value\":");
+      AppendQuoted(term.value(), out);
+      if (!term.language().empty()) {
+        out->append(",\"xml:lang\":");
+        AppendQuoted(term.language(), out);
+      } else if (!term.datatype().empty()) {
+        out->append(",\"datatype\":");
+        AppendQuoted(term.datatype(), out);
+      }
+      break;
+  }
+  out->push_back('}');
+}
+
+void AppendNumericCell(Id raw, std::string* out) {
+  out->append("{\"type\":\"literal\",\"value\":\"");
+  out->append(std::to_string(raw));
+  out->append("\",\"datatype\":\"http://www.w3.org/2001/XMLSchema#integer\"}");
+}
+
+}  // namespace
+
+std::string ResultSetToJson(const ResultSet& set, const Dictionary& dict) {
+  std::string out;
+  out.append("{\"head\":{\"vars\":[");
+  for (std::size_t v = 0; v < set.vars.size(); ++v) {
+    if (v > 0) {
+      out.push_back(',');
+    }
+    AppendQuoted(set.vars.name(static_cast<VarId>(v)), &out);
+  }
+  out.append("]},\"results\":{\"bindings\":[");
+  bool first_row = true;
+  for (const Row& row : set.rows) {
+    if (!first_row) {
+      out.push_back(',');
+    }
+    first_row = false;
+    out.push_back('{');
+    bool first_cell = true;
+    for (std::size_t v = 0; v < row.size() && v < set.vars.size(); ++v) {
+      const VarId var = static_cast<VarId>(v);
+      if (set.IsNumeric(var)) {
+        if (!first_cell) {
+          out.push_back(',');
+        }
+        first_cell = false;
+        AppendQuoted(set.vars.name(var), &out);
+        out.push_back(':');
+        AppendNumericCell(row[v], &out);
+        continue;
+      }
+      const std::optional<Term> term = dict.TryTerm(row[v]);
+      if (!term.has_value()) {
+        continue;  // unbound/unresolvable: the spec omits the key
+      }
+      if (!first_cell) {
+        out.push_back(',');
+      }
+      first_cell = false;
+      AppendQuoted(set.vars.name(var), &out);
+      out.push_back(':');
+      AppendTermCell(*term, &out);
+    }
+    out.push_back('}');
+  }
+  out.append("]}}");
+  return out;
+}
+
+std::string BooleanResultToJson(bool value) {
+  std::string out = "{\"head\":{},\"boolean\":";
+  out.append(value ? "true" : "false");
+  out.append("}");
+  return out;
+}
+
+}  // namespace hexastore
+

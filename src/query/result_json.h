@@ -1,0 +1,46 @@
+// W3C SPARQL 1.1 Query Results JSON serialization
+// (https://www.w3.org/TR/sparql11-results-json/).
+//
+// One ResultSet renders to one results document:
+//
+//   {"head":{"vars":["x","y"]},
+//    "results":{"bindings":[{"x":{"type":"uri","value":"..."},...},...]}}
+//
+// Term cells map by kind — IRI -> "uri", literal -> "literal" (with
+// "xml:lang" or "datatype" when the term carries one), blank -> "bnode"
+// (value without the "_:" prefix). Numeric columns (aggregates) render
+// as xsd:integer typed literals, matching how real endpoints return
+// COUNT. Unbound cells (kInvalidId from an OPTIONAL-free engine they
+// cannot currently occur, but unresolvable ids defensively count) are
+// simply omitted from their binding object, exactly as the spec
+// prescribes. All strings are escaped per RFC 8259 (the two-char
+// escapes plus \u00XX for other control bytes).
+//
+// Used by the HTTP server's /query endpoint and hexastore_cli --json;
+// golden-tested in result_json_test.
+#ifndef HEXASTORE_QUERY_RESULT_JSON_H_
+#define HEXASTORE_QUERY_RESULT_JSON_H_
+
+#include <string>
+#include <string_view>
+
+#include "dict/dictionary.h"
+#include "query/binding.h"
+
+namespace hexastore {
+
+/// Appends `text` JSON-escaped (no surrounding quotes) to `out`.
+void AppendJsonEscaped(std::string_view text, std::string* out);
+
+/// Renders one SPARQL results document for `set`, decoding term cells
+/// against `dict`. Deterministic: vars in table order, rows in result
+/// order, keys in spec order (type, value, then xml:lang/datatype).
+std::string ResultSetToJson(const ResultSet& set, const Dictionary& dict);
+
+/// Renders the boolean-results form {"head":{},"boolean":b} (ASK; the
+/// server's /healthz also reuses it).
+std::string BooleanResultToJson(bool value);
+
+}  // namespace hexastore
+
+#endif  // HEXASTORE_QUERY_RESULT_JSON_H_

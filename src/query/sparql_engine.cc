@@ -1,344 +1,20 @@
 #include "query/sparql_engine.h"
 
-#include <algorithm>
-#include <map>
-#include <set>
-
 #include "query/bgp.h"
-#include "query/operators.h"
+#include "query/session.h"
 
 namespace hexastore {
-
-namespace {
-
-// Resolves a filter operand to a term spelling under a row. Returns false
-// when the operand references an unbound/unknown variable (filter then
-// rejects the row, matching SPARQL's error-as-false semantics).
-bool ResolveOperand(const FilterOperand& operand, const ResultSet& result,
-                    const Row& row, const Dictionary& dict,
-                    std::string* out) {
-  if (!operand.is_var) {
-    *out = operand.term.ToNTriples();
-    return true;
-  }
-  VarId col = result.vars.Lookup(operand.var);
-  if (col == kNoVar) {
-    return false;
-  }
-  Id id = row[static_cast<std::size_t>(col)];
-  auto term = dict.TryTerm(id);
-  if (!term.has_value()) {
-    return false;
-  }
-  *out = term->ToNTriples();
-  return true;
-}
-
-bool ApplyOp(FilterOp op, const std::string& lhs, const std::string& rhs) {
-  switch (op) {
-    case FilterOp::kEq:
-      return lhs == rhs;
-    case FilterOp::kNe:
-      return lhs != rhs;
-    case FilterOp::kLt:
-      return lhs < rhs;
-    case FilterOp::kLe:
-      return lhs <= rhs;
-    case FilterOp::kGt:
-      return lhs > rhs;
-    case FilterOp::kGe:
-      return lhs >= rhs;
-  }
-  return false;
-}
-
-// Sorts rows by the named columns; numeric columns compare as integers,
-// term columns by their N-Triples spelling.
-Status SortByColumns(ResultSet* result, const Dictionary& dict,
-                     const std::vector<std::string>& names) {
-  std::vector<VarId> cols;
-  for (const auto& name : names) {
-    VarId col = result->vars.Lookup(name);
-    if (col == kNoVar) {
-      return Status::InvalidArgument("ORDER BY unknown variable ?" + name);
-    }
-    cols.push_back(col);
-  }
-  std::stable_sort(
-      result->rows.begin(), result->rows.end(),
-      [&](const Row& a, const Row& b) {
-        for (VarId c : cols) {
-          auto i = static_cast<std::size_t>(c);
-          if (result->IsNumeric(c)) {
-            if (a[i] != b[i]) {
-              return a[i] < b[i];
-            }
-            continue;
-          }
-          auto ta = dict.TryTerm(a[i]);
-          auto tb = dict.TryTerm(b[i]);
-          std::string sa = ta.has_value() ? ta->ToNTriples() : "";
-          std::string sb = tb.has_value() ? tb->ToNTriples() : "";
-          if (sa != sb) {
-            return sa < sb;
-          }
-        }
-        return false;
-      });
-  return Status::OK();
-}
-
-// Evaluates GROUP BY + COUNT aggregates over the solution rows. Output
-// columns are the plain select vars followed by the aggregate aliases.
-Result<ResultSet> Aggregate(const ResultSet& in, const ParsedQuery& query) {
-  // Validate: plain select vars must be grouped.
-  for (const auto& v : query.select_vars) {
-    if (std::find(query.group_by.begin(), query.group_by.end(), v) ==
-        query.group_by.end()) {
-      return Status::InvalidArgument(
-          "SELECT variable ?" + v + " must appear in GROUP BY");
-    }
-  }
-  std::vector<VarId> group_cols;
-  for (const auto& v : query.group_by) {
-    VarId col = in.vars.Lookup(v);
-    if (col == kNoVar) {
-      return Status::InvalidArgument("GROUP BY unknown variable ?" + v);
-    }
-    group_cols.push_back(col);
-  }
-  struct GroupState {
-    Row key;
-    std::vector<std::uint64_t> plain_counts;
-    std::vector<std::set<Id>> distinct_values;
-  };
-  std::map<Row, GroupState> groups;
-
-  std::vector<VarId> agg_cols;
-  for (const auto& agg : query.aggregates) {
-    if (agg.var.empty()) {
-      agg_cols.push_back(kNoVar);  // COUNT(*)
-      continue;
-    }
-    VarId col = in.vars.Lookup(agg.var);
-    if (col == kNoVar) {
-      return Status::InvalidArgument("COUNT of unknown variable ?" +
-                                     agg.var);
-    }
-    agg_cols.push_back(col);
-  }
-
-  for (const Row& row : in.rows) {
-    Row key;
-    key.reserve(group_cols.size());
-    for (VarId c : group_cols) {
-      key.push_back(row[static_cast<std::size_t>(c)]);
-    }
-    GroupState& state = groups[key];
-    if (state.plain_counts.empty()) {
-      state.key = key;
-      state.plain_counts.assign(query.aggregates.size(), 0);
-      state.distinct_values.assign(query.aggregates.size(), {});
-    }
-    for (std::size_t a = 0; a < query.aggregates.size(); ++a) {
-      const SelectAggregate& agg = query.aggregates[a];
-      const Id value = (agg_cols[a] == kNoVar)
-                           ? kInvalidId
-                           : row[static_cast<std::size_t>(agg_cols[a])];
-      if (agg.distinct && agg_cols[a] != kNoVar) {
-        state.distinct_values[a].insert(value);
-      } else {
-        ++state.plain_counts[a];
-      }
-    }
-  }
-  // SPARQL semantics: with no GROUP BY, aggregation over zero rows still
-  // yields one all-zero group.
-  if (groups.empty() && query.group_by.empty()) {
-    GroupState empty;
-    empty.plain_counts.assign(query.aggregates.size(), 0);
-    empty.distinct_values.assign(query.aggregates.size(), {});
-    groups[{}] = std::move(empty);
-  }
-
-  ResultSet out;
-  // Output vars: plain select vars, then aliases.
-  std::vector<VarId> select_cols;
-  for (const auto& v : query.select_vars) {
-    select_cols.push_back(in.vars.Lookup(v));
-    out.vars.Intern(v);
-    out.numeric.push_back(false);
-  }
-  for (const auto& agg : query.aggregates) {
-    out.vars.Intern(agg.alias);
-    out.numeric.push_back(true);
-  }
-  // Map each select var to its position in the group key.
-  std::vector<std::size_t> select_key_pos;
-  for (const auto& v : query.select_vars) {
-    auto it = std::find(query.group_by.begin(), query.group_by.end(), v);
-    select_key_pos.push_back(
-        static_cast<std::size_t>(it - query.group_by.begin()));
-  }
-  for (const auto& [key, state] : groups) {
-    Row row;
-    row.reserve(select_cols.size() + query.aggregates.size());
-    for (std::size_t i = 0; i < query.select_vars.size(); ++i) {
-      row.push_back(key[select_key_pos[i]]);
-    }
-    for (std::size_t a = 0; a < query.aggregates.size(); ++a) {
-      const SelectAggregate& agg = query.aggregates[a];
-      if (agg.distinct && agg_cols[a] != kNoVar) {
-        row.push_back(state.distinct_values[a].size());
-      } else {
-        row.push_back(state.plain_counts[a]);
-      }
-    }
-    out.rows.push_back(std::move(row));
-  }
-  return out;
-}
-
-}  // namespace
 
 Result<ResultSet> ExecuteSparql(const TripleStore& store,
                                 const Dictionary& dict,
                                 const ParsedQuery& query,
                                 QueryProfile* profile) {
-  // Records one solution-modifier stage; modifier time counts toward the
-  // eval phase (everything after parse+plan).
-  auto record_op = [&](const char* name, std::uint64_t rows_in,
-                       std::uint64_t rows_out, std::uint64_t start_ns) {
-    if (profile == nullptr) return;
-    OperatorProfile op;
-    op.name = name;
-    op.rows_in = rows_in;
-    op.rows_out = rows_out;
-    op.wall_ns = obs::NowNanos() - start_ns;
-    profile->eval_ns += op.wall_ns;
-    profile->operators.push_back(op);
-  };
-  auto op_start = [&]() -> std::uint64_t {
-    return profile != nullptr ? obs::NowNanos() : 0;
-  };
-  auto finish = [&](const ResultSet& r) {
-    if (profile == nullptr) return;
-    profile->rows_out = r.rows.size();
-    profile->total_ns =
-        profile->parse_ns + profile->plan_ns + profile->eval_ns;
-  };
-
-  ResultSet result = EvalBgp(store, dict, query.patterns, profile);
-
-  // Filters.
-  if (!query.filters.empty()) {
-    const std::uint64_t t = op_start();
-    const std::uint64_t in_rows = result.rows.size();
-    std::vector<Row> kept;
-    kept.reserve(result.rows.size());
-    for (const Row& row : result.rows) {
-      bool pass = true;
-      for (const FilterExpr& f : query.filters) {
-        std::string lhs;
-        std::string rhs;
-        if (!ResolveOperand(f.lhs, result, row, dict, &lhs) ||
-            !ResolveOperand(f.rhs, result, row, dict, &rhs) ||
-            !ApplyOp(f.op, lhs, rhs)) {
-          pass = false;
-          break;
-        }
-      }
-      if (pass) {
-        kept.push_back(row);
-      }
-    }
-    result.rows = std::move(kept);
-    record_op("filter", in_rows, result.rows.size(), t);
-  }
-
-  // Aggregation replaces projection when present.
-  if (!query.aggregates.empty() || !query.group_by.empty()) {
-    const std::uint64_t t_agg = op_start();
-    const std::uint64_t in_rows = result.rows.size();
-    auto aggregated = Aggregate(result, query);
-    if (!aggregated.ok()) {
-      return aggregated.status();
-    }
-    result = std::move(aggregated).value();
-    record_op("aggregate", in_rows, result.rows.size(), t_agg);
-    if (!query.order_by.empty()) {
-      const std::uint64_t t = op_start();
-      Status s = SortByColumns(&result, dict, query.order_by);
-      if (!s.ok()) {
-        return s;
-      }
-      record_op("order_by", result.rows.size(), result.rows.size(), t);
-    }
-    if (query.limit.has_value()) {
-      const std::uint64_t t = op_start();
-      const std::uint64_t pre = result.rows.size();
-      result = Limit(std::move(result), *query.limit);
-      record_op("limit", pre, result.rows.size(), t);
-    }
-    finish(result);
-    return result;
-  }
-
-  // ORDER BY (before projection so sort keys need not be projected).
-  if (!query.order_by.empty()) {
-    const std::uint64_t t = op_start();
-    Status s = SortByColumns(&result, dict, query.order_by);
-    if (!s.ok()) {
-      return s;
-    }
-    record_op("order_by", result.rows.size(), result.rows.size(), t);
-  }
-
-  // Projection.
-  if (!query.select_vars.empty()) {
-    const std::uint64_t t = op_start();
-    std::vector<VarId> cols;
-    for (const auto& name : query.select_vars) {
-      VarId col = result.vars.Lookup(name);
-      if (col == kNoVar) {
-        return Status::InvalidArgument("SELECT unknown variable ?" + name);
-      }
-      cols.push_back(col);
-    }
-    result = Project(result, cols);
-    record_op("project", result.rows.size(), result.rows.size(), t);
-  }
-
-  if (query.distinct) {
-    const std::uint64_t t = op_start();
-    const std::uint64_t pre = result.rows.size();
-    bool had_order = !query.order_by.empty();
-    result = Distinct(std::move(result));
-    // Distinct sorts by id; if the user asked for an order, re-sort on
-    // the (now projected) columns that survived.
-    if (had_order) {
-      std::vector<std::string> survivors;
-      for (const auto& name : query.order_by) {
-        if (result.vars.Lookup(name) != kNoVar) {
-          survivors.push_back(name);
-        }
-      }
-      Status s = SortByColumns(&result, dict, survivors);
-      if (!s.ok()) {
-        return s;
-      }
-    }
-    record_op("distinct", pre, result.rows.size(), t);
-  }
-
-  if (query.limit.has_value()) {
-    const std::uint64_t t = op_start();
-    const std::uint64_t pre = result.rows.size();
-    result = Limit(std::move(result), *query.limit);
-    record_op("limit", pre, result.rows.size(), t);
-  }
-  finish(result);
-  return result;
+  // Thin shim over the Session pipeline: no plan cache, no deadline, no
+  // pinning — exactly the pre-Session behavior (and byte-identical
+  // execution with profile == nullptr).
+  return query::internal::ExecuteSparqlPipeline(
+      store, dict, query, profile, /*cache=*/nullptr, PlanCacheStamp{},
+      /*from_cache=*/nullptr);
 }
 
 Result<ResultSet> RunSparql(const TripleStore& store, const Dictionary& dict,
@@ -380,7 +56,7 @@ Result<std::string> ExplainSparql(const TripleStore& store,
     AttachPlan(bgp, dict, plan, &profile);
     out = RenderExplain(profile);
   }
-  // Solution-modifier stages in the order ExecuteSparql applies them.
+  // Solution-modifier stages in the order the pipeline applies them.
   std::string stages;
   if (!query.filters.empty()) stages += " filter";
   if (!query.aggregates.empty() || !query.group_by.empty()) {

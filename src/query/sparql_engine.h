@@ -1,4 +1,12 @@
 // Execution of parsed SPARQL-subset queries over any TripleStore.
+//
+// DEPRECATED as an entry point: these free functions are thin shims over
+// the query::Session pipeline (session.h), kept for callers that want
+// one-shot, unpinned, uncached execution — and for the unprofiled fast
+// path, which Session intentionally does not offer. New code (and every
+// front end in this repo: server, CLI, REPL) should construct a Session,
+// which adds generation pinning, the normalized-BGP plan cache,
+// per-query deadlines and ProfileSink aggregation behind one object.
 #ifndef HEXASTORE_QUERY_SPARQL_ENGINE_H_
 #define HEXASTORE_QUERY_SPARQL_ENGINE_H_
 

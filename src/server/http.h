@@ -1,0 +1,75 @@
+// Minimal HTTP/1.1 plumbing for hexastore_server: a loopback-oriented
+// listener, blocking request reader, and response writer over plain
+// POSIX sockets — no TLS, no chunked encoding, no external dependency.
+// Supports exactly what the server and the bench driver need: GET/POST,
+// Content-Length bodies, keep-alive, URL-decoded query parameters.
+//
+// This is transport only; routing, admission control and the worker
+// pool live in server.{h,cc}.
+#ifndef HEXASTORE_SERVER_HTTP_H_
+#define HEXASTORE_SERVER_HTTP_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace hexastore {
+
+/// One parsed request.
+struct HttpRequest {
+  std::string method;  ///< "GET", "POST", ... (uppercase as sent)
+  std::string path;    ///< URL-decoded path, query string stripped
+  /// URL-decoded query parameters in order of appearance.
+  std::vector<std::pair<std::string, std::string>> params;
+  std::string body;
+  bool keep_alive = true;
+
+  /// First value of parameter `name`, or nullptr.
+  const std::string* Param(std::string_view name) const;
+};
+
+/// One response to serialize.
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+/// Percent-decoding with '+' as space (query-string convention).
+/// Malformed escapes pass through literally.
+std::string UrlDecode(std::string_view text);
+
+/// Splits a request target into the decoded path and decoded params.
+void ParseTarget(std::string_view target, std::string* path,
+                 std::vector<std::pair<std::string, std::string>>* params);
+
+/// Opens a listening TCP socket on host:port (port 0 = kernel-assigned)
+/// with SO_REUSEADDR. Returns the fd.
+Result<int> ListenTcp(const std::string& host, std::uint16_t port);
+
+/// The locally bound port of a listening fd (after ListenTcp with 0).
+std::uint16_t BoundPort(int listen_fd);
+
+/// Outcome of reading one request off a connection.
+enum class ReadOutcome : std::uint8_t {
+  kOk = 0,        ///< request parsed
+  kClosed = 1,    ///< orderly EOF before any request byte
+  kTooLarge = 2,  ///< exceeded max_bytes (answer 413 and close)
+  kBad = 3,       ///< malformed (answer 400 and close)
+};
+
+/// Blocking read of one request (headers + Content-Length body).
+ReadOutcome ReadHttpRequest(int fd, std::size_t max_bytes, HttpRequest* out);
+
+/// Serializes and writes a response; `keep_alive` picks the Connection
+/// header. Returns false when the peer went away mid-write.
+bool WriteHttpResponse(int fd, const HttpResponse& response,
+                       bool keep_alive);
+
+}  // namespace hexastore
+
+#endif  // HEXASTORE_SERVER_HTTP_H_

@@ -1,0 +1,136 @@
+// hexastore_server: the HTTP front end binary.
+//
+//   hexastore_server [data.nt]
+//
+// Configuration is entirely environment-driven through
+// StoreOptions::FromEnv() — see store_options.h for the full table and
+// docs/server.md for semantics. The optional positional argument bulk-
+// loads an N-Triples file before serving. With HEXA_WAL_DIR set the
+// store is durable (recovers on start, logs every mutation).
+//
+// Runs until SIGINT/SIGTERM, then drains workers and (when durable)
+// flushes the WAL tail.
+#include <csignal>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <semaphore.h>
+#include <sstream>
+
+#include "query/session.h"
+#include "rdf/ntriples.h"
+#include "server/server.h"
+#include "server/store_options.h"
+
+namespace {
+
+sem_t g_shutdown_sem;
+
+void HandleSignal(int) { sem_post(&g_shutdown_sem); }
+
+// Bulk-load an N-Triples file through the write store.
+bool LoadFile(const char* path, hexastore::TripleStore* store,
+              hexastore::Dictionary* dict) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "hexastore_server: cannot open %s\n", path);
+    return false;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  std::size_t skipped = 0;
+  auto parsed = hexastore::ParseNTriplesDocument(buffer.str(),
+                                                 /*strict=*/false,
+                                                 &skipped);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "hexastore_server: %s\n",
+                 parsed.status().ToString().c_str());
+    return false;
+  }
+  hexastore::IdTripleVec ids;
+  ids.reserve(parsed.value().size());
+  for (const hexastore::Triple& t : parsed.value()) {
+    ids.push_back(dict->Encode(t));
+  }
+  store->BulkLoad(ids);
+  std::fprintf(stderr, "hexastore_server: loaded %zu triples from %s",
+               ids.size(), path);
+  if (skipped > 0) {
+    std::fprintf(stderr, " (%zu bad lines skipped)", skipped);
+  }
+  std::fprintf(stderr, "\n");
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string notes;
+  hexastore::StoreOptions options = hexastore::StoreOptions::FromEnv(&notes);
+  if (!notes.empty()) {
+    std::fprintf(stderr, "hexastore_server: config repairs:\n%s\n",
+                 notes.c_str());
+  }
+
+  hexastore::Dictionary dict;
+  std::unique_ptr<hexastore::DeltaHexastore> plain;
+  std::unique_ptr<hexastore::DurableDeltaHexastore> durable;
+  if (options.durable) {
+    auto opened = hexastore::DurableDeltaHexastore::Open(options.durability);
+    if (!opened.ok()) {
+      std::fprintf(stderr, "hexastore_server: %s\n",
+                   opened.status().ToString().c_str());
+      return 1;
+    }
+    durable = std::move(opened).value();
+    std::fprintf(stderr, "hexastore_server: durable store in %s\n",
+                 options.durability.dir.c_str());
+  } else {
+    plain = std::make_unique<hexastore::DeltaHexastore>(options.delta);
+  }
+  hexastore::TripleStore* write_store =
+      durable != nullptr ? static_cast<hexastore::TripleStore*>(durable.get())
+                         : plain.get();
+  if (argc > 1 && !LoadFile(argv[1], write_store, &dict)) {
+    return 1;
+  }
+
+  std::unique_ptr<hexastore::Server> server;
+  if (durable != nullptr) {
+    server = std::make_unique<hexastore::Server>(*durable, dict,
+                                                 options.server);
+  } else {
+    server = std::make_unique<hexastore::Server>(*plain, dict,
+                                                 options.server);
+  }
+  hexastore::Status started = server->Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "hexastore_server: %s\n",
+                 started.ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr,
+               "hexastore_server: listening on http://%s:%u/ "
+               "(%zu workers, queue %zu, deadline %llu ms)\n",
+               options.server.host.c_str(), server->port(),
+               options.server.threads, options.server.queue_depth,
+               static_cast<unsigned long long>(
+                   options.server.query_deadline_ms));
+
+  sem_init(&g_shutdown_sem, 0, 0);
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  while (sem_wait(&g_shutdown_sem) != 0) {
+  }
+  std::fprintf(stderr, "hexastore_server: shutting down\n");
+  server->Stop();
+  if (durable != nullptr) {
+    hexastore::Status flushed = durable->Flush();
+    if (!flushed.ok()) {
+      std::fprintf(stderr, "hexastore_server: flush: %s\n",
+                   flushed.ToString().c_str());
+      return 1;
+    }
+  }
+  return 0;
+}

@@ -19,6 +19,7 @@ enum class StatusCode {
   kParseError,
   kOutOfRange,
   kInternal,
+  kDeadlineExceeded,
 };
 
 /// Outcome of an operation that can fail without producing a value.
@@ -59,6 +60,11 @@ class Status {
   /// Returns an Internal error.
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  /// Returns a DeadlineExceeded error (a per-query time budget ran out;
+  /// see query::Session and docs/server.md for the check granularity).
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   /// True iff the operation succeeded.

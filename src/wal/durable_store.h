@@ -181,6 +181,11 @@ class DurableDeltaHexastore : public TripleStore {
     return store_.AcquireReadHandle();
   }
 
+  /// The wrapped in-memory store. Read-only: mutating through it would
+  /// bypass the WAL (hence const). query::Session binds to this when the
+  /// server runs durable.
+  const DeltaHexastore& delta() const { return store_; }
+
   const RecoveryInfo& recovery_info() const { return recovery_; }
   DeltaStats delta_stats() const { return store_.Stats(); }
   EpochStats epoch_stats() const { return store_.EpochCounters(); }

@@ -26,6 +26,7 @@
 #include <cstddef>
 #include <deque>
 #include <filesystem>
+#include <mutex>
 #include <set>
 #include <string>
 #include <thread>
@@ -34,6 +35,9 @@
 #include "delta/delta_hexastore.h"
 #include "query/bgp.h"
 #include "query/merge_join.h"
+#include "query/plan_cache.h"
+#include "query/result_json.h"
+#include "query/session.h"
 #include "util/rng.h"
 #include "wal/durable_store.h"
 
@@ -355,6 +359,27 @@ TEST(EpochStressTest, FilteredBackgroundChurnUnderBudgetStaysExact) {
     stop.store(true, std::memory_order_release);
     reader.join();
 
+    // Whether any seal got its filter armed above is a race: over
+    // budget, ConfigureRunLocked drops filters, and with an 8 KiB
+    // budget the store is over it almost the entire run — on a loaded
+    // machine every seal can land in a dropped-filter window and the
+    // counters stay zero. Finish deterministically: Clear() takes the
+    // store under budget (the meters and filter counters survive), one
+    // staged batch past the threshold seals a run that must arm its
+    // filter, and absent-key probes against the pinned generation hit
+    // the skip path.
+    for (Id attempt = 0; store.Stats().filter_probes == 0 && attempt < 8;
+         ++attempt) {
+      store.Clear();
+      for (Id k = 0; k <= options.compact_threshold; ++k) {
+        store.Insert(IdTriple{500 + attempt, 500 + k, 500});
+      }
+      DeltaHexastore::Snapshot snap = store.AcquireReadHandle();
+      for (Id k = 0; k < 16; ++k) {
+        EXPECT_FALSE(snap.Contains(IdTriple{3000 + k, 3000, 3000}));
+      }
+    }
+
     const DeltaStats stats = store.Stats();
     EXPECT_TRUE(stats.background);
     EXPECT_GT(stats.seals, 0u);
@@ -675,6 +700,106 @@ TEST(EpochStressTest, ProfiledQueriesUnderBackgroundChurn) {
   EXPECT_GT(store.CompactionCount(), 0u);
   EXPECT_GT(sink.histogram(QueryKind::kBgp)->Snapshot().count, 0u);
   EXPECT_GT(sink.slow_queries().TotalRecorded(), 0u);
+}
+
+// The plan-cache churn oracle: concurrent wait-free Sessions sharing
+// one PlanCache answer templated queries while a writer churns the hot
+// predicate through background compactions and publications. Responses
+// over the untouched predicate must stay byte-identical whether the
+// join order came from the cache or a fresh plan; hot-predicate row
+// counts are non-decreasing per session (sequential queries, monotone
+// publications); and the growing hot cardinality must eventually drift
+// past the q-error threshold and invalidate (the cache never serves a
+// stale plan silently — it revalidates estimates per drifted stamp).
+TEST(EpochStressTest, PlanCacheServesConcurrentSessionsUnderChurn) {
+  DeltaHexastore store(DeltaOptions{/*compact_threshold=*/64,
+                                    /*background_compaction=*/true});
+  Dictionary dict;
+  // Intern every term up front: Dictionary is not thread-safe, and the
+  // readers render results against it while the writer runs.
+  std::vector<IdTriple> hot_triples;
+  for (int i = 0; i < 2000; ++i) {
+    hot_triples.push_back(dict.Encode(
+        {Term::Iri("http://x/h" + std::to_string(i)),
+         Term::Iri("http://x/hot"), Term::Iri("http://x/o")}));
+  }
+  for (int i = 0; i < 32; ++i) {
+    store.Insert(dict.Encode(
+        {Term::Iri("http://x/s" + std::to_string(i)),
+         Term::Iri("http://x/stable"),
+         Term::Iri("http://x/t" + std::to_string(i % 4))}));
+  }
+  store.Insert(hot_triples[0]);
+  store.GetSnapshot();  // publish the seed
+
+  PlanCache cache;
+  std::atomic<bool> done{false};
+  std::atomic<int> failures{0};
+  std::mutex golden_mu;
+  std::string golden_stable;
+
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 3; ++r) {
+    readers.emplace_back([&, r] {
+      query::SessionOptions options;
+      options.pin = query::PinPolicy::kWaitFree;
+      options.plan_cache = &cache;
+      query::Session session(store, dict, options);
+      std::size_t last_hot_rows = 0;
+      std::uint64_t i = 0;
+      while (!done.load(std::memory_order_acquire)) {
+        if ((i++ + r) % 2 == 0) {
+          auto result = session.Query(
+              "SELECT ?s ?t WHERE { ?s <http://x/stable> ?t } ORDER BY ?s");
+          if (!result.ok()) {
+            failures.fetch_add(1);
+            continue;
+          }
+          const std::string json =
+              ResultSetToJson(result.value().set, dict);
+          std::lock_guard<std::mutex> lock(golden_mu);
+          if (golden_stable.empty()) {
+            golden_stable = json;
+          } else if (golden_stable != json) {
+            failures.fetch_add(1);
+          }
+        } else {
+          auto result = session.Query(
+              "SELECT ?s WHERE { ?s <http://x/hot> ?o }");
+          if (!result.ok()) {
+            failures.fetch_add(1);
+            continue;
+          }
+          const std::size_t rows = result.value().set.rows.size();
+          if (rows < last_hot_rows) {
+            failures.fetch_add(1);  // a pinned read went backwards
+          }
+          last_hot_rows = rows;
+        }
+      }
+    });
+  }
+
+  // Writer: grow the hot predicate (pre-encoded ids only — no dict
+  // mutation) and publish every batch so wait-free readers advance.
+  for (std::size_t i = 1; i < hot_triples.size(); ++i) {
+    store.Insert(hot_triples[i]);
+    if (i % 16 == 0) {
+      store.GetSnapshot();
+      std::this_thread::yield();
+    }
+  }
+  store.GetSnapshot();
+  done.store(true, std::memory_order_release);
+  for (auto& th : readers) {
+    th.join();
+  }
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_GT(cache.hits(), 0u);
+  // 1 -> 2000 hot triples sweeps through the q-error threshold many
+  // times over; the cache must have replanned at least once.
+  EXPECT_GT(cache.invalidations(), 0u);
+  EXPECT_EQ(cache.size(), 2u);
 }
 
 // Readers hold handles across WAL checkpoints running on the
