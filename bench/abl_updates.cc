@@ -43,11 +43,13 @@
 #include <cstdlib>
 #include <filesystem>
 #include <memory>
+#include <thread>
 #include <vector>
 
 #include "data/lubm_generator.h"
 #include "delta/delta_hexastore.h"
 #include "obs/histogram.h"
+#include "shard/sharded_hexastore.h"
 #include "wal/durable_store.h"
 
 namespace hexastore::bench {
@@ -447,6 +449,52 @@ void RegisterBudgetWrite(std::size_t n, std::size_t budget_bytes) {
       ->MinTime(0.02);
 }
 
+// Multi-writer insert scaling through the sharded facade: W writer
+// threads split the prefix round-robin and hammer one ShardedHexastore.
+// At shards:1 every writer serializes on the single shard's mutex; at
+// shards:{4,8} subject-hash routing spreads the writers across
+// independent shards and throughput should scale with the writer count
+// (the headline: writers:4/shards:4 well above 2x writers:4/shards:1).
+void RegisterShardedMultiWriter(std::size_t n, int writers,
+                                std::size_t shards) {
+  const std::string label = "ShardedHexastore/writers:" +
+                            std::to_string(writers) +
+                            "/shards:" + std::to_string(shards);
+  benchmark::RegisterBenchmark(
+      ("abl_updates/multi_writer_insert/" + label + "/triples:" +
+       std::to_string(n))
+          .c_str(),
+      [n, writers, shards](benchmark::State& state) {
+        IdTripleVec data = EncodedPrefix(n);
+        ShardedOptions options;
+        options.shards = shards;
+        options.delta.compact_threshold = 64 * 1024;
+        for (auto _ : state) {
+          ShardedHexastore store(options);
+          std::vector<std::thread> threads;
+          threads.reserve(static_cast<std::size_t>(writers));
+          for (int w = 0; w < writers; ++w) {
+            threads.emplace_back([&store, &data, writers, w] {
+              for (std::size_t i = static_cast<std::size_t>(w);
+                   i < data.size();
+                   i += static_cast<std::size_t>(writers)) {
+                store.Insert(data[i]);
+              }
+            });
+          }
+          for (auto& th : threads) {
+            th.join();
+          }
+          benchmark::DoNotOptimize(store.size());
+        }
+        state.SetItemsProcessed(
+            static_cast<std::int64_t>(state.iterations() * n));
+      })
+      ->Unit(benchmark::kMillisecond)
+      ->UseRealTime()
+      ->MinTime(0.02);
+}
+
 int Main(int argc, char** argv) {
   for (std::size_t n : {std::size_t{10000}, std::size_t{50000}}) {
     RegisterInsertErase<Hexastore>("Hexastore", n);
@@ -501,6 +549,14 @@ int Main(int argc, char** argv) {
     RegisterFilteredRead(10000, limit, /*filters_on=*/false);
   }
   RegisterBudgetWrite(10000, /*budget_bytes=*/64u << 10);
+  // Multi-writer scaling: writers {1,2,4} x shards {1,4,8} over the
+  // sharded facade (writers:1/shards:1 is the single-store baseline).
+  for (int writers : {1, 2, 4}) {
+    for (std::size_t shards :
+         {std::size_t{1}, std::size_t{4}, std::size_t{8}}) {
+      RegisterShardedMultiWriter(50000, writers, shards);
+    }
+  }
   // Durability tax: only the smaller size (per-commit mode pays one
   // fsync per op; keep wall-clock bounded).
   for (DurabilityMode mode :

@@ -60,9 +60,24 @@ struct PlanCacheOptions {
 /// Freshness stamps of the store a plan was made against. Equal stamps
 /// mean no mutation or merge happened in between, so cached estimates
 /// are exact and validation probes can be skipped entirely.
+///
+/// The stamp is a vector so one type covers every store shape: a single
+/// DeltaHexastore contributes one (epoch, staged_ops) pair, a
+/// ShardedHexastore concatenates the pairs of all its shards in shard
+/// order (ShardedSnapshot::StampVector) — any shard mutating or merging
+/// changes its slice and flips the comparison, exactly like the
+/// single-store case. The cache itself only copies and compares stamps,
+/// so the width never matters to it.
 struct PlanCacheStamp {
-  std::uint64_t epoch = 0;       ///< publication epoch (merges, Clear)
-  std::uint64_t staged_ops = 0;  ///< ops staged on top of that epoch
+  PlanCacheStamp() = default;
+  /// Single-store stamp: publication epoch + ops staged on top of it.
+  PlanCacheStamp(std::uint64_t epoch, std::uint64_t staged_ops)
+      : parts{epoch, staged_ops} {}
+  /// Multi-shard stamp (per-shard pairs, concatenated in shard order).
+  explicit PlanCacheStamp(std::vector<std::uint64_t> stamp_parts)
+      : parts(std::move(stamp_parts)) {}
+
+  std::vector<std::uint64_t> parts;
 
   friend bool operator==(const PlanCacheStamp&,
                          const PlanCacheStamp&) = default;

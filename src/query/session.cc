@@ -431,6 +431,14 @@ Session::Session(const DeltaHexastore& store, const Dictionary& dict,
                  SessionOptions options)
     : plain_(store), delta_(&store), dict_(dict), options_(options) {}
 
+Session::Session(const ShardedHexastore& store, const Dictionary& dict,
+                 SessionOptions options)
+    : plain_(store),
+      delta_(nullptr),
+      sharded_(&store),
+      dict_(dict),
+      options_(options) {}
+
 Session::Session(const TripleStore& store, const Dictionary& dict,
                  SessionOptions options)
     : plain_(store), delta_(nullptr), dict_(dict), options_(options) {
@@ -443,9 +451,23 @@ Result<ResultSet> Session::Run(const ParsedQuery& query,
     profile_.deadline_ns = obs::NowNanos() + options_.deadline_ns;
   }
   Result<ResultSet> result = Status::Internal("session: not executed");
-  const bool pinned =
-      delta_ != nullptr && options_.pin != PinPolicy::kNone;
-  if (pinned) {
+  const bool pinned = (delta_ != nullptr || sharded_ != nullptr) &&
+                      options_.pin != PinPolicy::kNone;
+  if (pinned && sharded_ != nullptr) {
+    const std::uint64_t pin_start = obs::NowNanos();
+    {
+      const ShardedSnapshot snap =
+          options_.pin == PinPolicy::kLinearizable
+              ? sharded_->GetSnapshot()
+              : sharded_->AcquireReadHandle();
+      const PlanCacheStamp stamp(snap.StampVector());
+      result = internal::ExecuteSparqlPipeline(
+          snap, dict_, query, &profile_, options_.plan_cache, stamp,
+          from_cache);
+    }
+    profile_.pin_ns = obs::NowNanos() - pin_start;
+    profile_.total_ns = profile_.parse_ns + profile_.pin_ns;
+  } else if (pinned) {
     const std::uint64_t pin_start = obs::NowNanos();
     {
       const DeltaHexastore::Snapshot snap =
@@ -527,6 +549,13 @@ Result<std::string> Session::Explain(std::string_view text) {
   // Plan against the same view a query would evaluate (pin policy
   // honored), but never through the plan cache: EXPLAIN output must be
   // deterministic for a given store state.
+  if (sharded_ != nullptr && options_.pin != PinPolicy::kNone) {
+    const ShardedSnapshot snap =
+        options_.pin == PinPolicy::kLinearizable
+            ? sharded_->GetSnapshot()
+            : sharded_->AcquireReadHandle();
+    return ExplainSparql(snap, dict_, text);
+  }
   if (delta_ != nullptr && options_.pin != PinPolicy::kNone) {
     const DeltaHexastore::Snapshot snap =
         options_.pin == PinPolicy::kLinearizable

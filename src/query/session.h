@@ -38,6 +38,7 @@
 
 #include "delta/delta_hexastore.h"
 #include "dict/dictionary.h"
+#include "shard/sharded_hexastore.h"
 #include "query/binding.h"
 #include "query/pattern.h"
 #include "query/plan_cache.h"
@@ -84,6 +85,12 @@ class Session {
   Session(const DeltaHexastore& store, const Dictionary& dict,
           SessionOptions options = {});
 
+  /// Session over a ShardedHexastore; all pin policies available. Each
+  /// query pins one generation per shard (a ShardedSnapshot) and the
+  /// plan-cache stamp is the concatenated per-shard stamp vector.
+  Session(const ShardedHexastore& store, const Dictionary& dict,
+          SessionOptions options = {});
+
   /// Session over any TripleStore. No generation gate exists, so the
   /// pin policy is forced to kNone regardless of `options.pin`.
   Session(const TripleStore& store, const Dictionary& dict,
@@ -122,7 +129,8 @@ class Session {
                         bool* from_cache);
 
   const TripleStore& plain_;          // evaluation target under kNone
-  const DeltaHexastore* delta_;       // non-null ⇔ pinning available
+  const DeltaHexastore* delta_;       // non-null ⇔ single-store pinning
+  const ShardedHexastore* sharded_ = nullptr;  // non-null ⇔ sharded pinning
   const Dictionary& dict_;
   SessionOptions options_;
   QueryProfile profile_;              // reused across queries

@@ -8,6 +8,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <optional>
 #include <utility>
 
 #include "query/result_json.h"
@@ -42,7 +43,22 @@ Server::Server(DeltaHexastore& store, Dictionary& dict,
       plan_cache_(PlanCacheOptions{options.plan_cache_capacity,
                                    options.plan_cache_q_error}) {
   options_.Normalize();
-  obs::MetricsRegistry& registry = delta_->metrics_registry();
+  RegisterInstruments(delta_->metrics_registry());
+}
+
+Server::Server(ShardedHexastore& store, Dictionary& dict,
+               const ServerOptions& options)
+    : sharded_(&store),
+      write_store_(&store),
+      dict_(&dict),
+      options_(options),
+      plan_cache_(PlanCacheOptions{options.plan_cache_capacity,
+                                   options.plan_cache_q_error}) {
+  options_.Normalize();
+  RegisterInstruments(sharded_->metrics_registry());
+}
+
+void Server::RegisterInstruments(obs::MetricsRegistry& registry) {
   sink_.RegisterWith(&registry);
   plan_cache_.RegisterWith(&registry);
   registry.RegisterCounter("hexa_server_requests",
@@ -94,7 +110,7 @@ Status Server::Start() {
   // Publish the current generation so wait-free read handles see
   // everything loaded before Start() (AcquireReadHandle only sees
   // published state; see the freshness note on the write handlers).
-  delta_->GetSnapshot();
+  PublishGeneration();
   stop_.store(false, std::memory_order_relaxed);
   started_ = true;
   poller_ = std::thread([this] { PollerLoop(); });
@@ -138,6 +154,14 @@ void Server::Stop() {
   ::close(wake_pipe_[1]);
   wake_pipe_[0] = wake_pipe_[1] = -1;
   started_ = false;
+}
+
+void Server::PublishGeneration() {
+  if (sharded_ != nullptr) {
+    sharded_->GetSnapshot();
+  } else {
+    delta_->GetSnapshot();
+  }
 }
 
 void Server::WakePoller() {
@@ -236,7 +260,13 @@ void Server::WorkerLoop() {
   sopts.sink = &sink_;
   sopts.plan_cache = &plan_cache_;
   sopts.deadline_ns = options_.query_deadline_ms * 1000000ull;
-  query::Session session(*delta_, *dict_, sopts);
+  std::optional<query::Session> session_slot;
+  if (sharded_ != nullptr) {
+    session_slot.emplace(*sharded_, *dict_, sopts);
+  } else {
+    session_slot.emplace(*delta_, *dict_, sopts);
+  }
+  query::Session& session = *session_slot;
   while (true) {
     int fd = -1;
     {
@@ -287,18 +317,26 @@ HttpResponse Server::Handle(const HttpRequest& request,
   if (request.path == "/metrics") {
     HttpResponse resp;
     resp.content_type = "text/plain; version=0.0.4; charset=utf-8";
-    resp.body = delta_->MetricsText();
+    resp.body =
+        sharded_ != nullptr ? sharded_->MetricsText() : delta_->MetricsText();
     return resp;
   }
   if (request.path == "/metrics.json") {
     HttpResponse resp;
     resp.content_type = "application/json";
-    resp.body = delta_->MetricsJson();
+    resp.body =
+        sharded_ != nullptr ? sharded_->MetricsJson() : delta_->MetricsJson();
     return resp;
   }
   if (request.path == "/healthz") {
     if (durable_ != nullptr) {
       const Status wal = durable_->status();
+      if (!wal.ok()) {
+        return TextResponse(500, wal.ToString() + "\n");
+      }
+    }
+    if (sharded_ != nullptr) {
+      const Status wal = sharded_->status();
       if (!wal.ok()) {
         return TextResponse(500, wal.ToString() + "\n");
       }
@@ -405,7 +443,7 @@ HttpResponse Server::HandleInsert(const HttpRequest& request) {
     // published generations, so the writer pays the (cheap, dirty-
     // gated) publication and keeps reader staleness bounded by one
     // in-flight batch instead of one compaction threshold.
-    delta_->GetSnapshot();
+    PublishGeneration();
   }
   HttpResponse resp;
   resp.content_type = "application/json";
@@ -435,7 +473,7 @@ HttpResponse Server::HandleErase(const HttpRequest& request) {
   }
   erases_total_.Add(erased);
   if (erased > 0) {
-    delta_->GetSnapshot();  // publish (see HandleInsert)
+    PublishGeneration();  // publish (see HandleInsert)
   }
   HttpResponse resp;
   resp.content_type = "application/json";

@@ -55,6 +55,7 @@
 #include "query/session.h"
 #include "server/http.h"
 #include "server/store_options.h"
+#include "shard/sharded_hexastore.h"
 #include "wal/durable_store.h"
 
 namespace hexastore {
@@ -74,6 +75,11 @@ class Server {
   /// Durable backend: mutations go through the WAL wrapper, reads pin
   /// generations of the wrapped store.
   Server(DurableDeltaHexastore& store, Dictionary& dict,
+         const ServerOptions& options);
+  /// Sharded backend (HEXA_SHARDS > 1): writes route to the owning
+  /// shard, each query pins a ShardedSnapshot, and the facade's primary
+  /// registry (shard 0's) serves /metrics with the hexa_shard_* series.
+  Server(ShardedHexastore& store, Dictionary& dict,
          const ServerOptions& options);
   ~Server();
 
@@ -111,11 +117,21 @@ class Server {
   HttpResponse HandleInsert(const HttpRequest& request);
   HttpResponse HandleErase(const HttpRequest& request);
 
-  // Backend bindings. delta_ always points at the in-memory store the
-  // read path pins; write_store_ is the mutation target (the WAL
-  // wrapper when durable); durable_ is non-null only for /healthz's
-  // sticky-error check.
-  const DeltaHexastore* delta_;
+  // Registers the hexa_server_* instruments, the sink and the plan
+  // cache with the backend's registry (shared ctor tail).
+  void RegisterInstruments(obs::MetricsRegistry& registry);
+  // Publishes the current generation(s) so wait-free read handles see
+  // everything written so far (see the freshness note on the write
+  // handlers).
+  void PublishGeneration();
+
+  // Backend bindings. Exactly one of delta_/sharded_ is non-null and is
+  // the store the read path pins (and whose registry serves /metrics);
+  // write_store_ is the mutation target (the WAL wrapper when durable,
+  // the facade when sharded); durable_ is non-null only for /healthz's
+  // sticky-error check (the sharded facade checks status() itself).
+  const DeltaHexastore* delta_ = nullptr;
+  ShardedHexastore* sharded_ = nullptr;
   TripleStore* write_store_;
   DurableDeltaHexastore* durable_ = nullptr;
   Dictionary* dict_;

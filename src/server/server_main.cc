@@ -75,7 +75,23 @@ int main(int argc, char** argv) {
   hexastore::Dictionary dict;
   std::unique_ptr<hexastore::DeltaHexastore> plain;
   std::unique_ptr<hexastore::DurableDeltaHexastore> durable;
-  if (options.durable) {
+  std::unique_ptr<hexastore::ShardedHexastore> sharded;
+  if (options.shards > 1) {
+    hexastore::ShardedOptions sopts;
+    sopts.shards = options.shards;
+    sopts.delta = options.delta;
+    sopts.durable = options.durable;
+    sopts.durability = options.durability;
+    auto opened = hexastore::ShardedHexastore::Open(sopts);
+    if (!opened.ok()) {
+      std::fprintf(stderr, "hexastore_server: %s\n",
+                   opened.status().ToString().c_str());
+      return 1;
+    }
+    sharded = std::move(opened).value();
+    std::fprintf(stderr, "hexastore_server: %zu shards%s\n", options.shards,
+                 options.durable ? " (durable)" : "");
+  } else if (options.durable) {
     auto opened = hexastore::DurableDeltaHexastore::Open(options.durability);
     if (!opened.ok()) {
       std::fprintf(stderr, "hexastore_server: %s\n",
@@ -89,14 +105,20 @@ int main(int argc, char** argv) {
     plain = std::make_unique<hexastore::DeltaHexastore>(options.delta);
   }
   hexastore::TripleStore* write_store =
-      durable != nullptr ? static_cast<hexastore::TripleStore*>(durable.get())
-                         : plain.get();
+      sharded != nullptr
+          ? static_cast<hexastore::TripleStore*>(sharded.get())
+          : durable != nullptr
+                ? static_cast<hexastore::TripleStore*>(durable.get())
+                : plain.get();
   if (argc > 1 && !LoadFile(argv[1], write_store, &dict)) {
     return 1;
   }
 
   std::unique_ptr<hexastore::Server> server;
-  if (durable != nullptr) {
+  if (sharded != nullptr) {
+    server = std::make_unique<hexastore::Server>(*sharded, dict,
+                                                 options.server);
+  } else if (durable != nullptr) {
     server = std::make_unique<hexastore::Server>(*durable, dict,
                                                  options.server);
   } else {
@@ -124,8 +146,9 @@ int main(int argc, char** argv) {
   }
   std::fprintf(stderr, "hexastore_server: shutting down\n");
   server->Stop();
-  if (durable != nullptr) {
-    hexastore::Status flushed = durable->Flush();
+  if (durable != nullptr || (sharded != nullptr && sharded->durable())) {
+    hexastore::Status flushed =
+        durable != nullptr ? durable->Flush() : sharded->Flush();
     if (!flushed.ok()) {
       std::fprintf(stderr, "hexastore_server: flush: %s\n",
                    flushed.ToString().c_str());

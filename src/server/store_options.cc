@@ -138,6 +138,10 @@ std::string StoreOptions::Normalize() {
   if (!note.empty()) {
     Note(&notes, note);
   }
+  if (shards == 0) {
+    shards = 1;
+    Note(&notes, "store: shards=0 clamped to 1");
+  }
   return notes;
 }
 
@@ -169,6 +173,9 @@ StoreOptions StoreOptions::FromEnv(std::string* notes) {
   }
   if (!EnvSize("HEXA_FILTER_BITS", &filter_bits)) {
     Note(notes, "HEXA_FILTER_BITS unparsable; keeping default");
+  }
+  if (!EnvSize("HEXA_SHARDS", &opts.shards)) {
+    Note(notes, "HEXA_SHARDS unparsable; keeping default");
   }
   opts.delta.compact_threshold = compact_threshold;
   opts.delta.background_compaction = bg_compaction;

@@ -153,6 +153,7 @@ Result<std::unique_ptr<DurableDeltaHexastore>> DurableDeltaHexastore::Open(
   wal_options.mode = options.mode;
   wal_options.segment_bytes = options.segment_bytes;
   wal_options.batch_bytes = options.batch_bytes;
+  wal_options.commit_group = options.commit_group;
   wal_options.instruments.records_appended =
       &store->wal_meters_.records_appended;
   wal_options.instruments.fsyncs = &store->wal_meters_.fsyncs;

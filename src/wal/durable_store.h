@@ -94,6 +94,11 @@ struct DurabilityOptions {
   /// rotation happens under the store lock; the snapshot itself is
   /// always serialized from a pinned generation off the lock.)
   bool background_checkpoints = false;
+  /// Cross-store group commit in kBatched mode (see
+  /// WalWriterOptions::commit_group): ShardedHexastore hands every
+  /// shard the same group so one leader fsyncs all shard WALs.
+  /// Borrowed; must outlive the store. Null = per-store batching.
+  WalCommitGroup* commit_group = nullptr;
 };
 
 /// What recovery found in the WAL directory.

@@ -20,6 +20,9 @@ Result<std::unique_ptr<WalWriter>> WalWriter::Open(
     return s;
   }
   lock.unlock();
+  if (options.commit_group != nullptr) {
+    options.commit_group->Attach(writer.get());
+  }
   return writer;
 }
 
@@ -27,6 +30,9 @@ WalWriter::~WalWriter() {
   // Best-effort flush so an orderly shutdown loses nothing even in the
   // weaker durability modes.
   Sync();
+  if (options_.commit_group != nullptr) {
+    options_.commit_group->Detach(this);
+  }
 }
 
 Status WalWriter::OpenSegmentLocked() {
@@ -114,6 +120,20 @@ Result<std::uint64_t> WalWriter::Append(WalOp op, Id s, Id p, Id o) {
 Status WalWriter::Commit(std::uint64_t sequence) {
   if (options_.mode == DurabilityMode::kNone) {
     return Status::OK();
+  }
+  if (options_.mode == DurabilityMode::kBatched &&
+      options_.commit_group != nullptr) {
+    // Group-batched: the trigger is the GROUP's unsynced total, and a
+    // crossing leader syncs every member. Never call into the group
+    // with mu_ held (lock order is group, then member).
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.commit_requests;
+      if (options_.instruments.commit_requests != nullptr) {
+        options_.instruments.commit_requests->Add();
+      }
+    }
+    return options_.commit_group->MaybeSync();
   }
   std::unique_lock<std::mutex> lock(mu_);
   ++stats_.commit_requests;
@@ -236,11 +256,64 @@ std::uint64_t WalWriter::synced_sequence() const {
   return synced_sequence_;
 }
 
+std::uint64_t WalWriter::unsynced_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return appended_bytes_ - synced_bytes_;
+}
+
 WalStats WalWriter::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   WalStats out = stats_;
   out.bytes_appended = appended_bytes_;
   return out;
+}
+
+void WalCommitGroup::Attach(WalWriter* member) {
+  std::lock_guard<std::mutex> lock(mu_);
+  members_.push_back(member);
+}
+
+void WalCommitGroup::Detach(WalWriter* member) {
+  // Holding mu_ here also waits out any group sync touching `member`
+  // (SyncAllLocked runs entirely under mu_), so the caller may destroy
+  // the writer immediately after.
+  std::lock_guard<std::mutex> lock(mu_);
+  members_.erase(std::remove(members_.begin(), members_.end(), member),
+                 members_.end());
+}
+
+Status WalCommitGroup::MaybeSync() {
+  std::unique_lock<std::mutex> lock(mu_, std::try_to_lock);
+  if (!lock.owns_lock()) {
+    // A leader is already sweeping the members; its sync covers the
+    // bytes this commit contributed (batched mode promises
+    // amortization, not durability-on-return).
+    return Status::OK();
+  }
+  std::uint64_t total = 0;
+  for (WalWriter* member : members_) {
+    total += member->unsynced_bytes();
+  }
+  if (total < batch_bytes_) {
+    return Status::OK();
+  }
+  return SyncAllLocked();
+}
+
+Status WalCommitGroup::SyncAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return SyncAllLocked();
+}
+
+Status WalCommitGroup::SyncAllLocked() {
+  Status first;
+  for (WalWriter* member : members_) {
+    if (Status s = member->Sync(); !s.ok() && first.ok()) {
+      first = s;
+    }
+  }
+  group_syncs_.Add();
+  return first;
 }
 
 }  // namespace hexastore

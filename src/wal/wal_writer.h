@@ -15,6 +15,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "core/stats.h"
 #include "obs/histogram.h"
@@ -43,6 +44,8 @@ struct WalInstruments {
   obs::TraceRing* trace = nullptr;  ///< receives kWalRotate events
 };
 
+class WalCommitGroup;
+
 /// Tuning knobs of a WalWriter.
 struct WalWriterOptions {
   std::string dir;  ///< directory holding the segment files
@@ -51,6 +54,12 @@ struct WalWriterOptions {
   std::size_t segment_bytes = 4u << 20;
   /// kBatched: fsync once this many unsynced bytes accumulate.
   std::size_t batch_bytes = 256u << 10;
+  /// Cross-writer group commit (sharded stores): in kBatched mode the
+  /// batch trigger is evaluated over the GROUP's total unsynced bytes
+  /// and a crossing committer fsyncs every member, so N shard WALs
+  /// share one amortization budget instead of N. Borrowed; must outlive
+  /// the writer. Null = per-writer batching (the default).
+  WalCommitGroup* commit_group = nullptr;
   /// Observability hooks (see WalInstruments; all optional).
   WalInstruments instruments;
 };
@@ -96,6 +105,9 @@ class WalWriter {
   std::uint64_t next_sequence() const;
   /// Sequence number of the last record known durable.
   std::uint64_t synced_sequence() const;
+  /// Bytes appended but not yet fsynced (the batched-mode trigger input;
+  /// a WalCommitGroup sums this across members).
+  std::uint64_t unsynced_bytes() const;
   WalStats stats() const;
 
  private:
@@ -129,6 +141,50 @@ class WalWriter {
   bool sync_in_progress_ = false;
   Status append_error_;  // sticky: a torn tail poisons the writer
   WalStats stats_;
+};
+
+/// Shared group-commit coordinator across several WalWriters (one per
+/// shard WAL). In kBatched mode each committer reports in via
+/// MaybeSync(): once the members' summed unsynced bytes cross
+/// `batch_bytes`, that committer becomes the leader and fsyncs EVERY
+/// member — the fsync amortization budget is shared across shards
+/// instead of multiplied by them. Members attach on open and detach on
+/// destruction; the group must outlive its members.
+///
+/// Lock ordering: group mutex, then member mutexes (via Sync). Members
+/// never call into the group while holding their own mutex.
+class WalCommitGroup {
+ public:
+  explicit WalCommitGroup(std::size_t batch_bytes = 256u << 10)
+      : batch_bytes_(batch_bytes) {}
+
+  WalCommitGroup(const WalCommitGroup&) = delete;
+  WalCommitGroup& operator=(const WalCommitGroup&) = delete;
+
+  void Attach(WalWriter* member);
+  /// Blocks while a group sync is touching `member`, so a detaching
+  /// writer can be destroyed safely afterwards.
+  void Detach(WalWriter* member);
+
+  /// The batched-mode barrier: fsync all members iff the group's total
+  /// unsynced bytes reached the batch threshold. A sync already in
+  /// flight covers this commit's amortization turn (return OK).
+  Status MaybeSync();
+  /// Unconditional fsync of every member.
+  Status SyncAll();
+
+  /// Group-led full syncs completed (each one fsyncs every member).
+  std::uint64_t group_syncs() const { return group_syncs_.Value(); }
+  std::size_t batch_bytes() const { return batch_bytes_; }
+
+ private:
+  // mu_ held for the whole member sweep (see the class comment).
+  Status SyncAllLocked();
+
+  const std::size_t batch_bytes_;
+  mutable std::mutex mu_;
+  std::vector<WalWriter*> members_;
+  obs::Counter group_syncs_;
 };
 
 }  // namespace hexastore

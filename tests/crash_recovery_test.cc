@@ -18,6 +18,7 @@
 
 #include "delta/delta_hexastore.h"
 #include "io/snapshot.h"
+#include "shard/sharded_hexastore.h"
 #include "util/rng.h"
 #include "wal/durable_store.h"
 #include "wal/file_util.h"
@@ -51,7 +52,7 @@ class CrashRecoveryTest : public ::testing::Test {
   std::string CloneDir(const std::string& src, const std::string& name) {
     const std::string dst = Dir(name);
     fs::remove_all(dst);
-    fs::copy(src, dst);
+    fs::copy(src, dst, fs::copy_options::recursive);
     return dst;
   }
 
@@ -437,6 +438,214 @@ TEST_F(CrashRecoveryTest, CorruptionInOlderSegmentFailsOpen) {
   auto reopened = DurableDeltaHexastore::Open(options);
   EXPECT_FALSE(reopened.ok());
   EXPECT_EQ(reopened.status().code(), StatusCode::kParseError);
+}
+
+// -- Sharded crash recovery -------------------------------------------------
+//
+// A ShardedHexastore keeps one independent WAL per shard. The recovery
+// contract generalizes per shard: after a crash, EVERY shard recovers
+// exactly its own committed prefix, and the facade's contents are the
+// disjoint union of those prefixes. A crash mid-group-commit — where
+// the group leader fsynced some shard WALs but not others — is exactly
+// a crash whose per-shard cuts differ, so the randomized cut vectors
+// below (including "no cut" for some shards) cover it.
+
+std::string ShardDir(const std::string& root, std::size_t i) {
+  std::string digits = std::to_string(i);
+  if (digits.size() < 3) {
+    digits.insert(0, 3 - digits.size(), '0');
+  }
+  return (fs::path(root) / ("shard-" + digits)).string();
+}
+
+void RunShardedWorkload(ShardedHexastore* store, int ops,
+                        std::uint64_t seed) {
+  Rng rng(seed);
+  constexpr Id kUniverse = 9;
+  for (int i = 0; i < ops; ++i) {
+    const double dice = rng.NextDouble();
+    const IdTriple t{rng.UniformRange(1, kUniverse),
+                     rng.UniformRange(1, kUniverse),
+                     rng.UniformRange(1, kUniverse)};
+    if (dice < 0.64) {
+      store->Insert(t);
+    } else if (dice < 0.92) {
+      store->Erase(t);
+    } else if (dice < 0.96) {
+      store->ErasePattern(IdPattern{0, t.p, 0});  // fan-out to all shards
+    } else {
+      store->ErasePattern(IdPattern{t.s, 0, 0});  // routed to one shard
+    }
+  }
+}
+
+TEST_F(CrashRecoveryTest, ShardedCleanReopenRecoversEverything) {
+  ShardedOptions options;
+  options.shards = 4;
+  options.durable = true;
+  options.durability.dir = Dir("sharded");
+  options.durability.mode = DurabilityMode::kBatched;
+  options.durability.compact_threshold = 1u << 20;  // pure replay
+
+  std::string expected;
+  {
+    auto opened = ShardedHexastore::Open(options);
+    ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+    RunShardedWorkload(opened.value().get(), 600, 0xFEED);
+    ASSERT_TRUE(opened.value()->status().ok());
+    expected = ContentsBytes(*opened.value());
+    ASSERT_FALSE(expected.empty());
+  }  // per-shard destructors sync every WAL tail
+
+  auto reopened = ShardedHexastore::Open(options);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ(ContentsBytes(*reopened.value()), expected);
+  std::string err;
+  EXPECT_TRUE(reopened.value()->CheckInvariants(&err)) << err;
+  // Every shard actually replayed its own log.
+  std::uint64_t replayed = 0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    replayed +=
+        reopened.value()->durable_shard(i)->recovery_info().replayed_records;
+  }
+  EXPECT_GT(replayed, 0u);
+}
+
+// The sharded committed-prefix torture test: randomized crash points
+// across the per-shard WALs — each trial truncates a random subset of
+// shard logs at random byte offsets (mid-group-commit: some shards
+// durable further than others) — must recover every shard to its own
+// committed prefix, byte-identical to the per-shard prefix oracles'
+// union.
+TEST_F(CrashRecoveryTest, ShardedRandomCrashPointsRecoverPerShardPrefixes) {
+  constexpr std::size_t kShards = 3;
+  ShardedOptions options;
+  options.shards = kShards;
+  options.durable = true;
+  options.durability.dir = Dir("sharded_golden");
+  options.durability.mode = DurabilityMode::kNone;  // crash = truncation
+  options.durability.compact_threshold = 1u << 20;
+  {
+    auto opened = ShardedHexastore::Open(options);
+    ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+    RunShardedWorkload(opened.value().get(), 300, 0xCAFE);
+    ASSERT_TRUE(opened.value()->Flush().ok());
+  }
+
+  // Parse each shard's (single) golden segment with per-record end
+  // offsets, for the cut -> committed-prefix mapping.
+  const std::string segment_name = WalSegmentFileName(1);
+  struct ShardLog {
+    std::string raw;
+    std::vector<WalRecord> records;
+    std::vector<std::size_t> end_offsets;
+  };
+  std::vector<ShardLog> logs(kShards);
+  for (std::size_t i = 0; i < kShards; ++i) {
+    const std::string seg =
+        (fs::path(ShardDir(options.durability.dir, i)) / segment_name)
+            .string();
+    ASSERT_TRUE(ReadFileToString(seg, &logs[i].raw).ok());
+    std::size_t pos = kWalHeaderBytes;
+    WalRecord r;
+    while (ParseWalRecord(logs[i].raw, &pos, &r) == WalParse::kRecord) {
+      logs[i].records.push_back(r);
+      logs[i].end_offsets.push_back(pos);
+    }
+    ASSERT_EQ(pos, logs[i].raw.size()) << "shard " << i << " torn tail";
+    ASSERT_GT(logs[i].records.size(), 10u)
+        << "shard " << i << " saw too few ops to exercise recovery";
+  }
+
+  Rng rng(0xD1CE);
+  for (int trial = 0; trial < 40; ++trial) {
+    const std::string dir = CloneDir(options.durability.dir, "sharded_crash");
+    std::vector<std::size_t> prefix(kShards);
+    for (std::size_t i = 0; i < kShards; ++i) {
+      if (rng.Bernoulli(0.3)) {
+        prefix[i] = logs[i].records.size();  // this shard's fsync landed
+        continue;
+      }
+      const std::size_t cut = static_cast<std::size_t>(
+          rng.UniformRange(kWalHeaderBytes, logs[i].raw.size()));
+      ASSERT_TRUE(
+          TruncateFile((fs::path(ShardDir(dir, i)) / segment_name).string(),
+                       cut)
+              .ok());
+      std::size_t n = 0;
+      while (n < logs[i].end_offsets.size() &&
+             logs[i].end_offsets[n] <= cut) {
+        ++n;
+      }
+      prefix[i] = n;
+    }
+
+    ShardedOptions crashed = options;
+    crashed.durability.dir = dir;
+    auto recovered = ShardedHexastore::Open(crashed);
+    ASSERT_TRUE(recovered.ok())
+        << "trial " << trial << ": " << recovered.status().ToString();
+
+    // Per-shard prefix oracles; the facade union is their disjoint
+    // union (subject partitioning), sorted once for serialization.
+    IdTripleVec expected_union;
+    for (std::size_t i = 0; i < kShards; ++i) {
+      DeltaHexastore oracle;
+      for (std::size_t r = 0; r < prefix[i]; ++r) {
+        ApplyToOracle(&oracle, logs[i].records[r]);
+      }
+      const IdTripleVec part = oracle.Match(IdPattern{});
+      expected_union.insert(expected_union.end(), part.begin(), part.end());
+      EXPECT_EQ(
+          recovered.value()->durable_shard(i)->recovery_info()
+              .replayed_records,
+          prefix[i])
+          << "trial " << trial << " shard " << i;
+    }
+    std::sort(expected_union.begin(), expected_union.end());
+    std::ostringstream expected;
+    ASSERT_TRUE(SaveTripleSnapshot(expected_union, expected).ok());
+    EXPECT_EQ(ContentsBytes(*recovered.value()), std::move(expected).str())
+        << "trial " << trial;
+    std::string err;
+    EXPECT_TRUE(recovered.value()->CheckInvariants(&err))
+        << "trial " << trial << ": " << err;
+  }
+}
+
+// Changing the shard count between runs would silently misroute every
+// bound-subject read and erase; the SHARDS manifest turns that into a
+// clear config error instead of corruption.
+TEST_F(CrashRecoveryTest, ShardCountChangeRejectedWithClearError) {
+  ShardedOptions options;
+  options.shards = 4;
+  options.durable = true;
+  options.durability.dir = Dir("sharded");
+  options.durability.mode = DurabilityMode::kNone;
+  std::string expected;
+  {
+    auto opened = ShardedHexastore::Open(options);
+    ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+    RunShardedWorkload(opened.value().get(), 120, 0xAB);
+    ASSERT_TRUE(opened.value()->Flush().ok());
+    expected = ContentsBytes(*opened.value());
+  }
+
+  ShardedOptions wrong = options;
+  wrong.shards = 2;
+  auto rejected = ShardedHexastore::Open(wrong);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(rejected.status().message().find("shard count mismatch"),
+            std::string::npos)
+      << rejected.status().ToString();
+  EXPECT_NE(rejected.status().message().find("4"), std::string::npos);
+  EXPECT_NE(rejected.status().message().find("2"), std::string::npos);
+
+  // The rejection was clean: the recorded count still opens, data intact.
+  auto reopened = ShardedHexastore::Open(options);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ(ContentsBytes(*reopened.value()), expected);
 }
 
 }  // namespace

@@ -34,6 +34,7 @@
 
 #include "delta/delta_hexastore.h"
 #include "query/bgp.h"
+#include "shard/sharded_hexastore.h"
 #include "query/merge_join.h"
 #include "query/plan_cache.h"
 #include "query/result_json.h"
@@ -52,8 +53,10 @@ IdTriple RandomTriple(Rng& rng, Id universe) {
 
 // Internal-consistency probe of one pinned handle: re-scan stability,
 // size bookkeeping, membership, and per-predicate scan agreement.
-// Returns the number of violations found.
-int CheckHandleConsistency(const DeltaHexastore::Snapshot& snap, Rng& rng) {
+// Returns the number of violations found. Works on any pinned view
+// (DeltaHexastore::Snapshot or ShardedSnapshot).
+template <typename SnapT>
+int CheckHandleConsistency(const SnapT& snap, Rng& rng) {
   int failures = 0;
   const IdTripleVec first = snap.Match(IdPattern{});
   if (first.size() != snap.size()) {
@@ -955,6 +958,243 @@ TEST(EpochStressTest, MetricsExportsRaceFreeUnderChurn) {
   EXPECT_GT(stats.seals, 0u);
   std::string err;
   ASSERT_TRUE(store.CheckInvariants(&err)) << err;
+}
+
+// -- Sharded multi-writer stress --------------------------------------------
+//
+// The sharding headline: N writer threads hammer one ShardedHexastore
+// while per-shard background compactors fold their own shards and
+// reader threads hold cross-shard pinned snapshots. Writers own
+// disjoint subject ranges, so each can check every Insert/Erase/
+// ErasePattern return value against a private std::set oracle with no
+// cross-writer interference (subjects route deterministically, so two
+// writers never race on the same logical triple). The quiescent union
+// of the writer oracles is the ground truth for the facade.
+TEST(EpochStressTest, ShardedMultiWriterChurnAgreesWithOracle) {
+  constexpr int kWriters = 4;
+  constexpr int kOpsPerWriter = 3000;
+  ShardedOptions options;
+  options.shards = 4;
+  options.delta.compact_threshold = 48;
+  options.delta.background_compaction = true;
+  options.delta.l0_run_limit = 2;
+  options.delta.l1_base_fraction = 0.05;
+  // A tight facade budget (sliced across shards) keeps every per-shard
+  // compactor under pressure, exercising the budget-fold path in
+  // parallel.
+  options.delta.memory_budget_bytes = 64 * 1024;
+
+  std::vector<std::shared_ptr<MemoryTracker>> trackers;
+  std::vector<std::set<IdTriple>> oracles(kWriters);
+  {
+    ShardedHexastore store(options);
+    for (std::size_t i = 0; i < store.shard_count(); ++i) {
+      trackers.push_back(store.shard(i).memory_tracker());
+    }
+
+    std::atomic<bool> done{false};
+    std::atomic<int> failures{0};
+    std::vector<std::thread> readers;
+    for (int r = 0; r < 2; ++r) {
+      readers.emplace_back([&store, &done, &failures, r] {
+        Rng rng(6200 + r);
+        std::deque<ShardedSnapshot> held;
+        while (!done.load(std::memory_order_acquire)) {
+          held.push_back(store.AcquireReadHandle());
+          if (held.size() > 4) {
+            held.pop_front();
+          }
+          // A cross-shard snapshot carries one (epoch, staged_ops) pair
+          // per shard and must stay internally consistent even though
+          // its shards were pinned at different generations.
+          if (held.back().StampVector().size() != 2 * store.shard_count()) {
+            failures.fetch_add(1);
+          }
+          failures.fetch_add(CheckHandleConsistency(held.back(), rng));
+          failures.fetch_add(
+              CheckHandleConsistency(held[rng.Uniform(held.size())], rng));
+          // Don't starve the writers on small machines.
+          std::this_thread::sleep_for(std::chrono::microseconds(200));
+        }
+      });
+    }
+
+    std::vector<std::thread> writers;
+    for (int w = 0; w < kWriters; ++w) {
+      writers.emplace_back([&store, &oracles, &failures, w] {
+        Rng rng(3100 + w);
+        std::set<IdTriple>& oracle = oracles[w];
+        // Disjoint subject range per writer: [base, base + 50).
+        const Id base = 1 + static_cast<Id>(w) * 50;
+        for (int i = 0; i < kOpsPerWriter; ++i) {
+          const IdTriple t{base + rng.Uniform(50), 1 + rng.Uniform(8),
+                           1 + rng.Uniform(40)};
+          const double dice = rng.NextDouble();
+          if (dice < 0.68) {
+            if (store.Insert(t) != oracle.insert(t).second) {
+              failures.fetch_add(1);
+            }
+          } else if (dice < 0.97) {
+            if (store.Erase(t) != (oracle.erase(t) > 0)) {
+              failures.fetch_add(1);
+            }
+          } else {
+            // Bound-subject pattern erase stays inside this writer's
+            // range, so the exact count is checkable concurrently.
+            const Id s = base + rng.Uniform(50);
+            std::size_t expected = 0;
+            for (auto it = oracle.begin(); it != oracle.end();) {
+              if (it->s == s) {
+                it = oracle.erase(it);
+                ++expected;
+              } else {
+                ++it;
+              }
+            }
+            if (store.ErasePattern(IdPattern{s, 0, 0}) != expected) {
+              failures.fetch_add(1);
+            }
+          }
+        }
+      });
+    }
+    for (auto& th : writers) {
+      th.join();
+    }
+    done.store(true, std::memory_order_release);
+    for (auto& th : readers) {
+      th.join();
+    }
+    EXPECT_EQ(failures.load(), 0);
+
+    // Quiesce: the facade must equal the union of the writer oracles.
+    store.Compact();
+    std::set<IdTriple> merged;
+    for (const auto& oracle : oracles) {
+      merged.insert(oracle.begin(), oracle.end());
+    }
+    EXPECT_EQ(store.GetSnapshot().Match(IdPattern{}),
+              IdTripleVec(merged.begin(), merged.end()));
+    EXPECT_EQ(store.size(), merged.size());
+    std::string err;
+    EXPECT_TRUE(store.CheckInvariants(&err)) << err;
+
+    // Every shard's compactor actually ran, and with all readers gone
+    // reclamation has caught up with retirement on every shard.
+    std::uint64_t seals = 0;
+    for (std::size_t i = 0; i < store.shard_count(); ++i) {
+      seals += store.shard(i).Stats().seals;
+      const EpochStats epochs = store.shard(i).EpochCounters();
+      EXPECT_EQ(epochs.retire_queue_depth, 0u) << "shard " << i;
+      EXPECT_EQ(epochs.active_reader_sections, 0) << "shard " << i;
+    }
+    EXPECT_GT(seals, 0u);
+  }
+  // Per-shard memory accounting balances after teardown — including
+  // runs freed by the parallel compactors on the deferred path.
+  for (std::size_t i = 0; i < trackers.size(); ++i) {
+    EXPECT_TRUE(trackers[i]->balanced()) << "shard " << i;
+  }
+}
+
+// Durable sharding under concurrency: writers on disjoint subject
+// ranges drive cross-shard group commits (batched mode shares one
+// WalCommitGroup across the per-shard WALs) while a checkpointer thread
+// runs facade-wide checkpoints and readers hold cross-shard handles.
+// The reopened store must recover exactly the union of the writer
+// oracles.
+TEST(EpochStressTest, ShardedWritersGroupCommitsAndCheckpointsRecover) {
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() /
+      ("hexa-shard-stress-" + std::to_string(::getpid()));
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+
+  constexpr int kWriters = 3;
+  constexpr int kOpsPerWriter = 1500;
+  ShardedOptions options;
+  options.shards = 4;
+  options.durable = true;
+  options.durability.dir = dir.string();
+  options.durability.mode = DurabilityMode::kBatched;
+  options.durability.batch_bytes = 256;  // frequent group sweeps
+  options.durability.compact_threshold = 512;
+  options.durability.background_compaction = true;
+
+  std::vector<std::set<IdTriple>> oracles(kWriters);
+  {
+    auto opened = ShardedHexastore::Open(options);
+    ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+    ShardedHexastore* store = opened.value().get();
+
+    std::atomic<bool> done{false};
+    std::atomic<int> failures{0};
+    std::thread reader([store, &done, &failures] {
+      Rng rng(808);
+      while (!done.load(std::memory_order_acquire)) {
+        failures.fetch_add(
+            CheckHandleConsistency(store->AcquireReadHandle(), rng));
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+      }
+    });
+    std::thread checkpointer([store, &done, &failures] {
+      while (!done.load(std::memory_order_acquire)) {
+        if (!store->Checkpoint().ok()) {
+          failures.fetch_add(1);
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      }
+    });
+
+    std::vector<std::thread> writers;
+    for (int w = 0; w < kWriters; ++w) {
+      writers.emplace_back([store, &oracles, &failures, w] {
+        Rng rng(5400 + w);
+        std::set<IdTriple>& oracle = oracles[w];
+        const Id base = 1 + static_cast<Id>(w) * 40;
+        for (int i = 0; i < kOpsPerWriter; ++i) {
+          const IdTriple t{base + rng.Uniform(40), 1 + rng.Uniform(6),
+                           1 + rng.Uniform(30)};
+          if (rng.Bernoulli(0.72)) {
+            if (store->Insert(t) != oracle.insert(t).second) {
+              failures.fetch_add(1);
+            }
+          } else {
+            if (store->Erase(t) != (oracle.erase(t) > 0)) {
+              failures.fetch_add(1);
+            }
+          }
+        }
+      });
+    }
+    for (auto& th : writers) {
+      th.join();
+    }
+    done.store(true, std::memory_order_release);
+    reader.join();
+    checkpointer.join();
+    EXPECT_EQ(failures.load(), 0);
+    ASSERT_TRUE(store->status().ok());
+    ASSERT_TRUE(store->Flush().ok());
+    // Group commit actually batched across shard WALs: the facade saw
+    // checkpoints on at least one shard and every shard's WAL is clean.
+    for (std::size_t i = 0; i < store->shard_count(); ++i) {
+      ASSERT_TRUE(store->durable_shard(i)->status().ok()) << "shard " << i;
+    }
+  }
+
+  std::set<IdTriple> merged;
+  for (const auto& oracle : oracles) {
+    merged.insert(oracle.begin(), oracle.end());
+  }
+  auto reopened = ShardedHexastore::Open(options);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ(reopened.value()->size(), merged.size());
+  EXPECT_EQ(reopened.value()->Match(IdPattern{}),
+            IdTripleVec(merged.begin(), merged.end()));
+  std::string err;
+  EXPECT_TRUE(reopened.value()->CheckInvariants(&err)) << err;
+  std::filesystem::remove_all(dir, ec);
 }
 
 }  // namespace

@@ -1,7 +1,10 @@
-// Integration property test: all six stores (Hexastore, COVP1, COVP2,
-// TripleTable, and DeltaHexastore in both a compacting and a pure-delta
-// configuration) answer every pattern identically under random workloads
-// of inserts, erases and bulk loads.
+// Integration property test: all seven stores (Hexastore, COVP1, COVP2,
+// TripleTable, DeltaHexastore in both a compacting and a pure-delta
+// configuration, and a 3-shard ShardedHexastore) answer every pattern
+// identically under random workloads of inserts, erases and bulk loads.
+// (The dedicated sharded-vs-single oracle at shards {1,2,4,7} lives in
+// sharded_store_test.cc; riding along here additionally cross-checks the
+// facade against the non-delta baselines.)
 #include <gtest/gtest.h>
 
 #include <memory>
@@ -11,10 +14,19 @@
 #include "baseline/vertical_store.h"
 #include "core/hexastore.h"
 #include "delta/delta_hexastore.h"
+#include "shard/sharded_hexastore.h"
 #include "util/rng.h"
 
 namespace hexastore {
 namespace {
+
+ShardedOptions SmallShardedOptions() {
+  ShardedOptions opts;
+  opts.shards = 3;
+  // Tiny threshold so per-shard compactions fire mid-workload.
+  opts.delta.compact_threshold = 64;
+  return opts;
+}
 
 struct StoreSet {
   Hexastore hexa;
@@ -26,10 +38,11 @@ struct StoreSet {
   DeltaHexastore delta_compacting{128};
   // Huge threshold: the whole workload stays staged in the delta.
   DeltaHexastore delta_staged{1u << 30};
+  ShardedHexastore sharded{SmallShardedOptions()};
 
   std::vector<TripleStore*> all() {
-    return {&hexa,  &covp1,           &covp2,
-            &table, &delta_compacting, &delta_staged};
+    return {&hexa,  &covp1,            &covp2,       &table,
+            &delta_compacting, &delta_staged, &sharded};
   }
 };
 
@@ -76,6 +89,8 @@ TEST_P(StoreEquivalenceTest, RandomMutationWorkload) {
   std::string err;
   EXPECT_TRUE(stores.delta_compacting.CheckInvariants(&err)) << err;
   EXPECT_TRUE(stores.delta_staged.CheckInvariants(&err)) << err;
+  // The facade upholds per-shard invariants plus subject routing.
+  EXPECT_TRUE(stores.sharded.CheckInvariants(&err)) << err;
   // Probe all 8 pattern shapes.
   for (int mask = 0; mask < 8; ++mask) {
     for (int probe = 0; probe < 25; ++probe) {

@@ -26,7 +26,8 @@ class StoreOptionsTest : public ::testing::Test {
           "HEXA_BG_CHECKPOINTS", "HEXA_HOST", "HEXA_PORT",
           "HEXA_SERVER_THREADS", "HEXA_SERVER_QUEUE",
           "HEXA_QUERY_DEADLINE_MS", "HEXA_PLAN_CACHE_CAP",
-          "HEXA_PLAN_CACHE_QERR", "HEXA_MAX_REQUEST_BYTES"}) {
+          "HEXA_PLAN_CACHE_QERR", "HEXA_MAX_REQUEST_BYTES",
+          "HEXA_SHARDS"}) {
       ::unsetenv(name);
     }
   }
@@ -59,6 +60,25 @@ TEST_F(StoreOptionsTest, StoreShapeKnobsReachDeltaAndDurability) {
   EXPECT_EQ(options.durability.compact_threshold, 123u);
   EXPECT_TRUE(options.durability.background_compaction);
   EXPECT_EQ(options.durability.l0_run_limit, 3u);
+}
+
+TEST_F(StoreOptionsTest, ShardsKnob) {
+  // Default: unsharded.
+  EXPECT_EQ(StoreOptions::FromEnv().shards, 1u);
+  ::setenv("HEXA_SHARDS", "4", 1);
+  std::string notes;
+  EXPECT_EQ(StoreOptions::FromEnv(&notes).shards, 4u);
+  EXPECT_TRUE(notes.empty()) << notes;
+  // Unparsable keeps the default and notes the repair.
+  ::setenv("HEXA_SHARDS", "many", 1);
+  notes.clear();
+  EXPECT_EQ(StoreOptions::FromEnv(&notes).shards, 1u);
+  EXPECT_NE(notes.find("HEXA_SHARDS"), std::string::npos) << notes;
+  // Zero is clamped to 1 (a facade always has at least one shard).
+  ::setenv("HEXA_SHARDS", "0", 1);
+  notes.clear();
+  EXPECT_EQ(StoreOptions::FromEnv(&notes).shards, 1u);
+  EXPECT_NE(notes.find("shards=0"), std::string::npos) << notes;
 }
 
 TEST_F(StoreOptionsTest, WalDirImpliesDurable) {
